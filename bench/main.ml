@@ -1,0 +1,349 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+     dune exec bench/main.exe                 full run (a few minutes)
+     dune exec bench/main.exe -- --quick      ckta only
+     dune exec bench/main.exe -- --skip-kernels / --skip-ablations
+
+   Sections:
+     Figure 1 / section 3.3   the worked Q-hat example, entry by entry
+     Table I                  circuit suite statistics
+     Table II                 QBP vs GFM vs GKL without timing constraints
+     Table III                same, with timing constraints
+     Robustness               QBP from random starts (section 5 claim)
+     Ablations                design decisions D1-D6 of DESIGN.md
+     Kernels                  bechamel micro-benchmarks, one per
+                              table-backing computation kernel
+
+   Absolute numbers differ from the 1993 DECstation; EXPERIMENTS.md
+   records the shape comparison. *)
+
+module Rng = Qbpart_netlist.Rng
+module Netlist = Qbpart_netlist.Netlist
+module Grid = Qbpart_topology.Grid
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Assignment = Qbpart_partition.Assignment
+module Evaluate = Qbpart_partition.Evaluate
+module Gap = Qbpart_gap.Gap
+module Mthg = Qbpart_gap.Mthg
+module Problem = Qbpart_core.Problem
+module Qmatrix = Qbpart_core.Qmatrix
+module Burkard = Qbpart_core.Burkard
+module Gains = Qbpart_baselines.Gains
+module Gfm = Qbpart_baselines.Gfm
+module Gkl = Qbpart_baselines.Gkl
+module Circuits = Qbpart_experiments.Circuits
+module Runner = Qbpart_experiments.Runner
+module Report = Qbpart_experiments.Report
+
+let section title =
+  Format.printf "@.=============================================================@.";
+  Format.printf "%s@." title;
+  Format.printf "=============================================================@.@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 / section 3.3 *)
+
+let figure1 () =
+  section "Figure 1 / section 3.3 — the worked Q-hat example";
+  let b = Netlist.Builder.create () in
+  let ca = Netlist.Builder.add_component b ~name:"a" ~size:1.0 () in
+  let cb = Netlist.Builder.add_component b ~name:"b" ~size:1.0 () in
+  let cc = Netlist.Builder.add_component b ~name:"c" ~size:1.0 () in
+  Netlist.Builder.add_wire b ca cb ~weight:5.0 ();
+  Netlist.Builder.add_wire b cb cc ~weight:2.0 ();
+  let nl = Netlist.Builder.build b in
+  let topo = Grid.make ~rows:2 ~cols:2 ~capacity:10.0 () in
+  let cons = Constraints.create ~n:3 in
+  Constraints.add_sym cons 0 1 1.0;
+  Constraints.add_sym cons 1 2 1.0;
+  let problem = Problem.make ~constraints:cons nl topo in
+  let q = Qmatrix.make ~penalty:50.0 problem in
+  let dense = Qmatrix.dense q in
+  let names = [| "a"; "b"; "c" |] in
+  Format.printf "5 wires a-b, 2 wires b-c; D_C(a,b)=D_C(b,c)=1, D_C(a,c)=inf;@.";
+  Format.printf "B = D = Manhattan distances of the 2x2 array; penalty 50.@.@.";
+  Format.printf "      ";
+  for j = 0 to 2 do
+    for i = 1 to 4 do
+      Format.printf "%3s%d " names.(j) i
+    done
+  done;
+  Format.printf "@.";
+  for r1 = 0 to 11 do
+    Format.printf "%3s%d | " names.(r1 / 4) ((r1 mod 4) + 1);
+    for r2 = 0 to 11 do
+      if r1 = r2 then Format.printf "%4s " (Printf.sprintf "p%d%s" ((r1 mod 4) + 1) names.(r1 / 4))
+      else if dense.(r1).(r2) = 0.0 then Format.printf "%4s " "-"
+      else Format.printf "%4.0f " dense.(r1).(r2)
+    done;
+    Format.printf "@."
+  done;
+  Format.printf
+    "@.(rows/columns follow the paper's order (a,1)(a,2)...(c,4); the 50s@.\
+     embed the timing constraints, e.g. assigning a to 2 and b to 3 has@.\
+     delay D(2,3)=2 > D_C(a,b)=1.)@."
+
+(* ------------------------------------------------------------------ *)
+(* Tables *)
+
+(* The published Table II / III improvement percentages, used to print
+   the shape comparison next to our measurements. *)
+let paper_pct_ii =
+  [ ("ckta", (15.9, 9.0, 15.6)); ("cktb", (27.2, 15.5, 20.4)); ("cktc", (26.6, 17.8, 26.8));
+    ("cktd", (34.0, 12.5, 20.1)); ("ckte", (26.2, 20.9, 25.8)); ("cktf", (44.0, 27.7, 36.7));
+    ("cktg", (36.5, 27.2, 26.9)) ]
+
+let paper_pct_iii =
+  [ ("ckta", (12.2, 6.8, 12.0)); ("cktb", (21.3, 14.4, 12.3)); ("cktc", (21.2, 7.1, 24.0));
+    ("cktd", (23.5, 7.9, 12.7)); ("ckte", (21.0, 7.2, 15.3)); ("cktf", (34.1, 21.0, 27.3));
+    ("cktg", (30.1, 21.0, 26.1)) ]
+
+let print_shape_comparison rows paper =
+  Format.printf "shape vs paper ((-%%) columns, ours | paper):@.";
+  Format.printf "%-8s %18s %18s %18s@." "circuits" "QBP" "GFM" "GKL";
+  List.iter
+    (fun (r : Runner.row) ->
+      match List.assoc_opt r.Runner.name paper with
+      | None -> ()
+      | Some (pq, pf, pk) ->
+        Format.printf "%-8s %8.1f | %6.1f %8.1f | %6.1f %8.1f | %6.1f@." r.Runner.name
+          r.Runner.qbp.Runner.improvement_pct pq r.Runner.gfm.Runner.improvement_pct pf
+          r.Runner.gkl.Runner.improvement_pct pk)
+    rows;
+  Format.printf "@."
+
+let tables instances =
+  section "Table I — circuit descriptions";
+  Report.table1 Format.std_formatter instances;
+  (* one shared feasible initial per circuit, used by both tables and
+     all three methods, as in the paper *)
+  let initials = List.map Runner.initial_solution instances in
+  let run_both with_timing =
+    List.map2 (fun inst initial -> Runner.run ~with_timing ~initial inst) instances initials
+  in
+  section "Table II — without Timing Constraints";
+  let rows2 = run_both false in
+  Report.results ~title:"II. Without Timing Constraints:" Format.std_formatter rows2;
+  Report.summary Format.std_formatter rows2;
+  Format.printf "@.";
+  print_shape_comparison rows2 paper_pct_ii;
+  section "Table III — with Timing Constraints";
+  let rows3 = run_both true in
+  Report.results ~title:"III. With Timing Constraints:" Format.std_formatter rows3;
+  Report.summary Format.std_formatter rows3;
+  Format.printf "@.";
+  print_shape_comparison rows3 paper_pct_iii;
+  (rows2, rows3)
+
+let robustness instances =
+  section "Random-start robustness (section 5)";
+  Format.printf
+    "\"In our separate experiments we discovered that QBP maintained the@.\
+     same kind of good results from any arbitrary initial solution.\"@.@.";
+  let rs = List.map (fun inst -> Runner.random_start_robustness ~starts:3 inst) instances in
+  Report.robustness Format.std_formatter rs;
+  Format.printf
+    "(with timing constraints a random start must also reach feasibility;@.\
+     runs that do not are reported as infeasible rather than patched)@.@.";
+  let rs2 =
+    List.map (fun inst -> Runner.random_start_robustness ~starts:3 ~with_timing:false inst)
+      instances
+  in
+  Format.printf "and without timing constraints (Table II setting):@.@.";
+  Report.robustness Format.std_formatter rs2
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md D1-D6) *)
+
+let ablations inst =
+  section "Ablations (DESIGN.md design decisions, on ckta, Table III setting)";
+  let initial = Runner.initial_solution inst in
+  let run label config =
+    let row = Runner.run ~with_timing:true ~qbp_config:config ~initial inst in
+    Format.printf "  %-34s QBP final %8.0f  (-%4.1f%%)  %5.1fs@." label
+      row.Runner.qbp.Runner.final row.Runner.qbp.Runner.improvement_pct
+      row.Runner.qbp.Runner.cpu_seconds
+  in
+  let d = Burkard.Config.default in
+  run "default (Solver eta, polish+repair)" d;
+  run "D1: literal paper eta rule" { d with rule = Qmatrix.Paper };
+  run "D5/D6: no polish, no repair probes"
+    { d with polish_passes = 0; final_polish = 0; repair_every = 0 };
+  run "D6: repair probes only every 10" { d with repair_every = 10 };
+  run "D2: penalty 5" { d with penalty = 5.0 };
+  run "D2: penalty 500" { d with penalty = 500.0 };
+  run "D3: GAP without improvement" { d with gap_improve = `None };
+  run "D3: GAP with shift+swap" { d with gap_improve = `Shift_and_swap };
+  run "paper config (all enhancements off)" { Burkard.Config.paper with iterations = 100 };
+  Format.printf "@.GKL baseline design (D4 in spirit — dummy padding):@.";
+  let nl = inst.Circuits.netlist and topo = inst.Circuits.topology in
+  let cons = inst.Circuits.constraints in
+  List.iter
+    (fun dummies ->
+      let config = { Gkl.default_config with Gkl.dummies } in
+      let t0 = Sys.time () in
+      let r = Gkl.solve ~config ~constraints:cons nl topo ~initial in
+      Format.printf "  GKL dummies=%d: final %8.0f  %5.1fs  (%d swaps)@." dummies r.Gkl.cost
+        (Sys.time () -. t0) r.Gkl.swaps)
+    [ 0; 3; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Convergence trace (section 4.2: "similar to a line search") *)
+
+let convergence inst =
+  section "Convergence trace (ckta, Table III setting)";
+  let initial = Runner.initial_solution inst in
+  let problem = Circuits.problem inst in
+  let result = Burkard.solve ~initial problem in
+  let best = ref infinity in
+  let traced =
+    List.filter_map
+      (fun (it : Burkard.iteration) ->
+        best := Float.min !best it.Burkard.penalized;
+        if it.Burkard.k mod 5 = 0 || it.Burkard.k = 1 then Some (it.Burkard.k, !best)
+        else None)
+      result.Burkard.history
+  in
+  let lo = List.fold_left (fun acc (_, c) -> Float.min acc c) infinity traced in
+  let hi = List.fold_left (fun acc (_, c) -> Float.max acc c) 0.0 traced in
+  Format.printf "best penalized cost so far vs iteration:@.@.";
+  List.iter
+    (fun (k, c) ->
+      let width =
+        if hi > lo then int_of_float (58.0 *. (c -. lo) /. (hi -. lo)) + 1 else 1
+      in
+      Format.printf "  k=%3d %8.0f %s@." k c (String.make width '#'))
+    traced
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps (paper prose claims) *)
+
+let sweeps quick =
+  section "Scaling (section 4.3 sparse-iteration claim)";
+  Format.printf
+    "\"We exploit the facts that (a) the number of partitions is very small@.\
+     compared to the number of components, and (b) the interconnections@.\
+     between the components are quite sparse.\"@.@.";
+  let sizes = if quick then [ 100; 200; 400 ] else [ 100; 200; 400; 800 ] in
+  let points = Qbpart_experiments.Sweeps.scaling ~sizes () in
+  Qbpart_experiments.Sweeps.pp_scaling Format.std_formatter points;
+  section "Capacity tightness sweep (the \"very tight constraints\" regime)";
+  let spec = List.hd Circuits.table1 in
+  let slacks = if quick then [ 1.30; 1.08 ] else [ 1.30; 1.15; 1.08; 1.05 ] in
+  let points = Qbpart_experiments.Sweeps.capacity_sweep ~slacks spec in
+  Qbpart_experiments.Sweeps.pp_sweep ~header:"slack" Format.std_formatter points;
+  section "Iteration budget sweep (section 4.2 runtime/quality knob)";
+  let inst = Circuits.build spec in
+  let budgets = if quick then [ 10; 50; 100 ] else [ 5; 10; 25; 50; 100; 200 ] in
+  Format.printf "with the default (enhanced) configuration:@.@.";
+  let points = Qbpart_experiments.Sweeps.iteration_sweep ~budgets inst in
+  Qbpart_experiments.Sweeps.pp_iteration_sweep Format.std_formatter points;
+  Format.printf
+    "@.pure Burkard trajectory (enhancements off — the paper's section 4.2@.\
+     \"the more CPU time spent, the better the results\" regime):@.@.";
+  let pure =
+    { Burkard.Config.default with polish_passes = 0; final_polish = 0; repair_every = 0 }
+  in
+  let points =
+    Qbpart_experiments.Sweeps.iteration_sweep ~budgets ~with_timing:false ~config:pure inst
+  in
+  Qbpart_experiments.Sweeps.pp_iteration_sweep Format.std_formatter points;
+  section "Seed stability (is the shape a property of the circuit class?)";
+  let specs = if quick then [ spec ] else [ spec; List.nth Circuits.table1 4 ] in
+  let rows =
+    List.map (fun s -> Qbpart_experiments.Sweeps.seed_stability ~with_timing:true s) specs
+  in
+  Qbpart_experiments.Sweeps.pp_stability Format.std_formatter rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel kernel micro-benchmarks *)
+
+let kernels inst =
+  section "Kernel micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let nl = inst.Circuits.netlist and topo = inst.Circuits.topology in
+  let cons = inst.Circuits.constraints in
+  let n = Netlist.n nl and m = Topology.m topo in
+  let problem = Problem.make ~constraints:cons nl topo in
+  let q = Qmatrix.make problem in
+  let rng = Rng.create 99 in
+  let u = Assignment.random rng ~n ~m in
+  let sizes = Netlist.sizes nl in
+  let capacity = Topology.capacities topo in
+  let eta = Qmatrix.eta q u in
+  let gap = Gap.make_uniform ~cost:(Qmatrix.eta_cost_matrix eta ~m ~n) ~sizes ~capacity in
+  let gains = Gains.create nl topo u in
+  let tests =
+    [
+      (* Table II/III inner loops *)
+      Test.make ~name:"eta (STEP 3 linearization)" (Staged.stage (fun () -> Qmatrix.eta q u));
+      Test.make ~name:"mthg construct (STEP 4/6 GAP)"
+        (Staged.stage (fun () -> Mthg.construct gap));
+      Test.make ~name:"mthg solve_relaxed"
+        (Staged.stage (fun () -> Mthg.solve_relaxed ~criteria:[ Mthg.Cost ] ~improve:`Shift gap));
+      Test.make ~name:"penalized objective"
+        (Staged.stage (fun () -> Problem.penalized_objective problem ~penalty:50.0 u));
+      Test.make ~name:"wirelength evaluation"
+        (Staged.stage (fun () -> Evaluate.wirelength nl topo u));
+      Test.make ~name:"timing check (all constraints)"
+        (Staged.stage (fun () -> Qbpart_timing.Check.count cons topo ~assignment:u));
+      (* GFM/GKL inner loops *)
+      Test.make ~name:"gains move_delta row scan"
+        (Staged.stage (fun () ->
+             let best = ref 0.0 in
+             for j = 0 to n - 1 do
+               for i = 0 to m - 1 do
+                 let d = Gains.move_delta gains ~j ~target:i in
+                 if d < !best then best := d
+               done
+             done;
+             !best));
+      Test.make ~name:"gains apply_move + undo"
+        (Staged.stage (fun () ->
+             let j = 17 in
+             let from = (Gains.assignment gains).(j) in
+             Gains.apply_move gains ~j ~target:((from + 1) mod m);
+             Gains.apply_move gains ~j ~target:from));
+    ]
+  in
+  let benchmark test =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols (List.hd instances) raw
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Format.printf "  %-38s %14.0f ns/run@." name est
+          | _ -> Format.printf "  %-38s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let flag f = List.mem f args in
+  let quick = flag "--quick" in
+  let t0 = Sys.time () in
+  figure1 ();
+  Format.printf "@.building the circuit suite...@.";
+  let instances =
+    if quick then [ Circuits.build (List.hd Circuits.table1) ] else Circuits.build_all ()
+  in
+  let _rows2, _rows3 = tables instances in
+  if not (flag "--skip-robustness") then robustness instances;
+  if not (flag "--skip-ablations") then ablations (List.hd instances);
+  if not (flag "--skip-sweeps") then begin
+    convergence (List.hd instances);
+    sweeps quick
+  end;
+  if not (flag "--skip-kernels") then kernels (List.hd instances);
+  Format.printf "@.total bench time: %.1fs@." (Sys.time () -. t0)

@@ -1,0 +1,258 @@
+(* qbpart — command-line front end.
+
+   Subcommands:
+     generate   write a synthetic netlist in the textual format
+     stats      print circuit statistics for a netlist file
+     solve      partition a netlist onto a grid (qbp | gfm | gkl)
+     tables     regenerate the paper's Tables I-III (also see bench/) *)
+
+module Rng = Qbpart_netlist.Rng
+module Netlist = Qbpart_netlist.Netlist
+module Generator = Qbpart_netlist.Generator
+module Parser = Qbpart_netlist.Parser
+module Printer = Qbpart_netlist.Printer
+module Stats = Qbpart_netlist.Stats
+module Grid = Qbpart_topology.Grid
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Evaluate = Qbpart_partition.Evaluate
+module Initial = Qbpart_partition.Initial
+module Problem = Qbpart_core.Problem
+module Burkard = Qbpart_core.Burkard
+module Gfm = Qbpart_baselines.Gfm
+module Gkl = Qbpart_baselines.Gkl
+module Experiments = Qbpart_experiments
+
+open Cmdliner
+
+let load_netlist path =
+  match Parser.parse_file path with
+  | Ok nl -> Ok nl
+  | Error e -> Error (Printf.sprintf "%s: %s" path (Parser.error_to_string e))
+  | exception Sys_error msg -> Error msg
+
+(* --- generate ------------------------------------------------------ *)
+
+let generate_cmd =
+  let run n wires seed out =
+    let rng = Rng.create seed in
+    let nl = Generator.generate rng (Generator.default_params ~n ~wires) in
+    match out with
+    | None ->
+      print_string (Printer.to_string nl);
+      `Ok ()
+    | Some path ->
+      Printer.to_file path nl;
+      Printf.printf "wrote %s: %d components, %.0f interconnections\n" path (Netlist.n nl)
+        (Netlist.total_wire_weight nl);
+      `Ok ()
+  in
+  let n = Arg.(value & opt int 100 & info [ "n"; "components" ] ~doc:"Component count.") in
+  let wires = Arg.(value & opt int 500 & info [ "w"; "wires" ] ~doc:"Total interconnections.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output file (stdout if omitted).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic netlist")
+    Term.(ret (const run $ n $ wires $ seed $ out))
+
+(* --- stats --------------------------------------------------------- *)
+
+let stats_cmd =
+  let run path =
+    match load_netlist path with
+    | Error msg -> `Error (false, msg)
+    | Ok nl ->
+      Format.printf "%a@." Stats.pp (Stats.of_netlist ~name:(Filename.basename path) nl);
+      `Ok ()
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST") in
+  Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics") Term.(ret (const run $ path))
+
+(* --- solve --------------------------------------------------------- *)
+
+let load_constraints nl = function
+  | None -> Ok None
+  | Some path -> (
+    match Qbpart_timing.Constraints_io.parse_file nl path with
+    | Ok c -> Ok (Some c)
+    | Error e ->
+      Error (Printf.sprintf "%s: %s" path (Qbpart_timing.Constraints_io.error_to_string e))
+    | exception Sys_error msg -> Error msg)
+
+let grid_topology nl ~rows ~cols ~slack =
+  let m = rows * cols in
+  let capacity = Netlist.total_size nl /. float_of_int m *. slack in
+  Grid.make ~rows ~cols ~capacity ()
+
+let solve_cmd =
+  let run path timing rows cols slack algorithm iterations seed out =
+    match load_netlist path with
+    | Error msg -> `Error (false, msg)
+    | Ok nl -> (
+      match load_constraints nl timing with
+      | Error msg -> `Error (false, msg)
+      | Ok constraints ->
+        let topo = grid_topology nl ~rows ~cols ~slack in
+        let rng = Rng.create seed in
+        let initial =
+          match Initial.greedy_feasible ?constraints ~attempts:200 rng nl topo () with
+          | Some a -> a
+          | None -> failwith "no feasible start; increase --slack or loosen budgets"
+        in
+        let start = Evaluate.wirelength nl topo initial in
+        let t0 = Sys.time () in
+        let final =
+          match algorithm with
+          | "qbp" ->
+            let problem = Problem.make ?constraints nl topo in
+            let config = { Burkard.Config.default with iterations; seed } in
+            let result = Burkard.solve ~config ~initial problem in
+            (match result.Burkard.best_feasible with
+            | Some (a, _) -> a
+            | None -> initial)
+          | "gfm" -> (Gfm.solve ?constraints nl topo ~initial).Gfm.assignment
+          | "gkl" -> (Gkl.solve ?constraints nl topo ~initial).Gkl.assignment
+          | other -> failwith (Printf.sprintf "unknown algorithm %S (qbp|gfm|gkl)" other)
+        in
+        let cost = Evaluate.wirelength nl topo final in
+        Format.eprintf "start %.0f -> final %.0f (-%.1f%%) in %.2fs@." start cost
+          (100.0 *. (start -. cost) /. start)
+          (Sys.time () -. t0);
+        Format.eprintf "%a@."
+          Qbpart_partition.Metrics.pp
+          (Qbpart_partition.Metrics.compute ?constraints nl topo final);
+        let emit ppf =
+          Array.iteri
+            (fun j i ->
+              Format.fprintf ppf "%s %s@."
+                (Qbpart_netlist.Component.name (Netlist.component nl j))
+                (Topology.name topo i))
+            final
+        in
+        (match out with
+        | None -> emit Format.std_formatter
+        | Some path ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+              emit (Format.formatter_of_out_channel oc));
+          Format.eprintf "wrote %s@." path);
+        `Ok ())
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST") in
+  let timing =
+    Arg.(value & opt (some file) None & info [ "t"; "timing" ] ~docv:"BUDGETS"
+           ~doc:"Timing-budget file ($(b,budget)/$(b,budget_sym) lines).")
+  in
+  let rows = Arg.(value & opt int 4 & info [ "rows" ] ~doc:"Grid rows.") in
+  let cols = Arg.(value & opt int 4 & info [ "cols" ] ~doc:"Grid cols.") in
+  let slack =
+    Arg.(value & opt float 1.15 & info [ "slack" ] ~doc:"Capacity slack factor.")
+  in
+  let algorithm =
+    Arg.(value & opt string "qbp" & info [ "a"; "algorithm" ] ~doc:"qbp, gfm or gkl.")
+  in
+  let iterations = Arg.(value & opt int 100 & info [ "iterations" ] ~doc:"QBP iterations.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the assignment here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Partition a netlist onto a grid")
+    Term.(
+      ret
+        (const run $ path $ timing $ rows $ cols $ slack $ algorithm $ iterations $ seed $ out))
+
+(* --- eval ---------------------------------------------------------- *)
+
+let eval_cmd =
+  let run netlist_path assignment_path timing rows cols slack =
+    match load_netlist netlist_path with
+    | Error msg -> `Error (false, msg)
+    | Ok nl -> (
+      match load_constraints nl timing with
+      | Error msg -> `Error (false, msg)
+      | Ok constraints ->
+        let topo = grid_topology nl ~rows ~cols ~slack in
+        let by_name = Hashtbl.create 16 in
+        for i = 0 to Topology.m topo - 1 do
+          Hashtbl.replace by_name (Topology.name topo i) i
+        done;
+        let assignment = Array.make (Netlist.n nl) (-1) in
+        let ic = open_in assignment_path in
+        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+            try
+              while true do
+                let line = input_line ic in
+                match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+                | [] -> ()
+                | [ comp; slot ] ->
+                  let j =
+                    match Netlist.find_by_name nl comp with
+                    | Some j -> j
+                    | None -> failwith (Printf.sprintf "unknown component %S" comp)
+                  in
+                  let i =
+                    match Hashtbl.find_opt by_name slot with
+                    | Some i -> i
+                    | None -> (
+                      match int_of_string_opt slot with
+                      | Some i when i >= 0 && i < Topology.m topo -> i
+                      | _ -> failwith (Printf.sprintf "unknown partition %S" slot))
+                  in
+                  assignment.(j) <- i
+                | _ -> failwith (Printf.sprintf "bad assignment line %S" line)
+              done
+            with End_of_file -> ());
+        Array.iteri
+          (fun j i ->
+            if i < 0 then
+              failwith
+                (Printf.sprintf "component %S unassigned"
+                   (Qbpart_netlist.Component.name (Netlist.component nl j))))
+          assignment;
+        Format.printf "%a"
+          Qbpart_partition.Metrics.pp
+          (Qbpart_partition.Metrics.compute ?constraints nl topo assignment);
+        `Ok ())
+  in
+  let netlist = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST") in
+  let assignment = Arg.(required & pos 1 (some file) None & info [] ~docv:"ASSIGNMENT") in
+  let timing =
+    Arg.(value & opt (some file) None & info [ "t"; "timing" ] ~docv:"BUDGETS")
+  in
+  let rows = Arg.(value & opt int 4 & info [ "rows" ] ~doc:"Grid rows.") in
+  let cols = Arg.(value & opt int 4 & info [ "cols" ] ~doc:"Grid cols.") in
+  let slack = Arg.(value & opt float 1.15 & info [ "slack" ] ~doc:"Capacity slack factor.") in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate an assignment produced by solve")
+    Term.(ret (const run $ netlist $ assignment $ timing $ rows $ cols $ slack))
+
+(* --- tables -------------------------------------------------------- *)
+
+let tables_cmd =
+  let run quick =
+    let instances =
+      if quick then [ Experiments.Circuits.build (List.hd Experiments.Circuits.table1) ]
+      else Experiments.Circuits.build_all ()
+    in
+    Experiments.Report.table1 Format.std_formatter instances;
+    let rows2 = Experiments.Runner.run_suite ~with_timing:false instances in
+    Experiments.Report.results ~title:"II. Without Timing Constraints:" Format.std_formatter
+      rows2;
+    let rows3 = Experiments.Runner.run_suite ~with_timing:true instances in
+    Experiments.Report.results ~title:"III. With Timing Constraints:" Format.std_formatter rows3;
+    `Ok ()
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Only run ckta.") in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's tables")
+    Term.(ret (const run $ quick))
+
+let () =
+  let doc = "performance-driven system partitioning by quadratic boolean programming" in
+  let info = Cmd.info "qbpart" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; stats_cmd; solve_cmd; eval_cmd; tables_cmd ]))

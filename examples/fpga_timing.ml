@@ -1,0 +1,88 @@
+(* Timing-driven multi-FPGA partitioning with STA-derived budgets.
+
+   The paper notes that the timing constraints D_C "are driven by
+   system cycle time and can be derived from the delay equations and
+   intrinsic delay in combinational circuit components".  This example
+   performs that derivation end to end:
+
+   1. generate a combinational netlist and orient it into a DAG;
+   2. run static timing analysis to find the intrinsic critical path;
+   3. pick a target cycle time and turn the per-edge slack into
+      maximum-routing-delay budgets (D_C);
+   4. partition onto a 4x4 FPGA array with QBP, GFM and GKL and
+      compare cost, runtime and timing feasibility.
+
+   Run with:  dune exec examples/fpga_timing.exe *)
+
+module Rng = Qbpart_netlist.Rng
+module Netlist = Qbpart_netlist.Netlist
+module Generator = Qbpart_netlist.Generator
+module Grid = Qbpart_topology.Grid
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Sta = Qbpart_timing.Sta
+module Evaluate = Qbpart_partition.Evaluate
+module Initial = Qbpart_partition.Initial
+module Problem = Qbpart_core.Problem
+module Burkard = Qbpart_core.Burkard
+module Gfm = Qbpart_baselines.Gfm
+module Gkl = Qbpart_baselines.Gkl
+
+let () =
+  let rng = Rng.create 7 in
+  let n = 200 in
+  let netlist = Generator.generate rng (Generator.default_params ~n ~wires:1200) in
+
+  (* 2. STA over a DAG orientation of the netlist.  Intrinsic delays:
+     1..4 ns per block. *)
+  let intrinsic = Array.init n (fun _ -> 1.0 +. Rng.float rng 3.0) in
+  let order = Rng.permutation rng n in
+  let sta = Sta.of_netlist netlist ~intrinsic ~order in
+  let critical = Sta.critical_path sta in
+  Format.printf "intrinsic critical path: %.1f ns over %d signal edges@." critical
+    (Sta.edge_count sta);
+
+  (* 3. Cycle time 80%% above the intrinsic bound; the margin becomes
+     inter-FPGA routing budget. *)
+  let cycle_time = critical *. 1.8 in
+  let constraints =
+    match Sta.budgets sta ~cycle_time with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  Format.printf "cycle time %.1f ns -> %d directed routing budgets@." cycle_time
+    (Constraints.count constraints);
+
+  (* FPGA array: 16 devices, inter-device hop = 1 ns of routing. *)
+  let capacity = Netlist.total_size netlist /. 16.0 *. 1.25 in
+  let topology = Grid.make ~rows:4 ~cols:4 ~capacity ~delay_scale:1.0 () in
+
+  (* 4. Shared feasible start; then the three methods. *)
+  let initial =
+    match Initial.greedy_feasible ~constraints ~attempts:200 rng netlist topology () with
+    | Some a -> a
+    | None -> failwith "no feasible start found — loosen the cycle time"
+  in
+  let start = Evaluate.wirelength netlist topology initial in
+  Format.printf "@.start wire length: %.0f@.@." start;
+  let report name cost cpu feasible =
+    Format.printf "%-4s final %.0f  (-%.1f%%)  %.2fs  timing-ok %b@." name cost
+      (100.0 *. (start -. cost) /. start)
+      cpu feasible
+  in
+  let problem = Problem.make ~constraints netlist topology in
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  (let result, cpu = time (fun () -> Burkard.solve ~initial problem) in
+   match result.Burkard.best_feasible with
+   | Some (a, c) -> report "QBP" c cpu (Problem.timing_feasible problem a)
+   | None -> Format.printf "QBP: no feasible solution@.");
+  (let result, cpu = time (fun () -> Gfm.solve ~constraints netlist topology ~initial) in
+   report "GFM" result.Gfm.cost cpu
+     (Qbpart_timing.Check.feasible constraints topology ~assignment:result.Gfm.assignment));
+  let result, cpu = time (fun () -> Gkl.solve ~constraints netlist topology ~initial) in
+  report "GKL" result.Gkl.cost cpu
+    (Qbpart_timing.Check.feasible constraints topology ~assignment:result.Gkl.assignment)

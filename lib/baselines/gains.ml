@@ -1,0 +1,135 @@
+module Netlist = Qbpart_netlist.Netlist
+module Topology = Qbpart_topology.Topology
+module Assignment = Qbpart_partition.Assignment
+
+type t = {
+  nl : Netlist.t;
+  topo : Topology.t;
+  p : float array array option;
+  alpha : float;
+  beta : float;
+  a : int array;              (* current assignment *)
+  loads : float array;
+  delta : float array array;  (* delta.(j).(i): objective change of j -> i *)
+  m : int;
+}
+
+(* Objective convention: the wire j--j' contributes
+   beta * w * b(pos(min), pos(max)); the b argument order follows the
+   evaluator's canonical endpoint order, so gains stay exact even for
+   an asymmetric B matrix. *)
+let wire_term t j j' w ~at ~at' =
+  if j < j' then t.beta *. w *. Topology.b t.topo at at'
+  else t.beta *. w *. Topology.b t.topo at' at
+
+let lin_term t j i =
+  match t.p with None -> 0.0 | Some p -> t.alpha *. p.(i).(j)
+
+(* Absolute cost of placing j at i against the current positions of
+   everything else. *)
+let cost_row t j row =
+  for i = 0 to t.m - 1 do
+    row.(i) <- lin_term t j i
+  done;
+  Array.iter
+    (fun (j', w) ->
+      let at' = t.a.(j') in
+      for i = 0 to t.m - 1 do
+        row.(i) <- row.(i) +. wire_term t j j' w ~at:i ~at':at'
+      done)
+    (Netlist.adj t.nl j)
+
+let refresh_row t j =
+  let row = t.delta.(j) in
+  cost_row t j row;
+  let own = row.(t.a.(j)) in
+  for i = 0 to t.m - 1 do
+    row.(i) <- row.(i) -. own
+  done
+
+let create ?p ?(alpha = 1.0) ?(beta = 1.0) nl topo a =
+  let m = Topology.m topo in
+  Assignment.check ~m a;
+  let t =
+    {
+      nl;
+      topo;
+      p;
+      alpha;
+      beta;
+      a = Assignment.copy a;
+      loads = Assignment.loads nl ~m a;
+      delta = Array.make_matrix (Netlist.n nl) m 0.0;
+      m;
+    }
+  in
+  for j = 0 to Netlist.n nl - 1 do
+    refresh_row t j
+  done;
+  t
+
+let assignment t = t.a
+let loads t = t.loads
+let move_delta t ~j ~target = t.delta.(j).(target)
+
+let swap_delta t ~j1 ~j2 =
+  let p1 = t.a.(j1) and p2 = t.a.(j2) in
+  if p1 = p2 then 0.0
+  else begin
+    let d = t.delta.(j1).(p2) +. t.delta.(j2).(p1) in
+    let w = Netlist.connection t.nl j1 j2 in
+    if w = 0.0 then d
+    else
+      (* Both single-move deltas assumed the other endpoint stayed
+         put, so each removed the full direct-wire term; the swap
+         keeps the wire alive with exchanged endpoints. *)
+      d
+      +. wire_term t j1 j2 w ~at:p2 ~at':p1
+      +. wire_term t j1 j2 w ~at:p1 ~at':p2
+  end
+
+let apply_move t ~j ~target =
+  let from = t.a.(j) in
+  if target <> from then begin
+    let s = Netlist.size t.nl j in
+    t.loads.(from) <- t.loads.(from) -. s;
+    t.loads.(target) <- t.loads.(target) +. s;
+    t.a.(j) <- target;
+    (* j's own row: rebase on the new position *)
+    let row = t.delta.(j) in
+    let own = row.(target) in
+    for i = 0 to t.m - 1 do
+      row.(i) <- row.(i) -. own
+    done;
+    (* neighbors see the wire endpoint move from [from] to [target] *)
+    Array.iter
+      (fun (j', w) ->
+        let row' = t.delta.(j') in
+        let at' = t.a.(j') in
+        let shift i = wire_term t j' j w ~at:i ~at':target -. wire_term t j' j w ~at:i ~at':from in
+        let base = shift at' in
+        for i = 0 to t.m - 1 do
+          row'.(i) <- row'.(i) +. shift i -. base
+        done)
+      (Netlist.adj t.nl j)
+  end
+
+let apply_swap t ~j1 ~j2 =
+  let p1 = t.a.(j1) and p2 = t.a.(j2) in
+  if p1 <> p2 then begin
+    apply_move t ~j:j1 ~target:p2;
+    apply_move t ~j:j2 ~target:p1
+  end
+
+let move_fits t topo ~j ~target =
+  target = t.a.(j)
+  || t.loads.(target) +. Netlist.size t.nl j <= Topology.capacity topo target
+
+let swap_fits t topo ~j1 ~j2 =
+  let p1 = t.a.(j1) and p2 = t.a.(j2) in
+  p1 = p2
+  || begin
+    let s1 = Netlist.size t.nl j1 and s2 = Netlist.size t.nl j2 in
+    t.loads.(p1) -. s1 +. s2 <= Topology.capacity topo p1
+    && t.loads.(p2) -. s2 +. s1 <= Topology.capacity topo p2
+  end

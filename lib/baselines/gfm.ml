@@ -1,0 +1,97 @@
+module Netlist = Qbpart_netlist.Netlist
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Check = Qbpart_timing.Check
+module Assignment = Qbpart_partition.Assignment
+module Evaluate = Qbpart_partition.Evaluate
+module Validate = Qbpart_partition.Validate
+
+type config = { max_passes : int; epsilon : float }
+
+let default_config = { max_passes = 50; epsilon = 1e-9 }
+
+type result = { assignment : Assignment.t; cost : float; passes : int; moves : int }
+
+let solve ?(config = default_config) ?p ?alpha ?beta ?constraints nl topo ~initial =
+  (match Validate.check ?constraints nl topo initial with
+  | [] -> ()
+  | issue :: _ ->
+    invalid_arg
+      (Format.asprintf "Gfm.solve: initial solution infeasible: %a" Validate.pp_issue issue));
+  let n = Netlist.n nl and m = Topology.m topo in
+  let gains = Gains.create ?p ?alpha ?beta nl topo initial in
+  let a = Gains.assignment gains in
+  let locked = Array.make n false in
+  let timing_ok j target =
+    match constraints with
+    | None -> true
+    | Some c ->
+      Check.placement_ok c topo ~j ~at:target ~where:(fun j' ->
+          if j' = j then None else Some a.(j'))
+  in
+  let total_moves = ref 0 in
+  let passes = ref 0 in
+  let improved = ref true in
+  while !improved && !passes < config.max_passes do
+    incr passes;
+    improved := false;
+    Array.fill locked 0 n false;
+    let trail = ref [] in (* (j, from), most recent first *)
+    let trail_len = ref 0 in
+    let cum = ref 0.0 in
+    let best_cum = ref 0.0 in
+    let best_len = ref 0 in
+    let progress = ref true in
+    while !progress do
+      (* best legal move among unlocked components; legality is only
+         checked when a candidate actually beats the current best, so
+         the common case is a cheap delta comparison *)
+      let best_j = ref (-1) and best_i = ref (-1) and best_d = ref infinity in
+      for j = 0 to n - 1 do
+        if not locked.(j) then begin
+          let from = a.(j) in
+          for i = 0 to m - 1 do
+            if i <> from && Gains.move_delta gains ~j ~target:i < !best_d then
+              if Gains.move_fits gains topo ~j ~target:i && timing_ok j i then begin
+                best_d := Gains.move_delta gains ~j ~target:i;
+                best_j := j;
+                best_i := i
+              end
+          done
+        end
+      done;
+      if !best_j = -1 then progress := false
+      else begin
+        let j = !best_j in
+        trail := (j, a.(j)) :: !trail;
+        incr trail_len;
+        Gains.apply_move gains ~j ~target:!best_i;
+        locked.(j) <- true;
+        incr total_moves;
+        cum := !cum +. !best_d;
+        if !cum < !best_cum -. config.epsilon then begin
+          best_cum := !cum;
+          best_len := !trail_len
+        end
+      end
+    done;
+    (* rewind to the best prefix *)
+    let rewind = !trail_len - !best_len in
+    let rec undo k trail =
+      if k > 0 then
+        match trail with
+        | (j, from) :: rest ->
+          Gains.apply_move gains ~j ~target:from;
+          undo (k - 1) rest
+        | [] -> assert false
+    in
+    undo rewind !trail;
+    if !best_cum < -.config.epsilon then improved := true
+  done;
+  let assignment = Assignment.copy a in
+  {
+    assignment;
+    cost = Evaluate.objective ?alpha ?beta ?p nl topo assignment;
+    passes = !passes;
+    moves = !total_moves;
+  }

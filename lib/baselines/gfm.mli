@@ -1,0 +1,47 @@
+(** GFM — generalized Fiduccia–Mattheyses baseline (paper section 5).
+
+    "A generalization of Fiduccia & Mattheyses' approach, moving one
+    component at a time.  Associated with each component are (M−1)
+    gain entries, each entry representing the potential gain if that
+    component is moved to the corresponding partition."
+
+    Pass discipline is classic FM: starting from a feasible solution,
+    repeatedly apply the best-gain {e legal} move (even when the gain
+    is negative — hill-climbing within a pass), lock the moved
+    component, and at the end of the pass rewind to the best prefix.
+    Passes repeat until one yields no improvement.  A move is legal iff
+    it keeps capacity feasibility and introduces no timing violation,
+    so a feasible input yields a feasible output. *)
+
+module Netlist := Qbpart_netlist.Netlist
+module Topology := Qbpart_topology.Topology
+module Constraints := Qbpart_timing.Constraints
+module Assignment := Qbpart_partition.Assignment
+
+type config = {
+  max_passes : int;  (** safety bound on passes (default 50) *)
+  epsilon : float;   (** minimum pass improvement to continue (default 1e-9) *)
+}
+
+val default_config : config
+
+type result = {
+  assignment : Assignment.t;
+  cost : float;    (** equation-(1) objective of [assignment] *)
+  passes : int;    (** passes executed *)
+  moves : int;     (** total moves applied (before rewinds) *)
+}
+
+val solve :
+  ?config:config ->
+  ?p:float array array ->
+  ?alpha:float ->
+  ?beta:float ->
+  ?constraints:Constraints.t ->
+  Netlist.t ->
+  Topology.t ->
+  initial:Assignment.t ->
+  result
+(** @raise Invalid_argument if [initial] is not capacity- and
+    timing-feasible — both baselines require a feasible start, exactly
+    as in the paper. *)

@@ -1,0 +1,169 @@
+module Netlist = Qbpart_netlist.Netlist
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Check = Qbpart_timing.Check
+module Assignment = Qbpart_partition.Assignment
+module Evaluate = Qbpart_partition.Evaluate
+module Validate = Qbpart_partition.Validate
+
+type config = { max_outer : int; stall_cutoff : int; epsilon : float; dummies : int }
+
+let default_config = { max_outer = 6; stall_cutoff = 1_000_000; epsilon = 1e-9; dummies = 6 }
+
+type result = { assignment : Assignment.t; cost : float; outer_loops : int; swaps : int }
+
+(* Kernighan & Lin's classic treatment of unequal partition sizes:
+   pad each partition's spare capacity with unconnected dummy
+   components, so that "swap with a dummy" realizes a plain move.
+   Each partition's spare is split into [chunks] dummies of sizes
+   spare/2, spare/3, spare/6, ... (harmonic-ish split, exact fill).
+   Returns the extended netlist, the extended initial assignment, the
+   extended P matrix (dummies cost 0 everywhere) and the real
+   component count. *)
+let with_dummies ~chunks ?p nl topo initial =
+  let n = Netlist.n nl in
+  let m = Topology.m topo in
+  let loads = Assignment.loads nl ~m initial in
+  let b = Netlist.Builder.create () in
+  Array.iter
+    (fun c ->
+      ignore
+        (Netlist.Builder.add_component b
+           ~name:(Qbpart_netlist.Component.name c)
+           ~size:(Qbpart_netlist.Component.size c)
+           ()))
+    (Netlist.components nl);
+  Array.iter
+    (fun w ->
+      Netlist.Builder.add_wire b (Qbpart_netlist.Wire.u w) (Qbpart_netlist.Wire.v w)
+        ~weight:(Qbpart_netlist.Wire.weight w) ())
+    (Netlist.wires nl);
+  let extra = ref [] in
+  for i = 0 to m - 1 do
+    (* geometric split: spare/2, spare/4, ..., remainder — a mix of
+       coarse and fine free-space chunks.  Only 70% of the spare is
+       materialized as dummies: filling it exactly would leave every
+       partition at capacity and outlaw all unequal-size swaps. *)
+    let spare = ref (0.7 *. (Topology.capacity topo i -. loads.(i))) in
+    for k = 1 to chunks do
+      let size = if k = chunks then !spare else !spare /. 2.0 in
+      if size > 1e-9 then begin
+        let id =
+          Netlist.Builder.add_component b ~name:(Printf.sprintf "__dummy_%d_%d" i k) ~size ()
+        in
+        extra := (id, i) :: !extra;
+        spare := !spare -. size
+      end
+    done
+  done;
+  let nl' = Netlist.Builder.build b in
+  let initial' = Array.make (Netlist.n nl') 0 in
+  Array.blit initial 0 initial' 0 n;
+  List.iter (fun (id, i) -> initial'.(id) <- i) !extra;
+  let p' =
+    Option.map
+      (fun p ->
+        Array.map (fun row ->
+            let row' = Array.make (Netlist.n nl') 0.0 in
+            Array.blit row 0 row' 0 n;
+            row')
+          p)
+      p
+  in
+  (nl', initial', p')
+
+let solve ?(config = default_config) ?p ?alpha ?beta ?constraints nl topo ~initial =
+  (match Validate.check ?constraints nl topo initial with
+  | [] -> ()
+  | issue :: _ ->
+    invalid_arg
+      (Format.asprintf "Gkl.solve: initial solution infeasible: %a" Validate.pp_issue issue));
+  let real_n = Netlist.n nl in
+  let nl, initial, p =
+    if config.dummies > 0 then with_dummies ~chunks:config.dummies ?p nl topo initial
+    else (nl, initial, p)
+  in
+  let n = Netlist.n nl in
+  let gains = Gains.create ?p ?alpha ?beta nl topo initial in
+  let a = Gains.assignment gains in
+  let locked = Array.make n false in
+  (* timing legality of the full exchange: each end is checked at its
+     new partition with the other end already relocated *)
+  let swap_timing_ok j1 j2 =
+    match constraints with
+    | None -> true
+    | Some c ->
+      (* dummies carry no timing constraints *)
+      let p1 = a.(j1) and p2 = a.(j2) in
+      let where_for jm other_at j' =
+        if j' = jm then None else if j' = (if jm = j1 then j2 else j1) then Some other_at
+        else Some a.(j')
+      in
+      (j1 >= real_n || Check.placement_ok c topo ~j:j1 ~at:p2 ~where:(where_for j1 p1))
+      && (j2 >= real_n || Check.placement_ok c topo ~j:j2 ~at:p1 ~where:(where_for j2 p2))
+  in
+  let total_swaps = ref 0 in
+  let outer = ref 0 in
+  let improved = ref true in
+  while !improved && !outer < config.max_outer do
+    incr outer;
+    improved := false;
+    Array.fill locked 0 n false;
+    let trail = ref [] in (* (j1, j2) applied swaps, most recent first *)
+    let trail_len = ref 0 in
+    let cum = ref 0.0 and best_cum = ref 0.0 and best_len = ref 0 in
+    let stall = ref 0 in
+    let progress = ref true in
+    while !progress && !stall < config.stall_cutoff do
+      let best_j1 = ref (-1) and best_j2 = ref (-1) and best_d = ref infinity in
+      for j1 = 0 to n - 1 do
+        if not locked.(j1) then
+          for j2 = j1 + 1 to n - 1 do
+            if (not locked.(j2)) && a.(j1) <> a.(j2) then begin
+              let d = Gains.swap_delta gains ~j1 ~j2 in
+              if d < !best_d then
+                if Gains.swap_fits gains topo ~j1 ~j2 && swap_timing_ok j1 j2 then begin
+                  best_d := d;
+                  best_j1 := j1;
+                  best_j2 := j2
+                end
+            end
+          done
+      done;
+      if !best_j1 = -1 then progress := false
+      else begin
+        let j1 = !best_j1 and j2 = !best_j2 in
+        trail := (j1, j2) :: !trail;
+        incr trail_len;
+        Gains.apply_swap gains ~j1 ~j2;
+        locked.(j1) <- true;
+        locked.(j2) <- true;
+        incr total_swaps;
+        cum := !cum +. !best_d;
+        if !cum < !best_cum -. config.epsilon then begin
+          best_cum := !cum;
+          best_len := !trail_len;
+          stall := 0
+        end
+        else incr stall
+      end
+    done;
+    let rewind = !trail_len - !best_len in
+    let rec undo k trail =
+      if k > 0 then
+        match trail with
+        | (j1, j2) :: rest ->
+          Gains.apply_swap gains ~j1 ~j2;
+          undo (k - 1) rest
+        | [] -> assert false
+    in
+    undo rewind !trail;
+    if !best_cum < -.config.epsilon then improved := true
+  done;
+  let assignment = Array.sub a 0 real_n in
+  {
+    assignment;
+    cost = Evaluate.objective ?alpha ?beta ?p nl topo a;
+    outer_loops = !outer;
+    swaps = !total_swaps;
+  }

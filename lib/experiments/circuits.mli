@@ -1,0 +1,71 @@
+(** The benchmark suite: seven circuits calibrated to Table I.
+
+    The paper evaluates on seven proprietary industrial circuits
+    (functional-block netlists from a high-level TCM design flow).
+    This module regenerates statistically equivalent instances: the
+    component count, interconnection count and timing-constraint count
+    match Table I exactly; component sizes span two orders of
+    magnitude; wiring follows the generator's planted-cluster model;
+    and there are 16 partitions arranged as a 4×4 grid with Manhattan
+    {m B} and {m D}, the configuration of the paper's experiments.
+
+    Timing budgets are planted around a {e wirelength-optimized
+    reference}: a quick no-timing QBP run produces a good assignment
+    {m ref}, and each sampled wire pair {m (j_1, j_2)} receives the
+    directed budgets {m D_C = D(ref(j_1), ref(j_2)) + slack} with
+    {m slack ∈ \{1, 2\}}.  This mirrors how real budgets arise (a
+    signed-off design meets its cycle time, so the budget set is
+    consistent with at least one good placement), guarantees the
+    feasible region is non-empty (the reference witnesses it), and
+    makes the constraints bind exactly where the optimizer wants to
+    move things — the paper's "very tight Timing and Capacity
+    Constraints" regime. *)
+
+module Netlist := Qbpart_netlist.Netlist
+module Stats := Qbpart_netlist.Stats
+module Topology := Qbpart_topology.Topology
+module Constraints := Qbpart_timing.Constraints
+module Assignment := Qbpart_partition.Assignment
+
+type spec = {
+  name : string;
+  n : int;                  (** Table I "# of components" *)
+  wires : int;              (** Table I "# of wires" *)
+  timing_constraints : int; (** Table I "# of Timing Constraints" *)
+  seed : int;
+}
+
+val table1 : spec list
+(** ckta … cktg with the published counts. *)
+
+type instance = {
+  spec : spec;
+  netlist : Netlist.t;
+  topology : Topology.t;
+  constraints : Constraints.t;
+  reference : Assignment.t; (** feasibility witness (C1 ∧ C2) *)
+}
+
+val build :
+  ?rows:int ->
+  ?cols:int ->
+  ?capacity_slack:float ->
+  ?reference_iterations:int ->
+  spec ->
+  instance
+(** Default geometry 4×4 (16 partitions, as in the paper) with uniform
+    capacity [total_size / M * capacity_slack] ([capacity_slack]
+    defaults to 1.08 — very tight).  [reference_iterations] (default 30) is
+    the budget of the no-timing QBP run that produces the planting
+    reference. *)
+
+val build_all : ?capacity_slack:float -> unit -> instance list
+
+val scaled : name:string -> n:int -> seed:int -> instance
+(** A synthetic family member of arbitrary size ([wires = 12·n],
+    constraints [= 6·n]), used by scaling benchmarks. *)
+
+val stats : instance -> Stats.t
+val problem : ?with_timing:bool -> instance -> Qbpart_core.Problem.t
+(** Package an instance as a PP(1,1); [with_timing] (default true)
+    selects whether {m D_C} is included (Table III vs Table II). *)

@@ -1,0 +1,69 @@
+module Constraints = Qbpart_timing.Constraints
+module Netlist = Qbpart_netlist.Netlist
+
+let table1 ppf instances =
+  Format.fprintf ppf "I. circuit descriptions:@.@.";
+  Format.fprintf ppf "%-8s %15s %12s %25s@." "ckt" "# of components" "# of wires"
+    "# of Timing Constraints";
+  List.iter
+    (fun (inst : Circuits.instance) ->
+      Format.fprintf ppf "%-8s %15d %12.0f %25d@."
+        inst.Circuits.spec.Circuits.name
+        (Netlist.n inst.Circuits.netlist)
+        (Netlist.total_wire_weight inst.Circuits.netlist)
+        (Constraints.count inst.Circuits.constraints))
+    instances;
+  Format.fprintf ppf "@."
+
+let cell ppf (c : Runner.cell) =
+  Format.fprintf ppf "%8.0f %5.1f %8.1f" c.Runner.final c.Runner.improvement_pct
+    c.Runner.cpu_seconds
+
+let results ~title ppf rows =
+  Format.fprintf ppf "%s@.@." title;
+  Format.fprintf ppf "%-8s %8s | %8s %5s %8s | %8s %5s %8s | %8s %5s %8s@." "circuits"
+    "start" "QBP" "(-%)" "cpu" "GFM" "(-%)" "cpu" "GKL" "(-%)" "cpu";
+  List.iter
+    (fun (r : Runner.row) ->
+      Format.fprintf ppf "%-8s %8.0f | %a | %a | %a@." r.Runner.name r.Runner.start cell
+        r.Runner.qbp cell r.Runner.gfm cell r.Runner.gkl)
+    rows;
+  Format.fprintf ppf "@."
+
+let robustness ppf rs =
+  Format.fprintf ppf "Random-start robustness (QBP):@.@.";
+  Format.fprintf ppf "%-8s %14s %18s %s@." "circuits" "from initial" "random feasible"
+    "random-start finals";
+  List.iter
+    (fun (r : Runner.robustness) ->
+      Format.fprintf ppf "%-8s %14.0f %12d/%d       %s@." r.Runner.name r.Runner.from_initial
+        r.Runner.feasible_runs r.Runner.starts
+        (String.concat ", "
+           (List.map (fun c -> Printf.sprintf "%.0f" c) r.Runner.from_random)))
+    rs;
+  Format.fprintf ppf "@."
+
+let summary ppf rows =
+  let n = float_of_int (List.length rows) in
+  let mean f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows /. n in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let qbp_imp = mean (fun r -> r.Runner.qbp.Runner.improvement_pct) in
+  let gfm_imp = mean (fun r -> r.Runner.gfm.Runner.improvement_pct) in
+  let gkl_imp = mean (fun r -> r.Runner.gkl.Runner.improvement_pct) in
+  let qbp_cpu = total (fun r -> r.Runner.qbp.Runner.cpu_seconds) in
+  let gfm_cpu = total (fun r -> r.Runner.gfm.Runner.cpu_seconds) in
+  let gkl_cpu = total (fun r -> r.Runner.gkl.Runner.cpu_seconds) in
+  Format.fprintf ppf
+    "summary: mean improvement QBP %.1f%% / GFM %.1f%% / GKL %.1f%%; total cpu QBP %.1fs / \
+     GFM %.1fs / GKL %.1fs@."
+    qbp_imp gfm_imp gkl_imp qbp_cpu gfm_cpu gkl_cpu;
+  let wins which f =
+    List.length (List.filter f rows) |> fun k ->
+    Format.fprintf ppf "  %s best on %d/%d circuits@." which k (List.length rows)
+  in
+  wins "QBP quality" (fun r ->
+      r.Runner.qbp.Runner.final <= r.Runner.gfm.Runner.final
+      && r.Runner.qbp.Runner.final <= r.Runner.gkl.Runner.final);
+  wins "GFM speed" (fun r ->
+      r.Runner.gfm.Runner.cpu_seconds <= r.Runner.qbp.Runner.cpu_seconds
+      && r.Runner.gfm.Runner.cpu_seconds <= r.Runner.gkl.Runner.cpu_seconds)

@@ -1,0 +1,14 @@
+(** ASCII rendering of the experiment tables in the paper's layout. *)
+
+val table1 : Format.formatter -> Circuits.instance list -> unit
+(** "I. circuit descriptions": components, wires, timing constraints. *)
+
+val results : title:string -> Format.formatter -> Runner.row list -> unit
+(** "II. Without Timing Constraints" / "III. With Timing Constraints":
+    start cost, then (final, -%, cpu) per method. *)
+
+val robustness : Format.formatter -> Runner.robustness list -> unit
+
+val summary : Format.formatter -> Runner.row list -> unit
+(** Aggregate shape check: mean improvement and total CPU per method,
+    plus who wins on quality and speed. *)

@@ -1,0 +1,64 @@
+(** Experiment driver: regenerates the paper's Tables II and III.
+
+    For each circuit, all three methods start from the same feasible
+    initial solution (the paper: "This same initial solution is used
+    for all three approaches"), obtained with the QBP-with-zero-B
+    recipe and falling back to the timing-aware greedy.  Costs are
+    total Manhattan wire length; CPU times are process seconds via
+    [Sys.time]. *)
+
+module Assignment := Qbpart_partition.Assignment
+
+type cell = {
+  final : float;           (** final cost *)
+  improvement_pct : float; (** 100·(start − final)/start, the "(-%)" column *)
+  cpu_seconds : float;
+}
+
+type row = {
+  name : string;
+  start : float;  (** cost of the shared initial solution *)
+  qbp : cell;
+  gfm : cell;
+  gkl : cell;
+}
+
+val initial_solution : Circuits.instance -> Assignment.t
+(** The shared feasible start: zero-B QBP, then greedy fallback, then
+    the instance's reference perturbed by feasibility-preserving random
+    moves.  Always capacity- and timing-feasible.
+    @raise Failure if even the fallbacks fail (cannot happen for
+    generated instances, whose reference witnesses feasibility). *)
+
+val run :
+  ?with_timing:bool ->
+  ?qbp_config:Qbpart_core.Burkard.Config.t ->
+  ?gfm_config:Qbpart_baselines.Gfm.config ->
+  ?gkl_config:Qbpart_baselines.Gkl.config ->
+  ?initial:Assignment.t ->
+  Circuits.instance ->
+  row
+(** One table row.  [with_timing] selects Table III (default) vs
+    Table II semantics.  All three results are verified feasible
+    before being reported; an infeasible result raises [Failure]
+    (it would mean a solver bug, not a bad measurement). *)
+
+val run_suite :
+  ?with_timing:bool ->
+  ?qbp_config:Qbpart_core.Burkard.Config.t ->
+  Circuits.instance list ->
+  row list
+
+type robustness = {
+  name : string;
+  starts : int;            (** number of random starts attempted *)
+  from_initial : float;    (** QBP final cost from the shared start *)
+  from_random : float list; (** QBP final costs from random starts *)
+  feasible_runs : int;     (** how many random starts reached feasibility *)
+}
+
+val random_start_robustness :
+  ?starts:int -> ?with_timing:bool -> Circuits.instance -> robustness
+(** The section-5 claim: "QBP maintained the same kind of good results
+    from any arbitrary initial solution."  Runs QBP from [starts]
+    (default 3) random C3-only assignments. *)

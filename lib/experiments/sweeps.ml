@@ -1,0 +1,158 @@
+module Netlist = Qbpart_netlist.Netlist
+module Constraints = Qbpart_timing.Constraints
+module Problem = Qbpart_core.Problem
+module Burkard = Qbpart_core.Burkard
+
+type scaling_point = {
+  n : int;
+  wires : int;
+  constraints : int;
+  per_iteration_seconds : float;
+  total_seconds : float;
+  iterations : int;
+}
+
+let scaling ?(sizes = [ 100; 200; 400; 800 ]) ?(iterations = 30) () =
+  List.map
+    (fun n ->
+      let inst = Circuits.scaled ~name:(Printf.sprintf "s%d" n) ~n ~seed:(3000 + n) in
+      let problem = Circuits.problem inst in
+      let config = { Burkard.Config.default with iterations } in
+      let t0 = Sys.time () in
+      let (_ : Burkard.result) = Burkard.solve ~config problem in
+      let total_seconds = Sys.time () -. t0 in
+      {
+        n;
+        wires = Netlist.wire_count inst.Circuits.netlist;
+        constraints = Constraints.count inst.Circuits.constraints;
+        per_iteration_seconds = total_seconds /. float_of_int iterations;
+        total_seconds;
+        iterations;
+      })
+    sizes
+
+let pp_scaling ppf points =
+  Format.fprintf ppf "%8s %10s %12s %16s %10s@." "N" "wire pairs" "constraints"
+    "sec/iteration" "total";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%8d %10d %12d %16.4f %10.2f@." p.n p.wires p.constraints
+        p.per_iteration_seconds p.total_seconds)
+    points;
+  (match (points, List.rev points) with
+  | small :: _, big :: _ when small.n > 0 && small.per_iteration_seconds > 0.0 ->
+    let size_ratio = float_of_int big.n /. float_of_int small.n in
+    let time_ratio = big.per_iteration_seconds /. small.per_iteration_seconds in
+    Format.fprintf ppf
+      "size x%.0f -> per-iteration time x%.1f (the dense formulation would give x%.0f)@."
+      size_ratio time_ratio (size_ratio *. size_ratio)
+  | _ -> ())
+
+type sweep_point = {
+  parameter : float;
+  qbp_pct : float;
+  gfm_pct : float;
+  gkl_pct : float;
+  qbp_feasible : bool;
+}
+
+let capacity_sweep ?(slacks = [ 1.30; 1.15; 1.08; 1.05 ]) spec =
+  List.map
+    (fun slack ->
+      let inst = Circuits.build ~capacity_slack:slack spec in
+      match Runner.run ~with_timing:true inst with
+      | row ->
+        {
+          parameter = slack;
+          qbp_pct = row.Runner.qbp.Runner.improvement_pct;
+          gfm_pct = row.Runner.gfm.Runner.improvement_pct;
+          gkl_pct = row.Runner.gkl.Runner.improvement_pct;
+          qbp_feasible = true;
+        }
+      | exception Failure _ ->
+        { parameter = slack; qbp_pct = 0.0; gfm_pct = 0.0; gkl_pct = 0.0; qbp_feasible = false })
+    slacks
+
+type iteration_point = { iterations : int; final : float; cpu_seconds : float }
+
+let iteration_sweep ?(budgets = [ 5; 10; 25; 50; 100; 200 ]) ?(with_timing = true)
+    ?(config = Burkard.Config.default) inst =
+  let initial = Runner.initial_solution inst in
+  let problem = Circuits.problem ~with_timing inst in
+  List.map
+    (fun iterations ->
+      let config = { config with Burkard.Config.iterations } in
+      let t0 = Sys.time () in
+      let result = Burkard.solve ~config ~initial problem in
+      let cpu_seconds = Sys.time () -. t0 in
+      let final =
+        match result.Burkard.best_feasible with
+        | Some (_, c) -> c
+        | None -> result.Burkard.best_cost
+      in
+      { iterations; final; cpu_seconds })
+    budgets
+
+let pp_iteration_sweep ppf points =
+  Format.fprintf ppf "%12s %12s %10s@." "iterations" "final cost" "cpu";
+  List.iter
+    (fun p -> Format.fprintf ppf "%12d %12.0f %9.1fs@." p.iterations p.final p.cpu_seconds)
+    points
+
+type stability = {
+  name : string;
+  seeds : int;
+  qbp_mean : float;
+  qbp_spread : float;
+  gfm_mean : float;
+  gfm_spread : float;
+  gkl_mean : float;
+  gkl_spread : float;
+}
+
+let seed_stability ?(seeds = [ 1; 2; 3 ]) ?(with_timing = true) (spec : Circuits.spec) =
+  let rows =
+    List.map
+      (fun offset ->
+        let inst = Circuits.build { spec with Circuits.seed = spec.Circuits.seed + offset } in
+        Runner.run ~with_timing inst)
+      seeds
+  in
+  let stats f =
+    let xs = List.map f rows in
+    let mean = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+    let lo = List.fold_left Float.min infinity xs in
+    let hi = List.fold_left Float.max neg_infinity xs in
+    (mean, hi -. lo)
+  in
+  let qbp_mean, qbp_spread = stats (fun r -> r.Runner.qbp.Runner.improvement_pct) in
+  let gfm_mean, gfm_spread = stats (fun r -> r.Runner.gfm.Runner.improvement_pct) in
+  let gkl_mean, gkl_spread = stats (fun r -> r.Runner.gkl.Runner.improvement_pct) in
+  {
+    name = spec.Circuits.name;
+    seeds = List.length seeds;
+    qbp_mean;
+    qbp_spread;
+    gfm_mean;
+    gfm_spread;
+    gkl_mean;
+    gkl_spread;
+  }
+
+let pp_stability ppf rows =
+  Format.fprintf ppf "%-8s %6s %18s %18s %18s@." "ckt" "seeds" "QBP mean±spread"
+    "GFM mean±spread" "GKL mean±spread";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-8s %6d %12.1f ± %3.1f %12.1f ± %3.1f %12.1f ± %3.1f@." s.name
+        s.seeds s.qbp_mean s.qbp_spread s.gfm_mean s.gfm_spread s.gkl_mean s.gkl_spread)
+    rows
+
+let pp_sweep ~header ppf points =
+  Format.fprintf ppf "%12s %10s %10s %10s %10s@." header "QBP (-%)" "GFM (-%)" "GKL (-%)"
+    "feasible";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%12.2f %10.1f %10.1f %10.1f %10b@." p.parameter p.qbp_pct p.gfm_pct
+        p.gkl_pct p.qbp_feasible)
+    points

@@ -1,0 +1,86 @@
+(** Parameter sweeps beyond the paper's two tables.
+
+    These back the claims the paper makes in prose:
+
+    - section 4.3: exploiting small {m M} and sparse {m A} makes one
+      Burkard iteration cheap — {!scaling} measures per-iteration cost
+      against circuit size, which should grow near-linearly in
+      {m M·(E+T)} rather than {m M²N²};
+    - abstract/section 5: the methods are compared "under very tight
+      Timing and Capacity Constraints" — {!capacity_sweep} and
+      {!tightness_sweep} show how the three methods' quality gap
+      opens as the constraints tighten. *)
+
+type scaling_point = {
+  n : int;
+  wires : int;
+  constraints : int;
+  per_iteration_seconds : float; (** mean over the run *)
+  total_seconds : float;
+  iterations : int;
+}
+
+val scaling : ?sizes:int list -> ?iterations:int -> unit -> scaling_point list
+(** QBP on the {!Circuits.scaled} family ([sizes] defaults to
+    [[100; 200; 400; 800]]). *)
+
+val pp_scaling : Format.formatter -> scaling_point list -> unit
+
+type sweep_point = {
+  parameter : float;   (** slack factor, or mean timing slack *)
+  qbp_pct : float;     (** improvement percentages from the shared start *)
+  gfm_pct : float;
+  gkl_pct : float;
+  qbp_feasible : bool; (** all three are verified; QBP can in principle fail *)
+}
+
+val capacity_sweep :
+  ?slacks:float list -> Circuits.spec -> sweep_point list
+(** Rebuild one circuit at several capacity slack factors (default
+    [[1.30; 1.15; 1.08; 1.05]]) and run all three methods with timing
+    constraints. *)
+
+val pp_sweep : header:string -> Format.formatter -> sweep_point list -> unit
+
+type iteration_point = {
+  iterations : int;
+  final : float;      (** best feasible objective *)
+  cpu_seconds : float;
+}
+
+val iteration_sweep :
+  ?budgets:int list ->
+  ?with_timing:bool ->
+  ?config:Qbpart_core.Burkard.Config.t ->
+  Circuits.instance ->
+  iteration_point list
+(** Section 4.2: "the solution quality is dependent on the number of
+    iterations, the more CPU time spent, the better the results" — QBP
+    on one instance from the shared start under increasing iteration
+    budgets (default [[5; 10; 25; 50; 100; 200]]).  Pass
+    [Burkard.Config.paper]-style configs to see the pure trajectory:
+    with the polish/repair enhancements on, the best solution tends to
+    saturate within a few iterations. *)
+
+val pp_iteration_sweep : Format.formatter -> iteration_point list -> unit
+
+type stability = {
+  name : string;
+  seeds : int;
+  qbp_mean : float;   (** mean improvement %% over the seed draws *)
+  qbp_spread : float; (** max − min *)
+  gfm_mean : float;
+  gfm_spread : float;
+  gkl_mean : float;
+  gkl_spread : float;
+}
+
+val seed_stability :
+  ?seeds:int list -> ?with_timing:bool -> Circuits.spec -> stability
+(** The paper reports one draw of each circuit; ours are synthetic, so
+    this re-generates a circuit under several seeds (default
+    [[1; 2; 3]] offsets of the spec's seed) and reports the mean and
+    spread of each method's improvement — evidence that the Table II/III
+    shape is a property of the circuit class, not of one lucky draw. *)
+
+val pp_stability : Format.formatter -> stability list -> unit

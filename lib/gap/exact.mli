@@ -1,0 +1,11 @@
+(** Exact GAP solver (depth-first branch and bound).
+
+    Intended for small instances (roughly [n <= 20]); used to validate
+    {!Mthg} in tests and in the solver-quality benchmarks.  The bound
+    is the classic sum of per-item minima over the remaining items. *)
+
+val solve : ?node_limit:int -> Gap.t -> (int array * float) option
+(** Optimal assignment and its cost, or [None] if the instance is
+    infeasible.  Items are explored big-first; [node_limit] (default
+    10 million) caps the search and raises [Failure] when exceeded so
+    callers never hang silently. *)

@@ -1,0 +1,76 @@
+type t = {
+  m : int;
+  n : int;
+  cost : float array array;
+  weight : float array array;
+  capacity : float array;
+}
+
+let check_matrix what m n mat =
+  if Array.length mat <> m then
+    invalid_arg (Printf.sprintf "Gap.make: %s has %d rows, expected %d" what (Array.length mat) m);
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then
+        invalid_arg (Printf.sprintf "Gap.make: %s row %d has %d cols, expected %d" what i (Array.length row) n);
+      Array.iteri
+        (fun j x ->
+          if Float.is_nan x then
+            invalid_arg (Printf.sprintf "Gap.make: %s[%d][%d] is NaN" what i j))
+        row)
+    mat
+
+let make ~cost ~weight ~capacity =
+  let m = Array.length capacity in
+  if m = 0 then invalid_arg "Gap.make: no knapsacks";
+  let n = if Array.length cost = 0 then 0 else Array.length cost.(0) in
+  check_matrix "cost" m n cost;
+  check_matrix "weight" m n weight;
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j w ->
+          if w <= 0.0 then
+            invalid_arg (Printf.sprintf "Gap.make: weight[%d][%d] = %g must be > 0" i j w))
+        row)
+    weight;
+  Array.iteri
+    (fun i c ->
+      if c < 0.0 || Float.is_nan c then
+        invalid_arg (Printf.sprintf "Gap.make: capacity %d = %g" i c))
+    capacity;
+  {
+    m;
+    n;
+    cost = Array.map Array.copy cost;
+    weight = Array.map Array.copy weight;
+    capacity = Array.copy capacity;
+  }
+
+let make_uniform ~cost ~sizes ~capacity =
+  let m = Array.length capacity in
+  let weight = Array.init m (fun _ -> Array.copy sizes) in
+  make ~cost ~weight ~capacity
+
+let cost_of t a =
+  let total = ref 0.0 in
+  Array.iteri (fun j i -> total := !total +. t.cost.(i).(j)) a;
+  !total
+
+let loads t a =
+  let loads = Array.make t.m 0.0 in
+  Array.iteri (fun j i -> loads.(i) <- loads.(i) +. t.weight.(i).(j)) a;
+  loads
+
+let feasible t a =
+  Array.length a = t.n
+  && Array.for_all (fun i -> i >= 0 && i < t.m) a
+  &&
+  let loads = loads t a in
+  Array.for_all2 (fun load cap -> load <= cap) loads t.capacity
+
+let excess t a =
+  let loads = loads t a in
+  let total = ref 0.0 in
+  Array.iteri (fun i load -> total := !total +. Float.max 0.0 (load -. t.capacity.(i))) loads;
+  !total

@@ -1,0 +1,44 @@
+(** Generalized Assignment Problem instances.
+
+    Minimize {m Σ_j c_{σ(j), j}} over assignments {m σ} of [n] items to
+    [m] knapsacks subject to knapsack capacities
+    {m Σ_{σ(j)=i} w_{ij} ≤ cap_i}.
+
+    This is the subproblem solved twice per iteration of the
+    generalized Burkard heuristic (paper section 4.3: "in STEP 4 and
+    STEP 6 we are actually solving Generalized Assignment Problems")
+    and, with {m β = 0} and no timing constraints, the paper's
+    section 2.2.2 special case of the partitioning problem itself.
+    Weights may depend on the knapsack ({m w_{ij}}), as in the GAP
+    literature; the partitioning use-case has {m w_{ij} = s_j}. *)
+
+type t = private {
+  m : int;                      (** knapsacks *)
+  n : int;                      (** items *)
+  cost : float array array;     (** [m × n]: {m c_{ij}} *)
+  weight : float array array;   (** [m × n]: {m w_{ij}}, all > 0 *)
+  capacity : float array;       (** length [m] *)
+}
+
+val make :
+  cost:float array array ->
+  weight:float array array ->
+  capacity:float array ->
+  t
+(** @raise Invalid_argument on dimension mismatch, non-positive
+    weights, negative capacities, or NaN entries. *)
+
+val make_uniform :
+  cost:float array array -> sizes:float array -> capacity:float array -> t
+(** Item weights independent of the knapsack — the partitioning case
+    ({m w_{ij} = s_j}). *)
+
+val cost_of : t -> int array -> float
+(** Objective of an assignment (item [j] in knapsack [a.(j)]). *)
+
+val loads : t -> int array -> float array
+val feasible : t -> int array -> bool
+(** Capacity feasibility; also false if some item is out of range. *)
+
+val excess : t -> int array -> float
+(** Total capacity overflow; 0 iff feasible. *)

@@ -1,0 +1,75 @@
+let shift_pass (g : Gap.t) assignment residual =
+  let improved = ref false in
+  for j = 0 to g.Gap.n - 1 do
+    let from = assignment.(j) in
+    let best = ref from in
+    for i = 0 to g.Gap.m - 1 do
+      if i <> from
+         && g.Gap.weight.(i).(j) <= residual.(i)
+         && g.Gap.cost.(i).(j) < g.Gap.cost.(!best).(j)
+      then best := i
+    done;
+    if !best <> from then begin
+      let i = !best in
+      residual.(from) <- residual.(from) +. g.Gap.weight.(from).(j);
+      residual.(i) <- residual.(i) -. g.Gap.weight.(i).(j);
+      assignment.(j) <- i;
+      improved := true
+    end
+  done;
+  !improved
+
+let swap_pass (g : Gap.t) assignment residual =
+  let improved = ref false in
+  let n = g.Gap.n in
+  for j1 = 0 to n - 1 do
+    for j2 = j1 + 1 to n - 1 do
+      let i1 = assignment.(j1) and i2 = assignment.(j2) in
+      if i1 <> i2 then begin
+        let w11 = g.Gap.weight.(i1).(j1)
+        and w22 = g.Gap.weight.(i2).(j2)
+        and w12 = g.Gap.weight.(i2).(j1)
+        and w21 = g.Gap.weight.(i1).(j2) in
+        let fits1 = residual.(i1) +. w11 -. w21 >= 0.0 in
+        let fits2 = residual.(i2) +. w22 -. w12 >= 0.0 in
+        if fits1 && fits2 then begin
+          let before = g.Gap.cost.(i1).(j1) +. g.Gap.cost.(i2).(j2) in
+          let after = g.Gap.cost.(i2).(j1) +. g.Gap.cost.(i1).(j2) in
+          if after < before then begin
+            residual.(i1) <- residual.(i1) +. w11 -. w21;
+            residual.(i2) <- residual.(i2) +. w22 -. w12;
+            assignment.(j1) <- i2;
+            assignment.(j2) <- i1;
+            improved := true
+          end
+        end
+      end
+    done
+  done;
+  !improved
+
+let residual_of g assignment =
+  let residual = Array.copy g.Gap.capacity in
+  Array.iteri
+    (fun j i -> residual.(i) <- residual.(i) -. g.Gap.weight.(i).(j))
+    assignment;
+  residual
+
+let shift g assignment =
+  let a = Array.copy assignment in
+  let residual = residual_of g a in
+  while shift_pass g a residual do
+    ()
+  done;
+  a
+
+let shift_and_swap g assignment =
+  let a = Array.copy assignment in
+  let residual = residual_of g a in
+  let continue = ref true in
+  while !continue do
+    let s1 = shift_pass g a residual in
+    let s2 = swap_pass g a residual in
+    continue := s1 || s2
+  done;
+  a

@@ -1,0 +1,11 @@
+(** Local improvement for GAP solutions. *)
+
+val shift : Gap.t -> int array -> int array
+(** Repeatedly move single items to a cheaper knapsack with room,
+    until no improving shift exists.  Input must be feasible; the
+    input array is not modified. *)
+
+val shift_and_swap : Gap.t -> int array -> int array
+(** {!shift} interleaved with improving pairwise item swaps (both
+    moves must fit).  Terminates at a local optimum of the combined
+    neighborhood. *)

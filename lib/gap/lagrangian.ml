@@ -1,0 +1,59 @@
+let value (g : Gap.t) ~lambda =
+  if Array.length lambda <> g.Gap.m then invalid_arg "Lagrangian.value: lambda length";
+  Array.iter
+    (fun l -> if l < 0.0 || Float.is_nan l then invalid_arg "Lagrangian.value: negative lambda")
+    lambda;
+  let total = ref 0.0 in
+  for j = 0 to g.Gap.n - 1 do
+    let best = ref infinity in
+    for i = 0 to g.Gap.m - 1 do
+      let c = g.Gap.cost.(i).(j) +. (lambda.(i) *. g.Gap.weight.(i).(j)) in
+      if c < !best then best := c
+    done;
+    total := !total +. !best
+  done;
+  for i = 0 to g.Gap.m - 1 do
+    total := !total -. (lambda.(i) *. g.Gap.capacity.(i))
+  done;
+  !total
+
+(* Subgradient ascent with the diminishing step a/(k+b).  The step
+   scale adapts to the instance via the mean cost magnitude so the
+   routine needs no tuning from callers. *)
+let lower_bound ?(iterations = 100) (g : Gap.t) =
+  let { Gap.m; n; _ } = g in
+  let lambda = Array.make m 0.0 in
+  let best = ref (value g ~lambda) in
+  let magnitude =
+    let s = ref 0.0 in
+    Array.iter (Array.iter (fun c -> s := !s +. Float.abs c)) g.Gap.cost;
+    Float.max 1.0 (!s /. float_of_int (max 1 (m * n)))
+  in
+  for k = 1 to iterations do
+    (* subgradient: relaxed usage minus capacity per knapsack *)
+    let usage = Array.make m 0.0 in
+    for j = 0 to n - 1 do
+      let best_i = ref 0 and best_c = ref infinity in
+      for i = 0 to m - 1 do
+        let c = g.Gap.cost.(i).(j) +. (lambda.(i) *. g.Gap.weight.(i).(j)) in
+        if c < !best_c then begin
+          best_c := c;
+          best_i := i
+        end
+      done;
+      usage.(!best_i) <- usage.(!best_i) +. g.Gap.weight.(!best_i).(j)
+    done;
+    let step = magnitude /. (5.0 +. float_of_int k) in
+    for i = 0 to m - 1 do
+      let gsub = usage.(i) -. g.Gap.capacity.(i) in
+      lambda.(i) <- Float.max 0.0 (lambda.(i) +. (step *. gsub /. Float.max 1.0 g.Gap.capacity.(i)))
+    done;
+    let v = value g ~lambda in
+    if v > !best then best := v
+  done;
+  !best
+
+let gap_certificate g a =
+  if not (Gap.feasible g a) then invalid_arg "Lagrangian.gap_certificate: infeasible assignment";
+  let lb = lower_bound g in
+  (Gap.cost_of g a -. lb) /. Float.max 1.0 lb

@@ -1,0 +1,26 @@
+(** Lagrangian relaxation lower bound for the GAP.
+
+    Jornsten & Nasberg's Lagrangian approach (the paper's reference
+    [14]) relaxes the capacity constraints with multipliers
+    {m λ_i ≥ 0}:
+    {m L(λ) = Σ_j min_i (c_{ij} + λ_i w_{ij}) − Σ_i λ_i cap_i},
+    which lower-bounds the GAP optimum for every {m λ}; the bound is
+    maximized by projected subgradient ascent.  Used to certify the
+    quality of {!Mthg} solutions in tests and benchmarks without
+    paying for exact branch and bound. *)
+
+val value : Gap.t -> lambda:float array -> float
+(** {m L(λ)} for given multipliers (length [m], all ≥ 0).
+    @raise Invalid_argument on a bad [lambda]. *)
+
+val lower_bound : ?iterations:int -> Gap.t -> float
+(** Best bound found by subgradient ascent from {m λ = 0} with the
+    classic diminishing step rule ([iterations] defaults to 100).
+    Always a valid lower bound on the optimal GAP cost; [-inf] never
+    occurs, and for loose capacities the bound typically equals the
+    LP-free assignment bound {m Σ_j min_i c_{ij}}. *)
+
+val gap_certificate : Gap.t -> int array -> float
+(** [gap_certificate g a] is the relative optimality gap certificate
+    [(cost a - lb) / max 1 lb] for a feasible assignment; 0 means
+    provably optimal. @raise Invalid_argument if [a] is infeasible. *)

@@ -1,0 +1,152 @@
+type criterion = Cost | Cost_times_weight | Weight | Weight_per_capacity
+
+let all_criteria = [ Cost; Cost_times_weight; Weight; Weight_per_capacity ]
+
+let desirability (g : Gap.t) criterion i j =
+  let c = g.Gap.cost.(i).(j) and w = g.Gap.weight.(i).(j) in
+  match criterion with
+  | Cost -> c
+  | Cost_times_weight -> c *. w
+  | Weight -> w
+  | Weight_per_capacity ->
+    let cap = g.Gap.capacity.(i) in
+    if cap > 0.0 then w /. cap else infinity
+
+(* Greedy regret construction.  For each unassigned item we track its
+   best and second-best feasible desirability; the item with the
+   largest regret is committed first, so items that are about to lose
+   their good options are placed early.
+
+   Each item's (best, second-best) pair is cached and only recomputed
+   when the knapsack just filled was one of the two (any other
+   knapsack's residual is unchanged, and a knapsack outside the top
+   two that becomes infeasible cannot affect the top two).  This cuts
+   the naive O(n^2 m) construction down to an O(n) selection scan plus
+   the genuinely dirty recomputations per step; a heap-based selection
+   was tried and measured slower, because the cost is dominated by
+   refresh cascades on popular knapsacks, not by the selection scan. *)
+let construct ?(criterion = Cost) (g : Gap.t) =
+  let { Gap.m; n; _ } = g in
+  let residual = Array.copy g.Gap.capacity in
+  let assignment = Array.make n (-1) in
+  let f1 = Array.make n infinity and f2 = Array.make n infinity in
+  let i1 = Array.make n (-1) and i2 = Array.make n (-1) in
+  let refresh j =
+    f1.(j) <- infinity;
+    f2.(j) <- infinity;
+    i1.(j) <- -1;
+    i2.(j) <- -1;
+    for i = 0 to m - 1 do
+      if g.Gap.weight.(i).(j) <= residual.(i) then begin
+        let f = desirability g criterion i j in
+        if f < f1.(j) then begin
+          f2.(j) <- f1.(j);
+          i2.(j) <- i1.(j);
+          f1.(j) <- f;
+          i1.(j) <- i
+        end
+        else if f < f2.(j) then begin
+          f2.(j) <- f;
+          i2.(j) <- i
+        end
+      end
+    done
+  in
+  for j = 0 to n - 1 do
+    refresh j
+  done;
+  let unassigned = ref n in
+  let stuck = ref false in
+  while !unassigned > 0 && not !stuck do
+    let best_item = ref (-1) in
+    let best_regret = ref neg_infinity in
+    for j = 0 to n - 1 do
+      if assignment.(j) = -1 then
+        if i1.(j) = -1 then stuck := true
+        else begin
+          let regret = if f2.(j) = infinity then infinity else f2.(j) -. f1.(j) in
+          if regret > !best_regret then begin
+            best_regret := regret;
+            best_item := j
+          end
+        end
+    done;
+    if (not !stuck) && !best_item >= 0 then begin
+      let j = !best_item in
+      let i = i1.(j) in
+      assignment.(j) <- i;
+      residual.(i) <- residual.(i) -. g.Gap.weight.(i).(j);
+      decr unassigned;
+      for j' = 0 to n - 1 do
+        if assignment.(j') = -1 && (i1.(j') = i || i2.(j') = i) then refresh j'
+      done
+    end
+    else stuck := true
+  done;
+  if !stuck then None else Some assignment
+
+type improver = [ `None | `Shift | `Shift_and_swap ]
+
+let apply_improver improve g a =
+  match improve with
+  | `None -> a
+  | `Shift -> Improve.shift g a
+  | `Shift_and_swap -> Improve.shift_and_swap g a
+
+let solve ?(criteria = all_criteria) ?(improve = `Shift_and_swap) g =
+  let candidates = List.filter_map (fun c -> construct ~criterion:c g) criteria in
+  let candidates = List.map (apply_improver improve g) candidates in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun best a -> if Gap.cost_of g a < Gap.cost_of g best then a else best)
+         first rest)
+
+let relaxed_fill (g : Gap.t) =
+  (* Place every item greedily by cost among fitting knapsacks; if none
+     fits, take the knapsack with maximum residual capacity. *)
+  let { Gap.m; n; _ } = g in
+  let residual = Array.copy g.Gap.capacity in
+  let assignment = Array.make n (-1) in
+  let order = Array.init n Fun.id in
+  (* Big items first: standard first-fit-decreasing flavor. *)
+  let max_weight j =
+    let w = ref 0.0 in
+    for i = 0 to m - 1 do
+      w := Float.max !w g.Gap.weight.(i).(j)
+    done;
+    !w
+  in
+  Array.sort (fun a b -> Float.compare (max_weight b) (max_weight a)) order;
+  Array.iter
+    (fun j ->
+      let best = ref (-1) in
+      for i = 0 to m - 1 do
+        if g.Gap.weight.(i).(j) <= residual.(i)
+           && (!best = -1 || g.Gap.cost.(i).(j) < g.Gap.cost.(!best).(j))
+        then best := i
+      done;
+      let i =
+        if !best >= 0 then !best
+        else begin
+          (* nothing fits: overflow the roomiest knapsack *)
+          let roomiest = ref 0 in
+          for i = 1 to m - 1 do
+            if residual.(i) > residual.(!roomiest) then roomiest := i
+          done;
+          !roomiest
+        end
+      in
+      assignment.(j) <- i;
+      residual.(i) <- residual.(i) -. g.Gap.weight.(i).(j))
+    order;
+  assignment
+
+let solve_relaxed ?criteria ?(improve = `Shift_and_swap) g =
+  match solve ?criteria ~improve g with
+  | Some a -> a
+  | None ->
+    let a = relaxed_fill g in
+    if Gap.feasible g a then apply_improver improve g a else a

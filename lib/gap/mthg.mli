@@ -1,0 +1,45 @@
+(** Martello–Toth heuristic for the Generalized Assignment Problem.
+
+    MTHG ("Knapsack Problems", 1990, chapter 7 — the paper's
+    reference [12]) constructs a solution greedily: repeatedly pick the
+    unassigned item whose {e regret} — the difference between its
+    second-best and best feasible desirability — is largest, and
+    commit it to its best feasible knapsack.  A shift-improvement pass
+    follows.  Several desirability criteria are tried and the best
+    feasible result wins.
+
+    This is the inner solver of Burkard STEP 4 and STEP 6 in the
+    generalized heuristic. *)
+
+type criterion =
+  | Cost                (** {m f_{ij} = c_{ij}} *)
+  | Cost_times_weight   (** {m f_{ij} = c_{ij} · w_{ij}} *)
+  | Weight              (** {m f_{ij} = w_{ij}}: pack tight items first *)
+  | Weight_per_capacity (** {m f_{ij} = w_{ij} / cap_i} *)
+
+val all_criteria : criterion list
+
+val construct : ?criterion:criterion -> Gap.t -> int array option
+(** One greedy construction (no improvement); [None] if it gets stuck
+    with an item that fits nowhere.  Default criterion [Cost]. *)
+
+type improver = [ `None | `Shift | `Shift_and_swap ]
+(** Post-construction local search: nothing, single-item shifts only,
+    or shifts interleaved with pairwise swaps (most thorough, and
+    quadratic in the item count per pass). *)
+
+val solve :
+  ?criteria:criterion list -> ?improve:improver -> Gap.t -> int array option
+(** Run {!construct} under each criterion (default {!all_criteria}),
+    locally improve each feasible result (default [`Shift_and_swap]),
+    return the cheapest.  [None] if every construction got stuck —
+    with very tight capacities the greedy can fail even when the
+    instance is feasible. *)
+
+val solve_relaxed :
+  ?criteria:criterion list -> ?improve:improver -> Gap.t -> int array
+(** Like {!solve} but never fails: items that fit nowhere are placed
+    in the knapsack with maximum residual capacity, so the result may
+    violate C1.  Used by the Burkard iteration to keep making progress
+    on over-tight intermediate subproblems; the caller checks
+    feasibility before accepting the final answer. *)

@@ -1,0 +1,79 @@
+(* Potential-based shortest-augmenting-path Hungarian algorithm
+   (Jonker-Volgenant flavour), O(n^3).  Rows and columns are 1-based
+   internally with index 0 used as the virtual start column, which
+   keeps the augmenting-path bookkeeping branch-free. *)
+
+let validate cost =
+  let n = Array.length cost in
+  if n = 0 then invalid_arg "Hungarian.solve: empty matrix";
+  Array.iteri
+    (fun r row ->
+      if Array.length row <> n then invalid_arg "Hungarian.solve: matrix not square";
+      Array.iteri
+        (fun c x ->
+          if Float.is_nan x || x = infinity || x = neg_infinity then
+            invalid_arg (Printf.sprintf "Hungarian.solve: bad entry at (%d,%d): %g" r c x))
+        row)
+    cost;
+  n
+
+let solve cost =
+  let n = validate cost in
+  let u = Array.make (n + 1) 0.0 in
+  let v = Array.make (n + 1) 0.0 in
+  let p = Array.make (n + 1) 0 in (* p.(j) = row matched to column j; 0 = none *)
+  let way = Array.make (n + 1) 0 in
+  for i = 1 to n do
+    p.(0) <- i;
+    let j0 = ref 0 in
+    let minv = Array.make (n + 1) infinity in
+    let used = Array.make (n + 1) false in
+    let continue = ref true in
+    while !continue do
+      used.(!j0) <- true;
+      let i0 = p.(!j0) in
+      let delta = ref infinity in
+      let j1 = ref 0 in
+      for j = 1 to n do
+        if not used.(j) then begin
+          let cur = cost.(i0 - 1).(j - 1) -. u.(i0) -. v.(j) in
+          if cur < minv.(j) then begin
+            minv.(j) <- cur;
+            way.(j) <- !j0
+          end;
+          if minv.(j) < !delta then begin
+            delta := minv.(j);
+            j1 := j
+          end
+        end
+      done;
+      for j = 0 to n do
+        if used.(j) then begin
+          u.(p.(j)) <- u.(p.(j)) +. !delta;
+          v.(j) <- v.(j) -. !delta
+        end
+        else minv.(j) <- minv.(j) -. !delta
+      done;
+      j0 := !j1;
+      if p.(!j0) = 0 then continue := false
+    done;
+    (* augment along the alternating path *)
+    let j0 = ref !j0 in
+    while !j0 <> 0 do
+      let j1 = way.(!j0) in
+      p.(!j0) <- p.(j1);
+      j0 := j1
+    done
+  done;
+  let assignment = Array.make n (-1) in
+  for j = 1 to n do
+    assignment.(p.(j) - 1) <- j - 1
+  done;
+  let total = ref 0.0 in
+  Array.iteri (fun r c -> total := !total +. cost.(r).(c)) assignment;
+  (assignment, !total)
+
+let cost_of cost assignment =
+  let total = ref 0.0 in
+  Array.iteri (fun r c -> total := !total +. cost.(r).(c)) assignment;
+  !total

@@ -1,0 +1,21 @@
+(** Linear Assignment Problem solver.
+
+    The LAP is the fully degenerate special case of the paper's
+    partitioning problem (section 2.2.2: PP(1,0) with {m M = N} and
+    unit sizes/capacities, so the assignment must be a permutation).
+    Burkard's original heuristic solved a LAP in each iteration; our
+    generalized solver uses a GAP instead, and this exact
+    {m O(n³)} Hungarian algorithm (shortest-augmenting-path / potential
+    form) remains as the reference solver for the QAP special case and
+    for validating the GAP heuristics on degenerate instances. *)
+
+val solve : float array array -> int array * float
+(** [solve cost] for a square [n×n] matrix returns
+    [(assignment, total)] where [assignment.(row) = col] is an optimal
+    perfect matching minimizing [Σ cost.(row).(assignment.(row))].
+    Costs may be negative; the matrix is not modified.
+    @raise Invalid_argument on a non-square or empty matrix, or on
+    NaN/infinite entries. *)
+
+val cost_of : float array array -> int array -> float
+(** Objective value of a given permutation under a cost matrix. *)

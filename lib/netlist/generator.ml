@@ -1,0 +1,96 @@
+type params = {
+  n : int;
+  wires : int;
+  size_min : float;
+  size_max : float;
+  clusters : int;
+  locality : float;
+  max_multiplicity : int;
+}
+
+let default_params ~n ~wires =
+  {
+    n;
+    wires;
+    size_min = 1.0;
+    size_max = 100.0;
+    clusters = 20;
+    locality = 0.8;
+    max_multiplicity = 4;
+  }
+
+let validate p =
+  if p.n < 2 then invalid_arg "Generator: need at least 2 components";
+  if p.wires < 0 then invalid_arg "Generator: negative wire count";
+  if p.size_min <= 0.0 || p.size_max < p.size_min then
+    invalid_arg "Generator: need 0 < size_min <= size_max";
+  if p.clusters < 1 then invalid_arg "Generator: need >= 1 cluster";
+  if p.locality < 0.0 || p.locality > 1.0 then invalid_arg "Generator: locality not in [0,1]";
+  if p.max_multiplicity < 1 then invalid_arg "Generator: max_multiplicity must be >= 1"
+
+(* Cluster labels are a balanced random assignment so no cluster is
+   empty (as long as n >= clusters). *)
+let cluster_labels rng p =
+  let labels = Array.init p.n (fun j -> j mod p.clusters) in
+  Rng.shuffle rng labels;
+  labels
+
+let hidden_clusters rng p =
+  validate p;
+  cluster_labels rng p
+
+let generate ?(name_prefix = "c") rng p =
+  validate p;
+  let labels = cluster_labels rng p in
+  let by_cluster = Array.make p.clusters [] in
+  Array.iteri (fun j c -> by_cluster.(c) <- j :: by_cluster.(c)) labels;
+  let by_cluster = Array.map Array.of_list by_cluster in
+  let b = Netlist.Builder.create () in
+  for j = 0 to p.n - 1 do
+    let size = Rng.log_uniform rng ~lo:p.size_min ~hi:p.size_max in
+    ignore (Netlist.Builder.add_component b ~name:(Printf.sprintf "%s%d" name_prefix j) ~size ())
+  done;
+  (* Draw endpoint pairs until the interconnection budget is spent.
+     Intra-cluster picks need a cluster with >= 2 members. *)
+  let pick_pair () =
+    let intra = Rng.float rng 1.0 < p.locality in
+    if intra then begin
+      let rec find_cluster tries =
+        let c = by_cluster.(Rng.int rng p.clusters) in
+        if Array.length c >= 2 || tries > 50 then c else find_cluster (tries + 1)
+      in
+      let c = find_cluster 0 in
+      if Array.length c >= 2 then begin
+        let a = Rng.pick rng c in
+        let rec other () =
+          let x = Rng.pick rng c in
+          if x = a then other () else x
+        in
+        (a, other ())
+      end
+      else
+        let a = Rng.int rng p.n in
+        let rec other () =
+          let x = Rng.int rng p.n in
+          if x = a then other () else x
+        in
+        (a, other ())
+    end
+    else begin
+      let a = Rng.int rng p.n in
+      let rec other () =
+        let x = Rng.int rng p.n in
+        if x = a then other () else x
+      in
+      (a, other ())
+    end
+  in
+  let remaining = ref p.wires in
+  while !remaining > 0 do
+    let j1, j2 = pick_pair () in
+    let w = 1 + Rng.int rng p.max_multiplicity in
+    let w = min w !remaining in
+    Netlist.Builder.add_wire b j1 j2 ~weight:(float_of_int w) ();
+    remaining := !remaining - w
+  done;
+  Netlist.Builder.build b

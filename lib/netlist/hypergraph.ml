@@ -1,0 +1,62 @@
+type net = { name : string; terminals : int list; weight : float }
+type t = { n : int; nets : net list }
+
+let normalize_net ~n net =
+  if net.weight <= 0.0 || Float.is_nan net.weight then
+    invalid_arg (Printf.sprintf "Hypergraph: net %S has weight %g" net.name net.weight);
+  let terminals = List.sort_uniq Int.compare net.terminals in
+  List.iter
+    (fun t ->
+      if t < 0 || t >= n then
+        invalid_arg (Printf.sprintf "Hypergraph: net %S terminal %d out of range" net.name t))
+    terminals;
+  if List.length terminals < 2 then
+    invalid_arg (Printf.sprintf "Hypergraph: net %S needs >= 2 distinct terminals" net.name);
+  { net with terminals }
+
+let make ~n nets =
+  if n < 0 then invalid_arg "Hypergraph.make: negative n";
+  { n; nets = List.map (normalize_net ~n) nets }
+
+let n t = t.n
+let nets t = t.nets
+let net_count t = List.length t.nets
+let pin_count t = List.fold_left (fun acc net -> acc + List.length net.terminals) 0 t.nets
+
+type expansion = Clique | Star
+
+let expand t ~components expansion =
+  let wires = ref [] in
+  let add u v w = if u <> v then wires := Wire.make u v ~weight:w :: !wires in
+  List.iter
+    (fun net ->
+      let k = List.length net.terminals in
+      match expansion with
+      | Star ->
+        (match net.terminals with
+        | driver :: rest -> List.iter (fun sink -> add driver sink net.weight) rest
+        | [] -> assert false)
+      | Clique ->
+        let w = net.weight *. 2.0 /. float_of_int k in
+        let rec pairs = function
+          | [] -> ()
+          | u :: rest ->
+            List.iter (fun v -> add u v w) rest;
+            pairs rest
+        in
+        pairs net.terminals)
+    t.nets;
+  Netlist.make ~components ~wires:!wires
+
+let partitions_spanned net assignment =
+  List.sort_uniq Int.compare (List.map (fun j -> assignment.(j)) net.terminals)
+
+let cut_nets t assignment =
+  List.fold_left
+    (fun acc net -> if List.length (partitions_spanned net assignment) > 1 then acc + 1 else acc)
+    0 t.nets
+
+let external_degree t assignment =
+  List.fold_left
+    (fun acc net -> acc + List.length (partitions_spanned net assignment) - 1)
+    0 t.nets

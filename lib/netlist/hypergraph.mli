@@ -1,0 +1,49 @@
+(** Multi-terminal nets and their two-terminal expansions.
+
+    Real circuit netlists connect components through multi-terminal
+    nets (hyperedges); the paper's interconnection matrix {m A} is a
+    two-terminal (graph) model, {m a_{j_1 j_2}} counting the
+    interconnections between a component pair.  This module provides
+    the standard expansions used to feed hypergraph netlists into
+    graph-based partitioners:
+
+    - {e clique}: a k-terminal net becomes {m k(k-1)/2} wires, each of
+      weight {m w·2/k} (so the total weight a net contributes grows
+      like {m k-1}, the usual normalization that keeps large nets from
+      dominating);
+    - {e star}: each terminal connects to the net's first terminal
+      (the driver) with weight {m w} — linear in {m k}, exact for
+      2-terminal nets. *)
+
+type net = { name : string; terminals : int list; weight : float }
+(** A hyperedge over component ids; [weight] defaults to 1 in
+    constructors.  At least two distinct terminals are required. *)
+
+type t
+(** An immutable list of nets over [n] components. *)
+
+val make : n:int -> net list -> t
+(** @raise Invalid_argument if a net has fewer than two distinct
+    terminals, an out-of-range terminal, or non-positive weight.
+    Duplicate terminals within a net are merged. *)
+
+val n : t -> int
+val nets : t -> net list
+val net_count : t -> int
+val pin_count : t -> int
+(** Total terminals over all nets. *)
+
+type expansion = Clique | Star
+
+val expand : t -> components:Component.t list -> expansion -> Netlist.t
+(** Build the two-terminal netlist; parallel expanded wires merge.
+    [components] supplies sizes/names and must have ids [0..n-1]. *)
+
+val cut_nets : t -> int array -> int
+(** Number of nets spanning more than one partition under an
+    assignment — the hypergraph cut metric, for comparing against the
+    expanded wire metrics. *)
+
+val external_degree : t -> int array -> int
+(** Sum over nets of (number of distinct partitions spanned − 1): the
+    "K-1" hypergraph cut cost. *)

@@ -1,0 +1,153 @@
+type t = {
+  components : Component.t array;
+  wires : Wire.t array;                (* merged, sorted, each pair once *)
+  adj : (int * float) array array;     (* adjacency built at construction *)
+  by_name : (string, int) Hashtbl.t;
+  total_size : float;
+  total_wire_weight : float;
+}
+
+let build_adjacency n wires =
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun w ->
+      deg.(Wire.u w) <- deg.(Wire.u w) + 1;
+      deg.(Wire.v w) <- deg.(Wire.v w) + 1)
+    wires;
+  let adj = Array.init n (fun j -> Array.make deg.(j) (0, 0.0)) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun w ->
+      let u = Wire.u w and v = Wire.v w and x = Wire.weight w in
+      adj.(u).(fill.(u)) <- (v, x);
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- (u, x);
+      fill.(v) <- fill.(v) + 1)
+    wires;
+  Array.iter (fun row -> Array.sort (fun (a, _) (b, _) -> Int.compare a b) row) adj;
+  adj
+
+let merge_wires n wire_list =
+  (* Sum weights of parallel wires; key = u * n + v with u < v. *)
+  let tbl = Hashtbl.create (List.length wire_list) in
+  List.iter
+    (fun w ->
+      let u = Wire.u w and v = Wire.v w in
+      if u < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Netlist: wire %d-%d references unknown component" u v);
+      let key = (u * n) + v in
+      let prev = match Hashtbl.find_opt tbl key with Some x -> x | None -> 0.0 in
+      Hashtbl.replace tbl key (prev +. Wire.weight w))
+    wire_list;
+  let merged =
+    Hashtbl.fold (fun key x acc -> Wire.make (key / n) (key mod n) ~weight:x :: acc) tbl []
+  in
+  let arr = Array.of_list merged in
+  Array.sort Wire.compare arr;
+  arr
+
+let make ~components ~wires =
+  let components = Array.of_list components in
+  let n = Array.length components in
+  Array.iteri
+    (fun idx c ->
+      if Component.id c <> idx then
+        invalid_arg
+          (Printf.sprintf "Netlist.make: component %S has id %d, expected %d"
+             (Component.name c) (Component.id c) idx))
+    components;
+  let by_name = Hashtbl.create n in
+  Array.iter
+    (fun c ->
+      let name = Component.name c in
+      if Hashtbl.mem by_name name then
+        invalid_arg (Printf.sprintf "Netlist.make: duplicate component name %S" name);
+      Hashtbl.replace by_name name (Component.id c))
+    components;
+  let wires = merge_wires n wires in
+  let adj = build_adjacency n wires in
+  let total_size = Array.fold_left (fun acc c -> acc +. Component.size c) 0.0 components in
+  let total_wire_weight = Array.fold_left (fun acc w -> acc +. Wire.weight w) 0.0 wires in
+  { components; wires; adj; by_name; total_size; total_wire_weight }
+
+module Builder = struct
+  type t = {
+    mutable comps : Component.t list; (* reversed *)
+    mutable count : int;
+    mutable wire_list : Wire.t list;
+    names : (string, unit) Hashtbl.t;
+  }
+
+  let create () = { comps = []; count = 0; wire_list = []; names = Hashtbl.create 64 }
+
+  let add_component b ?name ~size () =
+    let id = b.count in
+    let name = match name with Some s -> s | None -> Printf.sprintf "c%d" id in
+    if Hashtbl.mem b.names name then
+      invalid_arg (Printf.sprintf "Builder.add_component: duplicate name %S" name);
+    Hashtbl.replace b.names name ();
+    b.comps <- Component.make ~id ~name ~size :: b.comps;
+    b.count <- id + 1;
+    id
+
+  let add_wire b j1 j2 ?(weight = 1.0) () =
+    if j1 < 0 || j1 >= b.count || j2 < 0 || j2 >= b.count then
+      invalid_arg (Printf.sprintf "Builder.add_wire: component id out of range (%d, %d)" j1 j2);
+    b.wire_list <- Wire.make j1 j2 ~weight :: b.wire_list
+
+  let build b = make ~components:(List.rev b.comps) ~wires:b.wire_list
+end
+
+let n t = Array.length t.components
+
+let component t j =
+  if j < 0 || j >= n t then invalid_arg (Printf.sprintf "Netlist.component: id %d out of range" j);
+  t.components.(j)
+
+let components t = Array.copy t.components
+let size t j = Component.size (component t j)
+let sizes t = Array.map Component.size t.components
+let total_size t = t.total_size
+let find_by_name t name = Hashtbl.find_opt t.by_name name
+let wires t = Array.copy t.wires
+let wire_count t = Array.length t.wires
+let total_wire_weight t = t.total_wire_weight
+
+let adj t j =
+  if j < 0 || j >= n t then invalid_arg (Printf.sprintf "Netlist.adj: id %d out of range" j);
+  t.adj.(j)
+
+let degree t j = Array.length (adj t j)
+
+let connection t j1 j2 =
+  if j1 = j2 then 0.0
+  else
+    let row = adj t j1 in
+    (* Binary search over the neighbor-sorted row. *)
+    let rec go lo hi =
+      if lo >= hi then 0.0
+      else
+        let mid = (lo + hi) / 2 in
+        let nb, x = row.(mid) in
+        if nb = j2 then x else if nb < j2 then go (mid + 1) hi else go lo mid
+    in
+    go 0 (Array.length row)
+
+let connection_matrix t =
+  let m = Sparse_matrix.create ~rows:(n t) ~cols:(n t) () in
+  Array.iter
+    (fun w ->
+      Sparse_matrix.set m (Wire.u w) (Wire.v w) (Wire.weight w);
+      Sparse_matrix.set m (Wire.v w) (Wire.u w) (Wire.weight w))
+    t.wires;
+  m
+
+let equal a b =
+  Array.length a.components = Array.length b.components
+  && Array.for_all2 Component.equal a.components b.components
+  && Array.length a.wires = Array.length b.wires
+  && Array.for_all2 Wire.equal a.wires b.wires
+
+let pp ppf t =
+  Format.fprintf ppf "netlist<%d components, %d wire pairs, %g interconnections, size %g>"
+    (n t) (wire_count t) t.total_wire_weight t.total_size

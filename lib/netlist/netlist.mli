@@ -1,0 +1,91 @@
+(** Circuits: components plus weighted interconnections.
+
+    This is the circuit description of the paper's section 2.1 (input
+    part I): a set {m J} of {m N} components with sizes {m s_j} and the
+    sparse interconnection matrix {m A}.  The structure is immutable
+    once built; construction goes through {!Builder} or {!make}.
+    Parallel wires between the same pair of components are merged by
+    summing their weights, exactly as {m a_{j_1 j_2}} counts the number
+    of interconnections. *)
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : unit -> t
+
+  val add_component : t -> ?name:string -> size:float -> unit -> int
+  (** Returns the new component's dense id.  [name] defaults to
+      ["c<id>"].
+      @raise Invalid_argument on duplicate name or [size <= 0]. *)
+
+  val add_wire : t -> int -> int -> ?weight:float -> unit -> unit
+  (** [add_wire b j1 j2 ~weight ()] adds [weight] (default [1.])
+      interconnections between two existing, distinct components;
+      repeated calls accumulate.
+      @raise Invalid_argument on unknown ids, self-loop, or
+      non-positive weight. *)
+
+  val build : t -> netlist
+end
+
+val make : components:Component.t list -> wires:Wire.t list -> t
+(** Direct construction.  Component ids must be exactly [0..n-1] in
+    order; wires must reference valid ids.  Parallel wires are merged.
+    @raise Invalid_argument otherwise. *)
+
+(** {1 Components} *)
+
+val n : t -> int
+(** Number of components, the paper's {m N}. *)
+
+val component : t -> int -> Component.t
+val components : t -> Component.t array
+(** The backing array is a copy; mutation does not affect [t]. *)
+
+val size : t -> int -> float
+(** [size t j] is {m s_j}. *)
+
+val sizes : t -> float array
+(** Fresh array of all sizes, indexed by id. *)
+
+val total_size : t -> float
+val find_by_name : t -> string -> int option
+
+(** {1 Wires} *)
+
+val wires : t -> Wire.t array
+(** All merged wires, each unordered pair at most once, sorted.  The
+    backing array is a copy. *)
+
+val wire_count : t -> int
+(** Number of distinct connected pairs. *)
+
+val total_wire_weight : t -> float
+(** Sum of all wire weights = total number of interconnections; the
+    paper's "# of wires" column of Table I. *)
+
+val adj : t -> int -> (int * float) array
+(** [adj t j] are [(neighbor, weight)] pairs for every component wired
+    to [j], neighbor-sorted.  The returned array is shared and must not
+    be mutated; this is the hot path of every solver. *)
+
+val degree : t -> int -> int
+(** Number of distinct neighbors. *)
+
+val connection : t -> int -> int -> float
+(** [connection t j1 j2] is {m a_{j_1 j_2}} (0 if unwired or equal). *)
+
+val connection_matrix : t -> Sparse_matrix.t
+(** The full symmetric {m A} as a fresh sparse matrix (both triangles
+    populated). *)
+
+(** {1 Misc} *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** One-line summary. *)

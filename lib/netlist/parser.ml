@@ -1,0 +1,80 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Fail of error
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Fail { line; message })) fmt
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let float_of_token ln what s =
+  match float_of_string_opt s with
+  | Some x -> x
+  | None -> fail ln "invalid %s %S" what s
+
+let parse_lines lines =
+  let b = Netlist.Builder.create () in
+  let ids = Hashtbl.create 64 in
+  let lookup ln name =
+    match Hashtbl.find_opt ids name with
+    | Some id -> id
+    | None -> fail ln "unknown component %S" name
+  in
+  List.iteri
+    (fun idx raw ->
+      let ln = idx + 1 in
+      let raw = match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let raw = match String.index_opt raw ';' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      match tokens raw with
+      | [] -> ()
+      | [ "component"; name; size ] ->
+        if Hashtbl.mem ids name then fail ln "duplicate component %S" name;
+        let size = float_of_token ln "size" size in
+        if size <= 0.0 then fail ln "component %S: size must be > 0" name;
+        Hashtbl.replace ids name (Netlist.Builder.add_component b ~name ~size ())
+      | "component" :: _ -> fail ln "component syntax: component <name> <size>"
+      | [ "wire"; n1; n2 ] | [ "wire"; n1; n2; _ ] as toks ->
+        let weight =
+          match toks with
+          | [ _; _; _; w ] ->
+            let w = float_of_token ln "weight" w in
+            if w <= 0.0 then fail ln "wire weight must be > 0";
+            w
+          | _ -> 1.0
+        in
+        let j1 = lookup ln n1 and j2 = lookup ln n2 in
+        if j1 = j2 then fail ln "self-loop wire on %S" n1;
+        Netlist.Builder.add_wire b j1 j2 ~weight ()
+      | "wire" :: _ -> fail ln "wire syntax: wire <name1> <name2> [weight]"
+      | cmd :: _ -> fail ln "unknown declaration %S" cmd)
+    lines;
+  Netlist.Builder.build b
+
+let parse_string s =
+  match parse_lines (String.split_on_char '\n' s) with
+  | nl -> Ok nl
+  | exception Fail e -> Error e
+
+let parse_channel ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  parse_string (Buffer.contents buf)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> parse_channel ic)

@@ -1,0 +1,22 @@
+(** Textual netlist format reader.
+
+    Line-oriented format, one declaration per line:
+    {v
+    # comment (also ';')
+    component <name> <size>
+    wire <name1> <name2> [weight]
+    v}
+    Names are whitespace-free tokens; [weight] defaults to 1.  Wires
+    must reference previously declared components.  Parallel [wire]
+    lines accumulate.  This is the on-disk format produced by
+    {!Printer} and consumed by the [qbpart] command-line tool. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val parse_string : string -> (Netlist.t, error) result
+val parse_channel : in_channel -> (Netlist.t, error) result
+val parse_file : string -> (Netlist.t, error) result
+(** @raise Sys_error if the file cannot be opened. *)

@@ -1,0 +1,23 @@
+let to_buffer buf nl =
+  Buffer.add_string buf "# qbpart netlist\n";
+  Array.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "component %s %.17g\n" (Component.name c) (Component.size c)))
+    (Netlist.components nl);
+  Array.iter
+    (fun w ->
+      let name j = Component.name (Netlist.component nl j) in
+      Buffer.add_string buf
+        (Printf.sprintf "wire %s %s %.17g\n" (name (Wire.u w)) (name (Wire.v w)) (Wire.weight w)))
+    (Netlist.wires nl)
+
+let to_string nl =
+  let buf = Buffer.create 4096 in
+  to_buffer buf nl;
+  Buffer.contents buf
+
+let to_file path nl =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc (to_string nl))

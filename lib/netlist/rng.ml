@@ -1,0 +1,83 @@
+(* xoshiro256** seeded through splitmix64.  The constants and update
+   rules follow the published reference implementations; the only
+   subtlety is that OCaml ints are 63-bit, so we keep state in int64
+   and expose 62-bit non-negative ints. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let ( +% ) = Int64.add and ( *% ) = Int64.mul in
+  let z = !state +% 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = (Int64.logxor z (Int64.shift_right_logical z 30)) *% 0xBF58476D1CE4E5B9L in
+  let z = (Int64.logxor z (Int64.shift_right_logical z 27)) *% 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let split t =
+  let seed = bits62 t in
+  create seed
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let max = 0x3FFFFFFFFFFFFFFF in
+  let limit = max - (max mod bound) in
+  let rec draw () =
+    let v = bits62 t in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let log_uniform t ~lo ~hi =
+  if lo <= 0.0 || hi < lo then invalid_arg "Rng.log_uniform: need 0 < lo <= hi";
+  let llo = log lo and lhi = log hi in
+  exp (llo +. float t (lhi -. llo))
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let permutation t n =
+  let arr = Array.init n (fun i -> i) in
+  shuffle t arr;
+  arr

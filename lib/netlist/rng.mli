@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generator.
+
+    A small, self-contained splitmix64/xoshiro256** implementation so
+    that circuit generation, solver tie-breaking, and experiments are
+    reproducible regardless of the OCaml stdlib [Random] version.  All
+    generators in this repository thread a value of this type
+    explicitly; there is no global state. *)
+
+type t
+(** Mutable PRNG state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed.  Equal seeds
+    yield equal streams. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] draws from [t] and returns a fresh generator whose stream
+    is (for practical purposes) independent of [t]'s subsequent
+    output.  Used to give each sub-task its own stream. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val log_uniform : t -> lo:float -> hi:float -> float
+(** Log-uniformly distributed in [lo, hi]; [0 < lo <= hi].  Used for
+    component sizes that span several orders of magnitude. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform random permutation of [0..n-1]. *)

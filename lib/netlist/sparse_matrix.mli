@@ -1,0 +1,58 @@
+(** Mutable sparse matrices over [float].
+
+    Row-major sparse storage used for the paper's interconnection
+    matrix {m A} and timing-budget matrix {m D_C}, both of which are
+    very sparse for real circuits (section 4.3: "if the interconnection
+    matrix A is sparse, the cost matrix Q-hat will be sparse").  Entries
+    that were never set read back as the matrix's [default]
+    (0 for {m A}, +inf for {m D_C}). *)
+
+type t
+
+val create : ?default:float -> rows:int -> cols:int -> unit -> t
+(** Fresh matrix with every entry equal to [default] (default [0.]). *)
+
+val rows : t -> int
+val cols : t -> int
+val default : t -> float
+
+val get : t -> int -> int -> float
+(** [get m r c]; out-of-range indices raise [Invalid_argument]. *)
+
+val set : t -> int -> int -> float -> unit
+(** [set m r c x] stores [x].  Storing the default erases the entry. *)
+
+val add : t -> int -> int -> float -> unit
+(** [add m r c x] is [set m r c (get m r c + x)] — but note that for a
+    matrix whose default is not finite this only makes sense on
+    explicitly set entries. *)
+
+val mem : t -> int -> int -> bool
+(** Whether the entry is explicitly stored (differs from default). *)
+
+val nnz : t -> int
+(** Number of explicitly stored entries. *)
+
+val iter : t -> (int -> int -> float -> unit) -> unit
+(** Iterate over stored entries in row-major, column-sorted order. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** Iterate over the stored entries of one row in column order. *)
+
+val row_entries : t -> int -> (int * float) list
+(** Stored entries of one row, column-sorted. *)
+
+val fold : t -> init:'a -> f:('a -> int -> int -> float -> 'a) -> 'a
+
+val copy : t -> t
+
+val to_dense : t -> float array array
+(** Fully materialized matrix; intended for small matrices in tests
+    and for the worked example of the paper's section 3.3. *)
+
+val of_dense : ?default:float -> float array array -> t
+(** @raise Invalid_argument on ragged input. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the represented (dense) contents, including
+    defaults. *)

@@ -1,0 +1,43 @@
+module Netlist = Qbpart_netlist.Netlist
+module Wire = Qbpart_netlist.Wire
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Check = Qbpart_timing.Check
+
+let wirelength nl topo a =
+  Array.fold_left
+    (fun acc w ->
+      acc +. (Wire.weight w *. Topology.b topo a.(Wire.u w) a.(Wire.v w)))
+    0.0 (Netlist.wires nl)
+
+let linear ~p a =
+  let total = ref 0.0 in
+  Array.iteri (fun j i -> total := !total +. p.(i).(j)) a;
+  !total
+
+let objective ?(alpha = 1.0) ?(beta = 1.0) ?p nl topo a =
+  let lin = match p with None -> 0.0 | Some p -> linear ~p a in
+  (alpha *. lin) +. (beta *. wirelength nl topo a)
+
+let penalized ?alpha ?beta ?p ~penalty nl topo constraints a =
+  objective ?alpha ?beta ?p nl topo a
+  +. (penalty *. float_of_int (Check.count constraints topo ~assignment:a))
+
+let loads nl topo a = Assignment.loads nl ~m:(Topology.m topo) a
+
+let capacity_excess nl topo a =
+  let loads = loads nl topo a in
+  Array.mapi (fun i load -> Float.max 0.0 (load -. Topology.capacity topo i)) loads
+
+let capacity_feasible nl topo a =
+  Array.for_all (fun x -> x <= 0.0) (capacity_excess nl topo a)
+
+let cut_wires nl a =
+  Array.fold_left
+    (fun acc w -> if a.(Wire.u w) <> a.(Wire.v w) then acc + 1 else acc)
+    0 (Netlist.wires nl)
+
+let external_weight nl a =
+  Array.fold_left
+    (fun acc w -> if a.(Wire.u w) <> a.(Wire.v w) then acc +. Wire.weight w else acc)
+    0.0 (Netlist.wires nl)

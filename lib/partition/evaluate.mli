@@ -1,0 +1,62 @@
+(** Cost evaluation for assignments.
+
+    Implements the paper's objective
+    {m α·Σ p_{ij} x_{ij} + β·Σ a_{j_1 j_2} b_{𝒜(j_1) 𝒜(j_2)}}
+    (equation (1)).  Wires are stored once per unordered pair, so the
+    quadratic term counts each interconnection once — this is the
+    "total Manhattan wire length" reported in the paper's tables when
+    {m B} is the Manhattan metric.  The penalized variants additionally
+    charge the embedding penalty for each violated directed timing
+    constraint, matching the cost surface that the QBP solver
+    minimizes. *)
+
+module Netlist := Qbpart_netlist.Netlist
+module Topology := Qbpart_topology.Topology
+module Constraints := Qbpart_timing.Constraints
+
+val wirelength : Netlist.t -> Topology.t -> Assignment.t -> float
+(** Quadratic term with {m β = 1}: {m Σ_{wires} w · b_{𝒜(u) 𝒜(v)}}. *)
+
+val linear : p:float array array -> Assignment.t -> float
+(** Linear term with {m α = 1}: {m Σ_j p_{𝒜(j), j}}.  [p] is the
+    {m M×N} assignment-cost matrix. *)
+
+val objective :
+  ?alpha:float ->
+  ?beta:float ->
+  ?p:float array array ->
+  Netlist.t ->
+  Topology.t ->
+  Assignment.t ->
+  float
+(** Equation (1).  [alpha] and [beta] default to 1; a missing [p] is
+    all-zero. *)
+
+val penalized :
+  ?alpha:float ->
+  ?beta:float ->
+  ?p:float array array ->
+  penalty:float ->
+  Netlist.t ->
+  Topology.t ->
+  Constraints.t ->
+  Assignment.t ->
+  float
+(** {!objective} plus [penalty] per violated directed timing
+    constraint — the value of {m yᵀQ̂y} up to the convention that each
+    unordered wire is counted once. *)
+
+val loads : Netlist.t -> Topology.t -> Assignment.t -> float array
+(** Size occupied in each partition. *)
+
+val capacity_excess : Netlist.t -> Topology.t -> Assignment.t -> float array
+(** Per-partition {m max(0, load_i − c_i)}; all zeros iff C1 holds. *)
+
+val capacity_feasible : Netlist.t -> Topology.t -> Assignment.t -> bool
+
+val cut_wires : Netlist.t -> Assignment.t -> int
+(** Number of wire pairs whose endpoints sit in different partitions. *)
+
+val external_weight : Netlist.t -> Assignment.t -> float
+(** Total interconnection weight crossing partition boundaries
+    ({!wirelength} with the [Crossings] metric). *)

@@ -1,0 +1,61 @@
+module Netlist = Qbpart_netlist.Netlist
+module Wire = Qbpart_netlist.Wire
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Check = Qbpart_timing.Check
+
+type t = {
+  wirelength : float;
+  cut_wires : int;
+  external_weight : float;
+  utilization : float array;
+  max_utilization : float;
+  timing_violations : int;
+  worst_slack : float;
+  feasible : bool;
+}
+
+let compute ?constraints nl topo a =
+  let loads = Evaluate.loads nl topo a in
+  let utilization =
+    Array.mapi
+      (fun i load ->
+        let cap = Topology.capacity topo i in
+        if cap > 0.0 then load /. cap else if load > 0.0 then infinity else 0.0)
+      loads
+  in
+  let timing_violations, worst_slack =
+    match constraints with
+    | None -> (0, infinity)
+    | Some c -> (Check.count c topo ~assignment:a, Check.worst_slack c topo ~assignment:a)
+  in
+  {
+    wirelength = Evaluate.wirelength nl topo a;
+    cut_wires = Evaluate.cut_wires nl a;
+    external_weight = Evaluate.external_weight nl a;
+    utilization;
+    max_utilization = Array.fold_left Float.max 0.0 utilization;
+    timing_violations;
+    worst_slack;
+    feasible = Validate.is_feasible ?constraints nl topo a;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "wirelength        %.1f@." t.wirelength;
+  Format.fprintf ppf "cut wires         %d (weight %.1f)@." t.cut_wires t.external_weight;
+  Format.fprintf ppf "max utilization   %.1f%%@." (100.0 *. t.max_utilization);
+  Format.fprintf ppf "timing violations %d (worst slack %g)@." t.timing_violations
+    t.worst_slack;
+  Format.fprintf ppf "feasible          %b@." t.feasible
+
+let cut_matrix nl ~m a =
+  let matrix = Array.make_matrix m m 0.0 in
+  Array.iter
+    (fun w ->
+      let p1 = a.(Wire.u w) and p2 = a.(Wire.v w) in
+      if p1 <> p2 then begin
+        matrix.(p1).(p2) <- matrix.(p1).(p2) +. Wire.weight w;
+        matrix.(p2).(p1) <- matrix.(p2).(p1) +. Wire.weight w
+      end)
+    (Netlist.wires nl);
+  matrix

@@ -1,0 +1,34 @@
+(** Reporting metrics for a finished assignment.
+
+    Everything the evaluators compute, packaged for human-readable
+    reports (the CLI's [eval] subcommand and the examples). *)
+
+module Netlist := Qbpart_netlist.Netlist
+module Topology := Qbpart_topology.Topology
+module Constraints := Qbpart_timing.Constraints
+
+type t = {
+  wirelength : float;           (** {m Σ w·b} over wires *)
+  cut_wires : int;              (** wire pairs crossing partitions *)
+  external_weight : float;      (** crossing interconnection weight *)
+  utilization : float array;    (** per-partition load / capacity *)
+  max_utilization : float;
+  timing_violations : int;      (** violated directed budgets *)
+  worst_slack : float;          (** {m min (D_C − D)}; +∞ if unconstrained *)
+  feasible : bool;              (** C1 ∧ C2 *)
+}
+
+val compute :
+  ?constraints:Constraints.t ->
+  Netlist.t ->
+  Topology.t ->
+  Assignment.t ->
+  t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line summary. *)
+
+val cut_matrix : Netlist.t -> m:int -> Assignment.t -> float array array
+(** [cut_matrix nl ~m a] is the {m M×M} matrix of interconnection
+    weight between partition pairs (symmetric, zero diagonal) — the
+    wiring-demand view used for MCM routability checks. *)

@@ -1,0 +1,56 @@
+module Netlist = Qbpart_netlist.Netlist
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Check = Qbpart_timing.Check
+
+type issue =
+  | Out_of_range of { j : int; partition : int }
+  | Capacity of { partition : int; load : float; capacity : float }
+  | Timing of Check.violation
+
+let pp_issue ppf = function
+  | Out_of_range { j; partition } ->
+    Format.fprintf ppf "component %d assigned to invalid partition %d" j partition
+  | Capacity { partition; load; capacity } ->
+    Format.fprintf ppf "partition %d over capacity: load %g > %g" partition load capacity
+  | Timing v ->
+    Format.fprintf ppf "timing %d->%d: delay %g > budget %g" v.Check.j1 v.Check.j2
+      v.Check.delay v.Check.budget
+
+let check ?constraints nl topo a =
+  let m = Topology.m topo in
+  let range_issues = ref [] in
+  Array.iteri
+    (fun j i ->
+      if i < 0 || i >= m then range_issues := Out_of_range { j; partition = i } :: !range_issues)
+    a;
+  if !range_issues <> [] then List.rev !range_issues
+  else begin
+    let loads = Evaluate.loads nl topo a in
+    let cap_issues =
+      List.filter_map
+        (fun i ->
+          let load = loads.(i) and capacity = Topology.capacity topo i in
+          if load > capacity then Some (Capacity { partition = i; load; capacity }) else None)
+        (List.init m Fun.id)
+    in
+    let timing_issues =
+      match constraints with
+      | None -> []
+      | Some c -> List.map (fun v -> Timing v) (Check.violations c topo ~assignment:a)
+    in
+    cap_issues @ timing_issues
+  end
+
+let is_feasible ?constraints nl topo a = check ?constraints nl topo a = []
+
+let assert_feasible ?constraints nl topo a =
+  match check ?constraints nl topo a with
+  | [] -> ()
+  | issues ->
+    let shown = List.filteri (fun i _ -> i < 5) issues in
+    let msgs = List.map (Format.asprintf "%a" pp_issue) shown in
+    failwith
+      (Printf.sprintf "infeasible assignment (%d issues): %s%s" (List.length issues)
+         (String.concat "; " msgs)
+         (if List.length issues > 5 then "; ..." else ""))

@@ -1,0 +1,40 @@
+(** Full feasibility validation: C1 (capacity), C2 (timing) and the
+    C3 range check, with human-readable diagnoses. *)
+
+module Netlist := Qbpart_netlist.Netlist
+module Topology := Qbpart_topology.Topology
+module Constraints := Qbpart_timing.Constraints
+
+type issue =
+  | Out_of_range of { j : int; partition : int }
+      (** C3/domain: component assigned outside {m [0, M)} *)
+  | Capacity of { partition : int; load : float; capacity : float }
+      (** C1 violated on one partition *)
+  | Timing of Qbpart_timing.Check.violation
+      (** C2 violated on one directed constraint *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check :
+  ?constraints:Constraints.t ->
+  Netlist.t ->
+  Topology.t ->
+  Assignment.t ->
+  issue list
+(** All problems with the assignment; [] iff feasible.  Omitting
+    [constraints] skips C2 (Table II's relaxed setting). *)
+
+val is_feasible :
+  ?constraints:Constraints.t ->
+  Netlist.t ->
+  Topology.t ->
+  Assignment.t ->
+  bool
+
+val assert_feasible :
+  ?constraints:Constraints.t ->
+  Netlist.t ->
+  Topology.t ->
+  Assignment.t ->
+  unit
+(** @raise Failure with a diagnosis listing the first few issues. *)

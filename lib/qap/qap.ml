@@ -1,0 +1,126 @@
+module Rng = Qbpart_netlist.Rng
+module Netlist = Qbpart_netlist.Netlist
+module Topology = Qbpart_topology.Topology
+module Grid = Qbpart_topology.Grid
+module Problem = Qbpart_core.Problem
+
+type t = { n : int; flow : float array array; dist : float array array }
+
+let check_square what n mat =
+  if Array.length mat <> n then invalid_arg (Printf.sprintf "Qap.make: %s not %dx%d" what n n);
+  Array.iteri
+    (fun r row ->
+      if Array.length row <> n then
+        invalid_arg (Printf.sprintf "Qap.make: %s row %d has wrong length" what r);
+      Array.iteri
+        (fun c x ->
+          if x < 0.0 || Float.is_nan x then
+            invalid_arg (Printf.sprintf "Qap.make: %s[%d][%d] = %g" what r c x))
+        row)
+    mat
+
+let make ~flow ~dist =
+  let n = Array.length flow in
+  if n = 0 then invalid_arg "Qap.make: empty instance";
+  check_square "flow" n flow;
+  check_square "dist" n dist;
+  Array.iteri
+    (fun j row ->
+      if row.(j) <> 0.0 then
+        invalid_arg (Printf.sprintf "Qap.make: flow diagonal at %d is %g, must be 0" j row.(j)))
+    flow;
+  { n; flow = Array.map Array.copy flow; dist = Array.map Array.copy dist }
+
+let cost t phi =
+  let total = ref 0.0 in
+  for j1 = 0 to t.n - 1 do
+    for j2 = 0 to t.n - 1 do
+      total := !total +. (t.flow.(j1).(j2) *. t.dist.(phi.(j1)).(phi.(j2)))
+    done
+  done;
+  !total
+
+let is_permutation t phi =
+  Array.length phi = t.n
+  &&
+  let seen = Array.make t.n false in
+  Array.for_all
+    (fun i ->
+      if i < 0 || i >= t.n || seen.(i) then false
+      else begin
+        seen.(i) <- true;
+        true
+      end)
+    phi
+
+let to_problem t =
+  for i = 0 to t.n - 1 do
+    for j = i + 1 to t.n - 1 do
+      if t.dist.(i).(j) <> t.dist.(j).(i) then
+        invalid_arg "Qap.to_problem: asymmetric distance matrix"
+    done
+  done;
+  let b = Netlist.Builder.create () in
+  for j = 0 to t.n - 1 do
+    ignore (Netlist.Builder.add_component b ~name:(Printf.sprintf "f%d" j) ~size:1.0 ())
+  done;
+  for j1 = 0 to t.n - 1 do
+    for j2 = j1 + 1 to t.n - 1 do
+      let w = t.flow.(j1).(j2) +. t.flow.(j2).(j1) in
+      if w > 0.0 then Netlist.Builder.add_wire b j1 j2 ~weight:w ()
+    done
+  done;
+  let netlist = Netlist.Builder.build b in
+  let topology =
+    Topology.make
+      ~capacities:(Array.make t.n 1.0)
+      ~b:t.dist
+      ~d:(Array.make_matrix t.n t.n 0.0)
+      ()
+  in
+  Problem.make netlist topology
+
+let random rng ~n ?(density = 0.5) () =
+  if n < 2 then invalid_arg "Qap.random: need n >= 2";
+  if density <= 0.0 || density > 1.0 then invalid_arg "Qap.random: density in (0,1]";
+  let flow = Array.make_matrix n n 0.0 in
+  for j1 = 0 to n - 1 do
+    for j2 = j1 + 1 to n - 1 do
+      if Rng.float rng 1.0 < density then begin
+        let w = float_of_int (1 + Rng.int rng 9) in
+        flow.(j1).(j2) <- w;
+        flow.(j2).(j1) <- w
+      end
+    done
+  done;
+  (* locations on a near-square grid with the Manhattan metric *)
+  let cols = int_of_float (ceil (sqrt (float_of_int n))) in
+  let rows = (n + cols - 1) / cols in
+  let full = Grid.b_of_metric Grid.Manhattan ~rows ~cols in
+  let dist = Array.init n (fun i -> Array.init n (fun j -> full.(i).(j))) in
+  { n; flow; dist }
+
+let brute_force t =
+  if t.n > 10 then invalid_arg "Qap.brute_force: n > 10";
+  let best = ref None in
+  let phi = Array.init t.n Fun.id in
+  let rec permute k =
+    if k = t.n then begin
+      let c = cost t phi in
+      match !best with
+      | Some (_, c') when c' <= c -> ()
+      | _ -> best := Some (Array.copy phi, c)
+    end
+    else
+      for i = k to t.n - 1 do
+        let tmp = phi.(k) in
+        phi.(k) <- phi.(i);
+        phi.(i) <- tmp;
+        permute (k + 1);
+        let tmp = phi.(k) in
+        phi.(k) <- phi.(i);
+        phi.(i) <- tmp
+      done
+  in
+  permute 0;
+  match !best with Some r -> r | None -> assert false

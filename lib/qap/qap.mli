@@ -1,0 +1,47 @@
+(** Quadratic Assignment Problem — the degenerate special case of
+    section 2.2.3.
+
+    A QAP is a {m PP(α, β)} with {m M = N}, unit component sizes, unit
+    partition capacities and no timing constraints: the only feasible
+    assignments are permutations.  Burkard's original heuristic was
+    designed for exactly this case; solving QAPs through the
+    generalized machinery validates the "special case" claims of the
+    paper and connects the implementation back to its source.
+
+    Instances are the classic (flow, distance) pairs: permutation
+    {m φ} costs {m Σ_{j_1 j_2} flow(j_1,j_2) · dist(φ(j_1), φ(j_2))}
+    over ordered pairs. *)
+
+type t = private {
+  n : int;
+  flow : float array array;  (** inter-facility flow, zero diagonal *)
+  dist : float array array;  (** inter-location distance *)
+}
+
+val make : flow:float array array -> dist:float array array -> t
+(** @raise Invalid_argument on non-square/mismatched matrices,
+    negative entries, or a non-zero flow diagonal. *)
+
+val cost : t -> int array -> float
+(** Objective of a permutation [phi] (facility [j] at location
+    [phi.(j)]), counting ordered pairs as in the QAP literature. *)
+
+val to_problem : t -> Qbpart_core.Problem.t
+(** The PP(1,1) embedding: facilities become unit-size components
+    wired with weight {m flow_{j_1 j_2} + flow_{j_2 j_1}} per
+    unordered pair (so that the once-per-wire objective equals the
+    ordered-pair QAP objective), locations become unit-capacity
+    partitions with {m B = dist}.
+    @raise Invalid_argument if [dist] is asymmetric — the undirected
+    wire model cannot represent direction-dependent distances. *)
+
+val is_permutation : t -> int array -> bool
+
+val random : Qbpart_netlist.Rng.t -> n:int -> ?density:float -> unit -> t
+(** Random instance: flows uniform in 1..9 with the given [density]
+    (default 0.5), distances = Manhattan metric over a near-square
+    grid of [n] locations — the gate-array flavour the paper mentions. *)
+
+val brute_force : t -> int array * float
+(** Exact optimum by enumeration.
+    @raise Invalid_argument if [n > 10]. *)

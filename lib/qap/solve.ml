@@ -1,0 +1,94 @@
+module Burkard = Qbpart_core.Burkard
+module Hungarian = Qbpart_lap.Hungarian
+
+type result = {
+  permutation : int array;
+  cost : float;
+  method_ : [ `Burkard | `Burkard_2opt | `Identity ];
+}
+
+let two_opt (qap : Qap.t) phi =
+  let phi = Array.copy phi in
+  let n = qap.Qap.n in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for j1 = 0 to n - 1 do
+      for j2 = j1 + 1 to n - 1 do
+        let before = Qap.cost qap phi in
+        let tmp = phi.(j1) in
+        phi.(j1) <- phi.(j2);
+        phi.(j2) <- tmp;
+        if Qap.cost qap phi < before -. 1e-9 then improved := true
+        else begin
+          let tmp = phi.(j1) in
+          phi.(j1) <- phi.(j2);
+          phi.(j2) <- tmp
+        end
+      done
+    done
+  done;
+  phi
+
+let solve ?(iterations = 100) ?(seed = 1) ?(restarts = 4) qap =
+  let problem = Qap.to_problem qap in
+  let config = { Burkard.Config.default with iterations; seed } in
+  let result = Burkard.solve ~config problem in
+  let burkard_phi =
+    match result.Burkard.best_feasible with
+    | Some (a, _) when Qap.is_permutation qap a -> Some a
+    | _ ->
+      if Qap.is_permutation qap result.Burkard.best then Some result.Burkard.best else None
+  in
+  (* multi-start 2-opt: refine the Burkard solution and a few random
+     permutations, keep the cheapest (Burkard & Bonniger finish their
+     QAP runs with exchange improvement too) *)
+  let rng = Qbpart_netlist.Rng.create (seed + 77) in
+  let starts =
+    (match burkard_phi with Some phi -> [ (`FromBurkard, phi) ] | None -> [])
+    @ List.init (max 1 restarts) (fun _ ->
+          (`Random, Qbpart_netlist.Rng.permutation rng qap.Qap.n))
+  in
+  let refined =
+    List.map (fun (origin, phi) -> (origin, two_opt qap phi)) starts
+  in
+  let best =
+    List.fold_left
+      (fun acc (origin, phi) ->
+        let c = Qap.cost qap phi in
+        match acc with
+        | Some (_, _, c') when c' <= c -> acc
+        | _ -> Some (origin, phi, c))
+      None refined
+  in
+  match best with
+  | Some (origin, phi, cost) ->
+    let method_ =
+      match (origin, burkard_phi) with
+      | `FromBurkard, Some b when phi = b -> `Burkard
+      | `FromBurkard, _ -> `Burkard_2opt
+      | `Random, _ -> `Identity
+    in
+    { permutation = phi; cost; method_ }
+  | None -> assert false
+
+let hungarian_lower_bound (qap : Qap.t) =
+  let n = qap.Qap.n in
+  let min_dist_from = Array.make n infinity in
+  for l = 0 to n - 1 do
+    for l' = 0 to n - 1 do
+      if l <> l' then min_dist_from.(l) <- Float.min min_dist_from.(l) qap.Qap.dist.(l).(l')
+    done;
+    if min_dist_from.(l) = infinity then min_dist_from.(l) <- 0.0
+  done;
+  let flow_out =
+    Array.init n (fun j ->
+        let s = ref 0.0 in
+        for j' = 0 to n - 1 do
+          s := !s +. qap.Qap.flow.(j).(j')
+        done;
+        !s)
+  in
+  let cost = Array.init n (fun j -> Array.init n (fun l -> flow_out.(j) *. min_dist_from.(l))) in
+  let _, total = Hungarian.solve cost in
+  total

@@ -1,0 +1,27 @@
+(** QAP solvers built on the repository's machinery. *)
+
+type result = {
+  permutation : int array;
+  cost : float;
+  method_ : [ `Burkard | `Burkard_2opt | `Identity ];
+}
+
+val solve : ?iterations:int -> ?seed:int -> ?restarts:int -> Qap.t -> result
+(** Reduce to PP(1,1) via {!Qap.to_problem}, run the generalized
+    Burkard heuristic ([iterations] defaults to 100), project the best
+    capacity-feasible solution back to a permutation, and finish with
+    2-opt (pairwise exchange) local search — Burkard's own post-pass —
+    applied both to the Burkard solution and to [restarts] (default 4)
+    random multi-start permutations; the cheapest result wins.
+    [method_] records whether the winner descended from the Burkard
+    trajectory or from a random restart ([`Identity]). *)
+
+val two_opt : Qap.t -> int array -> int array
+(** Exchange-based local search to a local optimum; the input is not
+    modified. *)
+
+val hungarian_lower_bound : Qap.t -> float
+(** A (weak) lower bound: the linear assignment over the
+    min-possible pairwise interaction costs
+    {m c_{jl} = Σ_{j'} flow(j,j') · min_{l'} dist(l, l')} — useful for
+    sanity checks in tests. *)

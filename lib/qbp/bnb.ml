@@ -1,0 +1,97 @@
+module Netlist = Qbpart_netlist.Netlist
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+
+type outcome = { best : (int array * float) option; nodes : int; complete : bool }
+
+exception Out_of_budget
+
+let solve ?(node_limit = 5_000_000) problem =
+  let problem = Problem.normalize problem in
+  let nl = problem.Problem.netlist in
+  let topo = problem.Problem.topology in
+  let cons = problem.Problem.constraints in
+  let n = Problem.n problem and m = Problem.m problem in
+  (* big and heavily-constrained components first: fail early *)
+  let order = Array.init n Fun.id in
+  let key j = (Array.length (Constraints.partners cons j), Netlist.size nl j) in
+  Array.sort (fun a b -> compare (key b) (key a)) order;
+  let a = Array.make n (-1) in
+  let loads = Array.make m 0.0 in
+  let best = ref None in
+  let best_cost = ref infinity in
+  let nodes = ref 0 in
+  (* incremental cost of placing j at i against placed components *)
+  let place_cost j i =
+    let c = ref (Problem.p_entry problem ~i ~j) in
+    Array.iter
+      (fun (j', w) ->
+        let at' = a.(j') in
+        if at' >= 0 then
+          c := !c +. (if j < j' then w *. Topology.b topo i at' else w *. Topology.b topo at' i))
+      (Netlist.adj nl j);
+    !c
+  in
+  let timing_ok j i =
+    Array.for_all
+      (fun p ->
+        let at' = a.(p.Constraints.other) in
+        at' < 0
+        || (Topology.d topo i at' <= p.Constraints.budget_out
+           && Topology.d topo at' i <= p.Constraints.budget_in))
+      (Constraints.partners cons j)
+  in
+  (* admissible completion bound: each unplaced component pays at least
+     its cheapest placement cost against placed components (wires among
+     unplaced components cost >= 0 and are ignored) *)
+  let completion_bound depth =
+    let total = ref 0.0 in
+    (try
+       for k = depth to n - 1 do
+         let j = order.(k) in
+         let cheapest = ref infinity in
+         for i = 0 to m - 1 do
+           let c = place_cost j i in
+           if c < !cheapest then cheapest := c
+         done;
+         total := !total +. !cheapest;
+         if !total >= infinity then raise Exit
+       done
+     with Exit -> ());
+    !total
+  in
+  let rec go depth acc =
+    incr nodes;
+    if !nodes > node_limit then raise Out_of_budget;
+    if depth = n then begin
+      if acc < !best_cost then begin
+        best_cost := acc;
+        best := Some (Array.copy a, acc)
+      end
+    end
+    else if acc +. completion_bound depth < !best_cost then begin
+      let j = order.(depth) in
+      let s = Netlist.size nl j in
+      (* explore partitions cheapest-first *)
+      let options =
+        List.init m Fun.id
+        |> List.filter_map (fun i ->
+               if loads.(i) +. s <= Topology.capacity topo i && timing_ok j i then
+                 Some (place_cost j i, i)
+               else None)
+        |> List.sort compare
+      in
+      List.iter
+        (fun (c, i) ->
+          a.(j) <- i;
+          loads.(i) <- loads.(i) +. s;
+          go (depth + 1) (acc +. c);
+          loads.(i) <- loads.(i) -. s;
+          a.(j) <- -1)
+        options
+    end
+  in
+  let complete =
+    match go 0 0.0 with () -> true | exception Out_of_budget -> false
+  in
+  { best = !best; nodes = !nodes; complete }

@@ -1,0 +1,28 @@
+(** Branch-and-bound exact solver for the constrained partitioning
+    problem.
+
+    Depth-first search over components (largest first), assigning each
+    to a partition that respects capacity and all timing constraints
+    against already-placed components.  Nodes are pruned with an
+    admissible lower bound: the wire cost already committed plus, for
+    every unplaced component, the cheapest cost its placed-neighbor
+    wires can still achieve over its currently legal partitions.
+
+    Practical up to a few dozen components — an order of magnitude
+    beyond {!Exact}'s {m M^N} enumeration — and used to validate the
+    Burkard heuristic on mid-size instances.  Not part of the paper;
+    the 1993 hardware could not have afforded it either. *)
+
+module Assignment := Qbpart_partition.Assignment
+
+type outcome = {
+  best : (Assignment.t * float) option;
+      (** optimum and its equation-(1) objective; [None] = infeasible *)
+  nodes : int;     (** search nodes expanded *)
+  complete : bool; (** false iff the node budget stopped the search *)
+}
+
+val solve : ?node_limit:int -> Problem.t -> outcome
+(** [node_limit] defaults to 5 million; when it triggers, [best] holds
+    the best solution found so far and [complete] is false (the
+    incumbent is still feasible and its cost an upper bound). *)

@@ -1,0 +1,187 @@
+module Netlist = Qbpart_netlist.Netlist
+module Rng = Qbpart_netlist.Rng
+module Constraints = Qbpart_timing.Constraints
+module Topology = Qbpart_topology.Topology
+module Assignment = Qbpart_partition.Assignment
+module Gap = Qbpart_gap.Gap
+module Mthg = Qbpart_gap.Mthg
+
+module Config = struct
+  type t = {
+    iterations : int;
+    penalty : float;
+    rule : Qmatrix.rule;
+    gap_criteria : Mthg.criterion list;
+    gap_improve : Mthg.improver;
+    polish_passes : int;
+    final_polish : int;
+    repair_every : int;
+    adopt_repair : bool;
+    strict_polish : bool;
+    seed : int;
+  }
+
+  let default =
+    {
+      iterations = 100;
+      penalty = Qmatrix.default_penalty;
+      rule = Qmatrix.Solver;
+      gap_criteria = [ Mthg.Cost; Mthg.Weight ];
+      gap_improve = `Shift;
+      polish_passes = 1;
+      final_polish = 50;
+      repair_every = 2;
+      adopt_repair = false;
+      strict_polish = false;
+      seed = 1;
+    }
+
+  let paper =
+    { default with rule = Qmatrix.Paper; polish_passes = 0; final_polish = 0; repair_every = 0 }
+end
+
+type iteration = {
+  k : int;
+  z : float;
+  penalized : float;
+  objective : float;
+  feasible : bool;
+}
+
+type result = {
+  best : Assignment.t;
+  best_cost : float;
+  best_feasible : (Assignment.t * float) option;
+  history : iteration list;
+}
+
+let solve ?(config = Config.default) ?initial problem =
+  let problem = Problem.normalize problem in
+  let q = Qmatrix.make ~penalty:config.Config.penalty problem in
+  let m = Problem.m problem and n = Problem.n problem in
+  let nl = problem.Problem.netlist in
+  let sizes = Netlist.sizes nl in
+  let capacity = Topology.capacities problem.Problem.topology in
+  let gap_of costs =
+    Gap.make_uniform ~cost:(Qmatrix.eta_cost_matrix costs ~m ~n) ~sizes ~capacity
+  in
+  let solve_gap costs =
+    Mthg.solve_relaxed ~criteria:config.Config.gap_criteria ~improve:config.Config.gap_improve
+      (gap_of costs)
+  in
+  let u =
+    match initial with
+    | Some a ->
+      Assignment.check ~m a;
+      Assignment.copy a
+    | None -> Assignment.random (Rng.create config.Config.seed) ~n ~m
+  in
+  let u = ref u in
+  let penalized a = Problem.penalized_objective problem ~penalty:config.Config.penalty a in
+  let best = ref (Assignment.copy !u) in
+  let best_cost = ref (penalized !u) in
+  let best_feasible = ref None in
+  let consider a =
+    let c = penalized a in
+    if c < !best_cost then begin
+      best_cost := c;
+      best := Assignment.copy a
+    end;
+    let feas = Problem.feasible problem a in
+    if feas then begin
+      let obj = Problem.objective problem a in
+      match !best_feasible with
+      | Some (_, obj') when obj' <= obj -> ()
+      | _ -> best_feasible := Some (Assignment.copy a, obj)
+    end;
+    (c, feas)
+  in
+  ignore (consider !u);
+  let omega = Qmatrix.omega ~rule:config.Config.rule q in
+  let h = Array.make (m * n) 0.0 in
+  let history = ref [] in
+  let strict_q =
+    let memo = ref None in
+    fun () ->
+      match !memo with
+      | Some s -> s
+      | None ->
+        let s = Qmatrix.make ~penalty:1e12 problem in
+        memo := Some s;
+        s
+  in
+  let polish ?(q = q) ~passes a = Repair.polish q a ~passes in
+  for k = 1 to config.Config.iterations do
+    (* STEP 3 *)
+    let eta = Qmatrix.eta ~rule:config.Config.rule q !u in
+    let xi = Qmatrix.xi q ~omega !u in
+    (* STEP 4: minimize the linearization over S *)
+    let u_z = solve_gap eta in
+    let z = ref 0.0 in
+    Array.iteri (fun j i -> z := !z +. eta.(Assignment.flat_index ~m ~i ~j)) u_z;
+    (* STEP 5: accumulate the direction *)
+    let scale = Float.max 1.0 (Float.abs (!z -. xi)) in
+    Array.iteri (fun r e -> h.(r) <- h.(r) +. (e /. scale)) eta;
+    (* STEP 6: next iterate from the accumulated direction *)
+    u := solve_gap h;
+    let polish_q = if config.Config.strict_polish then strict_q () else q in
+    polish ~q:polish_q ~passes:config.Config.polish_passes !u;
+    (* Feasibility probe (our enhancement, DESIGN.md D6): coordinate
+       descent under an effectively infinite penalty pulls the iterate
+       toward the timing-feasible set without disturbing the Burkard
+       trajectory itself (unless [adopt_repair] makes the repaired
+       point the next iterate). *)
+    if
+      config.Config.repair_every > 0
+      && (k mod config.Config.repair_every = 0 || k = config.Config.iterations)
+      && not (Constraints.empty problem.Problem.constraints)
+    then begin
+      let probe = Assignment.copy !u in
+      let reached = Repair.to_feasible (strict_q ()) probe ~rounds:6 in
+      ignore (consider probe);
+      if config.Config.adopt_repair && reached && Problem.capacity_feasible problem probe then
+        u := probe
+    end;
+    (* STEP 7 *)
+    let penalized, feasible = consider !u in
+    history :=
+      { k; z = !z; penalized; objective = Problem.objective problem !u; feasible }
+      :: !history
+  done;
+  if config.Config.final_polish > 0 then begin
+    let final = Assignment.copy !best in
+    polish ~passes:config.Config.final_polish final;
+    ignore (consider final);
+    (* also try to push the penalized champion all the way to
+       feasibility — repair moves may cost a little objective but can
+       mint a better feasible solution than any iterate produced *)
+    if not (Constraints.empty problem.Problem.constraints) then begin
+      let repaired = Assignment.copy !best in
+      if Repair.to_feasible (strict_q ()) repaired ~rounds:10 then ignore (consider repaired)
+    end;
+    (* Polish the feasible champion under an effectively infinite
+       penalty: improving moves can then never introduce a timing
+       violation, so feasibility is preserved by construction. *)
+    match !best_feasible with
+    | None -> ()
+    | Some (a, _) ->
+      let final = Assignment.copy a in
+      polish ~q:(strict_q ()) ~passes:config.Config.final_polish final;
+      ignore (consider final)
+  end;
+  {
+    best = !best;
+    best_cost = !best_cost;
+    best_feasible = !best_feasible;
+    history = List.rev !history;
+  }
+
+let initial_feasible ?(config = Config.default) problem =
+  let problem = Problem.normalize problem in
+  let zero_b =
+    Problem.make ?p:problem.Problem.p ~constraints:problem.Problem.constraints
+      problem.Problem.netlist
+      (Topology.with_zero_b problem.Problem.topology)
+  in
+  let result = solve ~config zero_b in
+  Option.map fst result.best_feasible

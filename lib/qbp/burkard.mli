@@ -1,0 +1,96 @@
+(** The generalized Burkard heuristic (paper section 4.2–4.3).
+
+    Burkard's linearization heuristic for Quadratic Boolean Programs,
+    generalized from permutation solution spaces to the
+    capacity-constrained space {m S} = \{assignments satisfying C1 and
+    C3\}: the two inner minimizations (STEP 4 and STEP 6) become
+    Generalized Assignment Problems, solved with the Martello–Toth
+    heuristic, and the linearization vector {m η} is computed sparsely
+    from the adjacency structure — {m Q̂} is never materialized, and
+    because the current iterate is binary, the inner products reduce
+    to additions (section 4.3).
+
+    One iteration:
+    + STEP 3  compute {m η^{(k)}} and {m ξ^{(k)} = Σ ω_r u_r}
+    + STEP 4  {m z = min_{u∈S} Σ η_r u_r} (a GAP)
+    + STEP 5  {m h ← h + η / max(1, |z − ξ|)}
+    + STEP 6  {m u^{(k+1)} = argmin_{u∈S} Σ h_r u_r} (a GAP)
+    + STEP 7  keep the best {m uᵀQ̂u} seen so far.
+
+    "The overall heuristic is similar to a line search procedure and
+    the user can have precise control over the total runtime" — the
+    iteration count is the budget knob (the paper uses 100). *)
+
+module Assignment := Qbpart_partition.Assignment
+module Mthg := Qbpart_gap.Mthg
+
+module Config : sig
+  type t = {
+    iterations : int;       (** STEP 8 budget; paper: 100 *)
+    penalty : float;        (** embedding penalty; paper: 50 *)
+    rule : Qmatrix.rule;    (** η convention (DESIGN.md D1) *)
+    gap_criteria : Mthg.criterion list; (** MTHG desirability criteria *)
+    gap_improve : Mthg.improver;        (** MTHG post-pass *)
+    polish_passes : int;
+        (** Gauss–Seidel coordinate-descent passes on the penalized
+            objective applied to each STEP-6 iterate (our enhancement,
+            DESIGN.md D5; 0 disables) *)
+    final_polish : int;
+        (** maximum polish passes applied to the best solutions after
+            the iteration budget is exhausted; the feasible best is
+            polished under an effectively infinite penalty so
+            feasibility is never traded away *)
+    repair_every : int;
+        (** every k-th iteration, strict-polish a {e copy} of the
+            iterate under an effectively infinite penalty and evaluate
+            it as a candidate — a feasibility probe that pulls
+            solutions into the timing-feasible set without disturbing
+            the Burkard trajectory (our enhancement, DESIGN.md D6;
+            0 disables) *)
+    adopt_repair : bool;
+        (** when a probe reaches feasibility, continue the trajectory
+            from the repaired point instead of the raw iterate *)
+    strict_polish : bool;
+        (** run the per-iteration polish under the infinite penalty
+            instead of [penalty] — a projection-flavoured variant that
+            keeps iterates near the feasible set *)
+    seed : int;             (** randomness for the default initial solution *)
+  }
+
+  val default : t
+  (** 100 iterations, penalty 50, [Solver] rule, criteria
+      [[Cost; Weight]], [`Shift] improvement, 1 polish pass per
+      iteration, 50 final passes, repair probe every 2 iterations,
+      seed 1. *)
+
+  val paper : t
+  (** Literal paper variant: [Paper] η rule, no polish; otherwise as
+      {!default}. *)
+end
+
+type iteration = {
+  k : int;             (** 1-based iteration number *)
+  z : float;           (** STEP 4 linearized minimum *)
+  penalized : float;   (** {m uᵀQ̂u}-equivalent cost of the new iterate *)
+  objective : float;   (** equation-(1) objective of the new iterate *)
+  feasible : bool;     (** C1 ∧ C2 of the new iterate *)
+}
+
+type result = {
+  best : Assignment.t;  (** lowest penalized objective encountered *)
+  best_cost : float;    (** its penalized objective *)
+  best_feasible : (Assignment.t * float) option;
+      (** lowest equation-(1) objective among fully feasible iterates *)
+  history : iteration list; (** chronological *)
+}
+
+val solve : ?config:Config.t -> ?initial:Assignment.t -> Problem.t -> result
+(** Run the heuristic.  Without [initial], starts from a uniformly
+    random assignment — the paper notes "QBP can start from any random
+    solution".  The problem is normalized internally. *)
+
+val initial_feasible : ?config:Config.t -> Problem.t -> Assignment.t option
+(** The paper's recipe for seeding GFM/GKL: "use QBP algorithm with
+    matrix B set to all zeros.  This will generate an initial feasible
+    solution in a few iterations."  Returns the first C1 ∧ C2 feasible
+    iterate's best, [None] if none was found within the budget. *)

@@ -1,0 +1,38 @@
+module Netlist = Qbpart_netlist.Netlist
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+
+let sum_abs_q problem =
+  let problem = Problem.normalize problem in
+  let m = Problem.m problem and n = Problem.n problem in
+  let sum_p = ref 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      sum_p := !sum_p +. Float.abs (Problem.p_entry problem ~i ~j)
+    done
+  done;
+  let sum_b = ref 0.0 in
+  let topo = problem.Problem.topology in
+  for i1 = 0 to m - 1 do
+    for i2 = 0 to m - 1 do
+      sum_b := !sum_b +. Float.abs (Topology.b topo i1 i2)
+    done
+  done;
+  (* both directions of every wire, as in the paper's symmetric A *)
+  let sum_a = 2.0 *. Netlist.total_wire_weight problem.Problem.netlist in
+  !sum_p +. (sum_a *. !sum_b)
+
+let theorem1_penalty problem = (2.0 *. sum_abs_q problem) +. 1.0
+
+let in_region problem r1 r2 =
+  let problem = Problem.normalize problem in
+  let m = Problem.m problem in
+  let i1 = r1 mod m and j1 = r1 / m in
+  let i2 = r2 mod m and j2 = r2 / m in
+  j1 = j2
+  || Topology.d problem.Problem.topology i1 i2
+     <= Constraints.budget problem.Problem.constraints j1 j2
+
+let solution_in_feasible_set problem a = Problem.timing_feasible problem a
+
+let theorem2_certificate q a = solution_in_feasible_set (Qmatrix.problem q) a

@@ -1,0 +1,48 @@
+let enumerate ~m ~n f =
+  let a = Array.make n 0 in
+  let rec go j = if j = n then f a
+    else
+      for i = 0 to m - 1 do
+        a.(j) <- i;
+        go (j + 1)
+      done
+  in
+  if n >= 0 && m > 0 then go 0
+
+let check_space ?(max_space = 2e6) ~m ~n () =
+  let space = Float.pow (float_of_int m) (float_of_int n) in
+  if space > max_space then
+    invalid_arg
+      (Printf.sprintf "Qbp.Exact: search space M^N = %d^%d = %g exceeds budget %g" m n space
+         max_space)
+
+let solve ?max_space problem =
+  let problem = Problem.normalize problem in
+  let m = Problem.m problem and n = Problem.n problem in
+  check_space ?max_space ~m ~n ();
+  let best = ref None in
+  enumerate ~m ~n (fun a ->
+      if Problem.feasible problem a then begin
+        let c = Problem.objective problem a in
+        match !best with
+        | Some (_, c') when c' <= c -> ()
+        | _ -> best := Some (Array.copy a, c)
+      end);
+  !best
+
+let solve_embedded ?max_space q =
+  let problem = Qmatrix.problem q in
+  let m = Problem.m problem and n = Problem.n problem in
+  check_space ?max_space ~m ~n ();
+  let penalty = Qmatrix.penalty q in
+  let best = ref None in
+  enumerate ~m ~n (fun a ->
+      if Problem.capacity_feasible problem a then begin
+        let c = Problem.penalized_objective problem ~penalty a in
+        match !best with
+        | Some (_, c') when c' <= c -> ()
+        | _ -> best := Some (Array.copy a, c)
+      end);
+  match !best with
+  | Some r -> r
+  | None -> failwith "Qbp.Exact.solve_embedded: no capacity-feasible assignment (C1 + C3)"

@@ -1,0 +1,28 @@
+(** Exact solvers by exhaustive enumeration — tiny instances only.
+
+    These are the ground truth against which the tests validate both
+    the embedding theorems and the heuristics.  The search space is
+    {m M^N}; {!solve} refuses instances beyond a configurable budget
+    instead of hanging. *)
+
+module Assignment := Qbpart_partition.Assignment
+
+val solve :
+  ?max_space:float -> Problem.t -> (Assignment.t * float) option
+(** Minimum of the constrained problem (C1 ∧ C2 ∧ C3); [None] if no
+    feasible assignment exists.  [max_space] (default [2e6]) bounds
+    {m M^N}.
+    @raise Invalid_argument if {m M^N > max_space}. *)
+
+val solve_embedded :
+  ?max_space:float -> Qmatrix.t -> Assignment.t * float
+(** Minimum of the embedded, timing-unconstrained problem: minimize
+    the penalized objective subject to C1 ∧ C3 only (Theorem 1's
+    {m QBP(Q')}).  Capacity-infeasible points are excluded (they are
+    outside the solution space {m S}).
+    @raise Invalid_argument as {!solve}, or [Failure] if even C1 ∧ C3
+    is infeasible. *)
+
+val enumerate : m:int -> n:int -> (Assignment.t -> unit) -> unit
+(** Call the function on every C3 assignment of [n] components to [m]
+    partitions (the array is reused; copy if retained). *)

@@ -1,0 +1,82 @@
+module Netlist = Qbpart_netlist.Netlist
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Assignment = Qbpart_partition.Assignment
+module Evaluate = Qbpart_partition.Evaluate
+
+type t = {
+  netlist : Netlist.t;
+  topology : Topology.t;
+  constraints : Constraints.t;
+  p : float array array option;
+  alpha : float;
+  beta : float;
+}
+
+let make ?(alpha = 1.0) ?(beta = 1.0) ?p ?constraints netlist topology =
+  let n = Netlist.n netlist and m = Topology.m topology in
+  if alpha < 0.0 || beta < 0.0 || Float.is_nan alpha || Float.is_nan beta then
+    invalid_arg "Problem.make: scaling factors must be non-negative";
+  (match p with
+  | None -> ()
+  | Some p ->
+    if Array.length p <> m then
+      invalid_arg (Printf.sprintf "Problem.make: P has %d rows, expected M=%d" (Array.length p) m);
+    Array.iteri
+      (fun i row ->
+        if Array.length row <> n then
+          invalid_arg
+            (Printf.sprintf "Problem.make: P row %d has %d cols, expected N=%d" i
+               (Array.length row) n);
+        Array.iter (fun x -> if Float.is_nan x then invalid_arg "Problem.make: NaN in P") row)
+      p);
+  let constraints =
+    match constraints with
+    | Some c ->
+      if Constraints.n c <> n then
+        invalid_arg
+          (Printf.sprintf "Problem.make: constraints built for %d components, netlist has %d"
+             (Constraints.n c) n);
+      c
+    | None -> Constraints.create ~n
+  in
+  let p = Option.map (Array.map Array.copy) p in
+  { netlist; topology; constraints; p; alpha; beta }
+
+let n t = Netlist.n t.netlist
+let m t = Topology.m t.topology
+
+let is_normalized t = t.alpha = 1.0 && t.beta = 1.0
+
+let normalize t =
+  if is_normalized t then t
+  else
+    let p = Option.map (Array.map (Array.map (fun x -> t.alpha *. x))) t.p in
+    let topology = Topology.scale_b t.topology t.beta in
+    { t with topology; p; alpha = 1.0; beta = 1.0 }
+
+let p_entry t ~i ~j = match t.p with None -> 0.0 | Some p -> t.alpha *. p.(i).(j)
+
+let objective t a =
+  Evaluate.objective ~alpha:t.alpha ~beta:t.beta ?p:t.p t.netlist t.topology a
+
+let penalized_objective t ~penalty a =
+  Evaluate.penalized ~alpha:t.alpha ~beta:t.beta ?p:t.p ~penalty t.netlist t.topology
+    t.constraints a
+
+let capacity_feasible t a = Evaluate.capacity_feasible t.netlist t.topology a
+let timing_feasible t a = Qbpart_timing.Check.feasible t.constraints t.topology ~assignment:a
+let feasible t a = capacity_feasible t a && timing_feasible t a
+
+let deviation_p t ~initial =
+  let m_ = m t and n_ = n t in
+  Array.init m_ (fun i ->
+      Array.init n_ (fun j ->
+          Netlist.size t.netlist j *. Topology.b t.topology i initial.(j)))
+
+let pp ppf t =
+  Format.fprintf ppf "PP(%g,%g)<N=%d, M=%d, wires=%d, timing=%d, P=%s>"
+    t.alpha t.beta (n t) (m t)
+    (Netlist.wire_count t.netlist)
+    (Constraints.count t.constraints)
+    (match t.p with None -> "0" | Some _ -> "set")

@@ -1,0 +1,73 @@
+(** Partitioning problem instances: the paper's {m PP(α, β)}.
+
+    Bundles every input of section 2.1: the circuit (components,
+    sizes, interconnections), the partition topology (capacities,
+    {m B}, {m D}), the timing budgets {m D_C}, the linear
+    assignment-cost matrix {m P}, and the scaling factors {m α, β}.
+
+    {m PP(1, 0)} with no timing constraints is the Generalized
+    Assignment Problem; {m PP(1, 0)} with a deviation-cost {m P} is
+    the MCM/TCM re-partitioning problem of section 2.2.1; with unit
+    sizes, {m M = N} and no timing constraints it degenerates to the
+    Quadratic Assignment Problem. *)
+
+module Netlist := Qbpart_netlist.Netlist
+module Topology := Qbpart_topology.Topology
+module Constraints := Qbpart_timing.Constraints
+module Assignment := Qbpart_partition.Assignment
+
+type t = private {
+  netlist : Netlist.t;
+  topology : Topology.t;
+  constraints : Constraints.t; (** empty when timing is relaxed *)
+  p : float array array option; (** {m M×N}; [None] means all-zero *)
+  alpha : float;
+  beta : float;
+}
+
+val make :
+  ?alpha:float ->
+  ?beta:float ->
+  ?p:float array array ->
+  ?constraints:Constraints.t ->
+  Netlist.t ->
+  Topology.t ->
+  t
+(** [alpha], [beta] default to 1.  @raise Invalid_argument if [p] is
+    not {m M×N}, contains NaN, if the constraint set was built for a
+    different component count, or if a scaling factor is negative. *)
+
+val n : t -> int
+val m : t -> int
+
+val normalize : t -> t
+(** The section-3 reduction {m PP(α,β) → PP'(1,1)}: fold [alpha] into
+    {m P} and [beta] into {m B}.  Objectives are preserved exactly;
+    the result has [alpha = beta = 1].  The QBP machinery operates on
+    normalized problems. *)
+
+val is_normalized : t -> bool
+
+val p_entry : t -> i:int -> j:int -> float
+(** {m p_{ij}} (0 when [p] is [None]); after {!normalize} this
+    includes the {m α} factor. *)
+
+val objective : t -> Assignment.t -> float
+(** Equation (1): {m α·Σp + β·Σab}. *)
+
+val penalized_objective : t -> penalty:float -> Assignment.t -> float
+(** {!objective} plus [penalty] per violated directed timing
+    constraint; the solver's acceptance metric. *)
+
+val capacity_feasible : t -> Assignment.t -> bool
+val timing_feasible : t -> Assignment.t -> bool
+val feasible : t -> Assignment.t -> bool
+(** C1 ∧ C2 (C3 is structural in the representation). *)
+
+val deviation_p : t -> initial:Assignment.t -> float array array
+(** The section 2.2.1 deviation-cost matrix
+    {m p_{ij} = s_j · b(i, 𝒜_{initial}(j))}: distance is measured with
+    the topology's {m B} metric (Manhattan for grid topologies, as in
+    the paper). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,207 @@
+module Netlist = Qbpart_netlist.Netlist
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Assignment = Qbpart_partition.Assignment
+
+type rule = Solver | Paper
+
+type t = { problem : Problem.t; penalty : float }
+
+let default_penalty = 50.0
+
+let make ?(penalty = default_penalty) problem =
+  if penalty <= 0.0 || Float.is_nan penalty then
+    invalid_arg "Qmatrix.make: penalty must be positive";
+  { problem = Problem.normalize problem; penalty }
+
+let problem t = t.problem
+let penalty t = t.penalty
+let dim t = Problem.m t.problem * Problem.n t.problem
+
+(* A candidate pair ((i1,j1),(i2,j2)) with j1 <> j2 violates timing iff
+   there is a budget from j1 to j2 smaller than the partition delay. *)
+let violates t i1 j1 i2 j2 =
+  Topology.d t.problem.Problem.topology i1 i2
+  > Constraints.budget t.problem.Problem.constraints j1 j2
+
+let entry t r1 r2 =
+  let m = Problem.m t.problem in
+  let i1 = r1 mod m and j1 = r1 / m in
+  let i2 = r2 mod m and j2 = r2 / m in
+  if j1 = j2 then if i1 = i2 then Problem.p_entry t.problem ~i:i1 ~j:j1 else 0.0
+  else if violates t i1 j1 i2 j2 then t.penalty
+  else
+    Netlist.connection t.problem.Problem.netlist j1 j2
+    *. Topology.b t.problem.Problem.topology i1 i2
+
+let dense t =
+  let d = dim t in
+  if d > 4096 then
+    invalid_arg (Printf.sprintf "Qmatrix.dense: MN = %d too large to materialize" d);
+  Array.init d (fun r1 -> Array.init d (fun r2 -> entry t r1 r2))
+
+let value t a =
+  let m = Problem.m t.problem and n = Problem.n t.problem in
+  let total = ref 0.0 in
+  for j1 = 0 to n - 1 do
+    for j2 = 0 to n - 1 do
+      let r1 = Assignment.flat_index ~m ~i:a.(j1) ~j:j1
+      and r2 = Assignment.flat_index ~m ~i:a.(j2) ~j:j2 in
+      total := !total +. entry t r1 r2
+    done
+  done;
+  !total
+
+(* --- solver access ------------------------------------------------- *)
+
+(* Orientation: wires are stored once with endpoints u < v, and the
+   evaluator charges b(a(u), a(v)).  For candidate (i, j) the wire
+   j--j' therefore contributes b(i, a(j')) when j < j' and
+   b(a(j'), i) otherwise.  With a symmetric B this distinction
+   disappears; keeping it makes eta consistent with the objective for
+   asymmetric B matrices too. *)
+let candidate_costs_into t u ~j out =
+  let nl = t.problem.Problem.netlist in
+  let topo = t.problem.Problem.topology in
+  let cons = t.problem.Problem.constraints in
+  let m = Problem.m t.problem in
+  for i = 0 to m - 1 do
+    out.(i) <- Problem.p_entry t.problem ~i ~j
+  done;
+  Array.iter
+    (fun (j', w) ->
+      let at' = u.(j') in
+      if j < j' then
+        for i = 0 to m - 1 do
+          out.(i) <- out.(i) +. (w *. Topology.b topo i at')
+        done
+      else
+        for i = 0 to m - 1 do
+          out.(i) <- out.(i) +. (w *. Topology.b topo at' i)
+        done)
+    (Netlist.adj nl j);
+  Array.iter
+    (fun p ->
+      let at' = u.(p.Constraints.other) in
+      for i = 0 to m - 1 do
+        (* one penalty per violated direction: both directed budgets of
+           a pair can be broken simultaneously *)
+        if Topology.d topo i at' > p.Constraints.budget_out then
+          out.(i) <- out.(i) +. t.penalty;
+        if Topology.d topo at' i > p.Constraints.budget_in then
+          out.(i) <- out.(i) +. t.penalty
+      done)
+    (Constraints.partners cons j)
+
+let candidate_costs t u ~j =
+  let out = Array.make (Problem.m t.problem) 0.0 in
+  candidate_costs_into t u ~j out;
+  out
+
+(* Literal STEP-3 column sums of the paper's Q-hat: violated entries
+   are the penalty *instead of* the wire term (replacement semantics),
+   only the incoming constraint direction is visible to a column, and
+   the diagonal contributes only at the currently selected
+   coordinate. *)
+let eta_paper t u =
+  let nl = t.problem.Problem.netlist in
+  let topo = t.problem.Problem.topology in
+  let cons = t.problem.Problem.constraints in
+  let m = Problem.m t.problem and n = Problem.n t.problem in
+  let eta = Array.make (m * n) 0.0 in
+  for j = 0 to n - 1 do
+    let base = j * m in
+    eta.(base + u.(j)) <- Problem.p_entry t.problem ~i:u.(j) ~j;
+    (* quadratic part: the row index is the partner's selected coordinate *)
+    Array.iter
+      (fun (j', w) ->
+        let at' = u.(j') in
+        for i = 0 to m - 1 do
+          eta.(base + i) <- eta.(base + i) +. (w *. Topology.b topo at' i)
+        done)
+      (Netlist.adj nl j);
+    (* timing part: a violated entry replaces the wire term *)
+    Array.iter
+      (fun p ->
+        let j' = p.Constraints.other in
+        let at' = u.(j') in
+        let w = Netlist.connection nl j j' in
+        for i = 0 to m - 1 do
+          if Topology.d topo at' i > p.Constraints.budget_in then
+            eta.(base + i) <-
+              eta.(base + i) +. t.penalty -. (w *. Topology.b topo at' i)
+        done)
+      (Constraints.partners cons j)
+  done;
+  eta
+
+let eta ?(rule = Solver) t u =
+  match rule with
+  | Paper -> eta_paper t u
+  | Solver ->
+    let m = Problem.m t.problem and n = Problem.n t.problem in
+    let eta = Array.make (m * n) 0.0 in
+    let slice = Array.make m 0.0 in
+    for j = 0 to n - 1 do
+      candidate_costs_into t u ~j slice;
+      Array.blit slice 0 eta (j * m) m
+    done;
+    eta
+
+let omega ?(rule = Solver) t =
+  let nl = t.problem.Problem.netlist in
+  let topo = t.problem.Problem.topology in
+  let cons = t.problem.Problem.constraints in
+  let m = Problem.m t.problem and n = Problem.n t.problem in
+  let omega = Array.make (m * n) 0.0 in
+  (* max_b_to.(i) = max_{i'} b(i', i), the column-wise max, needed for
+     the orientations where the candidate partition is the second
+     argument of b. *)
+  let max_b_to = Array.make m 0.0 in
+  for i' = 0 to m - 1 do
+    for i = 0 to m - 1 do
+      max_b_to.(i) <- Float.max max_b_to.(i) (Topology.b topo i' i)
+    done
+  done;
+  for j = 0 to n - 1 do
+    let base = j * m in
+    for i = 0 to m - 1 do
+      let acc = ref (Problem.p_entry t.problem ~i ~j) in
+      Array.iter
+        (fun (j', w) ->
+          let bound =
+            match rule with
+            | Paper -> max_b_to.(i)
+            | Solver -> if j < j' then Topology.max_b_from topo i else max_b_to.(i)
+          in
+          acc := !acc +. (w *. bound))
+        (Netlist.adj nl j);
+      Array.iter
+        (fun p ->
+          (* worst case: some placement of the partner violates each
+             direction independently *)
+          let can_out = ref false and can_in = ref false in
+          for i' = 0 to m - 1 do
+            if Topology.d topo i i' > p.Constraints.budget_out then can_out := true;
+            if Topology.d topo i' i > p.Constraints.budget_in then can_in := true
+          done;
+          match rule with
+          | Solver ->
+            if !can_out then acc := !acc +. t.penalty;
+            if !can_in then acc := !acc +. t.penalty
+          | Paper -> if !can_in then acc := !acc +. t.penalty)
+        (Constraints.partners cons j);
+      omega.(base + i) <- !acc
+    done
+  done;
+  omega
+
+let xi t ~omega u =
+  let m = Problem.m t.problem in
+  let total = ref 0.0 in
+  Array.iteri (fun j i -> total := !total +. omega.(Assignment.flat_index ~m ~i ~j)) u;
+  !total
+
+let eta_cost_matrix flat ~m ~n =
+  if Array.length flat <> m * n then invalid_arg "Qmatrix.eta_cost_matrix: wrong length";
+  Array.init m (fun i -> Array.init n (fun j -> flat.(i + (j * m))))

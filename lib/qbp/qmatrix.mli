@@ -1,0 +1,99 @@
+(** The constraint-embedded cost matrix {m Q̂}, accessed implicitly.
+
+    Section 3 of the paper flattens the solution into a vector {m y}
+    of length {m MN} (index {m r = i + j·M}, 0-based here) and builds
+    {m Q} with {m q_{r_1 r_2} = a_{j_1 j_2} · b_{i_1 i_2}} off the
+    diagonal and {m p_{ij}} on it; timing constraints are embedded by
+    overwriting entries of timing-violating candidate pairs with a
+    penalty (Theorems 1–2).  Section 4.3 then insists that {m Q̂} is
+    {e never} materialized: "only the non-zero elements of Q-hat are
+    retrieved on demand from a sparse representation derived from
+    connection matrix A".  This module is that sparse representation.
+
+    The problem must be normalized ({m α = β = 1}); {!make} normalizes
+    automatically.
+
+    Two η conventions are provided (DESIGN.md, decision D1):
+
+    - the {e solver} rule (default): the cost of candidate {m (i, j)}
+      against the current placement {m u} of all other components —
+      diagonal {m p_{ij}} always included, each wire of {m j} counted
+      with its full weight and with the evaluator's orientation, and
+      both directions of every timing constraint of {m j} charged;
+
+    - the {e paper} rule ([`Paper]): the literal STEP-3 column sum
+      {m η_s = Σ_r q̂_{rs} u_r}, which sees only incoming constraint
+      directions and includes {m p_{ij}} only for the currently
+      selected coordinate. *)
+
+module Assignment := Qbpart_partition.Assignment
+
+type rule = Solver | Paper
+
+type t
+
+val make : ?penalty:float -> Problem.t -> t
+(** [penalty] defaults to the paper's experimental value {!default_penalty}
+    (50).  @raise Invalid_argument if [penalty <= 0]. *)
+
+val default_penalty : float
+
+val problem : t -> Problem.t
+(** The normalized problem backing this matrix. *)
+
+val penalty : t -> float
+val dim : t -> int
+(** {m MN}. *)
+
+(** {1 Entry-wise access (paper §3.3 convention)} *)
+
+val entry : t -> int -> int -> float
+(** [entry t r1 r2] is {m q̂_{r_1 r_2}} exactly as in the worked
+    example of section 3.3: {m p_{ij}} on the diagonal, 0 elsewhere
+    within a component's own block, and for {m j_1 ≠ j_2} either the
+    penalty (if assigning {m j_1→i_1, j_2→i_2} violates
+    {m D(i_1,i_2) ≤ D_C(j_1,j_2)}) or {m a_{j_1 j_2} · b_{i_1 i_2}}. *)
+
+val dense : t -> float array array
+(** Materialized {m MN×MN} matrix — for tiny instances, tests, and
+    printing the Figure-1 example.
+    @raise Invalid_argument if {m MN > 4096}. *)
+
+val value : t -> Assignment.t -> float
+(** {m yᵀQ̂y} computed entry-wise from {!entry} (each unordered wire
+    contributes twice, per the paper's symmetric-A convention).  Used
+    by tests to cross-check {!Problem.penalized_objective}; note the
+    two differ by the wire double-counting convention. *)
+
+(** {1 Solver access} *)
+
+val candidate_costs_into : t -> Assignment.t -> j:int -> float array -> unit
+(** Allocation-free variant of {!candidate_costs} writing into a
+    caller-provided length-{m M} buffer (hot path of the polish
+    pass). *)
+
+val candidate_costs : t -> Assignment.t -> j:int -> float array
+(** [candidate_costs t u ~j] is the length-{m M} vector of costs of
+    placing component [j] at each partition against the current
+    placement [u] of everything else: {m p_{ij}} plus [j]'s wires
+    (evaluator orientation, full weight) plus the penalty for each
+    violated direction of each timing constraint of [j].  This is the
+    [Solver]-rule η restricted to one component, and the exact change
+    surface used by the polish pass. *)
+
+val eta : ?rule:rule -> t -> Assignment.t -> float array
+(** STEP 3: the linearization vector, length {m MN}, index
+    {m r = i + j·M}. *)
+
+val omega : ?rule:rule -> t -> float array
+(** The bound vector {m ω} of equation (2):
+    {m ω_r ≥ Σ_s q̂_{rs} y_s} for every {m y ∈ S}, computed per row as
+    {m p_{ij} + Σ_{j'} a_{jj'} · max_{i'} b} plus the worst-case
+    penalty terms.  Computed once per solve. *)
+
+val xi : t -> omega:float array -> Assignment.t -> float
+(** STEP 3's {m ξ = Σ_r ω_r u_r}. *)
+
+val eta_cost_matrix : float array -> m:int -> n:int -> float array array
+(** Reshape a flat {m MN} vector (η or the accumulated {m h}) into the
+    {m M×N} cost matrix of the STEP-4/6 GAP subproblem. *)

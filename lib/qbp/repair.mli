@@ -1,0 +1,44 @@
+(** Local descent and feasibility repair on the embedded cost surface.
+
+    Two move classes over {m yᵀQ̂y} (both capacity-preserving):
+
+    - {e coordinate passes} — sequential single-component relocation to
+      the cheapest partition with room (Gauss–Seidel descent on
+      {!Qmatrix.candidate_costs}); components stranded in an over-full
+      partition may escape sideways, which repairs C1 overflows left
+      by the relaxed GAP solver;
+    - {e pair passes} — for each currently violated timing constraint,
+      the best {e joint} relocation of both endpoints is evaluated
+      exactly (all {m M²} placements) and applied when it lowers the
+      embedded cost.  Pair moves clear the violations that no single
+      relocation can, because the two endpoints must move together.
+
+    Under an effectively infinite penalty these passes implement the
+    feasibility repair used by the solver's probes; under the regular
+    penalty the coordinate pass is the solver's polish step. *)
+
+module Assignment := Qbpart_partition.Assignment
+
+val coordinate_pass :
+  Qmatrix.t ->
+  Assignment.t ->
+  loads:float array ->
+  scratch:float array ->
+  bool
+(** One in-place pass; [scratch] is a length-{m M} buffer.  Returns
+    whether any component moved.  [loads] is kept in sync. *)
+
+val polish : Qmatrix.t -> Assignment.t -> passes:int -> unit
+(** Repeated {!coordinate_pass} until fixpoint or budget. *)
+
+val pair_pass :
+  Qmatrix.t -> Assignment.t -> loads:float array -> max_pairs:int -> bool
+(** One pass of joint pair relocation over currently violated
+    constraints (at most [max_pairs] of them).  Returns whether any
+    pair moved. *)
+
+val to_feasible : Qmatrix.t -> Assignment.t -> rounds:int -> bool
+(** Alternate {!polish} and {!pair_pass} up to [rounds] times, aiming
+    at timing feasibility; returns whether the assignment satisfies
+    all timing constraints on exit.  Intended to be called with a
+    strict (huge-penalty) matrix. *)

@@ -1,0 +1,35 @@
+module Topology = Qbpart_topology.Topology
+
+type violation = { j1 : int; j2 : int; delay : float; budget : float }
+
+let violations c topo ~assignment =
+  Constraints.fold c ~init:[] ~f:(fun acc j1 j2 budget ->
+      let delay = Topology.d topo assignment.(j1) assignment.(j2) in
+      if delay > budget then { j1; j2; delay; budget } :: acc else acc)
+  |> List.rev
+
+let count c topo ~assignment =
+  Constraints.fold c ~init:0 ~f:(fun acc j1 j2 budget ->
+      if Topology.d topo assignment.(j1) assignment.(j2) > budget then acc + 1 else acc)
+
+let feasible c topo ~assignment = count c topo ~assignment = 0
+
+let worst_slack c topo ~assignment =
+  Constraints.fold c ~init:infinity ~f:(fun acc j1 j2 budget ->
+      Float.min acc (budget -. Topology.d topo assignment.(j1) assignment.(j2)))
+
+let placement_ok c topo ~j ~at ~where =
+  let ps = Constraints.partners c j in
+  let ok = ref true in
+  let k = Array.length ps in
+  let i = ref 0 in
+  while !ok && !i < k do
+    let p = ps.(!i) in
+    (match where p.Constraints.other with
+    | None -> ()
+    | Some at' ->
+      if Topology.d topo at at' > p.Constraints.budget_out then ok := false
+      else if Topology.d topo at' at > p.Constraints.budget_in then ok := false);
+    incr i
+  done;
+  !ok

@@ -1,0 +1,93 @@
+module Sm = Qbpart_netlist.Sparse_matrix
+
+type partner = { other : int; budget_out : float; budget_in : float }
+
+type t = {
+  dc : Sm.t; (* directed budgets, default +inf *)
+  mutable index : partner array array option; (* invalidated on add *)
+}
+
+let create ~n =
+  if n < 0 then invalid_arg "Constraints.create: negative n";
+  { dc = Sm.create ~default:infinity ~rows:n ~cols:n (); index = None }
+
+let n t = Sm.rows t.dc
+
+let add t j1 j2 budget =
+  if j1 = j2 then invalid_arg "Constraints.add: self-pair";
+  if Float.is_nan budget || budget < 0.0 then
+    invalid_arg (Printf.sprintf "Constraints.add %d->%d: bad budget %g" j1 j2 budget);
+  if budget < Sm.get t.dc j1 j2 then begin
+    Sm.set t.dc j1 j2 budget;
+    t.index <- None
+  end
+
+let add_sym t j1 j2 budget =
+  add t j1 j2 budget;
+  add t j2 j1 budget
+
+let budget t j1 j2 = Sm.get t.dc j1 j2
+let mem t j1 j2 = Sm.mem t.dc j1 j2
+let count t = Sm.nnz t.dc
+
+let iter t f = Sm.iter t.dc f
+
+let fold t ~init ~f = Sm.fold t.dc ~init ~f
+
+let pair_count t =
+  let seen = Hashtbl.create (count t) in
+  iter t (fun j1 j2 _ ->
+      let key = if j1 < j2 then (j1, j2) else (j2, j1) in
+      Hashtbl.replace seen key ());
+  Hashtbl.length seen
+
+let build_index t =
+  let n = n t in
+  let accum : (int, float * float) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 4) in
+  let update j other ~out ~inc =
+    let prev_out, prev_in =
+      match Hashtbl.find_opt accum.(j) other with
+      | Some p -> p
+      | None -> (infinity, infinity)
+    in
+    Hashtbl.replace accum.(j) other (Float.min prev_out out, Float.min prev_in inc)
+  in
+  iter t (fun j1 j2 b ->
+      update j1 j2 ~out:b ~inc:infinity;
+      update j2 j1 ~out:infinity ~inc:b);
+  Array.map
+    (fun h ->
+      let lst =
+        Hashtbl.fold
+          (fun other (budget_out, budget_in) acc -> { other; budget_out; budget_in } :: acc)
+          h []
+      in
+      let arr = Array.of_list lst in
+      Array.sort (fun a b -> Int.compare a.other b.other) arr;
+      arr)
+    accum
+
+let partners t j =
+  let idx =
+    match t.index with
+    | Some idx -> idx
+    | None ->
+      let idx = build_index t in
+      t.index <- Some idx;
+      idx
+  in
+  idx.(j)
+
+let max_partner_degree t =
+  let best = ref 0 in
+  for j = 0 to n t - 1 do
+    best := max !best (Array.length (partners t j))
+  done;
+  !best
+
+let copy t = { dc = Sm.copy t.dc; index = None }
+let empty t = count t = 0
+
+let pp ppf t =
+  Format.fprintf ppf "constraints<%d directed budgets over %d pairs, %d components>"
+    (count t) (pair_count t) (n t)

@@ -1,0 +1,76 @@
+module Netlist = Qbpart_netlist.Netlist
+
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Fail of error
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Fail { line; message })) fmt
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let strip_comment raw =
+  let raw =
+    match String.index_opt raw '#' with Some i -> String.sub raw 0 i | None -> raw
+  in
+  match String.index_opt raw ';' with Some i -> String.sub raw 0 i | None -> raw
+
+let parse_string nl source =
+  let cons = Constraints.create ~n:(Netlist.n nl) in
+  let lookup ln name =
+    match Netlist.find_by_name nl name with
+    | Some id -> id
+    | None -> fail ln "unknown component %S" name
+  in
+  let budget_of ln s =
+    match float_of_string_opt s with
+    | Some x when x >= 0.0 && not (Float.is_nan x) -> x
+    | _ -> fail ln "invalid budget %S" s
+  in
+  match
+    List.iteri
+      (fun idx raw ->
+        let ln = idx + 1 in
+        match tokens (strip_comment raw) with
+        | [] -> ()
+        | [ "budget"; f; t; b ] ->
+          let j1 = lookup ln f and j2 = lookup ln t in
+          if j1 = j2 then fail ln "budget on a component with itself: %S" f;
+          Constraints.add cons j1 j2 (budget_of ln b)
+        | [ "budget_sym"; a; b; x ] ->
+          let j1 = lookup ln a and j2 = lookup ln b in
+          if j1 = j2 then fail ln "budget on a component with itself: %S" a;
+          Constraints.add_sym cons j1 j2 (budget_of ln x)
+        | cmd :: _ -> fail ln "unknown declaration %S (budget | budget_sym)" cmd)
+      (String.split_on_char '\n' source)
+  with
+  | () -> Ok cons
+  | exception Fail e -> Error e
+
+let parse_file nl path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      parse_string nl contents)
+
+let to_string nl cons =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# qbpart timing budgets\n";
+  Constraints.iter cons (fun j1 j2 b ->
+      Buffer.add_string buf
+        (Printf.sprintf "budget %s %s %.17g\n"
+           (Qbpart_netlist.Component.name (Netlist.component nl j1))
+           (Qbpart_netlist.Component.name (Netlist.component nl j2))
+           b));
+  Buffer.contents buf
+
+let to_file nl cons path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc (to_string nl cons))

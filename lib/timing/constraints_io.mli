@@ -1,0 +1,28 @@
+(** Textual format for timing-budget files (the {m D_C} matrix).
+
+    Line-oriented, referencing components by name so the file pairs
+    with a netlist in {!Qbpart_netlist.Parser}'s format:
+    {v
+    # comment
+    budget <from> <to> <max-delay>      # directed
+    budget_sym <a> <b> <max-delay>      # both directions
+    v}
+    Duplicate lines keep the tighter budget, mirroring
+    {!Constraints.add}. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val parse_string : Qbpart_netlist.Netlist.t -> string -> (Constraints.t, error) result
+(** Budgets are resolved against the given netlist's component names. *)
+
+val parse_file : Qbpart_netlist.Netlist.t -> string -> (Constraints.t, error) result
+(** @raise Sys_error if the file cannot be opened. *)
+
+val to_string : Qbpart_netlist.Netlist.t -> Constraints.t -> string
+(** Inverse of {!parse_string}: one [budget] line per stored directed
+    entry, in iteration order. *)
+
+val to_file : Qbpart_netlist.Netlist.t -> Constraints.t -> string -> unit

@@ -1,0 +1,15 @@
+let affine_of_distance ~base ~per_unit dist =
+  if base < 0.0 || per_unit < 0.0 then
+    invalid_arg "Delay_model.affine_of_distance: negative coefficient";
+  Array.mapi
+    (fun i row ->
+      Array.mapi (fun j x -> if i = j then 0.0 else base +. (per_unit *. x)) row)
+    dist
+
+let with_delay t ~d =
+  Topology.make
+    ~names:(Array.init (Topology.m t) (Topology.name t))
+    ~capacities:(Topology.capacities t) ~b:(Topology.b_matrix t) ~d ()
+
+let with_affine_delay ~base ~per_unit t =
+  with_delay t ~d:(affine_of_distance ~base ~per_unit (Topology.d_matrix t))

@@ -1,0 +1,22 @@
+(** Inter-partition routing-delay models.
+
+    The formulation deliberately assumes no relationship between the
+    wiring-cost matrix {m B} and the delay matrix {m D} (section 2.1);
+    in practice {m D} is usually derived from the package geometry.
+    This module provides the common derivations used by the examples
+    and the experiment generator. *)
+
+val affine_of_distance :
+  base:float -> per_unit:float -> float array array -> float array array
+(** [affine_of_distance ~base ~per_unit dist] maps each off-diagonal
+    distance {m x} to {m base + per\_unit·x} and keeps the diagonal at
+    0 (intra-partition routing is assumed to meet any budget).  Models
+    a fixed driver/receiver delay plus a per-unit-length flight time.
+    @raise Invalid_argument on negative [base]/[per_unit]. *)
+
+val with_delay : Topology.t -> d:float array array -> Topology.t
+(** Replace a topology's delay matrix. *)
+
+val with_affine_delay : base:float -> per_unit:float -> Topology.t -> Topology.t
+(** Replace {m D} by the affine model applied to the topology's
+    current {m D} (treated as a distance matrix). *)

@@ -1,0 +1,49 @@
+type metric = Manhattan | Squared | Crossings
+
+let slot ~cols i = (i / cols, i mod cols)
+let index ~cols ~row ~col = (row * cols) + col
+
+let manhattan ~rows ~cols i1 i2 =
+  if i1 < 0 || i1 >= rows * cols || i2 < 0 || i2 >= rows * cols then
+    invalid_arg "Grid.manhattan: slot out of range";
+  let r1, c1 = slot ~cols i1 and r2, c2 = slot ~cols i2 in
+  float_of_int (abs (r1 - r2) + abs (c1 - c2))
+
+let b_of_metric metric ~rows ~cols =
+  let m = rows * cols in
+  Array.init m (fun i1 ->
+      Array.init m (fun i2 ->
+          let d = manhattan ~rows ~cols i1 i2 in
+          match metric with
+          | Manhattan -> d
+          | Squared -> d *. d
+          | Crossings -> if i1 = i2 then 0.0 else 1.0))
+
+let default_names ~rows ~cols =
+  Array.init (rows * cols) (fun i ->
+      let r, c = slot ~cols i in
+      Printf.sprintf "r%dc%d" r c)
+
+let make_capacities ?(metric = Manhattan) ?(delay_scale = 1.0) ~rows ~cols ~capacities () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Grid.make: rows and cols must be positive";
+  if delay_scale < 0.0 then invalid_arg "Grid.make: negative delay_scale";
+  if Array.length capacities <> rows * cols then
+    invalid_arg "Grid.make_capacities: capacities length must be rows*cols";
+  let b = b_of_metric metric ~rows ~cols in
+  let d =
+    Array.map (Array.map (fun x -> x *. delay_scale)) (b_of_metric Manhattan ~rows ~cols)
+  in
+  Topology.make ~names:(default_names ~rows ~cols) ~capacities ~b ~d ()
+
+let make ?metric ?delay_scale ?names ~rows ~cols ~capacity () =
+  if capacity <= 0.0 then invalid_arg "Grid.make: capacity must be positive";
+  let t =
+    make_capacities ?metric ?delay_scale ~rows ~cols
+      ~capacities:(Array.make (rows * cols) capacity)
+      ()
+  in
+  match names with
+  | None -> t
+  | Some names ->
+    Topology.make ~names ~capacities:(Topology.capacities t) ~b:(Topology.b_matrix t)
+      ~d:(Topology.d_matrix t) ()

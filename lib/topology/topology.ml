@@ -1,0 +1,90 @@
+type t = {
+  names : string array;
+  capacities : float array;
+  b : float array array;
+  d : float array array;
+  max_b_from : float array; (* per-row max of B, precomputed for omega bounds *)
+}
+
+let copy_matrix m = Array.map Array.copy m
+
+let check_square what m expected =
+  if Array.length m <> expected then
+    invalid_arg (Printf.sprintf "Topology: %s has %d rows, expected %d" what (Array.length m) expected);
+  Array.iteri
+    (fun r row ->
+      if Array.length row <> expected then
+        invalid_arg (Printf.sprintf "Topology: %s row %d has %d cols, expected %d" what r (Array.length row) expected);
+      Array.iteri
+        (fun c x ->
+          if x < 0.0 || Float.is_nan x then
+            invalid_arg (Printf.sprintf "Topology: %s[%d][%d] = %g is negative or NaN" what r c x))
+        row)
+    m
+
+let make ?names ~capacities ~b ~d () =
+  let m = Array.length capacities in
+  if m = 0 then invalid_arg "Topology: need at least one partition";
+  Array.iteri
+    (fun i c ->
+      if c < 0.0 || Float.is_nan c then
+        invalid_arg (Printf.sprintf "Topology: capacity %d = %g is negative or NaN" i c))
+    capacities;
+  check_square "B" b m;
+  check_square "D" d m;
+  let names =
+    match names with
+    | None -> Array.init m (fun i -> Printf.sprintf "p%d" i)
+    | Some ns ->
+      if Array.length ns <> m then invalid_arg "Topology: names length mismatch";
+      Array.copy ns
+  in
+  let b = copy_matrix b and d = copy_matrix d in
+  let max_b_from = Array.map (fun row -> Array.fold_left Float.max 0.0 row) b in
+  { names; capacities = Array.copy capacities; b; d; max_b_from }
+
+let m t = Array.length t.capacities
+
+let capacity t i = t.capacities.(i)
+let capacities t = Array.copy t.capacities
+let total_capacity t = Array.fold_left ( +. ) 0.0 t.capacities
+let b t i1 i2 = t.b.(i1).(i2)
+let d t i1 i2 = t.d.(i1).(i2)
+let b_matrix t = copy_matrix t.b
+let d_matrix t = copy_matrix t.d
+let name t i = t.names.(i)
+let max_b_from t i = t.max_b_from.(i)
+let max_b t = Array.fold_left Float.max 0.0 t.max_b_from
+let max_d t = Array.fold_left (fun acc row -> Array.fold_left Float.max acc row) 0.0 t.d
+
+let symmetric m =
+  let n = Array.length m in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if m.(i).(j) <> m.(j).(i) then ok := false
+    done
+  done;
+  !ok
+
+let b_symmetric t = symmetric t.b
+let d_symmetric t = symmetric t.d
+
+let with_zero_b t =
+  let mm = m t in
+  make ~names:t.names ~capacities:t.capacities
+    ~b:(Array.make_matrix mm mm 0.0)
+    ~d:t.d ()
+
+let scale_b t factor =
+  if factor < 0.0 then invalid_arg "Topology.scale_b: negative factor";
+  make ~names:t.names ~capacities:t.capacities
+    ~b:(Array.map (Array.map (fun x -> x *. factor)) t.b)
+    ~d:t.d ()
+
+let equal a b =
+  a.names = b.names && a.capacities = b.capacities && a.b = b.b && a.d = b.d
+
+let pp ppf t =
+  Format.fprintf ppf "topology<%d partitions, capacity %g, max B %g, max D %g>"
+    (m t) (total_capacity t) (max_b t) (max_d t)

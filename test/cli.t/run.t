@@ -1,0 +1,43 @@
+The qbpart CLI end to end.  Generate a small netlist:
+
+  $ qbpart generate -n 12 -w 30 --seed 5 -o design.net
+  wrote design.net: 12 components, 30 interconnections
+
+  $ qbpart stats design.net
+  design.net: 12 components, 13 wire pairs (30 wires), size total 225.3 [1.30..55.4], deg max 5 mean 2.2
+
+Write a timing-budget file referencing the generated component names:
+
+  $ cat > design.budgets <<EOF
+  > budget_sym c0 c1 2
+  > budget c2 c3 3
+  > EOF
+
+Solve with each algorithm; the assignment goes to stdout (progress is
+on stderr), so the output is deterministic:
+
+  $ qbpart solve design.net -t design.budgets --rows 2 --cols 2 --slack 1.4 -a qbp -o design.asgn 2>/dev/null
+
+  $ wc -l < design.asgn
+  12
+
+  $ qbpart solve design.net --rows 2 --cols 2 --slack 1.4 -a gfm 2>/dev/null | head -3
+  c0 r1c1
+  c1 r1c1
+  c2 r1c0
+
+Evaluate the saved assignment:
+
+  $ qbpart eval design.net design.asgn -t design.budgets --rows 2 --cols 2 --slack 1.4 | tail -2
+  timing violations 0 (worst slack 2)
+  feasible          true
+
+Errors are reported with positions:
+
+  $ cat > bad.net <<EOF
+  > component a 1
+  > wire a b
+  > EOF
+  $ qbpart stats bad.net
+  qbpart: bad.net: line 2: unknown component "b"
+  [124]

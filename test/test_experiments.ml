@@ -1,0 +1,181 @@
+(* Tests for the benchmark suite: Table-I calibration, instance
+   feasibility witnesses, and the experiment runner (on a downsized
+   instance so the suite stays fast). *)
+
+open Qbpart_experiments
+module Netlist = Qbpart_netlist.Netlist
+module Constraints = Qbpart_timing.Constraints
+module Validate = Qbpart_partition.Validate
+module Evaluate = Qbpart_partition.Evaluate
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let small_spec =
+  (* a downsized family member so the runner tests stay quick *)
+  { Circuits.name = "mini"; n = 80; wires = 600; timing_constraints = 400; seed = 11 }
+
+let small_instance = lazy (Circuits.build small_spec)
+
+let test_table1_specs () =
+  let specs = Circuits.table1 in
+  check Alcotest.int "seven circuits" 7 (List.length specs);
+  let expected =
+    [
+      ("ckta", 339, 8200, 3464);
+      ("cktb", 357, 3017, 1325);
+      ("cktc", 545, 12141, 11545);
+      ("cktd", 521, 6309, 6009);
+      ("ckte", 380, 3831, 3760);
+      ("cktf", 607, 4809, 4683);
+      ("cktg", 472, 3376, 3376);
+    ]
+  in
+  List.iter2
+    (fun spec (name, n, wires, tc) ->
+      check Alcotest.string "name" name spec.Circuits.name;
+      check Alcotest.int "components" n spec.Circuits.n;
+      check Alcotest.int "wires" wires spec.Circuits.wires;
+      check Alcotest.int "timing constraints" tc spec.Circuits.timing_constraints)
+    specs expected
+
+let test_instance_matches_spec () =
+  let inst = Lazy.force small_instance in
+  check Alcotest.int "components" 80 (Netlist.n inst.Circuits.netlist);
+  check (Alcotest.float 1e-9) "wires" 600.0 (Netlist.total_wire_weight inst.Circuits.netlist);
+  check Alcotest.int "constraints" 400 (Constraints.count inst.Circuits.constraints)
+
+let test_reference_witnesses_feasibility () =
+  let inst = Lazy.force small_instance in
+  Validate.assert_feasible ~constraints:inst.Circuits.constraints inst.Circuits.netlist
+    inst.Circuits.topology inst.Circuits.reference
+
+let test_instance_deterministic () =
+  let a = Circuits.build small_spec and b = Circuits.build small_spec in
+  check Alcotest.bool "same netlist" true (Netlist.equal a.Circuits.netlist b.Circuits.netlist);
+  check Alcotest.bool "same reference" true (a.Circuits.reference = b.Circuits.reference);
+  check Alcotest.int "same constraints" (Constraints.count a.Circuits.constraints)
+    (Constraints.count b.Circuits.constraints)
+
+let test_full_scale_instance_calibration () =
+  (* one real Table-I circuit: counts must match the paper exactly *)
+  let inst = Circuits.build (List.hd Circuits.table1) in
+  check Alcotest.int "ckta components" 339 (Netlist.n inst.Circuits.netlist);
+  check (Alcotest.float 1e-9) "ckta wires" 8200.0
+    (Netlist.total_wire_weight inst.Circuits.netlist);
+  check Alcotest.int "ckta constraints" 3464 (Constraints.count inst.Circuits.constraints);
+  Validate.assert_feasible ~constraints:inst.Circuits.constraints inst.Circuits.netlist
+    inst.Circuits.topology inst.Circuits.reference
+
+let test_initial_solution_feasible () =
+  let inst = Lazy.force small_instance in
+  let a = Runner.initial_solution inst in
+  Validate.assert_feasible ~constraints:inst.Circuits.constraints inst.Circuits.netlist
+    inst.Circuits.topology a
+
+let test_runner_row_shape () =
+  let inst = Lazy.force small_instance in
+  let qbp_config = { Qbpart_core.Burkard.Config.default with iterations = 20 } in
+  let row = Runner.run ~with_timing:true ~qbp_config inst in
+  check Alcotest.string "name" "mini" row.Runner.name;
+  if row.Runner.start <= 0.0 then fail "start cost not positive";
+  List.iter
+    (fun (label, (c : Runner.cell)) ->
+      if c.Runner.final > row.Runner.start +. 1e-9 then
+        fail (label ^ " made the solution worse");
+      if c.Runner.improvement_pct < -1e-9 || c.Runner.improvement_pct > 100.0 then
+        fail (label ^ " has nonsensical improvement");
+      if c.Runner.cpu_seconds < 0.0 then fail (label ^ " has negative cpu"))
+    [ ("qbp", row.Runner.qbp); ("gfm", row.Runner.gfm); ("gkl", row.Runner.gkl) ]
+
+let test_runner_tables_share_start () =
+  let inst = Lazy.force small_instance in
+  let qbp_config = { Qbpart_core.Burkard.Config.default with iterations = 10 } in
+  let initial = Runner.initial_solution inst in
+  let row2 = Runner.run ~with_timing:false ~qbp_config ~initial inst in
+  let row3 = Runner.run ~with_timing:true ~qbp_config ~initial inst in
+  check (Alcotest.float 1e-9) "same start in II and III" row2.Runner.start row3.Runner.start
+
+let test_robustness_runs () =
+  let inst = Lazy.force small_instance in
+  let r = Runner.random_start_robustness ~starts:1 ~with_timing:false inst in
+  check Alcotest.int "starts recorded" 1 r.Runner.starts;
+  if r.Runner.from_initial <= 0.0 then fail "from_initial not positive"
+
+let test_problem_packaging () =
+  let inst = Lazy.force small_instance in
+  let with_t = Circuits.problem inst in
+  let without_t = Circuits.problem ~with_timing:false inst in
+  check Alcotest.int "constraints included" 400
+    (Constraints.count with_t.Qbpart_core.Problem.constraints);
+  check Alcotest.int "constraints dropped" 0
+    (Constraints.count without_t.Qbpart_core.Problem.constraints)
+
+let test_report_rendering () =
+  let inst = Lazy.force small_instance in
+  let qbp_config = { Qbpart_core.Burkard.Config.default with iterations = 5 } in
+  let row = Runner.run ~with_timing:true ~qbp_config inst in
+  let out = Format.asprintf "%a" (fun ppf -> Report.results ~title:"T" ppf) [ row ] in
+  if not (String.length out > 0) then fail "empty report";
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let out1 = Format.asprintf "%a" Report.table1 [ inst ] in
+  check Alcotest.bool "table 1 mentions the circuit" true (contains out1 "mini")
+
+let test_stats () =
+  let inst = Lazy.force small_instance in
+  let s = Circuits.stats inst in
+  check Alcotest.int "stat components" 80 s.Qbpart_netlist.Stats.components
+
+let test_scaling_sweep () =
+  match Sweeps.scaling ~sizes:[ 40 ] ~iterations:5 () with
+  | [ p ] ->
+    check Alcotest.int "n recorded" 40 p.Sweeps.n;
+    if p.Sweeps.per_iteration_seconds < 0.0 then fail "negative time";
+    check Alcotest.int "iterations recorded" 5 p.Sweeps.iterations
+  | _ -> fail "expected one point"
+
+let test_iteration_sweep_monotone_budget () =
+  let inst = Lazy.force small_instance in
+  match Sweeps.iteration_sweep ~budgets:[ 2; 30 ] inst with
+  | [ small; large ] ->
+    check Alcotest.int "budgets recorded" 2 small.Sweeps.iterations;
+    (* more iterations never hurt the best-so-far tracking from the
+       same deterministic start *)
+    if large.Sweeps.final > small.Sweeps.final +. 1e-6 then
+      fail "more iterations produced a worse best";
+    ()
+  | _ -> fail "expected two points"
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "circuits",
+        [
+          Alcotest.test_case "table 1 specs" `Quick test_table1_specs;
+          Alcotest.test_case "instance matches spec" `Quick test_instance_matches_spec;
+          Alcotest.test_case "reference witnesses feasibility" `Quick
+            test_reference_witnesses_feasibility;
+          Alcotest.test_case "deterministic" `Quick test_instance_deterministic;
+          Alcotest.test_case "full-scale calibration (ckta)" `Slow
+            test_full_scale_instance_calibration;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "problem packaging" `Quick test_problem_packaging;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "initial solution feasible" `Quick test_initial_solution_feasible;
+          Alcotest.test_case "row shape" `Quick test_runner_row_shape;
+          Alcotest.test_case "tables share start" `Quick test_runner_tables_share_start;
+          Alcotest.test_case "robustness" `Quick test_robustness_runs;
+        ] );
+      ("report", [ Alcotest.test_case "rendering" `Quick test_report_rendering ]);
+      ( "sweeps",
+        [
+          Alcotest.test_case "scaling" `Quick test_scaling_sweep;
+          Alcotest.test_case "iteration budget" `Quick test_iteration_sweep_monotone_budget;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+(* Tests for the Hungarian Linear Assignment Problem solver, checked
+   against brute-force enumeration. *)
+
+open Qbpart_lap
+module Rng = Qbpart_netlist.Rng
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let flt = Alcotest.float 1e-9
+
+let brute_force cost =
+  let n = Array.length cost in
+  let best = ref infinity in
+  let phi = Array.init n Fun.id in
+  let rec permute k =
+    if k = n then begin
+      let c = Hungarian.cost_of cost phi in
+      if c < !best then best := c
+    end
+    else
+      for i = k to n - 1 do
+        let tmp = phi.(k) in
+        phi.(k) <- phi.(i);
+        phi.(i) <- tmp;
+        permute (k + 1);
+        let tmp = phi.(k) in
+        phi.(k) <- phi.(i);
+        phi.(i) <- tmp
+      done
+  in
+  permute 0;
+  !best
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then false
+      else begin
+        seen.(i) <- true;
+        true
+      end)
+    a
+
+let test_trivial () =
+  let a, c = Hungarian.solve [| [| 42.0 |] |] in
+  check Alcotest.int "single row" 0 a.(0);
+  check flt "single cost" 42.0 c
+
+let test_identity_optimal () =
+  let cost = [| [| 0.; 9.; 9. |]; [| 9.; 0.; 9. |]; [| 9.; 9.; 0. |] |] in
+  let a, c = Hungarian.solve cost in
+  check flt "zero diagonal" 0.0 c;
+  check Alcotest.(array int) "identity" [| 0; 1; 2 |] a
+
+let test_antidiagonal () =
+  let cost = [| [| 9.; 9.; 0. |]; [| 9.; 0.; 9. |]; [| 0.; 9.; 9. |] |] in
+  let _, c = Hungarian.solve cost in
+  check flt "antidiagonal" 0.0 c
+
+let test_known_instance () =
+  (* classic 4x4 example *)
+  let cost =
+    [|
+      [| 82.; 83.; 69.; 92. |];
+      [| 77.; 37.; 49.; 92. |];
+      [| 11.; 69.; 5.; 86. |];
+      [| 8.; 9.; 98.; 23. |];
+    |]
+  in
+  let a, c = Hungarian.solve cost in
+  check flt "known optimum" 140.0 c;
+  check Alcotest.bool "permutation" true (is_permutation a);
+  check flt "assignment consistent with cost" c (Hungarian.cost_of cost a)
+
+let test_negative_costs () =
+  let cost = [| [| -5.; 0. |]; [| 0.; -7. |] |] in
+  let _, c = Hungarian.solve cost in
+  check flt "negative optimum" (-12.0) c
+
+let test_validation () =
+  (try
+     ignore (Hungarian.solve [||]);
+     fail "empty accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Hungarian.solve [| [| 1.; 2. |]; [| 1. |] |]);
+     fail "ragged accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Hungarian.solve [| [| nan |] |]);
+    fail "NaN accepted"
+  with Invalid_argument _ -> ()
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"Hungarian == brute force (n <= 6)" ~count:80
+    QCheck.(pair (int_range 1 6) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let cost =
+        Array.init n (fun _ -> Array.init n (fun _ -> Rng.float rng 100.0 -. 30.0))
+      in
+      let a, c = Hungarian.solve cost in
+      is_permutation a
+      && Float.abs (c -. Hungarian.cost_of cost a) < 1e-6
+      && Float.abs (c -. brute_force cost) < 1e-6)
+
+let prop_permutation_always =
+  QCheck.Test.make ~name:"result is always a permutation" ~count:40
+    QCheck.(pair (int_range 1 12) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let cost = Array.init n (fun _ -> Array.init n (fun _ -> Rng.float rng 10.0)) in
+      let a, _ = Hungarian.solve cost in
+      is_permutation a)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "lap"
+    [
+      ( "hungarian",
+        [
+          Alcotest.test_case "1x1" `Quick test_trivial;
+          Alcotest.test_case "identity optimal" `Quick test_identity_optimal;
+          Alcotest.test_case "antidiagonal" `Quick test_antidiagonal;
+          Alcotest.test_case "known 4x4" `Quick test_known_instance;
+          Alcotest.test_case "negative costs" `Quick test_negative_costs;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ("properties", [ q prop_matches_brute_force; q prop_permutation_always ]);
+    ]

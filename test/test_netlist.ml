@@ -1,0 +1,550 @@
+(* Tests for the netlist substrate: RNG, components, wires, sparse
+   matrices, netlist construction, statistics, the synthetic generator
+   and the textual format round-trip. *)
+
+open Qbpart_netlist
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  if List.equal Int.equal xs ys then fail "different seeds gave identical streams"
+
+let test_rng_int_range () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then fail (Printf.sprintf "Rng.int out of range: %d" v)
+  done
+
+let test_rng_int_coverage () =
+  let r = Rng.create 99 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10_000 do
+    seen.(Rng.int r 10) <- true
+  done;
+  Array.iteri (fun i b -> if not b then fail (Printf.sprintf "value %d never drawn" i)) seen
+
+let test_rng_float_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then fail (Printf.sprintf "Rng.float out of range: %g" v)
+  done
+
+let test_rng_log_uniform () =
+  let r = Rng.create 5 in
+  let lo = 1.0 and hi = 100.0 in
+  let below_10 = ref 0 in
+  let total = 20_000 in
+  for _ = 1 to total do
+    let v = Rng.log_uniform r ~lo ~hi in
+    if v < lo || v > hi then fail (Printf.sprintf "log_uniform out of range: %g" v);
+    if v < 10.0 then incr below_10
+  done;
+  (* log-uniform on [1,100]: half the mass below the geometric mean 10 *)
+  let frac = float_of_int !below_10 /. float_of_int total in
+  if frac < 0.45 || frac > 0.55 then
+    fail (Printf.sprintf "log_uniform not log-flat: %.3f below geometric mean" frac)
+
+let test_rng_permutation () =
+  let r = Rng.create 11 in
+  let p = Rng.permutation r 50 in
+  let sorted = Array.copy p in
+  Array.sort Int.compare sorted;
+  check Alcotest.(array int) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  if List.equal Int.equal xs ys then fail "split stream equals parent stream"
+
+let test_rng_invalid_bound () =
+  let r = Rng.create 0 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+(* ------------------------------------------------------------------ *)
+(* Component / Wire *)
+
+let test_component_validation () =
+  (try
+     ignore (Component.make ~id:0 ~name:"x" ~size:0.0);
+     fail "size 0 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Component.make ~id:(-1) ~name:"x" ~size:1.0);
+     fail "negative id accepted"
+   with Invalid_argument _ -> ());
+  let c = Component.make ~id:3 ~name:"alu" ~size:2.5 in
+  check Alcotest.int "id" 3 (Component.id c);
+  check Alcotest.string "name" "alu" (Component.name c);
+  check (Alcotest.float 1e-9) "size" 2.5 (Component.size c)
+
+let test_wire_normalization () =
+  let w = Wire.make 5 2 ~weight:3.0 in
+  check Alcotest.int "u" 2 (Wire.u w);
+  check Alcotest.int "v" 5 (Wire.v w);
+  check (Alcotest.float 1e-9) "weight" 3.0 (Wire.weight w);
+  check Alcotest.int "other u" 5 (Wire.other w 2);
+  check Alcotest.int "other v" 2 (Wire.other w 5)
+
+let test_wire_validation () =
+  (try
+     ignore (Wire.make 1 1 ~weight:1.0);
+     fail "self-loop accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Wire.make 0 1 ~weight:0.0);
+     fail "zero weight accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Wire.make (-1) 1 ~weight:1.0);
+    fail "negative id accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sparse_matrix *)
+
+let test_sparse_basic () =
+  let m = Sparse_matrix.create ~rows:3 ~cols:4 () in
+  check (Alcotest.float 0.0) "default get" 0.0 (Sparse_matrix.get m 1 2);
+  Sparse_matrix.set m 1 2 5.0;
+  check (Alcotest.float 0.0) "set/get" 5.0 (Sparse_matrix.get m 1 2);
+  check Alcotest.int "nnz" 1 (Sparse_matrix.nnz m);
+  Sparse_matrix.set m 1 2 0.0;
+  check Alcotest.int "erased on default" 0 (Sparse_matrix.nnz m)
+
+let test_sparse_default_inf () =
+  let m = Sparse_matrix.create ~default:infinity ~rows:2 ~cols:2 () in
+  check (Alcotest.float 0.0) "default inf" infinity (Sparse_matrix.get m 0 1);
+  Sparse_matrix.set m 0 1 3.0;
+  check (Alcotest.float 0.0) "stored" 3.0 (Sparse_matrix.get m 0 1);
+  check Alcotest.bool "mem" true (Sparse_matrix.mem m 0 1);
+  check Alcotest.bool "not mem" false (Sparse_matrix.mem m 1 0)
+
+let test_sparse_add () =
+  let m = Sparse_matrix.create ~rows:2 ~cols:2 () in
+  Sparse_matrix.add m 0 0 2.0;
+  Sparse_matrix.add m 0 0 3.0;
+  check (Alcotest.float 0.0) "accumulated" 5.0 (Sparse_matrix.get m 0 0)
+
+let test_sparse_dense_roundtrip () =
+  let dense = [| [| 0.; 1.; 0. |]; [| 2.; 0.; 3.5 |] |] in
+  let m = Sparse_matrix.of_dense dense in
+  check Alcotest.int "nnz" 3 (Sparse_matrix.nnz m);
+  let back = Sparse_matrix.to_dense m in
+  Array.iteri
+    (fun r row ->
+      Array.iteri (fun c x -> check (Alcotest.float 0.0) "entry" x back.(r).(c)) row)
+    dense
+
+let test_sparse_row_sorted () =
+  let m = Sparse_matrix.create ~rows:1 ~cols:10 () in
+  List.iter (fun c -> Sparse_matrix.set m 0 c (float_of_int c)) [ 7; 2; 9; 4 ];
+  let cols = List.map fst (Sparse_matrix.row_entries m 0) in
+  check Alcotest.(list int) "sorted columns" [ 2; 4; 7; 9 ] cols
+
+let test_sparse_out_of_range () =
+  let m = Sparse_matrix.create ~rows:2 ~cols:2 () in
+  try
+    ignore (Sparse_matrix.get m 2 0);
+    fail "out of range accepted"
+  with Invalid_argument _ -> ()
+
+let test_sparse_equal () =
+  let a = Sparse_matrix.of_dense [| [| 1.; 0. |]; [| 0.; 2. |] |] in
+  let b = Sparse_matrix.of_dense [| [| 1.; 0. |]; [| 0.; 2. |] |] in
+  let c = Sparse_matrix.of_dense [| [| 1.; 0. |]; [| 0.; 3. |] |] in
+  check Alcotest.bool "equal" true (Sparse_matrix.equal a b);
+  check Alcotest.bool "not equal" false (Sparse_matrix.equal a c)
+
+(* ------------------------------------------------------------------ *)
+(* Netlist *)
+
+let triangle () =
+  let b = Netlist.Builder.create () in
+  let a = Netlist.Builder.add_component b ~name:"a" ~size:1.0 () in
+  let c = Netlist.Builder.add_component b ~name:"b" ~size:2.0 () in
+  let d = Netlist.Builder.add_component b ~name:"c" ~size:3.0 () in
+  Netlist.Builder.add_wire b a c ~weight:5.0 ();
+  Netlist.Builder.add_wire b c d ~weight:2.0 ();
+  Netlist.Builder.build b
+
+let test_netlist_build () =
+  let nl = triangle () in
+  check Alcotest.int "n" 3 (Netlist.n nl);
+  check Alcotest.int "wire pairs" 2 (Netlist.wire_count nl);
+  check (Alcotest.float 1e-9) "total size" 6.0 (Netlist.total_size nl);
+  check (Alcotest.float 1e-9) "total weight" 7.0 (Netlist.total_wire_weight nl);
+  check (Alcotest.float 1e-9) "a-b" 5.0 (Netlist.connection nl 0 1);
+  check (Alcotest.float 1e-9) "b-a" 5.0 (Netlist.connection nl 1 0);
+  check (Alcotest.float 1e-9) "a-c" 0.0 (Netlist.connection nl 0 2);
+  check (Alcotest.float 1e-9) "self" 0.0 (Netlist.connection nl 1 1)
+
+let test_netlist_merge_parallel () =
+  let b = Netlist.Builder.create () in
+  let x = Netlist.Builder.add_component b ~size:1.0 () in
+  let y = Netlist.Builder.add_component b ~size:1.0 () in
+  Netlist.Builder.add_wire b x y ~weight:2.0 ();
+  Netlist.Builder.add_wire b y x ~weight:3.0 ();
+  let nl = Netlist.Builder.build b in
+  check Alcotest.int "merged to one pair" 1 (Netlist.wire_count nl);
+  check (Alcotest.float 1e-9) "summed weight" 5.0 (Netlist.connection nl x y)
+
+let test_netlist_adjacency () =
+  let nl = triangle () in
+  let adj_b = Netlist.adj nl 1 in
+  check Alcotest.int "degree of b" 2 (Array.length adj_b);
+  check Alcotest.(list (pair int (float 1e-9))) "b's neighbors"
+    [ (0, 5.0); (2, 2.0) ]
+    (Array.to_list adj_b);
+  check Alcotest.int "degree accessor" 2 (Netlist.degree nl 1)
+
+let test_netlist_find_by_name () =
+  let nl = triangle () in
+  check Alcotest.(option int) "find b" (Some 1) (Netlist.find_by_name nl "b");
+  check Alcotest.(option int) "missing" None (Netlist.find_by_name nl "zz")
+
+let test_netlist_duplicate_name () =
+  let b = Netlist.Builder.create () in
+  ignore (Netlist.Builder.add_component b ~name:"x" ~size:1.0 ());
+  try
+    ignore (Netlist.Builder.add_component b ~name:"x" ~size:1.0 ());
+    fail "duplicate name accepted"
+  with Invalid_argument _ -> ()
+
+let test_netlist_bad_wire () =
+  let b = Netlist.Builder.create () in
+  let x = Netlist.Builder.add_component b ~size:1.0 () in
+  try
+    Netlist.Builder.add_wire b x 99 ();
+    fail "dangling wire accepted"
+  with Invalid_argument _ -> ()
+
+let test_netlist_connection_matrix () =
+  let nl = triangle () in
+  let m = Netlist.connection_matrix nl in
+  check (Alcotest.float 1e-9) "A[0][1]" 5.0 (Sparse_matrix.get m 0 1);
+  check (Alcotest.float 1e-9) "A[1][0]" 5.0 (Sparse_matrix.get m 1 0);
+  check Alcotest.int "nnz both triangles" 4 (Sparse_matrix.nnz m)
+
+let test_netlist_make_bad_ids () =
+  let c0 = Component.make ~id:1 ~name:"a" ~size:1.0 in
+  try
+    ignore (Netlist.make ~components:[ c0 ] ~wires:[]);
+    fail "wrong id accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats () =
+  let nl = triangle () in
+  let s = Stats.of_netlist ~name:"tri" nl in
+  check Alcotest.int "components" 3 s.Stats.components;
+  check Alcotest.int "wire pairs" 2 s.Stats.wire_pairs;
+  check (Alcotest.float 1e-9) "interconnections" 7.0 s.Stats.interconnections;
+  check (Alcotest.float 1e-9) "size min" 1.0 s.Stats.size_min;
+  check (Alcotest.float 1e-9) "size max" 3.0 s.Stats.size_max;
+  check Alcotest.int "degree max" 2 s.Stats.degree_max
+
+(* ------------------------------------------------------------------ *)
+(* Generator *)
+
+let test_generator_exact_counts () =
+  let rng = Rng.create 2024 in
+  let p = Generator.default_params ~n:150 ~wires:900 in
+  let nl = Generator.generate rng p in
+  check Alcotest.int "n" 150 (Netlist.n nl);
+  check (Alcotest.float 1e-9) "total interconnections" 900.0 (Netlist.total_wire_weight nl)
+
+let test_generator_deterministic () =
+  let p = Generator.default_params ~n:60 ~wires:200 in
+  let a = Generator.generate (Rng.create 5) p in
+  let b = Generator.generate (Rng.create 5) p in
+  check Alcotest.bool "same circuit from same seed" true (Netlist.equal a b)
+
+let test_generator_seed_changes_circuit () =
+  let p = Generator.default_params ~n:60 ~wires:200 in
+  let a = Generator.generate (Rng.create 5) p in
+  let b = Generator.generate (Rng.create 6) p in
+  check Alcotest.bool "different seeds differ" false (Netlist.equal a b)
+
+let test_generator_size_span () =
+  let rng = Rng.create 1 in
+  let p = Generator.default_params ~n:400 ~wires:2000 in
+  let nl = Generator.generate rng p in
+  let s = Stats.of_netlist nl in
+  let span = Stats.size_span_orders s in
+  if span < 1.5 then fail (Printf.sprintf "size span too small: %.2f orders" span)
+
+let test_generator_no_self_loops () =
+  let rng = Rng.create 9 in
+  let p = Generator.default_params ~n:50 ~wires:500 in
+  let nl = Generator.generate rng p in
+  Array.iter
+    (fun w -> if Wire.u w = Wire.v w then fail "self loop in generated netlist")
+    (Netlist.wires nl)
+
+let test_generator_locality () =
+  (* With locality 1.0 every wire must stay inside a hidden cluster. *)
+  let p = { (Generator.default_params ~n:100 ~wires:400) with Generator.locality = 1.0 } in
+  let rng = Rng.create 31 in
+  let labels = Generator.hidden_clusters (Rng.copy rng) p in
+  let nl = Generator.generate rng p in
+  Array.iter
+    (fun w ->
+      if labels.(Wire.u w) <> labels.(Wire.v w) then fail "inter-cluster wire at locality 1.0")
+    (Netlist.wires nl)
+
+let test_generator_validation () =
+  let rng = Rng.create 0 in
+  try
+    ignore (Generator.generate rng (Generator.default_params ~n:1 ~wires:10));
+    fail "n=1 accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Parser / Printer *)
+
+let test_parse_basic () =
+  let src =
+    "# a comment\n\
+     component alu 10.5\n\
+     component rom 3\n\
+     wire alu rom 2\n\
+     wire alu rom\n"
+  in
+  match Parser.parse_string src with
+  | Error e -> fail (Parser.error_to_string e)
+  | Ok nl ->
+    check Alcotest.int "n" 2 (Netlist.n nl);
+    check (Alcotest.float 1e-9) "merged weight" 3.0 (Netlist.connection nl 0 1);
+    check (Alcotest.float 1e-9) "size" 10.5 (Netlist.size nl 0)
+
+let expect_parse_error src expected_line =
+  match Parser.parse_string src with
+  | Ok _ -> fail "parse succeeded on bad input"
+  | Error e -> check Alcotest.int "error line" expected_line e.Parser.line
+
+let test_parse_errors () =
+  expect_parse_error "component x\n" 1;
+  expect_parse_error "component x 1\nwire x y\n" 2;
+  expect_parse_error "component x 1\ncomponent x 2\n" 2;
+  expect_parse_error "component x 0\n" 1;
+  expect_parse_error "component x 1\nwire x x\n" 2;
+  expect_parse_error "frobnicate\n" 1;
+  expect_parse_error "component x 1\ncomponent y 1\nwire x y -2\n" 3
+
+let test_parse_comments_and_blanks () =
+  let src = "\n  # only comments\n; semicolon comment\ncomponent a 1 # trailing\n" in
+  match Parser.parse_string src with
+  | Error e -> fail (Parser.error_to_string e)
+  | Ok nl -> check Alcotest.int "n" 1 (Netlist.n nl)
+
+let test_roundtrip_triangle () =
+  let nl = triangle () in
+  match Parser.parse_string (Printer.to_string nl) with
+  | Error e -> fail (Parser.error_to_string e)
+  | Ok nl' -> check Alcotest.bool "roundtrip equal" true (Netlist.equal nl nl')
+
+(* qcheck: printer/parser round trip on generated circuits *)
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parser/printer round-trip on generated circuits" ~count:30
+    QCheck.(pair (int_range 2 40) (int_range 0 120))
+    (fun (n, wires) ->
+      let rng = Rng.create ((n * 1000) + wires) in
+      let p = Generator.default_params ~n ~wires in
+      let nl = Generator.generate rng p in
+      match Parser.parse_string (Printer.to_string nl) with
+      | Error _ -> false
+      | Ok nl' -> Netlist.equal nl nl')
+
+let prop_generator_counts =
+  QCheck.Test.make ~name:"generator hits requested totals" ~count:30
+    QCheck.(pair (int_range 2 50) (int_range 0 300))
+    (fun (n, wires) ->
+      let rng = Rng.create (n + (wires * 7919)) in
+      let nl = Generator.generate rng (Generator.default_params ~n ~wires) in
+      Netlist.n nl = n && Netlist.total_wire_weight nl = float_of_int wires)
+
+let prop_adjacency_symmetric =
+  QCheck.Test.make ~name:"connection is symmetric" ~count:30
+    QCheck.(int_range 2 30)
+    (fun n ->
+      let rng = Rng.create (n * 13) in
+      let nl = Generator.generate rng (Generator.default_params ~n ~wires:(n * 3)) in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if Netlist.connection nl a b <> Netlist.connection nl b a then ok := false
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Hypergraph *)
+
+let comps k =
+  List.init k (fun id -> Component.make ~id ~name:(Printf.sprintf "h%d" id) ~size:1.0)
+
+let test_hyper_make () =
+  let h =
+    Hypergraph.make ~n:4
+      [
+        { Hypergraph.name = "n1"; terminals = [ 0; 1; 2 ]; weight = 1.0 };
+        { Hypergraph.name = "n2"; terminals = [ 2; 3; 3 ]; weight = 2.0 };
+      ]
+  in
+  check Alcotest.int "net count" 2 (Hypergraph.net_count h);
+  check Alcotest.int "pins (dups merged)" 5 (Hypergraph.pin_count h)
+
+let test_hyper_validation () =
+  let expect nets =
+    try
+      ignore (Hypergraph.make ~n:3 nets);
+      fail "bad hypergraph accepted"
+    with Invalid_argument _ -> ()
+  in
+  expect [ { Hypergraph.name = "x"; terminals = [ 0 ]; weight = 1.0 } ];
+  expect [ { Hypergraph.name = "x"; terminals = [ 0; 5 ]; weight = 1.0 } ];
+  expect [ { Hypergraph.name = "x"; terminals = [ 0; 1 ]; weight = 0.0 } ];
+  expect [ { Hypergraph.name = "x"; terminals = [ 1; 1 ]; weight = 1.0 } ]
+
+let test_hyper_clique_expansion () =
+  let h =
+    Hypergraph.make ~n:3 [ { Hypergraph.name = "n"; terminals = [ 0; 1; 2 ]; weight = 3.0 } ]
+  in
+  let nl = Hypergraph.expand h ~components:(comps 3) Hypergraph.Clique in
+  check Alcotest.int "3 wires" 3 (Netlist.wire_count nl);
+  (* each pair gets w*2/k = 3*2/3 = 2 *)
+  check (Alcotest.float 1e-9) "pair weight" 2.0 (Netlist.connection nl 0 1);
+  (* total contributed weight = w * (k-1) = 6 *)
+  check (Alcotest.float 1e-9) "total" 6.0 (Netlist.total_wire_weight nl)
+
+let test_hyper_star_expansion () =
+  let h =
+    Hypergraph.make ~n:4 [ { Hypergraph.name = "n"; terminals = [ 1; 0; 3 ]; weight = 2.0 } ]
+  in
+  let nl = Hypergraph.expand h ~components:(comps 4) Hypergraph.Star in
+  (* driver is the smallest terminal id after normalization: 0 *)
+  check Alcotest.int "2 wires" 2 (Netlist.wire_count nl);
+  check (Alcotest.float 1e-9) "driver-1" 2.0 (Netlist.connection nl 0 1);
+  check (Alcotest.float 1e-9) "driver-3" 2.0 (Netlist.connection nl 0 3);
+  check (Alcotest.float 1e-9) "no 1-3 wire" 0.0 (Netlist.connection nl 1 3)
+
+let test_hyper_two_terminal_equivalence () =
+  (* for 2-terminal nets both expansions coincide with the plain wire *)
+  let h =
+    Hypergraph.make ~n:2 [ { Hypergraph.name = "n"; terminals = [ 0; 1 ]; weight = 5.0 } ]
+  in
+  let clique = Hypergraph.expand h ~components:(comps 2) Hypergraph.Clique in
+  let star = Hypergraph.expand h ~components:(comps 2) Hypergraph.Star in
+  check (Alcotest.float 1e-9) "clique weight" 5.0 (Netlist.connection clique 0 1);
+  check (Alcotest.float 1e-9) "star weight" 5.0 (Netlist.connection star 0 1)
+
+let test_hyper_cut_metrics () =
+  let h =
+    Hypergraph.make ~n:4
+      [
+        { Hypergraph.name = "a"; terminals = [ 0; 1; 2 ]; weight = 1.0 };
+        { Hypergraph.name = "b"; terminals = [ 2; 3 ]; weight = 1.0 };
+      ]
+  in
+  let a = [| 0; 0; 1; 2 |] in
+  (* net a spans {0,1}: cut; net b spans {1,2}: cut *)
+  check Alcotest.int "cut nets" 2 (Hypergraph.cut_nets h a);
+  check Alcotest.int "external degree" 2 (Hypergraph.external_degree h a);
+  let together = [| 0; 0; 0; 0 |] in
+  check Alcotest.int "no cut" 0 (Hypergraph.cut_nets h together);
+  check Alcotest.int "no external degree" 0 (Hypergraph.external_degree h together)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "netlist"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int coverage" `Quick test_rng_int_coverage;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "log uniform" `Quick test_rng_log_uniform;
+          Alcotest.test_case "permutation" `Quick test_rng_permutation;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "invalid bound" `Quick test_rng_invalid_bound;
+        ] );
+      ( "component-wire",
+        [
+          Alcotest.test_case "component validation" `Quick test_component_validation;
+          Alcotest.test_case "wire normalization" `Quick test_wire_normalization;
+          Alcotest.test_case "wire validation" `Quick test_wire_validation;
+        ] );
+      ( "sparse-matrix",
+        [
+          Alcotest.test_case "basic set/get" `Quick test_sparse_basic;
+          Alcotest.test_case "infinite default" `Quick test_sparse_default_inf;
+          Alcotest.test_case "add accumulates" `Quick test_sparse_add;
+          Alcotest.test_case "dense roundtrip" `Quick test_sparse_dense_roundtrip;
+          Alcotest.test_case "rows sorted" `Quick test_sparse_row_sorted;
+          Alcotest.test_case "bounds checked" `Quick test_sparse_out_of_range;
+          Alcotest.test_case "equality" `Quick test_sparse_equal;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "build" `Quick test_netlist_build;
+          Alcotest.test_case "merge parallel wires" `Quick test_netlist_merge_parallel;
+          Alcotest.test_case "adjacency" `Quick test_netlist_adjacency;
+          Alcotest.test_case "find by name" `Quick test_netlist_find_by_name;
+          Alcotest.test_case "duplicate name rejected" `Quick test_netlist_duplicate_name;
+          Alcotest.test_case "dangling wire rejected" `Quick test_netlist_bad_wire;
+          Alcotest.test_case "connection matrix" `Quick test_netlist_connection_matrix;
+          Alcotest.test_case "make checks ids" `Quick test_netlist_make_bad_ids;
+        ] );
+      ("stats", [ Alcotest.test_case "of_netlist" `Quick test_stats ]);
+      ( "generator",
+        [
+          Alcotest.test_case "exact counts" `Quick test_generator_exact_counts;
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "seed changes circuit" `Quick test_generator_seed_changes_circuit;
+          Alcotest.test_case "size span" `Quick test_generator_size_span;
+          Alcotest.test_case "no self loops" `Quick test_generator_no_self_loops;
+          Alcotest.test_case "locality" `Quick test_generator_locality;
+          Alcotest.test_case "validation" `Quick test_generator_validation;
+        ] );
+      ( "format",
+        [
+          Alcotest.test_case "parse basic" `Quick test_parse_basic;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;
+          Alcotest.test_case "roundtrip triangle" `Quick test_roundtrip_triangle;
+        ] );
+      ( "hypergraph",
+        [
+          Alcotest.test_case "make" `Quick test_hyper_make;
+          Alcotest.test_case "validation" `Quick test_hyper_validation;
+          Alcotest.test_case "clique expansion" `Quick test_hyper_clique_expansion;
+          Alcotest.test_case "star expansion" `Quick test_hyper_star_expansion;
+          Alcotest.test_case "2-terminal equivalence" `Quick
+            test_hyper_two_terminal_equivalence;
+          Alcotest.test_case "cut metrics" `Quick test_hyper_cut_metrics;
+        ] );
+      ( "properties",
+        [ q prop_roundtrip; q prop_generator_counts; q prop_adjacency_symmetric ] );
+    ]

@@ -1,0 +1,147 @@
+(* Tests for the Quadratic Assignment special case (paper section
+   2.2.3): instance handling, the PP(1,1) reduction, and the solver. *)
+
+open Qbpart_qap
+module Rng = Qbpart_netlist.Rng
+module Problem = Qbpart_core.Problem
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let flt = Alcotest.float 1e-9
+
+let tiny =
+  Qap.make
+    ~flow:[| [| 0.; 3.; 0. |]; [| 3.; 0.; 1. |]; [| 0.; 1.; 0. |] |]
+    ~dist:[| [| 0.; 1.; 2. |]; [| 1.; 0.; 1. |]; [| 2.; 1.; 0. |] |]
+
+let test_cost () =
+  (* identity: 2*(3*1) + 2*(1*1) = 8 *)
+  check flt "identity cost" 8.0 (Qap.cost tiny [| 0; 1; 2 |]);
+  (* separate the heavy pair: 0->0, 1->2, 2->1: 2*(3*2) + 2*(1*1) = 14 *)
+  check flt "bad permutation" 14.0 (Qap.cost tiny [| 0; 2; 1 |])
+
+let test_validation () =
+  let expect f =
+    try
+      ignore (f ());
+      fail "invalid instance accepted"
+    with Invalid_argument _ -> ()
+  in
+  expect (fun () -> Qap.make ~flow:[||] ~dist:[||]);
+  expect (fun () ->
+      Qap.make ~flow:[| [| 1. |] |] ~dist:[| [| 0. |] |]);
+  expect (fun () ->
+      Qap.make ~flow:[| [| 0.; 1. |]; [| 1.; 0. |] |] ~dist:[| [| 0. |] |])
+
+let test_is_permutation () =
+  check Alcotest.bool "valid" true (Qap.is_permutation tiny [| 2; 0; 1 |]);
+  check Alcotest.bool "repeat" false (Qap.is_permutation tiny [| 0; 0; 1 |]);
+  check Alcotest.bool "out of range" false (Qap.is_permutation tiny [| 0; 1; 5 |]);
+  check Alcotest.bool "short" false (Qap.is_permutation tiny [| 0; 1 |])
+
+let test_brute_force () =
+  let phi, c = Qap.brute_force tiny in
+  check Alcotest.bool "perm" true (Qap.is_permutation tiny phi);
+  check flt "optimum" 8.0 c
+
+let test_to_problem_objective_matches () =
+  let problem = Qap.to_problem tiny in
+  check Alcotest.int "N" 3 (Problem.n problem);
+  check Alcotest.int "M" 3 (Problem.m problem);
+  (* on permutations, the PP objective equals the QAP cost *)
+  let perms = [ [| 0; 1; 2 |]; [| 1; 0; 2 |]; [| 2; 1; 0 |]; [| 1; 2; 0 |] ] in
+  List.iter
+    (fun phi ->
+      check flt "objective equals QAP cost" (Qap.cost tiny phi)
+        (Problem.objective problem phi))
+    perms
+
+let test_to_problem_capacities_force_permutation () =
+  let problem = Qap.to_problem tiny in
+  (* two facilities in one location violates C1 *)
+  check Alcotest.bool "doubling infeasible" false (Problem.capacity_feasible problem [| 0; 0; 1 |]);
+  check Alcotest.bool "permutation feasible" true
+    (Problem.capacity_feasible problem [| 2; 0; 1 |])
+
+let test_to_problem_asymmetric_rejected () =
+  let q =
+    Qap.make
+      ~flow:[| [| 0.; 1. |]; [| 1.; 0. |] |]
+      ~dist:[| [| 0.; 2. |]; [| 3.; 0. |] |]
+  in
+  try
+    ignore (Qap.to_problem q);
+    fail "asymmetric distance accepted"
+  with Invalid_argument _ -> ()
+
+let test_random_instance () =
+  let q = Qap.random (Rng.create 5) ~n:7 () in
+  check Alcotest.int "n" 7 q.Qap.n;
+  for j = 0 to 6 do
+    check flt "zero diagonal" 0.0 q.Qap.flow.(j).(j)
+  done;
+  (* distances symmetric *)
+  for a = 0 to 6 do
+    for b = 0 to 6 do
+      check flt "dist symmetric" q.Qap.dist.(a).(b) q.Qap.dist.(b).(a)
+    done
+  done
+
+let test_two_opt_never_worse () =
+  let q = Qap.random (Rng.create 11) ~n:8 () in
+  let phi0 = Array.init 8 Fun.id in
+  let phi = Solve.two_opt q phi0 in
+  check Alcotest.bool "perm" true (Qap.is_permutation q phi);
+  check Alcotest.bool "improved or equal" true (Qap.cost q phi <= Qap.cost q phi0)
+
+let test_solve_tiny_optimal () =
+  let r = Solve.solve tiny in
+  check Alcotest.bool "perm" true (Qap.is_permutation tiny r.Solve.permutation);
+  check flt "optimal on 3x3" 8.0 r.Solve.cost
+
+let prop_solve_close_to_optimum =
+  QCheck.Test.make ~name:"solver within 25% of brute force (n <= 7)" ~count:12
+    QCheck.(pair (int_range 4 7) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let q = Qap.random (Rng.create seed) ~n () in
+      let _, opt = Qap.brute_force q in
+      let r = Solve.solve ~iterations:60 ~restarts:8 q in
+      Qap.is_permutation q r.Solve.permutation
+      && r.Solve.cost >= opt -. 1e-6
+      && r.Solve.cost <= (opt *. 1.25) +. 1e-6)
+
+let prop_lower_bound_valid =
+  QCheck.Test.make ~name:"hungarian bound below optimum" ~count:20
+    QCheck.(pair (int_range 3 7) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let q = Qap.random (Rng.create seed) ~n () in
+      let _, opt = Qap.brute_force q in
+      Solve.hungarian_lower_bound q <= opt +. 1e-6)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "qap"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "cost" `Quick test_cost;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "is_permutation" `Quick test_is_permutation;
+          Alcotest.test_case "brute force" `Quick test_brute_force;
+          Alcotest.test_case "random instance" `Quick test_random_instance;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "objective matches" `Quick test_to_problem_objective_matches;
+          Alcotest.test_case "capacities force permutations" `Quick
+            test_to_problem_capacities_force_permutation;
+          Alcotest.test_case "asymmetric rejected" `Quick test_to_problem_asymmetric_rejected;
+        ] );
+      ( "solve",
+        [
+          Alcotest.test_case "2-opt sane" `Quick test_two_opt_never_worse;
+          Alcotest.test_case "tiny optimal" `Quick test_solve_tiny_optimal;
+          q prop_solve_close_to_optimum;
+          q prop_lower_bound_valid;
+        ] );
+    ]

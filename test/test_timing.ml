@@ -1,0 +1,345 @@
+(* Tests for the timing substrate: constraint storage, violation
+   checking, and the STA budget derivation. *)
+
+open Qbpart_timing
+module Grid = Qbpart_topology.Grid
+module Topology = Qbpart_topology.Topology
+module Netlist = Qbpart_netlist.Netlist
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let flt = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Constraints *)
+
+let test_constraints_basic () =
+  let c = Constraints.create ~n:4 in
+  check Alcotest.bool "empty" true (Constraints.empty c);
+  Constraints.add c 0 1 2.0;
+  check flt "stored" 2.0 (Constraints.budget c 0 1);
+  check flt "other direction absent" infinity (Constraints.budget c 1 0);
+  check Alcotest.int "count" 1 (Constraints.count c);
+  check Alcotest.int "pair count" 1 (Constraints.pair_count c)
+
+let test_constraints_tightening () =
+  let c = Constraints.create ~n:3 in
+  Constraints.add c 0 1 5.0;
+  Constraints.add c 0 1 3.0;
+  check flt "tighter kept" 3.0 (Constraints.budget c 0 1);
+  Constraints.add c 0 1 10.0;
+  check flt "looser ignored" 3.0 (Constraints.budget c 0 1);
+  check Alcotest.int "still one entry" 1 (Constraints.count c)
+
+let test_constraints_sym () =
+  let c = Constraints.create ~n:3 in
+  Constraints.add_sym c 0 2 4.0;
+  check flt "forward" 4.0 (Constraints.budget c 0 2);
+  check flt "backward" 4.0 (Constraints.budget c 2 0);
+  check Alcotest.int "two directed" 2 (Constraints.count c);
+  check Alcotest.int "one pair" 1 (Constraints.pair_count c)
+
+let test_constraints_validation () =
+  let c = Constraints.create ~n:3 in
+  (try
+     Constraints.add c 1 1 1.0;
+     fail "self pair accepted"
+   with Invalid_argument _ -> ());
+  (try
+     Constraints.add c 0 1 (-1.0);
+     fail "negative budget accepted"
+   with Invalid_argument _ -> ());
+  Constraints.add c 0 1 infinity;
+  check Alcotest.int "infinite budget ignored" 0 (Constraints.count c)
+
+let test_partners () =
+  let c = Constraints.create ~n:4 in
+  Constraints.add c 0 1 2.0;
+  Constraints.add c 2 0 3.0;
+  let ps = Constraints.partners c 0 in
+  check Alcotest.int "two partners" 2 (Array.length ps);
+  let p1 = ps.(0) and p2 = ps.(1) in
+  check Alcotest.int "sorted partners" 1 p1.Constraints.other;
+  check flt "out budget to 1" 2.0 p1.Constraints.budget_out;
+  check flt "no in budget from 1" infinity p1.Constraints.budget_in;
+  check Alcotest.int "partner 2" 2 p2.Constraints.other;
+  check flt "in budget from 2" 3.0 p2.Constraints.budget_in;
+  check flt "no out budget to 2" infinity p2.Constraints.budget_out;
+  (* index refresh after add *)
+  Constraints.add c 0 3 1.0;
+  check Alcotest.int "partners rebuilt" 3 (Array.length (Constraints.partners c 0));
+  check Alcotest.int "max degree" 3 (Constraints.max_partner_degree c)
+
+let test_constraints_copy_independent () =
+  let c = Constraints.create ~n:3 in
+  Constraints.add c 0 1 1.0;
+  let c' = Constraints.copy c in
+  Constraints.add c' 1 2 1.0;
+  check Alcotest.int "original unchanged" 1 (Constraints.count c);
+  check Alcotest.int "copy extended" 2 (Constraints.count c')
+
+(* ------------------------------------------------------------------ *)
+(* Check *)
+
+let topo2x2 = Grid.make ~rows:2 ~cols:2 ~capacity:100.0 ()
+
+let test_check_violations () =
+  let c = Constraints.create ~n:3 in
+  Constraints.add_sym c 0 1 1.0;
+  Constraints.add c 1 2 1.0;
+  (* 0 at slot 0, 1 at slot 3 (distance 2 > 1), 2 at slot 3 *)
+  let a = [| 0; 3; 3 |] in
+  let vs = Check.violations c topo2x2 ~assignment:a in
+  check Alcotest.int "two directed violations" 2 (List.length vs);
+  check Alcotest.int "count" 2 (Check.count c topo2x2 ~assignment:a);
+  check Alcotest.bool "infeasible" false (Check.feasible c topo2x2 ~assignment:a);
+  check flt "worst slack" (-1.0) (Check.worst_slack c topo2x2 ~assignment:a);
+  (* feasible placement *)
+  let a = [| 0; 1; 1 |] in
+  check Alcotest.bool "feasible" true (Check.feasible c topo2x2 ~assignment:a);
+  check flt "worst slack 0" 0.0 (Check.worst_slack c topo2x2 ~assignment:a)
+
+let test_check_no_constraints () =
+  let c = Constraints.create ~n:2 in
+  check Alcotest.bool "trivially feasible" true (Check.feasible c topo2x2 ~assignment:[| 0; 3 |]);
+  check flt "worst slack infinite" infinity (Check.worst_slack c topo2x2 ~assignment:[| 0; 3 |])
+
+let test_placement_ok () =
+  let c = Constraints.create ~n:3 in
+  Constraints.add c 0 1 1.0;  (* 0 -> 1 within 1 *)
+  Constraints.add c 2 0 1.0;  (* 2 -> 0 within 1 *)
+  let positions = [| -1; 1; 2 |] in
+  let where j = if positions.(j) >= 0 then Some positions.(j) else None in
+  (* slot 0: d(0,1)=1 <= 1 ok; d(2,0)=1 <= 1 ok *)
+  check Alcotest.bool "slot 0 ok" true (Check.placement_ok c topo2x2 ~j:0 ~at:0 ~where);
+  (* slot 3: d(3,1)=1 ok; but d(2,3)=1 ok too *)
+  check Alcotest.bool "slot 3 ok" true (Check.placement_ok c topo2x2 ~j:0 ~at:3 ~where);
+  (* move partner 1 far: put 1 at 2 => from slot 1: d(1,2)=2 > 1 *)
+  let positions = [| -1; 2; -1 |] in
+  let where j = if positions.(j) >= 0 then Some positions.(j) else None in
+  check Alcotest.bool "violating slot rejected" false
+    (Check.placement_ok c topo2x2 ~j:0 ~at:1 ~where);
+  (* unplaced partners are ignored *)
+  let where _ = None in
+  check Alcotest.bool "no partners placed" true
+    (Check.placement_ok c topo2x2 ~j:0 ~at:3 ~where)
+
+(* placement_ok must agree with a full feasibility check *)
+let prop_placement_consistent =
+  QCheck.Test.make ~name:"placement_ok agrees with Check.feasible" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Qbpart_netlist.Rng.create seed in
+      let n = 5 in
+      let c = Constraints.create ~n in
+      for _ = 1 to 6 do
+        let j1 = Qbpart_netlist.Rng.int rng n and j2 = Qbpart_netlist.Rng.int rng n in
+        if j1 <> j2 then
+          Constraints.add c j1 j2 (float_of_int (Qbpart_netlist.Rng.int rng 3))
+      done;
+      let a = Array.init n (fun _ -> Qbpart_netlist.Rng.int rng 4) in
+      let full = Check.feasible c topo2x2 ~assignment:a in
+      let piecewise =
+        List.for_all
+          (fun j ->
+            Check.placement_ok c topo2x2 ~j ~at:a.(j) ~where:(fun j' ->
+                if j' = j then None else Some a.(j')))
+          (List.init n Fun.id)
+      in
+      full = piecewise)
+
+(* ------------------------------------------------------------------ *)
+(* Sta *)
+
+(* A small diamond: 0 -> 1 -> 3, 0 -> 2 -> 3, intrinsic delays below. *)
+let diamond =
+  Sta.make ~intrinsic:[| 1.0; 2.0; 4.0; 1.0 |] ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_sta_arrival () =
+  let arr = Sta.arrival diamond in
+  check flt "arr 0" 1.0 arr.(0);
+  check flt "arr 1" 3.0 arr.(1);
+  check flt "arr 2" 5.0 arr.(2);
+  check flt "arr 3" 6.0 arr.(3)
+
+let test_sta_critical_path () = check flt "critical path" 6.0 (Sta.critical_path diamond)
+
+let test_sta_cycle_detection () =
+  try
+    ignore (Sta.make ~intrinsic:[| 1.; 1.; 1. |] ~edges:[ (0, 1); (1, 2); (2, 0) ]);
+    fail "cycle accepted"
+  with Invalid_argument _ -> ()
+
+let test_sta_validation () =
+  (try
+     ignore (Sta.make ~intrinsic:[| -1.0 |] ~edges:[]);
+     fail "negative delay accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Sta.make ~intrinsic:[| 1.; 1. |] ~edges:[ (0, 0) ]);
+     fail "self loop accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Sta.make ~intrinsic:[| 1.; 1. |] ~edges:[ (0, 5) ]);
+    fail "dangling edge accepted"
+  with Invalid_argument _ -> ()
+
+let test_sta_budgets () =
+  match Sta.budgets diamond ~cycle_time:10.0 with
+  | Error e -> fail e
+  | Ok c ->
+    check Alcotest.int "one budget per edge" 4 (Constraints.count c);
+    (* slow path 0-2-3 has delay 6 over 2 edges: budget (10-6)/2 = 2;
+       fast path 0-1-3 has delay 4 over 2 edges: budget (10-4)/2 = 3 *)
+    check flt "critical edge budget" 2.0 (Constraints.budget c 0 2);
+    check flt "critical edge budget" 2.0 (Constraints.budget c 2 3);
+    check flt "fast edge budget" 3.0 (Constraints.budget c 0 1);
+    check flt "fast edge budget" 3.0 (Constraints.budget c 1 3)
+
+let test_sta_budgets_infeasible () =
+  match Sta.budgets diamond ~cycle_time:5.0 with
+  | Error _ -> ()
+  | Ok _ -> fail "cycle time below critical path accepted"
+
+let test_sta_slacks () =
+  let slacks = Sta.slacks diamond ~cycle_time:6.0 in
+  check Alcotest.int "all edges" 4 (List.length slacks);
+  List.iter
+    (fun (u, v, s) ->
+      if (u, v) = (0, 2) || (u, v) = (2, 3) then check flt "critical slack 0" 0.0 s)
+    slacks
+
+(* Budget safety: if every edge meets its budget, every path meets the
+   cycle time.  Verified on random DAGs by worst-case routing equal to
+   the budgets. *)
+let prop_sta_budget_safety =
+  QCheck.Test.make ~name:"STA budgets are safe" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Qbpart_netlist.Rng.create seed in
+      let n = 2 + Qbpart_netlist.Rng.int rng 8 in
+      let intrinsic =
+        Array.init n (fun _ -> float_of_int (1 + Qbpart_netlist.Rng.int rng 5))
+      in
+      let edges = ref [] in
+      for u = 0 to n - 2 do
+        for v = u + 1 to n - 1 do
+          if Qbpart_netlist.Rng.float rng 1.0 < 0.4 then edges := (u, v) :: !edges
+        done
+      done;
+      let g = Sta.make ~intrinsic ~edges:!edges in
+      let cycle = Sta.critical_path g +. 3.0 in
+      match Sta.budgets g ~cycle_time:cycle with
+      | Error _ -> false
+      | Ok c ->
+        (* longest path with routing delay = budget on every edge *)
+        let arr = Array.make n 0.0 in
+        for u = 0 to n - 1 do
+          arr.(u) <- Float.max arr.(u) 0.0 +. intrinsic.(u);
+          List.iter
+            (fun (a, b) ->
+              if a = u then
+                arr.(b) <- Float.max arr.(b) (arr.(u) +. Constraints.budget c a b))
+            !edges
+        done;
+        Array.for_all (fun x -> x <= cycle +. 1e-6) arr)
+
+let test_of_netlist () =
+  let b = Netlist.Builder.create () in
+  let x = Netlist.Builder.add_component b ~size:1.0 () in
+  let y = Netlist.Builder.add_component b ~size:1.0 () in
+  let z = Netlist.Builder.add_component b ~size:1.0 () in
+  Netlist.Builder.add_wire b x y ();
+  Netlist.Builder.add_wire b y z ();
+  Netlist.Builder.add_wire b x z ();
+  let nl = Netlist.Builder.build b in
+  let g = Sta.of_netlist nl ~intrinsic:[| 1.; 1.; 1. |] ~order:[| 2; 1; 0 |] in
+  check Alcotest.int "edges oriented" 3 (Sta.edge_count g);
+  (* order 2,1,0: wires become 2->1, 1->0, 2->0; longest path 2-1-0 *)
+  check flt "critical path" 3.0 (Sta.critical_path g)
+
+(* ------------------------------------------------------------------ *)
+(* Constraints_io *)
+
+let named_netlist () =
+  let b = Netlist.Builder.create () in
+  ignore (Netlist.Builder.add_component b ~name:"alu" ~size:1.0 ());
+  ignore (Netlist.Builder.add_component b ~name:"rom" ~size:1.0 ());
+  ignore (Netlist.Builder.add_component b ~name:"io" ~size:1.0 ());
+  Netlist.Builder.build b
+
+let test_io_parse () =
+  let nl = named_netlist () in
+  let src = "# header\nbudget alu rom 2.5\nbudget_sym rom io 1 # note\n" in
+  match Constraints_io.parse_string nl src with
+  | Error e -> fail (Constraints_io.error_to_string e)
+  | Ok c ->
+    check flt "directed" 2.5 (Constraints.budget c 0 1);
+    check flt "absent direction" infinity (Constraints.budget c 1 0);
+    check flt "sym forward" 1.0 (Constraints.budget c 1 2);
+    check flt "sym backward" 1.0 (Constraints.budget c 2 1);
+    check Alcotest.int "count" 3 (Constraints.count c)
+
+let test_io_errors () =
+  let nl = named_netlist () in
+  let expect src line =
+    match Constraints_io.parse_string nl src with
+    | Ok _ -> fail "bad budget file accepted"
+    | Error e -> check Alcotest.int "error line" line e.Constraints_io.line
+  in
+  expect "budget alu nowhere 1\n" 1;
+  expect "budget alu rom -1\n" 1;
+  expect "budget alu alu 1\n" 1;
+  expect "budget alu rom\n" 1;
+  expect "budget alu rom 1\nfrobnicate x y 1\n" 2
+
+let test_io_roundtrip () =
+  let nl = named_netlist () in
+  let c = Constraints.create ~n:3 in
+  Constraints.add c 0 1 2.0;
+  Constraints.add_sym c 1 2 3.5;
+  match Constraints_io.parse_string nl (Constraints_io.to_string nl c) with
+  | Error e -> fail (Constraints_io.error_to_string e)
+  | Ok c' ->
+    check Alcotest.int "count preserved" (Constraints.count c) (Constraints.count c');
+    Constraints.iter c (fun j1 j2 b ->
+        check flt "budget preserved" b (Constraints.budget c' j1 j2))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "timing"
+    [
+      ( "constraints",
+        [
+          Alcotest.test_case "basic" `Quick test_constraints_basic;
+          Alcotest.test_case "tightening" `Quick test_constraints_tightening;
+          Alcotest.test_case "symmetric add" `Quick test_constraints_sym;
+          Alcotest.test_case "validation" `Quick test_constraints_validation;
+          Alcotest.test_case "partners index" `Quick test_partners;
+          Alcotest.test_case "copy independence" `Quick test_constraints_copy_independent;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "violations" `Quick test_check_violations;
+          Alcotest.test_case "no constraints" `Quick test_check_no_constraints;
+          Alcotest.test_case "placement_ok" `Quick test_placement_ok;
+        ] );
+      ( "sta",
+        [
+          Alcotest.test_case "arrival times" `Quick test_sta_arrival;
+          Alcotest.test_case "critical path" `Quick test_sta_critical_path;
+          Alcotest.test_case "cycle detection" `Quick test_sta_cycle_detection;
+          Alcotest.test_case "validation" `Quick test_sta_validation;
+          Alcotest.test_case "budgets" `Quick test_sta_budgets;
+          Alcotest.test_case "infeasible cycle time" `Quick test_sta_budgets_infeasible;
+          Alcotest.test_case "slacks" `Quick test_sta_slacks;
+          Alcotest.test_case "of_netlist" `Quick test_of_netlist;
+        ] );
+      ( "constraints-io",
+        [
+          Alcotest.test_case "parse" `Quick test_io_parse;
+          Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+        ] );
+      ("properties", [ q prop_placement_consistent; q prop_sta_budget_safety ]);
+    ]
