@@ -4,7 +4,16 @@
      generate   write a synthetic netlist in the textual format
      stats      print circuit statistics for a netlist file
      solve      partition a netlist onto a grid (qbp | gfm | gkl)
-     tables     regenerate the paper's Tables I-III (also see bench/) *)
+     eval       evaluate an assignment produced by solve
+     tables     regenerate the paper's Tables I-III (also see bench/)
+
+   Exit codes (see also the RESILIENCE section of README.md):
+     0    success
+     123  runtime failure reported as an error message: unreadable or
+          malformed input, no feasible start, infeasible instance
+     124  command-line parse error (unknown subcommand, bad option,
+          unknown algorithm, missing file argument)
+     125  unexpected internal error *)
 
 module Rng = Qbpart_netlist.Rng
 module Netlist = Qbpart_netlist.Netlist
@@ -21,31 +30,39 @@ module Problem = Qbpart_core.Problem
 module Burkard = Qbpart_core.Burkard
 module Gfm = Qbpart_baselines.Gfm
 module Gkl = Qbpart_baselines.Gkl
+module Deadline = Qbpart_engine.Deadline
+module Engine = Qbpart_engine.Engine
 module Experiments = Qbpart_experiments
 
 open Cmdliner
 
+let ( let* ) = Result.bind
+let msgf fmt = Printf.ksprintf (fun m -> Error (`Msg m)) fmt
+
 let load_netlist path =
   match Parser.parse_file path with
   | Ok nl -> Ok nl
-  | Error e -> Error (Printf.sprintf "%s: %s" path (Parser.error_to_string e))
-  | exception Sys_error msg -> Error msg
+  | Error e -> msgf "%s: %s" path (Parser.file_error_to_string e)
 
 (* --- generate ------------------------------------------------------ *)
 
 let generate_cmd =
   let run n wires seed out =
+    let* () = if n < 0 then msgf "--components must be >= 0" else Ok () in
+    let* () = if wires < 0 then msgf "--wires must be >= 0" else Ok () in
     let rng = Rng.create seed in
     let nl = Generator.generate rng (Generator.default_params ~n ~wires) in
     match out with
     | None ->
       print_string (Printer.to_string nl);
-      `Ok ()
-    | Some path ->
-      Printer.to_file path nl;
-      Printf.printf "wrote %s: %d components, %.0f interconnections\n" path (Netlist.n nl)
-        (Netlist.total_wire_weight nl);
-      `Ok ()
+      Ok ()
+    | Some path -> (
+      match Printer.to_file path nl with
+      | () ->
+        Printf.printf "wrote %s: %d components, %.0f interconnections\n" path (Netlist.n nl)
+          (Netlist.total_wire_weight nl);
+        Ok ()
+      | exception Sys_error m -> Error (`Msg m))
   in
   let n = Arg.(value & opt int 100 & info [ "n"; "components" ] ~doc:"Component count.") in
   let wires = Arg.(value & opt int 500 & info [ "w"; "wires" ] ~doc:"Total interconnections.") in
@@ -56,20 +73,18 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic netlist")
-    Term.(ret (const run $ n $ wires $ seed $ out))
+    Term.(term_result (const run $ n $ wires $ seed $ out))
 
 (* --- stats --------------------------------------------------------- *)
 
 let stats_cmd =
   let run path =
-    match load_netlist path with
-    | Error msg -> `Error (false, msg)
-    | Ok nl ->
-      Format.printf "%a@." Stats.pp (Stats.of_netlist ~name:(Filename.basename path) nl);
-      `Ok ()
+    let* nl = load_netlist path in
+    Format.printf "%a@." Stats.pp (Stats.of_netlist ~name:(Filename.basename path) nl);
+    Ok ()
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST") in
-  Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics") Term.(ret (const run $ path))
+  Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics") Term.(term_result (const run $ path))
 
 (* --- solve --------------------------------------------------------- *)
 
@@ -79,67 +94,123 @@ let load_constraints nl = function
     match Qbpart_timing.Constraints_io.parse_file nl path with
     | Ok c -> Ok (Some c)
     | Error e ->
-      Error (Printf.sprintf "%s: %s" path (Qbpart_timing.Constraints_io.error_to_string e))
-    | exception Sys_error msg -> Error msg)
+      msgf "%s: %s" path (Qbpart_timing.Constraints_io.error_to_string e)
+    | exception Sys_error m -> Error (`Msg m))
 
 let grid_topology nl ~rows ~cols ~slack =
   let m = rows * cols in
   let capacity = Netlist.total_size nl /. float_of_int m *. slack in
   Grid.make ~rows ~cols ~capacity ()
 
+(* Durations: "2" = "2s" = seconds, "250ms" = milliseconds. *)
+let duration_conv =
+  let parse s =
+    let of_float scale str =
+      match float_of_string_opt str with
+      | Some x when Float.is_finite x && x >= 0.0 -> Ok (x *. scale)
+      | _ -> msgf "invalid duration %S (expected e.g. 2, 1.5s or 250ms)" s
+    in
+    let n = String.length s in
+    if n >= 2 && String.sub s (n - 2) 2 = "ms" then of_float 0.001 (String.sub s 0 (n - 2))
+    else if n >= 1 && s.[n - 1] = 's' then of_float 1.0 (String.sub s 0 (n - 1))
+    else of_float 1.0 s
+  in
+  let print ppf secs = Format.fprintf ppf "%gs" secs in
+  Arg.conv (parse, print)
+
+let algorithm_conv = Arg.enum [ ("qbp", `Qbp); ("gfm", `Gfm); ("gkl", `Gkl) ]
+
+let emit_assignment nl topo assignment out =
+  let emit ppf =
+    Array.iteri
+      (fun j i ->
+        Format.fprintf ppf "%s %s@."
+          (Qbpart_netlist.Component.name (Netlist.component nl j))
+          (Topology.name topo i))
+      assignment
+  in
+  match out with
+  | None ->
+    emit Format.std_formatter;
+    Ok ()
+  | Some path -> (
+    match open_out path with
+    | exception Sys_error m -> Error (`Msg m)
+    | oc ->
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+          emit (Format.formatter_of_out_channel oc));
+      Format.eprintf "wrote %s@." path;
+      Ok ())
+
 let solve_cmd =
-  let run path timing rows cols slack algorithm iterations seed out =
-    match load_netlist path with
-    | Error msg -> `Error (false, msg)
-    | Ok nl -> (
-      match load_constraints nl timing with
-      | Error msg -> `Error (false, msg)
-      | Ok constraints ->
-        let topo = grid_topology nl ~rows ~cols ~slack in
-        let rng = Rng.create seed in
-        let initial =
-          match Initial.greedy_feasible ?constraints ~attempts:200 rng nl topo () with
-          | Some a -> a
-          | None -> failwith "no feasible start; increase --slack or loosen budgets"
+  let run path timing rows cols slack algorithm iterations seed deadline fallback out =
+    let* nl = load_netlist path in
+    let* constraints = load_constraints nl timing in
+    let* () =
+      if rows < 1 || cols < 1 then msgf "--rows and --cols must be >= 1" else Ok ()
+    in
+    let* () = if iterations < 0 then msgf "--iterations must be >= 0" else Ok () in
+    let topo = grid_topology nl ~rows ~cols ~slack in
+    let deadline =
+      match deadline with
+      | None -> Deadline.none ()
+      | Some secs -> Deadline.of_seconds secs
+    in
+    let* final =
+      if fallback then begin
+        let* () =
+          match algorithm with
+          | `Qbp -> Ok ()
+          | `Gfm | `Gkl ->
+            msgf "--fallback drives the fixed qbp -> gkl -> gfm degradation ladder; use it with -a qbp"
         in
+        let config =
+          {
+            Engine.Config.default with
+            qbp = { Burkard.Config.default with iterations; seed };
+          }
+        in
+        let problem = Problem.make ?constraints nl topo in
+        match Engine.solve ~config ~deadline problem with
+        | Error e -> Error (`Msg (Engine.Error.to_string e))
+        | Ok { Engine.assignment; report; _ } ->
+          Format.eprintf "%a@." Engine.Report.pp report;
+          Ok assignment
+      end
+      else begin
+        let rng = Rng.create seed in
+        let* initial =
+          match Initial.greedy_feasible ?constraints ~attempts:200 rng nl topo () with
+          | Some a -> Ok a
+          | None -> msgf "no feasible start; increase --slack or loosen budgets"
+        in
+        let should_stop = Deadline.should_stop deadline in
         let start = Evaluate.wirelength nl topo initial in
         let t0 = Sys.time () in
         let final =
           match algorithm with
-          | "qbp" ->
+          | `Qbp ->
             let problem = Problem.make ?constraints nl topo in
             let config = { Burkard.Config.default with iterations; seed } in
-            let result = Burkard.solve ~config ~initial problem in
+            let result = Burkard.solve ~config ~initial ~should_stop problem in
             (match result.Burkard.best_feasible with
             | Some (a, _) -> a
             | None -> initial)
-          | "gfm" -> (Gfm.solve ?constraints nl topo ~initial).Gfm.assignment
-          | "gkl" -> (Gkl.solve ?constraints nl topo ~initial).Gkl.assignment
-          | other -> failwith (Printf.sprintf "unknown algorithm %S (qbp|gfm|gkl)" other)
+          | `Gfm -> (Gfm.solve ?constraints ~should_stop nl topo ~initial).Gfm.assignment
+          | `Gkl -> (Gkl.solve ?constraints ~should_stop nl topo ~initial).Gkl.assignment
         in
         let cost = Evaluate.wirelength nl topo final in
-        Format.eprintf "start %.0f -> final %.0f (-%.1f%%) in %.2fs@." start cost
+        Format.eprintf "start %.0f -> final %.0f (-%.1f%%) in %.2fs%s@." start cost
           (100.0 *. (start -. cost) /. start)
-          (Sys.time () -. t0);
-        Format.eprintf "%a@."
-          Qbpart_partition.Metrics.pp
-          (Qbpart_partition.Metrics.compute ?constraints nl topo final);
-        let emit ppf =
-          Array.iteri
-            (fun j i ->
-              Format.fprintf ppf "%s %s@."
-                (Qbpart_netlist.Component.name (Netlist.component nl j))
-                (Topology.name topo i))
-            final
-        in
-        (match out with
-        | None -> emit Format.std_formatter
-        | Some path ->
-          let oc = open_out path in
-          Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
-              emit (Format.formatter_of_out_channel oc));
-          Format.eprintf "wrote %s@." path);
-        `Ok ())
+          (Sys.time () -. t0)
+          (if Deadline.expired deadline then " (deadline expired)" else "");
+        Ok final
+      end
+    in
+    Format.eprintf "%a@."
+      Qbpart_partition.Metrics.pp
+      (Qbpart_partition.Metrics.compute ?constraints nl topo final);
+    emit_assignment nl topo final out
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST") in
   let timing =
@@ -152,10 +223,21 @@ let solve_cmd =
     Arg.(value & opt float 1.15 & info [ "slack" ] ~doc:"Capacity slack factor.")
   in
   let algorithm =
-    Arg.(value & opt string "qbp" & info [ "a"; "algorithm" ] ~doc:"qbp, gfm or gkl.")
+    Arg.(value & opt algorithm_conv `Qbp & info [ "a"; "algorithm" ] ~doc:"qbp, gfm or gkl.")
   in
   let iterations = Arg.(value & opt int 100 & info [ "iterations" ] ~doc:"QBP iterations.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let deadline =
+    Arg.(value & opt (some duration_conv) None & info [ "deadline" ] ~docv:"DURATION"
+           ~doc:"Wall-clock budget (e.g. $(b,2s), $(b,250ms)). The solver returns its \
+                 best-so-far feasible solution when the budget expires.")
+  in
+  let fallback =
+    Arg.(value & flag & info [ "fallback" ]
+           ~doc:"Run the resilient engine: QBP first, falling back to GKL, then GFM, \
+                 then the greedy initial solution on timeout, stall or failure. \
+                 Prints a stage report on stderr.")
+  in
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the assignment here instead of stdout.")
@@ -163,61 +245,69 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Partition a netlist onto a grid")
     Term.(
-      ret
-        (const run $ path $ timing $ rows $ cols $ slack $ algorithm $ iterations $ seed $ out))
+      term_result
+        (const run $ path $ timing $ rows $ cols $ slack $ algorithm $ iterations $ seed
+       $ deadline $ fallback $ out))
 
 (* --- eval ---------------------------------------------------------- *)
 
+let parse_assignment nl topo path =
+  let by_name = Hashtbl.create 16 in
+  for i = 0 to Topology.m topo - 1 do
+    Hashtbl.replace by_name (Topology.name topo i) i
+  done;
+  let assignment = Array.make (Netlist.n nl) (-1) in
+  match open_in path with
+  | exception Sys_error m -> Error (`Msg m)
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        let rec loop ln =
+          match input_line ic with
+          | exception End_of_file -> Ok ()
+          | exception Sys_error m -> msgf "%s: line %d: %s" path ln m
+          | line -> (
+            match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+            | [] -> loop (ln + 1)
+            | [ comp; slot ] ->
+              let* j =
+                match Netlist.find_by_name nl comp with
+                | Some j -> Ok j
+                | None -> msgf "%s: line %d: unknown component %S" path ln comp
+              in
+              let* i =
+                match Hashtbl.find_opt by_name slot with
+                | Some i -> Ok i
+                | None -> (
+                  match int_of_string_opt slot with
+                  | Some i when i >= 0 && i < Topology.m topo -> Ok i
+                  | _ -> msgf "%s: line %d: unknown partition %S" path ln slot)
+              in
+              assignment.(j) <- i;
+              loop (ln + 1)
+            | _ -> msgf "%s: line %d: bad assignment line %S" path ln line)
+        in
+        let* () = loop 1 in
+        let unassigned = ref None in
+        Array.iteri (fun j i -> if i < 0 && !unassigned = None then unassigned := Some j) assignment;
+        match !unassigned with
+        | Some j ->
+          msgf "%s: component %S unassigned" path
+            (Qbpart_netlist.Component.name (Netlist.component nl j))
+        | None -> Ok assignment)
+
 let eval_cmd =
   let run netlist_path assignment_path timing rows cols slack =
-    match load_netlist netlist_path with
-    | Error msg -> `Error (false, msg)
-    | Ok nl -> (
-      match load_constraints nl timing with
-      | Error msg -> `Error (false, msg)
-      | Ok constraints ->
-        let topo = grid_topology nl ~rows ~cols ~slack in
-        let by_name = Hashtbl.create 16 in
-        for i = 0 to Topology.m topo - 1 do
-          Hashtbl.replace by_name (Topology.name topo i) i
-        done;
-        let assignment = Array.make (Netlist.n nl) (-1) in
-        let ic = open_in assignment_path in
-        Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
-            try
-              while true do
-                let line = input_line ic in
-                match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-                | [] -> ()
-                | [ comp; slot ] ->
-                  let j =
-                    match Netlist.find_by_name nl comp with
-                    | Some j -> j
-                    | None -> failwith (Printf.sprintf "unknown component %S" comp)
-                  in
-                  let i =
-                    match Hashtbl.find_opt by_name slot with
-                    | Some i -> i
-                    | None -> (
-                      match int_of_string_opt slot with
-                      | Some i when i >= 0 && i < Topology.m topo -> i
-                      | _ -> failwith (Printf.sprintf "unknown partition %S" slot))
-                  in
-                  assignment.(j) <- i
-                | _ -> failwith (Printf.sprintf "bad assignment line %S" line)
-              done
-            with End_of_file -> ());
-        Array.iteri
-          (fun j i ->
-            if i < 0 then
-              failwith
-                (Printf.sprintf "component %S unassigned"
-                   (Qbpart_netlist.Component.name (Netlist.component nl j))))
-          assignment;
-        Format.printf "%a"
-          Qbpart_partition.Metrics.pp
-          (Qbpart_partition.Metrics.compute ?constraints nl topo assignment);
-        `Ok ())
+    let* nl = load_netlist netlist_path in
+    let* constraints = load_constraints nl timing in
+    let* () =
+      if rows < 1 || cols < 1 then msgf "--rows and --cols must be >= 1" else Ok ()
+    in
+    let topo = grid_topology nl ~rows ~cols ~slack in
+    let* assignment = parse_assignment nl topo assignment_path in
+    Format.printf "%a"
+      Qbpart_partition.Metrics.pp
+      (Qbpart_partition.Metrics.compute ?constraints nl topo assignment);
+    Ok ()
   in
   let netlist = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST") in
   let assignment = Arg.(required & pos 1 (some file) None & info [] ~docv:"ASSIGNMENT") in
@@ -229,30 +319,44 @@ let eval_cmd =
   let slack = Arg.(value & opt float 1.15 & info [ "slack" ] ~doc:"Capacity slack factor.") in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate an assignment produced by solve")
-    Term.(ret (const run $ netlist $ assignment $ timing $ rows $ cols $ slack))
+    Term.(term_result (const run $ netlist $ assignment $ timing $ rows $ cols $ slack))
 
 (* --- tables -------------------------------------------------------- *)
 
 let tables_cmd =
-  let run quick =
+  let run quick stage_deadline =
     let instances =
       if quick then [ Experiments.Circuits.build (List.hd Experiments.Circuits.table1) ]
       else Experiments.Circuits.build_all ()
     in
     Experiments.Report.table1 Format.std_formatter instances;
-    let rows2 = Experiments.Runner.run_suite ~with_timing:false instances in
+    let rows2 = Experiments.Runner.run_suite ?stage_deadline ~with_timing:false instances in
     Experiments.Report.results ~title:"II. Without Timing Constraints:" Format.std_formatter
       rows2;
-    let rows3 = Experiments.Runner.run_suite ~with_timing:true instances in
+    let rows3 = Experiments.Runner.run_suite ?stage_deadline ~with_timing:true instances in
     Experiments.Report.results ~title:"III. With Timing Constraints:" Format.std_formatter rows3;
-    `Ok ()
+    Ok ()
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Only run ckta.") in
+  let stage_deadline =
+    Arg.(value & opt (some duration_conv) None & info [ "stage-deadline" ] ~docv:"DURATION"
+           ~doc:"Per-solver wall-clock budget for each table cell.")
+  in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables")
-    Term.(ret (const run $ quick))
+    Term.(term_result (const run $ quick $ stage_deadline))
 
 let () =
   let doc = "performance-driven system partitioning by quadratic boolean programming" in
-  let info = Cmd.info "qbpart" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; stats_cmd; solve_cmd; eval_cmd; tables_cmd ]))
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "0 on success; 123 on runtime failures (unreadable or malformed input, no \
+          feasible start, infeasible instance); 124 on command-line errors; 125 on \
+          unexpected internal errors.";
+    ]
+  in
+  let info = Cmd.info "qbpart" ~version:"1.0.0" ~doc ~man in
+  exit
+    (Cmd.eval ~term_err:Cmd.Exit.some_error
+       (Cmd.group info [ generate_cmd; stats_cmd; solve_cmd; eval_cmd; tables_cmd ]))

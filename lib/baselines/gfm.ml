@@ -10,9 +10,16 @@ type config = { max_passes : int; epsilon : float }
 
 let default_config = { max_passes = 50; epsilon = 1e-9 }
 
-type result = { assignment : Assignment.t; cost : float; passes : int; moves : int }
+type result = {
+  assignment : Assignment.t;
+  cost : float;
+  passes : int;
+  moves : int;
+  interrupted : bool;
+}
 
-let solve ?(config = default_config) ?p ?alpha ?beta ?constraints nl topo ~initial =
+let solve ?(config = default_config) ?p ?alpha ?beta ?constraints
+    ?(should_stop = fun () -> false) nl topo ~initial =
   (match Validate.check ?constraints nl topo initial with
   | [] -> ()
   | issue :: _ ->
@@ -31,8 +38,13 @@ let solve ?(config = default_config) ?p ?alpha ?beta ?constraints nl topo ~initi
   in
   let total_moves = ref 0 in
   let passes = ref 0 in
+  let interrupted = ref false in
+  let stop () =
+    if not !interrupted then interrupted := should_stop ();
+    !interrupted
+  in
   let improved = ref true in
-  while !improved && !passes < config.max_passes do
+  while !improved && !passes < config.max_passes && not (stop ()) do
     incr passes;
     improved := false;
     Array.fill locked 0 n false;
@@ -42,7 +54,7 @@ let solve ?(config = default_config) ?p ?alpha ?beta ?constraints nl topo ~initi
     let best_cum = ref 0.0 in
     let best_len = ref 0 in
     let progress = ref true in
-    while !progress do
+    while !progress && not (stop ()) do
       (* best legal move among unlocked components; legality is only
          checked when a candidate actually beats the current best, so
          the common case is a cheap delta comparison *)
@@ -94,4 +106,5 @@ let solve ?(config = default_config) ?p ?alpha ?beta ?constraints nl topo ~initi
     cost = Evaluate.objective ?alpha ?beta ?p nl topo assignment;
     passes = !passes;
     moves = !total_moves;
+    interrupted = !interrupted;
   }

@@ -30,6 +30,7 @@ type result = {
   cost : float;    (** equation-(1) objective of [assignment] *)
   passes : int;    (** passes executed *)
   moves : int;     (** total moves applied (before rewinds) *)
+  interrupted : bool; (** [should_stop] fired before convergence *)
 }
 
 val solve :
@@ -38,10 +39,15 @@ val solve :
   ?alpha:float ->
   ?beta:float ->
   ?constraints:Constraints.t ->
+  ?should_stop:(unit -> bool) ->
   Netlist.t ->
   Topology.t ->
   initial:Assignment.t ->
   result
-(** @raise Invalid_argument if [initial] is not capacity- and
+(** [should_stop] is polled before every move selection; when it fires
+    the current pass is cut short, rewound to its best prefix, and the
+    best-so-far (still feasible) solution is returned with
+    [interrupted = true].
+    @raise Invalid_argument if [initial] is not capacity- and
     timing-feasible — both baselines require a feasible start, exactly
     as in the paper. *)

@@ -10,7 +10,13 @@ type config = { max_outer : int; stall_cutoff : int; epsilon : float; dummies : 
 
 let default_config = { max_outer = 6; stall_cutoff = 1_000_000; epsilon = 1e-9; dummies = 6 }
 
-type result = { assignment : Assignment.t; cost : float; outer_loops : int; swaps : int }
+type result = {
+  assignment : Assignment.t;
+  cost : float;
+  outer_loops : int;
+  swaps : int;
+  interrupted : bool;
+}
 
 (* Kernighan & Lin's classic treatment of unequal partition sizes:
    pad each partition's spare capacity with unconnected dummy
@@ -72,7 +78,8 @@ let with_dummies ~chunks ?p nl topo initial =
   in
   (nl', initial', p')
 
-let solve ?(config = default_config) ?p ?alpha ?beta ?constraints nl topo ~initial =
+let solve ?(config = default_config) ?p ?alpha ?beta ?constraints
+    ?(should_stop = fun () -> false) nl topo ~initial =
   (match Validate.check ?constraints nl topo initial with
   | [] -> ()
   | issue :: _ ->
@@ -104,8 +111,13 @@ let solve ?(config = default_config) ?p ?alpha ?beta ?constraints nl topo ~initi
   in
   let total_swaps = ref 0 in
   let outer = ref 0 in
+  let interrupted = ref false in
+  let stop () =
+    if not !interrupted then interrupted := should_stop ();
+    !interrupted
+  in
   let improved = ref true in
-  while !improved && !outer < config.max_outer do
+  while !improved && !outer < config.max_outer && not (stop ()) do
     incr outer;
     improved := false;
     Array.fill locked 0 n false;
@@ -114,7 +126,7 @@ let solve ?(config = default_config) ?p ?alpha ?beta ?constraints nl topo ~initi
     let cum = ref 0.0 and best_cum = ref 0.0 and best_len = ref 0 in
     let stall = ref 0 in
     let progress = ref true in
-    while !progress && !stall < config.stall_cutoff do
+    while !progress && !stall < config.stall_cutoff && not (stop ()) do
       let best_j1 = ref (-1) and best_j2 = ref (-1) and best_d = ref infinity in
       for j1 = 0 to n - 1 do
         if not locked.(j1) then
@@ -166,4 +178,5 @@ let solve ?(config = default_config) ?p ?alpha ?beta ?constraints nl topo ~initi
     cost = Evaluate.objective ?alpha ?beta ?p nl topo a;
     outer_loops = !outer;
     swaps = !total_swaps;
+    interrupted = !interrupted;
   }

@@ -49,6 +49,7 @@ type result = {
   cost : float;     (** equation-(1) objective *)
   outer_loops : int;
   swaps : int;      (** swaps applied before rewinds *)
+  interrupted : bool; (** [should_stop] fired before convergence *)
 }
 
 val solve :
@@ -57,8 +58,14 @@ val solve :
   ?alpha:float ->
   ?beta:float ->
   ?constraints:Constraints.t ->
+  ?should_stop:(unit -> bool) ->
   Netlist.t ->
   Topology.t ->
   initial:Assignment.t ->
   result
-(** @raise Invalid_argument if [initial] is infeasible. *)
+(** [should_stop] is polled before every pair-swap selection (each one
+    is a quadratic scan, the natural checkpoint granularity); when it
+    fires the inner loop is cut short, rewound to its best prefix, and
+    the best-so-far (still feasible) solution is returned with
+    [interrupted = true].
+    @raise Invalid_argument if [initial] is infeasible. *)

@@ -1,0 +1,32 @@
+type t = {
+  clock : unit -> float;
+  start : float;
+  budget : float;
+  mutable last : float;      (* monotonic clamp: highest time observed *)
+  mutable cancelled : bool;
+}
+
+let make ?(clock = Unix.gettimeofday) budget =
+  if Float.is_nan budget || budget < 0.0 then
+    invalid_arg "Deadline.of_seconds: budget must be a non-negative number";
+  let now = clock () in
+  { clock; start = now; budget; last = now; cancelled = false }
+
+let none () = make infinity
+let of_seconds ?clock budget = make ?clock budget
+
+let now t =
+  let x = t.clock () in
+  if x > t.last then t.last <- x;
+  t.last
+
+let budget t = t.budget
+let elapsed t = now t -. t.start
+
+let remaining t =
+  if t.cancelled then 0.0 else Float.max 0.0 (t.budget -. elapsed t)
+
+let expired t = t.cancelled || elapsed t >= t.budget
+let cancel t = t.cancelled <- true
+let cancelled t = t.cancelled
+let should_stop t () = expired t

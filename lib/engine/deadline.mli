@@ -1,0 +1,48 @@
+(** Cooperative runtime budgets.
+
+    The paper sells the Burkard heuristic on "precise control over the
+    total runtime"; this module turns that promise into an explicit
+    contract.  A deadline is a wall-clock budget started at creation
+    plus a cancellation token; solvers receive it as a cheap
+    [should_stop] callback which they poll at iteration granularity
+    and, when it fires, return their best-so-far checkpoint instead of
+    running open-loop.
+
+    Time is read through an injectable clock (default
+    [Unix.gettimeofday]) and clamped to be non-decreasing, so a clock
+    stepping backwards (NTP adjustment) can never un-expire a deadline
+    or inflate the remaining budget.  All operations are allocation
+    free and safe to call from inner loops. *)
+
+type t
+
+val none : unit -> t
+(** An unlimited budget — never expires by time, but can still be
+    {!cancel}ed.  Each call returns a fresh token. *)
+
+val of_seconds : ?clock:(unit -> float) -> float -> t
+(** [of_seconds b] starts a budget of [b] seconds now.  [b = infinity]
+    behaves like {!none}; [b = 0] is expired immediately.  [clock] is
+    for deterministic tests.
+    @raise Invalid_argument if [b] is negative or NaN. *)
+
+val budget : t -> float
+val elapsed : t -> float
+(** Seconds since creation (clamped non-decreasing). *)
+
+val remaining : t -> float
+(** [max 0 (budget - elapsed)]; [0] once cancelled, [infinity] for an
+    unlimited live deadline. *)
+
+val expired : t -> bool
+(** True once the budget is spent {e or} the token was cancelled.
+    Never reverts to false. *)
+
+val cancel : t -> unit
+(** Fire the cancellation token: {!expired} is true from now on. *)
+
+val cancelled : t -> bool
+
+val should_stop : t -> unit -> bool
+(** [should_stop t] is the callback to thread into solvers — partially
+    applied form of {!expired}. *)

@@ -1,0 +1,445 @@
+module Netlist = Qbpart_netlist.Netlist
+module Rng = Qbpart_netlist.Rng
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Assignment = Qbpart_partition.Assignment
+module Initial = Qbpart_partition.Initial
+module Validate = Qbpart_partition.Validate
+module Gap = Qbpart_gap.Gap
+module Problem = Qbpart_core.Problem
+module Qmatrix = Qbpart_core.Qmatrix
+module Repair = Qbpart_core.Repair
+module Burkard = Qbpart_core.Burkard
+module Adaptive = Qbpart_core.Adaptive
+module Gfm = Qbpart_baselines.Gfm
+module Gkl = Qbpart_baselines.Gkl
+
+module Error = struct
+  type t =
+    | No_partitions of { components : int }
+    | Invalid_config of { field : string; reason : string }
+    | Invalid_initial of {
+        expected_length : int;
+        length : int;
+        issues : Validate.issue list;
+      }
+    | No_feasible_start of { attempts : int; issues : Validate.issue list }
+    | Internal of string
+
+  let pp_issues ppf issues =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+      Validate.pp_issue ppf
+      (List.filteri (fun i _ -> i < 5) issues)
+
+  let pp ppf = function
+    | No_partitions { components } ->
+      Format.fprintf ppf "topology has no partitions for %d component%s" components
+        (if components = 1 then "" else "s")
+    | Invalid_config { field; reason } ->
+      Format.fprintf ppf "invalid configuration: %s %s" field reason
+    | Invalid_initial { expected_length; length; issues = [] } ->
+      Format.fprintf ppf "initial assignment has length %d, expected %d" length
+        expected_length
+    | Invalid_initial { issues; _ } ->
+      Format.fprintf ppf "initial assignment unusable: %a" pp_issues issues
+    | No_feasible_start { attempts; issues } ->
+      Format.fprintf ppf "no feasible start found after %d attempts (best attempt: %a)"
+        attempts pp_issues issues
+    | Internal msg -> Format.fprintf ppf "internal engine error: %s" msg
+
+  let to_string e = Format.asprintf "%a" pp e
+end
+
+module Report = struct
+  type stage_outcome =
+    | Completed
+    | Timed_out
+    | Stalled of int
+    | Crashed of string
+    | Skipped of string
+
+  type stage = {
+    name : string;
+    outcome : stage_outcome;
+    wall_seconds : float;
+    cost_after : float;
+  }
+
+  type t = {
+    stages : stage list;
+    fallbacks : string list;
+    winner : string;
+    initial_cost : float;
+    final_cost : float;
+    wall_seconds : float;
+    deadline_expired : bool;
+    issues : Validate.issue list;
+  }
+
+  let pp_stage_outcome ppf = function
+    | Completed -> Format.pp_print_string ppf "completed"
+    | Timed_out -> Format.pp_print_string ppf "timed out"
+    | Stalled k -> Format.fprintf ppf "stalled after %d idle iterations" k
+    | Crashed e -> Format.fprintf ppf "crashed: %s" e
+    | Skipped why -> Format.fprintf ppf "skipped: %s" why
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "%-8s %a  (%.3fs, best %g)@," s.name pp_stage_outcome
+          s.outcome s.wall_seconds s.cost_after)
+      t.stages;
+    Format.fprintf ppf "result   %s: %g -> %g in %.3fs" t.winner t.initial_cost
+      t.final_cost t.wall_seconds;
+    if t.deadline_expired then Format.fprintf ppf ", deadline expired";
+    (match t.fallbacks with
+    | [] -> ()
+    | fs -> Format.fprintf ppf ", fallbacks: %s" (String.concat " -> " fs));
+    (match t.issues with
+    | [] -> ()
+    | issues -> Format.fprintf ppf "@,INFEASIBLE: %a" Error.pp_issues issues);
+    Format.fprintf ppf "@]"
+end
+
+module Fault = struct
+  exception Injected of string
+
+  type t =
+    | Raise_at of int
+    | Gap_overflow of int
+    | Gap_freeze of int
+    | Expire_mid_step6 of int
+end
+
+module Config = struct
+  type t = {
+    qbp : Burkard.Config.t;
+    gkl : Gkl.config;
+    gfm : Gfm.config;
+    max_rounds : int;
+    penalty_factor : float;
+    stall_patience : int;
+    stall_epsilon : float;
+    start_attempts : int;
+  }
+
+  let default =
+    {
+      qbp = Burkard.Config.default;
+      gkl = Gkl.default_config;
+      gfm = Gfm.default_config;
+      max_rounds = 4;
+      penalty_factor = 8.0;
+      stall_patience = 25;
+      stall_epsilon = 1e-6;
+      start_attempts = 200;
+    }
+end
+
+type outcome = {
+  assignment : Assignment.t;
+  cost : float;
+  report : Report.t;
+}
+
+(* --- input validation --------------------------------------------- *)
+
+let validate_config (c : Config.t) =
+  let err field reason = Some (Error.Invalid_config { field; reason }) in
+  let q = c.Config.qbp in
+  if q.Burkard.Config.iterations < 0 then err "qbp.iterations" "must be >= 0"
+  else if Float.is_nan q.Burkard.Config.penalty || q.Burkard.Config.penalty <= 0.0 then
+    err "qbp.penalty" "must be > 0"
+  else if q.Burkard.Config.polish_passes < 0 then err "qbp.polish_passes" "must be >= 0"
+  else if q.Burkard.Config.final_polish < 0 then err "qbp.final_polish" "must be >= 0"
+  else if q.Burkard.Config.repair_every < 0 then err "qbp.repair_every" "must be >= 0"
+  else if c.Config.max_rounds < 1 then err "max_rounds" "must be >= 1"
+  else if Float.is_nan c.Config.penalty_factor || c.Config.penalty_factor <= 1.0 then
+    err "penalty_factor" "must be > 1"
+  else if c.Config.stall_patience < 0 then err "stall_patience" "must be >= 0"
+  else if Float.is_nan c.Config.stall_epsilon || c.Config.stall_epsilon < 0.0 then
+    err "stall_epsilon" "must be >= 0"
+  else if c.Config.start_attempts < 1 then err "start_attempts" "must be >= 1"
+  else if c.Config.gfm.Gfm.max_passes < 0 then err "gfm.max_passes" "must be >= 0"
+  else if c.Config.gkl.Gkl.max_outer < 0 then err "gkl.max_outer" "must be >= 0"
+  else if c.Config.gkl.Gkl.dummies < 0 then err "gkl.dummies" "must be >= 0"
+  else if c.Config.gkl.Gkl.stall_cutoff < 0 then err "gkl.stall_cutoff" "must be >= 0"
+  else None
+
+(* --- safety-net construction -------------------------------------- *)
+
+let greedy_start ?constraints ?(attempts = 200) ?(seed = 1) nl topo =
+  let n = Netlist.n nl and m = Topology.m topo in
+  let check a = Validate.check ?constraints nl topo a in
+  if n = 0 then Ok [||]
+  else if m = 0 then Error (Error.No_partitions { components = n })
+  else
+    let greedy =
+      match Initial.greedy_feasible ?constraints ~attempts (Rng.create seed) nl topo () with
+      | Some a -> Some a
+      | None ->
+        (* the paper's own recipe: zero-B QBP reaches feasibility on
+           tightly constrained instances where greedy packing cannot *)
+        let problem = Problem.make ?constraints nl topo in
+        let config = { Burkard.Config.default with iterations = 30; seed } in
+        Burkard.initial_feasible ~config problem
+    in
+    match greedy with
+    | Some a when check a = [] -> Ok a
+    | Some _ | None -> (
+      let candidate =
+        match Initial.first_fit_decreasing nl topo with
+        | None ->
+          (* nothing even packs: diagnose the least-overfull stack *)
+          let roomiest = ref 0 in
+          for i = 1 to m - 1 do
+            if Topology.capacity topo i > Topology.capacity topo !roomiest then roomiest := i
+          done;
+          Assignment.make ~n !roomiest
+        | Some a -> (
+          (* capacity holds; if timing is violated, strict repair may
+             clear it without breaking C1 *)
+          match constraints with
+          | Some cons when not (Constraints.empty cons) && check a <> [] ->
+            let problem = Problem.make ~constraints:cons nl topo in
+            let strict = Qmatrix.make ~penalty:1e12 problem in
+            let b = Assignment.copy a in
+            ignore (Repair.to_feasible strict b ~rounds:10);
+            if check b = [] then b else a
+          | _ -> a)
+      in
+      match check candidate with
+      | [] -> Ok candidate
+      | issues -> Error (Error.No_feasible_start { attempts; issues }))
+
+(* --- QBP stage instrumentation ------------------------------------ *)
+
+(* Watches the per-iteration penalized objective; [stalled] turns true
+   after [patience] iterations without an improvement of at least
+   [epsilon].  Patience 0 disables. *)
+let stall_guard ~patience ~epsilon =
+  let best = ref infinity and since = ref 0 and stalled = ref false in
+  let observe (it : Burkard.iteration) =
+    if patience > 0 then
+      if it.Burkard.penalized < !best -. epsilon then begin
+        best := it.Burkard.penalized;
+        since := 0
+      end
+      else begin
+        incr since;
+        if !since >= patience then stalled := true
+      end
+  in
+  (observe, (fun () -> !stalled), fun () -> !since)
+
+let arm deadline fault : Burkard.gap_solver =
+  match fault with
+  | Fault.Raise_at k ->
+    fun ~step ~k:kk ~default gap ->
+      if step = Burkard.Step4 && kk >= k then
+        raise (Fault.Injected (Printf.sprintf "injected failure at iteration %d" kk))
+      else default gap
+  | Fault.Gap_overflow k ->
+    fun ~step:_ ~k:kk ~default gap ->
+      if kk >= k then Array.make gap.Gap.n 0 else default gap
+  | Fault.Gap_freeze k ->
+    let frozen = ref None in
+    fun ~step ~k:kk ~default gap ->
+      if step = Burkard.Step6 && kk >= k then (
+        match !frozen with
+        | Some a -> Array.copy a
+        | None ->
+          let a = default gap in
+          frozen := Some (Array.copy a);
+          a)
+      else default gap
+  | Fault.Expire_mid_step6 k ->
+    fun ~step ~k:kk ~default gap ->
+      let r = default gap in
+      if step = Burkard.Step6 && kk = k then Deadline.cancel deadline;
+      r
+
+(* --- the ladder ---------------------------------------------------- *)
+
+let run_ladder (config : Config.t) deadline initial fault problem start =
+  let nl = problem.Problem.netlist and topo = problem.Problem.topology in
+  let cons = problem.Problem.constraints in
+  let cost a = Problem.objective problem a in
+  let feasible a = Validate.check ~constraints:cons nl topo a = [] in
+  let best = ref (Assignment.copy start) in
+  let best_cost = ref (cost start) in
+  let initial_cost = !best_cost in
+  let winner = ref "initial" in
+  let stages =
+    ref
+      [
+        {
+          Report.name = "initial";
+          outcome = Report.Completed;
+          wall_seconds = Deadline.elapsed deadline;
+          cost_after = initial_cost;
+        };
+      ]
+  in
+  let fallbacks = ref [] in
+  let adopt name a =
+    let c = cost a in
+    if c < !best_cost && feasible a then begin
+      best := Assignment.copy a;
+      best_cost := c;
+      winner := name
+    end
+  in
+  let record name outcome t0 =
+    stages :=
+      {
+        Report.name;
+        outcome;
+        wall_seconds = Deadline.elapsed deadline -. t0;
+        cost_after = !best_cost;
+      }
+      :: !stages
+  in
+  (* primary: penalty-continuation QBP under deadline + stall guard *)
+  let qbp_produced = ref false in
+  let qbp_outcome =
+    let t0 = Deadline.elapsed deadline in
+    if Deadline.expired deadline then begin
+      let o = Report.Skipped "deadline expired before the stage started" in
+      record "qbp" o t0;
+      o
+    end
+    else begin
+      let observe, stalled, since =
+        stall_guard ~patience:config.Config.stall_patience
+          ~epsilon:config.Config.stall_epsilon
+      in
+      let gap_solver = Option.map (arm deadline) fault in
+      let should_stop () = Deadline.expired deadline || stalled () in
+      let warm = match initial with Some a -> a | None -> start in
+      let o =
+        try
+          let r =
+            Adaptive.solve ~config:config.Config.qbp ~max_rounds:config.Config.max_rounds
+              ~factor:config.Config.penalty_factor ~initial:warm ~should_stop ~observe
+              ?gap_solver problem
+          in
+          (match r.Adaptive.best_feasible with
+          | Some (a, _) ->
+            qbp_produced := true;
+            adopt "qbp" a
+          | None -> ());
+          if Deadline.expired deadline then Report.Timed_out
+          else if stalled () then Report.Stalled (since ())
+          else Report.Completed
+        with e -> Report.Crashed (Printexc.to_string e)
+      in
+      record "qbp" o t0;
+      o
+    end
+  in
+  (* fallbacks, each from the best solution so far, on what budget is
+     left; a fallback is only attempted when the rung above it failed *)
+  let stop = Deadline.should_stop deadline in
+  let p = problem.Problem.p in
+  let alpha = problem.Problem.alpha and beta = problem.Problem.beta in
+  let run_fallback name solver =
+    let t0 = Deadline.elapsed deadline in
+    if Deadline.expired deadline then begin
+      let o = Report.Skipped "deadline expired" in
+      record name o t0;
+      o
+    end
+    else begin
+      fallbacks := name :: !fallbacks;
+      let o =
+        try
+          let a, interrupted = solver (Assignment.copy !best) in
+          adopt name a;
+          if interrupted then Report.Timed_out else Report.Completed
+        with e -> Report.Crashed (Printexc.to_string e)
+      in
+      record name o t0;
+      o
+    end
+  in
+  (if not (qbp_outcome = Report.Completed && !qbp_produced) then
+     let gkl_outcome =
+       run_fallback "gkl" (fun init ->
+           let r =
+             Gkl.solve ~config:config.Config.gkl ?p ~alpha ~beta ~constraints:cons
+               ~should_stop:stop nl topo ~initial:init
+           in
+           (r.Gkl.assignment, r.Gkl.interrupted))
+     in
+     if gkl_outcome <> Report.Completed then
+       ignore
+         (run_fallback "gfm" (fun init ->
+              let r =
+                Gfm.solve ~config:config.Config.gfm ?p ~alpha ~beta ~constraints:cons
+                  ~should_stop:stop nl topo ~initial:init
+              in
+              (r.Gfm.assignment, r.Gfm.interrupted))));
+  let issues = Validate.check ~constraints:cons nl topo !best in
+  let report =
+    {
+      Report.stages = List.rev !stages;
+      fallbacks = List.rev !fallbacks;
+      winner = !winner;
+      initial_cost;
+      final_cost = !best_cost;
+      wall_seconds = Deadline.elapsed deadline;
+      deadline_expired = Deadline.expired deadline;
+      issues;
+    }
+  in
+  Ok { assignment = !best; cost = !best_cost; report }
+
+let solve ?(config = Config.default) ?deadline ?initial ?fault problem =
+  let deadline = match deadline with Some d -> d | None -> Deadline.none () in
+  match validate_config config with
+  | Some e -> Error e
+  | None -> (
+    let nl = problem.Problem.netlist and topo = problem.Problem.topology in
+    let cons = problem.Problem.constraints in
+    let n = Problem.n problem and m = Problem.m problem in
+    if n > 0 && m = 0 then Error (Error.No_partitions { components = n })
+    else
+      let initial_err =
+        match initial with
+        | None -> None
+        | Some a ->
+          if Array.length a <> n then
+            Some
+              (Error.Invalid_initial
+                 { expected_length = n; length = Array.length a; issues = [] })
+          else
+            let range =
+              List.filter
+                (function Validate.Out_of_range _ -> true | _ -> false)
+                (Validate.check ~constraints:cons nl topo a)
+            in
+            if range <> [] then
+              Some
+                (Error.Invalid_initial
+                   { expected_length = n; length = n; issues = range })
+            else None
+      in
+      match initial_err with
+      | Some e -> Error e
+      | None -> (
+        let safety =
+          match initial with
+          | Some a when Validate.check ~constraints:cons nl topo a = [] ->
+            Ok (Assignment.copy a)
+          | _ ->
+            greedy_start ~constraints:cons ~attempts:config.Config.start_attempts
+              ~seed:config.Config.qbp.Burkard.Config.seed nl topo
+        in
+        match safety with
+        | Error e -> Error e
+        | Ok start -> (
+          try run_ladder config deadline initial fault problem start
+          with e -> Error (Error.Internal (Printexc.to_string e)))))

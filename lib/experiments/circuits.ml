@@ -50,6 +50,9 @@ let make_reference ~iterations nl topo =
 
 let plant_constraints rng ~target nl topo reference =
   let n = Netlist.n nl in
+  (* only n(n-1) distinct directed pairs exist; an over-ambitious
+     target would spin the random-pair fallback below forever *)
+  let target = min target (n * (n - 1)) in
   let cons = Constraints.create ~n in
   let budget j1 j2 =
     let slack = if Rng.float rng 1.0 < 0.6 then 1.0 else 2.0 in

@@ -69,11 +69,19 @@ let timed f =
 let cell ~start ~final ~cpu_seconds =
   { final; improvement_pct = 100.0 *. (start -. final) /. start; cpu_seconds }
 
-let run ?(with_timing = true) ?qbp_config ?gfm_config ?gkl_config ?initial inst =
+let run ?(with_timing = true) ?stage_deadline ?qbp_config ?gfm_config ?gkl_config ?initial
+    inst =
   let nl = inst.Circuits.netlist and topo = inst.Circuits.topology in
   let constraints = if with_timing then Some inst.Circuits.constraints else None in
   let initial = match initial with Some a -> a | None -> initial_solution inst in
   let start = Evaluate.wirelength nl topo initial in
+  (* Each solver gets its own budget so a slow QBP cannot starve the
+     baselines of their table cells. *)
+  let fresh_stop () =
+    match stage_deadline with
+    | None -> fun () -> false
+    | Some secs -> Qbpart_engine.Deadline.should_stop (Qbpart_engine.Deadline.of_seconds secs)
+  in
   let verify what a =
     match Validate.check ?constraints nl topo a with
     | [] -> ()
@@ -84,7 +92,10 @@ let run ?(with_timing = true) ?qbp_config ?gfm_config ?gkl_config ?initial inst 
   in
   let problem = Circuits.problem ~with_timing inst in
   let qbp =
-    let result, cpu = timed (fun () -> Burkard.solve ?config:qbp_config ~initial problem) in
+    let should_stop = fresh_stop () in
+    let result, cpu =
+      timed (fun () -> Burkard.solve ?config:qbp_config ~initial ~should_stop problem)
+    in
     match result.Burkard.best_feasible with
     | Some (a, final) ->
       verify "QBP" a;
@@ -95,23 +106,25 @@ let run ?(with_timing = true) ?qbp_config ?gfm_config ?gkl_config ?initial inst 
       failwith "QBP lost its feasible start"
   in
   let gfm =
+    let should_stop = fresh_stop () in
     let result, cpu =
-      timed (fun () -> Gfm.solve ?config:gfm_config ?constraints nl topo ~initial)
+      timed (fun () -> Gfm.solve ?config:gfm_config ?constraints ~should_stop nl topo ~initial)
     in
     verify "GFM" result.Gfm.assignment;
     cell ~start ~final:result.Gfm.cost ~cpu_seconds:cpu
   in
   let gkl =
+    let should_stop = fresh_stop () in
     let result, cpu =
-      timed (fun () -> Gkl.solve ?config:gkl_config ?constraints nl topo ~initial)
+      timed (fun () -> Gkl.solve ?config:gkl_config ?constraints ~should_stop nl topo ~initial)
     in
     verify "GKL" result.Gkl.assignment;
     cell ~start ~final:result.Gkl.cost ~cpu_seconds:cpu
   in
   { name = inst.Circuits.spec.Circuits.name; start; qbp; gfm; gkl }
 
-let run_suite ?with_timing ?qbp_config instances =
-  List.map (fun inst -> run ?with_timing ?qbp_config inst) instances
+let run_suite ?with_timing ?stage_deadline ?qbp_config instances =
+  List.map (fun inst -> run ?with_timing ?stage_deadline ?qbp_config inst) instances
 
 type robustness = {
   name : string;

@@ -32,6 +32,7 @@ val initial_solution : Circuits.instance -> Assignment.t
 
 val run :
   ?with_timing:bool ->
+  ?stage_deadline:float ->
   ?qbp_config:Qbpart_core.Burkard.Config.t ->
   ?gfm_config:Qbpart_baselines.Gfm.config ->
   ?gkl_config:Qbpart_baselines.Gkl.config ->
@@ -39,12 +40,17 @@ val run :
   Circuits.instance ->
   row
 (** One table row.  [with_timing] selects Table III (default) vs
-    Table II semantics.  All three results are verified feasible
-    before being reported; an infeasible result raises [Failure]
-    (it would mean a solver bug, not a bad measurement). *)
+    Table II semantics.  [stage_deadline] gives {e each} of the three
+    solver calls its own fresh wall-clock budget in seconds; an expired
+    budget makes the cell report the solver's best-so-far feasible
+    solution rather than aborting the row.  All three results are
+    verified feasible before being reported; an infeasible result
+    raises [Failure] (it would mean a solver bug, not a bad
+    measurement). *)
 
 val run_suite :
   ?with_timing:bool ->
+  ?stage_deadline:float ->
   ?qbp_config:Qbpart_core.Burkard.Config.t ->
   Circuits.instance list ->
   row list

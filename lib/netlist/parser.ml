@@ -1,7 +1,14 @@
 type error = { line : int; message : string }
+type file_error = [ `Parse of error | `Io of string ]
 
 let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
 let error_to_string e = Format.asprintf "%a" pp_error e
+
+let pp_file_error ppf = function
+  | `Parse e -> pp_error ppf e
+  | `Io msg -> Format.pp_print_string ppf msg
+
+let file_error_to_string e = Format.asprintf "%a" pp_file_error e
 
 exception Fail of error
 
@@ -10,11 +17,16 @@ let fail line fmt = Printf.ksprintf (fun message -> raise (Fail { line; message 
 let tokens line =
   String.split_on_char ' ' line
   |> List.concat_map (String.split_on_char '\t')
+  |> List.map (fun s ->
+         (* accept CRLF input: strip a trailing carriage return *)
+         let l = String.length s in
+         if l > 0 && s.[l - 1] = '\r' then String.sub s 0 (l - 1) else s)
   |> List.filter (fun s -> s <> "")
 
 let float_of_token ln what s =
   match float_of_string_opt s with
-  | Some x -> x
+  | Some x when Float.is_finite x -> x
+  | Some _ -> fail ln "%s %S is not finite" what s
   | None -> fail ln "invalid %s %S" what s
 
 let parse_lines lines =
@@ -68,13 +80,20 @@ let parse_string s =
 
 let parse_channel ic =
   let buf = Buffer.create 4096 in
-  (try
-     while true do
-       Buffer.add_channel buf ic 1
-     done
-   with End_of_file -> ());
-  parse_string (Buffer.contents buf)
+  match
+    try
+      while true do
+        Buffer.add_channel buf ic 1
+      done
+    with End_of_file -> ()
+  with
+  | () -> (
+    match parse_string (Buffer.contents buf) with
+    | Ok nl -> Ok nl
+    | Error e -> Error (`Parse e))
+  | exception Sys_error msg -> Error (`Io msg)
 
 let parse_file path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> parse_channel ic)
+  match open_in path with
+  | exception Sys_error msg -> Error (`Io msg)
+  | ic -> Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> parse_channel ic)

@@ -9,14 +9,29 @@
     Names are whitespace-free tokens; [weight] defaults to 1.  Wires
     must reference previously declared components.  Parallel [wire]
     lines accumulate.  This is the on-disk format produced by
-    {!Printer} and consumed by the [qbpart] command-line tool. *)
+    {!Printer} and consumed by the [qbpart] command-line tool.
+
+    The parser is total: no input — including arbitrary binary garbage
+    — makes it raise.  Sizes and weights must be finite and positive;
+    trailing carriage returns (CRLF files) are accepted. *)
 
 type error = { line : int; message : string }
+(** [line] is 1-based and always within the parsed input. *)
+
+type file_error = [ `Parse of error | `Io of string ]
+(** What can go wrong reading a file: a syntax error at a line, or an
+    I/O failure (unreadable, nonexistent, a directory, ...). *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
+val pp_file_error : Format.formatter -> file_error -> unit
+val file_error_to_string : file_error -> string
+
 val parse_string : string -> (Netlist.t, error) result
-val parse_channel : in_channel -> (Netlist.t, error) result
-val parse_file : string -> (Netlist.t, error) result
-(** @raise Sys_error if the file cannot be opened. *)
+val parse_channel : in_channel -> (Netlist.t, file_error) result
+(** [`Io] if reading the channel fails mid-stream. *)
+
+val parse_file : string -> (Netlist.t, file_error) result
+(** Total: an unopenable or unreadable file is [`Io], never a raised
+    [Sys_error]. *)

@@ -9,7 +9,8 @@ type result = {
   last : Burkard.result;
 }
 
-let solve ?(config = Burkard.Config.default) ?initial ?(max_rounds = 4) ?(factor = 8.0) problem =
+let solve ?(config = Burkard.Config.default) ?initial ?(max_rounds = 4) ?(factor = 8.0)
+    ?(should_stop = fun () -> false) ?observe ?gap_solver problem =
   if max_rounds < 1 then invalid_arg "Adaptive.solve: max_rounds must be >= 1";
   if factor <= 1.0 then invalid_arg "Adaptive.solve: factor must be > 1";
   let problem = Problem.normalize problem in
@@ -26,7 +27,7 @@ let solve ?(config = Burkard.Config.default) ?initial ?(max_rounds = 4) ?(factor
   let rounds = ref [] in
   let rec go round_idx penalty initial =
     let config = { config with Burkard.Config.penalty } in
-    let result = Burkard.solve ~config ?initial problem in
+    let result = Burkard.solve ~config ?initial ~should_stop ?observe ?gap_solver problem in
     let improved = keep_feasible result.Burkard.best_feasible in
     rounds :=
       {
@@ -39,6 +40,8 @@ let solve ?(config = Burkard.Config.default) ?initial ?(max_rounds = 4) ?(factor
       no_timing
       || round_idx >= max_rounds
       || (Option.is_some !best_feasible && not improved)
+      || result.Burkard.interrupted
+      || should_stop ()
     in
     if stop then result
     else go (round_idx + 1) (penalty *. factor) (Some result.Burkard.best)

@@ -31,9 +31,17 @@ val solve :
   ?initial:Assignment.t ->
   ?max_rounds:int ->
   ?factor:float ->
+  ?should_stop:(unit -> bool) ->
+  ?observe:(Burkard.iteration -> unit) ->
+  ?gap_solver:Burkard.gap_solver ->
   Problem.t ->
   result
 (** [max_rounds] defaults to 4, [factor] (penalty multiplier between
     rounds) to 8.  The first round uses [config]'s penalty (default
     50).  Rounds stop early once a feasible solution exists and the
-    latest round no longer improves it. *)
+    latest round no longer improves it.
+
+    [should_stop], [observe] and [gap_solver] are forwarded to every
+    inner {!Burkard.solve}; an interrupted round also ends the
+    continuation, so the whole solve honours one shared budget and
+    returns the best feasible checkpoint found so far. *)

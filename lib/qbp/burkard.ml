@@ -53,9 +53,16 @@ type result = {
   best_cost : float;
   best_feasible : (Assignment.t * float) option;
   history : iteration list;
+  interrupted : bool;
 }
 
-let solve ?(config = Config.default) ?initial problem =
+type gap_step = Step4 | Step6
+
+type gap_solver =
+  step:gap_step -> k:int -> default:(Gap.t -> int array) -> Gap.t -> int array
+
+let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
+    ?(observe = fun _ -> ()) ?gap_solver problem =
   let problem = Problem.normalize problem in
   let q = Qmatrix.make ~penalty:config.Config.penalty problem in
   let m = Problem.m problem and n = Problem.n problem in
@@ -65,9 +72,15 @@ let solve ?(config = Config.default) ?initial problem =
   let gap_of costs =
     Gap.make_uniform ~cost:(Qmatrix.eta_cost_matrix costs ~m ~n) ~sizes ~capacity
   in
-  let solve_gap costs =
+  let default_gap gap =
     Mthg.solve_relaxed ~criteria:config.Config.gap_criteria ~improve:config.Config.gap_improve
-      (gap_of costs)
+      gap
+  in
+  let solve_gap ~step ~k costs =
+    let gap = gap_of costs in
+    match gap_solver with
+    | None -> default_gap gap
+    | Some f -> f ~step ~k ~default:default_gap gap
   in
   let u =
     match initial with
@@ -111,44 +124,57 @@ let solve ?(config = Config.default) ?initial problem =
         s
   in
   let polish ?(q = q) ~passes a = Repair.polish q a ~passes in
-  for k = 1 to config.Config.iterations do
+  let interrupted = ref false in
+  let stop () =
+    if not !interrupted then interrupted := should_stop ();
+    !interrupted
+  in
+  let k = ref 1 in
+  while (not (stop ())) && !k <= config.Config.iterations do
+    let k0 = !k in
     (* STEP 3 *)
     let eta = Qmatrix.eta ~rule:config.Config.rule q !u in
     let xi = Qmatrix.xi q ~omega !u in
     (* STEP 4: minimize the linearization over S *)
-    let u_z = solve_gap eta in
+    let u_z = solve_gap ~step:Step4 ~k:k0 eta in
     let z = ref 0.0 in
     Array.iteri (fun j i -> z := !z +. eta.(Assignment.flat_index ~m ~i ~j)) u_z;
     (* STEP 5: accumulate the direction *)
     let scale = Float.max 1.0 (Float.abs (!z -. xi)) in
     Array.iteri (fun r e -> h.(r) <- h.(r) +. (e /. scale)) eta;
     (* STEP 6: next iterate from the accumulated direction *)
-    u := solve_gap h;
-    let polish_q = if config.Config.strict_polish then strict_q () else q in
-    polish ~q:polish_q ~passes:config.Config.polish_passes !u;
-    (* Feasibility probe (our enhancement, DESIGN.md D6): coordinate
-       descent under an effectively infinite penalty pulls the iterate
-       toward the timing-feasible set without disturbing the Burkard
-       trajectory itself (unless [adopt_repair] makes the repaired
-       point the next iterate). *)
-    if
-      config.Config.repair_every > 0
-      && (k mod config.Config.repair_every = 0 || k = config.Config.iterations)
-      && not (Constraints.empty problem.Problem.constraints)
-    then begin
-      let probe = Assignment.copy !u in
-      let reached = Repair.to_feasible (strict_q ()) probe ~rounds:6 in
-      ignore (consider probe);
-      if config.Config.adopt_repair && reached && Problem.capacity_feasible problem probe then
-        u := probe
-    end;
-    (* STEP 7 *)
-    let penalized, feasible = consider !u in
-    history :=
-      { k; z = !z; penalized; objective = Problem.objective problem !u; feasible }
-      :: !history
+    u := solve_gap ~step:Step6 ~k:k0 h;
+    (* mid-step checkpoint: a deadline firing here abandons the
+       in-flight iterate — the best-so-far from STEP 7 of previous
+       iterations is what the caller gets *)
+    if not (stop ()) then begin
+      let polish_q = if config.Config.strict_polish then strict_q () else q in
+      polish ~q:polish_q ~passes:config.Config.polish_passes !u;
+      (* Feasibility probe (our enhancement, DESIGN.md D6): coordinate
+         descent under an effectively infinite penalty pulls the iterate
+         toward the timing-feasible set without disturbing the Burkard
+         trajectory itself (unless [adopt_repair] makes the repaired
+         point the next iterate). *)
+      if
+        config.Config.repair_every > 0
+        && (k0 mod config.Config.repair_every = 0 || k0 = config.Config.iterations)
+        && not (Constraints.empty problem.Problem.constraints)
+      then begin
+        let probe = Assignment.copy !u in
+        let reached = Repair.to_feasible (strict_q ()) probe ~rounds:6 in
+        ignore (consider probe);
+        if config.Config.adopt_repair && reached && Problem.capacity_feasible problem probe then
+          u := probe
+      end;
+      (* STEP 7 *)
+      let penalized, feasible = consider !u in
+      let it = { k = k0; z = !z; penalized; objective = Problem.objective problem !u; feasible } in
+      history := it :: !history;
+      observe it;
+      incr k
+    end
   done;
-  if config.Config.final_polish > 0 then begin
+  if config.Config.final_polish > 0 && not !interrupted then begin
     let final = Assignment.copy !best in
     polish ~passes:config.Config.final_polish final;
     ignore (consider final);
@@ -174,14 +200,15 @@ let solve ?(config = Config.default) ?initial problem =
     best_cost = !best_cost;
     best_feasible = !best_feasible;
     history = List.rev !history;
+    interrupted = !interrupted;
   }
 
-let initial_feasible ?(config = Config.default) problem =
+let initial_feasible ?(config = Config.default) ?should_stop problem =
   let problem = Problem.normalize problem in
   let zero_b =
     Problem.make ?p:problem.Problem.p ~constraints:problem.Problem.constraints
       problem.Problem.netlist
       (Topology.with_zero_b problem.Problem.topology)
   in
-  let result = solve ~config zero_b in
+  let result = solve ~config ?should_stop zero_b in
   Option.map fst result.best_feasible

@@ -82,14 +82,56 @@ type result = {
   best_feasible : (Assignment.t * float) option;
       (** lowest equation-(1) objective among fully feasible iterates *)
   history : iteration list; (** chronological *)
+  interrupted : bool;   (** [should_stop] fired before the budget ran out *)
 }
 
-val solve : ?config:Config.t -> ?initial:Assignment.t -> Problem.t -> result
+type gap_step = Step4 | Step6
+(** Which inner minimization a {!gap_solver} call serves: STEP 4
+    (linearization minimum {m z}) or STEP 6 (next iterate from the
+    accumulated direction {m h}). *)
+
+type gap_solver =
+  step:gap_step ->
+  k:int ->
+  default:(Qbpart_gap.Gap.t -> int array) ->
+  Qbpart_gap.Gap.t ->
+  int array
+(** Pluggable inner GAP solver.  [default] is the configured
+    Martello–Toth relaxed solve for this run; a custom solver may
+    delegate to it, wrap it, or replace it (alternative GAP backends,
+    fault injection).  [k] is the 1-based Burkard iteration.  Like the
+    default relaxed MTHG, the returned assignment may violate
+    capacity; the outer loop never trusts it blindly. *)
+
+val solve :
+  ?config:Config.t ->
+  ?initial:Assignment.t ->
+  ?should_stop:(unit -> bool) ->
+  ?observe:(iteration -> unit) ->
+  ?gap_solver:gap_solver ->
+  Problem.t ->
+  result
 (** Run the heuristic.  Without [initial], starts from a uniformly
     random assignment — the paper notes "QBP can start from any random
-    solution".  The problem is normalized internally. *)
+    solution".  The problem is normalized internally.
 
-val initial_feasible : ?config:Config.t -> Problem.t -> Assignment.t option
+    [should_stop] makes the solve cooperative: it is polled at the top
+    of every iteration {e and} immediately after the STEP-6 GAP (so a
+    deadline can fire mid-step), plus once before the final polish.
+    When it returns true the solver abandons the in-flight iteration
+    and returns its best-so-far checkpoint with [interrupted = true];
+    the final polish is skipped, because a fired deadline means
+    "return now".  The result is exactly what an uninterrupted run
+    would have reported after the completed iterations, so a longer
+    budget is never worse (anytime property).
+
+    [observe] is called once per completed iteration with the same
+    record that goes into [history] — a progress tap for stall
+    detectors, anytime curves and loggers.  Exceptions it raises
+    propagate out of [solve] untouched. *)
+
+val initial_feasible :
+  ?config:Config.t -> ?should_stop:(unit -> bool) -> Problem.t -> Assignment.t option
 (** The paper's recipe for seeding GFM/GKL: "use QBP algorithm with
     matrix B set to all zeros.  This will generate an initial feasible
     solution in a few iterations."  Returns the first C1 ∧ C2 feasible

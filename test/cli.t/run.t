@@ -26,13 +26,30 @@ on stderr), so the output is deterministic:
   c1 r1c1
   c2 r1c0
 
+A wall-clock budget is accepted in seconds or milliseconds; a solve
+this small finishes long before 2 seconds, so the result is unchanged:
+
+  $ qbpart solve design.net --rows 2 --cols 2 --slack 1.4 --deadline 2s -o deadline.asgn 2>/dev/null
+
+  $ wc -l < deadline.asgn
+  12
+
+The resilient engine prints a stage report on stderr and the
+assignment on stdout:
+
+  $ qbpart solve design.net --rows 2 --cols 2 --slack 1.4 --fallback -o fallback.asgn 2>/dev/null
+
+  $ wc -l < fallback.asgn
+  12
+
 Evaluate the saved assignment:
 
   $ qbpart eval design.net design.asgn -t design.budgets --rows 2 --cols 2 --slack 1.4 | tail -2
   timing violations 0 (worst slack 2)
   feasible          true
 
-Errors are reported with positions:
+Runtime failures exit 123 with a positioned message.  A malformed
+netlist:
 
   $ cat > bad.net <<EOF
   > component a 1
@@ -40,4 +57,67 @@ Errors are reported with positions:
   > EOF
   $ qbpart stats bad.net
   qbpart: bad.net: line 2: unknown component "b"
+  [123]
+
+An unreadable path (here: a directory) is an I/O error, not a crash:
+
+  $ qbpart stats .
+  qbpart: .: Is a directory
+  [123]
+
+An instance with no feasible start is diagnosed, not failwith-ed:
+
+  $ qbpart solve design.net --slack 0.01 2>&1
+  qbpart: no feasible start; increase --slack or loosen budgets
+  [123]
+
+The engine ladder is qbp-first by construction:
+
+  $ qbpart solve design.net -a gfm --fallback 2>&1
+  qbpart: --fallback drives the fixed qbp -> gkl -> gfm degradation ladder; use it with -a qbp
+  [123]
+
+Malformed assignment files are reported with their line:
+
+  $ cat > bad.asgn <<EOF
+  > c0 r0c0 extra
+  > EOF
+  $ qbpart eval design.net bad.asgn --rows 2 --cols 2
+  qbpart: bad.asgn: line 1: bad assignment line "c0 r0c0 extra"
+  [123]
+
+  $ cat > bad.asgn <<EOF
+  > nosuch r0c0
+  > EOF
+  $ qbpart eval design.net bad.asgn --rows 2 --cols 2
+  qbpart: bad.asgn: line 1: unknown component "nosuch"
+  [123]
+
+  $ cat > bad.asgn <<EOF
+  > c0 r9c9
+  > EOF
+  $ qbpart eval design.net bad.asgn --rows 2 --cols 2
+  qbpart: bad.asgn: line 1: unknown partition "r9c9"
+  [123]
+
+  $ cat > bad.asgn <<EOF
+  > c0 r0c0
+  > EOF
+  $ qbpart eval design.net bad.asgn --rows 2 --cols 2
+  qbpart: bad.asgn: component "c1" unassigned
+  [123]
+
+Command-line errors (unknown algorithm, bad duration, missing file)
+exit 124:
+
+  $ qbpart solve design.net -a simulated-annealing 2>&1 | head -2
+  qbpart: option '-a': invalid value 'simulated-annealing', expected one of
+          'qbp', 'gfm' or 'gkl'
+  $ qbpart solve design.net -a simulated-annealing 2>/dev/null
+  [124]
+
+  $ qbpart solve design.net --deadline never 2>/dev/null
+  [124]
+
+  $ qbpart stats no-such-file.net 2>/dev/null
   [124]

@@ -383,6 +383,84 @@ let prop_generator_counts =
       let nl = Generator.generate rng (Generator.default_params ~n ~wires) in
       Netlist.n nl = n && Netlist.total_wire_weight nl = float_of_int wires)
 
+(* qcheck fuzz: the parser is total.  Whatever bytes arrive, it either
+   parses or reports an error whose line number lies within the
+   input — it must never raise. *)
+let lines_of s = List.length (String.split_on_char '\n' s)
+
+let parser_total_on s =
+  match Parser.parse_string s with
+  | Ok _ -> true
+  | Error e -> 1 <= e.Parser.line && e.Parser.line <= lines_of s
+  | exception e ->
+    QCheck.Test.fail_reportf "parser raised %s on %S" (Printexc.to_string e) s
+
+let prop_parser_total_random_bytes =
+  QCheck.Test.make ~name:"parser: total on random bytes" ~count:500
+    QCheck.(string_gen (Gen.int_range 0 255 |> Gen.map Char.chr))
+    parser_total_on
+
+let prop_parser_total_format_shaped =
+  (* bias the fuzz toward almost-valid inputs: the format's own
+     keywords interleaved with junk tokens and numbers *)
+  let token =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.return "component";
+        QCheck.Gen.return "wire";
+        QCheck.Gen.return "c0";
+        QCheck.Gen.return "c1";
+        QCheck.Gen.return "#";
+        QCheck.Gen.return ";";
+        QCheck.Gen.return "-1";
+        QCheck.Gen.return "1e308";
+        QCheck.Gen.return "nan";
+        QCheck.Gen.return "inf";
+        QCheck.Gen.return "0";
+        QCheck.Gen.return "1.5";
+        QCheck.Gen.map (Printf.sprintf "%d") QCheck.Gen.small_int;
+        QCheck.Gen.small_string ~gen:QCheck.Gen.printable;
+      ]
+  in
+  let line = QCheck.Gen.map (String.concat " ") (QCheck.Gen.list_size (QCheck.Gen.int_range 0 5) token) in
+  let doc = QCheck.Gen.map (String.concat "\n") (QCheck.Gen.list_size (QCheck.Gen.int_range 0 12) line) in
+  QCheck.Test.make ~name:"parser: total on format-shaped fuzz" ~count:500
+    (QCheck.make ~print:(fun s -> s) doc)
+    parser_total_on
+
+let prop_parser_total_mutated =
+  (* flip one byte of a valid printed netlist *)
+  QCheck.Test.make ~name:"parser: total on mutated valid input" ~count:300
+    QCheck.(triple (int_range 2 20) (int_range 0 1000) (int_range 0 255))
+    (fun (n, pos_seed, byte) ->
+      let rng = Rng.create (n + (pos_seed * 31)) in
+      let nl = Generator.generate rng (Generator.default_params ~n ~wires:(n * 3)) in
+      let s = Bytes.of_string (Printer.to_string nl) in
+      if Bytes.length s = 0 then true
+      else begin
+        Bytes.set s (pos_seed mod Bytes.length s) (Char.chr byte);
+        parser_total_on (Bytes.to_string s)
+      end)
+
+let test_parse_file_missing () =
+  (match Parser.parse_file "/nonexistent/qbpart-no-such-file.net" with
+  | Error (`Io _) -> ()
+  | Error (`Parse _) -> fail "missing file reported as a parse error"
+  | Ok _ -> fail "parsed a nonexistent file");
+  (* a directory is readable as a path but not as a file *)
+  match Parser.parse_file "." with
+  | Error (`Io _) -> ()
+  | Error (`Parse _) -> fail "directory reported as a parse error"
+  | Ok _ -> fail "parsed a directory"
+
+let test_parse_crlf_and_nonfinite () =
+  (match Parser.parse_string "component a 1\r\ncomponent b 2\r\nwire a b 3\r\n" with
+  | Ok nl -> check Alcotest.int "crlf n" 2 (Netlist.n nl)
+  | Error e -> fail (Parser.error_to_string e));
+  expect_parse_error "component a inf\n" 1;
+  expect_parse_error "component a nan\n" 1;
+  expect_parse_error "component a 1\ncomponent b 1\nwire a b inf\n" 3
+
 let prop_adjacency_symmetric =
   QCheck.Test.make ~name:"connection is symmetric" ~count:30
     QCheck.(int_range 2 30)
@@ -534,6 +612,8 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
           Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;
           Alcotest.test_case "roundtrip triangle" `Quick test_roundtrip_triangle;
+          Alcotest.test_case "file errors are Io" `Quick test_parse_file_missing;
+          Alcotest.test_case "crlf and non-finite" `Quick test_parse_crlf_and_nonfinite;
         ] );
       ( "hypergraph",
         [
@@ -547,4 +627,10 @@ let () =
         ] );
       ( "properties",
         [ q prop_roundtrip; q prop_generator_counts; q prop_adjacency_symmetric ] );
+      ( "fuzz",
+        [
+          q prop_parser_total_random_bytes;
+          q prop_parser_total_format_shaped;
+          q prop_parser_total_mutated;
+        ] );
     ]
