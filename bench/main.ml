@@ -3,6 +3,7 @@
      dune exec bench/main.exe                 full run (a few minutes)
      dune exec bench/main.exe -- --quick      ckta only
      dune exec bench/main.exe -- --skip-kernels / --skip-ablations
+     dune exec bench/main.exe -- --only-portfolio --json BENCH_portfolio.json
 
    Sections:
      Figure 1 / section 3.3   the worked Q-hat example, entry by entry
@@ -11,8 +12,15 @@
      Table III                same, with timing constraints
      Robustness               QBP from random starts (section 5 claim)
      Ablations                design decisions D1-D6 of DESIGN.md
+     Portfolio                multi-start scaling across domain counts
+                              plus the delta-vs-full evaluation kernels
      Kernels                  bechamel micro-benchmarks, one per
                               table-backing computation kernel
+
+   [--json PATH] additionally writes the kernel estimates and the
+   portfolio-scaling measurements as machine-readable JSON (consumed
+   by CI and EXPERIMENTS.md); [--only-portfolio] runs just the
+   sections that feed that file.
 
    Absolute numbers differ from the 1993 DECstation; EXPERIMENTS.md
    records the shape comparison. *)
@@ -35,6 +43,70 @@ module Gkl = Qbpart_baselines.Gkl
 module Circuits = Qbpart_experiments.Circuits
 module Runner = Qbpart_experiments.Runner
 module Report = Qbpart_experiments.Report
+module Portfolio = Qbpart_engine.Portfolio
+
+(* Minimal JSON emission — the toolchain has no JSON library and the
+   bench output is flat enough not to want one. *)
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf indent = function
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+    | String s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (escape s))
+    | List xs ->
+      Buffer.add_string buf "[";
+      List.iteri
+        (fun k x ->
+          if k > 0 then Buffer.add_string buf ", ";
+          emit buf indent x)
+        xs;
+      Buffer.add_string buf "]"
+    | Obj fields ->
+      let pad = String.make (indent + 2) ' ' in
+      Buffer.add_string buf "{";
+      List.iteri
+        (fun k (name, v) ->
+          Buffer.add_string buf (if k > 0 then ",\n" else "\n");
+          Buffer.add_string buf pad;
+          Buffer.add_string buf (Printf.sprintf "\"%s\": " (escape name));
+          emit buf (indent + 2) v)
+        fields;
+      Buffer.add_string buf "\n";
+      Buffer.add_string buf (String.make indent ' ');
+      Buffer.add_string buf "}"
+
+  let to_file path t =
+    let buf = Buffer.create 4096 in
+    emit buf 0 t;
+    Buffer.add_char buf '\n';
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Buffer.contents buf))
+end
 
 let section title =
   Format.printf "@.=============================================================@.";
@@ -273,18 +345,38 @@ let kernels inst =
   let sizes = Netlist.sizes nl in
   let capacity = Topology.capacities topo in
   let eta = Qmatrix.eta q u in
+  let eta_buf = Array.make (Qmatrix.dim q) 0.0 in
+  let gap_cost = Array.init m (fun _ -> Array.make n 0.0) in
   let gap = Gap.make_uniform ~cost:(Qmatrix.eta_cost_matrix eta ~m ~n) ~sizes ~capacity in
   let gains = Gains.create nl topo u in
+  (* the busiest component: worst case for the O(deg) delta kernels,
+     so the delta-vs-full ratio below is a lower bound *)
+  let j_hot = ref 0 in
+  for j = 1 to n - 1 do
+    if Array.length (Netlist.adj nl j) > Array.length (Netlist.adj nl !j_hot) then j_hot := j
+  done;
+  let j_hot = !j_hot in
+  let i_move = (u.(j_hot) + 1) mod m in
   let tests =
     [
       (* Table II/III inner loops *)
       Test.make ~name:"eta (STEP 3 linearization)" (Staged.stage (fun () -> Qmatrix.eta q u));
+      Test.make ~name:"eta_into (reused buffer)"
+        (Staged.stage (fun () -> Qmatrix.eta_into q u eta_buf));
+      Test.make ~name:"eta_cost_matrix_into (reused GAP matrix)"
+        (Staged.stage (fun () -> Qmatrix.eta_cost_matrix_into eta ~m ~n gap_cost));
       Test.make ~name:"mthg construct (STEP 4/6 GAP)"
         (Staged.stage (fun () -> Mthg.construct gap));
       Test.make ~name:"mthg solve_relaxed"
         (Staged.stage (fun () -> Mthg.solve_relaxed ~criteria:[ Mthg.Cost ] ~improve:`Shift gap));
-      Test.make ~name:"penalized objective"
+      Test.make ~name:"penalized objective (full eval)"
         (Staged.stage (fun () -> Problem.penalized_objective problem ~penalty:50.0 u));
+      Test.make ~name:"delta eval (one move, max-degree j)"
+        (Staged.stage (fun () -> Qmatrix.delta q u ~j:j_hot ~i:i_move));
+      Test.make ~name:"violations_delta (one move)"
+        (Staged.stage (fun () -> Qmatrix.violations_delta q u ~j:j_hot ~i:i_move));
+      Test.make ~name:"delta_objective (one move)"
+        (Staged.stage (fun () -> Problem.delta_objective problem u ~j:j_hot ~i:i_move));
       Test.make ~name:"wirelength evaluation"
         (Staged.stage (fun () -> Evaluate.wirelength nl topo u));
       Test.make ~name:"timing check (all constraints)"
@@ -315,35 +407,185 @@ let kernels inst =
     let raw = Benchmark.all cfg instances test in
     Analyze.all ols (List.hd instances) raw
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = benchmark test in
       Hashtbl.iter
         (fun name ols ->
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Format.printf "  %-38s %14.0f ns/run@." name est
-          | _ -> Format.printf "  %-38s (no estimate)@." name)
+          | Some [ est ] ->
+            Format.printf "  %-42s %14.0f ns/run@." name est;
+            estimates := (name, est) :: !estimates
+          | _ -> Format.printf "  %-42s (no estimate)@." name)
         results)
-    tests
+    tests;
+  let estimates = List.rev !estimates in
+  (match
+     ( List.assoc_opt "penalized objective (full eval)" estimates,
+       List.assoc_opt "delta eval (one move, max-degree j)" estimates )
+   with
+  | Some full, Some delta when delta > 0.0 ->
+    Format.printf "@.  delta-evaluation speedup over full recompute: %.0fx@." (full /. delta)
+  | _ -> ());
+  estimates
+
+(* ------------------------------------------------------------------ *)
+(* Parallel portfolio scaling (multi-start QBP on OCaml 5 domains) *)
+
+let portfolio quick =
+  section "Parallel portfolio scaling (multi-start QBP)";
+  let spec =
+    if quick then List.hd Circuits.table1
+    else
+      (* cktf: the largest bundled circuit *)
+      List.fold_left
+        (fun acc (s : Circuits.spec) -> if s.Circuits.n > acc.Circuits.n then s else acc)
+        (List.hd Circuits.table1) Circuits.table1
+  in
+  let inst = Circuits.build spec in
+  let problem = Circuits.problem ~with_timing:true inst in
+  (* same shared feasible initial as the tables; start 0 is warm *)
+  let initial = Runner.initial_solution inst in
+  let starts = 8 in
+  let iterations = if quick then 15 else 40 in
+  let config = { Burkard.Config.default with iterations; seed = 7 } in
+  Format.printf "circuit %s (N=%d), %d starts, %d iterations each, base seed %d@."
+    spec.Circuits.name spec.Circuits.n starts iterations config.Burkard.Config.seed;
+  Format.printf "recommended domain count on this machine: %d@.@."
+    (Portfolio.default_jobs ());
+  let run jobs =
+    let t0 = Unix.gettimeofday () in
+    let r = Portfolio.solve ~config ~max_rounds:2 ~jobs ~starts ~initial problem in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let base_wall, base = run 1 in
+  let job_counts = if quick then [ 2; 4 ] else [ 2; 4; 8 ] in
+  let row jobs wall (r : Portfolio.result) identical =
+    Format.printf "  jobs=%d  %7.2fs  speedup %4.2fx  best %12.1f  feasible %s  %s@." jobs
+      wall (base_wall /. wall) r.Portfolio.best_cost
+      (match r.Portfolio.best_feasible with
+      | Some (_, c) -> Printf.sprintf "%.1f" c
+      | None -> "-")
+      (if identical then "identical to jobs=1" else "MISMATCH vs jobs=1");
+    Json.Obj
+      [
+        ("jobs", Json.Int jobs);
+        ("wall_seconds", Json.Float wall);
+        ("speedup_vs_jobs1", Json.Float (base_wall /. wall));
+        ("best_cost", Json.Float r.Portfolio.best_cost);
+        ( "feasible_cost",
+          match r.Portfolio.best_feasible with
+          | Some (_, c) -> Json.Float c
+          | None -> Json.Bool false );
+        ("winner", match r.Portfolio.winner with Some w -> Json.Int w | None -> Json.Int (-1));
+        ("identical_to_jobs1", Json.Bool identical);
+      ]
+  in
+  let rows = ref [ row 1 base_wall base true ] in
+  List.iter
+    (fun jobs ->
+      let wall, r = run jobs in
+      let identical =
+        r.Portfolio.best_cost = base.Portfolio.best_cost
+        && r.Portfolio.best = base.Portfolio.best
+        && r.Portfolio.winner = base.Portfolio.winner
+        && Option.map snd r.Portfolio.best_feasible
+           = Option.map snd base.Portfolio.best_feasible
+      in
+      rows := row jobs wall r identical :: !rows)
+    job_counts;
+  Format.printf
+    "@.(speedups are bounded by the physical core count; the reduction@.\
+     is deterministic, so every row must report the same champion)@.";
+  Json.Obj
+    [
+      ("circuit", Json.String spec.Circuits.name);
+      ("components", Json.Int spec.Circuits.n);
+      ("starts", Json.Int starts);
+      ("iterations", Json.Int iterations);
+      ("base_seed", Json.Int config.Burkard.Config.seed);
+      ("recommended_domains", Json.Int (Portfolio.default_jobs ()));
+      ("runs", Json.List (List.rev !rows));
+    ]
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
   let flag f = List.mem f args in
-  let quick = flag "--quick" in
-  let t0 = Sys.time () in
-  figure1 ();
-  Format.printf "@.building the circuit suite...@.";
-  let instances =
-    if quick then [ Circuits.build (List.hd Circuits.table1) ] else Circuits.build_all ()
+  let json_path =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
   in
-  let _rows2, _rows3 = tables instances in
-  if not (flag "--skip-robustness") then robustness instances;
-  if not (flag "--skip-ablations") then ablations (List.hd instances);
-  if not (flag "--skip-sweeps") then begin
-    convergence (List.hd instances);
-    sweeps quick
+  let quick = flag "--quick" in
+  let only_portfolio = flag "--only-portfolio" in
+  let t0 = Sys.time () in
+  let wall0 = Unix.gettimeofday () in
+  let kernel_stats = ref [] in
+  let portfolio_stats = ref None in
+  if only_portfolio then begin
+    Format.printf "building %s...@." (if quick then "ckta" else "ckta (kernels)");
+    let inst = Circuits.build (List.hd Circuits.table1) in
+    portfolio_stats := Some (portfolio quick);
+    if not (flag "--skip-kernels") then kernel_stats := kernels inst
+  end
+  else begin
+    figure1 ();
+    Format.printf "@.building the circuit suite...@.";
+    let instances =
+      if quick then [ Circuits.build (List.hd Circuits.table1) ] else Circuits.build_all ()
+    in
+    let _rows2, _rows3 = tables instances in
+    if not (flag "--skip-robustness") then robustness instances;
+    if not (flag "--skip-ablations") then ablations (List.hd instances);
+    if not (flag "--skip-sweeps") then begin
+      convergence (List.hd instances);
+      sweeps quick
+    end;
+    if not (flag "--skip-portfolio") then portfolio_stats := Some (portfolio quick);
+    if not (flag "--skip-kernels") then kernel_stats := kernels (List.hd instances)
   end;
-  if not (flag "--skip-kernels") then kernels (List.hd instances);
-  Format.printf "@.total bench time: %.1fs@." (Sys.time () -. t0)
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let kernels_json =
+      Json.List
+        (List.map
+           (fun (name, ns) ->
+             Json.Obj [ ("name", Json.String name); ("ns_per_run", Json.Float ns) ])
+           !kernel_stats)
+    in
+    let summary =
+      match
+        ( List.assoc_opt "penalized objective (full eval)" !kernel_stats,
+          List.assoc_opt "delta eval (one move, max-degree j)" !kernel_stats )
+      with
+      | Some full, Some delta when delta > 0.0 ->
+        [
+          ("full_eval_ns", Json.Float full);
+          ("delta_eval_ns", Json.Float delta);
+          ("delta_speedup", Json.Float (full /. delta));
+        ]
+      | _ -> []
+    in
+    let doc =
+      Json.Obj
+        ([
+           ("schema", Json.String "qbpart-bench-portfolio/1");
+           ("quick", Json.Bool quick);
+           ("kernels", kernels_json);
+         ]
+        @ (if summary = [] then [] else [ ("kernels_summary", Json.Obj summary) ])
+        @ (match !portfolio_stats with
+          | Some p -> [ ("portfolio", p) ]
+          | None -> []))
+    in
+    Json.to_file path doc;
+    Format.printf "@.wrote %s@." path);
+  Format.printf "@.total bench time: %.1fs cpu, %.1fs wall@." (Sys.time () -. t0)
+    (Unix.gettimeofday () -. wall0)

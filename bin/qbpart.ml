@@ -32,6 +32,7 @@ module Gfm = Qbpart_baselines.Gfm
 module Gkl = Qbpart_baselines.Gkl
 module Deadline = Qbpart_engine.Deadline
 module Engine = Qbpart_engine.Engine
+module Portfolio = Qbpart_engine.Portfolio
 module Experiments = Qbpart_experiments
 
 open Cmdliner
@@ -143,13 +144,24 @@ let emit_assignment nl topo assignment out =
       Ok ())
 
 let solve_cmd =
-  let run path timing rows cols slack algorithm iterations seed deadline fallback out =
+  let run path timing rows cols slack algorithm iterations seed deadline fallback starts
+      jobs out =
     let* nl = load_netlist path in
     let* constraints = load_constraints nl timing in
     let* () =
       if rows < 1 || cols < 1 then msgf "--rows and --cols must be >= 1" else Ok ()
     in
     let* () = if iterations < 0 then msgf "--iterations must be >= 0" else Ok () in
+    let* () = if starts < 1 then msgf "--starts must be >= 1" else Ok () in
+    let* () = if jobs < 0 then msgf "--jobs must be >= 1 (or 0 for auto)" else Ok () in
+    let* () =
+      match algorithm with
+      | `Qbp -> Ok ()
+      | `Gfm | `Gkl ->
+        if starts > 1 then msgf "--starts drives the multi-start QBP portfolio; use it with -a qbp"
+        else Ok ()
+    in
+    let jobs = if jobs = 0 then None else Some jobs in
     let topo = grid_topology nl ~rows ~cols ~slack in
     let deadline =
       match deadline with
@@ -168,6 +180,8 @@ let solve_cmd =
           {
             Engine.Config.default with
             qbp = { Burkard.Config.default with iterations; seed };
+            starts;
+            jobs;
           }
         in
         let problem = Problem.make ?constraints nl topo in
@@ -189,6 +203,19 @@ let solve_cmd =
         let t0 = Sys.time () in
         let final =
           match algorithm with
+          | `Qbp when starts > 1 ->
+            (* multi-start portfolio over a domain pool; max_rounds 1
+               keeps each start a plain (non-continuation) Burkard run,
+               matching the single-start branch below *)
+            let problem = Problem.make ?constraints nl topo in
+            let config = { Burkard.Config.default with iterations; seed } in
+            let result =
+              Portfolio.solve ~config ~max_rounds:1 ?jobs ~starts ~initial ~should_stop
+                problem
+            in
+            (match result.Portfolio.best_feasible with
+            | Some (a, _) -> a
+            | None -> initial)
           | `Qbp ->
             let problem = Problem.make ?constraints nl topo in
             let config = { Burkard.Config.default with iterations; seed } in
@@ -238,6 +265,17 @@ let solve_cmd =
                  then the greedy initial solution on timeout, stall or failure. \
                  Prints a stage report on stderr.")
   in
+  let starts =
+    Arg.(value & opt int 1 & info [ "starts" ]
+           ~doc:"Independent QBP starts with distinct seeds (multi-start portfolio); \
+                 the best solution wins deterministically. Only with -a qbp.")
+  in
+  let jobs =
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ]
+           ~doc:"Domains running the portfolio starts in parallel; 0 (default) picks \
+                 the machine's recommended domain count. The result is identical for \
+                 every value.")
+  in
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the assignment here instead of stdout.")
@@ -247,7 +285,7 @@ let solve_cmd =
     Term.(
       term_result
         (const run $ path $ timing $ rows $ cols $ slack $ algorithm $ iterations $ seed
-       $ deadline $ fallback $ out))
+       $ deadline $ fallback $ starts $ jobs $ out))
 
 (* --- eval ---------------------------------------------------------- *)
 

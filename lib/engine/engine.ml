@@ -123,6 +123,8 @@ module Config = struct
     stall_patience : int;
     stall_epsilon : float;
     start_attempts : int;
+    starts : int;
+    jobs : int option;
   }
 
   let default =
@@ -135,6 +137,8 @@ module Config = struct
       stall_patience = 25;
       stall_epsilon = 1e-6;
       start_attempts = 200;
+      starts = 1;
+      jobs = None;
     }
 end
 
@@ -162,6 +166,9 @@ let validate_config (c : Config.t) =
   else if Float.is_nan c.Config.stall_epsilon || c.Config.stall_epsilon < 0.0 then
     err "stall_epsilon" "must be >= 0"
   else if c.Config.start_attempts < 1 then err "start_attempts" "must be >= 1"
+  else if c.Config.starts < 1 then err "starts" "must be >= 1"
+  else if (match c.Config.jobs with Some j -> j < 1 | None -> false) then
+    err "jobs" "must be >= 1"
   else if c.Config.gfm.Gfm.max_passes < 0 then err "gfm.max_passes" "must be >= 0"
   else if c.Config.gkl.Gkl.max_outer < 0 then err "gkl.max_outer" "must be >= 0"
   else if c.Config.gkl.Gkl.dummies < 0 then err "gkl.dummies" "must be >= 0"
@@ -302,41 +309,68 @@ let run_ladder (config : Config.t) deadline initial fault problem start =
       }
       :: !stages
   in
-  (* primary: penalty-continuation QBP under deadline + stall guard *)
+  (* primary: penalty-continuation QBP under deadline + stall guard —
+     run as a multi-start domain portfolio when [starts > 1] *)
   let qbp_produced = ref false in
+  let primary_name = if config.Config.starts > 1 then "portfolio" else "qbp" in
   let qbp_outcome =
     let t0 = Deadline.elapsed deadline in
     if Deadline.expired deadline then begin
       let o = Report.Skipped "deadline expired before the stage started" in
-      record "qbp" o t0;
+      record primary_name o t0;
       o
     end
     else begin
-      let observe, stalled, since =
-        stall_guard ~patience:config.Config.stall_patience
-          ~epsilon:config.Config.stall_epsilon
-      in
       let gap_solver = Option.map (arm deadline) fault in
-      let should_stop () = Deadline.expired deadline || stalled () in
       let warm = match initial with Some a -> a | None -> start in
       let o =
-        try
-          let r =
-            Adaptive.solve ~config:config.Config.qbp ~max_rounds:config.Config.max_rounds
-              ~factor:config.Config.penalty_factor ~initial:warm ~should_stop ~observe
-              ?gap_solver problem
+        if config.Config.starts > 1 then begin
+          let should_stop () = Deadline.expired deadline in
+          try
+            let r =
+              Portfolio.solve ~config:config.Config.qbp
+                ~max_rounds:config.Config.max_rounds
+                ~factor:config.Config.penalty_factor ?jobs:config.Config.jobs
+                ~starts:config.Config.starts ~initial:warm ~should_stop
+                ~stall:(config.Config.stall_patience, config.Config.stall_epsilon)
+                ?gap_solver problem
+            in
+            (match r.Portfolio.best_feasible with
+            | Some (a, _) ->
+              qbp_produced := true;
+              adopt primary_name a
+            | None -> ());
+            if Deadline.expired deadline then Report.Timed_out
+            else if List.for_all (fun s -> s.Portfolio.stalled) r.Portfolio.reports then
+              Report.Stalled config.Config.stall_patience
+            else Report.Completed
+          with e -> Report.Crashed (Printexc.to_string e)
+        end
+        else begin
+          let observe, stalled, since =
+            stall_guard ~patience:config.Config.stall_patience
+              ~epsilon:config.Config.stall_epsilon
           in
-          (match r.Adaptive.best_feasible with
-          | Some (a, _) ->
-            qbp_produced := true;
-            adopt "qbp" a
-          | None -> ());
-          if Deadline.expired deadline then Report.Timed_out
-          else if stalled () then Report.Stalled (since ())
-          else Report.Completed
-        with e -> Report.Crashed (Printexc.to_string e)
+          let should_stop () = Deadline.expired deadline || stalled () in
+          try
+            let r =
+              Adaptive.solve ~config:config.Config.qbp
+                ~max_rounds:config.Config.max_rounds
+                ~factor:config.Config.penalty_factor ~initial:warm ~should_stop ~observe
+                ?gap_solver problem
+            in
+            (match r.Adaptive.best_feasible with
+            | Some (a, _) ->
+              qbp_produced := true;
+              adopt primary_name a
+            | None -> ());
+            if Deadline.expired deadline then Report.Timed_out
+            else if stalled () then Report.Stalled (since ())
+            else Report.Completed
+          with e -> Report.Crashed (Printexc.to_string e)
+        end
       in
-      record "qbp" o t0;
+      record primary_name o t0;
       o
     end
   in

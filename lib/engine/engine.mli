@@ -83,7 +83,7 @@ module Report : sig
     | Skipped of string   (** never ran, and why *)
 
   type stage = {
-    name : string;        (** ["initial"], ["qbp"], ["gkl"], ["gfm"] *)
+    name : string;        (** ["initial"], ["qbp"] (or ["portfolio"]), ["gkl"], ["gfm"] *)
     outcome : stage_outcome;
     wall_seconds : float; (** wall time spent in this stage *)
     cost_after : float;   (** best feasible equation-(1) cost after the stage *)
@@ -150,11 +150,19 @@ module Config : sig
             0 disables stall detection *)
     stall_epsilon : float;        (** minimum improvement that resets the stall counter *)
     start_attempts : int;         (** randomized-greedy restarts for the safety net *)
+    starts : int;
+        (** independent QBP starts (≥ 1); above 1 the primary stage is
+            a {!Portfolio.solve} over a domain pool and reports as
+            ["portfolio"] *)
+    jobs : int option;
+        (** domain-pool cap for the portfolio; [None] means
+            {!Portfolio.default_jobs} *)
   }
 
   val default : t
   (** Solver defaults; [stall_patience = 25], [stall_epsilon = 1e-6],
-      [start_attempts = 200]. *)
+      [start_attempts = 200], [starts = 1] (plain single-start QBP),
+      [jobs = None]. *)
 end
 
 type outcome = {

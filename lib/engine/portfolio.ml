@@ -1,0 +1,186 @@
+module Constraints = Qbpart_timing.Constraints
+module Assignment = Qbpart_partition.Assignment
+module Problem = Qbpart_core.Problem
+module Burkard = Qbpart_core.Burkard
+module Adaptive = Qbpart_core.Adaptive
+
+type start_report = {
+  start : int;
+  seed : int;
+  best_cost : float;
+  feasible_cost : float option;
+  wall_seconds : float;
+  stalled : bool;
+  interrupted : bool;
+}
+
+type result = {
+  best_feasible : (Assignment.t * float) option;
+  best : Assignment.t option;
+  best_cost : float;
+  winner : int option;
+  reports : start_report list;
+  jobs : int;
+  starts : int;
+  interrupted : bool;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Start k's seed: the base seed for k = 0 (so a 1-start portfolio
+   reproduces a plain Adaptive/Burkard run bit-for-bit), then jumps by
+   a large odd constant — distinct streams for the splitmix64-seeded
+   generator, and a pure function of (base, k) so the portfolio is
+   deterministic whatever the domain count. *)
+let start_seed ~base k = base + (k * 0x9E3779B9)
+
+let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?jobs
+    ?(starts = 1) ?initial ?(should_stop = fun () -> false) ?(stall = (0, 0.0))
+    ?gap_solver ?on_improvement problem =
+  if starts < 1 then invalid_arg "Portfolio.solve: starts must be >= 1";
+  let jobs =
+    match jobs with
+    | None -> default_jobs ()
+    | Some j -> if j < 1 then invalid_arg "Portfolio.solve: jobs must be >= 1" else j
+  in
+  let problem = Problem.normalize problem in
+  let cons = problem.Problem.constraints in
+  (* Force the lazily-built partner index before any domain spawns:
+     [Constraints.partners] memoizes a mutable index on first call, and
+     that write is the one piece of shared state the otherwise
+     read-only problem would mutate from several domains at once. *)
+  if Problem.n problem > 0 && not (Constraints.empty cons) then
+    ignore (Constraints.partners cons 0);
+  (* Shared incumbent, for best-so-far reporting only: trajectories
+     never read it, so starts stay independent and the reduction below
+     stays deterministic. *)
+  let lock = Mutex.create () in
+  let inc_penalized = ref infinity in
+  let inc_feasible = ref infinity in
+  let report_improvement k (it : Burkard.iteration) =
+    match on_improvement with
+    | None -> ()
+    | Some f ->
+      Mutex.lock lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock lock)
+        (fun () ->
+          if it.Burkard.feasible && it.Burkard.objective < !inc_feasible then begin
+            inc_feasible := it.Burkard.objective;
+            f ~start:k ~cost:it.Burkard.objective ~feasible:true
+          end
+          else if it.Burkard.penalized < !inc_penalized then begin
+            inc_penalized := it.Burkard.penalized;
+            f ~start:k ~cost:it.Burkard.penalized ~feasible:false
+          end)
+  in
+  let patience, epsilon = stall in
+  let run_start k =
+    let t0 = Unix.gettimeofday () in
+    let seed = start_seed ~base:config.Burkard.Config.seed k in
+    let config = { config with Burkard.Config.seed } in
+    (* per-start stall guard (same contract as the engine's) *)
+    let local_best = ref infinity and since = ref 0 and stalled = ref false in
+    let observe (it : Burkard.iteration) =
+      (if patience > 0 then
+         if it.Burkard.penalized < !local_best -. epsilon then begin
+           local_best := it.Burkard.penalized;
+           since := 0
+         end
+         else begin
+           incr since;
+           if !since >= patience then stalled := true
+         end);
+      report_improvement k it
+    in
+    let stop () = should_stop () || !stalled in
+    (* the caller's warm start seeds start 0 only; the other starts are
+       the portfolio's independent random restarts *)
+    let initial = if k = 0 then initial else None in
+    let r =
+      Adaptive.solve ~config ~max_rounds ~factor ?initial ~should_stop:stop ~observe
+        ?gap_solver problem
+    in
+    let report =
+      {
+        start = k;
+        seed;
+        best_cost = r.Adaptive.last.Burkard.best_cost;
+        feasible_cost = Option.map snd r.Adaptive.best_feasible;
+        wall_seconds = Unix.gettimeofday () -. t0;
+        stalled = !stalled;
+        interrupted = r.Adaptive.last.Burkard.interrupted;
+      }
+    in
+    (report, r)
+  in
+  let next = Atomic.make 0 in
+  let results = Array.make starts None in
+  let errors = Array.make starts None in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let k = Atomic.fetch_and_add next 1 in
+      if k >= starts then continue := false
+      else
+        match run_start k with
+        | r -> results.(k) <- Some r
+        | exception e -> errors.(k) <- Some (e, Printexc.get_raw_backtrace ())
+    done
+  in
+  (* work-stealing pool: the calling domain is worker 0, so jobs = 1
+     spawns nothing and runs plain sequential code *)
+  let helpers = Array.init (min jobs starts - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join helpers;
+  (* a failed start fails the whole portfolio, lowest index first —
+     deterministic, and with starts = 1 identical to a plain solve (the
+     engine's ladder catches it and degrades as before) *)
+  Array.iter
+    (function Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+    errors;
+  (* Deterministic seed-indexed reduction (DESIGN.md D7): scan starts
+     in ascending index order and replace the champion only on strict
+     improvement, so the winner is a function of the seeds alone —
+     never of domain count or completion order. *)
+  let best_feasible = ref None in
+  let winner_feasible = ref None in
+  let best = ref None in
+  let best_cost = ref infinity in
+  let winner_penalized = ref None in
+  let interrupted = ref false in
+  let reports = ref [] in
+  for k = starts - 1 downto 0 do
+    match results.(k) with
+    | None -> ()
+    | Some (report, r) ->
+      reports := report :: !reports;
+      if report.interrupted then interrupted := true;
+      (* downto scan, so "replace on <=" implements "earliest strict
+         winner" exactly like an ascending scan with < *)
+      (match r.Adaptive.best_feasible with
+      | Some (_, c) when (match !best_feasible with Some (_, c') -> c <= c' | None -> true)
+        ->
+        best_feasible := r.Adaptive.best_feasible;
+        winner_feasible := Some report.start
+      | _ -> ());
+      let c = r.Adaptive.last.Burkard.best_cost in
+      if c <= !best_cost then begin
+        best_cost := c;
+        best := Some r.Adaptive.last.Burkard.best;
+        winner_penalized := Some report.start
+      end
+  done;
+  let winner =
+    match !winner_feasible with Some _ as w -> w | None -> !winner_penalized
+  in
+  {
+    best_feasible = !best_feasible;
+    best = !best;
+    best_cost = !best_cost;
+    winner;
+    reports = !reports;
+    jobs;
+    starts;
+    interrupted = !interrupted;
+  }

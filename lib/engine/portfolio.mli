@@ -1,0 +1,95 @@
+(** Parallel multi-start solver portfolio on OCaml 5 domains.
+
+    Section 5 of the paper observes that the Burkard iteration lands
+    near the same cost from many random starts; this module turns that
+    robustness into throughput.  [solve] runs [starts] independent
+    penalty-continuation QBP solves ({!Qbpart_core.Adaptive.solve}),
+    each with its own RNG seed (a pure function of the base seed and
+    the start index), on a pool of at most [jobs] domains that pull
+    start indices from a shared atomic counter.
+
+    Design rules (DESIGN.md D7):
+
+    - {e starts never couple}: the shared incumbent is used for
+      best-so-far reporting and cooperative cancellation only — no
+      trajectory ever reads another start's progress, so every start
+      computes exactly what it would compute alone;
+    - {e deterministic reduction}: champions are chosen by scanning
+      start indices in ascending order with strict improvement, so a
+      fixed base seed yields a bit-identical winner whatever [jobs] is
+      (1 domain or 16, same answer);
+    - start 0 uses the base seed itself and receives the caller's warm
+      start, so [solve ~starts:1] reproduces a plain [Adaptive.solve]
+      run exactly. *)
+
+module Assignment := Qbpart_partition.Assignment
+module Problem := Qbpart_core.Problem
+module Burkard := Qbpart_core.Burkard
+
+type start_report = {
+  start : int;               (** start index, [0 .. starts-1] *)
+  seed : int;                (** the derived RNG seed this start ran with *)
+  best_cost : float;         (** best penalized cost this start reached *)
+  feasible_cost : float option;  (** best feasible equation-(1) cost, if any *)
+  wall_seconds : float;      (** wall time of this start (overlaps others) *)
+  stalled : bool;            (** the per-start stall guard fired *)
+  interrupted : bool;        (** [should_stop] fired during this start *)
+}
+
+type result = {
+  best_feasible : (Assignment.t * float) option;
+      (** feasible champion across all starts, with its objective *)
+  best : Assignment.t option;
+      (** penalized champion across all starts ([None] only if every
+          start was cancelled before producing anything) *)
+  best_cost : float;         (** penalized cost of [best] *)
+  winner : int option;
+      (** index of the start that produced the returned champion
+          (feasible champion when one exists, else penalized) *)
+  reports : start_report list;  (** per-start outcomes, ascending index *)
+  jobs : int;                (** domain-pool size actually used *)
+  starts : int;
+  interrupted : bool;        (** some start was cut short by [should_stop] *)
+}
+
+val default_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count ())]. *)
+
+val start_seed : base:int -> int -> int
+(** The seed of start [k]: [base] when [k = 0], then distinct streams
+    via a large odd stride.  Exposed so tests and benches can predict
+    any start's trajectory. *)
+
+val solve :
+  ?config:Burkard.Config.t ->
+  ?max_rounds:int ->
+  ?factor:float ->
+  ?jobs:int ->
+  ?starts:int ->
+  ?initial:Assignment.t ->
+  ?should_stop:(unit -> bool) ->
+  ?stall:int * float ->
+  ?gap_solver:Burkard.gap_solver ->
+  ?on_improvement:(start:int -> cost:float -> feasible:bool -> unit) ->
+  Problem.t ->
+  result
+(** Run the portfolio.  [config], [max_rounds], [factor] and
+    [gap_solver] are passed to every start's
+    {!Qbpart_core.Adaptive.solve}; [config.seed] is the base seed.
+    [jobs] caps the domain pool (default {!default_jobs}; the pool
+    never exceeds [starts], and [jobs = 1] runs sequentially on the
+    calling domain without spawning).  [starts] defaults to 1.
+    [initial] warm-starts start 0 only.  [should_stop] is polled
+    cooperatively by every start (deadline cancellation); [stall] is a
+    per-start [(patience, epsilon)] guard as in {!Engine.Config},
+    default disabled.  [on_improvement] is called under the incumbent
+    lock, possibly from another domain, whenever a start improves the
+    global best-so-far.
+
+    A start that raises fails the whole solve: the lowest-index
+    exception is re-raised after all domains join.  [gap_solver] and
+    [on_improvement] closures run concurrently on several domains when
+    [jobs > 1] — stateful fault injectors are only safe with
+    [starts = 1].
+
+    @raise Invalid_argument if [starts < 1] or [jobs < 1]. *)

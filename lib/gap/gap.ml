@@ -52,6 +52,19 @@ let make_uniform ~cost ~sizes ~capacity =
   let weight = Array.init m (fun _ -> Array.copy sizes) in
   make ~cost ~weight ~capacity
 
+(* Zero-copy constructor for solver hot loops: the caller keeps
+   ownership of the arrays (and the invariants).  [make]'s per-call
+   copy + NaN scan of two m×n matrices dominated the STEP-4/6 setup
+   cost, and the Burkard loop rebuilds the same instance (same weight,
+   same capacity, refreshed cost) twice per iteration. *)
+let borrow ~cost ~weight ~capacity =
+  let m = Array.length capacity in
+  if m = 0 then invalid_arg "Gap.borrow: no knapsacks";
+  if Array.length cost <> m || Array.length weight <> m then
+    invalid_arg "Gap.borrow: cost/weight rows must match capacity length";
+  let n = if Array.length cost = 0 then 0 else Array.length cost.(0) in
+  { m; n; cost; weight; capacity }
+
 let cost_of t a =
   let total = ref 0.0 in
   Array.iteri (fun j i -> total := !total +. t.cost.(i).(j)) a;

@@ -33,6 +33,19 @@ val make_uniform :
 (** Item weights independent of the knapsack — the partitioning case
     ({m w_{ij} = s_j}). *)
 
+val borrow :
+  cost:float array array ->
+  weight:float array array ->
+  capacity:float array ->
+  t
+(** Zero-copy {!make} for hot loops: the instance {e aliases} the
+    caller's arrays, so refreshing [cost] in place and re-solving
+    avoids the per-call copy and validation of two {m m×n} matrices.
+    The caller owns the invariants ([make]'s positivity/NaN checks are
+    skipped); rows may alias each other (e.g. all weight rows sharing
+    one sizes array).  @raise Invalid_argument if there are no
+    knapsacks or the row counts disagree with [capacity]. *)
+
 val cost_of : t -> int array -> float
 (** Objective of an assignment (item [j] in knapsack [a.(j)]). *)
 

@@ -69,15 +69,19 @@ let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
   let nl = problem.Problem.netlist in
   let sizes = Netlist.sizes nl in
   let capacity = Topology.capacities problem.Problem.topology in
-  let gap_of costs =
-    Gap.make_uniform ~cost:(Qmatrix.eta_cost_matrix costs ~m ~n) ~sizes ~capacity
-  in
+  (* One GAP instance reused by every STEP-4/6 call: the cost matrix is
+     refreshed in place and all weight rows alias the single sizes
+     array (the partitioning case has w_ij = s_j), so each call costs a
+     reshape instead of allocating and validating two fresh m×n
+     matrices. *)
+  let gap_cost = Array.init m (fun _ -> Array.make n 0.0) in
+  let gap = Gap.borrow ~cost:gap_cost ~weight:(Array.make m sizes) ~capacity in
   let default_gap gap =
     Mthg.solve_relaxed ~criteria:config.Config.gap_criteria ~improve:config.Config.gap_improve
       gap
   in
   let solve_gap ~step ~k costs =
-    let gap = gap_of costs in
+    Qmatrix.eta_cost_matrix_into costs ~m ~n gap_cost;
     match gap_solver with
     | None -> default_gap gap
     | Some f -> f ~step ~k ~default:default_gap gap
@@ -90,27 +94,45 @@ let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
     | None -> Assignment.random (Rng.create config.Config.seed) ~n ~m
   in
   let u = ref u in
-  let penalized a = Problem.penalized_objective problem ~penalty:config.Config.penalty a in
-  let best = ref (Assignment.copy !u) in
-  let best_cost = ref (penalized !u) in
-  let best_feasible = ref None in
-  let consider a =
-    let c = penalized a in
+  let cons = problem.Problem.constraints in
+  let topo = problem.Problem.topology in
+  (* penalized cost and violation count of [a], computed from scratch;
+     bit-identical to [Problem.penalized_objective] (which is defined
+     as objective + penalty · violation count). *)
+  let evaluate a =
+    let v = Qbpart_timing.Check.count cons topo ~assignment:a in
+    (Problem.objective problem a +. (config.Config.penalty *. float_of_int v), v)
+  in
+  (* Champions live in owned buffers updated by blit, so the hot loop
+     never allocates for a losing candidate (and copies only on
+     improvement). *)
+  let best = Array.make n 0 in
+  let best_cost = ref infinity in
+  let best_feasible_buf = Array.make n 0 in
+  let best_feasible_cost = ref None in
+  (* STEP 7.  [known] carries an incrementally-maintained
+     (penalized cost, violation count) for [a] when the caller has one
+     (the delta-tracked polish path), avoiding the full recompute. *)
+  let consider ?known a =
+    let c, viol = match known with Some cv -> cv | None -> evaluate a in
     if c < !best_cost then begin
       best_cost := c;
-      best := Assignment.copy a
+      Array.blit a 0 best 0 n
     end;
-    let feas = Problem.feasible problem a in
+    let feas = viol = 0 && Problem.capacity_feasible problem a in
     if feas then begin
-      let obj = Problem.objective problem a in
-      match !best_feasible with
-      | Some (_, obj') when obj' <= obj -> ()
-      | _ -> best_feasible := Some (Assignment.copy a, obj)
+      (* violation-free ⇒ penalized cost = plain objective *)
+      match !best_feasible_cost with
+      | Some obj' when obj' <= c -> ()
+      | _ ->
+        best_feasible_cost := Some c;
+        Array.blit a 0 best_feasible_buf 0 n
     end;
     (c, feas)
   in
   ignore (consider !u);
   let omega = Qmatrix.omega ~rule:config.Config.rule q in
+  let eta = Array.make (m * n) 0.0 in
   let h = Array.make (m * n) 0.0 in
   let history = ref [] in
   let strict_q =
@@ -132,8 +154,8 @@ let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
   let k = ref 1 in
   while (not (stop ())) && !k <= config.Config.iterations do
     let k0 = !k in
-    (* STEP 3 *)
-    let eta = Qmatrix.eta ~rule:config.Config.rule q !u in
+    (* STEP 3 (into the reused buffer) *)
+    Qmatrix.eta_into ~rule:config.Config.rule q !u eta;
     let xi = Qmatrix.xi q ~omega !u in
     (* STEP 4: minimize the linearization over S *)
     let u_z = solve_gap ~step:Step4 ~k:k0 eta in
@@ -148,8 +170,23 @@ let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
        in-flight iterate — the best-so-far from STEP 7 of previous
        iterations is what the caller gets *)
     if not (stop ()) then begin
-      let polish_q = if config.Config.strict_polish then strict_q () else q in
-      polish ~q:polish_q ~passes:config.Config.polish_passes !u;
+      (* Polish with delta tracking: one full evaluation of the fresh
+         GAP iterate, then every descent move updates (cost, violations)
+         in O(deg), so STEP 7 below needs no recompute.  Strict polish
+         descends a different (huge-penalty) surface whose deltas do not
+         price the solver's objective, so that path re-evaluates. *)
+      let known =
+        ref
+          (if config.Config.strict_polish then begin
+             polish ~q:(strict_q ()) ~passes:config.Config.polish_passes !u;
+             evaluate !u
+           end
+           else begin
+             let c0, v0 = evaluate !u in
+             let dc, dv = Repair.polish_tracked q !u ~passes:config.Config.polish_passes in
+             (c0 +. dc, v0 + dv)
+           end)
+      in
       (* Feasibility probe (our enhancement, DESIGN.md D6): coordinate
          descent under an effectively infinite penalty pulls the iterate
          toward the timing-feasible set without disturbing the Burkard
@@ -163,42 +200,53 @@ let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
         let probe = Assignment.copy !u in
         let reached = Repair.to_feasible (strict_q ()) probe ~rounds:6 in
         ignore (consider probe);
-        if config.Config.adopt_repair && reached && Problem.capacity_feasible problem probe then
-          u := probe
+        if config.Config.adopt_repair && reached && Problem.capacity_feasible problem probe then begin
+          u := probe;
+          known := evaluate probe
+        end
       end;
       (* STEP 7 *)
-      let penalized, feasible = consider !u in
-      let it = { k = k0; z = !z; penalized; objective = Problem.objective problem !u; feasible } in
+      let penalized, feasible = consider ~known:!known !u in
+      let viol = snd !known in
+      let it =
+        {
+          k = k0;
+          z = !z;
+          penalized;
+          objective = penalized -. (config.Config.penalty *. float_of_int viol);
+          feasible;
+        }
+      in
       history := it :: !history;
       observe it;
       incr k
     end
   done;
   if config.Config.final_polish > 0 && not !interrupted then begin
-    let final = Assignment.copy !best in
+    let final = Assignment.copy best in
     polish ~passes:config.Config.final_polish final;
     ignore (consider final);
     (* also try to push the penalized champion all the way to
        feasibility — repair moves may cost a little objective but can
        mint a better feasible solution than any iterate produced *)
     if not (Constraints.empty problem.Problem.constraints) then begin
-      let repaired = Assignment.copy !best in
+      let repaired = Assignment.copy best in
       if Repair.to_feasible (strict_q ()) repaired ~rounds:10 then ignore (consider repaired)
     end;
     (* Polish the feasible champion under an effectively infinite
        penalty: improving moves can then never introduce a timing
        violation, so feasibility is preserved by construction. *)
-    match !best_feasible with
+    match !best_feasible_cost with
     | None -> ()
-    | Some (a, _) ->
-      let final = Assignment.copy a in
+    | Some _ ->
+      let final = Assignment.copy best_feasible_buf in
       polish ~q:(strict_q ()) ~passes:config.Config.final_polish final;
       ignore (consider final)
   end;
   {
-    best = !best;
+    best;
     best_cost = !best_cost;
-    best_feasible = !best_feasible;
+    best_feasible = Option.map (fun c -> (best_feasible_buf, c)) !best_feasible_cost;
     history = List.rev !history;
     interrupted = !interrupted;
   }

@@ -60,6 +60,28 @@ let p_entry t ~i ~j = match t.p with None -> 0.0 | Some p -> t.alpha *. p.(i).(j
 let objective t a =
   Evaluate.objective ~alpha:t.alpha ~beta:t.beta ?p:t.p t.netlist t.topology a
 
+(* Exact equation-(1) change when component [j] moves to partition [i]:
+   the P-term difference plus [j]'s wires re-evaluated with the
+   evaluator's orientation (wires are stored once with endpoints
+   u < v and charged b(a(u), a(v))).  O(deg(j)) instead of the full
+   O(wires) recompute; exact, not an approximation. *)
+let delta_objective t a ~j ~i =
+  let from = a.(j) in
+  if i = from then 0.0
+  else begin
+    let acc = ref (p_entry t ~i ~j -. p_entry t ~i:from ~j) in
+    Array.iter
+      (fun (j', w) ->
+        let at' = a.(j') in
+        let d =
+          if j < j' then Topology.b t.topology i at' -. Topology.b t.topology from at'
+          else Topology.b t.topology at' i -. Topology.b t.topology at' from
+        in
+        acc := !acc +. (t.beta *. w *. d))
+      (Netlist.adj t.netlist j);
+    !acc
+  end
+
 let penalized_objective t ~penalty a =
   Evaluate.penalized ~alpha:t.alpha ~beta:t.beta ?p:t.p ~penalty t.netlist t.topology
     t.constraints a

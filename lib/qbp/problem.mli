@@ -55,6 +55,13 @@ val p_entry : t -> i:int -> j:int -> float
 val objective : t -> Assignment.t -> float
 (** Equation (1): {m α·Σp + β·Σab}. *)
 
+val delta_objective : t -> Assignment.t -> j:int -> i:int -> float
+(** [delta_objective t a ~j ~i] is the {e exact} change of
+    {!objective} when component [j] moves from [a.(j)] to partition
+    [i] with everything else fixed, computed in {m O(deg(j))} from
+    [j]'s incident wires.  The incremental-evaluation counterpart of
+    {!Qmatrix.delta}, which additionally tracks the timing penalty. *)
+
 val penalized_objective : t -> penalty:float -> Assignment.t -> float
 (** {!objective} plus [penalty] per violated directed timing
     constraint; the solver's acceptance metric. *)

@@ -60,24 +60,28 @@ let value t a =
    b(a(j'), i) otherwise.  With a symmetric B this distinction
    disappears; keeping it makes eta consistent with the objective for
    asymmetric B matrices too. *)
-let candidate_costs_into t u ~j out =
+(* The shared kernel behind [candidate_costs_into] and the Solver-rule
+   eta: writes the length-M candidate row of component [j] at offset
+   [off] of [out], so eta can be assembled in place without a bounce
+   buffer. *)
+let candidate_costs_at t u ~j ~off out =
   let nl = t.problem.Problem.netlist in
   let topo = t.problem.Problem.topology in
   let cons = t.problem.Problem.constraints in
   let m = Problem.m t.problem in
   for i = 0 to m - 1 do
-    out.(i) <- Problem.p_entry t.problem ~i ~j
+    out.(off + i) <- Problem.p_entry t.problem ~i ~j
   done;
   Array.iter
     (fun (j', w) ->
       let at' = u.(j') in
       if j < j' then
         for i = 0 to m - 1 do
-          out.(i) <- out.(i) +. (w *. Topology.b topo i at')
+          out.(off + i) <- out.(off + i) +. (w *. Topology.b topo i at')
         done
       else
         for i = 0 to m - 1 do
-          out.(i) <- out.(i) +. (w *. Topology.b topo at' i)
+          out.(off + i) <- out.(off + i) +. (w *. Topology.b topo at' i)
         done)
     (Netlist.adj nl j);
   Array.iter
@@ -87,28 +91,92 @@ let candidate_costs_into t u ~j out =
         (* one penalty per violated direction: both directed budgets of
            a pair can be broken simultaneously *)
         if Topology.d topo i at' > p.Constraints.budget_out then
-          out.(i) <- out.(i) +. t.penalty;
+          out.(off + i) <- out.(off + i) +. t.penalty;
         if Topology.d topo at' i > p.Constraints.budget_in then
-          out.(i) <- out.(i) +. t.penalty
+          out.(off + i) <- out.(off + i) +. t.penalty
       done)
     (Constraints.partners cons j)
+
+let candidate_costs_into t u ~j out = candidate_costs_at t u ~j ~off:0 out
 
 let candidate_costs t u ~j =
   let out = Array.make (Problem.m t.problem) 0.0 in
   candidate_costs_into t u ~j out;
   out
 
+(* --- incremental move evaluation ----------------------------------- *)
+
+(* Exact change of the penalized objective when component [j] moves
+   from u.(j) to [i], everything else fixed: O(deg(j) + partners(j))
+   instead of the O(wires + constraints) full recompute.  Matches
+   [Problem.penalized_objective] because each wire is charged once
+   with the evaluator's orientation and each stored directed budget of
+   [j] is charged once. *)
+let delta t u ~j ~i =
+  let from = u.(j) in
+  if i = from then 0.0
+  else begin
+    let nl = t.problem.Problem.netlist in
+    let topo = t.problem.Problem.topology in
+    let cons = t.problem.Problem.constraints in
+    let acc =
+      ref (Problem.p_entry t.problem ~i ~j -. Problem.p_entry t.problem ~i:from ~j)
+    in
+    Array.iter
+      (fun (j', w) ->
+        let at' = u.(j') in
+        if j < j' then
+          acc := !acc +. (w *. (Topology.b topo i at' -. Topology.b topo from at'))
+        else acc := !acc +. (w *. (Topology.b topo at' i -. Topology.b topo at' from)))
+      (Netlist.adj nl j);
+    Array.iter
+      (fun p ->
+        let at' = u.(p.Constraints.other) in
+        let chg cond = if cond then t.penalty else 0.0 in
+        acc :=
+          !acc
+          +. chg (Topology.d topo i at' > p.Constraints.budget_out)
+          -. chg (Topology.d topo from at' > p.Constraints.budget_out)
+          +. chg (Topology.d topo at' i > p.Constraints.budget_in)
+          -. chg (Topology.d topo at' from > p.Constraints.budget_in))
+      (Constraints.partners cons j);
+    !acc
+  end
+
+(* Change in the number of violated directed timing budgets when [j]
+   moves to [i]; the integer companion of [delta]. *)
+let violations_delta t u ~j ~i =
+  let from = u.(j) in
+  if i = from then 0
+  else begin
+    let topo = t.problem.Problem.topology in
+    let cons = t.problem.Problem.constraints in
+    let acc = ref 0 in
+    Array.iter
+      (fun p ->
+        let at' = u.(p.Constraints.other) in
+        let v cond = if cond then 1 else 0 in
+        acc :=
+          !acc
+          + v (Topology.d topo i at' > p.Constraints.budget_out)
+          - v (Topology.d topo from at' > p.Constraints.budget_out)
+          + v (Topology.d topo at' i > p.Constraints.budget_in)
+          - v (Topology.d topo at' from > p.Constraints.budget_in))
+      (Constraints.partners cons j);
+    !acc
+  end
+
 (* Literal STEP-3 column sums of the paper's Q-hat: violated entries
    are the penalty *instead of* the wire term (replacement semantics),
    only the incoming constraint direction is visible to a column, and
    the diagonal contributes only at the currently selected
    coordinate. *)
-let eta_paper t u =
+let eta_paper_into t u eta =
   let nl = t.problem.Problem.netlist in
   let topo = t.problem.Problem.topology in
   let cons = t.problem.Problem.constraints in
   let m = Problem.m t.problem and n = Problem.n t.problem in
-  let eta = Array.make (m * n) 0.0 in
+  Array.fill eta 0 (m * n) 0.0;
   for j = 0 to n - 1 do
     let base = j * m in
     eta.(base + u.(j)) <- Problem.p_entry t.problem ~i:u.(j) ~j;
@@ -132,21 +200,22 @@ let eta_paper t u =
               eta.(base + i) +. t.penalty -. (w *. Topology.b topo at' i)
         done)
       (Constraints.partners cons j)
-  done;
-  eta
+  done
 
-let eta ?(rule = Solver) t u =
+let eta_into ?(rule = Solver) t u eta =
+  let m = Problem.m t.problem and n = Problem.n t.problem in
+  if Array.length eta <> m * n then invalid_arg "Qmatrix.eta_into: wrong length";
   match rule with
-  | Paper -> eta_paper t u
+  | Paper -> eta_paper_into t u eta
   | Solver ->
-    let m = Problem.m t.problem and n = Problem.n t.problem in
-    let eta = Array.make (m * n) 0.0 in
-    let slice = Array.make m 0.0 in
     for j = 0 to n - 1 do
-      candidate_costs_into t u ~j slice;
-      Array.blit slice 0 eta (j * m) m
-    done;
-    eta
+      candidate_costs_at t u ~j ~off:(j * m) eta
+    done
+
+let eta ?rule t u =
+  let eta = Array.make (dim t) 0.0 in
+  eta_into ?rule t u eta;
+  eta
 
 let omega ?(rule = Solver) t =
   let nl = t.problem.Problem.netlist in
@@ -201,6 +270,19 @@ let xi t ~omega u =
   let total = ref 0.0 in
   Array.iteri (fun j i -> total := !total +. omega.(Assignment.flat_index ~m ~i ~j)) u;
   !total
+
+let eta_cost_matrix_into flat ~m ~n dst =
+  if Array.length flat <> m * n then
+    invalid_arg "Qmatrix.eta_cost_matrix_into: wrong length";
+  if Array.length dst <> m then invalid_arg "Qmatrix.eta_cost_matrix_into: wrong rows";
+  for i = 0 to m - 1 do
+    let row = dst.(i) in
+    if Array.length row <> n then
+      invalid_arg "Qmatrix.eta_cost_matrix_into: wrong cols";
+    for j = 0 to n - 1 do
+      row.(j) <- flat.(i + (j * m))
+    done
+  done
 
 let eta_cost_matrix flat ~m ~n =
   if Array.length flat <> m * n then invalid_arg "Qmatrix.eta_cost_matrix: wrong length";

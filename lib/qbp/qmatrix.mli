@@ -81,9 +81,29 @@ val candidate_costs : t -> Assignment.t -> j:int -> float array
     [Solver]-rule η restricted to one component, and the exact change
     surface used by the polish pass. *)
 
+val delta : t -> Assignment.t -> j:int -> i:int -> float
+(** [delta t u ~j ~i] is the {e exact} change of the penalized
+    objective ({!Problem.penalized_objective} at this matrix's
+    penalty) when component [j] moves from [u.(j)] to partition [i],
+    everything else fixed — computed in {m O(deg(j))} from [j]'s wires
+    and timing partners instead of the {m O(wires + constraints)} full
+    recompute.  The delta-evaluation invariant (DESIGN.md D7):
+    {m delta t u j i = penalized(u[j↦i]) − penalized(u)} exactly
+    (property-tested over random move sequences). *)
+
+val violations_delta : t -> Assignment.t -> j:int -> i:int -> int
+(** Change in the number of violated directed timing budgets under the
+    same move; the integer companion of {!delta}, used to keep
+    feasibility checks incremental. *)
+
 val eta : ?rule:rule -> t -> Assignment.t -> float array
 (** STEP 3: the linearization vector, length {m MN}, index
     {m r = i + j·M}. *)
+
+val eta_into : ?rule:rule -> t -> Assignment.t -> float array -> unit
+(** Allocation-free {!eta}, writing into a caller-provided length-{m MN}
+    buffer (the solver reuses one buffer across all iterations).
+    @raise Invalid_argument on length mismatch. *)
 
 val omega : ?rule:rule -> t -> float array
 (** The bound vector {m ω} of equation (2):
@@ -97,3 +117,8 @@ val xi : t -> omega:float array -> Assignment.t -> float
 val eta_cost_matrix : float array -> m:int -> n:int -> float array array
 (** Reshape a flat {m MN} vector (η or the accumulated {m h}) into the
     {m M×N} cost matrix of the STEP-4/6 GAP subproblem. *)
+
+val eta_cost_matrix_into : float array -> m:int -> n:int -> float array array -> unit
+(** Allocation-free {!eta_cost_matrix} writing into a caller-provided
+    {m M×N} matrix, so the GAP cost matrix can be reused across
+    iterations.  @raise Invalid_argument on shape mismatch. *)

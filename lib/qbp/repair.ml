@@ -3,7 +3,17 @@ module Topology = Qbpart_topology.Topology
 module Constraints = Qbpart_timing.Constraints
 module Assignment = Qbpart_partition.Assignment
 
-let coordinate_pass q u ~loads ~scratch =
+(* Optional move accounting: when [delta]/[dviol] refs are supplied,
+   every applied move adds its exact penalized-cost change and
+   violation-count change, so callers can maintain a running penalized
+   objective without any full recompute.  The cost change is free —
+   the candidate row already prices both endpoints of the move — and
+   the violation change is O(partners(j)) via
+   [Qmatrix.violations_delta]. *)
+let track_cost delta d = match delta with Some r -> r := !r +. d | None -> ()
+let track_viol dviol d = match dviol with Some r -> r := !r + d | None -> ()
+
+let coordinate_pass ?delta ?dviol q u ~loads ~scratch =
   let problem = Qmatrix.problem q in
   let nl = problem.Problem.netlist in
   let topo = problem.Problem.topology in
@@ -27,6 +37,8 @@ let coordinate_pass q u ~loads ~scratch =
         end
     done;
     if !best <> from then begin
+      track_cost delta (!best_cost -. scratch.(from));
+      track_viol dviol (Qmatrix.violations_delta q u ~j ~i:!best);
       loads.(from) <- loads.(from) -. s;
       loads.(!best) <- loads.(!best) +. s;
       u.(j) <- !best;
@@ -47,6 +59,21 @@ let polish q u ~passes =
       decr k
     done
   end
+
+let polish_tracked q u ~passes =
+  let delta = ref 0.0 and dviol = ref 0 in
+  if passes > 0 then begin
+    let problem = Qmatrix.problem q in
+    let nl = problem.Problem.netlist in
+    let m = Problem.m problem in
+    let loads = Assignment.loads nl ~m u in
+    let scratch = Array.make m 0.0 in
+    let k = ref passes in
+    while !k > 0 && coordinate_pass ~delta ~dviol q u ~loads ~scratch do
+      decr k
+    done
+  end;
+  (!delta, !dviol)
 
 (* Exact local cost of component [j] at its current position: the
    candidate-cost row evaluated at u.(j). *)
@@ -74,7 +101,7 @@ let shared_cost q j1 j2 i1 i2 =
   in
   wire +. timing
 
-let pair_pass q u ~loads ~max_pairs =
+let pair_pass ?delta ?dviol q u ~loads ~max_pairs =
   let problem = Qmatrix.problem q in
   let nl = problem.Problem.netlist in
   let topo = problem.Problem.topology in
@@ -129,11 +156,19 @@ let pair_pass q u ~loads ~max_pairs =
       done;
       u.(j2) <- p2;
       let b1, b2 = !best in
-      u.(j1) <- b1;
-      u.(j2) <- b2;
+      if b1 <> p1 || b2 <> p2 then begin
+        track_cost delta (!best_cost -. current);
+        (* the pair move decomposes exactly into two sequential single
+           moves; each violation delta is evaluated on the intermediate
+           state it applies to *)
+        track_viol dviol (Qmatrix.violations_delta q u ~j:j1 ~i:b1);
+        u.(j1) <- b1;
+        track_viol dviol (Qmatrix.violations_delta q u ~j:j2 ~i:b2);
+        u.(j2) <- b2;
+        moved := true
+      end;
       loads.(b1) <- loads.(b1) +. s1;
-      loads.(b2) <- loads.(b2) +. s2;
-      if b1 <> p1 || b2 <> p2 then moved := true)
+      loads.(b2) <- loads.(b2) +. s2)
     pairs;
   !moved
 
@@ -143,17 +178,25 @@ let to_feasible q u ~rounds =
   let m = Problem.m problem in
   let loads = Assignment.loads nl ~m u in
   let scratch = Array.make m 0.0 in
+  (* one full count up front, then maintained incrementally by the
+     passes — the per-round O(constraints) feasibility rescan was a
+     hot-loop cost on constraint-heavy circuits *)
+  let viol =
+    ref
+      (Qbpart_timing.Check.count problem.Problem.constraints problem.Problem.topology
+         ~assignment:u)
+  in
   let round = ref 0 in
   let continue = ref true in
-  while !continue && !round < rounds && not (Problem.timing_feasible problem u) do
+  while !continue && !round < rounds && !viol > 0 do
     incr round;
     let c1 = ref false in
     let k = ref 5 in
-    while !k > 0 && coordinate_pass q u ~loads ~scratch do
+    while !k > 0 && coordinate_pass ~dviol:viol q u ~loads ~scratch do
       c1 := true;
       decr k
     done;
-    let c2 = pair_pass q u ~loads ~max_pairs:400 in
+    let c2 = pair_pass ~dviol:viol q u ~loads ~max_pairs:400 in
     continue := !c1 || c2
   done;
-  Problem.timing_feasible problem u
+  !viol = 0

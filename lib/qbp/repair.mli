@@ -20,25 +20,48 @@
 module Assignment := Qbpart_partition.Assignment
 
 val coordinate_pass :
+  ?delta:float ref ->
+  ?dviol:int ref ->
   Qmatrix.t ->
   Assignment.t ->
   loads:float array ->
   scratch:float array ->
   bool
 (** One in-place pass; [scratch] is a length-{m M} buffer.  Returns
-    whether any component moved.  [loads] is kept in sync. *)
+    whether any component moved.  [loads] is kept in sync.  When
+    [delta]/[dviol] are given, every applied move adds its exact
+    penalized-cost change and violated-direction-count change to them
+    (the delta-evaluation invariant of DESIGN.md D7), letting callers
+    track the running objective without full recomputes. *)
 
 val polish : Qmatrix.t -> Assignment.t -> passes:int -> unit
 (** Repeated {!coordinate_pass} until fixpoint or budget. *)
 
+val polish_tracked : Qmatrix.t -> Assignment.t -> passes:int -> float * int
+(** {!polish} that returns [(dcost, dviol)]: the exact change of the
+    penalized objective and of the violation count over the whole
+    descent, accumulated move-by-move in O(deg) per move.  Lets the
+    solver price a polished iterate without re-walking every wire and
+    constraint. *)
+
 val pair_pass :
-  Qmatrix.t -> Assignment.t -> loads:float array -> max_pairs:int -> bool
+  ?delta:float ref ->
+  ?dviol:int ref ->
+  Qmatrix.t ->
+  Assignment.t ->
+  loads:float array ->
+  max_pairs:int ->
+  bool
 (** One pass of joint pair relocation over currently violated
     constraints (at most [max_pairs] of them).  Returns whether any
-    pair moved. *)
+    pair moved.  [delta]/[dviol] as in {!coordinate_pass}; a pair move
+    decomposes into two sequential single moves for the violation
+    delta. *)
 
 val to_feasible : Qmatrix.t -> Assignment.t -> rounds:int -> bool
 (** Alternate {!polish} and {!pair_pass} up to [rounds] times, aiming
     at timing feasibility; returns whether the assignment satisfies
     all timing constraints on exit.  Intended to be called with a
-    strict (huge-penalty) matrix. *)
+    strict (huge-penalty) matrix.  The violation count is maintained
+    incrementally across rounds (one full scan on entry, O(deg) per
+    move thereafter). *)

@@ -310,11 +310,19 @@ let prop_engine_deadline_zero_vs_unlimited =
       let config =
         { test_config with qbp = { test_config.Engine.Config.qbp with iterations = 15 } }
       in
-      let zero =
-        assert_ok (Engine.solve ~config ~deadline:(Deadline.of_seconds 0.0) problem)
-      in
-      let unlimited = assert_ok (Engine.solve ~config problem) in
-      unlimited.Engine.cost <= zero.Engine.cost +. 1e-9)
+      match
+        ( Engine.solve ~config ~deadline:(Deadline.of_seconds 0.0) problem,
+          Engine.solve ~config problem )
+      with
+      | Ok zero, Ok unlimited -> unlimited.Engine.cost <= zero.Engine.cost +. 1e-9
+      | Error (Engine.Error.No_feasible_start _), Error (Engine.Error.No_feasible_start _)
+        ->
+        (* a small fraction of random instances genuinely have no
+           constructible feasible start; the anytime property is
+           vacuous there, but both budgets must agree on the diagnosis *)
+        true
+      | Ok _, Error e | Error e, Ok _ | Error _, Error e ->
+        QCheck.Test.fail_reportf "engine budgets disagree: %s" (Engine.Error.to_string e))
 
 (* ------------------------------------------------------------------ *)
 (* Interruption of the individual solvers. *)

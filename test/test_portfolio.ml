@@ -1,0 +1,300 @@
+(* Portfolio and incremental-evaluation tests: the delta-evaluation
+   invariant (DESIGN.md D7) checked against full recomputes on random
+   move sequences, tracked-polish bookkeeping, the reused eta/GAP
+   buffers, and the portfolio's determinism across domain counts. *)
+
+open Qbpart_core
+module Netlist = Qbpart_netlist.Netlist
+module Rng = Qbpart_netlist.Rng
+module Generator = Qbpart_netlist.Generator
+module Grid = Qbpart_topology.Grid
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Check = Qbpart_timing.Check
+module Assignment = Qbpart_partition.Assignment
+module Gap = Qbpart_gap.Gap
+module Portfolio = Qbpart_engine.Portfolio
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* A small-but-not-tiny instance: enough components and constraints
+   that move deltas exercise wires, both constraint directions, and
+   the P matrix at once. *)
+let random_problem ?(with_p = true) seed =
+  let rng = Rng.create seed in
+  let n = 8 + Rng.int rng 8 in
+  let m = 4 in
+  let nl = Generator.generate rng (Generator.default_params ~n ~wires:(3 * n)) in
+  let capacity = Netlist.total_size nl /. float_of_int m *. 1.5 in
+  let topo = Grid.make ~rows:2 ~cols:2 ~capacity () in
+  let cons = Constraints.create ~n in
+  for _ = 1 to n do
+    let j1 = Rng.int rng n and j2 = Rng.int rng n in
+    if j1 <> j2 then Constraints.add cons j1 j2 (float_of_int (1 + Rng.int rng 2))
+  done;
+  let p =
+    if with_p then Some (Array.init m (fun _ -> Array.init n (fun _ -> Rng.float rng 5.0)))
+    else None
+  in
+  Problem.make ?p ~constraints:cons nl topo
+
+(* ------------------------------------------------------------------ *)
+(* Delta evaluation vs full recomputation on random move sequences.   *)
+
+let prop_delta_matches_full =
+  QCheck.Test.make ~name:"delta kernels match full recomputes on move sequences"
+    ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let problem = random_problem seed in
+      let q = Qmatrix.make ~penalty:50.0 problem in
+      let problem = Qmatrix.problem q in
+      let n = Problem.n problem and m = Problem.m problem in
+      let cons = problem.Problem.constraints in
+      let topo = problem.Problem.topology in
+      let rng = Rng.create (seed + 1) in
+      let u = Assignment.random rng ~n ~m in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        let j = Rng.int rng n and i = Rng.int rng m in
+        let pen_before = Problem.penalized_objective problem ~penalty:50.0 u in
+        let obj_before = Problem.objective problem u in
+        let viol_before = Check.count cons topo ~assignment:u in
+        let d_pen = Qmatrix.delta q u ~j ~i in
+        let d_obj = Problem.delta_objective problem u ~j ~i in
+        let d_viol = Qmatrix.violations_delta q u ~j ~i in
+        u.(j) <- i;
+        let pen_after = Problem.penalized_objective problem ~penalty:50.0 u in
+        let obj_after = Problem.objective problem u in
+        let viol_after = Check.count cons topo ~assignment:u in
+        if Float.abs (pen_before +. d_pen -. pen_after) > 1e-6 then ok := false;
+        if Float.abs (obj_before +. d_obj -. obj_after) > 1e-6 then ok := false;
+        if viol_before + d_viol <> viol_after then ok := false
+      done;
+      !ok)
+
+let prop_polish_tracked_consistent =
+  QCheck.Test.make ~name:"polish_tracked deltas equal before/after recomputes"
+    ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let problem = random_problem seed in
+      let q = Qmatrix.make ~penalty:50.0 problem in
+      let problem = Qmatrix.problem q in
+      let n = Problem.n problem and m = Problem.m problem in
+      let cons = problem.Problem.constraints in
+      let topo = problem.Problem.topology in
+      let u = Assignment.random (Rng.create (seed + 1)) ~n ~m in
+      let twin = Assignment.copy u in
+      let c0 = Problem.penalized_objective problem ~penalty:50.0 u in
+      let v0 = Check.count cons topo ~assignment:u in
+      let dc, dv = Repair.polish_tracked q u ~passes:5 in
+      let c1 = Problem.penalized_objective problem ~penalty:50.0 u in
+      let v1 = Check.count cons topo ~assignment:u in
+      (* tracked bookkeeping is exact... *)
+      Float.abs (c0 +. dc -. c1) < 1e-6
+      && v0 + dv = v1
+      (* ...and tracking never changes the descent itself *)
+      &&
+      (Repair.polish q twin ~passes:5;
+       twin = u))
+
+let prop_to_feasible_verdict_exact =
+  QCheck.Test.make
+    ~name:"to_feasible incremental verdict matches a full feasibility check" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let problem = random_problem seed in
+      let strict = Qmatrix.make ~penalty:1e12 problem in
+      let problem = Qmatrix.problem strict in
+      let n = Problem.n problem and m = Problem.m problem in
+      let u = Assignment.random (Rng.create (seed + 1)) ~n ~m in
+      let reached = Repair.to_feasible strict u ~rounds:4 in
+      reached = Problem.timing_feasible problem u)
+
+(* ------------------------------------------------------------------ *)
+(* Reused buffers agree with their allocating counterparts.           *)
+
+let prop_eta_into_matches_eta =
+  QCheck.Test.make ~name:"eta_into equals eta for both rules" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let problem = random_problem seed in
+      let q = Qmatrix.make problem in
+      let n = Problem.n (Qmatrix.problem q) and m = Problem.m (Qmatrix.problem q) in
+      let u = Assignment.random (Rng.create (seed + 1)) ~n ~m in
+      let buf = Array.make (Qmatrix.dim q) nan in
+      List.for_all
+        (fun rule ->
+          let fresh = Qmatrix.eta ~rule q u in
+          Qmatrix.eta_into ~rule q u buf;
+          fresh = Array.sub buf 0 (Array.length fresh))
+        [ Qmatrix.Solver; Qmatrix.Paper ])
+
+let test_eta_cost_matrix_into () =
+  let m = 3 and n = 4 in
+  let flat = Array.init (m * n) float_of_int in
+  let fresh = Qmatrix.eta_cost_matrix flat ~m ~n in
+  let dst = Array.init m (fun _ -> Array.make n nan) in
+  Qmatrix.eta_cost_matrix_into flat ~m ~n dst;
+  check Alcotest.bool "same matrix" true (fresh = dst);
+  let bad () = Qmatrix.eta_cost_matrix_into flat ~m ~n (Array.make_matrix m (n + 1) 0.0) in
+  match bad () with
+  | () -> fail "shape mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_gap_borrow () =
+  let cost = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let sizes = [| 1.0; 1.0 |] in
+  let g = Gap.borrow ~cost ~weight:[| sizes; sizes |] ~capacity:[| 2.0; 2.0 |] in
+  check Alcotest.int "m" 2 g.Gap.m;
+  check Alcotest.int "n" 2 g.Gap.n;
+  (* zero-copy: refreshing the caller's matrix is visible to the instance *)
+  cost.(0).(0) <- 9.0;
+  check (Alcotest.float 0.0) "aliases caller cost" 9.0 g.Gap.cost.(0).(0);
+  (match Gap.borrow ~cost:[||] ~weight:[||] ~capacity:[||] with
+  | _ -> fail "empty capacity accepted"
+  | exception Invalid_argument _ -> ());
+  match Gap.borrow ~cost ~weight:[| sizes |] ~capacity:[| 1.0; 1.0 |] with
+  | _ -> fail "row mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio determinism and reduction.                               *)
+
+let portfolio_run ~jobs ~seed problem =
+  let config = { Burkard.Config.default with iterations = 10; seed } in
+  Portfolio.solve ~config ~max_rounds:2 ~jobs ~starts:4 problem
+
+let prop_portfolio_jobs_invariant =
+  QCheck.Test.make ~name:"portfolio: jobs=1 and jobs=4 are bit-identical" ~count:8
+    QCheck.(pair (int_range 0 100_000) (int_range 1 1000))
+    (fun (inst_seed, base_seed) ->
+      let problem = random_problem ~with_p:false inst_seed in
+      let r1 = portfolio_run ~jobs:1 ~seed:base_seed problem in
+      let r4 = portfolio_run ~jobs:4 ~seed:base_seed problem in
+      r1.Portfolio.best_cost = r4.Portfolio.best_cost
+      && r1.Portfolio.winner = r4.Portfolio.winner
+      && r1.Portfolio.best = r4.Portfolio.best
+      && r1.Portfolio.best_feasible = r4.Portfolio.best_feasible
+      && List.map (fun s -> (s.Portfolio.start, s.Portfolio.seed, s.Portfolio.best_cost))
+           r1.Portfolio.reports
+         = List.map (fun s -> (s.Portfolio.start, s.Portfolio.seed, s.Portfolio.best_cost))
+             r4.Portfolio.reports)
+
+let test_portfolio_single_start_matches_adaptive () =
+  let problem = random_problem 42 in
+  let config = { Burkard.Config.default with iterations = 15; seed = 7 } in
+  let p = Portfolio.solve ~config ~max_rounds:2 ~jobs:2 ~starts:1 problem in
+  let a = Adaptive.solve ~config ~max_rounds:2 problem in
+  check (Alcotest.float 1e-12) "best_cost" a.Adaptive.last.Burkard.best_cost
+    p.Portfolio.best_cost;
+  check Alcotest.bool "same best assignment" true
+    (p.Portfolio.best = Some a.Adaptive.last.Burkard.best);
+  check Alcotest.bool "same feasible champion" true
+    (Option.map snd p.Portfolio.best_feasible = Option.map snd a.Adaptive.best_feasible)
+
+let test_portfolio_reduction_rule () =
+  (* ascending-index scan with strict improvement: start 0's champion
+     wins any tie, and the winner index refers to the start that
+     produced the returned assignment *)
+  let problem = random_problem 11 in
+  let r =
+    Portfolio.solve
+      ~config:{ Burkard.Config.default with iterations = 10 }
+      ~max_rounds:1 ~jobs:2 ~starts:5 problem
+  in
+  check Alcotest.int "one report per start" 5 (List.length r.Portfolio.reports);
+  (match r.Portfolio.winner with
+  | None -> fail "no winner on a clean run"
+  | Some w ->
+    let candidates =
+      List.filter_map
+        (fun s ->
+          match s.Portfolio.feasible_cost with
+          | Some c -> Some (s.Portfolio.start, c)
+          | None -> None)
+        r.Portfolio.reports
+    in
+    (match (r.Portfolio.best_feasible, candidates) with
+    | Some (_, c), _ :: _ ->
+      let best = List.fold_left (fun acc (_, c) -> Float.min acc c) infinity candidates in
+      check (Alcotest.float 1e-12) "champion cost is the min" best c;
+      let earliest = List.find (fun (_, c) -> c = best) candidates in
+      check Alcotest.int "earliest strict winner" (fst earliest) w
+    | None, [] -> ()
+    | _ -> fail "reports and champion disagree"));
+  check Alcotest.int "jobs capped by starts" 2 r.Portfolio.jobs
+
+let test_portfolio_start_seeds () =
+  check Alcotest.int "start 0 keeps the base seed" 123 (Portfolio.start_seed ~base:123 0);
+  let seeds = List.init 16 (Portfolio.start_seed ~base:123) in
+  let distinct = List.sort_uniq compare seeds in
+  check Alcotest.int "16 distinct stream seeds" 16 (List.length distinct)
+
+let test_portfolio_validation () =
+  let problem = random_problem 3 in
+  (match Portfolio.solve ~starts:0 problem with
+  | _ -> fail "starts=0 accepted"
+  | exception Invalid_argument _ -> ());
+  match Portfolio.solve ~jobs:0 ~starts:2 problem with
+  | _ -> fail "jobs=0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_portfolio_should_stop () =
+  let problem = random_problem 5 in
+  let r =
+    Portfolio.solve
+      ~config:{ Burkard.Config.default with iterations = 50 }
+      ~jobs:2 ~starts:3
+      ~should_stop:(fun () -> true)
+      problem
+  in
+  check Alcotest.bool "interrupted" true r.Portfolio.interrupted;
+  check Alcotest.int "still one report per start" 3 (List.length r.Portfolio.reports)
+
+let test_portfolio_on_improvement () =
+  let problem = random_problem 9 in
+  let calls = ref [] in
+  let r =
+    Portfolio.solve
+      ~config:{ Burkard.Config.default with iterations = 10 }
+      ~jobs:2 ~starts:3
+      ~on_improvement:(fun ~start ~cost:_ ~feasible:_ -> calls := start :: !calls)
+      problem
+  in
+  (* the incumbent only ever improves, so the callback fires at least
+     once on any run that found something *)
+  match r.Portfolio.best with
+  | Some _ -> check Alcotest.bool "reported improvements" true (!calls <> [])
+  | None -> ()
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "portfolio"
+    [
+      ( "delta",
+        [
+          qt prop_delta_matches_full;
+          qt prop_polish_tracked_consistent;
+          qt prop_to_feasible_verdict_exact;
+        ] );
+      ( "buffers",
+        [
+          qt prop_eta_into_matches_eta;
+          Alcotest.test_case "eta_cost_matrix_into" `Quick test_eta_cost_matrix_into;
+          Alcotest.test_case "gap borrow" `Quick test_gap_borrow;
+        ] );
+      ( "portfolio",
+        [
+          qt prop_portfolio_jobs_invariant;
+          Alcotest.test_case "starts=1 matches adaptive" `Quick
+            test_portfolio_single_start_matches_adaptive;
+          Alcotest.test_case "reduction rule" `Quick test_portfolio_reduction_rule;
+          Alcotest.test_case "start seeds" `Quick test_portfolio_start_seeds;
+          Alcotest.test_case "validation" `Quick test_portfolio_validation;
+          Alcotest.test_case "should_stop" `Quick test_portfolio_should_stop;
+          Alcotest.test_case "on_improvement" `Quick test_portfolio_on_improvement;
+        ] );
+    ]
