@@ -37,6 +37,7 @@ module Mthg = Qbpart_gap.Mthg
 module Problem = Qbpart_core.Problem
 module Qmatrix = Qbpart_core.Qmatrix
 module Burkard = Qbpart_core.Burkard
+module Certify = Qbpart_core.Certify
 module Gains = Qbpart_baselines.Gains
 module Gfm = Qbpart_baselines.Gfm
 module Gkl = Qbpart_baselines.Gkl
@@ -462,12 +463,20 @@ let portfolio quick =
   let base_wall, base = run 1 in
   let job_counts = if quick then [ 2; 4 ] else [ 2; 4; 8 ] in
   let row jobs wall (r : Portfolio.result) identical =
-    Format.printf "  jobs=%d  %7.2fs  speedup %4.2fx  best %12.1f  feasible %s  %s@." jobs
+    (* independent certifier cross-check: the champion's reported cost
+       must match a from-scratch audit bit-for-bit (no delta kernels) *)
+    let certified =
+      match r.Portfolio.best_feasible with
+      | Some (a, c) -> Certify.ok (Certify.check ~claimed:c problem a)
+      | None -> true
+    in
+    Format.printf "  jobs=%d  %7.2fs  speedup %4.2fx  best %12.1f  feasible %s  %s%s@." jobs
       wall (base_wall /. wall) r.Portfolio.best_cost
       (match r.Portfolio.best_feasible with
       | Some (_, c) -> Printf.sprintf "%.1f" c
       | None -> "-")
-      (if identical then "identical to jobs=1" else "MISMATCH vs jobs=1");
+      (if identical then "identical to jobs=1" else "MISMATCH vs jobs=1")
+      (if certified then "" else "  CERTIFICATION FAILED");
     Json.Obj
       [
         ("jobs", Json.Int jobs);
@@ -480,6 +489,7 @@ let portfolio quick =
           | None -> Json.Bool false );
         ("winner", match r.Portfolio.winner with Some w -> Json.Int w | None -> Json.Int (-1));
         ("identical_to_jobs1", Json.Bool identical);
+        ("certified", Json.Bool certified);
       ]
   in
   let rows = ref [ row 1 base_wall base true ] in

@@ -5,14 +5,18 @@
      stats      print circuit statistics for a netlist file
      solve      partition a netlist onto a grid (qbp | gfm | gkl)
      eval       evaluate an assignment produced by solve
+     checkpoint inspect a crash-safety checkpoint file
      tables     regenerate the paper's Tables I-III (also see bench/)
 
    Exit codes (see also the RESILIENCE section of README.md):
      0    success
      123  runtime failure reported as an error message: unreadable or
-          malformed input, no feasible start, infeasible instance
+          malformed input, no feasible start, infeasible instance,
+          failed certification, unusable checkpoint
      124  command-line parse error (unknown subcommand, bad option,
-          unknown algorithm, missing file argument)
+          unknown algorithm, missing file argument) — and a solve cut
+          short by SIGINT/SIGTERM, which still writes the final
+          checkpoint and emits its best-so-far feasible assignment
      125  unexpected internal error *)
 
 module Rng = Qbpart_netlist.Rng
@@ -33,6 +37,8 @@ module Gkl = Qbpart_baselines.Gkl
 module Deadline = Qbpart_engine.Deadline
 module Engine = Qbpart_engine.Engine
 module Portfolio = Qbpart_engine.Portfolio
+module Checkpoint = Qbpart_engine.Checkpoint
+module Certify = Qbpart_core.Certify
 module Experiments = Qbpart_experiments
 
 open Cmdliner
@@ -145,7 +151,7 @@ let emit_assignment nl topo assignment out =
 
 let solve_cmd =
   let run path timing rows cols slack algorithm iterations seed deadline fallback starts
-      jobs out =
+      jobs retries checkpoint every resume out =
     let* nl = load_netlist path in
     let* constraints = load_constraints nl timing in
     let* () =
@@ -154,22 +160,41 @@ let solve_cmd =
     let* () = if iterations < 0 then msgf "--iterations must be >= 0" else Ok () in
     let* () = if starts < 1 then msgf "--starts must be >= 1" else Ok () in
     let* () = if jobs < 0 then msgf "--jobs must be >= 1 (or 0 for auto)" else Ok () in
+    let* () = if retries < 0 then msgf "--retries must be >= 0" else Ok () in
     let* () =
       match algorithm with
       | `Qbp -> Ok ()
       | `Gfm | `Gkl ->
         if starts > 1 then msgf "--starts drives the multi-start QBP portfolio; use it with -a qbp"
+        else if checkpoint <> None || resume <> None then
+          msgf "--checkpoint/--resume run the crash-safe engine; use them with -a qbp"
         else Ok ()
     in
     let jobs = if jobs = 0 then None else Some jobs in
     let topo = grid_topology nl ~rows ~cols ~slack in
+    (* a checkpointed or resumed solve always runs the full engine: the
+       checkpoint format records engine-level state (safety net,
+       portfolio start progress) no bare solver run maintains *)
+    let engine_path = fallback || checkpoint <> None || resume <> None in
+    let* resumed =
+      match resume with
+      | None -> Ok None
+      | Some path -> (
+        match Checkpoint.load ~path with
+        | Ok cp -> Ok (Some cp)
+        | Error e -> msgf "%s: %s" path (Checkpoint.error_to_string e))
+    in
+    (* [--deadline] is the total budget of the run across crashes: a
+       resumed solve only gets what the checkpointed run left unspent *)
     let deadline =
       match deadline with
       | None -> Deadline.none ()
-      | Some secs -> Deadline.of_seconds secs
+      | Some secs ->
+        let spent = match resumed with Some cp -> cp.Checkpoint.elapsed | None -> 0.0 in
+        Deadline.of_seconds (Float.max 0.0 (secs -. spent))
     in
     let* final =
-      if fallback then begin
+      if engine_path then begin
         let* () =
           match algorithm with
           | `Qbp -> Ok ()
@@ -182,14 +207,61 @@ let solve_cmd =
             qbp = { Burkard.Config.default with iterations; seed };
             starts;
             jobs;
+            retries;
           }
         in
         let problem = Problem.make ?constraints nl topo in
-        match Engine.solve ~config ~deadline problem with
-        | Error e -> Error (`Msg (Engine.Error.to_string e))
-        | Ok { Engine.assignment; report; _ } ->
-          Format.eprintf "%a@." Engine.Report.pp report;
+        (* SIGINT/SIGTERM: cooperative cancellation through the shared
+           deadline, then the normal best-so-far path runs to the end —
+           final checkpoint, report, assignment — and exits 124. *)
+        let interrupted = ref false in
+        List.iter
+          (fun s ->
+            Sys.set_signal s
+              (Sys.Signal_handle
+                 (fun _ ->
+                   interrupted := true;
+                   Deadline.cancel deadline)))
+          [ Sys.sigint; Sys.sigterm ];
+        let last_cp = ref None in
+        let last_write = ref Float.neg_infinity in
+        let write_cp cp =
+          match checkpoint with
+          | None -> ()
+          | Some path -> (
+            match Checkpoint.save ~path cp with
+            | Ok () -> last_write := Unix.gettimeofday ()
+            | Error e -> Format.eprintf "checkpoint: %s@." (Checkpoint.error_to_string e))
+        in
+        let on_checkpoint cp =
+          last_cp := Some cp;
+          (* first emission (the secured safety net) is written
+             immediately so even an early kill leaves a resumable file;
+             after that, on the --checkpoint-every cadence *)
+          if !last_write = Float.neg_infinity || Unix.gettimeofday () -. !last_write >= every
+          then write_cp cp
+        in
+        let on_checkpoint = if checkpoint = None then None else Some on_checkpoint in
+        let finish assignment =
+          if !interrupted then begin
+            (match !last_cp with None -> () | Some cp -> write_cp cp);
+            Format.eprintf "interrupted: best-so-far feasible assignment follows@.";
+            (match emit_assignment nl topo assignment out with
+            | Ok () -> ()
+            | Error (`Msg m) -> Format.eprintf "%s@." m);
+            exit 124
+          end;
           Ok assignment
+        in
+        match Engine.solve ~config ~deadline ?on_checkpoint ?resume:resumed problem with
+        | Error e -> Error (`Msg (Engine.Error.to_string e))
+        | Ok { Engine.assignment; report; certificate; _ } ->
+          Format.eprintf "%a@." Engine.Report.pp report;
+          Format.eprintf "%a@." Certify.pp certificate;
+          (* the last emitted state is always persisted, cadence aside:
+             after a clean run the file reflects the completed solve *)
+          (match !last_cp with None -> () | Some cp -> write_cp cp);
+          finish assignment
       end
       else begin
         let rng = Rng.create seed in
@@ -276,6 +348,30 @@ let solve_cmd =
                  the machine's recommended domain count. The result is identical for \
                  every value.")
   in
+  let retries =
+    Arg.(value & opt int 1 & info [ "retries" ]
+           ~doc:"Extra supervised attempts for a portfolio start that crashes, each \
+                 with a deterministically re-derived seed. The run fails only if \
+                 every start fails.")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Write crash-safety checkpoints here (atomic write-to-temp + fsync + \
+                 rename): once after the safety net is secured, then on the \
+                 $(b,--checkpoint-every) cadence, and finally on SIGINT/SIGTERM. \
+                 Implies the resilient engine (as $(b,--fallback)).")
+  in
+  let every =
+    Arg.(value & opt duration_conv 10.0 & info [ "checkpoint-every" ] ~docv:"DURATION"
+           ~doc:"Minimum interval between cadence checkpoint writes (default 10s).")
+  in
+  let resume =
+    Arg.(value & opt (some file) None & info [ "resume" ] ~docv:"FILE"
+           ~doc:"Resume from a checkpoint: validates it against this instance \
+                 (structural hash), warm-starts from its incumbent, skips completed \
+                 portfolio starts, and continues on the deadline budget the \
+                 checkpointed run left unspent. Implies the resilient engine.")
+  in
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the assignment here instead of stdout.")
@@ -285,7 +381,8 @@ let solve_cmd =
     Term.(
       term_result
         (const run $ path $ timing $ rows $ cols $ slack $ algorithm $ iterations $ seed
-       $ deadline $ fallback $ starts $ jobs $ out))
+       $ deadline $ fallback $ starts $ jobs $ retries $ checkpoint $ every $ resume
+       $ out))
 
 (* --- eval ---------------------------------------------------------- *)
 
@@ -359,6 +456,39 @@ let eval_cmd =
     (Cmd.info "eval" ~doc:"Evaluate an assignment produced by solve")
     Term.(term_result (const run $ netlist $ assignment $ timing $ rows $ cols $ slack))
 
+(* --- checkpoint ---------------------------------------------------- *)
+
+let checkpoint_cmd =
+  let run path =
+    match Checkpoint.load ~path with
+    | Error e -> Error (`Msg (Checkpoint.error_to_string e))
+    | Ok cp ->
+      Printf.printf "version        %d\n" Checkpoint.version;
+      Printf.printf "instance hash  %Lx\n" cp.Checkpoint.instance_hash;
+      Printf.printf "base seed      %d\n" cp.Checkpoint.base_seed;
+      Printf.printf "elapsed        %.3fs\n" cp.Checkpoint.elapsed;
+      Printf.printf "incumbent cost %.17g\n" cp.Checkpoint.incumbent_cost;
+      Printf.printf "components     %d\n" (Array.length cp.Checkpoint.incumbent);
+      Printf.printf "starts done    %d\n" (List.length cp.Checkpoint.starts);
+      List.iter
+        (fun s ->
+          Printf.printf "  start %d: seed %d, %d attempt%s%s%s\n" s.Checkpoint.start
+            s.Checkpoint.seed s.Checkpoint.attempts
+            (if s.Checkpoint.attempts = 1 then "" else "s")
+            (match s.Checkpoint.feasible_cost with
+            | Some c -> Printf.sprintf ", feasible %.17g" c
+            | None -> "")
+            (match s.Checkpoint.failure with
+            | Some msg -> Printf.sprintf ", FAILED: %s" msg
+            | None -> ""))
+        cp.Checkpoint.starts;
+      Ok ()
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"CHECKPOINT") in
+  Cmd.v
+    (Cmd.info "checkpoint" ~doc:"Inspect a crash-safety checkpoint file")
+    Term.(term_result (const run $ path))
+
 (* --- tables -------------------------------------------------------- *)
 
 let tables_cmd =
@@ -390,11 +520,16 @@ let () =
     [
       `S Manpage.s_exit_status;
       `P "0 on success; 123 on runtime failures (unreadable or malformed input, no \
-          feasible start, infeasible instance); 124 on command-line errors; 125 on \
-          unexpected internal errors.";
+          feasible start, infeasible instance, a result that fails independent \
+          certification, an unusable $(b,--resume) checkpoint); 124 on command-line \
+          errors, and on a solve cut short by SIGINT/SIGTERM — the interrupted solve \
+          still writes its final checkpoint (with $(b,--checkpoint)) and emits its \
+          best-so-far feasible assignment before exiting; 125 on unexpected internal \
+          errors.";
     ]
   in
   let info = Cmd.info "qbpart" ~version:"1.0.0" ~doc ~man in
   exit
     (Cmd.eval ~term_err:Cmd.Exit.some_error
-       (Cmd.group info [ generate_cmd; stats_cmd; solve_cmd; eval_cmd; tables_cmd ]))
+       (Cmd.group info
+          [ generate_cmd; stats_cmd; solve_cmd; eval_cmd; checkpoint_cmd; tables_cmd ]))

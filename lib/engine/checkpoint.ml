@@ -1,0 +1,294 @@
+module Netlist = Qbpart_netlist.Netlist
+module Wire = Qbpart_netlist.Wire
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Assignment = Qbpart_partition.Assignment
+module Problem = Qbpart_core.Problem
+
+type start_progress = {
+  start : int;
+  seed : int;
+  attempts : int;
+  feasible_cost : float option;
+  failure : string option;
+}
+
+type t = {
+  instance_hash : int64;
+  base_seed : int;
+  elapsed : float;
+  incumbent : Assignment.t;
+  incumbent_cost : float;
+  starts : start_progress list;
+}
+
+type error =
+  | Io of string
+  | Corrupt of { line : int; reason : string }
+  | Unsupported_version of int
+  | Instance_mismatch of { expected : int64; got : int64 }
+
+let version = 1
+
+(* FNV-1a, 64-bit.  OCaml's polymorphic [Hashtbl.hash] truncates and
+   is not guaranteed stable across versions, so the hash is spelled
+   out: a checkpoint written by one binary must be readable by the
+   next build. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64_byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv1a64_int64 h x =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := fnv1a64_byte !h (Int64.to_int (Int64.shift_right_logical x (shift * 8)))
+  done;
+  !h
+
+let fnv1a64_int h x = fnv1a64_int64 h (Int64.of_int x)
+let fnv1a64_float h x = fnv1a64_int64 h (Int64.bits_of_float x)
+
+let instance_hash problem =
+  let nl = problem.Problem.netlist and topo = problem.Problem.topology in
+  let n = Problem.n problem and m = Problem.m problem in
+  let h = ref fnv_offset in
+  h := fnv1a64_int !h n;
+  h := fnv1a64_int !h m;
+  for j = 0 to n - 1 do
+    h := fnv1a64_float !h (Netlist.size nl j)
+  done;
+  for i = 0 to m - 1 do
+    h := fnv1a64_float !h (Topology.capacity topo i)
+  done;
+  Array.iter
+    (fun w ->
+      h := fnv1a64_int !h (Wire.u w);
+      h := fnv1a64_int !h (Wire.v w);
+      h := fnv1a64_float !h (Wire.weight w))
+    (Netlist.wires nl);
+  for i = 0 to m - 1 do
+    for i' = 0 to m - 1 do
+      h := fnv1a64_float !h (Topology.d topo i i')
+    done
+  done;
+  Constraints.iter problem.Problem.constraints (fun j1 j2 budget ->
+      h := fnv1a64_int !h j1;
+      h := fnv1a64_int !h j2;
+      h := fnv1a64_float !h budget);
+  h := fnv1a64_float !h problem.Problem.alpha;
+  h := fnv1a64_float !h problem.Problem.beta;
+  (match problem.Problem.p with
+  | None -> h := fnv1a64_int !h 0
+  | Some p ->
+    h := fnv1a64_int !h 1;
+    Array.iter (fun row -> Array.iter (fun x -> h := fnv1a64_float !h x) row) p);
+  !h
+
+let make ~problem ~base_seed ~elapsed ~incumbent ~incumbent_cost ~starts =
+  {
+    instance_hash = instance_hash problem;
+    base_seed;
+    elapsed;
+    incumbent = Assignment.copy incumbent;
+    incumbent_cost;
+    starts;
+  }
+
+(* Line-based text format, version-prefixed, [end]-terminated.  Floats
+   are hexadecimal literals ([%h]) so decode is bit-exact; option
+   fields use "-" for [None].  Failure strings are percent-escaped so
+   a message containing a newline or a space (the token separator)
+   cannot desynchronize the parser. *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' | '\n' | '\r' | ' ' | '\t' ->
+        Buffer.add_string b (Printf.sprintf "%%%02x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let len = String.length s in
+  while !i < len do
+    (if s.[!i] = '%' && !i + 2 < len then begin
+       Buffer.add_char b (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
+       i := !i + 2
+     end
+     else Buffer.add_char b s.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+let to_string cp =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "qbpart-checkpoint %d\n" version;
+  Printf.bprintf b "hash %Lx\n" cp.instance_hash;
+  Printf.bprintf b "seed %d\n" cp.base_seed;
+  Printf.bprintf b "elapsed %h\n" cp.elapsed;
+  Printf.bprintf b "cost %h\n" cp.incumbent_cost;
+  Printf.bprintf b "starts %d\n" (List.length cp.starts);
+  List.iter
+    (fun s ->
+      Printf.bprintf b "start %d %d %d %s %s\n" s.start s.seed s.attempts
+        (match s.feasible_cost with None -> "-" | Some c -> Printf.sprintf "%h" c)
+        (match s.failure with None -> "-" | Some msg -> "!" ^ escape msg))
+    cp.starts;
+  Printf.bprintf b "assignment %d\n" (Array.length cp.incumbent);
+  Array.iteri
+    (fun j p -> if j = 0 then Printf.bprintf b "%d" p else Printf.bprintf b " %d" p)
+    cp.incumbent;
+  if Array.length cp.incumbent > 0 then Buffer.add_char b '\n';
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let lines = Array.of_list lines in
+  let pos = ref 0 in
+  let exception Fail of error in
+  let corrupt reason = raise (Fail (Corrupt { line = !pos; reason })) in
+  let next () =
+    if !pos >= Array.length lines then corrupt "unexpected end of file"
+    else begin
+      let l = lines.(!pos) in
+      incr pos;
+      l
+    end
+  in
+  let int_of s what =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> corrupt (Printf.sprintf "invalid %s %S" what s)
+  in
+  let float_of s what =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> corrupt (Printf.sprintf "invalid %s %S" what s)
+  in
+  let field key =
+    let l = next () in
+    match String.index_opt l ' ' with
+    | Some i when String.sub l 0 i = key ->
+      String.sub l (i + 1) (String.length l - i - 1)
+    | _ -> corrupt (Printf.sprintf "expected %S line, got %S" key l)
+  in
+  try
+    (match String.split_on_char ' ' (next ()) with
+    | [ "qbpart-checkpoint"; v ] ->
+      let v = int_of v "version" in
+      if v <> version then raise (Fail (Unsupported_version v))
+    | _ -> corrupt "missing qbpart-checkpoint header");
+    let instance_hash =
+      let s = field "hash" in
+      match Int64.of_string_opt ("0x" ^ s) with
+      | Some h -> h
+      | None -> corrupt (Printf.sprintf "invalid hash %S" s)
+    in
+    let base_seed = int_of (field "seed") "seed" in
+    let elapsed = float_of (field "elapsed") "elapsed" in
+    if not (elapsed >= 0.0) then corrupt "negative elapsed";
+    let incumbent_cost = float_of (field "cost") "cost" in
+    let start_count = int_of (field "starts") "start count" in
+    if start_count < 0 then corrupt "negative start count";
+    let starts =
+      List.init start_count (fun _ ->
+          match String.split_on_char ' ' (next ()) with
+          | "start" :: start :: seed :: attempts :: cost :: rest ->
+            let feasible_cost =
+              if cost = "-" then None else Some (float_of cost "start cost")
+            in
+            let failure =
+              match rest with
+              | [ "-" ] -> None
+              | [ msg ] when String.length msg > 0 && msg.[0] = '!' ->
+                Some (unescape (String.sub msg 1 (String.length msg - 1)))
+              | _ -> corrupt "malformed start failure field"
+            in
+            {
+              start = int_of start "start index";
+              seed = int_of seed "start seed";
+              attempts = int_of attempts "start attempts";
+              feasible_cost;
+              failure;
+            }
+          | _ -> corrupt "malformed start line")
+    in
+    let len = int_of (field "assignment") "assignment length" in
+    if len < 0 then corrupt "negative assignment length";
+    let incumbent =
+      if len = 0 then [||]
+      else begin
+        let parts = String.split_on_char ' ' (next ()) in
+        let parts = List.filter (fun s -> s <> "") parts in
+        if List.length parts <> len then
+          corrupt
+            (Printf.sprintf "assignment declares %d components, line has %d" len
+               (List.length parts));
+        Array.of_list (List.map (fun s -> int_of s "assignment entry") parts)
+      end
+    in
+    (match next () with "end" -> () | l -> corrupt (Printf.sprintf "expected end trailer, got %S" l));
+    Ok { instance_hash; base_seed; elapsed; incumbent; incumbent_cost; starts }
+  with Fail e -> Error e
+
+let fsync_dir dir =
+  (* Durability of the rename itself; best-effort because some
+     filesystems refuse to fsync a directory fd. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let save ~path cp =
+  let dir = Filename.dirname path in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  try
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> try close_out_noerr oc with _ -> ())
+      (fun () ->
+        output_string oc (to_string cp);
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc));
+    Sys.rename tmp path;
+    fsync_dir dir;
+    Ok ()
+  with
+  | Sys_error msg ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error (Io msg)
+  | Unix.Unix_error (err, fn, arg) ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error (Io (Printf.sprintf "%s: %s %s" fn (Unix.error_message err) arg))
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error (Io msg)
+  | text -> of_string text
+
+let validate cp problem =
+  let expected = instance_hash problem in
+  if Int64.equal cp.instance_hash expected then Ok ()
+  else Error (Instance_mismatch { expected; got = cp.instance_hash })
+
+let error_to_string = function
+  | Io msg -> Printf.sprintf "checkpoint I/O error: %s" msg
+  | Corrupt { line; reason } ->
+    Printf.sprintf "corrupt checkpoint (line %d): %s" line reason
+  | Unsupported_version v ->
+    Printf.sprintf "unsupported checkpoint version %d (this build reads version %d)" v
+      version
+  | Instance_mismatch { expected; got } ->
+    Printf.sprintf
+      "checkpoint was taken from a different instance (hash %Lx, expected %Lx)" got
+      expected
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)

@@ -1,0 +1,92 @@
+(** Crash-safe solve state: versioned, atomically-written checkpoints.
+
+    A long-running solve must survive the process dying mid-run.  A
+    checkpoint captures everything needed to continue a portfolio
+    solve with its remaining budget: the best feasible incumbent found
+    so far (and its scratch-evaluated cost), the per-start progress of
+    the portfolio (which starts completed, with what seed, after how
+    many supervised attempts), the base RNG seed, and the wall-clock
+    budget already consumed.
+
+    Durability contract (DESIGN.md D8):
+
+    - {!save} writes to a temporary file in the target's directory,
+      flushes, [fsync]s the file, atomically renames it over [path],
+      and best-effort-[fsync]s the directory — a reader never observes
+      a torn checkpoint, and after {!save} returns the data survives
+      power loss;
+    - the format is versioned and self-delimiting (a trailing [end]
+      marker), so truncated or corrupt files are rejected with a
+      positioned {!error} instead of being half-read;
+    - a checkpoint embeds a structural {!instance_hash} of the problem
+      it was taken from; {!validate} refuses to resume against a
+      different instance.
+
+    Floats round-trip losslessly (hexadecimal literals), so
+    encode/decode is exact — qcheck-tested in
+    [test/test_checkpoint.ml]. *)
+
+module Assignment := Qbpart_partition.Assignment
+module Problem := Qbpart_core.Problem
+
+type start_progress = {
+  start : int;             (** portfolio start index *)
+  seed : int;              (** seed of the attempt that produced the record *)
+  attempts : int;          (** supervised attempts consumed (≥ 1) *)
+  feasible_cost : float option;  (** best feasible cost of this start, if any *)
+  failure : string option; (** final-attempt failure; [None] = completed *)
+}
+
+type t = {
+  instance_hash : int64;   (** {!instance_hash} of the originating problem *)
+  base_seed : int;         (** the run's base RNG seed *)
+  elapsed : float;         (** wall-clock budget consumed before this point *)
+  incumbent : Assignment.t;(** best feasible assignment so far *)
+  incumbent_cost : float;  (** its scratch-evaluated equation-(1) objective *)
+  starts : start_progress list;  (** completed portfolio starts, ascending *)
+}
+
+type error =
+  | Io of string                       (** filesystem failure, rendered *)
+  | Corrupt of { line : int; reason : string }
+      (** truncated or malformed content, with the offending line *)
+  | Unsupported_version of int
+  | Instance_mismatch of { expected : int64; got : int64 }
+      (** the checkpoint was taken from a different problem instance *)
+
+val version : int
+(** Current format version (1). *)
+
+val instance_hash : Problem.t -> int64
+(** Deterministic structural hash of the instance: {m N}, {m M}, every
+    capacity, every wire (endpoints and weight), every directed timing
+    budget, {m α}, {m β} and the presence of {m P}.  Stable across
+    runs and processes (FNV-1a, no randomized hashing). *)
+
+val make :
+  problem:Problem.t ->
+  base_seed:int ->
+  elapsed:float ->
+  incumbent:Assignment.t ->
+  incumbent_cost:float ->
+  starts:start_progress list ->
+  t
+(** Convenience constructor computing the hash from [problem].  The
+    incumbent is copied. *)
+
+val to_string : t -> string
+val of_string : string -> (t, error) result
+
+val save : path:string -> t -> (unit, error) result
+(** Atomic durable write: temp file + [fsync] + rename (+ best-effort
+    directory [fsync]).  On error the temp file is removed and [path]
+    is untouched. *)
+
+val load : path:string -> (t, error) result
+
+val validate : t -> Problem.t -> (unit, error) result
+(** [Error (Instance_mismatch _)] unless the checkpoint's hash matches
+    [instance_hash problem]. *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit

@@ -11,6 +11,7 @@ module Qmatrix = Qbpart_core.Qmatrix
 module Repair = Qbpart_core.Repair
 module Burkard = Qbpart_core.Burkard
 module Adaptive = Qbpart_core.Adaptive
+module Certify = Qbpart_core.Certify
 module Gfm = Qbpart_baselines.Gfm
 module Gkl = Qbpart_baselines.Gkl
 
@@ -24,6 +25,8 @@ module Error = struct
         issues : Validate.issue list;
       }
     | No_feasible_start of { attempts : int; issues : Validate.issue list }
+    | Certification_failed of { certificate : Certify.t }
+    | Resume_rejected of string
     | Internal of string
 
   let pp_issues ppf issues =
@@ -46,6 +49,10 @@ module Error = struct
     | No_feasible_start { attempts; issues } ->
       Format.fprintf ppf "no feasible start found after %d attempts (best attempt: %a)"
         attempts pp_issues issues
+    | Certification_failed { certificate } ->
+      Format.fprintf ppf "result failed independent certification: %a" Certify.pp
+        certificate
+    | Resume_rejected reason -> Format.fprintf ppf "cannot resume: %s" reason
     | Internal msg -> Format.fprintf ppf "internal engine error: %s" msg
 
   let to_string e = Format.asprintf "%a" pp e
@@ -64,6 +71,7 @@ module Report = struct
     outcome : stage_outcome;
     wall_seconds : float;
     cost_after : float;
+    detail : string option;
   }
 
   type t = {
@@ -88,8 +96,12 @@ module Report = struct
     Format.fprintf ppf "@[<v>";
     List.iter
       (fun s ->
-        Format.fprintf ppf "%-8s %a  (%.3fs, best %g)@," s.name pp_stage_outcome
-          s.outcome s.wall_seconds s.cost_after)
+        Format.fprintf ppf "%-8s %a  (%.3fs, best %g)%t@," s.name pp_stage_outcome
+          s.outcome s.wall_seconds s.cost_after
+          (fun ppf ->
+            match s.detail with
+            | None -> ()
+            | Some d -> Format.fprintf ppf "  [%s]" d))
       t.stages;
     Format.fprintf ppf "result   %s: %g -> %g in %.3fs" t.winner t.initial_cost
       t.final_cost t.wall_seconds;
@@ -111,6 +123,8 @@ module Fault = struct
     | Gap_overflow of int
     | Gap_freeze of int
     | Expire_mid_step6 of int
+    | Flaky_start of int
+    | Corrupt_incumbent
 end
 
 module Config = struct
@@ -125,6 +139,7 @@ module Config = struct
     start_attempts : int;
     starts : int;
     jobs : int option;
+    retries : int;
   }
 
   let default =
@@ -139,6 +154,7 @@ module Config = struct
       start_attempts = 200;
       starts = 1;
       jobs = None;
+      retries = 1;
     }
 end
 
@@ -146,6 +162,7 @@ type outcome = {
   assignment : Assignment.t;
   cost : float;
   report : Report.t;
+  certificate : Certify.t;
 }
 
 (* --- input validation --------------------------------------------- *)
@@ -169,6 +186,7 @@ let validate_config (c : Config.t) =
   else if c.Config.starts < 1 then err "starts" "must be >= 1"
   else if (match c.Config.jobs with Some j -> j < 1 | None -> false) then
     err "jobs" "must be >= 1"
+  else if c.Config.retries < 0 then err "retries" "must be >= 0"
   else if c.Config.gfm.Gfm.max_passes < 0 then err "gfm.max_passes" "must be >= 0"
   else if c.Config.gkl.Gkl.max_outer < 0 then err "gkl.max_outer" "must be >= 0"
   else if c.Config.gkl.Gkl.dummies < 0 then err "gkl.dummies" "must be >= 0"
@@ -267,10 +285,41 @@ let arm deadline fault : Burkard.gap_solver =
       let r = default gap in
       if step = Burkard.Step6 && kk = k then Deadline.cancel deadline;
       r
+  | Fault.Flaky_start n ->
+    (* the first [n] GAP calls across the whole stage raise: with
+       sequential execution (jobs = 1) attempt 0 of start 0 dies at its
+       first STEP-4 call and the supervised retry runs clean — the
+       deterministic "one flaky start" scenario *)
+    let calls = Atomic.make 0 in
+    fun ~step:_ ~k:_ ~default gap ->
+      if Atomic.fetch_and_add calls 1 < n then
+        raise (Fault.Injected "injected flaky start")
+      else default gap
+  | Fault.Corrupt_incumbent ->
+    (* handled after the ladder (the reported cost is corrupted to
+       simulate a delta-kernel drift bug); the solve itself runs clean *)
+    fun ~step:_ ~k:_ ~default gap -> default gap
+
+(* --- checkpoint supervision --------------------------------------- *)
+
+(* Mutable view of the run from which checkpoints are built: the best
+   feasible incumbent seen anywhere (including starts that completed
+   before the current stage adopted anything) plus the per-start
+   progress ledger.  Worker domains mutate it only under the
+   portfolio's incumbent lock; the orchestrating domain mutates it
+   between stages. *)
+type supervision = {
+  mutable inc : Assignment.t;
+  mutable inc_cost : float;
+  mutable progress : Checkpoint.start_progress list;
+  base_elapsed : float;
+  notify : Checkpoint.t -> unit;
+}
 
 (* --- the ladder ---------------------------------------------------- *)
 
-let run_ladder (config : Config.t) deadline initial fault problem start =
+let run_ladder (config : Config.t) deadline initial fault problem start ~sup
+    ~skip_starts =
   let nl = problem.Problem.netlist and topo = problem.Problem.topology in
   let cons = problem.Problem.constraints in
   let cost a = Problem.objective problem a in
@@ -287,6 +336,7 @@ let run_ladder (config : Config.t) deadline initial fault problem start =
           outcome = Report.Completed;
           wall_seconds = Deadline.elapsed deadline;
           cost_after = initial_cost;
+          detail = None;
         };
       ]
   in
@@ -299,15 +349,36 @@ let run_ladder (config : Config.t) deadline initial fault problem start =
       winner := name
     end
   in
-  let record name outcome t0 =
+  let emit () =
+    match sup with
+    | None -> ()
+    | Some s ->
+      if !best_cost < s.inc_cost then begin
+        s.inc <- Assignment.copy !best;
+        s.inc_cost <- !best_cost
+      end;
+      let starts =
+        List.sort
+          (fun a b -> compare a.Checkpoint.start b.Checkpoint.start)
+          s.progress
+      in
+      s.notify
+        (Checkpoint.make ~problem ~base_seed:config.Config.qbp.Burkard.Config.seed
+           ~elapsed:(s.base_elapsed +. Deadline.elapsed deadline) ~incumbent:s.inc
+           ~incumbent_cost:s.inc_cost ~starts)
+  in
+  emit ();
+  let record ?detail name outcome t0 =
     stages :=
       {
         Report.name;
         outcome;
         wall_seconds = Deadline.elapsed deadline -. t0;
         cost_after = !best_cost;
+        detail;
       }
-      :: !stages
+      :: !stages;
+    emit ()
   in
   (* primary: penalty-continuation QBP under deadline + stall guard —
      run as a multi-start domain portfolio when [starts > 1] *)
@@ -323,26 +394,68 @@ let run_ladder (config : Config.t) deadline initial fault problem start =
     else begin
       let gap_solver = Option.map (arm deadline) fault in
       let warm = match initial with Some a -> a | None -> start in
+      let detail = ref None in
       let o =
         if config.Config.starts > 1 then begin
           let should_stop () = Deadline.expired deadline in
+          let on_start_complete =
+            match sup with
+            | None -> None
+            | Some s ->
+              Some
+                (fun (sr : Portfolio.start_report) best_feasible ->
+                  (* an interrupted start is NOT checkpointed as done:
+                     a resume re-runs it on the remaining budget (its
+                     partial champion still feeds the incumbent below) *)
+                  if not sr.Portfolio.interrupted then
+                    s.progress <-
+                      {
+                        Checkpoint.start = sr.Portfolio.start;
+                        seed = sr.Portfolio.seed;
+                        attempts = sr.Portfolio.attempts;
+                        feasible_cost = sr.Portfolio.feasible_cost;
+                        failure = sr.Portfolio.failure;
+                      }
+                      :: s.progress;
+                  (match best_feasible with
+                  | Some (a, _) ->
+                    let c = cost a in
+                    if c < s.inc_cost && feasible a then begin
+                      s.inc <- a;
+                      s.inc_cost <- c
+                    end
+                  | None -> ());
+                  emit ())
+          in
           try
             let r =
               Portfolio.solve ~config:config.Config.qbp
                 ~max_rounds:config.Config.max_rounds
                 ~factor:config.Config.penalty_factor ?jobs:config.Config.jobs
-                ~starts:config.Config.starts ~initial:warm ~should_stop
+                ~starts:config.Config.starts ~retries:config.Config.retries
+                ~skip:skip_starts ~initial:warm ~should_stop
                 ~stall:(config.Config.stall_patience, config.Config.stall_epsilon)
-                ?gap_solver problem
+                ?gap_solver ?on_start_complete problem
             in
+            (let executed = List.length r.Portfolio.reports in
+             let count p = List.length (List.filter p r.Portfolio.reports) in
+             let retried = count (fun s -> s.Portfolio.attempts > 1) in
+             let failed = count (fun s -> s.Portfolio.failure <> None) in
+             if retried > 0 || failed > 0 || executed < config.Config.starts then
+               detail :=
+                 Some
+                   (Printf.sprintf "%d/%d starts ran, %d retried, %d failed" executed
+                      config.Config.starts retried failed));
             (match r.Portfolio.best_feasible with
             | Some (a, _) ->
               qbp_produced := true;
               adopt primary_name a
             | None -> ());
             if Deadline.expired deadline then Report.Timed_out
-            else if List.for_all (fun s -> s.Portfolio.stalled) r.Portfolio.reports then
-              Report.Stalled config.Config.stall_patience
+            else if
+              r.Portfolio.reports <> []
+              && List.for_all (fun s -> s.Portfolio.stalled) r.Portfolio.reports
+            then Report.Stalled config.Config.stall_patience
             else Report.Completed
           with e -> Report.Crashed (Printexc.to_string e)
         end
@@ -370,7 +483,7 @@ let run_ladder (config : Config.t) deadline initial fault problem start =
           with e -> Report.Crashed (Printexc.to_string e)
         end
       in
-      record primary_name o t0;
+      record ?detail:!detail primary_name o t0;
       o
     end
   in
@@ -429,9 +542,10 @@ let run_ladder (config : Config.t) deadline initial fault problem start =
       issues;
     }
   in
-  Ok { assignment = !best; cost = !best_cost; report }
+  (!best, !best_cost, report)
 
-let solve ?(config = Config.default) ?deadline ?initial ?fault problem =
+let solve ?(config = Config.default) ?deadline ?initial ?fault ?on_checkpoint ?resume
+    problem =
   let deadline = match deadline with Some d -> d | None -> Deadline.none () in
   match validate_config config with
   | Some e -> Error e
@@ -441,39 +555,91 @@ let solve ?(config = Config.default) ?deadline ?initial ?fault problem =
     let n = Problem.n problem and m = Problem.m problem in
     if n > 0 && m = 0 then Error (Error.No_partitions { components = n })
     else
-      let initial_err =
-        match initial with
-        | None -> None
-        | Some a ->
-          if Array.length a <> n then
-            Some
-              (Error.Invalid_initial
-                 { expected_length = n; length = Array.length a; issues = [] })
-          else
-            let range =
-              List.filter
-                (function Validate.Out_of_range _ -> true | _ -> false)
-                (Validate.check ~constraints:cons nl topo a)
-            in
-            if range <> [] then
+      (* A checkpoint replaces the caller's warm start with its
+         incumbent (validated below like any [initial]) and excludes
+         the starts it already ran; the elapsed budget it carries is
+         added to every checkpoint written from here on. *)
+      let resume_resolved =
+        match resume with
+        | None -> Ok (initial, (fun _ -> false), 0.0, [])
+        | Some cp -> (
+          match Checkpoint.validate cp problem with
+          | Error e -> Error (Error.Resume_rejected (Checkpoint.error_to_string e))
+          | Ok () ->
+            let done_ = List.map (fun s -> s.Checkpoint.start) cp.Checkpoint.starts in
+            Ok
+              ( Some cp.Checkpoint.incumbent,
+                (fun k -> List.mem k done_),
+                cp.Checkpoint.elapsed,
+                cp.Checkpoint.starts ))
+      in
+      match resume_resolved with
+      | Error e -> Error e
+      | Ok (initial, skip_starts, base_elapsed, resumed_progress) -> (
+        let initial_err =
+          match initial with
+          | None -> None
+          | Some a ->
+            if Array.length a <> n then
               Some
                 (Error.Invalid_initial
-                   { expected_length = n; length = n; issues = range })
-            else None
-      in
-      match initial_err with
-      | Some e -> Error e
-      | None -> (
-        let safety =
-          match initial with
-          | Some a when Validate.check ~constraints:cons nl topo a = [] ->
-            Ok (Assignment.copy a)
-          | _ ->
-            greedy_start ~constraints:cons ~attempts:config.Config.start_attempts
-              ~seed:config.Config.qbp.Burkard.Config.seed nl topo
+                   { expected_length = n; length = Array.length a; issues = [] })
+            else
+              let range =
+                List.filter
+                  (function Validate.Out_of_range _ -> true | _ -> false)
+                  (Validate.check ~constraints:cons nl topo a)
+              in
+              if range <> [] then
+                Some
+                  (Error.Invalid_initial
+                     { expected_length = n; length = n; issues = range })
+              else None
         in
-        match safety with
-        | Error e -> Error e
-        | Ok start -> (
-          try run_ladder config deadline initial fault problem start
-          with e -> Error (Error.Internal (Printexc.to_string e)))))
+        match initial_err with
+        | Some e -> Error e
+        | None -> (
+          let safety =
+            match initial with
+            | Some a when Validate.check ~constraints:cons nl topo a = [] ->
+              Ok (Assignment.copy a)
+            | _ ->
+              greedy_start ~constraints:cons ~attempts:config.Config.start_attempts
+                ~seed:config.Config.qbp.Burkard.Config.seed nl topo
+          in
+          match safety with
+          | Error e -> Error e
+          | Ok start -> (
+            let sup =
+              match on_checkpoint with
+              | None -> None
+              | Some notify ->
+                Some
+                  {
+                    inc = Assignment.copy start;
+                    inc_cost = Problem.objective problem start;
+                    progress = resumed_progress;
+                    base_elapsed;
+                    notify;
+                  }
+            in
+            try
+              let best, best_cost, report =
+                run_ladder config deadline initial fault problem start ~sup
+                  ~skip_starts
+              in
+              (* Every result is audited before it is reported: the
+                 certifier recomputes the objective and all three
+                 constraint families from the raw instance, so a drift
+                 bug in the incremental kernels surfaces as a
+                 structured error, never as a silently wrong answer. *)
+              let claimed =
+                match fault with
+                | Some Fault.Corrupt_incumbent -> (best_cost *. 1.01) +. 1.0
+                | _ -> best_cost
+              in
+              let certificate = Certify.check ~claimed problem best in
+              if Certify.ok certificate then
+                Ok { assignment = best; cost = claimed; report; certificate }
+              else Error (Error.Certification_failed { certificate })
+            with e -> Error (Error.Internal (Printexc.to_string e))))))

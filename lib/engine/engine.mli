@@ -37,6 +37,7 @@ module Assignment := Qbpart_partition.Assignment
 module Validate := Qbpart_partition.Validate
 module Problem := Qbpart_core.Problem
 module Burkard := Qbpart_core.Burkard
+module Certify := Qbpart_core.Certify
 module Gfm := Qbpart_baselines.Gfm
 module Gkl := Qbpart_baselines.Gkl
 
@@ -65,6 +66,14 @@ module Error : sig
         (** no feasible solution could be constructed; [issues]
             diagnoses the best attempt (from
             {!Qbpart_partition.Validate.check}) *)
+    | Certification_failed of { certificate : Certify.t }
+        (** the independent audit ({!Qbpart_core.Certify.check})
+            rejected the would-be result — a corrupt optimum is
+            reported as this structured error, never returned *)
+    | Resume_rejected of string
+        (** the [resume] checkpoint cannot be used against this
+            instance (hash mismatch, corrupt file semantics); payload
+            is the rendered {!Checkpoint.error} *)
     | Internal of string
         (** an exception escaped the engine's own bookkeeping before
             any feasible solution existed — never raised to the
@@ -87,6 +96,10 @@ module Report : sig
     outcome : stage_outcome;
     wall_seconds : float; (** wall time spent in this stage *)
     cost_after : float;   (** best feasible equation-(1) cost after the stage *)
+    detail : string option;
+        (** supervision accounting for the portfolio stage (starts
+            executed / retried / failed) when any start deviated from
+            the happy path; [None] otherwise *)
   }
 
   type t = {
@@ -135,6 +148,15 @@ module Fault : sig
         (** cancel the deadline right after the STEP-6 GAP of
             iteration k returns, so the cooperative stop fires at the
             mid-iteration checkpoint *)
+    | Flaky_start of int
+        (** the first k GAP calls of the stage raise {!Injected}: with
+            [jobs = 1] the leading attempt(s) die immediately and the
+            supervised portfolio must retry them — the run still ends
+            with a certified feasible answer *)
+    | Corrupt_incumbent
+        (** let the solve run clean, then corrupt the {e reported}
+            cost before certification — simulates a delta-kernel drift
+            bug and must surface as {!Error.t.Certification_failed} *)
 end
 
 module Config : sig
@@ -157,18 +179,25 @@ module Config : sig
     jobs : int option;
         (** domain-pool cap for the portfolio; [None] means
             {!Portfolio.default_jobs} *)
+    retries : int;
+        (** extra supervised attempts per portfolio start after a
+            failure (≥ 0); seeds are re-derived deterministically via
+            {!Portfolio.retry_seed} *)
   }
 
   val default : t
   (** Solver defaults; [stall_patience = 25], [stall_epsilon = 1e-6],
       [start_attempts = 200], [starts = 1] (plain single-start QBP),
-      [jobs = None]. *)
+      [jobs = None], [retries = 1]. *)
 end
 
 type outcome = {
   assignment : Assignment.t;
   cost : float;        (** equation-(1) objective of [assignment] *)
   report : Report.t;
+  certificate : Certify.t;
+      (** the passed independent audit of [assignment]/[cost] — every
+          [Ok] outcome carries one ({!Qbpart_core.Certify.ok} holds) *)
 }
 
 val solve :
@@ -176,13 +205,28 @@ val solve :
   ?deadline:Deadline.t ->
   ?initial:Assignment.t ->
   ?fault:Fault.t ->
+  ?on_checkpoint:(Checkpoint.t -> unit) ->
+  ?resume:Checkpoint.t ->
   Problem.t ->
   (outcome, Error.t) result
 (** Run the ladder.  [deadline] defaults to unlimited; it is shared by
     every stage, so fallbacks only spend what the primary left.
     [initial] seeds QBP (any in-range assignment is accepted; if it is
     also feasible it doubles as the safety net).  [fault] is for
-    tests.  Never raises. *)
+    tests.  Never raises.
+
+    Crash safety: [on_checkpoint] receives a fresh {!Checkpoint.t}
+    after the safety net is secured, as each portfolio start completes
+    (possibly from a worker domain, serialized by the portfolio's
+    lock), and at every stage boundary — the caller decides whether
+    and where to persist it ({!Checkpoint.save}).  [resume] validates
+    the checkpoint against the instance (structural hash), replaces
+    [initial] with its incumbent, skips the starts it already ran, and
+    accounts its consumed budget into every checkpoint written by this
+    run; a mismatched or semantically unusable checkpoint is
+    [Error Resume_rejected].  Every [Ok] result has passed the
+    independent {!Qbpart_core.Certify.check} audit; a failed audit is
+    demoted to [Error Certification_failed]. *)
 
 val greedy_start :
   ?constraints:Qbpart_timing.Constraints.t ->

@@ -7,12 +7,25 @@ module Adaptive = Qbpart_core.Adaptive
 type start_report = {
   start : int;
   seed : int;
+  attempts : int;
   best_cost : float;
   feasible_cost : float option;
   wall_seconds : float;
   stalled : bool;
   interrupted : bool;
+  failure : string option;
 }
+
+exception All_starts_failed of (int * string) list
+
+let () =
+  Printexc.register_printer (function
+    | All_starts_failed failures ->
+      Some
+        (Printf.sprintf "Portfolio.All_starts_failed [%s]"
+           (String.concat "; "
+              (List.map (fun (k, msg) -> Printf.sprintf "start %d: %s" k msg) failures)))
+    | _ -> None)
 
 type result = {
   best_feasible : (Assignment.t * float) option;
@@ -34,10 +47,19 @@ let default_jobs () = max 1 (Domain.recommended_domain_count ())
    deterministic whatever the domain count. *)
 let start_seed ~base k = base + (k * 0x9E3779B9)
 
+(* Attempt [attempt] of start [k]: attempt 0 is the start's own seed
+   (an unsupervised run is reproduced exactly), retries jump by a
+   second large odd stride so a crashing trajectory is not replayed
+   verbatim.  Pure in (base, start, attempt): a resumed run re-derives
+   the same retry seeds. *)
+let retry_seed ~base ~start ~attempt = start_seed ~base start + (attempt * 0x85EBCA6B)
+
 let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?jobs
-    ?(starts = 1) ?initial ?(should_stop = fun () -> false) ?(stall = (0, 0.0))
-    ?gap_solver ?on_improvement problem =
+    ?(starts = 1) ?(retries = 0) ?(skip = fun _ -> false) ?initial
+    ?(should_stop = fun () -> false) ?(stall = (0, 0.0)) ?gap_solver ?on_improvement
+    ?on_start_complete problem =
   if starts < 1 then invalid_arg "Portfolio.solve: starts must be >= 1";
+  if retries < 0 then invalid_arg "Portfolio.solve: retries must be >= 0";
   let jobs =
     match jobs with
     | None -> default_jobs ()
@@ -75,9 +97,9 @@ let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?
           end)
   in
   let patience, epsilon = stall in
-  let run_start k =
+  let run_start k ~attempt =
     let t0 = Unix.gettimeofday () in
-    let seed = start_seed ~base:config.Burkard.Config.seed k in
+    let seed = retry_seed ~base:config.Burkard.Config.seed ~start:k ~attempt in
     let config = { config with Burkard.Config.seed } in
     (* per-start stall guard (same contract as the engine's) *)
     let local_best = ref infinity and since = ref 0 and stalled = ref false in
@@ -105,27 +127,71 @@ let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?
       {
         start = k;
         seed;
+        attempts = attempt + 1;
         best_cost = r.Adaptive.last.Burkard.best_cost;
         feasible_cost = Option.map snd r.Adaptive.best_feasible;
         wall_seconds = Unix.gettimeofday () -. t0;
         stalled = !stalled;
-        interrupted = r.Adaptive.last.Burkard.interrupted;
+        (* the Burkard flag conflates the external cancel with the
+           local stall guard; a stalled start reached its own verdict
+           and must not be reported as cut short (a checkpoint resume
+           would pointlessly re-run it) *)
+        interrupted = r.Adaptive.last.Burkard.interrupted && (should_stop () || not !stalled);
+        failure = None;
       }
     in
     (report, r)
   in
+  let completed report best_feasible =
+    match on_start_complete with
+    | None -> ()
+    | Some f ->
+      Mutex.lock lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> f report best_feasible)
+  in
+  (* Supervision: an attempt that raises is captured, never propagated
+     out of its worker domain.  A start is retried with a re-derived
+     seed until it succeeds, [retries] extra attempts are exhausted, or
+     the caller cancels; only the final attempt's verdict is kept (the
+     attempt count and last failure message go in the report). *)
+  let run_supervised k =
+    let t0 = Unix.gettimeofday () in
+    let rec go attempt last_failure =
+      if attempt > retries || (attempt > 0 && should_stop ()) then
+        let attempts = attempt and failure = last_failure in
+        ( {
+            start = k;
+            seed = retry_seed ~base:config.Burkard.Config.seed ~start:k ~attempt:(attempt - 1);
+            attempts;
+            best_cost = infinity;
+            feasible_cost = None;
+            wall_seconds = Unix.gettimeofday () -. t0;
+            stalled = false;
+            interrupted = should_stop ();
+            failure;
+          },
+          None )
+      else
+        match run_start k ~attempt with
+        | report, r -> ({ report with wall_seconds = Unix.gettimeofday () -. t0 }, Some r)
+        | exception e -> go (attempt + 1) (Some (Printexc.to_string e))
+    in
+    go 0 None
+  in
   let next = Atomic.make 0 in
   let results = Array.make starts None in
-  let errors = Array.make starts None in
   let worker () =
     let continue = ref true in
     while !continue do
       let k = Atomic.fetch_and_add next 1 in
       if k >= starts then continue := false
-      else
-        match run_start k with
-        | r -> results.(k) <- Some r
-        | exception e -> errors.(k) <- Some (e, Printexc.get_raw_backtrace ())
+      else if not (skip k) then begin
+        let report, r = run_supervised k in
+        results.(k) <- Some (report, r);
+        completed report
+          (Option.bind r (fun r ->
+               Option.map (fun (a, c) -> (Assignment.copy a, c)) r.Adaptive.best_feasible))
+      end
     done
   in
   (* work-stealing pool: the calling domain is worker 0, so jobs = 1
@@ -133,12 +199,21 @@ let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?
   let helpers = Array.init (min jobs starts - 1) (fun _ -> Domain.spawn worker) in
   worker ();
   Array.iter Domain.join helpers;
-  (* a failed start fails the whole portfolio, lowest index first —
-     deterministic, and with starts = 1 identical to a plain solve (the
-     engine's ladder catches it and degrades as before) *)
-  Array.iter
-    (function Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
-    errors;
+  (* the run as a whole fails only when every executed start exhausted
+     its attempts — one surviving start is a valid (degraded) portfolio *)
+  let failures = ref [] and survivors = ref 0 and executed = ref 0 in
+  for k = starts - 1 downto 0 do
+    match results.(k) with
+    | None -> ()
+    | Some (report, r) ->
+      incr executed;
+      (match (r, report.failure) with
+      | Some _, _ -> incr survivors
+      | None, Some msg -> failures := (k, msg) :: !failures
+      | None, None -> incr survivors (* cancelled before its first attempt *))
+  done;
+  if !executed > 0 && !survivors = 0 && !failures <> [] then
+    raise (All_starts_failed !failures);
   (* Deterministic seed-indexed reduction (DESIGN.md D7): scan starts
      in ascending index order and replace the champion only on strict
      improvement, so the winner is a function of the seeds alone —
@@ -153,23 +228,26 @@ let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?
   for k = starts - 1 downto 0 do
     match results.(k) with
     | None -> ()
-    | Some (report, r) ->
+    | Some (report, r) -> (
       reports := report :: !reports;
       if report.interrupted then interrupted := true;
-      (* downto scan, so "replace on <=" implements "earliest strict
-         winner" exactly like an ascending scan with < *)
-      (match r.Adaptive.best_feasible with
-      | Some (_, c) when (match !best_feasible with Some (_, c') -> c <= c' | None -> true)
-        ->
-        best_feasible := r.Adaptive.best_feasible;
-        winner_feasible := Some report.start
-      | _ -> ());
-      let c = r.Adaptive.last.Burkard.best_cost in
-      if c <= !best_cost then begin
-        best_cost := c;
-        best := Some r.Adaptive.last.Burkard.best;
-        winner_penalized := Some report.start
-      end
+      match r with
+      | None -> ()
+      | Some r ->
+        (* downto scan, so "replace on <=" implements "earliest strict
+           winner" exactly like an ascending scan with < *)
+        (match r.Adaptive.best_feasible with
+        | Some (_, c)
+          when (match !best_feasible with Some (_, c') -> c <= c' | None -> true) ->
+          best_feasible := r.Adaptive.best_feasible;
+          winner_feasible := Some report.start
+        | _ -> ());
+        let c = r.Adaptive.last.Burkard.best_cost in
+        if c <= !best_cost then begin
+          best_cost := c;
+          best := Some r.Adaptive.last.Burkard.best;
+          winner_penalized := Some report.start
+        end)
   done;
   let winner =
     match !winner_feasible with Some _ as w -> w | None -> !winner_penalized

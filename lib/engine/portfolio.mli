@@ -28,13 +28,23 @@ module Burkard := Qbpart_core.Burkard
 
 type start_report = {
   start : int;               (** start index, [0 .. starts-1] *)
-  seed : int;                (** the derived RNG seed this start ran with *)
+  seed : int;                (** RNG seed of the last attempt executed *)
+  attempts : int;            (** attempts consumed (1 unless retried) *)
   best_cost : float;         (** best penalized cost this start reached *)
   feasible_cost : float option;  (** best feasible equation-(1) cost, if any *)
   wall_seconds : float;      (** wall time of this start (overlaps others) *)
   stalled : bool;            (** the per-start stall guard fired *)
   interrupted : bool;        (** [should_stop] fired during this start *)
+  failure : string option;
+      (** final-attempt failure after exhausting retries; [None] means
+          the start produced a result *)
 }
+
+exception All_starts_failed of (int * string) list
+(** Every executed start exhausted its attempts; carries the final
+    [(start, failure)] pairs in ascending start order.  Raised by
+    {!solve} only when {e no} start survives — a supervised portfolio
+    degrades through individual failures rather than aborting. *)
 
 type result = {
   best_feasible : (Assignment.t * float) option;
@@ -60,17 +70,26 @@ val start_seed : base:int -> int -> int
     via a large odd stride.  Exposed so tests and benches can predict
     any start's trajectory. *)
 
+val retry_seed : base:int -> start:int -> attempt:int -> int
+(** The seed of attempt [attempt] of start [start]: [start_seed] for
+    attempt 0, then a second large odd stride per retry.  Pure in its
+    arguments, so supervision keeps the portfolio deterministic and a
+    resumed run re-derives identical retry seeds. *)
+
 val solve :
   ?config:Burkard.Config.t ->
   ?max_rounds:int ->
   ?factor:float ->
   ?jobs:int ->
   ?starts:int ->
+  ?retries:int ->
+  ?skip:(int -> bool) ->
   ?initial:Assignment.t ->
   ?should_stop:(unit -> bool) ->
   ?stall:int * float ->
   ?gap_solver:Burkard.gap_solver ->
   ?on_improvement:(start:int -> cost:float -> feasible:bool -> unit) ->
+  ?on_start_complete:(start_report -> (Assignment.t * float) option -> unit) ->
   Problem.t ->
   result
 (** Run the portfolio.  [config], [max_rounds], [factor] and
@@ -86,10 +105,21 @@ val solve :
     lock, possibly from another domain, whenever a start improves the
     global best-so-far.
 
-    A start that raises fails the whole solve: the lowest-index
-    exception is re-raised after all domains join.  [gap_solver] and
-    [on_improvement] closures run concurrently on several domains when
-    [jobs > 1] — stateful fault injectors are only safe with
-    [starts = 1].
+    Supervision: an attempt that raises never aborts the run — it is
+    retried up to [retries] more times (default 0) with
+    {!retry_seed}-derived seeds, and a start that exhausts its
+    attempts is recorded in its report ([failure], [attempts]) while
+    the surviving starts reduce as usual.  {!All_starts_failed} is
+    raised only when every executed start failed.  [skip] (for
+    checkpoint resume) excludes start indices entirely: they run
+    nothing and produce no report.  [on_start_complete] is called
+    under the incumbent lock as each start finishes — with the start's
+    report and a copy of its feasible champion, if any — so a caller
+    can checkpoint progress without waiting for the join.
 
-    @raise Invalid_argument if [starts < 1] or [jobs < 1]. *)
+    [gap_solver], [on_improvement] and [on_start_complete] closures
+    run concurrently on several domains when [jobs > 1] — stateful
+    fault injectors are only safe with [jobs = 1].
+
+    @raise Invalid_argument if [starts < 1], [jobs < 1] or
+    [retries < 0]. *)

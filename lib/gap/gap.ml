@@ -4,6 +4,7 @@ type t = {
   cost : float array array;
   weight : float array array;
   capacity : float array;
+  owner : int option;
 }
 
 let check_matrix what m n mat =
@@ -45,6 +46,7 @@ let make ~cost ~weight ~capacity =
     cost = Array.map Array.copy cost;
     weight = Array.map Array.copy weight;
     capacity = Array.copy capacity;
+    owner = None;
   }
 
 let make_uniform ~cost ~sizes ~capacity =
@@ -63,7 +65,19 @@ let borrow ~cost ~weight ~capacity =
   if Array.length cost <> m || Array.length weight <> m then
     invalid_arg "Gap.borrow: cost/weight rows must match capacity length";
   let n = if Array.length cost = 0 then 0 else Array.length cost.(0) in
-  { m; n; cost; weight; capacity }
+  { m; n; cost; weight; capacity; owner = Some (Domain.self () :> int) }
+
+let verify_domain t =
+  match t.owner with
+  | None -> ()
+  | Some d ->
+    let self = (Domain.self () :> int) in
+    if d <> self then
+      invalid_arg
+        (Printf.sprintf
+           "Gap: instance borrowed on domain %d solved from domain %d — borrowed \
+            buffers must never cross domains"
+           d self)
 
 let cost_of t a =
   let total = ref 0.0 in

@@ -18,6 +18,9 @@ type t = private {
   cost : float array array;     (** [m × n]: {m c_{ij}} *)
   weight : float array array;   (** [m × n]: {m w_{ij}}, all > 0 *)
   capacity : float array;       (** length [m] *)
+  owner : int option;
+      (** the {!Domain} that [borrow]ed the aliased buffers; [None]
+          for [make]'s owned copies *)
 }
 
 val make :
@@ -43,8 +46,17 @@ val borrow :
     avoids the per-call copy and validation of two {m m×n} matrices.
     The caller owns the invariants ([make]'s positivity/NaN checks are
     skipped); rows may alias each other (e.g. all weight rows sharing
-    one sizes array).  @raise Invalid_argument if there are no
+    one sizes array).  The instance remembers the calling domain: the
+    aliased buffers are single-domain scratch space (each portfolio
+    start builds its own), and {!verify_domain} enforces that at every
+    MTHG entry point.  @raise Invalid_argument if there are no
     knapsacks or the row counts disagree with [capacity]. *)
+
+val verify_domain : t -> unit
+(** No-op for [make]-built instances.  For [borrow]ed instances,
+    @raise Invalid_argument when called from a domain other than the
+    borrower — a borrowed instance crossing domains means two solvers
+    could scribble on the same cost/weight buffers concurrently. *)
 
 val cost_of : t -> int array -> float
 (** Objective of an assignment (item [j] in knapsack [a.(j)]). *)

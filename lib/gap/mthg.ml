@@ -94,6 +94,7 @@ let apply_improver improve g a =
   | `Shift_and_swap -> Improve.shift_and_swap g a
 
 let solve ?(criteria = all_criteria) ?(improve = `Shift_and_swap) g =
+  Gap.verify_domain g;
   let candidates = List.filter_map (fun c -> construct ~criterion:c g) criteria in
   let candidates = List.map (apply_improver improve g) candidates in
   match candidates with
@@ -145,6 +146,7 @@ let relaxed_fill (g : Gap.t) =
   assignment
 
 let solve_relaxed ?criteria ?(improve = `Shift_and_swap) g =
+  Gap.verify_domain g;
   match solve ?criteria ~improve g with
   | Some a -> a
   | None ->

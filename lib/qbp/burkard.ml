@@ -121,11 +121,15 @@ let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
     end;
     let feas = viol = 0 && Problem.capacity_feasible problem a in
     if feas then begin
-      (* violation-free ⇒ penalized cost = plain objective *)
+      (* violation-free ⇒ penalized cost = plain objective.  The
+         selection compares the (possibly delta-accumulated) [c], but
+         the stored champion cost is re-evaluated from scratch:
+         adoption is rare, and the reported objective must match an
+         independent recomputation bit-for-bit (Certify's audit). *)
       match !best_feasible_cost with
       | Some obj' when obj' <= c -> ()
       | _ ->
-        best_feasible_cost := Some c;
+        best_feasible_cost := Some (Problem.objective problem a);
         Array.blit a 0 best_feasible_buf 0 n
     end;
     (c, feas)

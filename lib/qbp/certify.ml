@@ -1,0 +1,146 @@
+module Netlist = Qbpart_netlist.Netlist
+module Topology = Qbpart_topology.Topology
+module Constraints = Qbpart_timing.Constraints
+module Check = Qbpart_timing.Check
+module Validate = Qbpart_partition.Validate
+
+type t = {
+  objective : float;
+  claimed : float option;
+  drift : float;
+  in_range : bool;
+  capacity_ok : bool;
+  timing_ok : bool;
+  theorem2_ok : bool;
+  issues : Validate.issue list;
+  loads : float array;
+  worst_slack : float;
+}
+
+let tolerance = 1e-6
+
+let check ?claimed problem a =
+  let nl = problem.Problem.netlist and topo = problem.Problem.topology in
+  let cons = problem.Problem.constraints in
+  let n = Problem.n problem and m = Problem.m problem in
+  (* C3 first: everything below indexes partitions by a.(j). *)
+  let range_issues = ref [] in
+  if Array.length a <> n then
+    range_issues := [ Validate.Out_of_range { j = -1; partition = Array.length a } ]
+  else
+    for j = n - 1 downto 0 do
+      if a.(j) < 0 || a.(j) >= m then
+        range_issues := Validate.Out_of_range { j; partition = a.(j) } :: !range_issues
+    done;
+  if !range_issues <> [] then
+    {
+      objective = Float.nan;
+      claimed;
+      drift = 0.0;
+      in_range = false;
+      capacity_ok = false;
+      timing_ok = false;
+      theorem2_ok = false;
+      issues = !range_issues;
+      loads = [||];
+      worst_slack = Float.neg_infinity;
+    }
+  else begin
+    (* C1 from raw sizes and capacities. *)
+    let loads = Array.make m 0.0 in
+    Array.iteri (fun j i -> loads.(i) <- loads.(i) +. Netlist.size nl j) a;
+    let capacity_issues = ref [] in
+    for i = m - 1 downto 0 do
+      let cap = Topology.capacity topo i in
+      if loads.(i) > cap then
+        capacity_issues :=
+          Validate.Capacity { partition = i; load = loads.(i); capacity = cap }
+          :: !capacity_issues
+    done;
+    (* C2 by walking every stored directed budget. *)
+    let timing_issues = ref [] and worst_slack = ref Float.infinity in
+    Constraints.iter cons (fun j1 j2 budget ->
+        let delay = Topology.d topo a.(j1) a.(j2) in
+        if delay -. budget < !worst_slack then worst_slack := delay -. budget;
+        if delay > budget then
+          timing_issues := Validate.Timing { Check.j1; j2; delay; budget } :: !timing_issues);
+    let worst_slack =
+      if !worst_slack = Float.infinity then Float.infinity else -. !worst_slack
+    in
+    let timing_ok = !timing_issues = [] in
+    (* Theorem 2's side condition is exactly membership in F_R — the
+       independent implementation in Embed agrees with the walk above
+       by construction, and we record its verdict rather than assume
+       the equivalence. *)
+    let theorem2_ok = Embed.solution_in_feasible_set problem a in
+    let objective = Problem.objective problem a in
+    let drift =
+      match claimed with None -> 0.0 | Some c -> Float.abs (objective -. c)
+    in
+    {
+      objective;
+      claimed;
+      drift;
+      in_range = true;
+      capacity_ok = !capacity_issues = [];
+      timing_ok;
+      theorem2_ok;
+      issues = List.rev_append (List.rev !capacity_issues) (List.rev !timing_issues);
+      loads;
+      worst_slack;
+    }
+  end
+
+let drift_ok c = c.drift <= tolerance *. Float.max 1.0 (Float.abs c.objective)
+
+let ok c = c.in_range && c.capacity_ok && c.timing_ok && c.theorem2_ok && drift_ok c
+
+let pp ppf c =
+  if ok c then
+    Format.fprintf ppf "certificate: ok objective=%.17g worst_slack=%g" c.objective
+      c.worst_slack
+  else begin
+    Format.fprintf ppf "certificate: FAILED";
+    if not c.in_range then Format.fprintf ppf " out-of-range";
+    if c.in_range && not c.capacity_ok then Format.fprintf ppf " C1";
+    if c.in_range && not c.timing_ok then Format.fprintf ppf " C2";
+    if c.in_range && not c.theorem2_ok then Format.fprintf ppf " theorem2";
+    if c.in_range && not (drift_ok c) then
+      Format.fprintf ppf " drift=%g (claimed %g, recomputed %.17g)" c.drift
+        (Option.value ~default:Float.nan c.claimed)
+        c.objective;
+    match c.issues with
+    | [] -> ()
+    | issue :: _ ->
+      Format.fprintf ppf " [%d issue%s, first: %a]" (List.length c.issues)
+        (if List.length c.issues = 1 then "" else "s")
+        Validate.pp_issue issue
+  end
+
+let json_float x =
+  if Float.is_nan x then "null"
+  else if x = Float.infinity then "\"inf\""
+  else if x = Float.neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" x
+
+let to_json_string c =
+  let b = Buffer.create 256 in
+  let field ?(last = false) k v =
+    Buffer.add_string b (Printf.sprintf "\"%s\": %s%s" k v (if last then "" else ", "))
+  in
+  Buffer.add_string b "{";
+  field "schema" "\"qbpart-certificate/1\"";
+  field "ok" (string_of_bool (ok c));
+  field "objective" (json_float c.objective);
+  field "claimed" (match c.claimed with None -> "null" | Some x -> json_float x);
+  field "drift" (json_float c.drift);
+  field "in_range" (string_of_bool c.in_range);
+  field "capacity_ok" (string_of_bool c.capacity_ok);
+  field "timing_ok" (string_of_bool c.timing_ok);
+  field "theorem2_ok" (string_of_bool c.theorem2_ok);
+  field "issues" (string_of_int (List.length c.issues));
+  field "worst_slack" (json_float c.worst_slack);
+  field ~last:true "loads"
+    (Printf.sprintf "[%s]" (String.concat ", " (Array.to_list (Array.map json_float c.loads))));
+  Buffer.add_string b "}";
+  Buffer.contents b

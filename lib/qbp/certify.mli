@@ -1,0 +1,82 @@
+(** Independent solution certification: the last line of defence
+    against drift bugs.
+
+    The solver's hot paths price every move incrementally
+    ({!Qmatrix.delta}, {!Problem.delta_objective}, the tracked repair
+    passes) and report costs accumulated over thousands of such
+    deltas.  The delta-evaluation invariant is property-tested, but a
+    production run must not {e trust} it: Theorem 2/4 of the paper
+    only transfers optimality to the original problem when the
+    reported assignment is verifiably violation-free, and related QAP
+    linearization work shows how easily a "solution" passes a weak
+    check while violating the exact formulation.
+
+    [check] therefore recomputes everything from scratch, touching
+    none of the incremental machinery:
+
+    - the equation-(1) objective via a full evaluation (the same
+      summation as {!Problem.objective}, so an honestly reported cost
+      matches bit-for-bit);
+    - C3 (every component placed inside {m [0, M)});
+    - C1 from raw loads against raw capacities;
+    - C2 by walking every stored directed budget against the
+      topology's delay matrix;
+    - the Theorem-2 side condition (the solution lies in {m 𝓕_ℛ}, so
+      no embedded penalty contaminates its {m Q̂}-value and optimality
+      transfers to the un-embedded problem).
+
+    The certificate is a plain value: callers alert on it, the engine
+    refuses to report an uncertified optimum, and {!to_json_string}
+    emits it machine-readably for logs and CI cross-checks.
+
+    Trust boundary (DESIGN.md D8): the certifier trusts the problem
+    instance (netlist, topology, constraints) and the full evaluators
+    it is built from — nothing produced by a solver.  It shares no
+    mutable state with any solver and never reads solver-accumulated
+    costs except as the [claimed] value under audit. *)
+
+module Assignment := Qbpart_partition.Assignment
+
+type t = {
+  objective : float;
+      (** equation-(1) objective recomputed from scratch; [nan] when
+          the assignment is out of range *)
+  claimed : float option;  (** the solver-reported cost under audit *)
+  drift : float;
+      (** [|objective - claimed|]; [0.] when no cost was claimed *)
+  in_range : bool;         (** C3: every component inside {m [0, M)} *)
+  capacity_ok : bool;      (** C1 *)
+  timing_ok : bool;        (** C2 *)
+  theorem2_ok : bool;
+      (** the Theorem-2 side condition: the solution is in {m 𝓕_ℛ},
+          i.e. free of embedded penalties, so its {m Q̂}-value equals
+          its {m Q}-value and optimality transfers *)
+  issues : Qbpart_partition.Validate.issue list;
+      (** diagnosis of every violated constraint, rebuilt here from
+          the raw instance (not by the shared validator) *)
+  loads : float array;
+      (** per-partition load (length {m M}; empty when out of range) *)
+  worst_slack : float;
+      (** {m min (D_C - D)} over stored budgets; {m +∞} without any *)
+}
+
+val tolerance : float
+(** Maximum relative drift between a claimed cost and the scratch
+    recompute before the audit fails ([1e-6]).  An honest report goes
+    through a full evaluation at adoption time and exhibits zero
+    drift; the tolerance only forgives formatting round-trips. *)
+
+val check : ?claimed:float -> Problem.t -> Assignment.t -> t
+(** Audit [a] against the instance.  One full evaluation — O(N + wires
+    + constraints) — per call; no solver state is consulted. *)
+
+val ok : t -> bool
+(** The audit verdict: in range, C1, C2, Theorem 2, and (when a cost
+    was claimed) drift within {!tolerance}. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: ["certificate: ok objective=…"] or a failure diagnosis. *)
+
+val to_json_string : t -> string
+(** The machine-readable certificate (stable keys, no external JSON
+    dependency). *)

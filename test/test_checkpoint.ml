@@ -1,0 +1,244 @@
+(* Checkpoint durability tests: lossless encode/decode round-trips on
+   arbitrary states (qcheck), rejection of truncated/corrupt files and
+   instance-hash mismatches, and the atomic save/load path. *)
+
+module Netlist = Qbpart_netlist.Netlist
+module Rng = Qbpart_netlist.Rng
+module Generator = Qbpart_netlist.Generator
+module Grid = Qbpart_topology.Grid
+module Constraints = Qbpart_timing.Constraints
+module Problem = Qbpart_core.Problem
+module Checkpoint = Qbpart_engine.Checkpoint
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let random_problem seed =
+  let rng = Rng.create seed in
+  let n = 6 + Rng.int rng 10 in
+  let nl = Generator.generate rng (Generator.default_params ~n ~wires:(2 * n)) in
+  let capacity = Netlist.total_size nl /. 4.0 *. 1.5 in
+  let topo = Grid.make ~rows:2 ~cols:2 ~capacity () in
+  let cons = Constraints.create ~n in
+  for _ = 1 to n / 2 do
+    let j1 = Rng.int rng n and j2 = Rng.int rng n in
+    if j1 <> j2 then Constraints.add cons j1 j2 (float_of_int (1 + Rng.int rng 2))
+  done;
+  Problem.make ~constraints:cons nl topo
+
+(* An arbitrary checkpoint value, with awkward floats (negative zero,
+   tiny/huge magnitudes, non-dyadic decimals) and awkward failure
+   strings (newlines, percent signs) to stress the codec. *)
+let gen_checkpoint =
+  QCheck.Gen.(
+    let float_gen =
+      oneof
+        [
+          float;
+          oneofl [ 0.0; -0.0; 1e-300; 1e300; 0.1; -0.1; 1.0 /. 3.0; 128.0 ];
+        ]
+    in
+    let progress =
+      map
+        (fun (start, seed, attempts, (fc, fail_msg)) ->
+          {
+            Checkpoint.start;
+            seed;
+            attempts = 1 + abs attempts;
+            feasible_cost = fc;
+            failure = fail_msg;
+          })
+        (quad small_nat int small_nat
+           (pair (opt float_gen)
+              (opt (oneofl [ "boom"; "line1\nline2"; "100% bad"; "spaces  inside" ]))))
+    in
+    map
+      (fun (hash, seed, elapsed, (cost, incumbent, starts)) ->
+        {
+          Checkpoint.instance_hash = Int64.of_int hash;
+          base_seed = seed;
+          elapsed = Float.abs elapsed;
+          incumbent = Array.of_list incumbent;
+          incumbent_cost = cost;
+          starts;
+        })
+      (quad int int float_gen
+         (triple float_gen (list_size (int_bound 40) small_nat) (list_size (int_bound 5) progress))))
+
+let arbitrary_checkpoint = QCheck.make gen_checkpoint
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round-trips exactly" ~count:200
+    arbitrary_checkpoint (fun cp ->
+      match Checkpoint.of_string (Checkpoint.to_string cp) with
+      | Error _ -> false
+      | Ok cp' ->
+        (* bit-exact floats: compare via Int64 bits so -0.0 and NaN-free
+           equality are both handled *)
+        let feq a b = Int64.bits_of_float a = Int64.bits_of_float b in
+        cp'.Checkpoint.instance_hash = cp.Checkpoint.instance_hash
+        && cp'.Checkpoint.base_seed = cp.Checkpoint.base_seed
+        && feq cp'.Checkpoint.elapsed cp.Checkpoint.elapsed
+        && feq cp'.Checkpoint.incumbent_cost cp.Checkpoint.incumbent_cost
+        && cp'.Checkpoint.incumbent = cp.Checkpoint.incumbent
+        && List.length cp'.Checkpoint.starts = List.length cp.Checkpoint.starts
+        && List.for_all2
+             (fun (a : Checkpoint.start_progress) (b : Checkpoint.start_progress) ->
+               a.Checkpoint.start = b.Checkpoint.start
+               && a.Checkpoint.seed = b.Checkpoint.seed
+               && a.Checkpoint.attempts = b.Checkpoint.attempts
+               && (match (a.Checkpoint.feasible_cost, b.Checkpoint.feasible_cost) with
+                  | None, None -> true
+                  | Some x, Some y -> feq x y
+                  | _ -> false)
+               && a.Checkpoint.failure = b.Checkpoint.failure)
+             cp.Checkpoint.starts cp'.Checkpoint.starts)
+
+let prop_truncation_rejected =
+  QCheck.Test.make ~name:"every truncation is rejected, never misread" ~count:60
+    arbitrary_checkpoint (fun cp ->
+      let full = Checkpoint.to_string cp in
+      (* chop whole lines off the end: each prefix must fail to parse
+         (the [end] trailer guarantees self-delimitation) *)
+      let lines = String.split_on_char '\n' full in
+      let n = List.length lines in
+      let ok = ref true in
+      for keep = 0 to n - 2 do
+        let prefix =
+          String.concat "\n" (List.filteri (fun i _ -> i < keep) lines)
+        in
+        match Checkpoint.of_string prefix with
+        | Ok _ -> ok := false
+        | Error (Checkpoint.Corrupt _) -> ()
+        | Error _ -> ok := false
+      done;
+      !ok)
+
+let test_corrupt_rejection () =
+  let reject what text expect =
+    match Checkpoint.of_string text with
+    | Ok _ -> fail (what ^ ": accepted")
+    | Error e -> (
+      match (e, expect) with
+      | Checkpoint.Corrupt _, `Corrupt | Checkpoint.Unsupported_version _, `Version -> ()
+      | _ -> fail (what ^ ": wrong error " ^ Checkpoint.error_to_string e))
+  in
+  reject "empty" "" `Corrupt;
+  reject "garbage" "not a checkpoint\n" `Corrupt;
+  reject "future version" "qbpart-checkpoint 99\n" `Version;
+  reject "bad hash" "qbpart-checkpoint 1\nhash zz\n" `Corrupt;
+  reject "negative elapsed"
+    "qbpart-checkpoint 1\nhash ff\nseed 1\nelapsed -1.0\n" `Corrupt;
+  reject "assignment length lies"
+    "qbpart-checkpoint 1\nhash ff\nseed 1\nelapsed 0x1p0\ncost 0x1p0\nstarts 0\n\
+     assignment 3\n1 2\nend\n"
+    `Corrupt;
+  reject "missing trailer"
+    "qbpart-checkpoint 1\nhash ff\nseed 1\nelapsed 0x1p0\ncost 0x1p0\nstarts 0\n\
+     assignment 2\n1 2\nnot-end\n"
+    `Corrupt
+
+let test_instance_hash_and_validate () =
+  let p1 = random_problem 1 and p2 = random_problem 2 in
+  let h1 = Checkpoint.instance_hash p1 in
+  check Alcotest.bool "hash is deterministic" true
+    (Int64.equal h1 (Checkpoint.instance_hash p1));
+  check Alcotest.bool "different instances hash differently" false
+    (Int64.equal h1 (Checkpoint.instance_hash p2));
+  let n = Problem.n p1 in
+  let cp =
+    Checkpoint.make ~problem:p1 ~base_seed:7 ~elapsed:1.5 ~incumbent:(Array.make n 0)
+      ~incumbent_cost:12.0 ~starts:[]
+  in
+  (match Checkpoint.validate cp p1 with
+  | Ok () -> ()
+  | Error e -> fail ("own instance rejected: " ^ Checkpoint.error_to_string e));
+  match Checkpoint.validate cp p2 with
+  | Ok () -> fail "foreign instance accepted"
+  | Error (Checkpoint.Instance_mismatch _) -> ()
+  | Error e -> fail ("wrong error: " ^ Checkpoint.error_to_string e)
+
+let test_save_load () =
+  let dir = Filename.temp_file "qbpart-ckpt" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "state.ckpt" in
+  let problem = random_problem 3 in
+  let n = Problem.n problem in
+  let cp =
+    Checkpoint.make ~problem ~base_seed:42 ~elapsed:0.25
+      ~incumbent:(Array.init n (fun j -> j mod 4))
+      ~incumbent_cost:99.5
+      ~starts:
+        [
+          {
+            Checkpoint.start = 0;
+            seed = 42;
+            attempts = 2;
+            feasible_cost = Some 99.5;
+            failure = None;
+          };
+        ]
+  in
+  (match Checkpoint.save ~path cp with
+  | Ok () -> ()
+  | Error e -> fail (Checkpoint.error_to_string e));
+  (match Checkpoint.load ~path with
+  | Error e -> fail (Checkpoint.error_to_string e)
+  | Ok cp' ->
+    check Alcotest.bool "round-trips through the filesystem" true
+      (cp' = { cp with incumbent = cp'.Checkpoint.incumbent }
+      && cp'.Checkpoint.incumbent = cp.Checkpoint.incumbent));
+  (* overwrite is atomic: a second save replaces, never appends *)
+  (match Checkpoint.save ~path { cp with base_seed = 43 } with
+  | Ok () -> ()
+  | Error e -> fail (Checkpoint.error_to_string e));
+  (match Checkpoint.load ~path with
+  | Ok cp' -> check Alcotest.int "overwritten" 43 cp'.Checkpoint.base_seed
+  | Error e -> fail (Checkpoint.error_to_string e));
+  (* no temp litter after successful saves *)
+  check Alcotest.int "directory holds only the checkpoint" 1
+    (Array.length (Sys.readdir dir));
+  (match Checkpoint.load ~path:(Filename.concat dir "absent.ckpt") with
+  | Ok _ -> fail "absent file loaded"
+  | Error (Checkpoint.Io _) -> ()
+  | Error e -> fail ("wrong error: " ^ Checkpoint.error_to_string e));
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+let test_save_failure_reported () =
+  match Checkpoint.save ~path:"/nonexistent-dir/x/y.ckpt"
+          {
+            Checkpoint.instance_hash = 0L;
+            base_seed = 0;
+            elapsed = 0.0;
+            incumbent = [||];
+            incumbent_cost = 0.0;
+            starts = [];
+          }
+  with
+  | Ok () -> fail "save into a missing directory succeeded"
+  | Error (Checkpoint.Io _) -> ()
+  | Error e -> fail ("wrong error: " ^ Checkpoint.error_to_string e)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "checkpoint"
+    [
+      ( "codec",
+        [
+          qt prop_roundtrip;
+          qt prop_truncation_rejected;
+          Alcotest.test_case "corrupt inputs rejected" `Quick test_corrupt_rejection;
+        ] );
+      ( "instance",
+        [
+          Alcotest.test_case "hash + validate" `Quick test_instance_hash_and_validate;
+        ] );
+      ( "filesystem",
+        [
+          Alcotest.test_case "atomic save/load" `Quick test_save_load;
+          Alcotest.test_case "save failure is structured" `Quick
+            test_save_failure_reported;
+        ] );
+    ]

@@ -13,6 +13,7 @@ module Constraints = Qbpart_timing.Constraints
 module Check = Qbpart_timing.Check
 module Assignment = Qbpart_partition.Assignment
 module Gap = Qbpart_gap.Gap
+module Mthg = Qbpart_gap.Mthg
 module Portfolio = Qbpart_engine.Portfolio
 
 let check = Alcotest.check
@@ -270,6 +271,153 @@ let test_portfolio_on_improvement () =
   | Some _ -> check Alcotest.bool "reported improvements" true (!calls <> [])
   | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Supervision: injected failures are retried, recorded, and only a
+   total wipe-out aborts the run.  All tests run [jobs = 1] because the
+   injectors are stateful (the documented contract). *)
+
+(* A GAP solver whose first [n] calls raise. *)
+let flaky_gap n =
+  let calls = Atomic.make 0 in
+  fun ~step:_ ~k:_ ~default g ->
+    if Atomic.fetch_and_add calls 1 < n then failwith "injected gap failure"
+    else default g
+
+let supervised ?(retries = 0) ?skip ~seed ~gap problem =
+  Portfolio.solve
+    ~config:{ Burkard.Config.default with iterations = 10; seed }
+    ~max_rounds:1 ~jobs:1 ~starts:3 ~retries ?skip ~gap_solver:gap problem
+
+let test_supervision_retry_succeeds () =
+  let problem = random_problem 21 in
+  let base = 77 in
+  let r = supervised ~retries:1 ~seed:base ~gap:(flaky_gap 1) problem in
+  check Alcotest.int "one report per start" 3 (List.length r.Portfolio.reports);
+  let s0 = List.find (fun s -> s.Portfolio.start = 0) r.Portfolio.reports in
+  check Alcotest.int "start 0 consumed a retry" 2 s0.Portfolio.attempts;
+  check Alcotest.bool "start 0 recovered" true (s0.Portfolio.failure = None);
+  check Alcotest.int "retry seed re-derived deterministically"
+    (Portfolio.retry_seed ~base ~start:0 ~attempt:1)
+    s0.Portfolio.seed;
+  List.iter
+    (fun s ->
+      if s.Portfolio.start <> 0 then
+        check Alcotest.int "untouched starts run once" 1 s.Portfolio.attempts)
+    r.Portfolio.reports
+
+let test_supervision_failure_recorded () =
+  (* retries exhausted on start 0: the run continues, the report says so *)
+  let problem = random_problem 22 in
+  let r = supervised ~retries:0 ~seed:5 ~gap:(flaky_gap 1) problem in
+  let s0 = List.find (fun s -> s.Portfolio.start = 0) r.Portfolio.reports in
+  check Alcotest.bool "failure recorded" true (s0.Portfolio.failure <> None);
+  check Alcotest.int "single attempt" 1 s0.Portfolio.attempts;
+  check Alcotest.bool "failed start contributes no champion" true
+    (s0.Portfolio.feasible_cost = None);
+  (match r.Portfolio.winner with
+  | Some w -> check Alcotest.bool "a surviving start wins" true (w <> 0)
+  | None -> fail "survivors produced no champion")
+
+let test_supervision_all_starts_failed () =
+  let problem = random_problem 23 in
+  let always_fail ~step:_ ~k:_ ~default:_ _ = failwith "injected gap failure" in
+  match supervised ~retries:0 ~seed:5 ~gap:always_fail problem with
+  | _ -> fail "total wipe-out returned a result"
+  | exception Portfolio.All_starts_failed failures ->
+    check Alcotest.int "every start accounted for" 3 (List.length failures);
+    check (Alcotest.list Alcotest.int) "ascending start order" [ 0; 1; 2 ]
+      (List.map fst failures);
+    List.iter
+      (fun (_, msg) ->
+        check Alcotest.bool "diagnosis captured" true
+          (String.length msg > 0))
+      failures
+
+let test_supervision_deterministic () =
+  let problem = random_problem 24 in
+  let run () =
+    let r = supervised ~retries:2 ~seed:9 ~gap:(flaky_gap 2) problem in
+    ( r.Portfolio.best_cost,
+      r.Portfolio.winner,
+      List.map
+        (fun s ->
+          (s.Portfolio.start, s.Portfolio.seed, s.Portfolio.attempts, s.Portfolio.best_cost))
+        r.Portfolio.reports )
+  in
+  check Alcotest.bool "supervised runs are reproducible" true (run () = run ())
+
+let test_supervision_skip () =
+  let problem = random_problem 25 in
+  let clean ~step:_ ~k:_ ~default g = default g in
+  let r = supervised ~seed:5 ~skip:(fun k -> k = 1) ~gap:clean problem in
+  check (Alcotest.list Alcotest.int) "skipped start produces no report" [ 0; 2 ]
+    (List.sort compare (List.map (fun s -> s.Portfolio.start) r.Portfolio.reports));
+  (* skipping everything is a no-op, not a failure — even with a
+     poisoned GAP solver, nothing executes *)
+  let always_fail ~step:_ ~k:_ ~default:_ _ = failwith "never reached" in
+  let r = supervised ~seed:5 ~skip:(fun _ -> true) ~gap:always_fail problem in
+  check Alcotest.int "no reports" 0 (List.length r.Portfolio.reports);
+  check Alcotest.bool "no champion" true (r.Portfolio.best = None)
+
+let test_retry_seed_derivation () =
+  check Alcotest.int "attempt 0 is the start seed"
+    (Portfolio.start_seed ~base:123 5)
+    (Portfolio.retry_seed ~base:123 ~start:5 ~attempt:0);
+  let seeds =
+    List.concat_map
+      (fun start -> List.init 4 (fun attempt -> Portfolio.retry_seed ~base:123 ~start ~attempt))
+      [ 0; 1; 2; 3 ]
+  in
+  check Alcotest.int "16 distinct attempt seeds" 16
+    (List.length (List.sort_uniq compare seeds))
+
+(* ------------------------------------------------------------------ *)
+(* Gap borrow: domain ownership of the aliased buffers. *)
+
+let test_gap_borrow_per_domain_isolated () =
+  (* two domains, each borrowing its own scratch buffers, solving
+     concurrently: both must succeed on their own data *)
+  let solve_one bias =
+    let cost = [| [| bias; bias +. 3.0 |]; [| bias +. 3.0; bias |] |] in
+    let sizes = [| 1.0; 1.0 |] in
+    let g = Gap.borrow ~cost ~weight:[| sizes; sizes |] ~capacity:[| 2.0; 2.0 |] in
+    Mthg.solve g
+  in
+  let d1 = Domain.spawn (fun () -> solve_one 1.0) in
+  let d2 = Domain.spawn (fun () -> solve_one 100.0) in
+  (match (Domain.join d1, Domain.join d2) with
+  | Some a1, Some a2 ->
+    (* the diagonal is cheapest in both instances, independent of bias:
+       each domain solved its own buffers, not the other's *)
+    check Alcotest.bool "domain 1 solved its instance" true (a1 = [| 0; 1 |] || a1 = [| 1; 0 |]);
+    check Alcotest.bool "domain 2 solved its instance" true (a2 = [| 0; 1 |] || a2 = [| 1; 0 |])
+  | _ -> fail "concurrent borrowed solves found no assignment")
+
+let test_gap_borrow_cross_domain_rejected () =
+  let cost = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let sizes = [| 1.0; 1.0 |] in
+  let g = Gap.borrow ~cost ~weight:[| sizes; sizes |] ~capacity:[| 2.0; 2.0 |] in
+  (* the borrowing domain may solve freely *)
+  (match Mthg.solve g with Some _ -> () | None -> fail "borrower failed to solve");
+  let rejected =
+    Domain.spawn (fun () ->
+        match Mthg.solve g with
+        | exception Invalid_argument _ -> true
+        | _ -> false)
+  in
+  check Alcotest.bool "foreign domain rejected" true (Domain.join rejected);
+  let rejected_relaxed =
+    Domain.spawn (fun () ->
+        match Mthg.solve_relaxed g with
+        | exception Invalid_argument _ -> true
+        | _ -> false)
+  in
+  check Alcotest.bool "relaxed path rejected too" true (Domain.join rejected_relaxed);
+  (* owned copies carry no owner and travel freely *)
+  let owned = Gap.make ~cost ~weight:[| sizes; Array.copy sizes |] ~capacity:[| 2.0; 2.0 |] in
+  let fine = Domain.spawn (fun () -> Mthg.solve owned <> None) in
+  check Alcotest.bool "made instances cross domains" true (Domain.join fine)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "portfolio"
@@ -296,5 +444,21 @@ let () =
           Alcotest.test_case "validation" `Quick test_portfolio_validation;
           Alcotest.test_case "should_stop" `Quick test_portfolio_should_stop;
           Alcotest.test_case "on_improvement" `Quick test_portfolio_on_improvement;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "retry succeeds" `Quick test_supervision_retry_succeeds;
+          Alcotest.test_case "failure recorded" `Quick test_supervision_failure_recorded;
+          Alcotest.test_case "all starts failed" `Quick test_supervision_all_starts_failed;
+          Alcotest.test_case "deterministic" `Quick test_supervision_deterministic;
+          Alcotest.test_case "skip" `Quick test_supervision_skip;
+          Alcotest.test_case "retry seed derivation" `Quick test_retry_seed_derivation;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "borrowed buffers stay per-domain" `Quick
+            test_gap_borrow_per_domain_isolated;
+          Alcotest.test_case "cross-domain borrow rejected" `Quick
+            test_gap_borrow_cross_domain_rejected;
         ] );
     ]
