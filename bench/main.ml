@@ -520,6 +520,124 @@ let portfolio quick =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Server throughput: jobs/sec and latency through the whole qbpartd
+   stack — socket, framing, admission, scheduler, engine, certifier —
+   offered at client concurrencies 1, 4 and 16 on the small Table-I
+   circuit (shipped inline with every request, as a real client
+   would). *)
+
+module Sserver = Qbpart_server.Server
+module Sclient = Qbpart_server.Client
+module Sproto = Qbpart_server.Protocol
+
+let percentile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+let server_throughput quick =
+  section "Server throughput (qbpartd end to end, ckta inline submits)";
+  let spec = List.hd Circuits.table1 in
+  let inst = Circuits.build spec in
+  let text = Qbpart_netlist.Printer.to_string inst.Circuits.netlist in
+  (* a geometry random multi-starts solve reliably: the paper's 4x4 at
+     1.08 slack needs the planted reference as a warm start, which a
+     cold submit does not have *)
+  let submit_spec seed =
+    {
+      (Sproto.default_submit ~netlist:(Sproto.Inline text)) with
+      Sproto.rows = 2;
+      cols = 2;
+      slack = 1.3;
+      iterations = (if quick then 10 else 30);
+      seed;
+    }
+  in
+  let jobs_total = if quick then 12 else 48 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qbpart-bench-server-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o700;
+  Format.printf "circuit %s (N=%d), %d jobs per depth, 2 worker domains@.@."
+    spec.Circuits.name spec.Circuits.n jobs_total;
+  let run_depth depth =
+    let socket_path = Filename.concat dir (Printf.sprintf "bench-%d.sock" depth) in
+    let config =
+      {
+        (Sserver.default_config ~socket_path) with
+        Sserver.max_queue = 64;
+        workers = 2;
+        checkpoint_dir = dir;
+      }
+    in
+    let server =
+      match Sserver.create config with
+      | Ok s -> s
+      | Error e -> failwith ("bench server: " ^ e)
+    in
+    let serve_thread = Thread.create Sserver.serve server in
+    let per_client = max 1 (jobs_total / depth) in
+    let latencies = Array.make (depth * per_client) 0.0 in
+    let ok = Atomic.make true in
+    let t0 = Unix.gettimeofday () in
+    let client k =
+      match Sclient.connect ~socket_path with
+      | Error _ -> Atomic.set ok false
+      | Ok c ->
+        for i = 0 to per_client - 1 do
+          let slot = (k * per_client) + i in
+          let j0 = Unix.gettimeofday () in
+          match Sclient.call c (Sproto.Submit (submit_spec (1 + slot))) with
+          | Ok (Sproto.Submitted { job; _ }) -> (
+            match Sclient.wait ~timeout:120.0 c job with
+            | Ok v ->
+              latencies.(slot) <- Unix.gettimeofday () -. j0;
+              if v.Sproto.certified <> Some true then Atomic.set ok false
+            | Error _ -> Atomic.set ok false)
+          | _ -> Atomic.set ok false
+        done;
+        Sclient.close c
+    in
+    let threads = List.init depth (fun k -> Thread.create client k) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    Sserver.request_drain server;
+    Thread.join serve_thread;
+    let served = depth * per_client in
+    let sorted = Array.sub latencies 0 served in
+    Array.sort compare sorted;
+    let p50 = percentile sorted 0.50 and p99 = percentile sorted 0.99 in
+    let rate = float_of_int served /. wall in
+    Format.printf
+      "  depth=%2d  %4d jobs  %6.2fs  %7.1f jobs/s  p50 %.4fs  p99 %.4fs  %s@." depth
+      served wall rate p50 p99
+      (if Atomic.get ok then "all certified" else "CERTIFICATION/TRANSPORT FAILURE");
+    Json.Obj
+      [
+        ("depth", Json.Int depth);
+        ("jobs", Json.Int served);
+        ("wall_seconds", Json.Float wall);
+        ("jobs_per_sec", Json.Float rate);
+        ("p50_latency_s", Json.Float p50);
+        ("p99_latency_s", Json.Float p99);
+        ("all_certified", Json.Bool (Atomic.get ok));
+      ]
+  in
+  let rows = List.map run_depth [ 1; 4; 16 ] in
+  Format.printf
+    "@.(throughput is bounded by the worker-domain count; deeper offered@.\
+     concurrency buys queueing, not speed — the p99 shows the queue)@.";
+  Json.Obj
+    [
+      ("circuit", Json.String spec.Circuits.name);
+      ("components", Json.Int spec.Circuits.n);
+      ("jobs_per_depth", Json.Int jobs_total);
+      ("workers", Json.Int 2);
+      ("depths", Json.List rows);
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -534,11 +652,14 @@ let () =
   in
   let quick = flag "--quick" in
   let only_portfolio = flag "--only-portfolio" in
+  let only_server = flag "--only-server" in
   let t0 = Sys.time () in
   let wall0 = Unix.gettimeofday () in
   let kernel_stats = ref [] in
   let portfolio_stats = ref None in
-  if only_portfolio then begin
+  let server_stats = ref None in
+  if only_server then server_stats := Some (server_throughput quick)
+  else if only_portfolio then begin
     Format.printf "building %s...@." (if quick then "ckta" else "ckta (kernels)");
     let inst = Circuits.build (List.hd Circuits.table1) in
     portfolio_stats := Some (portfolio quick);
@@ -558,11 +679,24 @@ let () =
       sweeps quick
     end;
     if not (flag "--skip-portfolio") then portfolio_stats := Some (portfolio quick);
+    if not (flag "--skip-server") then server_stats := Some (server_throughput quick);
     if not (flag "--skip-kernels") then kernel_stats := kernels (List.hd instances)
   end;
-  (match json_path with
-  | None -> ()
-  | Some path ->
+  (match (json_path, only_server, !server_stats) with
+  | Some path, true, Some server ->
+    (* --only-server --json PATH: the BENCH_server.json artifact *)
+    Json.to_file path
+      (Json.Obj
+         [
+           ("schema", Json.String "qbpart-bench-server/1");
+           ("quick", Json.Bool quick);
+           ("server", server);
+         ]);
+    Format.printf "@.wrote %s@." path
+  | _ -> ());
+  (match (json_path, only_server) with
+  | None, _ | _, true -> ()
+  | Some path, false ->
     let kernels_json =
       Json.List
         (List.map
@@ -593,6 +727,9 @@ let () =
         @ (if summary = [] then [] else [ ("kernels_summary", Json.Obj summary) ])
         @ (match !portfolio_stats with
           | Some p -> [ ("portfolio", p) ]
+          | None -> [])
+        @ (match !server_stats with
+          | Some s -> [ ("server", s) ]
           | None -> []))
     in
     Json.to_file path doc;

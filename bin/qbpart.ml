@@ -35,6 +35,7 @@ module Burkard = Qbpart_core.Burkard
 module Gfm = Qbpart_baselines.Gfm
 module Gkl = Qbpart_baselines.Gkl
 module Deadline = Qbpart_engine.Deadline
+module Signals = Qbpart_engine.Signals
 module Engine = Qbpart_engine.Engine
 module Portfolio = Qbpart_engine.Portfolio
 module Checkpoint = Qbpart_engine.Checkpoint
@@ -215,14 +216,9 @@ let solve_cmd =
            deadline, then the normal best-so-far path runs to the end —
            final checkpoint, report, assignment — and exits 124. *)
         let interrupted = ref false in
-        List.iter
-          (fun s ->
-            Sys.set_signal s
-              (Sys.Signal_handle
-                 (fun _ ->
-                   interrupted := true;
-                   Deadline.cancel deadline)))
-          [ Sys.sigint; Sys.sigterm ];
+        Signals.on_terminate (fun _ ->
+            interrupted := true;
+            Deadline.cancel deadline);
         let last_cp = ref None in
         let last_write = ref Float.neg_infinity in
         let write_cp cp =
@@ -489,6 +485,261 @@ let checkpoint_cmd =
     (Cmd.info "checkpoint" ~doc:"Inspect a crash-safety checkpoint file")
     Term.(term_result (const run $ path))
 
+(* --- service client: submit / status / cancel / metrics ------------ *)
+
+module Sclient = Qbpart_server.Client
+module Sproto = Qbpart_server.Protocol
+
+let socket_arg =
+  Arg.(value & opt string "qbpartd.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"The qbpartd Unix-domain socket.")
+
+let with_client socket f =
+  match Sclient.connect ~socket_path:socket with
+  | Error m -> Error (`Msg m)
+  | Ok c -> Fun.protect ~finally:(fun () -> Sclient.close c) (fun () -> f c)
+
+let server_error code message =
+  msgf "server %s: %s" (Sproto.error_code_to_string code) message
+
+let load_inline what path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> Ok (Sproto.Inline text)
+  | exception Sys_error m -> msgf "%s %s: %s" what path m
+
+let absolute path =
+  if Filename.is_relative path then Filename.concat (Sys.getcwd ()) path else path
+
+let describe_job ppf (v : Sproto.job_view) =
+  Format.fprintf ppf "job %s: %s" v.Sproto.id (Sproto.job_state_to_string v.Sproto.state);
+  (match v.Sproto.cost with Some c -> Format.fprintf ppf " cost=%.1f" c | None -> ());
+  (match v.Sproto.certified with
+  | Some true -> Format.fprintf ppf " certified"
+  | Some false -> Format.fprintf ppf " UNCERTIFIED"
+  | None -> ());
+  if v.Sproto.interrupted then Format.fprintf ppf " (interrupted)";
+  (match v.Sproto.winner with Some w -> Format.fprintf ppf " winner=%s" w | None -> ());
+  (match v.Sproto.error with Some e -> Format.fprintf ppf " error=%S" e | None -> ());
+  (match v.Sproto.checkpoint with
+  | Some p -> Format.fprintf ppf "@.  checkpoint %s" p
+  | None -> ());
+  List.iter (fun s -> Format.fprintf ppf "@.  %s" s) v.Sproto.stages
+
+let finish_waited ~nl ~topo ~out (v : Sproto.job_view) =
+  Format.eprintf "%a@." describe_job v;
+  match v.Sproto.state with
+  | Sproto.Done -> (
+    let* assignment =
+      match v.Sproto.assignment with
+      | Some a -> Ok a
+      | None -> msgf "job %s finished without an assignment" v.Sproto.id
+    in
+    let* () = emit_assignment nl topo assignment out in
+    match v.Sproto.certified with
+    | Some true -> Ok ()
+    | _ -> msgf "job %s: result failed independent certification" v.Sproto.id)
+  | Sproto.Failed ->
+    msgf "job %s failed: %s" v.Sproto.id (Option.value ~default:"unknown error" v.Sproto.error)
+  | Sproto.Cancelled -> msgf "job %s was cancelled" v.Sproto.id
+  | Sproto.Queued | Sproto.Running -> msgf "job %s still in flight" v.Sproto.id
+
+let submit_cmd =
+  let run socket path timing by_path rows cols slack iterations seed starts deadline label
+      wait out =
+    let* () =
+      if rows < 1 || cols < 1 then msgf "--rows and --cols must be >= 1" else Ok ()
+    in
+    let* () = if iterations < 0 then msgf "--iterations must be >= 0" else Ok () in
+    let* () = if starts < 1 then msgf "--starts must be >= 1" else Ok () in
+    (* parse locally first: a malformed netlist should fail fast with the
+       usual CLI diagnosis, not a round-trip to the daemon *)
+    let* nl = load_netlist path in
+    let* _local_constraints = load_constraints nl timing in
+    let* netlist =
+      if by_path then Ok (Sproto.File (absolute path)) else load_inline "netlist" path
+    in
+    let* timing_src =
+      match timing with
+      | None -> Ok None
+      | Some tpath ->
+        if by_path then Ok (Some (Sproto.File (absolute tpath)))
+        else Result.map Option.some (load_inline "timing budgets" tpath)
+    in
+    let spec =
+      {
+        (Sproto.default_submit ~netlist) with
+        Sproto.timing = timing_src;
+        rows;
+        cols;
+        slack;
+        iterations;
+        seed;
+        starts;
+        deadline_s = deadline;
+        label;
+      }
+    in
+    with_client socket (fun c ->
+        match Sclient.call c (Sproto.Submit spec) with
+        | Error m -> Error (`Msg m)
+        | Ok (Sproto.Error { code; message }) -> server_error code message
+        | Ok (Sproto.Submitted { job; queue_depth }) ->
+          if not wait then begin
+            Format.eprintf "submitted %s (queue depth %d)@." job queue_depth;
+            print_endline job;
+            Ok ()
+          end
+          else begin
+            Format.eprintf "submitted %s; waiting@." job;
+            match Sclient.wait c job with
+            | Error m -> Error (`Msg m)
+            | Ok v ->
+              let topo = grid_topology nl ~rows ~cols ~slack in
+              finish_waited ~nl ~topo ~out v
+          end
+        | Ok other ->
+          msgf "unexpected response: %s" (Format.asprintf "%a" Sproto.pp_response other))
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST") in
+  let timing =
+    Arg.(value & opt (some file) None & info [ "t"; "timing" ] ~docv:"BUDGETS"
+           ~doc:"Timing-budget file submitted with the netlist.")
+  in
+  let by_path =
+    Arg.(value & flag & info [ "by-path" ]
+           ~doc:"Send file paths for the daemon to read, instead of inlining file \
+                 contents into the request (daemon and client must share a \
+                 filesystem).")
+  in
+  let rows = Arg.(value & opt int 4 & info [ "rows" ] ~doc:"Grid rows.") in
+  let cols = Arg.(value & opt int 4 & info [ "cols" ] ~doc:"Grid cols.") in
+  let slack = Arg.(value & opt float 1.15 & info [ "slack" ] ~doc:"Capacity slack factor.") in
+  let iterations = Arg.(value & opt int 100 & info [ "iterations" ] ~doc:"QBP iterations.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let starts =
+    Arg.(value & opt int 1 & info [ "starts" ] ~doc:"Portfolio starts for this job.")
+  in
+  let deadline =
+    Arg.(value & opt (some duration_conv) None & info [ "deadline" ] ~docv:"DURATION"
+           ~doc:"Per-job wall-clock budget enforced by the daemon.")
+  in
+  let label =
+    Arg.(value & opt (some string) None & info [ "label" ] ~docv:"TEXT"
+           ~doc:"Free-form tag echoed back in status views.")
+  in
+  let wait =
+    Arg.(value & flag & info [ "wait" ]
+           ~doc:"Poll until the job finishes, then emit the assignment (like \
+                 $(b,solve)) and exit 0 only for a certified result.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"With $(b,--wait): write the assignment here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a partitioning job to a qbpartd daemon")
+    Term.(
+      term_result
+        (const run $ socket_arg $ path $ timing $ by_path $ rows $ cols $ slack $ iterations
+       $ seed $ starts $ deadline $ label $ wait $ out))
+
+let status_line (v : Sproto.job_view) =
+  match v.Sproto.state with
+  | Sproto.Done ->
+    Printf.sprintf "%s done %s%s" v.Sproto.id
+      (match v.Sproto.certified with Some true -> "certified" | _ -> "UNCERTIFIED")
+      (if v.Sproto.interrupted then " (interrupted)" else "")
+  | Sproto.Failed ->
+    Printf.sprintf "%s failed: %s" v.Sproto.id
+      (Option.value ~default:"unknown error" v.Sproto.error)
+  | Sproto.Cancelled ->
+    Printf.sprintf "%s cancelled%s" v.Sproto.id
+      (match v.Sproto.checkpoint with
+      | Some p -> Printf.sprintf " (interrupted, checkpoint %s)" p
+      | None -> "")
+  | (Sproto.Queued | Sproto.Running) as s ->
+    Printf.sprintf "%s %s" v.Sproto.id (Sproto.job_state_to_string s)
+
+let status_cmd =
+  let run socket job watch =
+    with_client socket (fun c ->
+        if watch then begin
+          match Sclient.call c (Sproto.Events job) with
+          | Error m -> Error (`Msg m)
+          | Ok first ->
+            let rec follow = function
+              | Sproto.Error { code; message } -> server_error code message
+              | Sproto.Event { seq; state; detail; _ } -> (
+                Format.eprintf "event %d: %s%s@." seq
+                  (Sproto.job_state_to_string state)
+                  (match detail with Some d -> " (" ^ d ^ ")" | None -> "");
+                match Sclient.read_response c with
+                | Error m -> Error (`Msg m)
+                | Ok next -> follow next)
+              | Sproto.Job v ->
+                Format.eprintf "%a@." describe_job v;
+                print_endline (status_line v);
+                Ok ()
+              | other ->
+                msgf "unexpected response: %s" (Format.asprintf "%a" Sproto.pp_response other)
+            in
+            follow first
+        end
+        else
+          match Sclient.call c (Sproto.Status job) with
+          | Error m -> Error (`Msg m)
+          | Ok (Sproto.Error { code; message }) -> server_error code message
+          | Ok (Sproto.Job v) ->
+            Format.eprintf "%a@." describe_job v;
+            print_endline (status_line v);
+            Ok ()
+          | Ok other ->
+            msgf "unexpected response: %s" (Format.asprintf "%a" Sproto.pp_response other))
+  in
+  let job = Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB") in
+  let watch =
+    Arg.(value & flag & info [ "watch" ]
+           ~doc:"Stream state-change events until the job reaches a terminal state.")
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Query (or watch) a job on a qbpartd daemon")
+    Term.(term_result (const run $ socket_arg $ job $ watch))
+
+let cancel_cmd =
+  let run socket job =
+    with_client socket (fun c ->
+        match Sclient.call c (Sproto.Cancel job) with
+        | Error m -> Error (`Msg m)
+        | Ok (Sproto.Error { code; message }) -> server_error code message
+        | Ok (Sproto.Job v) ->
+          (match v.Sproto.state with
+          | Sproto.Cancelled -> Printf.printf "%s cancelled\n" v.Sproto.id
+          | s -> Printf.printf "%s cancel requested (%s)\n" v.Sproto.id (Sproto.job_state_to_string s));
+          Ok ()
+        | Ok other ->
+          msgf "unexpected response: %s" (Format.asprintf "%a" Sproto.pp_response other))
+  in
+  let job = Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB") in
+  Cmd.v
+    (Cmd.info "cancel" ~doc:"Cancel a queued or running job on a qbpartd daemon")
+    Term.(term_result (const run $ socket_arg $ job))
+
+let metrics_cmd =
+  let run socket =
+    with_client socket (fun c ->
+        match Sclient.call c Sproto.Metrics with
+        | Error m -> Error (`Msg m)
+        | Ok (Sproto.Error { code; message }) -> server_error code message
+        | Ok (Sproto.Metrics_snapshot m) ->
+          print_endline (Sproto.encode_response (Sproto.Metrics_snapshot m));
+          Ok ()
+        | Ok other ->
+          msgf "unexpected response: %s" (Format.asprintf "%a" Sproto.pp_response other))
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Print a qbpartd daemon's metrics snapshot as JSON")
+    Term.(term_result (const run $ socket_arg))
+
 (* --- tables -------------------------------------------------------- *)
 
 let tables_cmd =
@@ -532,4 +783,15 @@ let () =
   exit
     (Cmd.eval ~term_err:Cmd.Exit.some_error
        (Cmd.group info
-          [ generate_cmd; stats_cmd; solve_cmd; eval_cmd; checkpoint_cmd; tables_cmd ]))
+          [
+            generate_cmd;
+            stats_cmd;
+            solve_cmd;
+            eval_cmd;
+            checkpoint_cmd;
+            tables_cmd;
+            submit_cmd;
+            status_cmd;
+            cancel_cmd;
+            metrics_cmd;
+          ]))

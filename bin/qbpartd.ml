@@ -1,0 +1,101 @@
+(* qbpartd — the partitioning daemon.
+
+   Listens on a Unix-domain socket, speaks the length-prefixed NDJSON
+   protocol of doc/PROTOCOL.md, and multiplexes solve jobs over a
+   bounded queue and a pool of worker domains.  SIGINT/SIGTERM (or a
+   `drain` request) triggers graceful drain: stop accepting, cancel
+   queued jobs, let in-flight jobs return their certified best-so-far
+   under cancelled deadlines, persist a resumable checkpoint for each
+   interrupted job, emit a final metrics snapshot, exit 0.
+
+   Exit codes:
+     0    clean drain
+     123  startup failure (socket in use, unbindable path, bad flag value)
+     124  command-line parse error *)
+
+module Server = Qbpart_server.Server
+module Frame = Qbpart_server.Frame
+module Protocol = Qbpart_server.Protocol
+
+open Cmdliner
+
+let metrics_json (m : Protocol.metrics_view) =
+  (* reuse the wire encoding: one line, machine-readable *)
+  match Protocol.encode_response (Protocol.Metrics_snapshot m) with
+  | s -> s
+
+let run socket max_queue workers checkpoint_dir max_frame =
+  let ( let* ) = Result.bind in
+  let* () = if max_queue < 0 then Error (`Msg "--max-queue must be >= 0") else Ok () in
+  let* () = if workers < 1 then Error (`Msg "--workers must be >= 1") else Ok () in
+  let* () = if max_frame < 1024 then Error (`Msg "--max-frame must be >= 1024") else Ok () in
+  let* () =
+    if Sys.file_exists checkpoint_dir && Sys.is_directory checkpoint_dir then Ok ()
+    else Error (`Msg (Printf.sprintf "--checkpoint-dir %s: not a directory" checkpoint_dir))
+  in
+  let config =
+    { Server.socket_path = socket; max_queue; workers; checkpoint_dir; max_frame }
+  in
+  match Server.create config with
+  | Error msg -> Error (`Msg msg)
+  | Ok server ->
+    Qbpart_engine.Signals.on_terminate (fun _ -> Server.request_drain server);
+    Format.eprintf "qbpartd: listening on %s (workers=%d, max-queue=%d)@." socket workers
+      max_queue;
+    Server.serve server;
+    Format.eprintf "qbpartd: drained %s@." (metrics_json (Server.snapshot server));
+    Ok ()
+
+let socket =
+  Arg.(value & opt string "qbpartd.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket to listen on.  A stale socket file left by a dead \
+               daemon is replaced; a live daemon on the same path is a startup error.")
+
+let max_queue =
+  Arg.(value & opt int 16 & info [ "max-queue" ] ~docv:"N"
+         ~doc:"Bound on $(i,queued) (not yet running) jobs.  Submissions beyond it are \
+               rejected with a structured $(b,overloaded) error instead of queueing \
+               without bound.")
+
+let workers =
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+         ~doc:"Worker domains solving jobs concurrently.  Each job may itself run a \
+               multi-start portfolio over further domains ($(b,starts) in the submit \
+               request).")
+
+let checkpoint_dir =
+  Arg.(value & opt string "." & info [ "checkpoint-dir" ] ~docv:"DIR"
+         ~doc:"Where interrupted jobs leave their resumable checkpoint \
+               ($(b,qbpartd-<job>.ckpt)), written on drain and on cancellation; resume \
+               with $(b,qbpart solve --resume).")
+
+let max_frame =
+  Arg.(value & opt int Frame.default_max & info [ "max-frame" ] ~docv:"BYTES"
+         ~doc:"Request-frame size limit; larger frames are rejected with a structured \
+               $(b,oversized) error and the connection is closed.")
+
+let () =
+  let doc = "partitioning service: a job queue over the qbpart solver engine" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Runs the crash-safe qbpart solver stack as a long-lived daemon: submissions \
+          arrive over a Unix-domain socket (see $(b,qbpart submit)), wait in a bounded \
+          FIFO queue, and are solved on a pool of worker domains.  Every completed \
+          response carries an independently audited (certified) cost.";
+      `P "SIGINT/SIGTERM drain gracefully: accepting stops, queued jobs are cancelled, \
+          running jobs return their certified best-so-far promptly via cooperative \
+          deadline cancellation, interrupted jobs persist resumable checkpoints, and \
+          the process exits 0 after a final metrics line on stderr.";
+      `S Manpage.s_exit_status;
+      `P "0 after a graceful drain; 123 on startup failure (socket in use, bad flag \
+          value); 124 on command-line parse errors.";
+    ]
+  in
+  let info = Cmd.info "qbpartd" ~version:"1.0.0" ~doc ~man in
+  exit
+    (Cmd.eval ~term_err:Cmd.Exit.some_error
+       (Cmd.v info
+          Term.(
+            term_result
+              (const run $ socket $ max_queue $ workers $ checkpoint_dir $ max_frame))))

@@ -28,15 +28,22 @@ val of_seconds : ?clock:(unit -> float) -> float -> t
 
 val budget : t -> float
 val elapsed : t -> float
-(** Seconds since creation (clamped non-decreasing). *)
+(** Seconds since creation, clamped non-decreasing: every clock read
+    is folded into a high-water mark, so a wall clock stepping
+    {e backwards} (NTP slew, VM migration, manual reset) can never
+    shrink [elapsed].  Regression-tested in [test/test_engine.ml]
+    ("backwards clock" / "backwards clock never re-inflates"). *)
 
 val remaining : t -> float
 (** [max 0 (budget - elapsed)]; [0] once cancelled, [infinity] for an
-    unlimited live deadline. *)
+    unlimited live deadline.  Monotone non-increasing under any clock:
+    because {!elapsed} is clamped, a backwards clock jump never
+    re-inflates the remaining budget. *)
 
 val expired : t -> bool
 (** True once the budget is spent {e or} the token was cancelled.
-    Never reverts to false. *)
+    Never reverts to false — not even when the clock later reports an
+    earlier time than the reading that expired the deadline. *)
 
 val cancel : t -> unit
 (** Fire the cancellation token: {!expired} is true from now on. *)

@@ -1,0 +1,30 @@
+let handled = [ Sys.sigint; Sys.sigterm ]
+
+(* The registry is read inside a signal handler, which can preempt the
+   registering thread mid-update; a plain ref to an immutable list is
+   safe (the handler sees either the old or the new list, both
+   well-formed), and the mutex only serializes concurrent
+   registrations against each other. *)
+let callbacks : (int -> unit) list ref = ref []
+let installed = ref false
+let mu = Mutex.create ()
+
+let dispatch signal =
+  List.iter (fun f -> try f signal with _ -> ()) (List.rev !callbacks)
+
+let on_terminate f =
+  Mutex.lock mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mu)
+    (fun () ->
+      callbacks := f :: !callbacks;
+      if not !installed then begin
+        installed := true;
+        List.iter
+          (fun s ->
+            try Sys.set_signal s (Sys.Signal_handle dispatch)
+            with Invalid_argument _ | Sys_error _ -> ())
+          handled
+      end)
+
+let pending () = List.length !callbacks

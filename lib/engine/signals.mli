@@ -1,0 +1,28 @@
+(** Composable termination-signal handling.
+
+    [Sys.set_signal] installs exactly one handler per signal, so two
+    subsystems that each want to react to SIGINT/SIGTERM — the CLI's
+    final-checkpoint writer and the daemon's graceful drain — silently
+    clobber each other if they install directly.  This module owns the
+    process-wide handler for the termination signals and fans each
+    delivery out to every registered callback, in registration order.
+
+    Callbacks run inside the OCaml signal handler (at a safepoint of
+    whichever thread the runtime picked), so they must be quick and
+    non-blocking: set a flag, cancel a {!Deadline.t}, wake a loop.  An
+    exception escaping a callback is swallowed — one subscriber can
+    never rob the others of the signal. *)
+
+val handled : int list
+(** The signals this module manages: [Sys.sigint] and [Sys.sigterm]. *)
+
+val on_terminate : (int -> unit) -> unit
+(** Register [f] to run on every delivery of a {!handled} signal; [f]
+    receives the signal number.  The first registration installs the
+    shared handler (platforms without a signal, e.g. [sigterm] absence,
+    are tolerated); later registrations only append.  Callbacks are
+    never unregistered — register once per long-lived concern, not per
+    request. *)
+
+val pending : unit -> int
+(** Number of registered callbacks (for tests and diagnostics). *)

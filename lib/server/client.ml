@@ -1,0 +1,47 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () -> Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "cannot connect to %s: %s" socket_path (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let read_response t =
+  match Frame.read t.ic with
+  | Error e -> Error (Frame.error_to_string e)
+  | Ok payload -> Protocol.decode_response payload
+
+let call t request =
+  match Frame.write t.oc (Protocol.encode_request request) with
+  | exception (Sys_error _ | Unix.Unix_error _) -> Error "connection lost while sending"
+  | () -> read_response t
+
+let terminal = function
+  | Protocol.Done | Protocol.Failed | Protocol.Cancelled -> true
+  | Protocol.Queued | Protocol.Running -> false
+
+let wait ?(poll_interval = 0.05) ?timeout t job =
+  let give_up_at = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+  let rec poll () =
+    match call t (Protocol.Status job) with
+    | Error _ as e -> e
+    | Ok (Protocol.Job v) ->
+      if terminal v.Protocol.state then Ok v
+      else if
+        match give_up_at with Some at -> Unix.gettimeofday () >= at | None -> false
+      then Error (Printf.sprintf "timed out waiting for job %s" job)
+      else begin
+        Unix.sleepf poll_interval;
+        poll ()
+      end
+    | Ok (Protocol.Error { code; message }) ->
+      Error (Printf.sprintf "%s: %s" (Protocol.error_code_to_string code) message)
+    | Ok other ->
+      Error
+        (Format.asprintf "unexpected response while polling: %a" Protocol.pp_response other)
+  in
+  poll ()

@@ -1,0 +1,32 @@
+(** Blocking client for the qbpartd socket protocol.
+
+    One {!t} is one connection; requests on a connection are answered
+    in order.  All failures are values: a connection error, a framing
+    error, or an undecodable response each render to a message — the
+    CLI turns them into exit code 123. *)
+
+type t
+
+val connect : socket_path:string -> (t, string) result
+(** [Error] when the socket is absent or nothing is accepting —
+    rendered as ["cannot connect to <path>: ..."]. *)
+
+val close : t -> unit
+
+val call : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and read one response frame.  For [Events], this
+    returns the {e first} frame; keep reading with {!read_response}
+    until a [Job] (terminal) frame arrives. *)
+
+val read_response : t -> (Protocol.response, string) result
+(** Read the next response frame from an in-flight stream. *)
+
+val wait :
+  ?poll_interval:float ->
+  ?timeout:float ->
+  t ->
+  string ->
+  (Protocol.job_view, string) result
+(** Poll [Status job] until the job reaches a terminal state
+    ([Done]/[Failed]/[Cancelled]); [poll_interval] defaults to 0.05s,
+    [timeout] (default none) bounds the wait. *)

@@ -1,0 +1,104 @@
+type error =
+  | Eof
+  | Truncated of { expected : int; got : int }
+  | Oversized of { declared : int; max : int }
+  | Malformed of string
+
+let default_max = 8 * 1024 * 1024
+let header_limit = 19
+
+let encode payload =
+  let n = String.length payload in
+  let buf = Buffer.create (n + 24) in
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf payload;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let is_digit c = c >= '0' && c <= '9'
+
+let decode ?(max = default_max) s ~pos =
+  let n = String.length s in
+  if pos >= n then Error Eof
+  else begin
+    (* header: 1..header_limit digits then '\n' *)
+    let stop = min n (pos + header_limit + 1) in
+    let rec digits i = if i < stop && is_digit s.[i] then digits (i + 1) else i in
+    let hend = digits pos in
+    if hend = pos then Error (Malformed "frame header is not a decimal length")
+    else if hend >= n then Error (Truncated { expected = hend - pos + 1; got = n - pos })
+    else if s.[hend] <> '\n' then
+      Error
+        (Malformed
+           (if hend - pos > header_limit then "frame header too long"
+            else Printf.sprintf "frame header terminated by %C, not a newline" s.[hend]))
+    else
+      match int_of_string_opt (String.sub s pos (hend - pos)) with
+      | None -> Error (Malformed "frame header overflows")
+      | Some declared ->
+        if declared > max then Error (Oversized { declared; max })
+        else begin
+          let body = hend + 1 in
+          let avail = n - body in
+          if avail < declared + 1 then
+            Error (Truncated { expected = declared + 1; got = Stdlib.max 0 avail })
+          else if s.[body + declared] <> '\n' then
+            Error (Malformed "frame payload not terminated by a newline")
+          else Ok (String.sub s body declared, body + declared + 1)
+        end
+  end
+
+let read ?(max = default_max) ic =
+  (* header *)
+  let hbuf = Buffer.create 20 in
+  let rec header first =
+    match input_char ic with
+    | exception End_of_file ->
+      if first then Error Eof
+      else Error (Truncated { expected = Buffer.length hbuf + 1; got = Buffer.length hbuf })
+    | '\n' ->
+      if Buffer.length hbuf = 0 then Error (Malformed "empty frame header")
+      else Ok (Buffer.contents hbuf)
+    | c when is_digit c ->
+      if Buffer.length hbuf >= header_limit then Error (Malformed "frame header too long")
+      else begin
+        Buffer.add_char hbuf c;
+        header false
+      end
+    | c -> Error (Malformed (Printf.sprintf "frame header byte %C is not a digit" c))
+  in
+  match header true with
+  | Error _ as e -> e
+  | Ok htext -> (
+    match int_of_string_opt htext with
+    | None -> Error (Malformed "frame header overflows")
+    | Some declared ->
+      if declared > max then Error (Oversized { declared; max })
+      else begin
+        let payload = Bytes.create declared in
+        match really_input ic payload 0 declared with
+        | exception End_of_file ->
+          Error (Truncated { expected = declared + 1; got = 0 })
+        | () -> (
+          match input_char ic with
+          | exception End_of_file -> Error (Truncated { expected = declared + 1; got = declared })
+          | '\n' -> Ok (Bytes.unsafe_to_string payload)
+          | _ -> Error (Malformed "frame payload not terminated by a newline"))
+      end)
+
+let write oc payload =
+  output_string oc (encode payload);
+  flush oc
+
+let pp_error ppf = function
+  | Eof -> Format.fprintf ppf "end of stream"
+  | Truncated { expected; got } ->
+    Format.fprintf ppf "truncated frame: expected %d more byte%s, got %d" expected
+      (if expected = 1 then "" else "s")
+      got
+  | Oversized { declared; max } ->
+    Format.fprintf ppf "oversized frame: %d bytes declared, limit %d" declared max
+  | Malformed reason -> Format.fprintf ppf "malformed frame: %s" reason
+
+let error_to_string e = Format.asprintf "%a" pp_error e

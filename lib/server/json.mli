@@ -1,0 +1,44 @@
+(** Minimal JSON: the subset the wire protocol needs, with a total
+    parser.
+
+    The toolchain deliberately carries no JSON dependency (see
+    [bench/main.ml] for the same choice); this module is the shared
+    codec for {!Protocol}.  The printer emits compact single-line
+    documents — a requirement of the NDJSON framing, which forbids raw
+    newlines inside a payload — and escapes every control character.
+    The parser is recursive descent, total (returns [Error], never
+    raises) and rejects trailing garbage. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line (no raw newline can appear: strings are
+    escaped, and no whitespace is emitted).  Floats print as [%.17g]
+    so finite values round-trip exactly; non-finite floats print as
+    [null]. *)
+
+val of_string : string -> (t, string) result
+(** Total parse of a complete document; the error carries a byte
+    offset.  A number without [.], [e] or [E] that fits an [int]
+    parses as [Int], anything else numeric as [Float]. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] for a missing field or a non-object. *)
+
+val get_string : t -> string option
+val get_int : t -> int option
+
+val get_float : t -> float option
+(** Accepts both [Int] and [Float] (JSON does not distinguish). *)
+
+val get_bool : t -> bool option
+val get_list : t -> t list option

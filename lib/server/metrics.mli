@@ -1,0 +1,30 @@
+(** Serving counters and latency percentiles.
+
+    One instance per daemon, shared by the listener thread, the
+    connection threads and every worker domain; all updates take the
+    internal mutex, so a snapshot is consistent.  Wall-time samples
+    feed p50/p99/max over a bounded ring (the {!ring_capacity} most
+    recent completions), computed at snapshot time — the hot path only
+    appends. *)
+
+type t
+
+val ring_capacity : int
+(** Retained wall-time samples (4096). *)
+
+val create : unit -> t
+
+val accepted : t -> unit
+val rejected : t -> unit
+val failed : t -> unit
+val cancelled : t -> unit
+
+val completed : t -> wall:float -> unit
+(** Count a completion and record its solve wall time. *)
+
+val fallback : t -> string -> unit
+(** Count one fallback through the named stage (from
+    {!Qbpart_engine.Engine.Report.t.fallbacks}). *)
+
+val snapshot : t -> queue_depth:int -> running:int -> draining:bool -> Protocol.metrics_view
+(** Consistent view; percentiles are computed here, over the ring. *)

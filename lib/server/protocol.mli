@@ -1,0 +1,121 @@
+(** The qbpartd wire protocol, version 1.
+
+    One request frame in, one (or, for [Events], several) response
+    frames out, each frame a single-line JSON document under
+    {!Frame}'s length-prefixed framing.  [doc/PROTOCOL.md] is the
+    normative prose specification; this module is its executable twin:
+    every request/response form has a typed constructor, and the codec
+    is round-trip property-tested in [test/test_server.ml]
+    ([decode ∘ encode = id]).
+
+    Decoding is liberal in field order and tolerant of unknown fields
+    (forward compatibility), strict about types and about the [op] /
+    [type] discriminators. *)
+
+val version : int
+(** Protocol version (1); encoded as ["v"] in every frame. *)
+
+(** {1 Requests} *)
+
+type source =
+  | Inline of string  (** document body shipped in the request *)
+  | File of string    (** path resolved on the daemon's filesystem *)
+
+type submit = {
+  netlist : source;
+  timing : source option;   (** budget file in {!Qbpart_timing.Constraints_io} format *)
+  rows : int;               (** grid rows (≥ 1) *)
+  cols : int;               (** grid cols (≥ 1) *)
+  slack : float;            (** capacity slack factor *)
+  iterations : int;         (** QBP iterations per start *)
+  seed : int;               (** base RNG seed *)
+  starts : int;             (** portfolio starts (≥ 1) *)
+  deadline_s : float option;(** per-job wall-clock budget *)
+  label : string option;    (** free-form tag echoed in views *)
+}
+
+val default_submit : netlist:source -> submit
+(** [rows = 4], [cols = 4], [slack = 1.15], [iterations = 100],
+    [seed = 1], [starts = 1], no timing, no deadline, no label —
+    mirroring [qbpart solve]'s defaults. *)
+
+type request =
+  | Submit of submit
+  | Status of string   (** job id *)
+  | Events of string   (** job id; the reply is a stream *)
+  | Cancel of string   (** job id *)
+  | Metrics
+  | Drain              (** ask the daemon to drain, as SIGTERM would *)
+
+(** {1 Responses} *)
+
+type job_state = Queued | Running | Done | Failed | Cancelled
+
+val job_state_to_string : job_state -> string
+
+type job_view = {
+  id : string;
+  state : job_state;
+  label : string option;
+  queued_seconds : float;   (** submit → start (or → now while queued) *)
+  wall_seconds : float;     (** solve wall time so far / total *)
+  cost : float option;      (** certified equation-(1) objective *)
+  certified : bool option;  (** the independent audit's verdict *)
+  interrupted : bool;       (** deadline expired or cancelled mid-solve *)
+  winner : string option;   (** report winner stage *)
+  stages : string list;     (** rendered stage report lines *)
+  error : string option;    (** failure rendering when [state = Failed] *)
+  checkpoint : string option;  (** resumable checkpoint path, if one was written *)
+  assignment : int array option;  (** component index → partition index *)
+}
+
+type metrics_view = {
+  accepted : int;
+  rejected : int;           (** admission refusals (overloaded/draining) *)
+  completed : int;
+  failed : int;
+  cancelled : int;
+  queue_depth : int;
+  running : int;
+  draining : bool;
+  p50_wall : float;         (** completed-job solve wall time percentiles *)
+  p99_wall : float;
+  max_wall : float;
+  uptime_seconds : float;
+  fallbacks : (string * int) list;
+      (** per-stage fallback counts across all served jobs, sorted *)
+}
+
+type error_code =
+  | Bad_request   (** structurally valid JSON that is not a valid request *)
+  | Overloaded    (** admission refused: queue at [--max-queue] *)
+  | Draining      (** admission refused: daemon is shutting down *)
+  | Not_found     (** unknown job id *)
+  | Parse_error   (** netlist/timing input rejected by its parser *)
+  | Solver_error  (** {!Qbpart_engine.Engine.Error.t}, rendered *)
+  | Oversized     (** request frame exceeded the daemon's limit *)
+  | Malformed     (** broken framing or unparseable JSON *)
+  | Internal
+
+val error_code_to_string : error_code -> string
+(** The wire token: ["bad_request"], ["overloaded"], ... *)
+
+type response =
+  | Submitted of { job : string; queue_depth : int }
+  | Job of job_view       (** [Status] and [Cancel] reply *)
+  | Metrics_snapshot of metrics_view
+  | Event of { job : string; seq : int; state : job_state; detail : string option }
+      (** stream element for [Events]; the stream ends with a [Job] *)
+  | Drain_ack
+  | Error of { code : error_code; message : string }
+
+(** {1 Codec} *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+val pp_response : Format.formatter -> response -> unit
+(** Debug rendering (not the wire form). *)

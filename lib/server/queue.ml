@@ -1,0 +1,80 @@
+(* Two-list functional deque under a mutex.  (Plain lists rather than
+   [Stdlib.Queue] — inside this module that name is shadowed by
+   ourselves, and the volumes are tiny.) *)
+
+type 'a t = {
+  mutable front : 'a list;  (* next pop comes from here *)
+  mutable back : 'a list;   (* pushes accumulate here, reversed *)
+  mutable size : int;
+  mutable draining : bool;
+  capacity : int;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+}
+
+type push_result = Accepted of int | Overloaded | Draining
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Queue.create: capacity must be >= 0";
+  {
+    front = [];
+    back = [];
+    size = 0;
+    draining = false;
+    capacity;
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let push t x =
+  locked t (fun () ->
+      if t.draining then Draining
+      else if t.size >= t.capacity then Overloaded
+      else begin
+        t.back <- x :: t.back;
+        t.size <- t.size + 1;
+        Condition.signal t.nonempty;
+        Accepted t.size
+      end)
+
+let pop t =
+  locked t (fun () ->
+      let rec wait () =
+        if t.draining then None
+        else if t.size = 0 then begin
+          Condition.wait t.nonempty t.mu;
+          wait ()
+        end
+        else begin
+          (match t.front with
+          | [] ->
+            t.front <- List.rev t.back;
+            t.back <- []
+          | _ -> ());
+          match t.front with
+          | x :: rest ->
+            t.front <- rest;
+            t.size <- t.size - 1;
+            Some x
+          | [] -> assert false
+        end
+      in
+      wait ())
+
+let drain t =
+  locked t (fun () ->
+      let leftover = if t.draining then [] else t.front @ List.rev t.back in
+      t.draining <- true;
+      t.front <- [];
+      t.back <- [];
+      t.size <- 0;
+      Condition.broadcast t.nonempty;
+      leftover)
+
+let length t = locked t (fun () -> t.size)
+let capacity t = t.capacity
+let is_draining t = locked t (fun () -> t.draining)

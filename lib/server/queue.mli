@@ -1,0 +1,41 @@
+(** Bounded FIFO job queue with explicit admission control.
+
+    The serving layer's backpressure primitive: producers {!push}
+    without blocking and get told [Overloaded] the moment the queue
+    holds [capacity] items — the daemon turns that into a structured
+    [overloaded] protocol error instead of an unbounded backlog.
+    Consumers {!pop} blocking; {!drain} stops admission, wakes every
+    blocked consumer, and hands back whatever was still queued so the
+    caller can fail those jobs deterministically.
+
+    Thread- and domain-safe: one mutex, one condition; safe to use
+    between systhreads and worker domains. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 0].  [capacity = 0] refuses
+    every push — useful for tests that pin the overloaded path. *)
+
+type push_result =
+  | Accepted of int  (** queue depth after the push *)
+  | Overloaded       (** at capacity; the item was {e not} enqueued *)
+  | Draining         (** {!drain} happened; admission is closed forever *)
+
+val push : 'a t -> 'a -> push_result
+(** Non-blocking admission. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available ([Some]) or the queue is draining
+    {e and} empty ([None], the consumer's signal to exit).  Items
+    still queued when {!drain} fires are returned by [drain] itself,
+    not delivered to poppers. *)
+
+val drain : 'a t -> 'a list
+(** Close admission (idempotent), wake all consumers, and return the
+    still-queued items in FIFO order.  After [drain], {!push} answers
+    [Draining] and {!pop} answers [None]. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val is_draining : 'a t -> bool

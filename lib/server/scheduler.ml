@@ -1,0 +1,360 @@
+module Parser = Qbpart_netlist.Parser
+module Netlist = Qbpart_netlist.Netlist
+module Grid = Qbpart_topology.Grid
+module Constraints_io = Qbpart_timing.Constraints_io
+module Problem = Qbpart_core.Problem
+module Certify = Qbpart_core.Certify
+module Burkard = Qbpart_core.Burkard
+module Deadline = Qbpart_engine.Deadline
+module Engine = Qbpart_engine.Engine
+module Checkpoint = Qbpart_engine.Checkpoint
+
+type job = {
+  id : string;
+  spec : Protocol.submit;
+  problem : Problem.t;
+  submitted_at : float;
+  mutable started_at : float option;
+  mutable finished_at : float option;
+  mutable state : Protocol.job_state;
+  mutable deadline : Deadline.t option;
+  mutable cancel_requested : bool;
+  mutable cost : float option;
+  mutable certified : bool option;
+  mutable interrupted : bool;
+  mutable winner : string option;
+  mutable stages : string list;
+  mutable error : string option;
+  mutable last_checkpoint : Checkpoint.t option;
+  mutable checkpoint_path : string option;
+  mutable assignment : int array option;
+}
+
+type t = {
+  mu : Mutex.t;
+  queue : job Queue.t;
+  jobs : (string, job) Hashtbl.t;
+  metrics : Metrics.t;
+  checkpoint_dir : string;
+  mutable next_id : int;
+  mutable running_count : int;
+  mutable draining_flag : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* --- spec -> instance ---------------------------------------------- *)
+
+let load_source what parse = function
+  | Protocol.Inline text -> parse text
+  | Protocol.File path -> (
+    match In_channel.with_open_bin path In_channel.input_all with
+    | text -> parse text
+    | exception Sys_error m ->
+      Error (Protocol.Parse_error, Printf.sprintf "%s %s: %s" what path m))
+
+let problem_of_spec (spec : Protocol.submit) =
+  let ( let* ) = Result.bind in
+  let* () =
+    if spec.rows < 1 || spec.cols < 1 then
+      Error (Protocol.Bad_request, "rows and cols must be >= 1")
+    else if spec.iterations < 0 then Error (Protocol.Bad_request, "iterations must be >= 0")
+    else if spec.starts < 1 then Error (Protocol.Bad_request, "starts must be >= 1")
+    else if (not (Float.is_finite spec.slack)) || spec.slack <= 0.0 then
+      Error (Protocol.Bad_request, "slack must be a positive finite number")
+    else
+      match spec.deadline_s with
+      | Some d when Float.is_nan d || d < 0.0 ->
+        Error (Protocol.Bad_request, "deadline_s must be non-negative")
+      | _ -> Ok ()
+  in
+  let* nl =
+    load_source "netlist" (fun text ->
+        match Parser.parse_string text with
+        | Ok nl -> Ok nl
+        | Error e -> Error (Protocol.Parse_error, "netlist: " ^ Parser.error_to_string e))
+      spec.netlist
+  in
+  let* constraints =
+    match spec.timing with
+    | None -> Ok None
+    | Some source ->
+      load_source "timing budgets" (fun text ->
+          match Constraints_io.parse_string nl text with
+          | Ok c -> Ok (Some c)
+          | Error e ->
+            Error (Protocol.Parse_error, "timing budgets: " ^ Constraints_io.error_to_string e))
+        source
+  in
+  (* the same grid construction as [qbpart solve]: capacity follows the
+     circuit's total size so a daemon-written checkpoint and a CLI
+     --resume of it agree on the structural instance hash *)
+  let m = spec.rows * spec.cols in
+  let capacity = Netlist.total_size nl /. float_of_int m *. spec.slack in
+  let topo = Grid.make ~rows:spec.rows ~cols:spec.cols ~capacity () in
+  match Problem.make ?constraints nl topo with
+  | problem -> Ok problem
+  | exception Invalid_argument msg -> Error (Protocol.Bad_request, msg)
+
+(* --- views --------------------------------------------------------- *)
+
+let view_of_job (j : job) =
+  let now = Unix.gettimeofday () in
+  let queued_seconds =
+    match j.started_at with Some s -> s -. j.submitted_at | None -> now -. j.submitted_at
+  in
+  let wall_seconds =
+    match (j.started_at, j.finished_at) with
+    | Some s, Some f -> f -. s
+    | Some s, None -> now -. s
+    | None, _ -> 0.0
+  in
+  {
+    Protocol.id = j.id;
+    state = j.state;
+    label = j.spec.Protocol.label;
+    queued_seconds;
+    wall_seconds;
+    cost = j.cost;
+    certified = j.certified;
+    interrupted = j.interrupted;
+    winner = j.winner;
+    stages = j.stages;
+    error = j.error;
+    checkpoint = j.checkpoint_path;
+    assignment = Option.map Array.copy j.assignment;
+  }
+
+(* --- the worker loop ----------------------------------------------- *)
+
+let render_stage (s : Engine.Report.stage) =
+  Format.asprintf "%s: %a (%.3fs, cost %.1f)" s.Engine.Report.name
+    Engine.Report.pp_stage_outcome s.Engine.Report.outcome s.Engine.Report.wall_seconds
+    s.Engine.Report.cost_after
+
+let checkpoint_path t (j : job) = Filename.concat t.checkpoint_dir ("qbpartd-" ^ j.id ^ ".ckpt")
+
+let persist_checkpoint t (j : job) =
+  match j.last_checkpoint with
+  | None -> ()
+  | Some cp -> (
+    let path = checkpoint_path t j in
+    match Checkpoint.save ~path cp with
+    | Ok () -> j.checkpoint_path <- Some path
+    | Error e ->
+      j.error <- Some (Printf.sprintf "checkpoint write failed: %s" (Checkpoint.error_to_string e)))
+
+let run_job t (j : job) =
+  let skip =
+    locked t (fun () ->
+        if j.state = Protocol.Cancelled then true
+        else begin
+          j.state <- Protocol.Running;
+          j.started_at <- Some (Unix.gettimeofday ());
+          let deadline =
+            match j.spec.Protocol.deadline_s with
+            | Some s -> Deadline.of_seconds s
+            | None -> Deadline.none ()
+          in
+          (* a drain that raced this dispatch must still interrupt us *)
+          if t.draining_flag || j.cancel_requested then Deadline.cancel deadline;
+          j.deadline <- Some deadline;
+          t.running_count <- t.running_count + 1;
+          false
+        end)
+  in
+  if not skip then begin
+    let deadline = Option.get j.deadline in
+    let config =
+      {
+        Engine.Config.default with
+        qbp =
+          {
+            Burkard.Config.default with
+            iterations = j.spec.Protocol.iterations;
+            seed = j.spec.Protocol.seed;
+          };
+        starts = j.spec.Protocol.starts;
+      }
+    in
+    let on_checkpoint cp = j.last_checkpoint <- Some cp in
+    let result = Engine.solve ~config ~deadline ~on_checkpoint j.problem in
+    locked t (fun () ->
+        (match result with
+        | Ok { Engine.assignment; cost; report; certificate } ->
+          j.assignment <- Some (Array.copy assignment);
+          j.cost <- Some cost;
+          j.certified <- Some (Certify.ok certificate);
+          j.winner <- Some report.Engine.Report.winner;
+          j.stages <- List.map render_stage report.Engine.Report.stages;
+          j.interrupted <- report.Engine.Report.deadline_expired;
+          List.iter (Metrics.fallback t.metrics) report.Engine.Report.fallbacks;
+          if j.interrupted || j.cancel_requested || t.draining_flag then
+            persist_checkpoint t j;
+          if j.cancel_requested then begin
+            j.state <- Protocol.Cancelled;
+            Metrics.cancelled t.metrics
+          end
+          else begin
+            j.state <- Protocol.Done;
+            Metrics.completed t.metrics
+              ~wall:
+                (Unix.gettimeofday () -. Option.value ~default:(Unix.gettimeofday ()) j.started_at)
+          end
+        | Error e ->
+          j.error <- Some (Engine.Error.to_string e);
+          j.state <- Protocol.Failed;
+          Metrics.failed t.metrics);
+        j.finished_at <- Some (Unix.gettimeofday ());
+        t.running_count <- t.running_count - 1)
+  end
+
+let worker_loop t () =
+  let rec loop () =
+    match Queue.pop t.queue with
+    | None -> ()
+    | Some job ->
+      (try run_job t job
+       with exn ->
+         (* the engine never raises; this guards our own bookkeeping so
+            a worker can never die and silently shrink the pool *)
+         locked t (fun () ->
+             job.error <- Some (Printexc.to_string exn);
+             job.state <- Protocol.Failed;
+             job.finished_at <- Some (Unix.gettimeofday ());
+             Metrics.failed t.metrics));
+      loop ()
+  in
+  loop ()
+
+(* --- API ----------------------------------------------------------- *)
+
+let create ?(workers = 2) ?(checkpoint_dir = ".") ~queue_capacity ~metrics () =
+  if workers < 1 then invalid_arg "Scheduler.create: workers must be >= 1";
+  let t =
+    {
+      mu = Mutex.create ();
+      queue = Queue.create ~capacity:queue_capacity;
+      jobs = Hashtbl.create 64;
+      metrics;
+      checkpoint_dir;
+      next_id = 1;
+      running_count = 0;
+      draining_flag = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init workers (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let submit t spec =
+  match problem_of_spec spec with
+  | Error (code, msg) ->
+    Metrics.rejected t.metrics;
+    Error (code, msg)
+  | Ok problem ->
+    locked t (fun () ->
+        if t.draining_flag then begin
+          Metrics.rejected t.metrics;
+          Error (Protocol.Draining, "daemon is draining; resubmit elsewhere")
+        end
+        else begin
+          let id = Printf.sprintf "j%d" t.next_id in
+          let job =
+            {
+              id;
+              spec;
+              problem;
+              submitted_at = Unix.gettimeofday ();
+              started_at = None;
+              finished_at = None;
+              state = Protocol.Queued;
+              deadline = None;
+              cancel_requested = false;
+              cost = None;
+              certified = None;
+              interrupted = false;
+              winner = None;
+              stages = [];
+              error = None;
+              last_checkpoint = None;
+              checkpoint_path = None;
+              assignment = None;
+            }
+          in
+          match Queue.push t.queue job with
+          | Queue.Accepted depth ->
+            t.next_id <- t.next_id + 1;
+            Hashtbl.replace t.jobs id job;
+            Metrics.accepted t.metrics;
+            Ok (id, depth)
+          | Queue.Overloaded ->
+            Metrics.rejected t.metrics;
+            Error
+              ( Protocol.Overloaded,
+                Printf.sprintf "queue full (%d job%s queued, max %d)" (Queue.length t.queue)
+                  (if Queue.length t.queue = 1 then "" else "s")
+                  (Queue.capacity t.queue) )
+          | Queue.Draining ->
+            Metrics.rejected t.metrics;
+            Error (Protocol.Draining, "daemon is draining; resubmit elsewhere")
+        end)
+
+let view t id = locked t (fun () -> Option.map view_of_job (Hashtbl.find_opt t.jobs id))
+
+let cancel t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.jobs id with
+      | None -> None
+      | Some j ->
+        (match j.state with
+        | Protocol.Queued ->
+          j.cancel_requested <- true;
+          j.state <- Protocol.Cancelled;
+          j.finished_at <- Some (Unix.gettimeofday ());
+          Metrics.cancelled t.metrics
+        | Protocol.Running ->
+          j.cancel_requested <- true;
+          Option.iter Deadline.cancel j.deadline
+        | Protocol.Done | Protocol.Failed | Protocol.Cancelled -> ());
+        Some (view_of_job j))
+
+let queue_depth t = Queue.length t.queue
+let running t = locked t (fun () -> t.running_count)
+let draining t = locked t (fun () -> t.draining_flag)
+
+let snapshot t =
+  Metrics.snapshot t.metrics ~queue_depth:(Queue.length t.queue)
+    ~running:(running t) ~draining:(draining t)
+
+let drain t =
+  let proceed =
+    locked t (fun () ->
+        if t.draining_flag then false
+        else begin
+          t.draining_flag <- true;
+          true
+        end)
+  in
+  if proceed then begin
+    let leftover = Queue.drain t.queue in
+    locked t (fun () ->
+        List.iter
+          (fun (j : job) ->
+            if j.state = Protocol.Queued then begin
+              j.state <- Protocol.Cancelled;
+              j.error <- Some "daemon drained before the job started";
+              j.finished_at <- Some (Unix.gettimeofday ());
+              Metrics.cancelled t.metrics
+            end)
+          leftover;
+        Hashtbl.iter
+          (fun _ (j : job) ->
+            if j.state = Protocol.Running then Option.iter Deadline.cancel j.deadline)
+          t.jobs);
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end

@@ -1,0 +1,68 @@
+(** Job lifecycle and dispatch onto the solver stack.
+
+    The scheduler owns a bounded {!Queue} of parsed, validated jobs
+    and a fixed pool of OCaml 5 worker domains, each looping
+    pop → {!Qbpart_engine.Engine.solve} → record.  It {e reuses} the
+    engine's whole contract rather than duplicating any of it: the
+    degradation ladder and portfolio supervision run unchanged inside
+    the worker, per-job deadlines are ordinary {!Qbpart_engine.Deadline}
+    tokens (so cancellation is the same cooperative mechanism the CLI
+    uses), and every served answer carries the engine's independent
+    {!Qbpart_core.Certify} audit.
+
+    Lifecycle: [Queued → Running → Done | Failed | Cancelled].
+    Cancelling a queued job is immediate; cancelling a running job
+    cancels its deadline, and the engine's anytime contract turns that
+    into a prompt best-so-far return — the job ends [Cancelled] but
+    still carries its certified incumbent and, when one was captured,
+    a resumable checkpoint.
+
+    {!drain} is the graceful-shutdown path: close admission, cancel
+    every queued job, cancel every in-flight deadline, join the
+    workers, and persist a checkpoint for each interrupted job under
+    the checkpoint directory — the daemon's SIGTERM handler is one
+    call to this function. *)
+
+module Problem := Qbpart_core.Problem
+
+type t
+
+val create :
+  ?workers:int ->
+  ?checkpoint_dir:string ->
+  queue_capacity:int ->
+  metrics:Metrics.t ->
+  unit ->
+  t
+(** Spawn the worker pool.  [workers] defaults to 2; [checkpoint_dir]
+    (default ["."]) receives [qbpartd-<job>.ckpt] files for
+    interrupted jobs.
+    @raise Invalid_argument if [workers < 1] or [queue_capacity < 0]. *)
+
+val problem_of_spec : Protocol.submit -> (Problem.t, Protocol.error_code * string) result
+(** Parse and validate a submission into a solver instance: netlist
+    (inline or by daemon-side path), optional timing budgets, and the
+    same grid construction as [qbpart solve] ([capacity = total size /
+    M × slack]) — so a checkpoint written here resumes under the CLI
+    with identical instance hash.  Errors map to [Bad_request] /
+    [Parse_error]. *)
+
+val submit : t -> Protocol.submit -> (string * int, Protocol.error_code * string) result
+(** Admit a job: parse via {!problem_of_spec}, then push.  [Ok (job
+    id, queue depth)]; [Error (Overloaded, _)] beyond the queue bound,
+    [Error (Draining, _)] once {!drain} started. *)
+
+val view : t -> string -> Protocol.job_view option
+val cancel : t -> string -> Protocol.job_view option
+
+val queue_depth : t -> int
+val running : t -> int
+val draining : t -> bool
+val snapshot : t -> Protocol.metrics_view
+
+val drain : t -> unit
+(** Idempotent; blocks until every worker has exited.  Queued jobs
+    become [Cancelled]; running jobs finish promptly under their
+    cancelled deadlines and keep their certified best-so-far results;
+    interrupted jobs get their last checkpoint persisted
+    ([job_view.checkpoint]). *)

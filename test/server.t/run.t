@@ -1,0 +1,108 @@
+The qbpartd partitioning service end to end: submit, status, cancel,
+backpressure, graceful drain, and resuming the drained job's
+checkpoint from the plain CLI.
+
+Client commands fail fast, with exit 123, when nothing is listening:
+
+  $ qbpart status j1 --socket missing.sock
+  qbpart: cannot connect to missing.sock: No such file or directory
+  [123]
+
+Two circuits: a small one jobs finish quickly, and one big enough that
+a 40-start portfolio is still mid-flight when we drain the daemon:
+
+  $ qbpart generate -n 16 -w 36 --seed 9 -o circ.net
+  wrote circ.net: 16 components, 36 interconnections
+  $ qbpart generate -n 160 -w 900 --seed 7 -o big.net
+  wrote big.net: 160 components, 900 interconnections
+
+Start the daemon: one worker, at most two queued jobs:
+
+  $ mkdir ckpts
+  $ qbpartd --socket d.sock --max-queue 2 --workers 1 --checkpoint-dir ckpts 2> daemon.log &
+  $ pid=$!
+  $ for i in $(seq 1 100); do [ -S d.sock ] && break; sleep 0.1; done
+
+Submit-and-wait behaves like a remote `qbpart solve`: the certified
+assignment lands in the output file and the exit code is 0:
+
+  $ qbpart submit circ.net --socket d.sock --rows 2 --cols 2 --slack 1.4 --wait -o job.asgn 2> /dev/null
+  $ wc -l < job.asgn
+  16
+
+Fire-and-forget prints the job id; the job is queryable afterwards:
+
+  $ qbpart submit circ.net --socket d.sock --rows 2 --cols 2 --slack 1.4 2> /dev/null
+  j2
+  $ for i in $(seq 1 100); do qbpart status j2 --socket d.sock 2> /dev/null | grep -q done && break; sleep 0.1; done
+  $ qbpart status j2 --socket d.sock 2> /dev/null
+  j2 done certified
+
+A malformed netlist is refused before it ever reaches the daemon:
+
+  $ echo "garbage ][" > bad.net
+  $ qbpart submit bad.net --socket d.sock
+  qbpart: bad.net: line 1: unknown declaration "garbage"
+  [123]
+
+Now occupy the single worker with a long portfolio job, fill both
+queue slots, and watch the admission bound reject the next submission
+with a structured error:
+
+  $ qbpart submit big.net --socket d.sock --rows 2 --cols 2 --slack 1.4 --starts 40 --iterations 3000 2> /dev/null
+  j3
+  $ for i in $(seq 1 100); do qbpart status j3 --socket d.sock 2> /dev/null | grep -q running && break; sleep 0.1; done
+  $ qbpart status j3 --socket d.sock 2> /dev/null
+  j3 running
+  $ qbpart submit circ.net --socket d.sock --rows 2 --cols 2 --slack 1.4 2> /dev/null
+  j4
+  $ qbpart submit circ.net --socket d.sock --rows 2 --cols 2 --slack 1.4 2> /dev/null
+  j5
+  $ qbpart submit circ.net --socket d.sock --rows 2 --cols 2 --slack 1.4
+  qbpart: server overloaded: queue full (2 jobs queued, max 2)
+  [123]
+
+Cancelling a queued job is immediate; unknown ids are a structured
+not_found:
+
+  $ qbpart cancel j5 --socket d.sock 2> /dev/null
+  j5 cancelled
+  $ qbpart cancel nope --socket d.sock
+  qbpart: server not_found: no such job "nope"
+  [123]
+
+The metrics snapshot reflects all of the above:
+
+  $ qbpart metrics --socket d.sock | tr ',' '\n' | grep -E '"(accepted|rejected|cancelled)"'
+  "accepted":5
+  "rejected":1
+  "cancelled":1
+
+SIGTERM while j3 is mid-flight: the daemon stops accepting, cancels
+the queued j4, lets j3 return its certified best-so-far, persists j3's
+checkpoint, and exits 0:
+
+  $ kill -TERM $pid
+  $ wait $pid
+  $ echo "exit $?"
+  exit 0
+  $ grep -c "qbpartd: drained" daemon.log
+  1
+  $ [ -S d.sock ] && echo "socket still there" || echo "socket gone"
+  socket gone
+  $ ls ckpts
+  qbpartd-j3.ckpt
+
+The drained job's checkpoint is a first-class engine checkpoint: the
+plain CLI validates it against the same instance and resumes it to a
+certified answer:
+
+  $ qbpart checkpoint ckpts/qbpartd-j3.ckpt | grep -c "instance hash"
+  1
+  $ qbpart solve big.net --rows 2 --cols 2 --slack 1.4 --starts 40 -j 1 \
+  >   --iterations 3000 --deadline 10s --resume ckpts/qbpartd-j3.ckpt \
+  >   -o resumed.asgn 2> resume.err
+  $ grep -c "certificate: ok" resume.err
+  1
+  $ wc -l < resumed.asgn
+  160

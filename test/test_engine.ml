@@ -14,6 +14,7 @@ module Burkard = Qbpart_core.Burkard
 module Adaptive = Qbpart_core.Adaptive
 module Circuits = Qbpart_experiments.Circuits
 module Deadline = Qbpart_engine.Deadline
+module Signals = Qbpart_engine.Signals
 module Engine = Qbpart_engine.Engine
 
 let check = Alcotest.check
@@ -53,6 +54,24 @@ let test_deadline_backwards_clock () =
   check flt "still clamped" 0.8 (Deadline.elapsed d);
   check Alcotest.bool "expires on real progress" true (Deadline.expired d)
 
+let test_deadline_backwards_never_reinflates () =
+  (* The monotone clamp, end to end: once 1.0s of a 1.0s budget has
+     been observed, a clock stepping backwards (even below the start
+     time) must neither re-inflate [remaining] nor un-expire the
+     deadline. *)
+  let d =
+    Deadline.of_seconds
+      ~clock:(fake_clock [ 50.0; 51.0; 49.0; 40.0; 50.2; 50.9 ])
+      1.0
+  in
+  check flt "budget consumed" 1.0 (Deadline.elapsed d);
+  check Alcotest.bool "expired at the high-water mark" true (Deadline.expired d);
+  (* clock now reads 49.0, 40.0, 50.2, 50.9 — all behind the mark *)
+  check flt "remaining stays zero" 0.0 (Deadline.remaining d);
+  check Alcotest.bool "never un-expires" true (Deadline.expired d);
+  check flt "elapsed never shrinks" 1.0 (Deadline.elapsed d);
+  check Alcotest.bool "still expired" true (Deadline.expired d)
+
 let test_deadline_zero_and_infinite () =
   let z = Deadline.of_seconds ~clock:(fake_clock [ 0.0 ]) 0.0 in
   check Alcotest.bool "zero budget expired" true (Deadline.expired z);
@@ -83,6 +102,23 @@ let test_deadline_should_stop () =
   let stop = Deadline.should_stop d in
   check Alcotest.bool "before" false (stop ());
   check Alcotest.bool "after" true (stop ())
+
+(* Signals: two subscribers must compose — the second registration may
+   not clobber the first (the bug this helper replaces: two direct
+   [Sys.set_signal] installs, last writer wins). *)
+let test_signals_compose () =
+  let first = ref 0 and second = ref 0 in
+  Signals.on_terminate (fun s -> if s = Sys.sigterm then incr first);
+  Signals.on_terminate (fun s -> if s = Sys.sigterm then incr second);
+  check Alcotest.bool "both registered" true (Signals.pending () >= 2);
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  (* the handler runs at an allocation safepoint; give it one *)
+  let until = Unix.gettimeofday () +. 5.0 in
+  while !second = 0 && Unix.gettimeofday () < until do
+    ignore (Sys.opaque_identity (ref 0))
+  done;
+  check Alcotest.int "first subscriber saw the signal" 1 !first;
+  check Alcotest.int "second subscriber saw the signal" 1 !second
 
 (* ------------------------------------------------------------------ *)
 (* Shared fixtures. *)
@@ -502,11 +538,15 @@ let () =
         [
           Alcotest.test_case "progression" `Quick test_deadline_progression;
           Alcotest.test_case "backwards clock" `Quick test_deadline_backwards_clock;
+          Alcotest.test_case "backwards clock never re-inflates" `Quick
+            test_deadline_backwards_never_reinflates;
           Alcotest.test_case "zero and infinite" `Quick test_deadline_zero_and_infinite;
           Alcotest.test_case "cancel" `Quick test_deadline_cancel;
           Alcotest.test_case "invalid budgets" `Quick test_deadline_invalid;
           Alcotest.test_case "should_stop" `Quick test_deadline_should_stop;
         ] );
+      ( "signals",
+        [ Alcotest.test_case "subscribers compose" `Quick test_signals_compose ] );
       ( "ladder",
         [
           Alcotest.test_case "clean run" `Quick test_engine_clean_run;

@@ -1,0 +1,679 @@
+(* Server tests: JSON/framing/protocol codecs (property-tested
+   round-trips plus rejection of truncated, oversized and malformed
+   input), the bounded queue's admission control and drain semantics,
+   scheduler validation, and an in-process end-to-end exercise of the
+   full serving contract over a real Unix-domain socket: two concurrent
+   clients, interleaved submit/status/cancel, client disconnect
+   mid-job, structured overloaded rejection, graceful drain, and a
+   checkpoint from an interrupted job resumed to a certified answer. *)
+
+module Json = Qbpart_server.Json
+module Frame = Qbpart_server.Frame
+module Protocol = Qbpart_server.Protocol
+module Squeue = Qbpart_server.Queue
+module Metrics = Qbpart_server.Metrics
+module Scheduler = Qbpart_server.Scheduler
+module Server = Qbpart_server.Server
+module Client = Qbpart_server.Client
+module Generator = Qbpart_netlist.Generator
+module Printer = Qbpart_netlist.Printer
+module Rng = Qbpart_netlist.Rng
+module Certify = Qbpart_core.Certify
+module Engine = Qbpart_engine.Engine
+module Checkpoint = Qbpart_engine.Checkpoint
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_scalars () =
+  let rt v = Json.of_string (Json.to_string v) in
+  check Alcotest.bool "null" true (rt Json.Null = Ok Json.Null);
+  check Alcotest.bool "true" true (rt (Json.Bool true) = Ok (Json.Bool true));
+  check Alcotest.bool "int" true (rt (Json.Int (-42)) = Ok (Json.Int (-42)));
+  check Alcotest.bool "escapes" true
+    (rt (Json.String "a\"b\\c\nd\te\x01") = Ok (Json.String "a\"b\\c\nd\te\x01"));
+  (match Json.of_string "{\"a\": [1, 2.5, \"x\"], \"b\": null}" with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "x" ]); ("b", Json.Null) ])
+    -> ()
+  | Ok other -> fail ("unexpected parse: " ^ Json.to_string other)
+  | Error e -> fail e);
+  (match Json.of_string "{\"a\": 1} trailing" with
+  | Error _ -> ()
+  | Ok _ -> fail "trailing garbage accepted")
+
+let test_json_float_round_trip () =
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float g) ->
+        check Alcotest.bool (Printf.sprintf "%h exact" f) true (Int64.bits_of_float f = Int64.bits_of_float g)
+      | Ok (Json.Int i) ->
+        check Alcotest.bool (Printf.sprintf "%h integral" f) true (float_of_int i = f)
+      | Ok other -> fail ("float parsed as " ^ Json.to_string other)
+      | Error e -> fail e)
+    [ 0.1; -1.5; 1e-300; 1.7976931348623157e308; 3.0; -0.0; 4.9406564584124654e-324 ]
+
+(* ------------------------------------------------------------------ *)
+(* Frame *)
+
+let test_frame_round_trip =
+  QCheck.Test.make ~name:"frame: decode (encode s) = s" ~count:500
+    QCheck.(string_gen QCheck.Gen.char)
+    (fun payload ->
+      match Frame.decode (Frame.encode payload) ~pos:0 with
+      | Ok (p, next) -> p = payload && next = String.length (Frame.encode payload)
+      | Error _ -> false)
+
+let test_frame_truncation =
+  (* no strict prefix of a valid frame may decode successfully *)
+  QCheck.Test.make ~name:"frame: every strict prefix is rejected" ~count:200
+    QCheck.(string_gen QCheck.Gen.char)
+    (fun payload ->
+      let wire = Frame.encode payload in
+      let ok = ref true in
+      for cut = 0 to String.length wire - 1 do
+        match Frame.decode (String.sub wire 0 cut) ~pos:0 with
+        | Ok _ -> ok := false
+        | Error (Frame.Eof | Frame.Truncated _ | Frame.Malformed _) -> ()
+        | Error (Frame.Oversized _) -> ok := false
+      done;
+      !ok)
+
+let test_frame_limits () =
+  (match Frame.decode ~max:16 (Frame.encode (String.make 1000 'x')) ~pos:0 with
+  | Error (Frame.Oversized { declared = 1000; max = 16 }) -> ()
+  | Error e -> fail ("wrong error: " ^ Frame.error_to_string e)
+  | Ok _ -> fail "oversized frame accepted");
+  (match Frame.decode "not-a-length\n{}\n" ~pos:0 with
+  | Error (Frame.Malformed _) -> ()
+  | Error e -> fail ("wrong error: " ^ Frame.error_to_string e)
+  | Ok _ -> fail "malformed header accepted");
+  (match Frame.decode "5\nhelloX" ~pos:0 with
+  | Error (Frame.Malformed _) -> ()
+  | Error e -> fail ("wrong error: " ^ Frame.error_to_string e)
+  | Ok _ -> fail "missing terminator accepted");
+  match Frame.decode "" ~pos:0 with
+  | Error Frame.Eof -> ()
+  | Error e -> fail ("wrong error: " ^ Frame.error_to_string e)
+  | Ok _ -> fail "empty stream accepted"
+
+let test_frame_sequence () =
+  let payloads = [ "{}"; "{\"op\":\"metrics\",\"v\":1}"; String.make 100 '\n'; "" ] in
+  let wire = String.concat "" (List.map Frame.encode payloads) in
+  let rec decode_all pos acc =
+    if pos >= String.length wire then List.rev acc
+    else
+      match Frame.decode wire ~pos with
+      | Ok (p, next) -> decode_all next (p :: acc)
+      | Error e -> fail ("mid-stream error: " ^ Frame.error_to_string e)
+  in
+  check Alcotest.(list string) "frames in order" payloads (decode_all 0 [])
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codec: property-tested round-trips *)
+
+let gen_finite_float =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl [ 0.0; 1.0; -1.5; 0.1; 1.15; 1e-9; 12345.678 ];
+        map (fun (m, e) -> ldexp m e) (pair (float_bound_inclusive 1.0) (int_range (-30) 30));
+      ])
+
+let gen_wire_string =
+  (* exercise escaping: quotes, backslashes, control chars, high bytes *)
+  QCheck.Gen.(string_size ~gen:char (int_range 0 30))
+
+let gen_source =
+  QCheck.Gen.(
+    oneof
+      [ map (fun s -> Protocol.Inline s) gen_wire_string; map (fun s -> Protocol.File s) gen_wire_string ])
+
+let gen_submit =
+  QCheck.Gen.(
+    let* netlist = gen_source in
+    let* timing = opt gen_source in
+    let* rows = int_range 1 8 in
+    let* cols = int_range 1 8 in
+    let* slack = gen_finite_float in
+    let* iterations = int_range 0 1000 in
+    let* seed = int_range 0 1_000_000 in
+    let* starts = int_range 1 16 in
+    let* deadline_s = opt gen_finite_float in
+    let* label = opt gen_wire_string in
+    return
+      { Protocol.netlist; timing; rows; cols; slack; iterations; seed; starts; deadline_s; label })
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Protocol.Submit s) gen_submit;
+        map (fun id -> Protocol.Status id) gen_wire_string;
+        map (fun id -> Protocol.Events id) gen_wire_string;
+        map (fun id -> Protocol.Cancel id) gen_wire_string;
+        return Protocol.Metrics;
+        return Protocol.Drain;
+      ])
+
+let gen_job_state =
+  QCheck.Gen.oneofl
+    [ Protocol.Queued; Protocol.Running; Protocol.Done; Protocol.Failed; Protocol.Cancelled ]
+
+let gen_error_code =
+  QCheck.Gen.oneofl
+    [
+      Protocol.Bad_request;
+      Protocol.Overloaded;
+      Protocol.Draining;
+      Protocol.Not_found;
+      Protocol.Parse_error;
+      Protocol.Solver_error;
+      Protocol.Oversized;
+      Protocol.Malformed;
+      Protocol.Internal;
+    ]
+
+let gen_job_view =
+  QCheck.Gen.(
+    let* id = gen_wire_string in
+    let* state = gen_job_state in
+    let* label = opt gen_wire_string in
+    let* queued_seconds = gen_finite_float in
+    let* wall_seconds = gen_finite_float in
+    let* cost = opt gen_finite_float in
+    let* certified = opt bool in
+    let* interrupted = bool in
+    let* winner = opt gen_wire_string in
+    let* stages = list_size (int_range 0 5) gen_wire_string in
+    let* error = opt gen_wire_string in
+    let* checkpoint = opt gen_wire_string in
+    let* assignment = opt (array_size (int_range 0 20) (int_range 0 63)) in
+    return
+      {
+        Protocol.id;
+        state;
+        label;
+        queued_seconds;
+        wall_seconds;
+        cost;
+        certified;
+        interrupted;
+        winner;
+        stages;
+        error;
+        checkpoint;
+        assignment;
+      })
+
+let gen_metrics_view =
+  QCheck.Gen.(
+    let* accepted = int_range 0 1000 in
+    let* rejected = int_range 0 1000 in
+    let* completed = int_range 0 1000 in
+    let* failed = int_range 0 1000 in
+    let* cancelled = int_range 0 1000 in
+    let* queue_depth = int_range 0 64 in
+    let* running = int_range 0 16 in
+    let* draining = bool in
+    let* p50_wall = gen_finite_float in
+    let* p99_wall = gen_finite_float in
+    let* max_wall = gen_finite_float in
+    let* uptime_seconds = gen_finite_float in
+    let* fallbacks =
+      list_size (int_range 0 4)
+        (pair (oneofl [ "gkl"; "gfm"; "safety-net"; "qbp" ]) (int_range 0 99))
+    in
+    (* field names must be unique for an honest object round-trip *)
+    let fallbacks = List.sort_uniq (fun (a, _) (b, _) -> compare a b) fallbacks in
+    return
+      {
+        Protocol.accepted;
+        rejected;
+        completed;
+        failed;
+        cancelled;
+        queue_depth;
+        running;
+        draining;
+        p50_wall;
+        p99_wall;
+        max_wall;
+        uptime_seconds;
+        fallbacks;
+      })
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun job queue_depth -> Protocol.Submitted { job; queue_depth }) gen_wire_string
+          (int_range 0 64);
+        map (fun v -> Protocol.Job v) gen_job_view;
+        map (fun m -> Protocol.Metrics_snapshot m) gen_metrics_view;
+        (let* job = gen_wire_string in
+         let* seq = int_range 0 100 in
+         let* state = gen_job_state in
+         let* detail = opt gen_wire_string in
+         return (Protocol.Event { job; seq; state; detail }));
+        return Protocol.Drain_ack;
+        (let* code = gen_error_code in
+         let* message = gen_wire_string in
+         return (Protocol.Error { code; message }));
+      ])
+
+let test_request_round_trip =
+  QCheck.Test.make ~name:"protocol: decode_request (encode_request r) = r" ~count:1000
+    (QCheck.make gen_request)
+    (fun r ->
+      match Protocol.decode_request (Protocol.encode_request r) with
+      | Ok r' -> r' = r
+      | Error _ -> false)
+
+let test_response_round_trip =
+  QCheck.Test.make ~name:"protocol: decode_response (encode_response r) = r" ~count:1000
+    (QCheck.make gen_response)
+    (fun r ->
+      match Protocol.decode_response (Protocol.encode_response r) with
+      | Ok r' -> r' = r
+      | Error _ -> false)
+
+let test_protocol_rejects () =
+  List.iter
+    (fun s ->
+      match Protocol.decode_request s with
+      | Error _ -> ()
+      | Ok _ -> fail (Printf.sprintf "accepted %S" s))
+    [
+      "";
+      "[]";
+      "{}";
+      "{\"v\":1}";
+      "{\"v\":1,\"op\":\"launch-missiles\"}";
+      "{\"v\":1,\"op\":\"status\"}" (* missing job *);
+      "{\"v\":1,\"op\":\"status\",\"job\":7}" (* wrong type *);
+      "{\"v\":1,\"op\":\"submit\"}" (* no netlist *);
+      "not json at all";
+    ]
+
+let test_protocol_tolerates_unknown_fields () =
+  match Protocol.decode_request "{\"v\":1,\"op\":\"status\",\"job\":\"j1\",\"future\":true}" with
+  | Ok (Protocol.Status "j1") -> ()
+  | Ok _ -> fail "wrong parse"
+  | Error e -> fail e
+
+(* ------------------------------------------------------------------ *)
+(* Queue *)
+
+let test_queue_fifo () =
+  let q = Squeue.create ~capacity:3 in
+  check Alcotest.int "capacity" 3 (Squeue.capacity q);
+  (match Squeue.push q 1 with Squeue.Accepted 1 -> () | _ -> fail "push 1");
+  (match Squeue.push q 2 with Squeue.Accepted 2 -> () | _ -> fail "push 2");
+  (match Squeue.push q 3 with Squeue.Accepted 3 -> () | _ -> fail "push 3");
+  (match Squeue.push q 4 with Squeue.Overloaded -> () | _ -> fail "capacity not enforced");
+  check Alcotest.int "length" 3 (Squeue.length q);
+  check Alcotest.(option int) "fifo 1" (Some 1) (Squeue.pop q);
+  (match Squeue.push q 4 with Squeue.Accepted 3 -> () | _ -> fail "slot freed");
+  check Alcotest.(option int) "fifo 2" (Some 2) (Squeue.pop q);
+  check Alcotest.(option int) "fifo 3" (Some 3) (Squeue.pop q);
+  check Alcotest.(option int) "fifo 4" (Some 4) (Squeue.pop q)
+
+let test_queue_zero_capacity () =
+  let q = Squeue.create ~capacity:0 in
+  match Squeue.push q () with
+  | Squeue.Overloaded -> ()
+  | _ -> fail "zero-capacity queue accepted a push"
+
+let test_queue_drain () =
+  let q = Squeue.create ~capacity:8 in
+  List.iter (fun i -> ignore (Squeue.push q i)) [ 1; 2; 3 ];
+  check Alcotest.(list int) "leftovers in FIFO order" [ 1; 2; 3 ] (Squeue.drain q);
+  check Alcotest.bool "draining" true (Squeue.is_draining q);
+  (match Squeue.push q 9 with Squeue.Draining -> () | _ -> fail "admission not closed");
+  check Alcotest.(option int) "pop after drain" None (Squeue.pop q);
+  check Alcotest.(list int) "drain idempotent" [] (Squeue.drain q)
+
+let test_queue_drain_wakes_blocked_pop () =
+  let q : int Squeue.t = Squeue.create ~capacity:4 in
+  let result = ref (Some 0) in
+  let th = Thread.create (fun () -> result := Squeue.pop q) () in
+  Thread.delay 0.05;
+  ignore (Squeue.drain q);
+  Thread.join th;
+  check Alcotest.(option int) "blocked consumer released with None" None !result
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_snapshot () =
+  let m = Metrics.create () in
+  Metrics.accepted m;
+  Metrics.accepted m;
+  Metrics.rejected m;
+  Metrics.completed m ~wall:0.1;
+  Metrics.completed m ~wall:0.3;
+  Metrics.fallback m "gkl";
+  Metrics.fallback m "gkl";
+  Metrics.fallback m "safety-net";
+  let s = Metrics.snapshot m ~queue_depth:1 ~running:1 ~draining:false in
+  check Alcotest.int "accepted" 2 s.Protocol.accepted;
+  check Alcotest.int "rejected" 1 s.Protocol.rejected;
+  check Alcotest.int "completed" 2 s.Protocol.completed;
+  check (Alcotest.float 1e-9) "p50" 0.1 s.Protocol.p50_wall;
+  check (Alcotest.float 1e-9) "p99" 0.3 s.Protocol.p99_wall;
+  check (Alcotest.float 1e-9) "max" 0.3 s.Protocol.max_wall;
+  check
+    Alcotest.(list (pair string int))
+    "fallbacks" [ ("gkl", 2); ("safety-net", 1) ] s.Protocol.fallbacks
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: spec validation without any socket *)
+
+let netlist_text ~n ~wires ~seed =
+  let rng = Rng.create seed in
+  Printer.to_string (Generator.generate rng (Generator.default_params ~n ~wires))
+
+let base_spec text = Protocol.default_submit ~netlist:(Protocol.Inline text)
+
+(* the generated instances pack comfortably into a 2x2 grid; the
+   default 4x4 is over-partitioned for them (no feasible random start) *)
+let small_grid spec = { spec with Protocol.rows = 2; cols = 2 }
+
+let test_scheduler_validation () =
+  let text = netlist_text ~n:12 ~wires:24 ~seed:3 in
+  (match Scheduler.problem_of_spec { (base_spec text) with Protocol.rows = 0 } with
+  | Error (Protocol.Bad_request, _) -> ()
+  | Error (c, m) -> fail (Protocol.error_code_to_string c ^ ": " ^ m)
+  | Ok _ -> fail "rows = 0 accepted");
+  (match Scheduler.problem_of_spec { (base_spec text) with Protocol.slack = Float.nan } with
+  | Error (Protocol.Bad_request, _) -> ()
+  | _ -> fail "nan slack accepted");
+  (match Scheduler.problem_of_spec (base_spec "not a netlist ][") with
+  | Error (Protocol.Parse_error, _) -> ()
+  | Error (c, m) -> fail (Protocol.error_code_to_string c ^ ": " ^ m)
+  | Ok _ -> fail "garbage netlist accepted");
+  (match
+     Scheduler.problem_of_spec
+       { (base_spec text) with Protocol.netlist = Protocol.File "/nonexistent/x.net" }
+   with
+  | Error (Protocol.Parse_error, _) -> ()
+  | _ -> fail "missing file accepted");
+  match Scheduler.problem_of_spec (base_spec text) with
+  | Ok _ -> ()
+  | Error (c, m) -> fail (Protocol.error_code_to_string c ^ ": " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: the serving contract over a real socket *)
+
+let temp_dir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qbpartd-test-%d-%d" (Unix.getpid ()) (int_of_float (Unix.gettimeofday () *. 1000.) mod 100000))
+  in
+  Unix.mkdir dir 0o700;
+  dir
+
+let rec wait_for ?(timeout = 20.0) ?(poll = 0.02) pred what =
+  if timeout <= 0.0 then fail ("timed out waiting for " ^ what)
+  else if pred () then ()
+  else begin
+    Thread.delay poll;
+    wait_for ~timeout:(timeout -. poll) ~poll pred what
+  end
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let call_ok c req =
+  match Client.call c req with Ok r -> r | Error e -> fail ("call failed: " ^ e)
+
+let job_of_submit = function
+  | Protocol.Submitted { job; _ } -> job
+  | r -> fail (Format.asprintf "expected submitted, got %a" Protocol.pp_response r)
+
+let test_e2e_serving_contract () =
+  let dir = temp_dir () in
+  let socket_path = Filename.concat dir "d.sock" in
+  let config =
+    { (Server.default_config ~socket_path) with Server.max_queue = 1; workers = 1;
+      checkpoint_dir = dir }
+  in
+  let server =
+    match Server.create config with Ok s -> s | Error e -> fail ("server create: " ^ e)
+  in
+  let serve_thread = Thread.create Server.serve server in
+  let finished = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      (* never leak the listener or the worker domains on a failing test *)
+      if not !finished then begin
+        Server.request_drain server;
+        Thread.join serve_thread
+      end)
+  @@ fun () ->
+  let text = netlist_text ~n:40 ~wires:120 ~seed:11 in
+  let connect () =
+    match Client.connect ~socket_path with
+    | Ok c -> c
+    | Error e -> fail ("connect: " ^ e)
+  in
+  let a = connect () in
+  let b = connect () in
+
+  (* J1: a deliberately long job (many portfolio starts) that we will
+     cancel mid-flight; every completed start captures a checkpoint. *)
+  let long_spec =
+    { (small_grid (base_spec text)) with Protocol.starts = 4000; iterations = 80; label = Some "long" }
+  in
+  let j1 = job_of_submit (call_ok a (Protocol.Submit long_spec)) in
+  wait_for
+    (fun () ->
+      match Scheduler.view (Server.scheduler server) j1 with
+      | Some v -> v.Protocol.state = Protocol.Running
+      | None -> false)
+    "j1 to start running";
+
+  (* J2 fills the single queue slot (submitted from the other client)... *)
+  let short_spec = { (small_grid (base_spec text)) with Protocol.iterations = 40; label = Some "short" } in
+  let j2 = job_of_submit (call_ok b (Protocol.Submit short_spec)) in
+
+  (* ...so a third submission must be refused with a structured
+     [overloaded] error mentioning the bound. *)
+  (match call_ok a (Protocol.Submit short_spec) with
+  | Protocol.Error { code = Protocol.Overloaded; message } ->
+    check Alcotest.bool "overloaded message names the bound" true
+      (contains ~needle:"max 1" message)
+  | r -> fail (Format.asprintf "expected overloaded, got %a" Protocol.pp_response r));
+
+  (* client B vanishes mid-job: its connection thread dies, its job
+     must not. *)
+  Client.close b;
+
+  (* cancel the long job from client A: prompt Cancelled terminal state
+     carrying a certified best-so-far and a resumable checkpoint. *)
+  (match call_ok a (Protocol.Cancel j1) with
+  | Protocol.Job _ -> ()
+  | r -> fail (Format.asprintf "expected job view, got %a" Protocol.pp_response r));
+  let v1 =
+    match Client.wait ~timeout:30.0 a j1 with
+    | Ok v -> v
+    | Error e -> fail ("waiting for j1: " ^ e)
+  in
+  check Alcotest.string "j1 cancelled" "cancelled" (Protocol.job_state_to_string v1.Protocol.state);
+  check Alcotest.(option bool) "j1 best-so-far certified" (Some true) v1.Protocol.certified;
+  check Alcotest.bool "j1 interrupted" true v1.Protocol.interrupted;
+  let ckpt_path =
+    match v1.Protocol.checkpoint with
+    | Some p -> p
+    | None -> fail "cancelled job left no checkpoint"
+  in
+  check Alcotest.bool "checkpoint file exists" true (Sys.file_exists ckpt_path);
+
+  (* J2, whose submitting client is long gone, still completes and is
+     queryable from the surviving connection. *)
+  let v2 =
+    match Client.wait ~timeout:30.0 a j2 with
+    | Ok v -> v
+    | Error e -> fail ("waiting for j2: " ^ e)
+  in
+  check Alcotest.string "j2 done" "done" (Protocol.job_state_to_string v2.Protocol.state);
+  check Alcotest.(option bool) "j2 certified" (Some true) v2.Protocol.certified;
+  (match v2.Protocol.assignment with
+  | Some arr -> check Alcotest.int "j2 assignment covers the netlist" 40 (Array.length arr)
+  | None -> fail "j2 has no assignment");
+
+  (* the events stream for a finished job terminates with its view *)
+  (match Client.call a (Protocol.Events j2) with
+  | Error e -> fail ("events: " ^ e)
+  | Ok first ->
+    let rec last = function
+      | Protocol.Job v -> v
+      | Protocol.Event _ -> (
+        match Client.read_response a with
+        | Ok r -> last r
+        | Error e -> fail ("event stream: " ^ e))
+      | r -> fail (Format.asprintf "unexpected stream frame %a" Protocol.pp_response r)
+    in
+    let v = last first in
+    check Alcotest.string "stream ends on the terminal view" "done"
+      (Protocol.job_state_to_string v.Protocol.state));
+
+  (* status for an unknown id is a structured not_found *)
+  (match call_ok a (Protocol.Status "j999") with
+  | Protocol.Error { code = Protocol.Not_found; _ } -> ()
+  | r -> fail (Format.asprintf "expected not_found, got %a" Protocol.pp_response r));
+
+  (* the interrupted job's checkpoint resumes — outside the daemon,
+     exactly as [qbpart solve --resume] would — to a certified answer *)
+  let problem =
+    match Scheduler.problem_of_spec long_spec with
+    | Ok p -> p
+    | Error (_, m) -> fail ("rebuilding j1's instance: " ^ m)
+  in
+  let cp =
+    match Checkpoint.load ~path:ckpt_path with
+    | Ok cp -> cp
+    | Error e -> fail ("checkpoint load: " ^ Checkpoint.error_to_string e)
+  in
+  (match Checkpoint.validate cp problem with
+  | Ok () -> ()
+  | Error e -> fail ("checkpoint does not match its instance: " ^ Checkpoint.error_to_string e));
+  let config =
+    { Engine.Config.default with starts = 2; qbp = { Qbpart_core.Burkard.Config.default with iterations = 80 } }
+  in
+  (match Engine.solve ~config ~resume:cp problem with
+  | Ok { Engine.certificate; cost; _ } ->
+    check Alcotest.bool "resumed answer certified" true (Certify.ok certificate);
+    (match v1.Protocol.cost with
+    | Some interrupted_cost ->
+      check Alcotest.bool "resume does not regress the incumbent" true
+        (cost <= interrupted_cost +. 1e-6)
+    | None -> fail "cancelled job carried no cost")
+  | Error e -> fail ("resume failed: " ^ Engine.Error.to_string e));
+
+  (* metrics reflect everything that happened *)
+  (match call_ok a Protocol.Metrics with
+  | Protocol.Metrics_snapshot m ->
+    check Alcotest.int "accepted" 2 m.Protocol.accepted;
+    check Alcotest.bool "rejected >= 1" true (m.Protocol.rejected >= 1);
+    check Alcotest.int "completed" 1 m.Protocol.completed;
+    check Alcotest.int "cancelled" 1 m.Protocol.cancelled
+  | r -> fail (Format.asprintf "expected metrics, got %a" Protocol.pp_response r));
+
+  (* graceful drain via the protocol (the SIGTERM handler runs this
+     same path): ack, full stop, socket gone. *)
+  (match call_ok a Protocol.Drain with
+  | Protocol.Drain_ack -> ()
+  | r -> fail (Format.asprintf "expected drain ack, got %a" Protocol.pp_response r));
+  Thread.join serve_thread;
+  finished := true;
+  Client.close a;
+  check Alcotest.bool "socket unlinked after drain" false (Sys.file_exists socket_path);
+  (match Client.connect ~socket_path with
+  | Error _ -> ()
+  | Ok _ -> fail "daemon still accepting after drain");
+  let s = Server.snapshot server in
+  check Alcotest.bool "snapshot draining" true s.Protocol.draining
+
+let test_drain_cancels_queued_jobs () =
+  let dir = temp_dir () in
+  let socket_path = Filename.concat dir "d.sock" in
+  let config =
+    { (Server.default_config ~socket_path) with Server.max_queue = 4; workers = 1;
+      checkpoint_dir = dir }
+  in
+  let server =
+    match Server.create config with Ok s -> s | Error e -> fail ("server create: " ^ e)
+  in
+  let serve_thread = Thread.create Server.serve server in
+  let text = netlist_text ~n:30 ~wires:80 ~seed:5 in
+  let c = match Client.connect ~socket_path with Ok c -> c | Error e -> fail e in
+  let long_spec = { (small_grid (base_spec text)) with Protocol.starts = 4000; iterations = 80 } in
+  let j1 = job_of_submit (call_ok c (Protocol.Submit long_spec)) in
+  wait_for
+    (fun () ->
+      match Scheduler.view (Server.scheduler server) j1 with
+      | Some v -> v.Protocol.state = Protocol.Running
+      | None -> false)
+    "j1 to start running";
+  let j2 = job_of_submit (call_ok c (Protocol.Submit (small_grid (base_spec text)))) in
+  (* drain exactly as the signal handler does: the async-signal-safe
+     request, not the protocol op *)
+  Server.request_drain server;
+  Thread.join serve_thread;
+  let sched = Server.scheduler server in
+  let v1 = Option.get (Scheduler.view sched j1) in
+  let v2 = Option.get (Scheduler.view sched j2) in
+  (* the running job returned its certified best-so-far; the queued one
+     was cancelled before it ever started *)
+  check Alcotest.bool "j1 reached a terminal state" true
+    (match v1.Protocol.state with
+    | Protocol.Done | Protocol.Cancelled -> true
+    | _ -> false);
+  check Alcotest.(option bool) "j1 certified" (Some true) v1.Protocol.certified;
+  check Alcotest.string "j2 cancelled by drain" "cancelled"
+    (Protocol.job_state_to_string v2.Protocol.state);
+  check Alcotest.bool "j2 never ran" true (v2.Protocol.cost = None);
+  Client.close c
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalar round-trips" `Quick test_json_scalars;
+          Alcotest.test_case "float round-trips are exact" `Quick test_json_float_round_trip;
+        ] );
+      ( "frame",
+        Alcotest.test_case "limits and malformed input" `Quick test_frame_limits
+        :: Alcotest.test_case "back-to-back frames" `Quick test_frame_sequence
+        :: qsuite [ test_frame_round_trip; test_frame_truncation ] );
+      ( "protocol",
+        Alcotest.test_case "rejects malformed requests" `Quick test_protocol_rejects
+        :: Alcotest.test_case "tolerates unknown fields" `Quick test_protocol_tolerates_unknown_fields
+        :: qsuite [ test_request_round_trip; test_response_round_trip ] );
+      ( "queue",
+        [
+          Alcotest.test_case "fifo and overload" `Quick test_queue_fifo;
+          Alcotest.test_case "zero capacity" `Quick test_queue_zero_capacity;
+          Alcotest.test_case "drain semantics" `Quick test_queue_drain;
+          Alcotest.test_case "drain wakes blocked pop" `Quick test_queue_drain_wakes_blocked_pop;
+        ] );
+      ("metrics", [ Alcotest.test_case "snapshot" `Quick test_metrics_snapshot ]);
+      ("scheduler", [ Alcotest.test_case "spec validation" `Quick test_scheduler_validation ]);
+      ( "e2e",
+        [
+          Alcotest.test_case "serving contract" `Slow test_e2e_serving_contract;
+          Alcotest.test_case "drain cancels queued jobs" `Slow test_drain_cancels_queued_jobs;
+        ] );
+    ]
