@@ -1,0 +1,100 @@
+(* Bench regression gate: compare a fresh [bench --json] run against a
+   committed baseline and fail on kernel regressions.
+
+   Usage: compare BASELINE.json CURRENT.json [--tolerance FRACTION]
+
+   Every numeric field of the baseline's "kernels_summary" object is
+   checked against the current run.  Direction is derived from the
+   field name: [*_ns] is a latency (lower is better), [*_speedup] and
+   [*_per_sec] are rates (higher is better); anything else is reported
+   but never gates.  A field is a regression when it is worse than the
+   baseline by more than the tolerance (default 25% — wide enough for
+   shared CI runners, tight enough to catch a kernel falling off a
+   cliff).  Exit status: 0 clean, 1 regression, 2 usage/parse error. *)
+
+module Json = Qbpart_server.Json
+
+let usage () =
+  prerr_endline "usage: compare BASELINE.json CURRENT.json [--tolerance FRACTION]";
+  exit 2
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("compare: " ^ msg); exit 2) fmt
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error msg -> die "%s" msg
+
+let parse path =
+  match Json.of_string (read_file path) with
+  | Ok j -> j
+  | Error msg -> die "%s: %s" path msg
+
+let summary path j =
+  match Json.member "kernels_summary" j with
+  | Some (Json.Obj fields) -> fields
+  | Some _ -> die "%s: kernels_summary is not an object" path
+  | None -> die "%s: no kernels_summary (was the bench run with --json and kernels enabled?)" path
+
+type direction = Lower_better | Higher_better | Informational
+
+let direction name =
+  let ends s = String.length name >= String.length s
+    && String.sub name (String.length name - String.length s) (String.length s) = s
+  in
+  if ends "_ns" then Lower_better
+  else if ends "_speedup" || ends "_per_sec" then Higher_better
+  else Informational
+
+let () =
+  let baseline_path, current_path, tolerance =
+    match Array.to_list Sys.argv with
+    | [ _; b; c ] -> (b, c, 0.25)
+    | [ _; b; c; "--tolerance"; t ] -> (
+      match float_of_string_opt t with
+      | Some t when t >= 0.0 -> (b, c, t)
+      | _ -> usage ())
+    | _ -> usage ()
+  in
+  let base = summary baseline_path (parse baseline_path) in
+  let cur = summary current_path (parse current_path) in
+  let regressions = ref 0 in
+  let checked = ref 0 in
+  Printf.printf "bench regression gate: %s vs baseline %s (tolerance %.0f%%)\n\n"
+    current_path baseline_path (tolerance *. 100.0);
+  Printf.printf "  %-28s %14s %14s %9s  %s\n" "kernel" "baseline" "current" "ratio" "verdict";
+  List.iter
+    (fun (name, bv) ->
+      match Json.get_float bv with
+      | None -> ()
+      | Some b -> (
+        match Option.bind (Json.member name (Json.Obj cur)) Json.get_float with
+        | None ->
+          incr regressions;
+          Printf.printf "  %-28s %14.1f %14s %9s  MISSING\n" name b "-" "-"
+        | Some c ->
+          let ratio = if b <> 0.0 then c /. b else Float.nan in
+          let verdict =
+            match direction name with
+            | Informational -> "info"
+            | Lower_better ->
+              incr checked;
+              if c > b *. (1.0 +. tolerance) then begin
+                incr regressions;
+                "REGRESSION (slower)"
+              end
+              else if c < b *. (1.0 -. tolerance) then "improved"
+              else "ok"
+            | Higher_better ->
+              incr checked;
+              if c < b *. (1.0 -. tolerance) then begin
+                incr regressions;
+                "REGRESSION (worse)"
+              end
+              else if c > b *. (1.0 +. tolerance) then "improved"
+              else "ok"
+          in
+          Printf.printf "  %-28s %14.1f %14.1f %9.2f  %s\n" name b c ratio verdict))
+    base;
+  Printf.printf "\n%d gated fields checked, %d regression(s)\n" !checked !regressions;
+  if !regressions > 0 then exit 1

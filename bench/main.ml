@@ -348,7 +348,15 @@ let kernels inst =
   let eta = Qmatrix.eta q u in
   let eta_buf = Array.make (Qmatrix.dim q) 0.0 in
   let gap_cost = Array.init m (fun _ -> Array.make n 0.0) in
-  let gap = Gap.make_uniform ~cost:(Qmatrix.eta_cost_matrix eta ~m ~n) ~sizes ~capacity in
+  (* the solver's actual STEP-4/6 instance shape: flat item-major cost
+     (here a copy of eta, refreshed in place by the refresh row) over
+     the shared uniform weights *)
+  let weight = Gap.uniform_weights ~sizes ~m in
+  let gap = Gap.borrow ~cost:(Array.copy eta) ~weight ~capacity ~n in
+  let mws = Mthg.workspace ~m ~n in
+  (* maintained eta: resync disabled so the rows below measure the pure
+     patch cost, not an amortized recompute *)
+  let st = Qmatrix.eta_state ~resync_every:max_int q u in
   let gains = Gains.create nl topo u in
   (* the busiest component: worst case for the O(deg) delta kernels,
      so the delta-vs-full ratio below is a lower bound *)
@@ -358,18 +366,42 @@ let kernels inst =
   done;
   let j_hot = !j_hot in
   let i_move = (u.(j_hot) + 1) mod m in
+  (* a 16-component jump, the shape of a typical STEP-6 + polish move
+     batch, replayed there and back by the eta_sync row *)
+  let u_jump = Array.copy u in
+  let jump = min 16 n in
+  for k = 0 to jump - 1 do
+    let j = k * (max 1 (n / (jump + 1))) mod n in
+    u_jump.(j) <- (u.(j) + 1 + (if m > 2 then k mod (m - 1) else 0)) mod m
+  done;
   let tests =
     [
       (* Table II/III inner loops *)
       Test.make ~name:"eta (STEP 3 linearization)" (Staged.stage (fun () -> Qmatrix.eta q u));
       Test.make ~name:"eta_into (reused buffer)"
         (Staged.stage (fun () -> Qmatrix.eta_into q u eta_buf));
+      Test.make ~name:"eta_apply_move (move+undo, max-degree j)"
+        (Staged.stage (fun () ->
+             Qmatrix.eta_apply_move st ~j:j_hot i_move;
+             Qmatrix.eta_apply_move st ~j:j_hot u.(j_hot)));
+      Test.make ~name:"eta_sync (2x 16-component jump)"
+        (Staged.stage (fun () ->
+             ignore (Qmatrix.eta_sync st u_jump);
+             ignore (Qmatrix.eta_sync st u)));
       Test.make ~name:"eta_cost_matrix_into (reused GAP matrix)"
         (Staged.stage (fun () -> Qmatrix.eta_cost_matrix_into eta ~m ~n gap_cost));
+      Test.make ~name:"gap cost refresh (flat blit)"
+        (Staged.stage (fun () -> Gap.refresh_cost gap eta));
       Test.make ~name:"mthg construct (STEP 4/6 GAP)"
         (Staged.stage (fun () -> Mthg.construct gap));
+      Test.make ~name:"mthg construct (pooled ws)"
+        (Staged.stage (fun () ->
+             Mthg.solve ~ws:mws ~criteria:[ Mthg.Cost ] ~improve:`None gap));
       Test.make ~name:"mthg solve_relaxed"
         (Staged.stage (fun () -> Mthg.solve_relaxed ~criteria:[ Mthg.Cost ] ~improve:`Shift gap));
+      Test.make ~name:"mthg solve_relaxed (pooled ws)"
+        (Staged.stage (fun () ->
+             Mthg.solve_relaxed ~ws:mws ~criteria:[ Mthg.Cost ] ~improve:`Shift gap));
       Test.make ~name:"penalized objective (full eval)"
         (Staged.stage (fun () -> Problem.penalized_objective problem ~penalty:50.0 u));
       Test.make ~name:"delta eval (one move, max-degree j)"
@@ -404,7 +436,13 @@ let kernels inst =
   let benchmark test =
     let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
     let instances = Instance.[ monotonic_clock ] in
-    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+    (* The old 0.25s quota put millisecond kernels under the noise
+       floor of a shared machine: the reused-buffer eta_into repeatably
+       measured ~8% *slower* than the allocating eta, a pure harness
+       artifact (too few samples for the OLS fit).  A 1s quota and a
+       larger sample cap settle the fit; the first [Benchmark.all] runs
+       of each staged closure serve as warmup. *)
+    let cfg = Benchmark.cfg ~limit:4000 ~quota:(Time.second 1.0) ~stabilize:false () in
     let raw = Benchmark.all cfg instances test in
     Analyze.all ols (List.hd instances) raw
   in
@@ -428,6 +466,22 @@ let kernels inst =
    with
   | Some full, Some delta when delta > 0.0 ->
     Format.printf "@.  delta-evaluation speedup over full recompute: %.0fx@." (full /. delta)
+  | _ -> ());
+  (match
+     ( List.assoc_opt "eta_sync (2x 16-component jump)" estimates,
+       List.assoc_opt "mthg construct (pooled ws)" estimates,
+       List.assoc_opt "mthg solve_relaxed (pooled ws)" estimates,
+       List.assoc_opt "eta_into (reused buffer)" estimates,
+       List.assoc_opt "mthg construct (STEP 4/6 GAP)" estimates,
+       List.assoc_opt "mthg solve_relaxed" estimates )
+   with
+  | Some sync, Some c, Some s, Some eta_full, Some c0, Some s0 ->
+    let maint = sync /. 2.0 in
+    let now = maint +. c +. s and before = eta_full +. c0 +. s0 in
+    Format.printf
+      "  per-iteration inner loop (eta maintenance + construct + solve):@.\
+      \    incremental+pooled %8.0f ns   recompute+allocating %8.0f ns   (%.1fx)@."
+      now before (before /. Float.max 1.0 now)
   | _ -> ());
   estimates
 
@@ -453,15 +507,39 @@ let portfolio quick =
   let config = { Burkard.Config.default with iterations; seed = 7 } in
   Format.printf "circuit %s (N=%d), %d starts, %d iterations each, base seed %d@."
     spec.Circuits.name spec.Circuits.n starts iterations config.Burkard.Config.seed;
-  Format.printf "recommended domain count on this machine: %d@.@."
-    (Portfolio.default_jobs ());
+  let recommended = Portfolio.default_jobs () in
+  Format.printf "recommended domain count on this machine: %d@.@." recommended;
+  (* end-to-end iteration throughput of the full inner loop
+     (STEP 3 patch, aliased STEP-4/6 GAPs, polish, repair probes) on a
+     pooled workspace — the per-iteration number the kernel rows
+     decompose *)
+  let iterations_per_sec =
+    let ws = Burkard.Workspace.create problem in
+    let count = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Burkard.solve ~config ~initial ~observe:(fun _ -> incr count) ~workspace:ws problem);
+    let wall = Unix.gettimeofday () -. t0 in
+    float_of_int !count /. Float.max 1e-9 wall
+  in
+  Format.printf "end-to-end Burkard iterations/sec (single start, pooled): %.1f@.@."
+    iterations_per_sec;
   let run jobs =
     let t0 = Unix.gettimeofday () in
     let r = Portfolio.solve ~config ~max_rounds:2 ~jobs ~starts ~initial problem in
     (Unix.gettimeofday () -. t0, r)
   in
   let base_wall, base = run 1 in
-  let job_counts = if quick then [ 2; 4 ] else [ 2; 4; 8 ] in
+  (* sweep only up to the recommended domain count: beyond it the rows
+     measure scheduler thrash, not scaling.  On machines where that
+     filters everything out (1-core CI boxes), keep jobs=2 as the
+     oversubscribed determinism cross-check. *)
+  let job_counts =
+    let sweep = if quick then [ 2; 4 ] else [ 2; 4; 8 ] in
+    match List.filter (fun j -> j <= recommended) sweep with
+    | [] -> [ 2 ]
+    | js -> js
+  in
   let row jobs wall (r : Portfolio.result) identical =
     (* independent certifier cross-check: the champion's reported cost
        must match a from-scratch audit bit-for-bit (no delta kernels) *)
@@ -490,6 +568,7 @@ let portfolio quick =
         ("winner", match r.Portfolio.winner with Some w -> Json.Int w | None -> Json.Int (-1));
         ("identical_to_jobs1", Json.Bool identical);
         ("certified", Json.Bool certified);
+        ("oversubscribed", Json.Bool (jobs > recommended));
       ]
   in
   let rows = ref [ row 1 base_wall base true ] in
@@ -515,7 +594,8 @@ let portfolio quick =
       ("starts", Json.Int starts);
       ("iterations", Json.Int iterations);
       ("base_seed", Json.Int config.Burkard.Config.seed);
-      ("recommended_domains", Json.Int (Portfolio.default_jobs ()));
+      ("recommended_domains", Json.Int recommended);
+      ("iterations_per_sec", Json.Float iterations_per_sec);
       ("runs", Json.List (List.rev !rows));
     ]
 
@@ -705,17 +785,42 @@ let () =
            !kernel_stats)
     in
     let summary =
-      match
-        ( List.assoc_opt "penalized objective (full eval)" !kernel_stats,
-          List.assoc_opt "delta eval (one move, max-degree j)" !kernel_stats )
-      with
-      | Some full, Some delta when delta > 0.0 ->
-        [
-          ("full_eval_ns", Json.Float full);
-          ("delta_eval_ns", Json.Float delta);
-          ("delta_speedup", Json.Float (full /. delta));
-        ]
-      | _ -> []
+      let base =
+        match
+          ( List.assoc_opt "penalized objective (full eval)" !kernel_stats,
+            List.assoc_opt "delta eval (one move, max-degree j)" !kernel_stats )
+        with
+        | Some full, Some delta when delta > 0.0 ->
+          [
+            ("full_eval_ns", Json.Float full);
+            ("delta_eval_ns", Json.Float delta);
+            ("delta_speedup", Json.Float (full /. delta));
+          ]
+        | _ -> []
+      in
+      (* per-iteration inner-loop decomposition: eta maintenance (half
+         the there-and-back sync row = one 16-move jump), the pooled
+         GAP construction and relaxed solve, and their sum — the
+         number the CI regression gate watches *)
+      let inner =
+        match
+          ( List.assoc_opt "eta_sync (2x 16-component jump)" !kernel_stats,
+            List.assoc_opt "gap cost refresh (flat blit)" !kernel_stats,
+            List.assoc_opt "mthg construct (pooled ws)" !kernel_stats,
+            List.assoc_opt "mthg solve_relaxed (pooled ws)" !kernel_stats )
+        with
+        | Some sync, Some refresh, Some construct, Some solve ->
+          let maint = sync /. 2.0 in
+          [
+            ("eta_maintenance_ns", Json.Float maint);
+            ("gap_refresh_ns", Json.Float refresh);
+            ("gap_construct_ns", Json.Float construct);
+            ("gap_solve_ns", Json.Float solve);
+            ("inner_loop_ns", Json.Float (maint +. construct +. solve));
+          ]
+        | _ -> []
+      in
+      base @ inner
     in
     let doc =
       Json.Obj

@@ -341,8 +341,9 @@ let solve_cmd =
   let jobs =
     Arg.(value & opt int 0 & info [ "j"; "jobs" ]
            ~doc:"Domains running the portfolio starts in parallel; 0 (default) picks \
-                 the machine's recommended domain count. The result is identical for \
-                 every value.")
+                 the machine's recommended domain count. Explicit values above that \
+                 count are honoured with a warning (oversubscription only slows \
+                 things down). The result is identical for every value.")
   in
   let retries =
     Arg.(value & opt int 1 & info [ "retries" ]

@@ -40,6 +40,11 @@ type result = {
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
+(* Oversubscription is warned about once per process: a portfolio
+   sweep (or a property test) re-entering [solve] with the same
+   explicit jobs count should not repeat itself. *)
+let warned_oversubscribed = Atomic.make false
+
 (* Start k's seed: the base seed for k = 0 (so a 1-start portfolio
    reproduces a plain Adaptive/Burkard run bit-for-bit), then jumps by
    a large odd constant — distinct streams for the splitmix64-seeded
@@ -63,7 +68,15 @@ let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?
   let jobs =
     match jobs with
     | None -> default_jobs ()
-    | Some j -> if j < 1 then invalid_arg "Portfolio.solve: jobs must be >= 1" else j
+    | Some j ->
+      if j < 1 then invalid_arg "Portfolio.solve: jobs must be >= 1";
+      let recommended = default_jobs () in
+      if j > recommended && not (Atomic.exchange warned_oversubscribed true) then
+        Printf.eprintf
+          "qbpart: warning: --jobs %d exceeds the recommended domain count %d; \
+           oversubscribing slows every domain down (results are unaffected)\n%!"
+          j recommended;
+      j
   in
   let problem = Problem.normalize problem in
   let cons = problem.Problem.constraints in
@@ -119,9 +132,12 @@ let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?
     (* the caller's warm start seeds start 0 only; the other starts are
        the portfolio's independent random restarts *)
     let initial = if k = 0 then initial else None in
+    (* per-attempt scratch pool, created on the worker domain so the
+       borrowed GAP buffers it feeds never cross domains *)
+    let workspace = Burkard.Workspace.create problem in
     let r =
       Adaptive.solve ~config ~max_rounds ~factor ?initial ~should_stop:stop ~observe
-        ?gap_solver problem
+        ?gap_solver ~workspace problem
     in
     let report =
       {

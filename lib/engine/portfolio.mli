@@ -97,7 +97,10 @@ val solve :
     {!Qbpart_core.Adaptive.solve}; [config.seed] is the base seed.
     [jobs] caps the domain pool (default {!default_jobs}; the pool
     never exceeds [starts], and [jobs = 1] runs sequentially on the
-    calling domain without spawning).  [starts] defaults to 1.
+    calling domain without spawning).  An explicit [jobs] above the
+    recommended domain count is honoured, with a one-time stderr
+    warning: oversubscribing only slows every domain down and never
+    changes results.  [starts] defaults to 1.
     [initial] warm-starts start 0 only.  [should_stop] is polled
     cooperatively by every start (deadline cancellation); [stall] is a
     per-start [(patience, epsilon)] guard as in {!Engine.Config},

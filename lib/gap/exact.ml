@@ -1,11 +1,13 @@
 let solve ?(node_limit = 10_000_000) (g : Gap.t) =
   let { Gap.m; n; _ } = g in
+  let cost = g.Gap.cost and weight = g.Gap.weight in
   (* Order items by decreasing maximum weight: hard-to-place first. *)
   let order = Array.init n Fun.id in
   let max_weight j =
+    let base = j * m in
     let w = ref 0.0 in
     for i = 0 to m - 1 do
-      w := Float.max !w g.Gap.weight.(i).(j)
+      w := Float.max !w weight.(base + i)
     done;
     !w
   in
@@ -13,9 +15,10 @@ let solve ?(node_limit = 10_000_000) (g : Gap.t) =
   (* min_tail.(k) = sum over positions >= k of the item's min cost,
      ignoring capacities: an admissible lower bound on completion. *)
   let min_cost j =
+    let base = j * m in
     let c = ref infinity in
     for i = 0 to m - 1 do
-      c := Float.min !c g.Gap.cost.(i).(j)
+      c := Float.min !c cost.(base + i)
     done;
     !c
   in
@@ -39,16 +42,17 @@ let solve ?(node_limit = 10_000_000) (g : Gap.t) =
     end
     else if acc +. min_tail.(k) < !best_cost then begin
       let j = order.(k) in
+      let base = j * m in
       (* Try knapsacks cheapest-first for better pruning. *)
       let idx = Array.init m Fun.id in
-      Array.sort (fun a b -> Float.compare g.Gap.cost.(a).(j) g.Gap.cost.(b).(j)) idx;
+      Array.sort (fun a b -> Float.compare cost.(base + a) cost.(base + b)) idx;
       Array.iter
         (fun i ->
-          let w = g.Gap.weight.(i).(j) in
+          let w = weight.(base + i) in
           if w <= residual.(i) then begin
             residual.(i) <- residual.(i) -. w;
             assignment.(j) <- i;
-            go (k + 1) (acc +. g.Gap.cost.(i).(j));
+            go (k + 1) (acc +. cost.(base + i));
             assignment.(j) <- -1;
             residual.(i) <- residual.(i) +. w
           end)

@@ -1,11 +1,25 @@
+(* Flat, unboxed storage.  The cost and weight matrices live in single
+   [float array]s laid out item-major — entry (i, j) at index
+   [j*m + i] — so that (a) the per-item knapsack scans that dominate
+   MTHG, the improvement passes and the Lagrangian bound walk [m]
+   consecutive unboxed floats instead of gathering one element from
+   each of [m] boxed rows, and (b) the layout coincides exactly with
+   the solver's eta vector (index r = i + j·M), letting the Burkard
+   loop alias its eta/h buffers as GAP cost matrices with no reshape
+   at all. *)
+
 type t = {
   m : int;
   n : int;
-  cost : float array array;
-  weight : float array array;
+  cost : float array;
+  weight : float array;
   capacity : float array;
   owner : int option;
 }
+
+let index t ~i ~j = (j * t.m) + i
+let cost_at t ~i ~j = t.cost.((j * t.m) + i)
+let weight_at t ~i ~j = t.weight.((j * t.m) + i)
 
 let check_matrix what m n mat =
   if Array.length mat <> m then
@@ -20,6 +34,17 @@ let check_matrix what m n mat =
             invalid_arg (Printf.sprintf "Gap.make: %s[%d][%d] is NaN" what i j))
         row)
     mat
+
+(* Flatten a validated [m][n] boxed matrix into the item-major layout. *)
+let flatten m n mat =
+  let flat = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    let row = mat.(i) in
+    for j = 0 to n - 1 do
+      flat.((j * m) + i) <- row.(j)
+    done
+  done;
+  flat
 
 let make ~cost ~weight ~capacity =
   let m = Array.length capacity in
@@ -43,29 +68,64 @@ let make ~cost ~weight ~capacity =
   {
     m;
     n;
-    cost = Array.map Array.copy cost;
-    weight = Array.map Array.copy weight;
+    cost = flatten m n cost;
+    weight = flatten m n weight;
     capacity = Array.copy capacity;
     owner = None;
   }
 
+let uniform_weights ~sizes ~m =
+  let n = Array.length sizes in
+  let w = Array.make (m * n) 0.0 in
+  for j = 0 to n - 1 do
+    Array.fill w (j * m) m sizes.(j)
+  done;
+  w
+
 let make_uniform ~cost ~sizes ~capacity =
   let m = Array.length capacity in
-  let weight = Array.init m (fun _ -> Array.copy sizes) in
-  make ~cost ~weight ~capacity
+  if m = 0 then invalid_arg "Gap.make: no knapsacks";
+  let n = if Array.length cost = 0 then 0 else Array.length cost.(0) in
+  if Array.length sizes <> n then
+    invalid_arg (Printf.sprintf "Gap.make: sizes has %d entries, expected %d" (Array.length sizes) n);
+  check_matrix "cost" m n cost;
+  Array.iteri
+    (fun j s ->
+      if s <= 0.0 || Float.is_nan s then
+        invalid_arg (Printf.sprintf "Gap.make: weight[*][%d] = %g must be > 0" j s))
+    sizes;
+  Array.iteri
+    (fun i c ->
+      if c < 0.0 || Float.is_nan c then
+        invalid_arg (Printf.sprintf "Gap.make: capacity %d = %g" i c))
+    capacity;
+  {
+    m;
+    n;
+    cost = flatten m n cost;
+    weight = uniform_weights ~sizes ~m;
+    capacity = Array.copy capacity;
+    owner = None;
+  }
 
 (* Zero-copy constructor for solver hot loops: the caller keeps
-   ownership of the arrays (and the invariants).  [make]'s per-call
-   copy + NaN scan of two m×n matrices dominated the STEP-4/6 setup
-   cost, and the Burkard loop rebuilds the same instance (same weight,
-   same capacity, refreshed cost) twice per iteration. *)
-let borrow ~cost ~weight ~capacity =
+   ownership of the flat arrays (and the invariants).  [make]'s
+   per-call copy + NaN scan of two m×n matrices dominated the
+   STEP-4/6 setup cost, and because the item-major layout equals the
+   eta vector's, the Burkard loop aliases its eta and h buffers
+   directly as the cost matrix — the "refresh" of the GAP costs
+   between iterations disappears entirely. *)
+let borrow ~cost ~weight ~capacity ~n =
   let m = Array.length capacity in
   if m = 0 then invalid_arg "Gap.borrow: no knapsacks";
-  if Array.length cost <> m || Array.length weight <> m then
-    invalid_arg "Gap.borrow: cost/weight rows must match capacity length";
-  let n = if Array.length cost = 0 then 0 else Array.length cost.(0) in
+  if n < 0 then invalid_arg "Gap.borrow: negative item count";
+  if Array.length cost <> m * n || Array.length weight <> m * n then
+    invalid_arg "Gap.borrow: cost/weight must be flat item-major arrays of length m*n";
   { m; n; cost; weight; capacity; owner = Some (Domain.self () :> int) }
+
+let refresh_cost t src =
+  if Array.length src <> t.m * t.n then invalid_arg "Gap.refresh_cost: wrong length";
+  Array.blit src 0 t.cost 0 (t.m * t.n)
 
 let verify_domain t =
   match t.owner with
@@ -80,13 +140,15 @@ let verify_domain t =
            d self)
 
 let cost_of t a =
+  let m = t.m in
   let total = ref 0.0 in
-  Array.iteri (fun j i -> total := !total +. t.cost.(i).(j)) a;
+  Array.iteri (fun j i -> total := !total +. t.cost.((j * m) + i)) a;
   !total
 
 let loads t a =
-  let loads = Array.make t.m 0.0 in
-  Array.iteri (fun j i -> loads.(i) <- loads.(i) +. t.weight.(i).(j)) a;
+  let m = t.m in
+  let loads = Array.make m 0.0 in
+  Array.iteri (fun j i -> loads.(i) <- loads.(i) +. t.weight.((j * m) + i)) a;
   loads
 
 let feasible t a =

@@ -10,25 +10,45 @@
     and, with {m β = 0} and no timing constraints, the paper's
     section 2.2.2 special case of the partitioning problem itself.
     Weights may depend on the knapsack ({m w_{ij}}), as in the GAP
-    literature; the partitioning use-case has {m w_{ij} = s_j}. *)
+    literature; the partitioning use-case has {m w_{ij} = s_j}.
+
+    {b Storage is flat and unboxed}: cost and weight are single
+    [float array]s in {e item-major} order — entry {m (i, j)} lives at
+    index {m j·m + i}.  Every hot loop of {!Mthg}, {!Improve} and
+    {!Lagrangian} scans the [m] knapsack entries of one item, which
+    this layout makes a contiguous unboxed block (one or two cache
+    lines) instead of a gather across [m] boxed rows.  The layout is
+    deliberately identical to the solver's eta vector
+    ({m r = i + j·M}), so a Burkard iteration can alias its eta/h
+    buffers as the GAP cost matrix with zero copying. *)
 
 type t = private {
-  m : int;                      (** knapsacks *)
-  n : int;                      (** items *)
-  cost : float array array;     (** [m × n]: {m c_{ij}} *)
-  weight : float array array;   (** [m × n]: {m w_{ij}}, all > 0 *)
-  capacity : float array;       (** length [m] *)
+  m : int;                  (** knapsacks *)
+  n : int;                  (** items *)
+  cost : float array;       (** flat item-major [m*n]: {m c_{ij}} at [j*m + i] *)
+  weight : float array;     (** flat item-major [m*n]: {m w_{ij}}, all > 0 *)
+  capacity : float array;   (** length [m] *)
   owner : int option;
       (** the {!Domain} that [borrow]ed the aliased buffers; [None]
           for [make]'s owned copies *)
 }
+
+val index : t -> i:int -> j:int -> int
+(** Flat index of entry {m (i, j)}: [j*m + i]. *)
+
+val cost_at : t -> i:int -> j:int -> float
+val weight_at : t -> i:int -> j:int -> float
+(** Convenience accessors (tests, printing); hot loops inline the
+    index arithmetic instead. *)
 
 val make :
   cost:float array array ->
   weight:float array array ->
   capacity:float array ->
   t
-(** @raise Invalid_argument on dimension mismatch, non-positive
+(** Construction from conventional [m×n] boxed matrices; the instance
+    stores validated flat copies.
+    @raise Invalid_argument on dimension mismatch, non-positive
     weights, negative capacities, or NaN entries. *)
 
 val make_uniform :
@@ -36,21 +56,34 @@ val make_uniform :
 (** Item weights independent of the knapsack — the partitioning case
     ({m w_{ij} = s_j}). *)
 
+val uniform_weights : sizes:float array -> m:int -> float array
+(** The flat item-major weight array with {m w_{ij} = s_j} — built
+    once per portfolio start (weights are iteration-invariant) and
+    lent to {!borrow}. *)
+
 val borrow :
-  cost:float array array ->
-  weight:float array array ->
+  cost:float array ->
+  weight:float array ->
   capacity:float array ->
+  n:int ->
   t
 (** Zero-copy {!make} for hot loops: the instance {e aliases} the
-    caller's arrays, so refreshing [cost] in place and re-solving
-    avoids the per-call copy and validation of two {m m×n} matrices.
-    The caller owns the invariants ([make]'s positivity/NaN checks are
-    skipped); rows may alias each other (e.g. all weight rows sharing
-    one sizes array).  The instance remembers the calling domain: the
-    aliased buffers are single-domain scratch space (each portfolio
-    start builds its own), and {!verify_domain} enforces that at every
-    MTHG entry point.  @raise Invalid_argument if there are no
-    knapsacks or the row counts disagree with [capacity]. *)
+    caller's flat item-major arrays (length [m*n] with
+    [m = Array.length capacity]), so refreshing [cost] in place — or
+    simply aliasing a buffer the caller already maintains, like the
+    Burkard eta vector — and re-solving avoids the per-call copy and
+    validation of two {m m×n} matrices.  The caller owns the
+    invariants ([make]'s positivity/NaN checks are skipped).  The
+    instance remembers the calling domain: the aliased buffers are
+    single-domain scratch space (each portfolio start builds its own),
+    and {!verify_domain} enforces that at every MTHG entry point.
+    @raise Invalid_argument if there are no knapsacks or the array
+    lengths disagree with [m*n]. *)
+
+val refresh_cost : t -> float array -> unit
+(** Overwrite the cost matrix from a flat item-major source (a blit) —
+    for callers that cannot alias the source buffer outright.
+    @raise Invalid_argument on length mismatch. *)
 
 val verify_domain : t -> unit
 (** No-op for [make]-built instances.  For [borrow]ed instances,

@@ -1,18 +1,27 @@
+(* All passes index the flat item-major matrices directly: for a fixed
+   item [j] the m knapsack entries sit at [j*m .. j*m+m-1], so the
+   shift scan reads one contiguous unboxed block per item. *)
+
 let shift_pass (g : Gap.t) assignment residual =
+  let m = g.Gap.m in
+  let cost = g.Gap.cost and weight = g.Gap.weight in
   let improved = ref false in
   for j = 0 to g.Gap.n - 1 do
+    let base = j * m in
     let from = assignment.(j) in
     let best = ref from in
-    for i = 0 to g.Gap.m - 1 do
-      if i <> from
-         && g.Gap.weight.(i).(j) <= residual.(i)
-         && g.Gap.cost.(i).(j) < g.Gap.cost.(!best).(j)
-      then best := i
+    let best_cost = ref cost.(base + from) in
+    for i = 0 to m - 1 do
+      if i <> from && weight.(base + i) <= residual.(i) && cost.(base + i) < !best_cost
+      then begin
+        best := i;
+        best_cost := cost.(base + i)
+      end
     done;
     if !best <> from then begin
       let i = !best in
-      residual.(from) <- residual.(from) +. g.Gap.weight.(from).(j);
-      residual.(i) <- residual.(i) -. g.Gap.weight.(i).(j);
+      residual.(from) <- residual.(from) +. weight.(base + from);
+      residual.(i) <- residual.(i) -. weight.(base + i);
       assignment.(j) <- i;
       improved := true
     end
@@ -20,21 +29,24 @@ let shift_pass (g : Gap.t) assignment residual =
   !improved
 
 let swap_pass (g : Gap.t) assignment residual =
+  let m = g.Gap.m in
+  let cost = g.Gap.cost and weight = g.Gap.weight in
   let improved = ref false in
   let n = g.Gap.n in
   for j1 = 0 to n - 1 do
     for j2 = j1 + 1 to n - 1 do
       let i1 = assignment.(j1) and i2 = assignment.(j2) in
       if i1 <> i2 then begin
-        let w11 = g.Gap.weight.(i1).(j1)
-        and w22 = g.Gap.weight.(i2).(j2)
-        and w12 = g.Gap.weight.(i2).(j1)
-        and w21 = g.Gap.weight.(i1).(j2) in
+        let b1 = j1 * m and b2 = j2 * m in
+        let w11 = weight.(b1 + i1)
+        and w22 = weight.(b2 + i2)
+        and w12 = weight.(b1 + i2)
+        and w21 = weight.(b2 + i1) in
         let fits1 = residual.(i1) +. w11 -. w21 >= 0.0 in
         let fits2 = residual.(i2) +. w22 -. w12 >= 0.0 in
         if fits1 && fits2 then begin
-          let before = g.Gap.cost.(i1).(j1) +. g.Gap.cost.(i2).(j2) in
-          let after = g.Gap.cost.(i2).(j1) +. g.Gap.cost.(i1).(j2) in
+          let before = cost.(b1 + i1) +. cost.(b2 + i2) in
+          let after = cost.(b1 + i2) +. cost.(b2 + i1) in
           if after < before then begin
             residual.(i1) <- residual.(i1) +. w11 -. w21;
             residual.(i2) <- residual.(i2) +. w22 -. w12;
@@ -48,28 +60,42 @@ let swap_pass (g : Gap.t) assignment residual =
   done;
   !improved
 
-let residual_of g assignment =
-  let residual = Array.copy g.Gap.capacity in
+let residual_into (g : Gap.t) assignment residual =
+  let m = g.Gap.m in
+  Array.blit g.Gap.capacity 0 residual 0 m;
   Array.iteri
-    (fun j i -> residual.(i) <- residual.(i) -. g.Gap.weight.(i).(j))
-    assignment;
+    (fun j i -> residual.(i) <- residual.(i) -. g.Gap.weight.((j * m) + i))
+    assignment
+
+let residual_of g assignment =
+  let residual = Array.make g.Gap.m 0.0 in
+  residual_into g assignment residual;
   residual
+
+(* In-place variants: the pooled MTHG path already owns a residual
+   array consistent with the assignment, so improvement runs without a
+   single allocation. *)
+let shift_in_place g assignment ~residual =
+  while shift_pass g assignment residual do
+    ()
+  done
+
+let shift_and_swap_in_place g assignment ~residual =
+  let continue = ref true in
+  while !continue do
+    let s1 = shift_pass g assignment residual in
+    let s2 = swap_pass g assignment residual in
+    continue := s1 || s2
+  done
 
 let shift g assignment =
   let a = Array.copy assignment in
   let residual = residual_of g a in
-  while shift_pass g a residual do
-    ()
-  done;
+  shift_in_place g a ~residual;
   a
 
 let shift_and_swap g assignment =
   let a = Array.copy assignment in
   let residual = residual_of g a in
-  let continue = ref true in
-  while !continue do
-    let s1 = shift_pass g a residual in
-    let s2 = swap_pass g a residual in
-    continue := s1 || s2
-  done;
+  shift_and_swap_in_place g a ~residual;
   a

@@ -9,3 +9,18 @@ val shift_and_swap : Gap.t -> int array -> int array
 (** {!shift} interleaved with improving pairwise item swaps (both
     moves must fit).  Terminates at a local optimum of the combined
     neighborhood. *)
+
+(** {1 Allocation-free variants}
+
+    The pooled MTHG path ({!Mthg.workspace}) already owns a residual
+    array consistent with its construction, so improvement can run in
+    place with zero allocation.  [residual] must equal
+    [capacity - loads assignment] on entry and is maintained by the
+    pass. *)
+
+val shift_in_place : Gap.t -> int array -> residual:float array -> unit
+val shift_and_swap_in_place : Gap.t -> int array -> residual:float array -> unit
+
+val residual_into : Gap.t -> int array -> float array -> unit
+(** Write [capacity - loads assignment] into a caller-provided
+    length-[m] buffer. *)

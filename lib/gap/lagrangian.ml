@@ -3,16 +3,19 @@ let value (g : Gap.t) ~lambda =
   Array.iter
     (fun l -> if l < 0.0 || Float.is_nan l then invalid_arg "Lagrangian.value: negative lambda")
     lambda;
+  let m = g.Gap.m in
+  let cost = g.Gap.cost and weight = g.Gap.weight in
   let total = ref 0.0 in
   for j = 0 to g.Gap.n - 1 do
+    let base = j * m in
     let best = ref infinity in
-    for i = 0 to g.Gap.m - 1 do
-      let c = g.Gap.cost.(i).(j) +. (lambda.(i) *. g.Gap.weight.(i).(j)) in
+    for i = 0 to m - 1 do
+      let c = cost.(base + i) +. (lambda.(i) *. weight.(base + i)) in
       if c < !best then best := c
     done;
     total := !total +. !best
   done;
-  for i = 0 to g.Gap.m - 1 do
+  for i = 0 to m - 1 do
     total := !total -. (lambda.(i) *. g.Gap.capacity.(i))
   done;
   !total
@@ -22,26 +25,28 @@ let value (g : Gap.t) ~lambda =
    routine needs no tuning from callers. *)
 let lower_bound ?(iterations = 100) (g : Gap.t) =
   let { Gap.m; n; _ } = g in
+  let cost = g.Gap.cost and weight = g.Gap.weight in
   let lambda = Array.make m 0.0 in
   let best = ref (value g ~lambda) in
   let magnitude =
     let s = ref 0.0 in
-    Array.iter (Array.iter (fun c -> s := !s +. Float.abs c)) g.Gap.cost;
+    Array.iter (fun c -> s := !s +. Float.abs c) cost;
     Float.max 1.0 (!s /. float_of_int (max 1 (m * n)))
   in
   for k = 1 to iterations do
     (* subgradient: relaxed usage minus capacity per knapsack *)
     let usage = Array.make m 0.0 in
     for j = 0 to n - 1 do
+      let base = j * m in
       let best_i = ref 0 and best_c = ref infinity in
       for i = 0 to m - 1 do
-        let c = g.Gap.cost.(i).(j) +. (lambda.(i) *. g.Gap.weight.(i).(j)) in
+        let c = cost.(base + i) +. (lambda.(i) *. weight.(base + i)) in
         if c < !best_c then begin
           best_c := c;
           best_i := i
         end
       done;
-      usage.(!best_i) <- usage.(!best_i) +. g.Gap.weight.(!best_i).(j)
+      usage.(!best_i) <- usage.(!best_i) +. weight.(base + !best_i)
     done;
     let step = magnitude /. (5.0 +. float_of_int k) in
     for i = 0 to m - 1 do

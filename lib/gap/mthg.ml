@@ -3,7 +3,8 @@ type criterion = Cost | Cost_times_weight | Weight | Weight_per_capacity
 let all_criteria = [ Cost; Cost_times_weight; Weight; Weight_per_capacity ]
 
 let desirability (g : Gap.t) criterion i j =
-  let c = g.Gap.cost.(i).(j) and w = g.Gap.weight.(i).(j) in
+  let base = j * g.Gap.m in
+  let c = g.Gap.cost.(base + i) and w = g.Gap.weight.(base + i) in
   match criterion with
   | Cost -> c
   | Cost_times_weight -> c *. w
@@ -12,32 +13,81 @@ let desirability (g : Gap.t) criterion i j =
     let cap = g.Gap.capacity.(i) in
     if cap > 0.0 then w /. cap else infinity
 
+(* Scratch buffers for one (m, n) shape, reused across every STEP-4/6
+   call of a portfolio start so the steady-state inner loop allocates
+   nothing.  [out] doubles as the result buffer: a solve given a
+   workspace returns [out] itself, valid until the next solve with the
+   same workspace (the Burkard loop blits it into its own iterate
+   straight away). *)
+type workspace = {
+  ws_m : int;
+  ws_n : int;
+  residual : float array;   (* m: residual capacities during construction *)
+  f1 : float array;         (* n: best feasible desirability per item *)
+  f2 : float array;         (* n: second best *)
+  i1 : int array;           (* n: argbest *)
+  i2 : int array;           (* n: arg second best *)
+  trial : int array;        (* n: construction in progress *)
+  out : int array;          (* n: champion across criteria / result *)
+  order : int array;        (* n: relaxed_fill placement order *)
+  key : float array;        (* n: relaxed_fill sort keys *)
+}
+
+let workspace ~m ~n =
+  if m < 1 || n < 0 then invalid_arg "Mthg.workspace: need m >= 1 and n >= 0";
+  {
+    ws_m = m;
+    ws_n = n;
+    residual = Array.make m 0.0;
+    f1 = Array.make n infinity;
+    f2 = Array.make n infinity;
+    i1 = Array.make n (-1);
+    i2 = Array.make n (-1);
+    trial = Array.make n (-1);
+    out = Array.make n (-1);
+    order = Array.make n 0;
+    key = Array.make n 0.0;
+  }
+
+let ensure_ws ws (g : Gap.t) =
+  match ws with
+  | None -> workspace ~m:g.Gap.m ~n:g.Gap.n
+  | Some ws ->
+    if ws.ws_m <> g.Gap.m || ws.ws_n <> g.Gap.n then
+      invalid_arg
+        (Printf.sprintf "Mthg: workspace is %dx%d but instance is %dx%d" ws.ws_m ws.ws_n
+           g.Gap.m g.Gap.n);
+    ws
+
 (* Greedy regret construction.  For each unassigned item we track its
    best and second-best feasible desirability; the item with the
    largest regret is committed first, so items that are about to lose
    their good options are placed early.
 
    Each item's (best, second-best) pair is cached and only recomputed
-   when the knapsack just filled was one of the two (any other
-   knapsack's residual is unchanged, and a knapsack outside the top
-   two that becomes infeasible cannot affect the top two).  This cuts
-   the naive O(n^2 m) construction down to an O(n) selection scan plus
-   the genuinely dirty recomputations per step; a heap-based selection
-   was tried and measured slower, because the cost is dominated by
-   refresh cascades on popular knapsacks, not by the selection scan. *)
-let construct ?(criterion = Cost) (g : Gap.t) =
+   when the knapsack just filled was one of the two AND that knapsack
+   no longer fits the item: desirabilities depend only on the fixed
+   (cost, weight, capacity) data, so while the top-2 knapsacks still
+   have room the cached pair is exact.  (A knapsack outside the top
+   two that becomes infeasible cannot affect the top two either.)
+   This cuts the refresh cascades — the measured hot spot — to the
+   steps that genuinely invalidate a cache entry, and every refresh
+   scan reads the item's m entries as one contiguous unboxed block
+   thanks to the item-major layout. *)
+let construct_into ?(criterion = Cost) (g : Gap.t) ws assignment =
   let { Gap.m; n; _ } = g in
-  let residual = Array.copy g.Gap.capacity in
-  let assignment = Array.make n (-1) in
-  let f1 = Array.make n infinity and f2 = Array.make n infinity in
-  let i1 = Array.make n (-1) and i2 = Array.make n (-1) in
+  let weight = g.Gap.weight in
+  let residual = ws.residual and f1 = ws.f1 and f2 = ws.f2 and i1 = ws.i1 and i2 = ws.i2 in
+  Array.blit g.Gap.capacity 0 residual 0 m;
+  Array.fill assignment 0 n (-1);
   let refresh j =
+    let base = j * m in
     f1.(j) <- infinity;
     f2.(j) <- infinity;
     i1.(j) <- -1;
     i2.(j) <- -1;
     for i = 0 to m - 1 do
-      if g.Gap.weight.(i).(j) <= residual.(i) then begin
+      if weight.(base + i) <= residual.(i) then begin
         let f = desirability g criterion i j in
         if f < f1.(j) then begin
           f2.(j) <- f1.(j);
@@ -75,58 +125,84 @@ let construct ?(criterion = Cost) (g : Gap.t) =
       let j = !best_item in
       let i = i1.(j) in
       assignment.(j) <- i;
-      residual.(i) <- residual.(i) -. g.Gap.weight.(i).(j);
+      residual.(i) <- residual.(i) -. weight.((j * m) + i);
       decr unassigned;
+      let room = residual.(i) in
       for j' = 0 to n - 1 do
-        if assignment.(j') = -1 && (i1.(j') = i || i2.(j') = i) then refresh j'
+        if
+          assignment.(j') = -1
+          && (i1.(j') = i || i2.(j') = i)
+          && weight.((j' * m) + i) > room
+        then refresh j'
       done
     end
     else stuck := true
   done;
-  if !stuck then None else Some assignment
+  not !stuck
+
+let construct ?criterion (g : Gap.t) =
+  let ws = workspace ~m:g.Gap.m ~n:g.Gap.n in
+  if construct_into ?criterion g ws ws.trial then Some ws.trial else None
 
 type improver = [ `None | `Shift | `Shift_and_swap ]
 
-let apply_improver improve g a =
+(* In-place improver for the pooled path: [residual] must already be
+   consistent with [a] (construction leaves it that way). *)
+let improve_in_place improve g a ~residual =
   match improve with
-  | `None -> a
-  | `Shift -> Improve.shift g a
-  | `Shift_and_swap -> Improve.shift_and_swap g a
+  | `None -> ()
+  | `Shift -> Improve.shift_in_place g a ~residual
+  | `Shift_and_swap -> Improve.shift_and_swap_in_place g a ~residual
 
-let solve ?(criteria = all_criteria) ?(improve = `Shift_and_swap) g =
+let solve ?ws ?(criteria = all_criteria) ?(improve = `Shift_and_swap) g =
   Gap.verify_domain g;
-  let candidates = List.filter_map (fun c -> construct ~criterion:c g) criteria in
-  let candidates = List.map (apply_improver improve g) candidates in
-  match candidates with
-  | [] -> None
-  | first :: rest ->
-    Some
-      (List.fold_left
-         (fun best a -> if Gap.cost_of g a < Gap.cost_of g best then a else best)
-         first rest)
+  let ws = ensure_ws ws g in
+  let n = g.Gap.n in
+  let found = ref false in
+  let best_cost = ref infinity in
+  List.iter
+    (fun criterion ->
+      if construct_into ~criterion g ws ws.trial then begin
+        (* construction leaves ws.residual = capacity - loads(trial),
+           so improvement runs in place with no setup *)
+        improve_in_place improve g ws.trial ~residual:ws.residual;
+        let c = Gap.cost_of g ws.trial in
+        if (not !found) || c < !best_cost then begin
+          found := true;
+          best_cost := c;
+          Array.blit ws.trial 0 ws.out 0 n
+        end
+      end)
+    criteria;
+  if !found then Some ws.out else None
 
-let relaxed_fill (g : Gap.t) =
+let relaxed_fill_into (g : Gap.t) ws assignment =
   (* Place every item greedily by cost among fitting knapsacks; if none
      fits, take the knapsack with maximum residual capacity. *)
   let { Gap.m; n; _ } = g in
-  let residual = Array.copy g.Gap.capacity in
-  let assignment = Array.make n (-1) in
-  let order = Array.init n Fun.id in
-  (* Big items first: standard first-fit-decreasing flavor. *)
-  let max_weight j =
+  let cost = g.Gap.cost and weight = g.Gap.weight in
+  let residual = ws.residual and order = ws.order and key = ws.key in
+  Array.blit g.Gap.capacity 0 residual 0 m;
+  (* Big items first: standard first-fit-decreasing flavor.  Keys are
+     precomputed so the sort does not rescan m weights per
+     comparison. *)
+  for j = 0 to n - 1 do
+    order.(j) <- j;
+    let base = j * m in
     let w = ref 0.0 in
     for i = 0 to m - 1 do
-      w := Float.max !w g.Gap.weight.(i).(j)
+      w := Float.max !w weight.(base + i)
     done;
-    !w
-  in
-  Array.sort (fun a b -> Float.compare (max_weight b) (max_weight a)) order;
+    key.(j) <- !w
+  done;
+  Array.sort (fun a b -> Float.compare key.(b) key.(a)) order;
   Array.iter
     (fun j ->
+      let base = j * m in
       let best = ref (-1) in
       for i = 0 to m - 1 do
-        if g.Gap.weight.(i).(j) <= residual.(i)
-           && (!best = -1 || g.Gap.cost.(i).(j) < g.Gap.cost.(!best).(j))
+        if weight.(base + i) <= residual.(i)
+           && (!best = -1 || cost.(base + i) < cost.(base + !best))
         then best := i
       done;
       let i =
@@ -141,14 +217,18 @@ let relaxed_fill (g : Gap.t) =
         end
       in
       assignment.(j) <- i;
-      residual.(i) <- residual.(i) -. g.Gap.weight.(i).(j))
-    order;
-  assignment
+      residual.(i) <- residual.(i) -. weight.(base + i))
+    order
 
-let solve_relaxed ?criteria ?(improve = `Shift_and_swap) g =
+let solve_relaxed ?ws ?criteria ?(improve = `Shift_and_swap) g =
   Gap.verify_domain g;
-  match solve ?criteria ~improve g with
+  let ws = ensure_ws ws g in
+  match solve ~ws ?criteria ~improve g with
   | Some a -> a
   | None ->
-    let a = relaxed_fill g in
-    if Gap.feasible g a then apply_improver improve g a else a
+    relaxed_fill_into g ws ws.out;
+    if Gap.feasible g ws.out then begin
+      Improve.residual_into g ws.out ws.residual;
+      improve_in_place improve g ws.out ~residual:ws.residual
+    end;
+    ws.out

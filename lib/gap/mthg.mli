@@ -9,7 +9,9 @@
     feasible result wins.
 
     This is the inner solver of Burkard STEP 4 and STEP 6 in the
-    generalized heuristic. *)
+    generalized heuristic.  Both entry points accept an optional
+    {!workspace} so a hot caller (one per portfolio start) runs the
+    steady-state loop without allocating. *)
 
 type criterion =
   | Cost                (** {m f_{ij} = c_{ij}} *)
@@ -18,6 +20,14 @@ type criterion =
   | Weight_per_capacity (** {m f_{ij} = w_{ij} / cap_i} *)
 
 val all_criteria : criterion list
+
+type workspace
+(** Scratch buffers for one [(m, n)] shape: construction caches,
+    residuals, the trial and champion assignments.  Single-domain, like
+    the {!Gap.borrow}ed buffers it is used with. *)
+
+val workspace : m:int -> n:int -> workspace
+(** @raise Invalid_argument if [m < 1] or [n < 0]. *)
 
 val construct : ?criterion:criterion -> Gap.t -> int array option
 (** One greedy construction (no improvement); [None] if it gets stuck
@@ -29,17 +39,32 @@ type improver = [ `None | `Shift | `Shift_and_swap ]
     quadratic in the item count per pass). *)
 
 val solve :
-  ?criteria:criterion list -> ?improve:improver -> Gap.t -> int array option
+  ?ws:workspace ->
+  ?criteria:criterion list ->
+  ?improve:improver ->
+  Gap.t ->
+  int array option
 (** Run {!construct} under each criterion (default {!all_criteria}),
     locally improve each feasible result (default [`Shift_and_swap]),
     return the cheapest.  [None] if every construction got stuck —
     with very tight capacities the greedy can fail even when the
-    instance is feasible. *)
+    instance is feasible.
+
+    With [?ws], no allocation happens and the returned array is owned
+    by the workspace: it stays valid only until the next call using
+    the same workspace, so callers must copy (or consume) it first.
+    @raise Invalid_argument if the workspace shape does not match the
+    instance. *)
 
 val solve_relaxed :
-  ?criteria:criterion list -> ?improve:improver -> Gap.t -> int array
+  ?ws:workspace ->
+  ?criteria:criterion list ->
+  ?improve:improver ->
+  Gap.t ->
+  int array
 (** Like {!solve} but never fails: items that fit nowhere are placed
     in the knapsack with maximum residual capacity, so the result may
     violate C1.  Used by the Burkard iteration to keep making progress
     on over-tight intermediate subproblems; the caller checks
-    feasibility before accepting the final answer. *)
+    feasibility before accepting the final answer.  The [?ws]
+    ownership contract is the same as {!solve}'s. *)

@@ -10,7 +10,7 @@ type result = {
 }
 
 let solve ?(config = Burkard.Config.default) ?initial ?(max_rounds = 4) ?(factor = 8.0)
-    ?(should_stop = fun () -> false) ?observe ?gap_solver problem =
+    ?(should_stop = fun () -> false) ?observe ?gap_solver ?workspace problem =
   if max_rounds < 1 then invalid_arg "Adaptive.solve: max_rounds must be >= 1";
   if factor <= 1.0 then invalid_arg "Adaptive.solve: factor must be > 1";
   let problem = Problem.normalize problem in
@@ -27,7 +27,9 @@ let solve ?(config = Burkard.Config.default) ?initial ?(max_rounds = 4) ?(factor
   let rounds = ref [] in
   let rec go round_idx penalty initial =
     let config = { config with Burkard.Config.penalty } in
-    let result = Burkard.solve ~config ?initial ~should_stop ?observe ?gap_solver problem in
+    let result =
+      Burkard.solve ~config ?initial ~should_stop ?observe ?gap_solver ?workspace problem
+    in
     let improved = keep_feasible result.Burkard.best_feasible in
     rounds :=
       {

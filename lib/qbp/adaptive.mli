@@ -34,6 +34,7 @@ val solve :
   ?should_stop:(unit -> bool) ->
   ?observe:(Burkard.iteration -> unit) ->
   ?gap_solver:Burkard.gap_solver ->
+  ?workspace:Burkard.Workspace.t ->
   Problem.t ->
   result
 (** [max_rounds] defaults to 4, [factor] (penalty multiplier between
@@ -44,4 +45,7 @@ val solve :
     [should_stop], [observe] and [gap_solver] are forwarded to every
     inner {!Burkard.solve}; an interrupted round also ends the
     continuation, so the whole solve honours one shared budget and
-    returns the best feasible checkpoint found so far. *)
+    returns the best feasible checkpoint found so far.  [workspace]
+    (one {!Burkard.Workspace.create} per portfolio start) is likewise
+    shared by every round, so the penalty ladder re-enters the hot
+    loop without reallocating its buffers. *)

@@ -61,39 +61,82 @@ type gap_step = Step4 | Step6
 type gap_solver =
   step:gap_step -> k:int -> default:(Gap.t -> int array) -> Gap.t -> int array
 
+(* Per-start scratch pool: every buffer the hot loop touches, allocated
+   once and reused across all Burkard solves of a portfolio start (the
+   adaptive penalty rounds re-enter [solve] with the same workspace).
+   The eta and h vectors double as the STEP-4/6 GAP cost matrices: the
+   flat item-major GAP layout (entry (i,j) at j*m + i) coincides with
+   the eta index r = i + j·M, so the borrowed instances alias them with
+   no reshape or refresh at all. *)
+module Workspace = struct
+  type t = {
+    ws_m : int;
+    ws_n : int;
+    eta : float array;        (* m*n, maintained by the eta_state *)
+    h : float array;          (* m*n, STEP-5 accumulated direction *)
+    weight : float array;     (* m*n, w(i,j) = s_j, iteration-invariant *)
+    capacity : float array;   (* m *)
+    mthg : Mthg.workspace;
+    u : int array;            (* n, the current iterate *)
+  }
+
+  let create problem =
+    let problem = Problem.normalize problem in
+    let m = Problem.m problem and n = Problem.n problem in
+    let sizes = Netlist.sizes problem.Problem.netlist in
+    {
+      ws_m = m;
+      ws_n = n;
+      eta = Array.make (m * n) 0.0;
+      h = Array.make (m * n) 0.0;
+      weight = Gap.uniform_weights ~sizes ~m;
+      capacity = Topology.capacities problem.Problem.topology;
+      mthg = Mthg.workspace ~m ~n;
+      u = Array.make n 0;
+    }
+end
+
 let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
-    ?(observe = fun _ -> ()) ?gap_solver problem =
+    ?(observe = fun _ -> ()) ?gap_solver ?workspace problem =
   let problem = Problem.normalize problem in
   let q = Qmatrix.make ~penalty:config.Config.penalty problem in
   let m = Problem.m problem and n = Problem.n problem in
-  let nl = problem.Problem.netlist in
-  let sizes = Netlist.sizes nl in
-  let capacity = Topology.capacities problem.Problem.topology in
-  (* One GAP instance reused by every STEP-4/6 call: the cost matrix is
-     refreshed in place and all weight rows alias the single sizes
-     array (the partitioning case has w_ij = s_j), so each call costs a
-     reshape instead of allocating and validating two fresh m×n
-     matrices. *)
-  let gap_cost = Array.init m (fun _ -> Array.make n 0.0) in
-  let gap = Gap.borrow ~cost:gap_cost ~weight:(Array.make m sizes) ~capacity in
-  let default_gap gap =
-    Mthg.solve_relaxed ~criteria:config.Config.gap_criteria ~improve:config.Config.gap_improve
-      gap
+  let ws =
+    match workspace with
+    | None -> Workspace.create problem
+    | Some w ->
+      if w.Workspace.ws_m <> m || w.Workspace.ws_n <> n then
+        invalid_arg
+          (Printf.sprintf "Burkard.solve: workspace is %dx%d but problem is %dx%d"
+             w.Workspace.ws_m w.Workspace.ws_n m n);
+      w
   in
-  let solve_gap ~step ~k costs =
-    Qmatrix.eta_cost_matrix_into costs ~m ~n gap_cost;
+  (* The GAP instances of STEP 4 and STEP 6 alias the eta and h vectors
+     directly as their (flat, item-major) cost matrices and share the
+     uniform weights w_ij = s_j, so an inner solve costs no setup at
+     all. *)
+  let gap_eta = Gap.borrow ~cost:ws.Workspace.eta ~weight:ws.Workspace.weight
+      ~capacity:ws.Workspace.capacity ~n in
+  let gap_h = Gap.borrow ~cost:ws.Workspace.h ~weight:ws.Workspace.weight
+      ~capacity:ws.Workspace.capacity ~n in
+  Array.fill ws.Workspace.h 0 (m * n) 0.0;
+  let default_gap gap =
+    Mthg.solve_relaxed ~ws:ws.Workspace.mthg ~criteria:config.Config.gap_criteria
+      ~improve:config.Config.gap_improve gap
+  in
+  let solve_gap ~step ~k gap =
     match gap_solver with
     | None -> default_gap gap
     | Some f -> f ~step ~k ~default:default_gap gap
   in
-  let u =
-    match initial with
-    | Some a ->
-      Assignment.check ~m a;
-      Assignment.copy a
-    | None -> Assignment.random (Rng.create config.Config.seed) ~n ~m
-  in
-  let u = ref u in
+  let u = ws.Workspace.u in
+  (match initial with
+  | Some a ->
+    Assignment.check ~m a;
+    Array.blit a 0 u 0 n
+  | None ->
+    let r = Assignment.random (Rng.create config.Config.seed) ~n ~m in
+    Array.blit r 0 u 0 n);
   let cons = problem.Problem.constraints in
   let topo = problem.Problem.topology in
   (* penalized cost and violation count of [a], computed from scratch;
@@ -134,10 +177,16 @@ let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
     end;
     (c, feas)
   in
-  ignore (consider !u);
+  ignore (consider u);
   let omega = Qmatrix.omega ~rule:config.Config.rule q in
-  let eta = Array.make (m * n) 0.0 in
-  let h = Array.make (m * n) 0.0 in
+  (* STEP 3 runs incrementally: the state below owns ws.eta, and each
+     iteration patches only the components that moved since the last
+     sync (GAP jump + polish + repair adoption) instead of recomputing
+     the full vector — with the built-in full-recompute fallback when
+     most of the placement changed, and the periodic drift resync. *)
+  let st = Qmatrix.eta_state ~rule:config.Config.rule ~buf:ws.Workspace.eta q u in
+  let eta = ws.Workspace.eta in
+  let h = ws.Workspace.h in
   let history = ref [] in
   let strict_q =
     let memo = ref None in
@@ -158,18 +207,21 @@ let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
   let k = ref 1 in
   while (not (stop ())) && !k <= config.Config.iterations do
     let k0 = !k in
-    (* STEP 3 (into the reused buffer) *)
-    Qmatrix.eta_into ~rule:config.Config.rule q !u eta;
-    let xi = Qmatrix.xi q ~omega !u in
-    (* STEP 4: minimize the linearization over S *)
-    let u_z = solve_gap ~step:Step4 ~k:k0 eta in
+    (* STEP 3: patch eta for the components that moved since last sync *)
+    ignore (Qmatrix.eta_sync st u);
+    let xi = Qmatrix.xi q ~omega u in
+    (* STEP 4: minimize the linearization over S (cost aliases eta) *)
+    let u_z = solve_gap ~step:Step4 ~k:k0 gap_eta in
     let z = ref 0.0 in
     Array.iteri (fun j i -> z := !z +. eta.(Assignment.flat_index ~m ~i ~j)) u_z;
     (* STEP 5: accumulate the direction *)
     let scale = Float.max 1.0 (Float.abs (!z -. xi)) in
     Array.iteri (fun r e -> h.(r) <- h.(r) +. (e /. scale)) eta;
-    (* STEP 6: next iterate from the accumulated direction *)
-    u := solve_gap ~step:Step6 ~k:k0 h;
+    (* STEP 6: next iterate from the accumulated direction (cost
+       aliases h); the pooled GAP result is blitted into the stable
+       iterate before the next inner solve reuses its buffer *)
+    let u6 = solve_gap ~step:Step6 ~k:k0 gap_h in
+    Array.blit u6 0 u 0 n;
     (* mid-step checkpoint: a deadline firing here abandons the
        in-flight iterate — the best-so-far from STEP 7 of previous
        iterations is what the caller gets *)
@@ -182,12 +234,12 @@ let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
       let known =
         ref
           (if config.Config.strict_polish then begin
-             polish ~q:(strict_q ()) ~passes:config.Config.polish_passes !u;
-             evaluate !u
+             polish ~q:(strict_q ()) ~passes:config.Config.polish_passes u;
+             evaluate u
            end
            else begin
-             let c0, v0 = evaluate !u in
-             let dc, dv = Repair.polish_tracked q !u ~passes:config.Config.polish_passes in
+             let c0, v0 = evaluate u in
+             let dc, dv = Repair.polish_tracked q u ~passes:config.Config.polish_passes in
              (c0 +. dc, v0 + dv)
            end)
       in
@@ -201,16 +253,16 @@ let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
         && (k0 mod config.Config.repair_every = 0 || k0 = config.Config.iterations)
         && not (Constraints.empty problem.Problem.constraints)
       then begin
-        let probe = Assignment.copy !u in
+        let probe = Assignment.copy u in
         let reached = Repair.to_feasible (strict_q ()) probe ~rounds:6 in
         ignore (consider probe);
         if config.Config.adopt_repair && reached && Problem.capacity_feasible problem probe then begin
-          u := probe;
-          known := evaluate probe
+          Array.blit probe 0 u 0 n;
+          known := evaluate u
         end
       end;
       (* STEP 7 *)
-      let penalized, feasible = consider ~known:!known !u in
+      let penalized, feasible = consider ~known:!known u in
       let viol = snd !known in
       let it =
         {

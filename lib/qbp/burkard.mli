@@ -103,12 +103,31 @@ type gap_solver =
     default relaxed MTHG, the returned assignment may violate
     capacity; the outer loop never trusts it blindly. *)
 
+(** Per-start scratch pool.  Holds every buffer the hot loop touches —
+    the maintained η vector and the accumulated direction {m h} (both
+    aliased directly as the flat item-major STEP-4/6 GAP cost
+    matrices), the iteration-invariant uniform weights and capacities,
+    the pooled MTHG workspace and the iterate itself — so that a
+    caller running many solves on one problem shape (the adaptive
+    penalty ladder, a portfolio start) allocates them exactly once and
+    the steady-state inner loop is allocation-free. *)
+module Workspace : sig
+  type t
+
+  val create : Problem.t -> t
+  (** Buffers sized for (and weights/capacities taken from) this
+      problem.  A workspace must only be reused across solves of the
+      {e same} problem (any penalty): shapes are checked, contents are
+      trusted. *)
+end
+
 val solve :
   ?config:Config.t ->
   ?initial:Assignment.t ->
   ?should_stop:(unit -> bool) ->
   ?observe:(iteration -> unit) ->
   ?gap_solver:gap_solver ->
+  ?workspace:Workspace.t ->
   Problem.t ->
   result
 (** Run the heuristic.  Without [initial], starts from a uniformly

@@ -217,6 +217,170 @@ let eta ?rule t u =
   eta_into ?rule t u eta;
   eta
 
+(* --- incremental eta maintenance ----------------------------------- *)
+
+(* Every eta entry is a sum of terms that each depend on the position
+   of exactly one other component (plus, for [Paper], a diagonal term
+   depending on the component's own position).  Moving component [j]
+   from [old_i] to [new_i] therefore touches only the m-wide blocks of
+   [j]'s netlist and constraint partners — an O(deg(j)·m) patch — and
+   the patches commute, so a batch of moves can be replayed in any
+   order.  Patching accumulates float rounding that a from-scratch
+   [eta_into] would not, so the state resyncs after [resync_every]
+   moves (and [eta_sync] falls back to a full recompute when more than
+   [patch_limit] components moved at once). *)
+type eta_state = {
+  es_q : t;
+  es_rule : rule;
+  es_eta : float array;
+  es_u : int array; (* the positions [es_eta] currently reflects *)
+  es_resync_every : int;
+  es_patch_limit : int;
+  mutable es_since_resync : int;
+}
+
+let eta_buffer st = st.es_eta
+let eta_positions st = st.es_u
+
+let eta_state ?(rule = Solver) ?(resync_every = 256) ?patch_limit ?buf t u =
+  let m = Problem.m t.problem and n = Problem.n t.problem in
+  if resync_every < 1 then invalid_arg "Qmatrix.eta_state: resync_every must be >= 1";
+  let patch_limit =
+    match patch_limit with
+    | Some l -> if l < 0 then invalid_arg "Qmatrix.eta_state: negative patch_limit" else l
+    | None -> max 1 (n / 2)
+  in
+  let eta =
+    match buf with
+    | None -> Array.make (m * n) 0.0
+    | Some b ->
+      if Array.length b <> m * n then invalid_arg "Qmatrix.eta_state: wrong buffer length";
+      b
+  in
+  eta_into ~rule t u eta;
+  {
+    es_q = t;
+    es_rule = rule;
+    es_eta = eta;
+    es_u = Array.copy u;
+    es_resync_every = resync_every;
+    es_patch_limit = patch_limit;
+    es_since_resync = 0;
+  }
+
+let eta_resync st =
+  eta_into ~rule:st.es_rule st.es_q st.es_u st.es_eta;
+  st.es_since_resync <- 0
+
+(* Solver-rule patch: in a partner [j']'s candidate row, [j]
+   contributes the wire term with the evaluator's orientation
+   ([j' < j] means [j]'s position is b's second argument) and one
+   penalty per violated directed budget.  Seen from [j'], the stored
+   budgets swap direction: [j']'s outgoing budget towards [j] is
+   [p.budget_in] of [j]'s own record. *)
+let patch_solver st ~j ~old_i ~new_i =
+  let q = st.es_q in
+  let nl = q.problem.Problem.netlist in
+  let topo = q.problem.Problem.topology in
+  let cons = q.problem.Problem.constraints in
+  let m = Problem.m q.problem in
+  let eta = st.es_eta in
+  Array.iter
+    (fun (j', w) ->
+      let base = j' * m in
+      if j' < j then
+        for i = 0 to m - 1 do
+          eta.(base + i) <-
+            eta.(base + i) +. (w *. (Topology.b topo i new_i -. Topology.b topo i old_i))
+        done
+      else
+        for i = 0 to m - 1 do
+          eta.(base + i) <-
+            eta.(base + i) +. (w *. (Topology.b topo new_i i -. Topology.b topo old_i i))
+        done)
+    (Netlist.adj nl j);
+  Array.iter
+    (fun p ->
+      let base = p.Constraints.other * m in
+      let pen = q.penalty in
+      for i = 0 to m - 1 do
+        let before =
+          (if Topology.d topo i old_i > p.Constraints.budget_in then pen else 0.0)
+          +. if Topology.d topo old_i i > p.Constraints.budget_out then pen else 0.0
+        in
+        let after =
+          (if Topology.d topo i new_i > p.Constraints.budget_in then pen else 0.0)
+          +. if Topology.d topo new_i i > p.Constraints.budget_out then pen else 0.0
+        in
+        if before <> after then eta.(base + i) <- eta.(base + i) +. after -. before
+      done)
+    (Constraints.partners cons j)
+
+(* Paper-rule patch: [j]'s own diagonal entry rides with its position;
+   in a partner's column the wire term always uses [j]'s position as
+   b's first argument, and the timing replacement (penalty instead of
+   the wire term) is gated by the partner's incoming budget — which is
+   [p.budget_out] of [j]'s record. *)
+let patch_paper st ~j ~old_i ~new_i =
+  let q = st.es_q in
+  let nl = q.problem.Problem.netlist in
+  let topo = q.problem.Problem.topology in
+  let cons = q.problem.Problem.constraints in
+  let m = Problem.m q.problem in
+  let eta = st.es_eta in
+  let base_j = j * m in
+  eta.(base_j + old_i) <- eta.(base_j + old_i) -. Problem.p_entry q.problem ~i:old_i ~j;
+  eta.(base_j + new_i) <- eta.(base_j + new_i) +. Problem.p_entry q.problem ~i:new_i ~j;
+  Array.iter
+    (fun (j', w) ->
+      let base = j' * m in
+      for i = 0 to m - 1 do
+        eta.(base + i) <-
+          eta.(base + i) +. (w *. (Topology.b topo new_i i -. Topology.b topo old_i i))
+      done)
+    (Netlist.adj nl j);
+  Array.iter
+    (fun p ->
+      let j' = p.Constraints.other in
+      let base = j' * m in
+      let w = Netlist.connection nl j j' in
+      let pen = q.penalty in
+      for i = 0 to m - 1 do
+        if Topology.d topo old_i i > p.Constraints.budget_out then
+          eta.(base + i) <- eta.(base + i) -. (pen -. (w *. Topology.b topo old_i i));
+        if Topology.d topo new_i i > p.Constraints.budget_out then
+          eta.(base + i) <- eta.(base + i) +. (pen -. (w *. Topology.b topo new_i i))
+      done)
+    (Constraints.partners cons j)
+
+let eta_apply_move st ~j i =
+  let old_i = st.es_u.(j) in
+  if i <> old_i then begin
+    (match st.es_rule with
+    | Solver -> patch_solver st ~j ~old_i ~new_i:i
+    | Paper -> patch_paper st ~j ~old_i ~new_i:i);
+    st.es_u.(j) <- i;
+    st.es_since_resync <- st.es_since_resync + 1;
+    if st.es_since_resync >= st.es_resync_every then eta_resync st
+  end
+
+let eta_sync st u =
+  let n = Problem.n st.es_q.problem in
+  if Array.length u <> n then invalid_arg "Qmatrix.eta_sync: wrong length";
+  let moved = ref 0 in
+  for j = 0 to n - 1 do
+    if u.(j) <> st.es_u.(j) then incr moved
+  done;
+  if !moved > st.es_patch_limit then begin
+    Array.blit u 0 st.es_u 0 n;
+    eta_resync st
+  end
+  else if !moved > 0 then
+    for j = 0 to n - 1 do
+      if u.(j) <> st.es_u.(j) then eta_apply_move st ~j u.(j)
+    done;
+  !moved
+
 let omega ?(rule = Solver) t =
   let nl = t.problem.Problem.netlist in
   let topo = t.problem.Problem.topology in

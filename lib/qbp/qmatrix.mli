@@ -105,6 +105,56 @@ val eta_into : ?rule:rule -> t -> Assignment.t -> float array -> unit
     buffer (the solver reuses one buffer across all iterations).
     @raise Invalid_argument on length mismatch. *)
 
+(** {1 Incremental eta maintenance}
+
+    Every η entry is a sum of terms each depending on the position of
+    exactly one other component (plus, for [Paper], a diagonal term at
+    the component's own position), so when component {m j} moves the
+    only entries that change are the {m M}-wide blocks of {m j}'s
+    netlist and timing partners — an {m O(deg(j)·M)} patch instead of
+    the {m O((wires+constraints)·M)} full {!eta_into} recompute
+    (DESIGN.md, decision D9).  Patches commute, so move batches can be
+    replayed in any order; float drift from repeated patching is
+    bounded by a periodic from-scratch resync. *)
+
+type eta_state
+
+val eta_state :
+  ?rule:rule -> ?resync_every:int -> ?patch_limit:int -> ?buf:float array -> t ->
+  Assignment.t -> eta_state
+(** Initialize the maintained η for placement [u] (one full
+    {!eta_into}).  [resync_every] (default 256) bounds drift: after
+    that many patched moves the vector is recomputed from scratch.
+    [patch_limit] (default {m max(1, N/2)}) caps how many components
+    {!eta_sync} will patch before falling back to a full recompute.
+    [?buf] supplies the length-{m MN} backing buffer (pooled callers);
+    otherwise one is allocated.
+    @raise Invalid_argument on bad sizes. *)
+
+val eta_buffer : eta_state -> float array
+(** The maintained length-{m MN} vector itself (the [?buf] array if
+    one was supplied).  Callers may read it freely — the Burkard loop
+    aliases it as the STEP-4 GAP cost matrix — but must mutate it only
+    through {!eta_apply_move}/{!eta_sync}. *)
+
+val eta_positions : eta_state -> Assignment.t
+(** The placement the buffer currently reflects (owned by the state;
+    do not mutate). *)
+
+val eta_apply_move : eta_state -> j:int -> int -> unit
+(** [eta_apply_move st ~j i] moves component [j] to partition [i],
+    patching the partner blocks in {m O(deg(j)·M)}. *)
+
+val eta_sync : eta_state -> Assignment.t -> int
+(** Diff the target placement against {!eta_positions} and patch each
+    moved component; falls back to one full recompute when more than
+    [patch_limit] components moved.  Returns how many components had
+    moved. *)
+
+val eta_resync : eta_state -> unit
+(** Force a from-scratch recompute at the current positions (resets
+    the drift counter).  Exposed for tests and paranoid callers. *)
+
 val omega : ?rule:rule -> t -> float array
 (** The bound vector {m ω} of equation (2):
     {m ω_r ≥ Σ_s q̂_{rs} y_s} for every {m y ∈ S}, computed per row as

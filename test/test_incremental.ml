@@ -1,0 +1,382 @@
+(* Incremental eta maintenance (DESIGN.md D9) and the flat unboxed GAP
+   kernels: patched eta vectors are checked against from-scratch
+   recomputes over random move sequences (both rules, across resync and
+   patch-limit boundaries), the flat pooled MTHG against an embedded
+   boxed-matrix reference implementation, and workspace reuse against
+   fresh-buffer solves. *)
+
+open Qbpart_core
+module Netlist = Qbpart_netlist.Netlist
+module Rng = Qbpart_netlist.Rng
+module Generator = Qbpart_netlist.Generator
+module Grid = Qbpart_topology.Grid
+module Constraints = Qbpart_timing.Constraints
+module Assignment = Qbpart_partition.Assignment
+module Gap = Qbpart_gap.Gap
+module Mthg = Qbpart_gap.Mthg
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* Same instance family as test_portfolio: enough wires, both
+   constraint directions, and a P matrix, so the patched blocks
+   exercise every term of both eta rules. *)
+let random_problem seed =
+  let rng = Rng.create seed in
+  let n = 8 + Rng.int rng 8 in
+  let m = 4 in
+  let nl = Generator.generate rng (Generator.default_params ~n ~wires:(3 * n)) in
+  let capacity = Netlist.total_size nl /. float_of_int m *. 1.5 in
+  let topo = Grid.make ~rows:2 ~cols:2 ~capacity () in
+  let cons = Constraints.create ~n in
+  for _ = 1 to n do
+    let j1 = Rng.int rng n and j2 = Rng.int rng n in
+    if j1 <> j2 then Constraints.add cons j1 j2 (float_of_int (1 + Rng.int rng 2))
+  done;
+  let p = Some (Array.init m (fun _ -> Array.init n (fun _ -> Rng.float rng 5.0))) in
+  Problem.make ?p ~constraints:cons nl topo
+
+let max_abs_diff a b =
+  let d = ref 0.0 in
+  Array.iteri (fun r x -> d := Float.max !d (Float.abs (x -. b.(r)))) a;
+  !d
+
+(* ------------------------------------------------------------------ *)
+(* eta_apply_move vs from-scratch eta_into, across resync boundaries. *)
+
+let prop_eta_apply_move_matches_scratch =
+  QCheck.Test.make
+    ~name:"eta_apply_move tracks eta_into within 1e-9 (both rules, tiny resync)"
+    ~count:25
+    QCheck.(pair (int_range 0 100_000) (int_range 1 6))
+    (fun (seed, resync_every) ->
+      let problem = random_problem seed in
+      let q = Qmatrix.make ~penalty:50.0 problem in
+      let problem = Qmatrix.problem q in
+      let n = Problem.n problem and m = Problem.m problem in
+      let rng = Rng.create (seed + 1) in
+      let u0 = Assignment.random rng ~n ~m in
+      List.for_all
+        (fun rule ->
+          let st = Qmatrix.eta_state ~rule ~resync_every q u0 in
+          let u = Assignment.copy u0 in
+          let scratch = Array.make (m * n) nan in
+          let ok = ref true in
+          for _ = 1 to 40 do
+            let j = Rng.int rng n and i = Rng.int rng m in
+            Qmatrix.eta_apply_move st ~j i;
+            u.(j) <- i;
+            Qmatrix.eta_into ~rule q u scratch;
+            if max_abs_diff (Qmatrix.eta_buffer st) scratch > 1e-9 then ok := false
+          done;
+          !ok && Qmatrix.eta_positions st = u)
+        [ Qmatrix.Solver; Qmatrix.Paper ])
+
+(* eta_sync: both the patch path (few moves) and the full-recompute
+   fallback (jumps past patch_limit) must land on the scratch vector. *)
+let prop_eta_sync_matches_scratch =
+  QCheck.Test.make ~name:"eta_sync lands on eta_into for patch and fallback paths"
+    ~count:20
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let problem = random_problem seed in
+      let q = Qmatrix.make ~penalty:50.0 problem in
+      let problem = Qmatrix.problem q in
+      let n = Problem.n problem and m = Problem.m problem in
+      let rng = Rng.create (seed + 2) in
+      let u0 = Assignment.random rng ~n ~m in
+      List.for_all
+        (fun rule ->
+          let st =
+            Qmatrix.eta_state ~rule ~resync_every:7 ~patch_limit:(max 1 (n / 3)) q u0
+          in
+          let target = Assignment.copy u0 in
+          let scratch = Array.make (m * n) nan in
+          let ok = ref true in
+          for _ = 1 to 12 do
+            (* 0 .. n components move: sometimes nothing, sometimes the
+               whole placement (forcing the fallback) *)
+            let moves = Rng.int rng (n + 1) in
+            for _ = 1 to moves do
+              target.(Rng.int rng n) <- Rng.int rng m
+            done;
+            ignore (Qmatrix.eta_sync st target);
+            Qmatrix.eta_into ~rule q target scratch;
+            if max_abs_diff (Qmatrix.eta_buffer st) scratch > 1e-9 then ok := false;
+            if Qmatrix.eta_positions st <> target then ok := false
+          done;
+          !ok)
+        [ Qmatrix.Solver; Qmatrix.Paper ])
+
+(* ------------------------------------------------------------------ *)
+(* Flat pooled MTHG vs a boxed-matrix reference implementation.       *)
+
+(* The reference works directly on the boxed [m][n] matrices and
+   recomputes every cache from scratch at every step — the semantics
+   the flat kernels (contiguous item blocks, cached top-2 pairs,
+   cascade pruning, pooled buffers) must reproduce bit for bit. *)
+module Oracle = struct
+  let desirability criterion cost weight capacity i j =
+    let c = cost.(i).(j) and w = weight.(i).(j) in
+    match criterion with
+    | Mthg.Cost -> c
+    | Mthg.Cost_times_weight -> c *. w
+    | Mthg.Weight -> w
+    | Mthg.Weight_per_capacity ->
+      if capacity.(i) > 0.0 then w /. capacity.(i) else infinity
+
+  let construct criterion ~cost ~weight ~capacity ~m ~n =
+    let residual = Array.copy capacity in
+    let assignment = Array.make n (-1) in
+    let unassigned = ref n in
+    let stuck = ref false in
+    while !unassigned > 0 && not !stuck do
+      (* best / second-best feasible desirability, from scratch *)
+      let f1 = Array.make n infinity and f2 = Array.make n infinity in
+      let i1 = Array.make n (-1) and i2 = Array.make n (-1) in
+      for j = 0 to n - 1 do
+        if assignment.(j) = -1 then
+          for i = 0 to m - 1 do
+            if weight.(i).(j) <= residual.(i) then begin
+              let f = desirability criterion cost weight capacity i j in
+              if f < f1.(j) then begin
+                f2.(j) <- f1.(j);
+                i2.(j) <- i1.(j);
+                f1.(j) <- f;
+                i1.(j) <- i
+              end
+              else if f < f2.(j) then begin
+                f2.(j) <- f;
+                i2.(j) <- i
+              end
+            end
+          done
+      done;
+      let best_item = ref (-1) in
+      let best_regret = ref neg_infinity in
+      for j = 0 to n - 1 do
+        if assignment.(j) = -1 then
+          if i1.(j) = -1 then stuck := true
+          else begin
+            let regret = if f2.(j) = infinity then infinity else f2.(j) -. f1.(j) in
+            if regret > !best_regret then begin
+              best_regret := regret;
+              best_item := j
+            end
+          end
+      done;
+      if (not !stuck) && !best_item >= 0 then begin
+        let j = !best_item in
+        let i = i1.(j) in
+        assignment.(j) <- i;
+        residual.(i) <- residual.(i) -. weight.(i).(j);
+        decr unassigned
+      end
+      else stuck := true
+    done;
+    if !stuck then None else Some assignment
+
+  let residual_of ~weight ~capacity ~m a =
+    let residual = Array.copy capacity in
+    ignore m;
+    Array.iteri (fun j i -> residual.(i) <- residual.(i) -. weight.(i).(j)) a;
+    residual
+
+  let shift_pass ~cost ~weight ~m ~n a residual =
+    let improved = ref false in
+    for j = 0 to n - 1 do
+      let from = a.(j) in
+      let best = ref from in
+      let best_cost = ref cost.(from).(j) in
+      for i = 0 to m - 1 do
+        if i <> from && weight.(i).(j) <= residual.(i) && cost.(i).(j) < !best_cost
+        then begin
+          best := i;
+          best_cost := cost.(i).(j)
+        end
+      done;
+      if !best <> from then begin
+        let i = !best in
+        residual.(from) <- residual.(from) +. weight.(from).(j);
+        residual.(i) <- residual.(i) -. weight.(i).(j);
+        a.(j) <- i;
+        improved := true
+      end
+    done;
+    !improved
+
+  let swap_pass ~cost ~weight ~m ~n a residual =
+    ignore m;
+    let improved = ref false in
+    for j1 = 0 to n - 1 do
+      for j2 = j1 + 1 to n - 1 do
+        let i1 = a.(j1) and i2 = a.(j2) in
+        if i1 <> i2 then begin
+          let w11 = weight.(i1).(j1)
+          and w22 = weight.(i2).(j2)
+          and w12 = weight.(i2).(j1)
+          and w21 = weight.(i1).(j2) in
+          let fits1 = residual.(i1) +. w11 -. w21 >= 0.0 in
+          let fits2 = residual.(i2) +. w22 -. w12 >= 0.0 in
+          if fits1 && fits2 then begin
+            let before = cost.(i1).(j1) +. cost.(i2).(j2) in
+            let after = cost.(i2).(j1) +. cost.(i1).(j2) in
+            if after < before then begin
+              residual.(i1) <- residual.(i1) +. w11 -. w21;
+              residual.(i2) <- residual.(i2) +. w22 -. w12;
+              a.(j1) <- i2;
+              a.(j2) <- i1;
+              improved := true
+            end
+          end
+        end
+      done
+    done;
+    !improved
+
+  let improve ~cost ~weight ~capacity ~m ~n a =
+    let residual = residual_of ~weight ~capacity ~m a in
+    let continue = ref true in
+    while !continue do
+      let s1 = shift_pass ~cost ~weight ~m ~n a residual in
+      let s2 = swap_pass ~cost ~weight ~m ~n a residual in
+      continue := s1 || s2
+    done
+
+  let cost_of ~cost a =
+    let total = ref 0.0 in
+    Array.iteri (fun j i -> total := !total +. cost.(i).(j)) a;
+    !total
+
+  let solve ~cost ~weight ~capacity ~m ~n =
+    let best = ref None in
+    let best_cost = ref infinity in
+    List.iter
+      (fun criterion ->
+        match construct criterion ~cost ~weight ~capacity ~m ~n with
+        | None -> ()
+        | Some a ->
+          improve ~cost ~weight ~capacity ~m ~n a;
+          let c = cost_of ~cost a in
+          if !best = None || c < !best_cost then begin
+            best := Some a;
+            best_cost := c
+          end)
+      Mthg.all_criteria;
+    !best
+end
+
+let random_gap rng =
+  let m = 2 + Rng.int rng 3 in
+  let n = 3 + Rng.int rng 8 in
+  let cost = Array.init m (fun _ -> Array.init n (fun _ -> Rng.float rng 10.0)) in
+  let weight =
+    Array.init m (fun _ -> Array.init n (fun _ -> 0.5 +. Rng.float rng 1.5))
+  in
+  (* slack from comfortable to over-tight so the stuck path shows up *)
+  let slack = 0.6 +. Rng.float rng 0.9 in
+  let per_knapsack =
+    let total = ref 0.0 in
+    Array.iter (Array.iter (fun w -> total := !total +. w)) weight;
+    !total /. float_of_int (m * m)
+  in
+  let capacity = Array.make m (per_knapsack *. slack) in
+  (cost, weight, capacity, m, n)
+
+let prop_flat_mthg_matches_boxed_oracle =
+  QCheck.Test.make ~name:"flat pooled MTHG equals the boxed reference solve" ~count:80
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let cost, weight, capacity, m, n = random_gap rng in
+      let g = Gap.make ~cost ~weight ~capacity in
+      let ws = Mthg.workspace ~m ~n in
+      let expected = Oracle.solve ~cost ~weight ~capacity ~m ~n in
+      let fresh = Mthg.solve g in
+      let pooled = Option.map Array.copy (Mthg.solve ~ws g) in
+      (* run a second pooled solve to prove buffer reuse cannot bleed
+         state into the next call *)
+      let pooled_again = Option.map Array.copy (Mthg.solve ~ws g) in
+      fresh = expected && pooled = expected && pooled_again = expected)
+
+let prop_solve_relaxed_pooled_deterministic =
+  QCheck.Test.make
+    ~name:"solve_relaxed: pooled and fresh workspaces return identical assignments"
+    ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let cost, weight, capacity, m, n = random_gap rng in
+      let g = Gap.make ~cost ~weight ~capacity in
+      let ws = Mthg.workspace ~m ~n in
+      let fresh = Mthg.solve_relaxed g in
+      let pooled = Array.copy (Mthg.solve_relaxed ~ws g) in
+      let pooled_again = Array.copy (Mthg.solve_relaxed ~ws g) in
+      fresh = pooled && pooled = pooled_again)
+
+(* ------------------------------------------------------------------ *)
+(* Burkard workspace pooling: reuse must not change trajectories.     *)
+
+let test_burkard_workspace_reuse () =
+  let problem = random_problem 5 in
+  let config = { Burkard.Config.default with iterations = 8; seed = 3 } in
+  let fresh = Burkard.solve ~config problem in
+  let ws = Burkard.Workspace.create problem in
+  let first = Burkard.solve ~config ~workspace:ws problem in
+  let second = Burkard.solve ~config ~workspace:ws problem in
+  check (Alcotest.float 0.0) "pooled equals fresh" fresh.Burkard.best_cost
+    first.Burkard.best_cost;
+  check Alcotest.bool "pooled best equals fresh best" true
+    (fresh.Burkard.best = first.Burkard.best);
+  check (Alcotest.float 0.0) "reused workspace equals first run" first.Burkard.best_cost
+    second.Burkard.best_cost;
+  check Alcotest.bool "reused best identical" true
+    (first.Burkard.best = second.Burkard.best);
+  check Alcotest.bool "histories identical" true
+    (List.map (fun (it : Burkard.iteration) -> (it.Burkard.k, it.Burkard.penalized))
+       first.Burkard.history
+    = List.map (fun (it : Burkard.iteration) -> (it.Burkard.k, it.Burkard.penalized))
+        second.Burkard.history)
+
+let test_burkard_workspace_shape_checked () =
+  let problem = random_problem 6 in
+  let other = random_problem 7 in
+  let ws = Burkard.Workspace.create problem in
+  if Problem.n (Problem.normalize other) <> Problem.n (Problem.normalize problem) then
+    match Burkard.solve ~workspace:ws other with
+    | _ -> fail "mismatched workspace accepted"
+    | exception Invalid_argument _ -> ()
+
+let test_mthg_workspace_shape_checked () =
+  let g =
+    Gap.make
+      ~cost:[| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]
+      ~weight:[| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |]
+      ~capacity:[| 2.0; 2.0 |]
+  in
+  let ws = Mthg.workspace ~m:2 ~n:3 in
+  match Mthg.solve ~ws g with
+  | _ -> fail "mismatched MTHG workspace accepted"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "incremental"
+    [
+      ( "eta maintenance",
+        [ qt prop_eta_apply_move_matches_scratch; qt prop_eta_sync_matches_scratch ] );
+      ( "flat gap",
+        [
+          qt prop_flat_mthg_matches_boxed_oracle;
+          qt prop_solve_relaxed_pooled_deterministic;
+          Alcotest.test_case "mthg workspace shape checked" `Quick
+            test_mthg_workspace_shape_checked;
+        ] );
+      ( "workspace pooling",
+        [
+          Alcotest.test_case "burkard workspace reuse deterministic" `Quick
+            test_burkard_workspace_reuse;
+          Alcotest.test_case "burkard workspace shape checked" `Quick
+            test_burkard_workspace_shape_checked;
+        ] );
+    ]

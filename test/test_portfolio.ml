@@ -146,19 +146,20 @@ let test_eta_cost_matrix_into () =
   | exception Invalid_argument _ -> ()
 
 let test_gap_borrow () =
-  let cost = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
-  let sizes = [| 1.0; 1.0 |] in
-  let g = Gap.borrow ~cost ~weight:[| sizes; sizes |] ~capacity:[| 2.0; 2.0 |] in
+  (* flat item-major: entry (i, j) at j*m + i *)
+  let cost = [| 1.0; 3.0; 2.0; 4.0 |] in
+  let weight = [| 1.0; 1.0; 1.0; 1.0 |] in
+  let g = Gap.borrow ~cost ~weight ~capacity:[| 2.0; 2.0 |] ~n:2 in
   check Alcotest.int "m" 2 g.Gap.m;
   check Alcotest.int "n" 2 g.Gap.n;
-  (* zero-copy: refreshing the caller's matrix is visible to the instance *)
-  cost.(0).(0) <- 9.0;
-  check (Alcotest.float 0.0) "aliases caller cost" 9.0 g.Gap.cost.(0).(0);
-  (match Gap.borrow ~cost:[||] ~weight:[||] ~capacity:[||] with
+  (* zero-copy: refreshing the caller's buffer is visible to the instance *)
+  cost.(Gap.index g ~i:0 ~j:0) <- 9.0;
+  check (Alcotest.float 0.0) "aliases caller cost" 9.0 (Gap.cost_at g ~i:0 ~j:0);
+  (match Gap.borrow ~cost:[||] ~weight:[||] ~capacity:[||] ~n:0 with
   | _ -> fail "empty capacity accepted"
   | exception Invalid_argument _ -> ());
-  match Gap.borrow ~cost ~weight:[| sizes |] ~capacity:[| 1.0; 1.0 |] with
-  | _ -> fail "row mismatch accepted"
+  match Gap.borrow ~cost ~weight:[| 1.0; 1.0 |] ~capacity:[| 1.0; 1.0 |] ~n:2 with
+  | _ -> fail "length mismatch accepted"
   | exception Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -378,9 +379,10 @@ let test_gap_borrow_per_domain_isolated () =
   (* two domains, each borrowing its own scratch buffers, solving
      concurrently: both must succeed on their own data *)
   let solve_one bias =
-    let cost = [| [| bias; bias +. 3.0 |]; [| bias +. 3.0; bias |] |] in
-    let sizes = [| 1.0; 1.0 |] in
-    let g = Gap.borrow ~cost ~weight:[| sizes; sizes |] ~capacity:[| 2.0; 2.0 |] in
+    (* flat item-major diagonal-cheap instance *)
+    let cost = [| bias; bias +. 3.0; bias +. 3.0; bias |] in
+    let weight = [| 1.0; 1.0; 1.0; 1.0 |] in
+    let g = Gap.borrow ~cost ~weight ~capacity:[| 2.0; 2.0 |] ~n:2 in
     Mthg.solve g
   in
   let d1 = Domain.spawn (fun () -> solve_one 1.0) in
@@ -394,9 +396,9 @@ let test_gap_borrow_per_domain_isolated () =
   | _ -> fail "concurrent borrowed solves found no assignment")
 
 let test_gap_borrow_cross_domain_rejected () =
-  let cost = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
-  let sizes = [| 1.0; 1.0 |] in
-  let g = Gap.borrow ~cost ~weight:[| sizes; sizes |] ~capacity:[| 2.0; 2.0 |] in
+  let cost = [| 1.0; 3.0; 2.0; 4.0 |] in
+  let weight = [| 1.0; 1.0; 1.0; 1.0 |] in
+  let g = Gap.borrow ~cost ~weight ~capacity:[| 2.0; 2.0 |] ~n:2 in
   (* the borrowing domain may solve freely *)
   (match Mthg.solve g with Some _ -> () | None -> fail "borrower failed to solve");
   let rejected =
@@ -414,7 +416,12 @@ let test_gap_borrow_cross_domain_rejected () =
   in
   check Alcotest.bool "relaxed path rejected too" true (Domain.join rejected_relaxed);
   (* owned copies carry no owner and travel freely *)
-  let owned = Gap.make ~cost ~weight:[| sizes; Array.copy sizes |] ~capacity:[| 2.0; 2.0 |] in
+  let owned =
+    Gap.make
+      ~cost:[| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |]
+      ~weight:[| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |]
+      ~capacity:[| 2.0; 2.0 |]
+  in
   let fine = Domain.spawn (fun () -> Mthg.solve owned <> None) in
   check Alcotest.bool "made instances cross domains" true (Domain.join fine)
 
