@@ -1,21 +1,25 @@
 (* Bench regression gate: compare a fresh [bench --json] run against a
-   committed baseline and fail on kernel regressions.
+   committed baseline and fail on regressions.
 
-   Usage: compare BASELINE.json CURRENT.json [--tolerance FRACTION]
+   Usage: compare BASELINE.json CURRENT.json
+            [--tolerance FRACTION] [--summary KEY]
 
-   Every numeric field of the baseline's "kernels_summary" object is
-   checked against the current run.  Direction is derived from the
-   field name: [*_ns] is a latency (lower is better), [*_speedup] and
-   [*_per_sec] are rates (higher is better); anything else is reported
-   but never gates.  A field is a regression when it is worse than the
-   baseline by more than the tolerance (default 25% — wide enough for
-   shared CI runners, tight enough to catch a kernel falling off a
-   cliff).  Exit status: 0 clean, 1 regression, 2 usage/parse error. *)
+   Every numeric field of the baseline's summary object (by default
+   "kernels_summary"; [--summary server_summary] gates the fleet
+   scenarios in BENCH_server.json instead) is checked against the
+   current run.  Direction is derived from the field name: [*_ns] and
+   [*_s] are latencies (lower is better), [*_speedup] and [*_per_sec]
+   are rates (higher is better); anything else is reported but never
+   gates.  A field is a regression when it is worse than the baseline
+   by more than the tolerance (default 25% — wide enough for shared CI
+   runners, tight enough to catch a kernel falling off a cliff).  Exit
+   status: 0 clean, 1 regression, 2 usage/parse error. *)
 
 module Json = Qbpart_server.Json
 
 let usage () =
-  prerr_endline "usage: compare BASELINE.json CURRENT.json [--tolerance FRACTION]";
+  prerr_endline
+    "usage: compare BASELINE.json CURRENT.json [--tolerance FRACTION] [--summary KEY]";
   exit 2
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("compare: " ^ msg); exit 2) fmt
@@ -30,11 +34,11 @@ let parse path =
   | Ok j -> j
   | Error msg -> die "%s: %s" path msg
 
-let summary path j =
-  match Json.member "kernels_summary" j with
+let summary key path j =
+  match Json.member key j with
   | Some (Json.Obj fields) -> fields
-  | Some _ -> die "%s: kernels_summary is not an object" path
-  | None -> die "%s: no kernels_summary (was the bench run with --json and kernels enabled?)" path
+  | Some _ -> die "%s: %s is not an object" path key
+  | None -> die "%s: no %s (was the bench run with --json enabled?)" path key
 
 type direction = Lower_better | Higher_better | Informational
 
@@ -42,22 +46,30 @@ let direction name =
   let ends s = String.length name >= String.length s
     && String.sub name (String.length name - String.length s) (String.length s) = s
   in
-  if ends "_ns" then Lower_better
+  (* [_ns] must be tested before the more general [_s] latency suffix *)
+  if ends "_ns" || ends "_s" then Lower_better
   else if ends "_speedup" || ends "_per_sec" then Higher_better
   else Informational
 
 let () =
-  let baseline_path, current_path, tolerance =
+  let baseline_path, current_path, tolerance, key =
+    let rec options tolerance key = function
+      | [] -> (tolerance, key)
+      | "--tolerance" :: t :: rest -> (
+        match float_of_string_opt t with
+        | Some t when t >= 0.0 -> options t key rest
+        | _ -> usage ())
+      | "--summary" :: k :: rest -> options tolerance k rest
+      | _ -> usage ()
+    in
     match Array.to_list Sys.argv with
-    | [ _; b; c ] -> (b, c, 0.25)
-    | [ _; b; c; "--tolerance"; t ] -> (
-      match float_of_string_opt t with
-      | Some t when t >= 0.0 -> (b, c, t)
-      | _ -> usage ())
+    | _ :: b :: c :: rest ->
+      let tolerance, key = options 0.25 "kernels_summary" rest in
+      (b, c, tolerance, key)
     | _ -> usage ()
   in
-  let base = summary baseline_path (parse baseline_path) in
-  let cur = summary current_path (parse current_path) in
+  let base = summary key baseline_path (parse baseline_path) in
+  let cur = summary key current_path (parse current_path) in
   let regressions = ref 0 in
   let checked = ref 0 in
   Printf.printf "bench regression gate: %s vs baseline %s (tolerance %.0f%%)\n\n"

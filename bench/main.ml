@@ -662,7 +662,7 @@ let server_throughput quick =
     let ok = Atomic.make true in
     let t0 = Unix.gettimeofday () in
     let client k =
-      match Sclient.connect ~socket_path with
+      match Sclient.connect (Sclient.Unix_socket socket_path) with
       | Error _ -> Atomic.set ok false
       | Ok c ->
         for i = 0 to per_client - 1 do

@@ -492,11 +492,33 @@ module Sclient = Qbpart_server.Client
 module Sproto = Qbpart_server.Protocol
 
 let socket_arg =
-  Arg.(value & opt string "qbpartd.sock" & info [ "socket" ] ~docv:"PATH"
-         ~doc:"The qbpartd Unix-domain socket.")
+  Arg.(value & opt string "qbpartd.sock" & info [ "socket" ] ~docv:"ADDR"
+         ~doc:"The qbpartd address: a Unix-domain socket path, or $(b,tcp:HOST:PORT) for \
+               a daemon or router listening with $(b,--tcp).")
 
-let with_client socket f =
-  match Sclient.connect ~socket_path:socket with
+let connect_timeout_arg =
+  Arg.(value & opt float Sclient.default_connect_timeout
+       & info [ "connect-timeout" ] ~docv:"SECONDS"
+           ~doc:"Give up connecting after this long instead of hanging on a dead peer.")
+
+let read_timeout_arg =
+  Arg.(value & opt float Sclient.default_read_timeout
+       & info [ "read-timeout" ] ~docv:"SECONDS"
+           ~doc:"Give up after this long waiting for a response frame; 0 disables the \
+                 deadline.")
+
+let retries_arg =
+  Arg.(value & opt int Sclient.default_backoff.Sclient.attempts
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Total attempts (with jittered exponential backoff) before giving up on \
+                 a dead, overloaded, or draining service.")
+
+let addr_of socket =
+  match Sclient.addr_of_string socket with Error m -> Error (`Msg m) | Ok a -> Ok a
+
+let with_client ?connect_timeout ?read_timeout socket f =
+  let* addr = addr_of socket in
+  match Sclient.connect ?connect_timeout ?read_timeout addr with
   | Error m -> Error (`Msg m)
   | Ok c -> Fun.protect ~finally:(fun () -> Sclient.close c) (fun () -> f c)
 
@@ -546,7 +568,7 @@ let finish_waited ~nl ~topo ~out (v : Sproto.job_view) =
 
 let submit_cmd =
   let run socket path timing by_path rows cols slack iterations seed starts deadline label
-      wait out =
+      priority wait out connect_timeout read_timeout retries =
     let* () =
       if rows < 1 || cols < 1 then msgf "--rows and --cols must be >= 1" else Ok ()
     in
@@ -578,28 +600,37 @@ let submit_cmd =
         starts;
         deadline_s = deadline;
         label;
+        priority;
       }
     in
-    with_client socket (fun c ->
-        match Sclient.call c (Sproto.Submit spec) with
-        | Error m -> Error (`Msg m)
-        | Ok (Sproto.Error { code; message }) -> server_error code message
-        | Ok (Sproto.Submitted { job; queue_depth }) ->
-          if not wait then begin
-            Format.eprintf "submitted %s (queue depth %d)@." job queue_depth;
-            print_endline job;
-            Ok ()
-          end
-          else begin
-            Format.eprintf "submitted %s; waiting@." job;
+    let* addr = addr_of socket in
+    (* Submit through the retrying one-shot path: transport failures and
+       overloaded/draining/unavailable refusals back off and resubmit.
+       Resubmission is idempotent by instance hash against a fleet with
+       a replicated checkpoint store, so retrying is always safe. *)
+    let backoff = { Sclient.default_backoff with Sclient.attempts = max 1 retries } in
+    match
+      Sclient.request ~backoff ~connect_timeout ~read_timeout addr (Sproto.Submit spec)
+    with
+    | Error m -> Error (`Msg m)
+    | Ok (Sproto.Error { code; message }) -> server_error code message
+    | Ok (Sproto.Submitted { job; queue_depth }) ->
+      if not wait then begin
+        Format.eprintf "submitted %s (queue depth %d)@." job queue_depth;
+        print_endline job;
+        Ok ()
+      end
+      else begin
+        Format.eprintf "submitted %s; waiting@." job;
+        with_client ~connect_timeout ~read_timeout socket (fun c ->
             match Sclient.wait c job with
             | Error m -> Error (`Msg m)
             | Ok v ->
               let topo = grid_topology nl ~rows ~cols ~slack in
-              finish_waited ~nl ~topo ~out v
-          end
-        | Ok other ->
-          msgf "unexpected response: %s" (Format.asprintf "%a" Sproto.pp_response other))
+              finish_waited ~nl ~topo ~out v)
+      end
+    | Ok other ->
+      msgf "unexpected response: %s" (Format.asprintf "%a" Sproto.pp_response other)
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST") in
   let timing =
@@ -628,6 +659,15 @@ let submit_cmd =
     Arg.(value & opt (some string) None & info [ "label" ] ~docv:"TEXT"
            ~doc:"Free-form tag echoed back in status views.")
   in
+  let priority =
+    Arg.(value
+         & opt (enum [ ("interactive", Sproto.Interactive); ("batch", Sproto.Batch) ])
+             Sproto.Batch
+         & info [ "priority" ] ~docv:"CLASS"
+             ~doc:"Admission class: $(b,interactive) jobs dequeue with a higher weight \
+                   and, at capacity, shed the newest queued $(b,batch) job instead of \
+                   being refused.")
+  in
   let wait =
     Arg.(value & flag & info [ "wait" ]
            ~doc:"Poll until the job finishes, then emit the assignment (like \
@@ -642,7 +682,8 @@ let submit_cmd =
     Term.(
       term_result
         (const run $ socket_arg $ path $ timing $ by_path $ rows $ cols $ slack $ iterations
-       $ seed $ starts $ deadline $ label $ wait $ out))
+       $ seed $ starts $ deadline $ label $ priority $ wait $ out $ connect_timeout_arg
+       $ read_timeout_arg $ retries_arg))
 
 let status_line (v : Sproto.job_view) =
   match v.Sproto.state with
@@ -661,32 +702,71 @@ let status_line (v : Sproto.job_view) =
   | (Sproto.Queued | Sproto.Running) as s ->
     Printf.sprintf "%s %s" v.Sproto.id (Sproto.job_state_to_string s)
 
+(* Watch with reconnection: one streaming session per connection; a
+   lost connection backs off and reattaches, resuming from the last
+   seen event seq (the server replays nothing at or below [since - 1]).
+   [retries] consecutive sessions that deliver no event give up —
+   permanent service loss is exit code 123, not a hang. *)
+let watch_job ~connect_timeout ~retries socket job =
+  let* addr = addr_of socket in
+  let last_seen = ref (-1) in
+  let delay k = Float.min 2.0 (0.1 *. (2.0 ** float_of_int k)) in
+  let retries = max 1 retries in
+  let rec session failures =
+    let progressed = ref false in
+    let outcome =
+      (* read deadline off: a quiet stream just means a long solve *)
+      match Sclient.connect ~connect_timeout ~read_timeout:0.0 addr with
+      | Error m -> `Lost m
+      | Ok c ->
+        Fun.protect
+          ~finally:(fun () -> Sclient.close c)
+          (fun () ->
+            match Sclient.call c (Sproto.Events { job; since = !last_seen + 1 }) with
+            | Error m -> `Lost m
+            | Ok first ->
+              let rec follow = function
+                | Sproto.Error { code; message } -> `Server (code, message)
+                | Sproto.Event { seq; state; detail; _ } -> (
+                  progressed := true;
+                  last_seen := max !last_seen seq;
+                  Format.eprintf "event %d: %s%s@." seq
+                    (Sproto.job_state_to_string state)
+                    (match detail with Some d -> " (" ^ d ^ ")" | None -> "");
+                  match Sclient.read_response c with
+                  | Error m -> `Lost m
+                  | Ok next -> follow next)
+                | Sproto.Job v ->
+                  Format.eprintf "%a@." describe_job v;
+                  print_endline (status_line v);
+                  `Done
+                | other ->
+                  `Server
+                    ( Sproto.Internal,
+                      Format.asprintf "unexpected response: %a" Sproto.pp_response other )
+              in
+              follow first)
+    in
+    match outcome with
+    | `Done -> Ok ()
+    | `Server (code, message) -> server_error code message
+    | `Lost m ->
+      let failures = if !progressed then 1 else failures + 1 in
+      if failures >= retries then
+        msgf "watch %s: %s (gave up after %d attempts)" job m retries
+      else begin
+        Format.eprintf "watch: %s; reconnecting@." m;
+        Unix.sleepf (delay (failures - 1));
+        session failures
+      end
+  in
+  session 0
+
 let status_cmd =
-  let run socket job watch =
-    with_client socket (fun c ->
-        if watch then begin
-          match Sclient.call c (Sproto.Events job) with
-          | Error m -> Error (`Msg m)
-          | Ok first ->
-            let rec follow = function
-              | Sproto.Error { code; message } -> server_error code message
-              | Sproto.Event { seq; state; detail; _ } -> (
-                Format.eprintf "event %d: %s%s@." seq
-                  (Sproto.job_state_to_string state)
-                  (match detail with Some d -> " (" ^ d ^ ")" | None -> "");
-                match Sclient.read_response c with
-                | Error m -> Error (`Msg m)
-                | Ok next -> follow next)
-              | Sproto.Job v ->
-                Format.eprintf "%a@." describe_job v;
-                print_endline (status_line v);
-                Ok ()
-              | other ->
-                msgf "unexpected response: %s" (Format.asprintf "%a" Sproto.pp_response other)
-            in
-            follow first
-        end
-        else
+  let run socket job watch connect_timeout read_timeout retries =
+    if watch then watch_job ~connect_timeout ~retries socket job
+    else
+      with_client ~connect_timeout ~read_timeout socket (fun c ->
           match Sclient.call c (Sproto.Status job) with
           | Error m -> Error (`Msg m)
           | Ok (Sproto.Error { code; message }) -> server_error code message
@@ -700,11 +780,17 @@ let status_cmd =
   let job = Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB") in
   let watch =
     Arg.(value & flag & info [ "watch" ]
-           ~doc:"Stream state-change events until the job reaches a terminal state.")
+           ~doc:"Stream state-change events until the job reaches a terminal state, \
+                 reconnecting with backoff (and resuming from the last seen event) if \
+                 the connection drops; $(b,--retries) consecutive dead sessions give \
+                 up.")
   in
   Cmd.v
     (Cmd.info "status" ~doc:"Query (or watch) a job on a qbpartd daemon")
-    Term.(term_result (const run $ socket_arg $ job $ watch))
+    Term.(
+      term_result
+        (const run $ socket_arg $ job $ watch $ connect_timeout_arg $ read_timeout_arg
+       $ retries_arg))
 
 let cancel_cmd =
   let run socket job =

@@ -19,6 +19,7 @@ type t = {
   elapsed : float;
   incumbent : Assignment.t;
   incumbent_cost : float;
+  incumbent_start : int;
   starts : start_progress list;
 }
 
@@ -28,7 +29,7 @@ type error =
   | Unsupported_version of int
   | Instance_mismatch of { expected : int64; got : int64 }
 
-let version = 1
+let version = 2
 
 (* FNV-1a, 64-bit.  OCaml's polymorphic [Hashtbl.hash] truncates and
    is not guaranteed stable across versions, so the hash is spelled
@@ -85,13 +86,15 @@ let instance_hash problem =
     Array.iter (fun row -> Array.iter (fun x -> h := fnv1a64_float !h x) row) p);
   !h
 
-let make ~problem ~base_seed ~elapsed ~incumbent ~incumbent_cost ~starts =
+let make ?(incumbent_start = -1) ~problem ~base_seed ~elapsed ~incumbent ~incumbent_cost ~starts ()
+    =
   {
     instance_hash = instance_hash problem;
     base_seed;
     elapsed;
     incumbent = Assignment.copy incumbent;
     incumbent_cost;
+    incumbent_start;
     starts;
   }
 
@@ -133,6 +136,7 @@ let to_string cp =
   Printf.bprintf b "seed %d\n" cp.base_seed;
   Printf.bprintf b "elapsed %h\n" cp.elapsed;
   Printf.bprintf b "cost %h\n" cp.incumbent_cost;
+  Printf.bprintf b "winner %d\n" cp.incumbent_start;
   Printf.bprintf b "starts %d\n" (List.length cp.starts);
   List.iter
     (fun s ->
@@ -180,11 +184,14 @@ let of_string text =
     | _ -> corrupt (Printf.sprintf "expected %S line, got %S" key l)
   in
   try
-    (match String.split_on_char ' ' (next ()) with
-    | [ "qbpart-checkpoint"; v ] ->
-      let v = int_of v "version" in
-      if v <> version then raise (Fail (Unsupported_version v))
-    | _ -> corrupt "missing qbpart-checkpoint header");
+    let file_version =
+      match String.split_on_char ' ' (next ()) with
+      | [ "qbpart-checkpoint"; v ] ->
+        let v = int_of v "version" in
+        if v < 1 || v > version then raise (Fail (Unsupported_version v));
+        v
+      | _ -> corrupt "missing qbpart-checkpoint header"
+    in
     let instance_hash =
       let s = field "hash" in
       match Int64.of_string_opt ("0x" ^ s) with
@@ -195,6 +202,11 @@ let of_string text =
     let elapsed = float_of (field "elapsed") "elapsed" in
     if not (elapsed >= 0.0) then corrupt "negative elapsed";
     let incumbent_cost = float_of (field "cost") "cost" in
+    (* v1 has no winner line; -1 (the safety start, which wins all
+       ties) reproduces v1's strict-improvement adoption exactly *)
+    let incumbent_start =
+      if file_version >= 2 then int_of (field "winner") "winner" else -1
+    in
     let start_count = int_of (field "starts") "start count" in
     if start_count < 0 then corrupt "negative start count";
     let starts =
@@ -235,7 +247,7 @@ let of_string text =
       end
     in
     (match next () with "end" -> () | l -> corrupt (Printf.sprintf "expected end trailer, got %S" l));
-    Ok { instance_hash; base_seed; elapsed; incumbent; incumbent_cost; starts }
+    Ok { instance_hash; base_seed; elapsed; incumbent; incumbent_cost; incumbent_start; starts }
   with Fail e -> Error e
 
 let fsync_dir dir =
@@ -273,6 +285,11 @@ let load ~path =
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error msg -> Error (Io msg)
   | text -> of_string text
+
+(* Shared-store naming: one file per problem instance, so any shard
+   (or a post-mortem CLI run) finds a dead peer's last checkpoint by
+   hashing the instance it was asked to solve. *)
+let store_path ~dir ~hash = Filename.concat dir (Printf.sprintf "qbpartd-%Lx.ckpt" hash)
 
 let validate cp problem =
   let expected = instance_hash problem in

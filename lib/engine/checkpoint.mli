@@ -43,6 +43,13 @@ type t = {
   elapsed : float;         (** wall-clock budget consumed before this point *)
   incumbent : Assignment.t;(** best feasible assignment so far *)
   incumbent_cost : float;  (** its scratch-evaluated equation-(1) objective *)
+  incumbent_start : int;
+      (** portfolio start index that produced the incumbent, or [-1]
+          for the safety/initial start.  A resumed run uses it to
+          replay the original tie-break (ascending start index, safety
+          start first), which keeps a kill-and-resume solve bit-identical
+          to an uninterrupted one even when a re-run start ties the
+          incumbent's cost. *)
   starts : start_progress list;  (** completed portfolio starts, ascending *)
 }
 
@@ -55,7 +62,8 @@ type error =
       (** the checkpoint was taken from a different problem instance *)
 
 val version : int
-(** Current format version (1). *)
+(** Current format version (2).  Version-1 files (no [winner] line) are
+    still read; their [incumbent_start] decodes as [-1]. *)
 
 val instance_hash : Problem.t -> int64
 (** Deterministic structural hash of the instance: {m N}, {m M}, every
@@ -64,15 +72,17 @@ val instance_hash : Problem.t -> int64
     runs and processes (FNV-1a, no randomized hashing). *)
 
 val make :
+  ?incumbent_start:int ->
   problem:Problem.t ->
   base_seed:int ->
   elapsed:float ->
   incumbent:Assignment.t ->
   incumbent_cost:float ->
   starts:start_progress list ->
+  unit ->
   t
 (** Convenience constructor computing the hash from [problem].  The
-    incumbent is copied. *)
+    incumbent is copied; [incumbent_start] defaults to [-1]. *)
 
 val to_string : t -> string
 val of_string : string -> (t, error) result
@@ -83,6 +93,11 @@ val save : path:string -> t -> (unit, error) result
     is untouched. *)
 
 val load : path:string -> (t, error) result
+
+val store_path : dir:string -> hash:int64 -> string
+(** [dir/qbpartd-<hex hash>.ckpt] — the shared replicated-store naming
+    convention: keyed by {!instance_hash} so any shard can locate a dead
+    peer's last checkpoint for the instance it was handed. *)
 
 val validate : t -> Problem.t -> (unit, error) result
 (** [Error (Instance_mismatch _)] unless the checkpoint's hash matches

@@ -311,6 +311,7 @@ let arm deadline fault : Burkard.gap_solver =
 type supervision = {
   mutable inc : Assignment.t;
   mutable inc_cost : float;
+  mutable inc_start : int;  (* provenance start index; -1 = safety/initial *)
   mutable progress : Checkpoint.start_progress list;
   base_elapsed : float;
   notify : Checkpoint.t -> unit;
@@ -318,7 +319,15 @@ type supervision = {
 
 (* --- the ladder ---------------------------------------------------- *)
 
-let run_ladder (config : Config.t) deadline initial fault problem start ~sup
+(* An equal-cost comparison everywhere below breaks ties by ascending
+   provenance index with the safety/initial start as -1 — the same
+   order the portfolio's deterministic reduction uses.  This is what
+   keeps a kill-and-resume solve bit-identical to an uninterrupted one:
+   a re-run start that merely ties the checkpoint incumbent must lose
+   or win by index exactly as it would have in the original run. *)
+let beats ~cost:c ~at ~best_cost ~best_at = c < best_cost || (c = best_cost && at < best_at)
+
+let run_ladder (config : Config.t) deadline initial fault problem start ~init_start ~sup
     ~skip_starts =
   let nl = problem.Problem.netlist and topo = problem.Problem.topology in
   let cons = problem.Problem.constraints in
@@ -326,6 +335,7 @@ let run_ladder (config : Config.t) deadline initial fault problem start ~sup
   let feasible a = Validate.check ~constraints:cons nl topo a = [] in
   let best = ref (Assignment.copy start) in
   let best_cost = ref (cost start) in
+  let best_start = ref init_start in
   let initial_cost = !best_cost in
   let winner = ref "initial" in
   let stages =
@@ -341,11 +351,15 @@ let run_ladder (config : Config.t) deadline initial fault problem start ~sup
       ]
   in
   let fallbacks = ref [] in
-  let adopt name a =
+  (* the default provenance loses all ties: an un-indexed adopter
+     (fallback rungs) replaces the best only on strict improvement,
+     exactly as before *)
+  let adopt ?(at = max_int) name a =
     let c = cost a in
-    if c < !best_cost && feasible a then begin
+    if beats ~cost:c ~at ~best_cost:!best_cost ~best_at:!best_start && feasible a then begin
       best := Assignment.copy a;
       best_cost := c;
+      best_start := at;
       winner := name
     end
   in
@@ -353,9 +367,11 @@ let run_ladder (config : Config.t) deadline initial fault problem start ~sup
     match sup with
     | None -> ()
     | Some s ->
-      if !best_cost < s.inc_cost then begin
+      if beats ~cost:!best_cost ~at:!best_start ~best_cost:s.inc_cost ~best_at:s.inc_start
+      then begin
         s.inc <- Assignment.copy !best;
-        s.inc_cost <- !best_cost
+        s.inc_cost <- !best_cost;
+        s.inc_start <- !best_start
       end;
       let starts =
         List.sort
@@ -365,7 +381,7 @@ let run_ladder (config : Config.t) deadline initial fault problem start ~sup
       s.notify
         (Checkpoint.make ~problem ~base_seed:config.Config.qbp.Burkard.Config.seed
            ~elapsed:(s.base_elapsed +. Deadline.elapsed deadline) ~incumbent:s.inc
-           ~incumbent_cost:s.inc_cost ~starts)
+           ~incumbent_cost:s.inc_cost ~incumbent_start:s.inc_start ~starts ())
   in
   emit ();
   let record ?detail name outcome t0 =
@@ -420,9 +436,14 @@ let run_ladder (config : Config.t) deadline initial fault problem start ~sup
                   (match best_feasible with
                   | Some (a, _) ->
                     let c = cost a in
-                    if c < s.inc_cost && feasible a then begin
+                    if
+                      beats ~cost:c ~at:sr.Portfolio.start ~best_cost:s.inc_cost
+                        ~best_at:s.inc_start
+                      && feasible a
+                    then begin
                       s.inc <- a;
-                      s.inc_cost <- c
+                      s.inc_cost <- c;
+                      s.inc_start <- sr.Portfolio.start
                     end
                   | None -> ());
                   emit ())
@@ -449,7 +470,7 @@ let run_ladder (config : Config.t) deadline initial fault problem start ~sup
             (match r.Portfolio.best_feasible with
             | Some (a, _) ->
               qbp_produced := true;
-              adopt primary_name a
+              adopt ?at:r.Portfolio.winner primary_name a
             | None -> ());
             if Deadline.expired deadline then Report.Timed_out
             else if
@@ -475,7 +496,7 @@ let run_ladder (config : Config.t) deadline initial fault problem start ~sup
             (match r.Adaptive.best_feasible with
             | Some (a, _) ->
               qbp_produced := true;
-              adopt primary_name a
+              adopt ~at:0 primary_name a
             | None -> ());
             if Deadline.expired deadline then Report.Timed_out
             else if stalled () then Report.Stalled (since ())
@@ -561,7 +582,7 @@ let solve ?(config = Config.default) ?deadline ?initial ?fault ?on_checkpoint ?r
          added to every checkpoint written from here on. *)
       let resume_resolved =
         match resume with
-        | None -> Ok (initial, (fun _ -> false), 0.0, [])
+        | None -> Ok (initial, (fun _ -> false), 0.0, [], -1)
         | Some cp -> (
           match Checkpoint.validate cp problem with
           | Error e -> Error (Error.Resume_rejected (Checkpoint.error_to_string e))
@@ -571,11 +592,12 @@ let solve ?(config = Config.default) ?deadline ?initial ?fault ?on_checkpoint ?r
               ( Some cp.Checkpoint.incumbent,
                 (fun k -> List.mem k done_),
                 cp.Checkpoint.elapsed,
-                cp.Checkpoint.starts ))
+                cp.Checkpoint.starts,
+                cp.Checkpoint.incumbent_start ))
       in
       match resume_resolved with
       | Error e -> Error e
-      | Ok (initial, skip_starts, base_elapsed, resumed_progress) -> (
+      | Ok (initial, skip_starts, base_elapsed, resumed_progress, init_start) -> (
         let initial_err =
           match initial with
           | None -> None
@@ -610,6 +632,26 @@ let solve ?(config = Config.default) ?deadline ?initial ?fault ?on_checkpoint ?r
           match safety with
           | Error e -> Error e
           | Ok start -> (
+            (* On resume, the re-run starts must see the warm start the
+               original run fed them — the greedy safety start derived
+               from the base seed — not the checkpoint incumbent: a
+               start that was mid-flight at the kill would otherwise
+               ascend from a different point and the resumed answer
+               would no longer be bit-identical to an uninterrupted
+               run.  The incumbent still competes: it seeds [start] (and
+               the supervision incumbent) above, with its recorded
+               provenance index deciding ties. *)
+            let warm =
+              match resume with
+              | None -> initial
+              | Some _ -> (
+                match
+                  greedy_start ~constraints:cons ~attempts:config.Config.start_attempts
+                    ~seed:config.Config.qbp.Burkard.Config.seed nl topo
+                with
+                | Ok g -> Some g
+                | Error _ -> initial)
+            in
             let sup =
               match on_checkpoint with
               | None -> None
@@ -618,6 +660,7 @@ let solve ?(config = Config.default) ?deadline ?initial ?fault ?on_checkpoint ?r
                   {
                     inc = Assignment.copy start;
                     inc_cost = Problem.objective problem start;
+                    inc_start = init_start;
                     progress = resumed_progress;
                     base_elapsed;
                     notify;
@@ -625,7 +668,7 @@ let solve ?(config = Config.default) ?deadline ?initial ?fault ?on_checkpoint ?r
             in
             try
               let best, best_cost, report =
-                run_ladder config deadline initial fault problem start ~sup
+                run_ladder config deadline warm fault problem start ~init_start ~sup
                   ~skip_starts
               in
               (* Every result is audited before it is reported: the

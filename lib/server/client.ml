@@ -1,24 +1,172 @@
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+module Rng = Qbpart_netlist.Rng
 
-let connect ~socket_path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
-  | () -> Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
-  | exception Unix.Unix_error (e, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error (Printf.sprintf "cannot connect to %s: %s" socket_path (Unix.error_message e))
+(* --- addresses ----------------------------------------------------- *)
+
+type addr = Unix_socket of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_socket path -> path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let addr_of_string s =
+  let is_prefix p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  if is_prefix "tcp:" then begin
+    let rest = String.sub s 4 (String.length s - 4) in
+    match String.rindex_opt rest ':' with
+    | None -> Error (Printf.sprintf "%S: a TCP address is tcp:HOST:PORT" s)
+    | Some i -> (
+      let host = String.sub rest 0 i in
+      let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+      | _ -> Error (Printf.sprintf "%S: a TCP address is tcp:HOST:PORT" s))
+  end
+  else Ok (Unix_socket s)
+
+(* --- connection ----------------------------------------------------- *)
+
+type t = {
+  fd : Unix.file_descr;
+  peer : string;
+  read_timeout : float;
+  mutable buf : Bytes.t;
+  mutable len : int;  (* valid bytes at the front of [buf] *)
+}
+
+let default_connect_timeout = 10.0
+let default_read_timeout = 60.0
+
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* EINTR-safe wrappers: a signal (SIGCHLD from a harness, a resized
+   terminal) must never surface as a connection error. *)
+let rec select_r reads writes timeout =
+  match Unix.select reads writes [] timeout with
+  | r -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> select_r reads writes timeout
+
+let sockaddr_of = function
+  | Unix_socket path -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Tcp (host, port) -> (
+    match
+      Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+    with
+    | ai :: _ -> Ok (ai.Unix.ai_family, ai.Unix.ai_addr)
+    | [] | (exception Unix.Unix_error _) ->
+      Error (Printf.sprintf "cannot resolve %s" (addr_to_string (Tcp (host, port)))))
+
+let connect ?(connect_timeout = default_connect_timeout)
+    ?(read_timeout = default_read_timeout) addr =
+  ignore_sigpipe ();
+  match sockaddr_of addr with
+  | Error _ as e -> e
+  | Ok (family, sockaddr) -> (
+    let peer = addr_to_string addr in
+    let fd = Unix.socket family Unix.SOCK_STREAM 0 in
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error msg)
+        fmt
+    in
+    let finish () =
+      (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+      Ok { fd; peer; read_timeout; buf = Bytes.create 4096; len = 0 }
+    in
+    (* non-blocking connect + select: a hung or blackholed peer yields
+       a structured timeout instead of hanging the caller in [connect] *)
+    Unix.set_nonblock fd;
+    match Unix.connect fd sockaddr with
+    | () -> finish ()
+    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      -> (
+      match select_r [] [ fd ] connect_timeout with
+      | _, [], _ -> fail "timed out connecting to %s after %gs" peer connect_timeout
+      | _, _ :: _, _ -> (
+        match Unix.getsockopt_error fd with
+        | None -> finish ()
+        | Some e -> fail "cannot connect to %s: %s" peer (Unix.error_message e)))
+    | exception Unix.Unix_error (e, _, _) ->
+      fail "cannot connect to %s: %s" peer (Unix.error_message e))
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    match Unix.write_substring fd s pos len with
+    | n -> write_all fd s (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s pos len
+  end
+
+let send t request =
+  let wire = Frame.encode (Protocol.encode_request request) in
+  match write_all t.fd wire 0 (String.length wire) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "connection to %s lost while sending: %s" t.peer (Unix.error_message e))
+
+(* Incremental frame read over the raw fd: accumulate bytes, attempt a
+   pure {!Frame.decode} after every chunk, and charge the whole
+   exchange against one deadline — a server that stops mid-frame
+   cannot hang the client past [read_timeout]. *)
+let read_frame t =
+  let deadline =
+    if t.read_timeout > 0.0 then Some (Unix.gettimeofday () +. t.read_timeout) else None
+  in
+  let rec attempt () =
+    match Frame.decode (Bytes.sub_string t.buf 0 t.len) ~pos:0 with
+    | Ok (payload, next) ->
+      Bytes.blit t.buf next t.buf 0 (t.len - next);
+      t.len <- t.len - next;
+      Ok payload
+    | Error (Frame.Eof | Frame.Truncated _) -> refill ()
+    | Error e -> Error (Printf.sprintf "from %s: %s" t.peer (Frame.error_to_string e))
+  and refill () =
+    let remaining =
+      match deadline with None -> -1.0 (* block *) | Some at -> at -. Unix.gettimeofday ()
+    in
+    if remaining = 0.0 || (deadline <> None && remaining < 0.0) then
+      Error (Printf.sprintf "timed out after %gs waiting for a response from %s" t.read_timeout t.peer)
+    else begin
+      match select_r [ t.fd ] [] remaining with
+      | [], _, _ ->
+        Error
+          (Printf.sprintf "timed out after %gs waiting for a response from %s" t.read_timeout
+             t.peer)
+      | _ -> (
+        if t.len = Bytes.length t.buf then begin
+          let bigger = Bytes.create (2 * Bytes.length t.buf) in
+          Bytes.blit t.buf 0 bigger 0 t.len;
+          t.buf <- bigger
+        end;
+        match Unix.read t.fd t.buf t.len (Bytes.length t.buf - t.len) with
+        | 0 ->
+          if t.len = 0 then Error (Printf.sprintf "connection to %s closed" t.peer)
+          else Error (Printf.sprintf "connection to %s closed mid-frame" t.peer)
+        | n ->
+          t.len <- t.len + n;
+          attempt ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill ()
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "connection to %s lost: %s" t.peer (Unix.error_message e)))
+    end
+  in
+  attempt ()
+
 let read_response t =
-  match Frame.read t.ic with
-  | Error e -> Error (Frame.error_to_string e)
+  match read_frame t with
+  | Error _ as e -> e
   | Ok payload -> Protocol.decode_response payload
 
 let call t request =
-  match Frame.write t.oc (Protocol.encode_request request) with
-  | exception (Sys_error _ | Unix.Unix_error _) -> Error "connection lost while sending"
-  | () -> read_response t
+  match send t request with
+  | Error _ as e -> e
+  | Ok () -> read_response t
+
+(* --- polling -------------------------------------------------------- *)
 
 let terminal = function
   | Protocol.Done | Protocol.Failed | Protocol.Cancelled -> true
@@ -45,3 +193,48 @@ let wait ?(poll_interval = 0.05) ?timeout t job =
         (Format.asprintf "unexpected response while polling: %a" Protocol.pp_response other)
   in
   poll ()
+
+(* --- retry ---------------------------------------------------------- *)
+
+type backoff = { attempts : int; base_delay : float; max_delay : float; seed : int }
+
+let default_backoff = { attempts = 5; base_delay = 0.1; max_delay = 2.0; seed = 1 }
+
+let retryable_code = function
+  | Protocol.Overloaded | Protocol.Unavailable | Protocol.Draining -> true
+  | Protocol.Bad_request | Protocol.Not_found | Protocol.Parse_error | Protocol.Solver_error
+  | Protocol.Oversized | Protocol.Malformed | Protocol.Internal ->
+    false
+
+(* Seeded jittered exponential backoff: delay k is
+   [min max_delay (base * 2^k)] scaled by a uniform factor in
+   [0.5, 1.0), so a burst of failed clients decorrelates but a test
+   with a fixed seed replays the exact schedule. *)
+let backoff_delay rng b k =
+  let exp = b.base_delay *. (2.0 ** float_of_int k) in
+  Float.min b.max_delay exp *. (0.5 +. Rng.float rng 0.5)
+
+let request ?(backoff = default_backoff) ?connect_timeout ?read_timeout addr req =
+  let rng = Rng.create backoff.seed in
+  let attempts = max 1 backoff.attempts in
+  let rec go k =
+    let retry err =
+      if k + 1 >= attempts then
+        Error (Printf.sprintf "%s (after %d attempt%s)" err attempts (if attempts = 1 then "" else "s"))
+      else begin
+        Unix.sleepf (backoff_delay rng backoff k);
+        go (k + 1)
+      end
+    in
+    match connect ?connect_timeout ?read_timeout addr with
+    | Error e -> retry e
+    | Ok c -> (
+      let r = call c req in
+      close c;
+      match r with
+      | Ok (Protocol.Error { code; message }) when retryable_code code ->
+        retry (Printf.sprintf "%s: %s" (Protocol.error_code_to_string code) message)
+      | Ok _ as ok -> ok
+      | Error e -> retry e)
+  in
+  go 0

@@ -1,0 +1,52 @@
+exception Closed
+
+let send ?fault oc response =
+  match Frame.write ?fault oc (Protocol.encode_response response) with
+  | () -> ()
+  | exception (Sys_error _ | Unix.Unix_error _) -> raise Closed
+
+let run ~max_frame ~conn_timeout ?fault ~answer fd =
+  (* Reap silent peers: a connection that sends nothing for
+     [conn_timeout] gets its read aborted (EAGAIN surfaces as an IO
+     exception below) and is closed; a peer that stops draining its
+     side stalls our writes at most as long.  [Events] streams are
+     exempt from the read deadline by construction — after the request
+     frame the server only writes. *)
+  (if conn_timeout > 0.0 then
+     try
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO conn_timeout;
+       Unix.setsockopt_float fd Unix.SO_SNDTIMEO conn_timeout
+     with Unix.Unix_error _ -> ());
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let close () =
+    (* one close: the channels share the descriptor *)
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let rec loop () =
+    match Frame.read ~max:max_frame ic with
+    | Error Frame.Eof -> ()
+    | Error (Frame.Oversized _ as e) ->
+      (* stream position unrecoverable: answer and hang up *)
+      send ?fault oc
+        (Protocol.Error { code = Protocol.Oversized; message = Frame.error_to_string e })
+    | Error ((Frame.Truncated _ | Frame.Malformed _) as e) ->
+      send ?fault oc
+        (Protocol.Error { code = Protocol.Malformed; message = Frame.error_to_string e })
+    | Ok payload ->
+      (match Protocol.decode_request payload with
+      | Error msg ->
+        send ?fault oc (Protocol.Error { code = Protocol.Bad_request; message = msg })
+      | Ok request -> (
+        match answer oc request with
+        | () -> ()
+        | exception Closed -> raise Closed
+        | exception exn ->
+          send ?fault oc
+            (Protocol.Error { code = Protocol.Internal; message = Printexc.to_string exn })));
+      loop ()
+  in
+  (try loop () with
+  | Closed -> ()
+  | Sys_error _ | Unix.Unix_error _ | End_of_file -> ());
+  close ()

@@ -1,0 +1,25 @@
+(** Per-connection protocol loop shared by the daemon and the router.
+
+    Reads framed requests until EOF, an unrecoverable framing error, or
+    the peer goes silent past [conn_timeout]; decodes each request and
+    hands it to [answer].  Framing and decode errors are answered with
+    the matching protocol error; an exception escaping [answer] is
+    answered as [internal].  The loop owns and always closes [fd]. *)
+
+exception Closed
+(** Raised by {!send} when the peer is gone; terminates {!run}'s loop
+    cleanly. *)
+
+val send : ?fault:Netfault.t -> out_channel -> Protocol.response -> unit
+(** Frame and write one response (through the fault injector when
+    given).  @raise Closed on a broken pipe. *)
+
+val run :
+  max_frame:int ->
+  conn_timeout:float ->
+  ?fault:Netfault.t ->
+  answer:(out_channel -> Protocol.request -> unit) ->
+  Unix.file_descr ->
+  unit
+(** [conn_timeout > 0] arms [SO_RCVTIMEO]/[SO_SNDTIMEO] on the socket.
+    [answer] replies via {!send} (capturing the same [fault]). *)

@@ -87,9 +87,30 @@ let read ?(max = default_max) ic =
           | _ -> Error (Malformed "frame payload not terminated by a newline"))
       end)
 
-let write oc payload =
-  output_string oc (encode payload);
-  flush oc
+let write ?fault oc payload =
+  let wire = encode payload in
+  match fault with
+  | None ->
+    output_string oc wire;
+    flush oc
+  | Some inj -> (
+    match Netfault.next inj ~frame_len:(String.length wire) with
+    | Netfault.Pass ->
+      output_string oc wire;
+      flush oc
+    | Netfault.Drop -> ()
+    | Netfault.Delay s ->
+      Unix.sleepf s;
+      output_string oc wire;
+      flush oc
+    | Netfault.Truncate n ->
+      output_string oc (String.sub wire 0 (min n (String.length wire)));
+      flush oc
+    | Netfault.Corrupt i ->
+      let b = Bytes.of_string wire in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+      output_string oc (Bytes.unsafe_to_string b);
+      flush oc)
 
 let pp_error ppf = function
   | Eof -> Format.fprintf ppf "end of stream"

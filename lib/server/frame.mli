@@ -49,9 +49,13 @@ val read : ?max:int -> in_channel -> (string, error) result
     {e before} the first header byte; an interrupted frame is
     [Truncated]. *)
 
-val write : out_channel -> string -> unit
+val write : ?fault:Netfault.t -> out_channel -> string -> unit
 (** Write one frame and flush.  IO exceptions ([Sys_error], EPIPE as
-    [Unix.Unix_error]) propagate — the caller owns the connection. *)
+    [Unix.Unix_error]) propagate — the caller owns the connection.
+    With [?fault], the injector decides the frame's fate first: it may
+    be dropped, delayed, truncated (a strict prefix is sent — the peer
+    sees [Truncated]/[Malformed] and must hang up), or have one header
+    or payload byte flipped. *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string

@@ -1,0 +1,66 @@
+let unix ~path =
+  let addr = Unix.ADDR_UNIX path in
+  let probe_stale () =
+    (* a socket file is stale iff nothing accepts on it *)
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd addr with
+        | () -> Error (Printf.sprintf "%s: a daemon is already listening" path)
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+          (try Unix.unlink path with Unix.Unix_error _ -> ());
+          Ok ()
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+  in
+  let ready = if Sys.file_exists path then probe_stale () else Ok () in
+  match ready with
+  | Error _ as e -> e
+  | Ok () -> (
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match
+      Unix.bind fd addr;
+      Unix.listen fd 64
+    with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+
+let tcp (host, port) =
+  match Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ] with
+  | [] | (exception Unix.Unix_error _) ->
+    Error (Printf.sprintf "tcp:%s:%d: host not found" host port)
+  | ai :: _ -> (
+    let fd = Unix.socket ai.Unix.ai_family ai.Unix.ai_socktype ai.Unix.ai_protocol in
+    match
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd ai.Unix.ai_addr;
+      Unix.listen fd 64
+    with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "tcp:%s:%d: %s" host port (Unix.error_message e)))
+
+let accept_loop ~fds ~stop ~handle =
+  let rec loop () =
+    if stop () then ()
+    else begin
+      (match Unix.select fds [] [] 0.25 with
+      | [], _, _ -> ()
+      | ready, _, _ ->
+        List.iter
+          (fun lfd ->
+            match Unix.accept lfd with
+            | fd, _ -> ignore (Thread.create (fun () -> handle fd) ())
+            | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ())
+          ready
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let close_all fds = List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds

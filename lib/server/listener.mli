@@ -1,0 +1,22 @@
+(** Shared socket-listener plumbing for the daemon and the router.
+
+    Both bind the same way (Unix socket with stale-file detection,
+    optional TCP with [SO_REUSEADDR]) and run the same accept loop: a
+    0.25s-tick [select] across all listening descriptors that spawns
+    one systhread per accepted connection and polls [stop] between
+    ticks so a drain request is honoured promptly. *)
+
+val unix : path:string -> (Unix.file_descr, string) result
+(** Bind and listen on a Unix-domain socket.  A stale socket file left
+    by a dead process (connect refused) is unlinked and replaced; a
+    live listener is an error. *)
+
+val tcp : string * int -> (Unix.file_descr, string) result
+(** Bind and listen on [host, port]. *)
+
+val accept_loop :
+  fds:Unix.file_descr list -> stop:(unit -> bool) -> handle:(Unix.file_descr -> unit) -> unit
+(** Accept until [stop ()]; each connection runs [handle fd] on its own
+    systhread ([handle] owns and must close [fd]). *)
+
+val close_all : Unix.file_descr list -> unit

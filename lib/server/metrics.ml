@@ -11,6 +11,7 @@ type t = {
   samples : float array;       (* wall-time ring *)
   mutable sample_count : int;  (* total ever recorded *)
   mutable max_wall : float;
+  mutable shed : int;
   fallbacks : (string, int) Hashtbl.t;
 }
 
@@ -26,6 +27,7 @@ let create () =
     samples = Array.make ring_capacity 0.0;
     sample_count = 0;
     max_wall = 0.0;
+    shed = 0;
     fallbacks = Hashtbl.create 8;
   }
 
@@ -37,6 +39,7 @@ let accepted t = locked t (fun () -> t.accepted <- t.accepted + 1)
 let rejected t = locked t (fun () -> t.rejected <- t.rejected + 1)
 let failed t = locked t (fun () -> t.failed <- t.failed + 1)
 let cancelled t = locked t (fun () -> t.cancelled <- t.cancelled + 1)
+let shed t = locked t (fun () -> t.shed <- t.shed + 1)
 
 let completed t ~wall =
   locked t (fun () ->
@@ -80,4 +83,5 @@ let snapshot t ~queue_depth ~running ~draining =
         fallbacks =
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.fallbacks []
           |> List.sort compare;
+        shed = t.shed;
       })

@@ -19,6 +19,9 @@ val rejected : t -> unit
 val failed : t -> unit
 val cancelled : t -> unit
 
+val shed : t -> unit
+(** Count a batch job evicted to admit an interactive one. *)
+
 val completed : t -> wall:float -> unit
 (** Count a completion and record its solve wall time. *)
 

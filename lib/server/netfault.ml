@@ -1,0 +1,125 @@
+module Rng = Qbpart_netlist.Rng
+
+type config = {
+  seed : int;
+  drop : float;
+  delay : float;
+  delay_s : float;
+  truncate : float;
+  corrupt : float;
+}
+
+let none = { seed = 0; drop = 0.0; delay = 0.0; delay_s = 0.0; truncate = 0.0; corrupt = 0.0 }
+
+let active c = c.drop > 0.0 || c.delay > 0.0 || c.truncate > 0.0 || c.corrupt > 0.0
+
+let validate c =
+  let prob name p =
+    if Float.is_nan p || p < 0.0 || p > 1.0 then
+      Error (Printf.sprintf "%s must be a probability in [0,1], got %g" name p)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = prob "drop" c.drop in
+  let* () = prob "delay" c.delay in
+  let* () = prob "truncate" c.truncate in
+  let* () = prob "corrupt" c.corrupt in
+  if Float.is_nan c.delay_s || c.delay_s < 0.0 then
+    Error (Printf.sprintf "delay duration must be >= 0, got %g" c.delay_s)
+  else Ok c
+
+(* "seed=7,drop=0.05,delay=0.1:0.02,truncate=0.01,corrupt=0.02" *)
+let of_spec spec =
+  let parse_field acc field =
+    let ( let* ) = Result.bind in
+    let* acc = acc in
+    match String.index_opt field '=' with
+    | None -> Error (Printf.sprintf "fault field %S is not key=value" field)
+    | Some i -> (
+      let key = String.sub field 0 i in
+      let value = String.sub field (i + 1) (String.length field - i - 1) in
+      let float_of what s =
+        match float_of_string_opt s with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "invalid %s %S" what s)
+      in
+      match key with
+      | "seed" -> (
+        match int_of_string_opt value with
+        | Some seed -> Ok { acc with seed }
+        | None -> Error (Printf.sprintf "invalid seed %S" value))
+      | "drop" ->
+        let* drop = float_of "drop probability" value in
+        Ok { acc with drop }
+      | "delay" -> (
+        (* "P" or "P:SECONDS" *)
+        match String.index_opt value ':' with
+        | None ->
+          let* delay = float_of "delay probability" value in
+          Ok { acc with delay }
+        | Some j ->
+          let* delay = float_of "delay probability" (String.sub value 0 j) in
+          let* delay_s =
+            float_of "delay duration" (String.sub value (j + 1) (String.length value - j - 1))
+          in
+          Ok { acc with delay; delay_s })
+      | "truncate" ->
+        let* truncate = float_of "truncate probability" value in
+        Ok { acc with truncate }
+      | "corrupt" ->
+        let* corrupt = float_of "corrupt probability" value in
+        Ok { acc with corrupt }
+      | key -> Error (Printf.sprintf "unknown fault field %S" key))
+  in
+  let start = { none with delay_s = 0.01 } in
+  match String.split_on_char ',' spec |> List.filter (( <> ) "") with
+  | [] -> Error "empty fault spec"
+  | fields -> Result.bind (List.fold_left parse_field (Ok start) fields) validate
+
+let to_spec c =
+  String.concat ","
+    (List.filter
+       (( <> ) "")
+       [
+         Printf.sprintf "seed=%d" c.seed;
+         (if c.drop > 0.0 then Printf.sprintf "drop=%g" c.drop else "");
+         (if c.delay > 0.0 then Printf.sprintf "delay=%g:%g" c.delay c.delay_s else "");
+         (if c.truncate > 0.0 then Printf.sprintf "truncate=%g" c.truncate else "");
+         (if c.corrupt > 0.0 then Printf.sprintf "corrupt=%g" c.corrupt else "");
+       ])
+
+type t = { config : config; rng : Rng.t; mu : Mutex.t; mutable injected : int }
+
+let create config = { config; rng = Rng.create config.seed; mu = Mutex.create (); injected = 0 }
+
+type action =
+  | Pass
+  | Drop
+  | Delay of float
+  | Truncate of int
+  | Corrupt of int
+
+(* One decision per frame, drawn from the shared seeded stream.  The
+   checks run in a fixed order (drop, delay, truncate, corrupt) and a
+   frame suffers at most one fault, so a fixed seed yields a fixed
+   fault sequence for a fixed frame sequence. *)
+let next t ~frame_len =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      let c = t.config in
+      let roll p = p > 0.0 && Rng.float t.rng 1.0 < p in
+      let action =
+        if roll c.drop then Drop
+        else if roll c.delay then Delay c.delay_s
+        else if roll c.truncate && frame_len > 1 then Truncate (Rng.int t.rng (frame_len - 1))
+        else if roll c.corrupt && frame_len > 0 then Corrupt (Rng.int t.rng frame_len)
+        else Pass
+      in
+      (match action with Pass -> () | _ -> t.injected <- t.injected + 1);
+      action)
+
+let injected t =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) (fun () -> t.injected)

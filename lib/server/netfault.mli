@@ -1,0 +1,49 @@
+(** Deterministic network fault injection for frame I/O.
+
+    Mirrors the GAP-kernel fault injector: a seeded RNG drives a fixed
+    fault schedule, so a chaos run with a given spec is reproducible.
+    The injector decides one {!action} per outgoing frame; {!Frame.write}
+    applies it. *)
+
+type config = {
+  seed : int;
+  drop : float;  (** probability the frame is silently not sent *)
+  delay : float;  (** probability the frame is delayed before sending *)
+  delay_s : float;  (** duration of an injected delay, seconds *)
+  truncate : float;  (** probability only a strict prefix is sent *)
+  corrupt : float;  (** probability one byte is flipped *)
+}
+
+val none : config
+(** All probabilities zero: no faults. *)
+
+val active : config -> bool
+(** [active c] is true when any fault probability is positive. *)
+
+val of_spec : string -> (config, string) result
+(** Parse a spec like ["seed=7,drop=0.05,delay=0.1:0.02,truncate=0.01,corrupt=0.02"].
+    [delay] accepts [P] or [P:SECONDS] (duration defaults to 0.01s).
+    Unknown keys and out-of-range probabilities are errors. *)
+
+val to_spec : config -> string
+(** Canonical spec string; [of_spec (to_spec c)] round-trips the active fields. *)
+
+type t
+(** A stateful injector: config + seeded RNG stream. Thread-safe. *)
+
+val create : config -> t
+
+type action =
+  | Pass
+  | Drop
+  | Delay of float  (** sleep this long, then send normally *)
+  | Truncate of int  (** send only this many bytes of the encoded frame *)
+  | Corrupt of int  (** XOR-flip the byte at this offset in the encoded frame *)
+
+val next : t -> frame_len:int -> action
+(** Decide the fate of the next outgoing frame of [frame_len] encoded
+    bytes. At most one fault applies per frame; checks run in the fixed
+    order drop, delay, truncate, corrupt. *)
+
+val injected : t -> int
+(** Number of non-[Pass] actions handed out so far. *)

@@ -1,6 +1,14 @@
-let version = 1
+let version = 2
 
 type source = Inline of string | File of string
+
+type priority = Interactive | Batch
+
+let priority_to_string = function Interactive -> "interactive" | Batch -> "batch"
+
+(* tolerant: an unknown class from a newer peer degrades to batch
+   rather than rejecting the job *)
+let priority_of_string = function "interactive" -> Interactive | _ -> Batch
 
 type submit = {
   netlist : source;
@@ -13,6 +21,7 @@ type submit = {
   starts : int;
   deadline_s : float option;
   label : string option;
+  priority : priority;
 }
 
 let default_submit ~netlist =
@@ -27,14 +36,16 @@ let default_submit ~netlist =
     starts = 1;
     deadline_s = None;
     label = None;
+    priority = Batch;
   }
 
 type request =
   | Submit of submit
   | Status of string
-  | Events of string
+  | Events of { job : string; since : int }
   | Cancel of string
   | Metrics
+  | Heartbeat
   | Drain
 
 type job_state = Queued | Running | Done | Failed | Cancelled
@@ -45,6 +56,11 @@ let job_state_to_string = function
   | Done -> "done"
   | Failed -> "failed"
   | Cancelled -> "cancelled"
+
+let state_ordinal = function
+  | Queued -> 0
+  | Running -> 1
+  | Done | Failed | Cancelled -> 2
 
 let job_state_of_string = function
   | "queued" -> Some Queued
@@ -68,6 +84,7 @@ type job_view = {
   error : string option;
   checkpoint : string option;
   assignment : int array option;
+  resumed_from : string option;
 }
 
 type metrics_view = {
@@ -84,6 +101,7 @@ type metrics_view = {
   max_wall : float;
   uptime_seconds : float;
   fallbacks : (string * int) list;
+  shed : int;
 }
 
 type error_code =
@@ -95,6 +113,7 @@ type error_code =
   | Solver_error
   | Oversized
   | Malformed
+  | Unavailable
   | Internal
 
 let error_code_to_string = function
@@ -106,6 +125,7 @@ let error_code_to_string = function
   | Solver_error -> "solver_error"
   | Oversized -> "oversized"
   | Malformed -> "malformed"
+  | Unavailable -> "unavailable"
   | Internal -> "internal"
 
 let error_code_of_string = function
@@ -117,14 +137,24 @@ let error_code_of_string = function
   | "solver_error" -> Some Solver_error
   | "oversized" -> Some Oversized
   | "malformed" -> Some Malformed
+  | "unavailable" -> Some Unavailable
   | "internal" -> Some Internal
   | _ -> None
+
+type heartbeat_view = {
+  shard : string;
+  uptime : float;
+  hb_queue_depth : int;
+  hb_running : int;
+  hb_draining : bool;
+}
 
 type response =
   | Submitted of { job : string; queue_depth : int }
   | Job of job_view
   | Metrics_snapshot of metrics_view
   | Event of { job : string; seq : int; state : job_state; detail : string option }
+  | Heartbeat_ack of heartbeat_view
   | Drain_ack
   | Error of { code : error_code; message : string }
 
@@ -153,6 +183,7 @@ let submit_to_json s =
       ("starts", Json.Int s.starts);
       ("deadline_s", opt jfloat s.deadline_s);
       ("label", opt jstr s.label);
+      ("priority", Json.String (priority_to_string s.priority));
     ]
 
 let job_request op id =
@@ -161,9 +192,17 @@ let job_request op id =
 let request_to_json = function
   | Submit s -> submit_to_json s
   | Status id -> job_request "status" id
-  | Events id -> job_request "events" id
+  | Events { job; since } ->
+    Json.Obj
+      [
+        ("v", Json.Int version);
+        ("op", Json.String "events");
+        ("job", Json.String job);
+        ("since", Json.Int since);
+      ]
   | Cancel id -> job_request "cancel" id
   | Metrics -> Json.Obj [ ("v", Json.Int version); ("op", Json.String "metrics") ]
+  | Heartbeat -> Json.Obj [ ("v", Json.Int version); ("op", Json.String "heartbeat") ]
   | Drain -> Json.Obj [ ("v", Json.Int version); ("op", Json.String "drain") ]
 
 let job_view_to_json (j : job_view) =
@@ -187,6 +226,7 @@ let job_view_to_json (j : job_view) =
       ( "assignment",
         opt (fun a -> Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))) j.assignment
       );
+      ("resumed_from", opt jstr j.resumed_from);
     ]
 
 let metrics_to_json (m : metrics_view) =
@@ -209,6 +249,7 @@ let metrics_to_json (m : metrics_view) =
       ("uptime_seconds", Json.Float m.uptime_seconds);
       ( "fallbacks",
         Json.Obj (List.map (fun (stage, count) -> (stage, Json.Int count)) m.fallbacks) );
+      ("shed", Json.Int m.shed);
     ]
 
 let response_to_json = function
@@ -233,6 +274,18 @@ let response_to_json = function
         ("seq", Json.Int seq);
         ("state", Json.String (job_state_to_string state));
         ("detail", opt jstr detail);
+      ]
+  | Heartbeat_ack h ->
+    Json.Obj
+      [
+        ("v", Json.Int version);
+        ("type", Json.String "heartbeat_ack");
+        ("ok", Json.Bool true);
+        ("shard", Json.String h.shard);
+        ("uptime_seconds", Json.Float h.uptime);
+        ("queue_depth", Json.Int h.hb_queue_depth);
+        ("running", Json.Int h.hb_running);
+        ("draining", Json.Bool h.hb_draining);
       ]
   | Drain_ack ->
     Json.Obj [ ("v", Json.Int version); ("type", Json.String "drain_ack"); ("ok", Json.Bool true) ]
@@ -297,7 +350,26 @@ let decode_submit doc =
   let* starts = opt_field "starts" Json.get_int ~default:d.starts doc in
   let* deadline_s = opt_some "deadline_s" Json.get_float doc in
   let* label = opt_some "label" Json.get_string doc in
-  Ok (Submit { netlist; timing; rows; cols; slack; iterations; seed; starts; deadline_s; label })
+  let* priority =
+    opt_field "priority"
+      (fun v -> Option.map priority_of_string (Json.get_string v))
+      ~default:d.priority doc
+  in
+  Ok
+    (Submit
+       {
+         netlist;
+         timing;
+         rows;
+         cols;
+         slack;
+         iterations;
+         seed;
+         starts;
+         deadline_s;
+         label;
+         priority;
+       })
 
 let decode_request text =
   let* doc = Json.of_string text in
@@ -309,11 +381,13 @@ let decode_request text =
     Ok (Status id)
   | "events" ->
     let* id = req_string "job" doc in
-    Ok (Events id)
+    let* since = opt_field "since" Json.get_int ~default:0 doc in
+    Ok (Events { job = id; since })
   | "cancel" ->
     let* id = req_string "job" doc in
     Ok (Cancel id)
   | "metrics" -> Ok Metrics
+  | "heartbeat" -> Ok Heartbeat
   | "drain" -> Ok Drain
   | op -> Stdlib.Error (Printf.sprintf "unknown op %S" op)
 
@@ -351,6 +425,7 @@ let decode_job doc =
             if List.length ints = List.length xs then Some (Array.of_list ints) else None))
       doc
   in
+  let* resumed_from = opt_some "resumed_from" Json.get_string doc in
   Ok
     (Job
        {
@@ -367,6 +442,7 @@ let decode_job doc =
          error;
          checkpoint;
          assignment;
+         resumed_from;
        })
 
 let decode_metrics doc =
@@ -391,6 +467,7 @@ let decode_metrics doc =
         | _ -> None)
       ~default:[] doc
   in
+  let* shed = opt_field "shed" Json.get_int ~default:0 doc in
   Ok
     (Metrics_snapshot
        {
@@ -407,6 +484,7 @@ let decode_metrics doc =
          max_wall;
          uptime_seconds;
          fallbacks;
+         shed;
        })
 
 let decode_response text =
@@ -425,6 +503,13 @@ let decode_response text =
     let* state = decode_state doc in
     let* detail = opt_some "detail" Json.get_string doc in
     Ok (Event { job; seq; state; detail })
+  | "heartbeat_ack" ->
+    let* shard = opt_field "shard" Json.get_string ~default:"" doc in
+    let* uptime = opt_field "uptime_seconds" Json.get_float ~default:0.0 doc in
+    let* hb_queue_depth = opt_field "queue_depth" Json.get_int ~default:0 doc in
+    let* hb_running = opt_field "running" Json.get_int ~default:0 doc in
+    let* hb_draining = opt_field "draining" Json.get_bool ~default:false doc in
+    Ok (Heartbeat_ack { shard; uptime; hb_queue_depth; hb_running; hb_draining })
   | "drain_ack" -> Ok Drain_ack
   | "error" ->
     let* code_text = req_string "code" doc in
@@ -449,6 +534,9 @@ let pp_response ppf = function
       m.queue_depth
   | Event { job; seq; state; _ } ->
     Format.fprintf ppf "event %s #%d: %s" job seq (job_state_to_string state)
+  | Heartbeat_ack h ->
+    Format.fprintf ppf "heartbeat %s: depth %d, running %d%s" h.shard h.hb_queue_depth h.hb_running
+      (if h.hb_draining then " (draining)" else "")
   | Drain_ack -> Format.fprintf ppf "drain acknowledged"
   | Error { code; message } ->
     Format.fprintf ppf "error %s: %s" (error_code_to_string code) message

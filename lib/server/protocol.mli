@@ -1,4 +1,4 @@
-(** The qbpartd wire protocol, version 1.
+(** The qbpartd wire protocol, version 2.
 
     One request frame in, one (or, for [Events], several) response
     frames out, each frame a single-line JSON document under
@@ -13,13 +13,23 @@
     [type] discriminators. *)
 
 val version : int
-(** Protocol version (1); encoded as ["v"] in every frame. *)
+(** Protocol version (2); encoded as ["v"] in every frame. *)
 
 (** {1 Requests} *)
 
 type source =
   | Inline of string  (** document body shipped in the request *)
   | File of string    (** path resolved on the daemon's filesystem *)
+
+(** Admission class.  [Interactive] jobs are dequeued with a higher
+    weight and are never shed while a [Batch] job can be; [Batch] is
+    the default and the shed-first class under overload. *)
+type priority = Interactive | Batch
+
+val priority_to_string : priority -> string
+
+val priority_of_string : string -> priority
+(** Tolerant: any unknown class token decodes as [Batch]. *)
 
 type submit = {
   netlist : source;
@@ -32,6 +42,7 @@ type submit = {
   starts : int;             (** portfolio starts (≥ 1) *)
   deadline_s : float option;(** per-job wall-clock budget *)
   label : string option;    (** free-form tag echoed in views *)
+  priority : priority;      (** admission class (default [Batch]) *)
 }
 
 val default_submit : netlist:source -> submit
@@ -42,9 +53,12 @@ val default_submit : netlist:source -> submit
 type request =
   | Submit of submit
   | Status of string   (** job id *)
-  | Events of string   (** job id; the reply is a stream *)
+  | Events of { job : string; since : int }
+      (** job id; the reply is a stream of events with [seq > since]
+          (pass [since = 0] for the full stream) *)
   | Cancel of string   (** job id *)
   | Metrics
+  | Heartbeat          (** liveness probe; answered without queueing *)
   | Drain              (** ask the daemon to drain, as SIGTERM would *)
 
 (** {1 Responses} *)
@@ -52,6 +66,11 @@ type request =
 type job_state = Queued | Running | Done | Failed | Cancelled
 
 val job_state_to_string : job_state -> string
+
+val state_ordinal : job_state -> int
+(** Lifecycle position: 0 queued, 1 running, 2 terminal.  [Events]
+    sequence numbers are exactly these ordinals, so a reconnecting
+    watcher can resume with [since = last seen seq + 1]. *)
 
 type job_view = {
   id : string;
@@ -67,6 +86,8 @@ type job_view = {
   error : string option;    (** failure rendering when [state = Failed] *)
   checkpoint : string option;  (** resumable checkpoint path, if one was written *)
   assignment : int array option;  (** component index → partition index *)
+  resumed_from : string option;
+      (** checkpoint path this job warm-resumed from (failover) *)
 }
 
 type metrics_view = {
@@ -84,6 +105,7 @@ type metrics_view = {
   uptime_seconds : float;
   fallbacks : (string * int) list;
       (** per-stage fallback counts across all served jobs, sorted *)
+  shed : int;               (** batch jobs evicted to admit interactive ones *)
 }
 
 type error_code =
@@ -95,10 +117,19 @@ type error_code =
   | Solver_error  (** {!Qbpart_engine.Engine.Error.t}, rendered *)
   | Oversized     (** request frame exceeded the daemon's limit *)
   | Malformed     (** broken framing or unparseable JSON *)
+  | Unavailable   (** no live shard can take the job right now (router) *)
   | Internal
 
 val error_code_to_string : error_code -> string
 (** The wire token: ["bad_request"], ["overloaded"], ... *)
+
+type heartbeat_view = {
+  shard : string;           (** the daemon's shard id ([--shard-id]) *)
+  uptime : float;
+  hb_queue_depth : int;
+  hb_running : int;
+  hb_draining : bool;
+}
 
 type response =
   | Submitted of { job : string; queue_depth : int }
@@ -106,6 +137,7 @@ type response =
   | Metrics_snapshot of metrics_view
   | Event of { job : string; seq : int; state : job_state; detail : string option }
       (** stream element for [Events]; the stream ends with a [Job] *)
+  | Heartbeat_ack of heartbeat_view
   | Drain_ack
   | Error of { code : error_code; message : string }
 

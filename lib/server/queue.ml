@@ -1,27 +1,85 @@
-(* Two-list functional deque under a mutex.  (Plain lists rather than
-   [Stdlib.Queue] — inside this module that name is shadowed by
-   ourselves, and the volumes are tiny.) *)
+(* Two-class weighted FIFO under a mutex.  Each class is a two-list
+   functional deque (plain lists rather than [Stdlib.Queue] — inside
+   this module that name is shadowed by ourselves, and the volumes are
+   tiny); a deficit counter interleaves the classes so batch work
+   cannot be starved outright. *)
+
+type 'a lane = { mutable front : 'a list; mutable back : 'a list; mutable count : int }
+
+let lane () = { front = []; back = []; count = 0 }
+
+let lane_push l x =
+  l.back <- x :: l.back;
+  l.count <- l.count + 1
+
+let lane_pop l =
+  if l.count = 0 then None
+  else begin
+    (match l.front with
+    | [] ->
+      l.front <- List.rev l.back;
+      l.back <- []
+    | _ -> ());
+    match l.front with
+    | x :: rest ->
+      l.front <- rest;
+      l.count <- l.count - 1;
+      Some x
+    | [] -> assert false
+  end
+
+(* evict the most recent push: the cheapest job to sacrifice — its
+   submitter has waited the least and retries land it at the tail
+   again anyway *)
+let lane_pop_newest l =
+  if l.count = 0 then None
+  else begin
+    l.count <- l.count - 1;
+    match l.back with
+    | x :: rest ->
+      l.back <- rest;
+      Some x
+    | [] ->
+      let rec split acc = function
+        | [ x ] -> (x, List.rev acc)
+        | x :: rest -> split (x :: acc) rest
+        | [] -> assert false
+      in
+      let x, rest = split [] l.front in
+      l.front <- rest;
+      Some x
+  end
+
+let lane_to_list l = l.front @ List.rev l.back
 
 type 'a t = {
-  mutable front : 'a list;  (* next pop comes from here *)
-  mutable back : 'a list;   (* pushes accumulate here, reversed *)
-  mutable size : int;
+  interactive : 'a lane;
+  batch : 'a lane;
+  mutable credit : int;  (* interactive pops left before a batch pop is forced *)
   mutable draining : bool;
   capacity : int;
+  weight : int;
   mu : Mutex.t;
   nonempty : Condition.t;
 }
 
-type push_result = Accepted of int | Overloaded | Draining
+type 'a push_result =
+  | Accepted of { depth : int; shed : 'a option }
+  | Overloaded
+  | Draining
 
-let create ~capacity =
+let default_weight = 4
+
+let create ?(weight = default_weight) ~capacity () =
   if capacity < 0 then invalid_arg "Queue.create: capacity must be >= 0";
+  if weight < 1 then invalid_arg "Queue.create: weight must be >= 1";
   {
-    front = [];
-    back = [];
-    size = 0;
+    interactive = lane ();
+    batch = lane ();
+    credit = weight;
     draining = false;
     capacity;
+    weight;
     mu = Mutex.create ();
     nonempty = Condition.create ();
   }
@@ -30,51 +88,71 @@ let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
-let push t x =
+let size t = t.interactive.count + t.batch.count
+
+let push t ~priority x =
   locked t (fun () ->
       if t.draining then Draining
-      else if t.size >= t.capacity then Overloaded
       else begin
-        t.back <- x :: t.back;
-        t.size <- t.size + 1;
-        Condition.signal t.nonempty;
-        Accepted t.size
+        let full = size t >= t.capacity in
+        match (priority : Protocol.priority) with
+        | Batch when full -> Overloaded
+        | Batch ->
+          lane_push t.batch x;
+          Condition.signal t.nonempty;
+          Accepted { depth = size t; shed = None }
+        | Interactive ->
+          let shed = if full then lane_pop_newest t.batch else None in
+          if full && shed = None then Overloaded
+          else begin
+            lane_push t.interactive x;
+            Condition.signal t.nonempty;
+            Accepted { depth = size t; shed }
+          end
       end)
 
 let pop t =
   locked t (fun () ->
       let rec wait () =
         if t.draining then None
-        else if t.size = 0 then begin
+        else if size t = 0 then begin
           Condition.wait t.nonempty t.mu;
           wait ()
         end
         else begin
-          (match t.front with
-          | [] ->
-            t.front <- List.rev t.back;
-            t.back <- []
-          | _ -> ());
-          match t.front with
-          | x :: rest ->
-            t.front <- rest;
-            t.size <- t.size - 1;
-            Some x
-          | [] -> assert false
+          (* weighted interleave: up to [weight] interactive pops, then
+             one batch pop, so a full interactive lane still lets batch
+             jobs through at 1/(weight+1) of the service rate *)
+          let take_interactive =
+            t.interactive.count > 0 && (t.batch.count = 0 || t.credit > 0)
+          in
+          if take_interactive then begin
+            t.credit <- t.credit - 1;
+            lane_pop t.interactive
+          end
+          else begin
+            t.credit <- t.weight;
+            lane_pop t.batch
+          end
         end
       in
       wait ())
 
 let drain t =
   locked t (fun () ->
-      let leftover = if t.draining then [] else t.front @ List.rev t.back in
+      let leftover =
+        if t.draining then [] else lane_to_list t.interactive @ lane_to_list t.batch
+      in
       t.draining <- true;
-      t.front <- [];
-      t.back <- [];
-      t.size <- 0;
+      t.interactive.front <- [];
+      t.interactive.back <- [];
+      t.interactive.count <- 0;
+      t.batch.front <- [];
+      t.batch.back <- [];
+      t.batch.count <- 0;
       Condition.broadcast t.nonempty;
       leftover)
 
-let length t = locked t (fun () -> t.size)
+let length t = locked t (fun () -> size t)
 let capacity t = t.capacity
 let is_draining t = locked t (fun () -> t.draining)

@@ -1,28 +1,39 @@
-(** Bounded FIFO job queue with explicit admission control.
+(** Bounded two-class job queue with explicit admission control.
 
-    The serving layer's backpressure primitive: producers {!push}
-    without blocking and get told [Overloaded] the moment the queue
-    holds [capacity] items — the daemon turns that into a structured
-    [overloaded] protocol error instead of an unbounded backlog.
-    Consumers {!pop} blocking; {!drain} stops admission, wakes every
-    blocked consumer, and hands back whatever was still queued so the
-    caller can fail those jobs deterministically.
+    The serving layer's backpressure primitive, extended with the
+    protocol's priority classes: producers {!push} without blocking and
+    get told [Overloaded] the moment the queue holds [capacity] items —
+    except that an [Interactive] arrival at capacity sheds the newest
+    [Batch] job (returned in the push result so the caller can fail it
+    as rejected) rather than being refused itself.  Consumers {!pop}
+    blocking; dequeue order is deficit-weighted — up to [weight]
+    interactive jobs per batch job, so interactive load never starves
+    batch completely and vice versa.  {!drain} stops admission, wakes
+    every blocked consumer, and hands back whatever was still queued so
+    the caller can fail those jobs deterministically.
 
     Thread- and domain-safe: one mutex, one condition; safe to use
     between systhreads and worker domains. *)
 
 type 'a t
 
-val create : capacity:int -> 'a t
-(** @raise Invalid_argument if [capacity < 0].  [capacity = 0] refuses
-    every push — useful for tests that pin the overloaded path. *)
+val default_weight : int
+(** Interactive pops per forced batch pop (4). *)
 
-type push_result =
-  | Accepted of int  (** queue depth after the push *)
-  | Overloaded       (** at capacity; the item was {e not} enqueued *)
-  | Draining         (** {!drain} happened; admission is closed forever *)
+val create : ?weight:int -> capacity:int -> unit -> 'a t
+(** @raise Invalid_argument if [capacity < 0] or [weight < 1].
+    [capacity = 0] refuses every push — useful for tests that pin the
+    overloaded path. *)
 
-val push : 'a t -> 'a -> push_result
+type 'a push_result =
+  | Accepted of { depth : int; shed : 'a option }
+      (** enqueued; [depth] is the queue depth after the push and after
+          any eviction; [shed] is the newest batch item evicted to make
+          room for an interactive arrival at capacity *)
+  | Overloaded  (** at capacity with nothing sheddable; {e not} enqueued *)
+  | Draining    (** {!drain} happened; admission is closed forever *)
+
+val push : 'a t -> priority:Protocol.priority -> 'a -> 'a push_result
 (** Non-blocking admission. *)
 
 val pop : 'a t -> 'a option
@@ -33,8 +44,9 @@ val pop : 'a t -> 'a option
 
 val drain : 'a t -> 'a list
 (** Close admission (idempotent), wake all consumers, and return the
-    still-queued items in FIFO order.  After [drain], {!push} answers
-    [Draining] and {!pop} answers [None]. *)
+    still-queued items (interactive lane first, each lane in FIFO
+    order).  After [drain], {!push} answers [Draining] and {!pop}
+    answers [None]. *)
 
 val length : 'a t -> int
 val capacity : 'a t -> int

@@ -13,6 +13,8 @@ type job = {
   id : string;
   spec : Protocol.submit;
   problem : Problem.t;
+  instance_hash : int64;
+  resume_from : (Checkpoint.t * string) option;  (* store checkpoint + its path *)
   submitted_at : float;
   mutable started_at : float option;
   mutable finished_at : float option;
@@ -36,6 +38,7 @@ type t = {
   jobs : (string, job) Hashtbl.t;
   metrics : Metrics.t;
   checkpoint_dir : string;
+  replicate_dir : string option;
   mutable next_id : int;
   mutable running_count : int;
   mutable draining_flag : bool;
@@ -126,6 +129,7 @@ let view_of_job (j : job) =
     error = j.error;
     checkpoint = j.checkpoint_path;
     assignment = Option.map Array.copy j.assignment;
+    resumed_from = Option.map snd j.resume_from;
   }
 
 (* --- the worker loop ----------------------------------------------- *)
@@ -136,6 +140,39 @@ let render_stage (s : Engine.Report.stage) =
     s.Engine.Report.cost_after
 
 let checkpoint_path t (j : job) = Filename.concat t.checkpoint_dir ("qbpartd-" ^ j.id ^ ".ckpt")
+
+(* Replication: every checkpoint the engine emits is mirrored into the
+   shared store, keyed by the instance hash, so a replacement shard
+   can pick the job up from the dead shard's last durable state.  The
+   write is the atomic temp+rename {!Checkpoint.save}, so concurrent
+   writers (two shards racing the same instance) can interleave but
+   never tear the file.  Write failures are swallowed: replication is
+   an availability optimisation, never a reason to fail the solve. *)
+let replicate t (j : job) cp =
+  match t.replicate_dir with
+  | None -> ()
+  | Some dir ->
+    ignore (Checkpoint.save ~path:(Checkpoint.store_path ~dir ~hash:j.instance_hash) cp)
+
+(* A store checkpoint is only trusted for auto-resume when it
+   validates against the submitted instance AND was produced by a run
+   with the same base seed and start count — otherwise the resumed
+   trajectory would not replay the original run and the bit-identical
+   guarantee is void.  A stale or foreign file simply cold-starts. *)
+let store_lookup t ~(spec : Protocol.submit) ~problem ~hash =
+  match t.replicate_dir with
+  | None -> None
+  | Some dir -> (
+    let path = Checkpoint.store_path ~dir ~hash in
+    match Checkpoint.load ~path with
+    | Error _ -> None
+    | Ok cp ->
+      if
+        Checkpoint.validate cp problem = Ok ()
+        && cp.Checkpoint.base_seed = spec.Protocol.seed
+        && List.for_all (fun s -> s.Checkpoint.start < spec.Protocol.starts) cp.Checkpoint.starts
+      then Some (cp, path)
+      else None)
 
 let persist_checkpoint t (j : job) =
   match j.last_checkpoint with
@@ -180,8 +217,12 @@ let run_job t (j : job) =
         starts = j.spec.Protocol.starts;
       }
     in
-    let on_checkpoint cp = j.last_checkpoint <- Some cp in
-    let result = Engine.solve ~config ~deadline ~on_checkpoint j.problem in
+    let on_checkpoint cp =
+      j.last_checkpoint <- Some cp;
+      replicate t j cp
+    in
+    let resume = Option.map fst j.resume_from in
+    let result = Engine.solve ~config ~deadline ~on_checkpoint ?resume j.problem in
     locked t (fun () ->
         (match result with
         | Ok { Engine.assignment; cost; report; certificate } ->
@@ -232,15 +273,17 @@ let worker_loop t () =
 
 (* --- API ----------------------------------------------------------- *)
 
-let create ?(workers = 2) ?(checkpoint_dir = ".") ~queue_capacity ~metrics () =
+let create ?(workers = 2) ?(checkpoint_dir = ".") ?replicate_dir ?queue_weight ~queue_capacity
+    ~metrics () =
   if workers < 1 then invalid_arg "Scheduler.create: workers must be >= 1";
   let t =
     {
       mu = Mutex.create ();
-      queue = Queue.create ~capacity:queue_capacity;
+      queue = Queue.create ?weight:queue_weight ~capacity:queue_capacity ();
       jobs = Hashtbl.create 64;
       metrics;
       checkpoint_dir;
+      replicate_dir;
       next_id = 1;
       running_count = 0;
       draining_flag = false;
@@ -263,11 +306,15 @@ let submit t spec =
         end
         else begin
           let id = Printf.sprintf "j%d" t.next_id in
+          let instance_hash = Checkpoint.instance_hash problem in
+          let resume_from = store_lookup t ~spec ~problem ~hash:instance_hash in
           let job =
             {
               id;
               spec;
               problem;
+              instance_hash;
+              resume_from;
               submitted_at = Unix.gettimeofday ();
               started_at = None;
               finished_at = None;
@@ -285,11 +332,19 @@ let submit t spec =
               assignment = None;
             }
           in
-          match Queue.push t.queue job with
-          | Queue.Accepted depth ->
+          match Queue.push t.queue ~priority:spec.Protocol.priority job with
+          | Queue.Accepted { depth; shed } ->
             t.next_id <- t.next_id + 1;
             Hashtbl.replace t.jobs id job;
             Metrics.accepted t.metrics;
+            (match shed with
+            | None -> ()
+            | Some (victim : job) ->
+              victim.state <- Protocol.Cancelled;
+              victim.error <- Some "shed: evicted by an interactive arrival at capacity";
+              victim.finished_at <- Some (Unix.gettimeofday ());
+              Metrics.shed t.metrics;
+              Metrics.cancelled t.metrics);
             Ok (id, depth)
           | Queue.Overloaded ->
             Metrics.rejected t.metrics;

@@ -30,13 +30,21 @@ type t
 val create :
   ?workers:int ->
   ?checkpoint_dir:string ->
+  ?replicate_dir:string ->
+  ?queue_weight:int ->
   queue_capacity:int ->
   metrics:Metrics.t ->
   unit ->
   t
 (** Spawn the worker pool.  [workers] defaults to 2; [checkpoint_dir]
     (default ["."]) receives [qbpartd-<job>.ckpt] files for
-    interrupted jobs.
+    interrupted jobs.  [replicate_dir] enables the shared replicated
+    checkpoint store: every engine checkpoint is mirrored to
+    [replicate_dir/qbpartd-<instance hash>.ckpt], and {!submit}
+    auto-resumes from a matching store entry (same instance hash, base
+    seed and start budget) — the fleet's failover and idempotent-retry
+    mechanism.  [queue_weight] is the interactive:batch dequeue weight
+    (default {!Queue.default_weight}).
     @raise Invalid_argument if [workers < 1] or [queue_capacity < 0]. *)
 
 val problem_of_spec : Protocol.submit -> (Problem.t, Protocol.error_code * string) result
@@ -48,9 +56,13 @@ val problem_of_spec : Protocol.submit -> (Problem.t, Protocol.error_code * strin
     [Parse_error]. *)
 
 val submit : t -> Protocol.submit -> (string * int, Protocol.error_code * string) result
-(** Admit a job: parse via {!problem_of_spec}, then push.  [Ok (job
-    id, queue depth)]; [Error (Overloaded, _)] beyond the queue bound,
-    [Error (Draining, _)] once {!drain} started. *)
+(** Admit a job: parse via {!problem_of_spec}, then push under the
+    spec's priority class.  [Ok (job id, queue depth)]; [Error
+    (Overloaded, _)] beyond the queue bound (after shedding, for
+    interactive arrivals), [Error (Draining, _)] once {!drain}
+    started.  With a replicated store configured, a valid store
+    checkpoint for the same instance/seed/starts is attached and the
+    solve resumes from it ([job_view.resumed_from]). *)
 
 val view : t -> string -> Protocol.job_view option
 val cancel : t -> string -> Protocol.job_view option

@@ -2,20 +2,39 @@ module Signals = Qbpart_engine.Signals
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;
   max_queue : int;
+  queue_weight : int;
   workers : int;
   checkpoint_dir : string;
+  replicate_dir : string option;
   max_frame : int;
+  shard_id : string;
+  conn_timeout : float;
+  fault : Netfault.t option;
 }
 
 let default_config ~socket_path =
-  { socket_path; max_queue = 16; workers = 2; checkpoint_dir = "."; max_frame = Frame.default_max }
+  {
+    socket_path;
+    tcp = None;
+    max_queue = 16;
+    queue_weight = Queue.default_weight;
+    workers = 2;
+    checkpoint_dir = ".";
+    replicate_dir = None;
+    max_frame = Frame.default_max;
+    shard_id = "qbpartd";
+    conn_timeout = 60.0;
+    fault = None;
+  }
 
 type t = {
   config : config;
-  listen_fd : Unix.file_descr;
+  listen_fds : Unix.file_descr list;
   sched : Scheduler.t;
   metrics : Metrics.t;
+  started_at : float;
   drain_requested : bool Atomic.t;
   drained : bool Atomic.t;
 }
@@ -26,168 +45,123 @@ let draining t = Atomic.get t.drain_requested
 
 let snapshot t = Scheduler.snapshot t.sched
 
+let heartbeat t =
+  {
+    Protocol.shard = t.config.shard_id;
+    uptime = Unix.gettimeofday () -. t.started_at;
+    hb_queue_depth = Scheduler.queue_depth t.sched;
+    hb_running = Scheduler.running t.sched;
+    hb_draining = Atomic.get t.drain_requested || Scheduler.draining t.sched;
+  }
+
 let ignore_sigpipe () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   with Invalid_argument _ | Sys_error _ -> ()
 
 let create config =
   ignore_sigpipe ();
-  let addr = Unix.ADDR_UNIX config.socket_path in
-  let probe_stale () =
-    (* a socket file is stale iff nothing accepts on it *)
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    Fun.protect
-      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-      (fun () ->
-        match Unix.connect fd addr with
-        | () -> Error (Printf.sprintf "%s: a daemon is already listening" config.socket_path)
-        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
-          (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
-          Ok ()
-        | exception Unix.Unix_error (e, _, _) ->
-          Error (Printf.sprintf "%s: %s" config.socket_path (Unix.error_message e)))
-  in
-  let ready =
-    if Sys.file_exists config.socket_path then probe_stale () else Ok ()
-  in
-  match ready with
+  match Listener.unix ~path:config.socket_path with
   | Error _ as e -> e
-  | Ok () -> (
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match
-      Unix.bind fd addr;
-      Unix.listen fd 64
-    with
-    | () ->
+  | Ok unix_fd -> (
+    let tcp_ready =
+      match config.tcp with
+      | None -> Ok []
+      | Some hp -> Result.map (fun fd -> [ fd ]) (Listener.tcp hp)
+    in
+    match tcp_ready with
+    | Error e ->
+      (try Unix.close unix_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink config.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+      Error e
+    | Ok tcp_fds ->
       let metrics = Metrics.create () in
       let sched =
         Scheduler.create ~workers:config.workers ~checkpoint_dir:config.checkpoint_dir
+          ?replicate_dir:config.replicate_dir ~queue_weight:config.queue_weight
           ~queue_capacity:config.max_queue ~metrics ()
       in
       Ok
         {
           config;
-          listen_fd = fd;
+          listen_fds = unix_fd :: tcp_fds;
           sched;
           metrics;
+          started_at = Unix.gettimeofday ();
           drain_requested = Atomic.make false;
           drained = Atomic.make false;
-        }
-    | exception Unix.Unix_error (e, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error (Printf.sprintf "%s: %s" config.socket_path (Unix.error_message e)))
+        })
 
 (* --- per-connection protocol loop ---------------------------------- *)
 
-exception Connection_closed
+let send = Conn.send
 
-let send oc response =
-  match Frame.write oc (Protocol.encode_response response) with
-  | () -> ()
-  | exception (Sys_error _ | Unix.Unix_error _) -> raise Connection_closed
-
-let handle_events t oc id =
+let handle_events t ?fault oc id ~since =
   match Scheduler.view t.sched id with
   | None ->
-    send oc (Protocol.Error { code = Protocol.Not_found; message = Printf.sprintf "no such job %S" id })
+    send ?fault oc
+      (Protocol.Error { code = Protocol.Not_found; message = Printf.sprintf "no such job %S" id })
   | Some first ->
-    let rec stream seq last_state (v : Protocol.job_view) =
-      let seq =
-        if last_state <> Some v.Protocol.state then begin
-          send oc
-            (Protocol.Event
-               { job = id; seq; state = v.Protocol.state; detail = v.Protocol.winner });
-          seq + 1
+    (* Event seq is the job's absolute state ordinal (0 queued,
+       1 running, 2 terminal), so a reconnecting watcher can pass the
+       last seq it saw as [since] and never re-receive it. *)
+    let rec stream last (v : Protocol.job_view) =
+      let o = Protocol.state_ordinal v.Protocol.state in
+      let last =
+        if o > last then begin
+          send ?fault oc
+            (Protocol.Event { job = id; seq = o; state = v.Protocol.state; detail = v.Protocol.winner });
+          o
         end
-        else seq
+        else last
       in
       match v.Protocol.state with
-      | Protocol.Done | Protocol.Failed | Protocol.Cancelled -> send oc (Protocol.Job v)
+      | Protocol.Done | Protocol.Failed | Protocol.Cancelled -> send ?fault oc (Protocol.Job v)
       | Protocol.Queued | Protocol.Running -> (
         Thread.delay 0.05;
         match Scheduler.view t.sched id with
-        | None -> send oc (Protocol.Job v) (* job table never shrinks; defensive *)
-        | Some v' -> stream seq (Some v.Protocol.state) v')
+        | None -> send ?fault oc (Protocol.Job v) (* job table never shrinks; defensive *)
+        | Some v' -> stream last v')
     in
-    stream 0 None first
+    stream (since - 1) first
 
-let answer t oc = function
+let answer t ?fault oc = function
   | Protocol.Submit spec -> (
     match Scheduler.submit t.sched spec with
-    | Ok (job, queue_depth) -> send oc (Protocol.Submitted { job; queue_depth })
-    | Error (code, message) -> send oc (Protocol.Error { code; message }))
+    | Ok (job, queue_depth) -> send ?fault oc (Protocol.Submitted { job; queue_depth })
+    | Error (code, message) -> send ?fault oc (Protocol.Error { code; message }))
   | Protocol.Status id -> (
     match Scheduler.view t.sched id with
-    | Some v -> send oc (Protocol.Job v)
+    | Some v -> send ?fault oc (Protocol.Job v)
     | None ->
-      send oc
+      send ?fault oc
         (Protocol.Error { code = Protocol.Not_found; message = Printf.sprintf "no such job %S" id }))
   | Protocol.Cancel id -> (
     match Scheduler.cancel t.sched id with
-    | Some v -> send oc (Protocol.Job v)
+    | Some v -> send ?fault oc (Protocol.Job v)
     | None ->
-      send oc
+      send ?fault oc
         (Protocol.Error { code = Protocol.Not_found; message = Printf.sprintf "no such job %S" id }))
-  | Protocol.Events id -> handle_events t oc id
-  | Protocol.Metrics -> send oc (Protocol.Metrics_snapshot (snapshot t))
+  | Protocol.Events { job; since } -> handle_events t ?fault oc job ~since
+  | Protocol.Metrics -> send ?fault oc (Protocol.Metrics_snapshot (snapshot t))
+  | Protocol.Heartbeat -> send ?fault oc (Protocol.Heartbeat_ack (heartbeat t))
   | Protocol.Drain ->
-    send oc Protocol.Drain_ack;
+    send ?fault oc Protocol.Drain_ack;
     request_drain t
 
 let handle_connection t fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let close () =
-    (* one close: the channels share the descriptor *)
-    try Unix.close fd with Unix.Unix_error _ -> ()
-  in
-  let rec loop () =
-    match Frame.read ~max:t.config.max_frame ic with
-    | Error Frame.Eof -> ()
-    | Error (Frame.Oversized _ as e) ->
-      (* stream position unrecoverable: answer and hang up *)
-      send oc
-        (Protocol.Error { code = Protocol.Oversized; message = Frame.error_to_string e })
-    | Error (Frame.Truncated _ | Frame.Malformed _ as e) ->
-      send oc
-        (Protocol.Error { code = Protocol.Malformed; message = Frame.error_to_string e })
-    | Ok payload ->
-      (match Protocol.decode_request payload with
-      | Error msg ->
-        send oc (Protocol.Error { code = Protocol.Bad_request; message = msg })
-      | Ok request -> (
-        match answer t oc request with
-        | () -> ()
-        | exception Connection_closed -> raise Connection_closed
-        | exception exn ->
-          send oc
-            (Protocol.Error { code = Protocol.Internal; message = Printexc.to_string exn })));
-      loop ()
-  in
-  (try loop () with
-  | Connection_closed -> ()
-  | Sys_error _ | Unix.Unix_error _ | End_of_file -> ());
-  close ()
+  let fault = t.config.fault in
+  Conn.run ~max_frame:t.config.max_frame ~conn_timeout:t.config.conn_timeout ?fault
+    ~answer:(fun oc request -> answer t ?fault oc request)
+    fd
 
 (* --- listener ------------------------------------------------------ *)
 
 let serve t =
-  let rec loop () =
-    if Atomic.get t.drain_requested then ()
-    else begin
-      (match Unix.select [ t.listen_fd ] [] [] 0.25 with
-      | [], _, _ -> ()
-      | _ :: _, _, _ -> (
-        match Unix.accept t.listen_fd with
-        | fd, _ -> ignore (Thread.create (fun () -> handle_connection t fd) ())
-        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ())
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      loop ()
-    end
-  in
-  loop ();
+  Listener.accept_loop ~fds:t.listen_fds
+    ~stop:(fun () -> Atomic.get t.drain_requested)
+    ~handle:(handle_connection t);
   if not (Atomic.exchange t.drained true) then begin
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Listener.close_all t.listen_fds;
     (try Unix.unlink t.config.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
     Scheduler.drain t.sched
   end

@@ -19,23 +19,39 @@
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;
+      (** also listen on this TCP host/port, same protocol and framing *)
   max_queue : int;       (** queued-job bound; beyond it submits get [overloaded] *)
+  queue_weight : int;
+      (** interactive:batch dequeue weight of the two-lane queue (see
+          {!Queue.create}) *)
   workers : int;         (** worker domains *)
   checkpoint_dir : string;  (** interrupted jobs leave [qbpartd-<id>.ckpt] here *)
+  replicate_dir : string option;
+      (** shared replicated checkpoint store (see {!Scheduler.create}) *)
   max_frame : int;       (** request-frame size limit in bytes *)
+  shard_id : string;     (** identity reported in [Heartbeat_ack] *)
+  conn_timeout : float;
+      (** per-connection read/write deadline in seconds ([SO_RCVTIMEO] /
+          [SO_SNDTIMEO]); [0] disables *)
+  fault : Netfault.t option;
+      (** inject seeded faults into every response frame (chaos testing) *)
 }
 
 val default_config : socket_path:string -> config
-(** [max_queue = 16], [workers = 2], [checkpoint_dir = "."],
-    [max_frame = Frame.default_max]. *)
+(** [max_queue = 16], [queue_weight = Queue.default_weight],
+    [workers = 2], [checkpoint_dir = "."], no TCP, no replication,
+    [max_frame = Frame.default_max], [shard_id = "qbpartd"],
+    [conn_timeout = 60.0], no faults. *)
 
 type t
 
 val create : config -> (t, string) result
-(** Bind and listen.  A stale socket file left by a dead daemon is
-    detected (connect refused) and replaced; a live one is an error.
-    Also ignores SIGPIPE process-wide — a disconnecting client must
-    never kill the daemon. *)
+(** Bind and listen (Unix socket always; TCP too when configured).  A
+    stale socket file left by a dead daemon is detected (connect
+    refused) and replaced; a live one is an error.  Also ignores
+    SIGPIPE process-wide — a disconnecting client must never kill the
+    daemon. *)
 
 val serve : t -> unit
 (** Accept loop; returns after a drain has fully completed (workers

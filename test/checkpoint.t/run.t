@@ -17,8 +17,9 @@ certificate:
   $ wc -l < clean.asgn
   24
 
-Now an instance big enough that a 40-start portfolio cannot finish in
-the three seconds we let it live:
+Now an instance big enough that a 40-start portfolio runs well past
+its first 100ms checkpoint write, which is the signal we kill on (a
+fixed sleep would race a fast machine):
 
   $ qbpart generate -n 160 -w 900 --seed 7 -o big.net
   wrote big.net: 160 components, 900 interconnections
@@ -29,7 +30,9 @@ the best-so-far feasible assignment, and exit 124:
   $ qbpart solve big.net --rows 2 --cols 2 --slack 1.4 --starts 40 -j 1 \
   >   --iterations 3000 --deadline 300s --checkpoint state.ckpt \
   >   --checkpoint-every 100ms -o partial.asgn 2> partial.err &
-  $ pid=$!; sleep 3; kill -TERM $pid; wait $pid; echo "exit $?"
+  $ pid=$!
+  $ for i in $(seq 1 200); do [ -f state.ckpt ] && break; sleep 0.05; done
+  $ kill -TERM $pid; wait $pid; echo "exit $?"
   exit 124
   $ grep -c "interrupted: best-so-far" partial.err
   1

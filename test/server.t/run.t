@@ -8,6 +8,16 @@ Client commands fail fast, with exit 123, when nothing is listening:
   qbpart: cannot connect to missing.sock: No such file or directory
   [123]
 
+Watching a job on a dead endpoint reconnects with backoff and then
+gives up with the same exit code instead of hanging forever:
+
+  $ qbpart status j1 --socket missing.sock --watch --retries 2 2> watch.err
+  [123]
+  $ grep -c "reconnecting" watch.err
+  1
+  $ grep -c "gave up after 2 attempts" watch.err
+  1
+
 Two circuits: a small one jobs finish quickly, and one big enough that
 a 40-start portfolio is still mid-flight when we drain the daemon:
 
@@ -16,10 +26,11 @@ a 40-start portfolio is still mid-flight when we drain the daemon:
   $ qbpart generate -n 160 -w 900 --seed 7 -o big.net
   wrote big.net: 160 components, 900 interconnections
 
-Start the daemon: one worker, at most two queued jobs:
+Start the daemon: one worker, at most two queued jobs, listening on
+the Unix socket and on TCP at the same time:
 
   $ mkdir ckpts
-  $ qbpartd --socket d.sock --max-queue 2 --workers 1 --checkpoint-dir ckpts 2> daemon.log &
+  $ qbpartd --socket d.sock --tcp 127.0.0.1:38471 --max-queue 2 --workers 1 --checkpoint-dir ckpts 2> daemon.log &
   $ pid=$!
   $ for i in $(seq 1 100); do [ -S d.sock ] && break; sleep 0.1; done
 
@@ -38,6 +49,17 @@ Fire-and-forget prints the job id; the job is queryable afterwards:
   $ qbpart status j2 --socket d.sock 2> /dev/null
   j2 done certified
 
+The same daemon answers over TCP — one protocol, both transports:
+
+  $ qbpart status j2 --socket tcp:127.0.0.1:38471 2> /dev/null
+  j2 done certified
+
+Watching an already-finished job replays its terminal event and exits
+cleanly:
+
+  $ qbpart status j2 --socket d.sock --watch 2> /dev/null
+  j2 done certified
+
 A malformed netlist is refused before it ever reaches the daemon:
 
   $ echo "garbage ][" > bad.net
@@ -47,7 +69,8 @@ A malformed netlist is refused before it ever reaches the daemon:
 
 Now occupy the single worker with a long portfolio job, fill both
 queue slots, and watch the admission bound reject the next submission
-with a structured error:
+with a structured error (--retries 1 turns off the client's backoff
+so the refusal surfaces immediately):
 
   $ qbpart submit big.net --socket d.sock --rows 2 --cols 2 --slack 1.4 --starts 40 --iterations 3000 2> /dev/null
   j3
@@ -58,8 +81,8 @@ with a structured error:
   j4
   $ qbpart submit circ.net --socket d.sock --rows 2 --cols 2 --slack 1.4 2> /dev/null
   j5
-  $ qbpart submit circ.net --socket d.sock --rows 2 --cols 2 --slack 1.4
-  qbpart: server overloaded: queue full (2 jobs queued, max 2)
+  $ qbpart submit circ.net --socket d.sock --rows 2 --cols 2 --slack 1.4 --retries 1
+  qbpart: overloaded: queue full (2 jobs queued, max 2) (after 1 attempt)
   [123]
 
 Cancelling a queued job is immediate; unknown ids are a structured
@@ -86,7 +109,7 @@ checkpoint, and exits 0:
   $ wait $pid
   $ echo "exit $?"
   exit 0
-  $ grep -c "qbpartd: drained" daemon.log
+  $ grep -c ": drained" daemon.log
   1
   $ [ -S d.sock ] && echo "socket still there" || echo "socket gone"
   socket gone

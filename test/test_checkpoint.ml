@@ -53,17 +53,19 @@ let gen_checkpoint =
               (opt (oneofl [ "boom"; "line1\nline2"; "100% bad"; "spaces  inside" ]))))
     in
     map
-      (fun (hash, seed, elapsed, (cost, incumbent, starts)) ->
+      (fun (hash, seed, elapsed, (cost, incumbent, starts, incumbent_start)) ->
         {
           Checkpoint.instance_hash = Int64.of_int hash;
           base_seed = seed;
           elapsed = Float.abs elapsed;
           incumbent = Array.of_list incumbent;
           incumbent_cost = cost;
+          incumbent_start;
           starts;
         })
       (quad int int float_gen
-         (triple float_gen (list_size (int_bound 40) small_nat) (list_size (int_bound 5) progress))))
+         (quad float_gen (list_size (int_bound 40) small_nat) (list_size (int_bound 5) progress)
+            (int_range (-1) 12))))
 
 let arbitrary_checkpoint = QCheck.make gen_checkpoint
 
@@ -80,6 +82,7 @@ let prop_roundtrip =
         && cp'.Checkpoint.base_seed = cp.Checkpoint.base_seed
         && feq cp'.Checkpoint.elapsed cp.Checkpoint.elapsed
         && feq cp'.Checkpoint.incumbent_cost cp.Checkpoint.incumbent_cost
+        && cp'.Checkpoint.incumbent_start = cp.Checkpoint.incumbent_start
         && cp'.Checkpoint.incumbent = cp.Checkpoint.incumbent
         && List.length cp'.Checkpoint.starts = List.length cp.Checkpoint.starts
         && List.for_all2
@@ -138,6 +141,28 @@ let test_corrupt_rejection () =
      assignment 2\n1 2\nnot-end\n"
     `Corrupt
 
+let test_v1_compat () =
+  (* a version-1 file (no [winner] line) still loads; the unknown
+     incumbent provenance decodes as -1, the always-wins sentinel *)
+  let v1 =
+    "qbpart-checkpoint 1\nhash ff\nseed 9\nelapsed 0x1p0\ncost 0x1.8p3\nstarts 0\n\
+     assignment 2\n1 0\nend\n"
+  in
+  (match Checkpoint.of_string v1 with
+  | Ok cp ->
+    check Alcotest.int "v1 incumbent_start" (-1) cp.Checkpoint.incumbent_start;
+    check Alcotest.int "v1 seed" 9 cp.Checkpoint.base_seed
+  | Error e -> fail ("v1 rejected: " ^ Checkpoint.error_to_string e));
+  (* a v1 file must not smuggle a winner line *)
+  match
+    Checkpoint.of_string
+      "qbpart-checkpoint 1\nhash ff\nseed 9\nelapsed 0x1p0\ncost 0x1.8p3\nwinner 2\n\
+       starts 0\nassignment 2\n1 0\nend\n"
+  with
+  | Ok _ -> fail "v1 with winner line accepted"
+  | Error (Checkpoint.Corrupt _) -> ()
+  | Error e -> fail ("wrong error: " ^ Checkpoint.error_to_string e)
+
 let test_instance_hash_and_validate () =
   let p1 = random_problem 1 and p2 = random_problem 2 in
   let h1 = Checkpoint.instance_hash p1 in
@@ -148,7 +173,7 @@ let test_instance_hash_and_validate () =
   let n = Problem.n p1 in
   let cp =
     Checkpoint.make ~problem:p1 ~base_seed:7 ~elapsed:1.5 ~incumbent:(Array.make n 0)
-      ~incumbent_cost:12.0 ~starts:[]
+      ~incumbent_cost:12.0 ~starts:[] ()
   in
   (match Checkpoint.validate cp p1 with
   | Ok () -> ()
@@ -179,6 +204,7 @@ let test_save_load () =
             failure = None;
           };
         ]
+      ()
   in
   (match Checkpoint.save ~path cp with
   | Ok () -> ()
@@ -214,6 +240,7 @@ let test_save_failure_reported () =
             elapsed = 0.0;
             incumbent = [||];
             incumbent_cost = 0.0;
+            incumbent_start = -1;
             starts = [];
           }
   with
@@ -230,6 +257,7 @@ let () =
           qt prop_roundtrip;
           qt prop_truncation_rejected;
           Alcotest.test_case "corrupt inputs rejected" `Quick test_corrupt_rejection;
+          Alcotest.test_case "version-1 files still load" `Quick test_v1_compat;
         ] );
       ( "instance",
         [

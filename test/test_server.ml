@@ -9,7 +9,9 @@
 
 module Json = Qbpart_server.Json
 module Frame = Qbpart_server.Frame
+module Netfault = Qbpart_server.Netfault
 module Protocol = Qbpart_server.Protocol
+module Router = Qbpart_server.Router
 module Squeue = Qbpart_server.Queue
 module Metrics = Qbpart_server.Metrics
 module Scheduler = Qbpart_server.Scheduler
@@ -113,6 +115,99 @@ let test_frame_sequence () =
   check Alcotest.(list string) "frames in order" payloads (decode_all 0 [])
 
 (* ------------------------------------------------------------------ *)
+(* Netfault: deterministic seeded fault injection *)
+
+let test_netfault_spec () =
+  let c =
+    match Netfault.of_spec "seed=7,drop=0.05,delay=0.1:0.02,truncate=0.01,corrupt=0.02" with
+    | Ok c -> c
+    | Error e -> fail ("spec rejected: " ^ e)
+  in
+  check Alcotest.int "seed" 7 c.Netfault.seed;
+  check (Alcotest.float 1e-12) "drop" 0.05 c.Netfault.drop;
+  check (Alcotest.float 1e-12) "delay duration" 0.02 c.Netfault.delay_s;
+  (match Netfault.of_spec (Netfault.to_spec c) with
+  | Ok c' ->
+    check Alcotest.string "spec round-trips" (Netfault.to_spec c) (Netfault.to_spec c')
+  | Error e -> fail ("canonical spec rejected: " ^ e));
+  (match Netfault.of_spec "drop=2.0" with
+  | Error _ -> ()
+  | Ok _ -> fail "out-of-range probability accepted");
+  (match Netfault.of_spec "seed=1,warp=0.1" with
+  | Error _ -> ()
+  | Ok _ -> fail "unknown key accepted");
+  check Alcotest.bool "none is inactive" false (Netfault.active Netfault.none);
+  check Alcotest.bool "drop-only is active" true
+    (Netfault.active { Netfault.none with Netfault.drop = 0.5 })
+
+let test_netfault_determinism () =
+  let config =
+    match Netfault.of_spec "seed=13,drop=0.2,delay=0.2:0.001,truncate=0.2,corrupt=0.2" with
+    | Ok c -> c
+    | Error e -> fail e
+  in
+  let schedule seed =
+    let t = Netfault.create { config with Netfault.seed } in
+    List.init 300 (fun i -> Netfault.next t ~frame_len:(24 + (i mod 40)))
+  in
+  check Alcotest.bool "same seed, same schedule" true (schedule 13 = schedule 13);
+  check Alcotest.bool "different seed diverges" true (schedule 13 <> schedule 14);
+  (* offsets stay inside the frame; the injected counter counts exactly
+     the non-Pass actions *)
+  let t = Netfault.create config in
+  let faults = ref 0 in
+  for i = 0 to 299 do
+    let len = 24 + (i mod 40) in
+    match Netfault.next t ~frame_len:len with
+    | Netfault.Pass -> ()
+    | Netfault.Drop -> incr faults
+    | Netfault.Delay d ->
+      incr faults;
+      if d <= 0.0 then fail "non-positive delay"
+    | Netfault.Truncate n ->
+      incr faults;
+      if n < 0 || n >= len then fail (Printf.sprintf "truncate %d outside frame of %d" n len)
+    | Netfault.Corrupt off ->
+      incr faults;
+      if off < 0 || off >= len then fail (Printf.sprintf "corrupt offset %d outside frame of %d" off len)
+  done;
+  check Alcotest.int "injected counter" !faults (Netfault.injected t);
+  check Alcotest.bool "faults actually fired" true (!faults > 50)
+
+(* write one frame through an injector and return the bytes on the wire *)
+let write_with_fault config payload =
+  let path = Filename.temp_file "qbpart-fault" ".bin" in
+  let oc = open_out_bin path in
+  Frame.write ~fault:(Netfault.create config) oc payload;
+  close_out oc;
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  s
+
+let test_netfault_frame_write () =
+  let payload = "{\"type\":\"drain_ack\",\"v\":2}" in
+  let clean = Frame.encode payload in
+  let dropped = write_with_fault { Netfault.none with Netfault.seed = 3; drop = 1.0 } payload in
+  check Alcotest.string "dropped frame leaves no bytes" "" dropped;
+  let truncated =
+    write_with_fault { Netfault.none with Netfault.seed = 3; truncate = 1.0 } payload
+  in
+  check Alcotest.bool "truncated frame is a strict prefix" true
+    (String.length truncated < String.length clean
+    && truncated = String.sub clean 0 (String.length truncated));
+  (match Frame.decode truncated ~pos:0 with
+  | Error (Frame.Eof | Frame.Truncated _ | Frame.Malformed _) -> ()
+  | Error (Frame.Oversized _) -> fail "truncation misread as oversized"
+  | Ok _ -> fail "truncated frame decoded");
+  let corrupted =
+    write_with_fault { Netfault.none with Netfault.seed = 3; corrupt = 1.0 } payload
+  in
+  check Alcotest.int "corruption preserves length" (String.length clean) (String.length corrupted);
+  check Alcotest.bool "corruption flips a byte" true (corrupted <> clean)
+
+(* ------------------------------------------------------------------ *)
 (* Protocol codec: property-tested round-trips *)
 
 let gen_finite_float =
@@ -144,8 +239,21 @@ let gen_submit =
     let* starts = int_range 1 16 in
     let* deadline_s = opt gen_finite_float in
     let* label = opt gen_wire_string in
+    let* priority = oneofl [ Protocol.Interactive; Protocol.Batch ] in
     return
-      { Protocol.netlist; timing; rows; cols; slack; iterations; seed; starts; deadline_s; label })
+      {
+        Protocol.netlist;
+        timing;
+        rows;
+        cols;
+        slack;
+        iterations;
+        seed;
+        starts;
+        deadline_s;
+        label;
+        priority;
+      })
 
 let gen_request =
   QCheck.Gen.(
@@ -153,9 +261,10 @@ let gen_request =
       [
         map (fun s -> Protocol.Submit s) gen_submit;
         map (fun id -> Protocol.Status id) gen_wire_string;
-        map (fun id -> Protocol.Events id) gen_wire_string;
+        map2 (fun job since -> Protocol.Events { job; since }) gen_wire_string (int_range 0 3);
         map (fun id -> Protocol.Cancel id) gen_wire_string;
         return Protocol.Metrics;
+        return Protocol.Heartbeat;
         return Protocol.Drain;
       ])
 
@@ -174,6 +283,7 @@ let gen_error_code =
       Protocol.Solver_error;
       Protocol.Oversized;
       Protocol.Malformed;
+      Protocol.Unavailable;
       Protocol.Internal;
     ]
 
@@ -192,6 +302,7 @@ let gen_job_view =
     let* error = opt gen_wire_string in
     let* checkpoint = opt gen_wire_string in
     let* assignment = opt (array_size (int_range 0 20) (int_range 0 63)) in
+    let* resumed_from = opt gen_wire_string in
     return
       {
         Protocol.id;
@@ -207,6 +318,7 @@ let gen_job_view =
         error;
         checkpoint;
         assignment;
+        resumed_from;
       })
 
 let gen_metrics_view =
@@ -229,6 +341,7 @@ let gen_metrics_view =
     in
     (* field names must be unique for an honest object round-trip *)
     let fallbacks = List.sort_uniq (fun (a, _) (b, _) -> compare a b) fallbacks in
+    let* shed = int_range 0 50 in
     return
       {
         Protocol.accepted;
@@ -244,7 +357,17 @@ let gen_metrics_view =
         max_wall;
         uptime_seconds;
         fallbacks;
+        shed;
       })
+
+let gen_heartbeat_view =
+  QCheck.Gen.(
+    let* shard = gen_wire_string in
+    let* uptime = gen_finite_float in
+    let* hb_queue_depth = int_range 0 64 in
+    let* hb_running = int_range 0 16 in
+    let* hb_draining = bool in
+    return { Protocol.shard; uptime; hb_queue_depth; hb_running; hb_draining })
 
 let gen_response =
   QCheck.Gen.(
@@ -259,6 +382,7 @@ let gen_response =
          let* state = gen_job_state in
          let* detail = opt gen_wire_string in
          return (Protocol.Event { job; seq; state; detail }));
+        map (fun hb -> Protocol.Heartbeat_ack hb) gen_heartbeat_view;
         return Protocol.Drain_ack;
         (let* code = gen_error_code in
          let* message = gen_wire_string in
@@ -300,45 +424,110 @@ let test_protocol_rejects () =
     ]
 
 let test_protocol_tolerates_unknown_fields () =
-  match Protocol.decode_request "{\"v\":1,\"op\":\"status\",\"job\":\"j1\",\"future\":true}" with
+  (match Protocol.decode_request "{\"v\":1,\"op\":\"status\",\"job\":\"j1\",\"future\":true}" with
   | Ok (Protocol.Status "j1") -> ()
+  | Ok _ -> fail "wrong parse"
+  | Error e -> fail e);
+  (* an unknown priority class degrades to batch, not to an error *)
+  (match
+     Protocol.decode_request
+       "{\"v\":2,\"op\":\"submit\",\"netlist\":{\"inline\":\"x\"},\"priority\":\"turbo\"}"
+   with
+  | Ok (Protocol.Submit s) ->
+    check Alcotest.string "unknown priority is batch" "batch"
+      (Protocol.priority_to_string s.Protocol.priority)
+  | Ok _ -> fail "wrong parse"
+  | Error e -> fail e);
+  (* heartbeat acks from a future daemon may carry extra fields *)
+  (match
+     Protocol.decode_response
+       "{\"v\":3,\"type\":\"heartbeat_ack\",\"shard\":\"s1\",\"uptime_seconds\":1.5,\
+        \"queue_depth\":2,\"running\":1,\"draining\":false,\"load_avg\":0.9}"
+   with
+  | Ok (Protocol.Heartbeat_ack hb) ->
+    check Alcotest.string "shard survives" "s1" hb.Protocol.shard;
+    check Alcotest.int "queue depth survives" 2 hb.Protocol.hb_queue_depth
+  | Ok _ -> fail "wrong parse"
+  | Error e -> fail e);
+  (* events without [since] mean the full stream *)
+  match Protocol.decode_request "{\"v\":2,\"op\":\"events\",\"job\":\"j9\"}" with
+  | Ok (Protocol.Events { job = "j9"; since = 0 }) -> ()
   | Ok _ -> fail "wrong parse"
   | Error e -> fail e
 
 (* ------------------------------------------------------------------ *)
 (* Queue *)
 
+let push_batch q x = Squeue.push q ~priority:Protocol.Batch x
+let push_inter q x = Squeue.push q ~priority:Protocol.Interactive x
+
 let test_queue_fifo () =
-  let q = Squeue.create ~capacity:3 in
+  let q = Squeue.create ~capacity:3 () in
   check Alcotest.int "capacity" 3 (Squeue.capacity q);
-  (match Squeue.push q 1 with Squeue.Accepted 1 -> () | _ -> fail "push 1");
-  (match Squeue.push q 2 with Squeue.Accepted 2 -> () | _ -> fail "push 2");
-  (match Squeue.push q 3 with Squeue.Accepted 3 -> () | _ -> fail "push 3");
-  (match Squeue.push q 4 with Squeue.Overloaded -> () | _ -> fail "capacity not enforced");
+  (match push_batch q 1 with Squeue.Accepted { depth = 1; shed = None } -> () | _ -> fail "push 1");
+  (match push_batch q 2 with Squeue.Accepted { depth = 2; shed = None } -> () | _ -> fail "push 2");
+  (match push_batch q 3 with Squeue.Accepted { depth = 3; shed = None } -> () | _ -> fail "push 3");
+  (match push_batch q 4 with Squeue.Overloaded -> () | _ -> fail "capacity not enforced");
   check Alcotest.int "length" 3 (Squeue.length q);
   check Alcotest.(option int) "fifo 1" (Some 1) (Squeue.pop q);
-  (match Squeue.push q 4 with Squeue.Accepted 3 -> () | _ -> fail "slot freed");
+  (match push_batch q 4 with Squeue.Accepted { depth = 3; shed = None } -> () | _ -> fail "slot freed");
   check Alcotest.(option int) "fifo 2" (Some 2) (Squeue.pop q);
   check Alcotest.(option int) "fifo 3" (Some 3) (Squeue.pop q);
   check Alcotest.(option int) "fifo 4" (Some 4) (Squeue.pop q)
 
 let test_queue_zero_capacity () =
-  let q = Squeue.create ~capacity:0 in
-  match Squeue.push q () with
+  let q = Squeue.create ~capacity:0 () in
+  (match push_batch q () with
   | Squeue.Overloaded -> ()
-  | _ -> fail "zero-capacity queue accepted a push"
+  | _ -> fail "zero-capacity queue accepted a batch push");
+  match push_inter q () with
+  | Squeue.Overloaded -> ()
+  | _ -> fail "zero-capacity queue accepted an interactive push"
+
+let test_queue_priority_weighting () =
+  (* weight 2: two interactive pops, then one batch pop is forced, so
+     neither class starves the other *)
+  let q = Squeue.create ~weight:2 ~capacity:8 () in
+  List.iter (fun i -> ignore (push_batch q i)) [ 1; 2; 3; 4 ];
+  List.iter (fun i -> ignore (push_inter q i)) [ 5; 6; 7; 8 ];
+  let order = List.init 8 (fun _ -> Option.get (Squeue.pop q)) in
+  check Alcotest.(list int) "deficit-weighted interleave" [ 5; 6; 1; 7; 8; 2; 3; 4 ] order
+
+let test_queue_shed () =
+  let q = Squeue.create ~capacity:2 () in
+  ignore (push_batch q 1);
+  ignore (push_batch q 2);
+  (* an interactive arrival at capacity evicts the newest batch job *)
+  (match push_inter q 10 with
+  | Squeue.Accepted { depth = 2; shed = Some 2 } -> ()
+  | Squeue.Accepted { depth; shed } ->
+    fail
+      (Printf.sprintf "wrong shed: depth=%d shed=%s" depth
+         (match shed with Some v -> string_of_int v | None -> "none"))
+  | _ -> fail "interactive push refused despite sheddable batch work");
+  (* a second one evicts the remaining batch job *)
+  (match push_inter q 11 with
+  | Squeue.Accepted { shed = Some 1; _ } -> ()
+  | _ -> fail "second shed");
+  (* nothing sheddable left: interactive arrivals now overload too *)
+  (match push_inter q 12 with
+  | Squeue.Overloaded -> ()
+  | _ -> fail "interactive push must not shed interactive work");
+  check Alcotest.(option int) "older interactive first" (Some 10) (Squeue.pop q);
+  check Alcotest.(option int) "then the newer" (Some 11) (Squeue.pop q)
 
 let test_queue_drain () =
-  let q = Squeue.create ~capacity:8 in
-  List.iter (fun i -> ignore (Squeue.push q i)) [ 1; 2; 3 ];
-  check Alcotest.(list int) "leftovers in FIFO order" [ 1; 2; 3 ] (Squeue.drain q);
+  let q = Squeue.create ~capacity:8 () in
+  List.iter (fun i -> ignore (push_batch q i)) [ 1; 2; 3 ];
+  ignore (push_inter q 9);
+  check Alcotest.(list int) "leftovers, interactive lane first" [ 9; 1; 2; 3 ] (Squeue.drain q);
   check Alcotest.bool "draining" true (Squeue.is_draining q);
-  (match Squeue.push q 9 with Squeue.Draining -> () | _ -> fail "admission not closed");
+  (match push_batch q 9 with Squeue.Draining -> () | _ -> fail "admission not closed");
   check Alcotest.(option int) "pop after drain" None (Squeue.pop q);
   check Alcotest.(list int) "drain idempotent" [] (Squeue.drain q)
 
 let test_queue_drain_wakes_blocked_pop () =
-  let q : int Squeue.t = Squeue.create ~capacity:4 in
+  let q : int Squeue.t = Squeue.create ~capacity:4 () in
   let result = ref (Some 0) in
   let th = Thread.create (fun () -> result := Squeue.pop q) () in
   Thread.delay 0.05;
@@ -459,7 +648,7 @@ let test_e2e_serving_contract () =
   @@ fun () ->
   let text = netlist_text ~n:40 ~wires:120 ~seed:11 in
   let connect () =
-    match Client.connect ~socket_path with
+    match Client.connect (Client.Unix_socket socket_path) with
     | Ok c -> c
     | Error e -> fail ("connect: " ^ e)
   in
@@ -529,7 +718,7 @@ let test_e2e_serving_contract () =
   | None -> fail "j2 has no assignment");
 
   (* the events stream for a finished job terminates with its view *)
-  (match Client.call a (Protocol.Events j2) with
+  (match Client.call a (Protocol.Events { job = j2; since = 0 }) with
   | Error e -> fail ("events: " ^ e)
   | Ok first ->
     let rec last = function
@@ -595,7 +784,7 @@ let test_e2e_serving_contract () =
   finished := true;
   Client.close a;
   check Alcotest.bool "socket unlinked after drain" false (Sys.file_exists socket_path);
-  (match Client.connect ~socket_path with
+  (match Client.connect ~connect_timeout:1.0 (Client.Unix_socket socket_path) with
   | Error _ -> ()
   | Ok _ -> fail "daemon still accepting after drain");
   let s = Server.snapshot server in
@@ -613,7 +802,11 @@ let test_drain_cancels_queued_jobs () =
   in
   let serve_thread = Thread.create Server.serve server in
   let text = netlist_text ~n:30 ~wires:80 ~seed:5 in
-  let c = match Client.connect ~socket_path with Ok c -> c | Error e -> fail e in
+  let c =
+    match Client.connect (Client.Unix_socket socket_path) with
+    | Ok c -> c
+    | Error e -> fail e
+  in
   let long_spec = { (small_grid (base_spec text)) with Protocol.starts = 4000; iterations = 80 } in
   let j1 = job_of_submit (call_ok c (Protocol.Submit long_spec)) in
   wait_for
@@ -643,6 +836,344 @@ let test_drain_cancels_queued_jobs () =
   Client.close c
 
 (* ------------------------------------------------------------------ *)
+(* Client hardening: a server that accepts and then goes silent *)
+
+let test_client_hung_server_timeout () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "hung.sock" in
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 4;
+  let stop = Atomic.make false in
+  let mu = Mutex.create () in
+  let accepted = ref [] in
+  let th =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          match Unix.select [ lfd ] [] [] 0.05 with
+          | [], _, _ -> ()
+          | _ -> (
+            (* accept, then never write a byte back *)
+            match Unix.accept lfd with
+            | fd, _ ->
+              Mutex.lock mu;
+              accepted := fd :: !accepted;
+              Mutex.unlock mu
+            | exception Unix.Unix_error _ -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join th;
+      Mutex.lock mu;
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !accepted;
+      Mutex.unlock mu;
+      Unix.close lfd)
+  @@ fun () ->
+  (* a single call times out with a structured message, never hangs *)
+  (match Client.connect ~read_timeout:0.3 (Client.Unix_socket path) with
+  | Error e -> fail ("connect: " ^ e)
+  | Ok c ->
+    let t0 = Unix.gettimeofday () in
+    let r = Client.call c Protocol.Heartbeat in
+    Client.close c;
+    (match r with
+    | Ok _ -> fail "a silent server produced a response"
+    | Error m ->
+      check Alcotest.bool ("timeout is structured: " ^ m) true (contains ~needle:"timed out" m);
+      check Alcotest.bool "deadline honoured" true (Unix.gettimeofday () -. t0 < 5.0)));
+  (* request-level retries stay bounded and report the attempt count *)
+  match
+    Client.request
+      ~backoff:
+        { Client.default_backoff with Client.attempts = 2; base_delay = 0.01; max_delay = 0.02 }
+      ~read_timeout:0.2 (Client.Unix_socket path) Protocol.Metrics
+  with
+  | Ok _ -> fail "retrying against a silent server succeeded"
+  | Error m ->
+    check Alcotest.bool ("attempts reported: " ^ m) true (contains ~needle:"2 attempts" m)
+
+(* ------------------------------------------------------------------ *)
+(* Failover: a replacement shard resumes the dead shard's job from the
+   replicated checkpoint store, bit-identical to an uninterrupted run *)
+
+let test_failover_resumes_bit_identical () =
+  let dir = temp_dir () in
+  let store = Filename.concat dir "store" in
+  Unix.mkdir store 0o700;
+  let live = ref [] in
+  let start_shard name ~replicate =
+    let socket_path = Filename.concat dir (name ^ ".sock") in
+    let ckpt_dir = Filename.concat dir (name ^ "-ckpts") in
+    Unix.mkdir ckpt_dir 0o700;
+    let config =
+      { (Server.default_config ~socket_path) with Server.max_queue = 4; workers = 1;
+        checkpoint_dir = ckpt_dir; replicate_dir = replicate; shard_id = name }
+    in
+    match Server.create config with
+    | Error e -> fail ("server create: " ^ e)
+    | Ok s ->
+      let th = Thread.create Server.serve s in
+      live := (s, th) :: !live;
+      (s, socket_path, th)
+  in
+  let connect path =
+    match Client.connect (Client.Unix_socket path) with
+    | Ok c -> c
+    | Error e -> fail ("connect: " ^ e)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (s, th) ->
+          Server.request_drain s;
+          Thread.join th)
+        !live)
+  @@ fun () ->
+  let text = netlist_text ~n:40 ~wires:120 ~seed:11 in
+  let spec =
+    { (small_grid (base_spec text)) with
+      Protocol.starts = 40; iterations = 1500; seed = 21; label = Some "failover" }
+  in
+  (* shard A starts the portfolio, replicating each checkpoint into the
+     shared store, then dies mid-flight (drain stands in for SIGKILL —
+     either way the store is all a replacement gets to use) *)
+  let a, sock_a, th_a = start_shard "shard-a" ~replicate:(Some store) in
+  let ca = connect sock_a in
+  let _j1 = job_of_submit (call_ok ca (Protocol.Submit spec)) in
+  wait_for (fun () -> Array.length (Sys.readdir store) > 0) "a checkpoint to reach the store";
+  Server.request_drain a;
+  Thread.join th_a;
+  Client.close ca;
+  (* the replacement shard finds the dead shard's checkpoint in the
+     store (keyed by instance hash) and resumes it *)
+  let _b, sock_b, _th_b = start_shard "shard-b" ~replicate:(Some store) in
+  let cb = connect sock_b in
+  let j2 = job_of_submit (call_ok cb (Protocol.Submit spec)) in
+  let v2 =
+    match Client.wait ~timeout:120.0 cb j2 with
+    | Ok v -> v
+    | Error e -> fail ("waiting on shard B: " ^ e)
+  in
+  Client.close cb;
+  check Alcotest.string "resumed job done" "done" (Protocol.job_state_to_string v2.Protocol.state);
+  check Alcotest.(option bool) "resumed job certified" (Some true) v2.Protocol.certified;
+  (match v2.Protocol.resumed_from with
+  | Some _ -> ()
+  | None -> fail "replacement shard did not resume from the store");
+  (* an untouched single-node run of the same spec *)
+  let _c, sock_c, _th_c = start_shard "shard-c" ~replicate:None in
+  let cc = connect sock_c in
+  let j3 = job_of_submit (call_ok cc (Protocol.Submit spec)) in
+  let v3 =
+    match Client.wait ~timeout:120.0 cc j3 with
+    | Ok v -> v
+    | Error e -> fail ("waiting on shard C: " ^ e)
+  in
+  Client.close cc;
+  check Alcotest.string "fresh job done" "done" (Protocol.job_state_to_string v3.Protocol.state);
+  check Alcotest.(option bool) "fresh job certified" (Some true) v3.Protocol.certified;
+  (match v3.Protocol.resumed_from with
+  | None -> ()
+  | Some _ -> fail "fresh run claims a resume");
+  (* the failover answer is the uninterrupted answer, to the last bit *)
+  let bits what = function
+    | Some c -> Int64.bits_of_float c
+    | None -> fail (what ^ " carried no cost")
+  in
+  check Alcotest.bool "identical certified cost, bit for bit" true
+    (Int64.equal (bits "resumed" v2.Protocol.cost) (bits "fresh" v3.Protocol.cost));
+  match (v2.Protocol.assignment, v3.Protocol.assignment) with
+  | Some x, Some y -> check Alcotest.bool "identical assignment" true (x = y)
+  | _ -> fail "missing assignment"
+
+(* ------------------------------------------------------------------ *)
+(* Router: submit through the front door, kill the owning shard, and
+   watch the job fail over to the survivor *)
+
+(* A scripted fake shard: accepts the submit, acks heartbeats, then
+   vanishes when [alive] is cleared — the in-process stand-in for a
+   SIGKILLed worker.  The router opens a fresh connection per forward,
+   so each connection answers at most a few frames. *)
+let fake_shard path ~alive =
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 8;
+  Thread.create
+    (fun () ->
+      let conns = ref [] in
+      while Atomic.get alive do
+        match Unix.select [ lfd ] [] [] 0.05 with
+        | [], _, _ -> ()
+        | _ -> (
+          match Unix.accept lfd with
+          | fd, _ ->
+            (* bound every read so a dead router never wedges the test *)
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0;
+            let th =
+              Thread.create
+                (fun () ->
+                  let ic = Unix.in_channel_of_descr fd in
+                  let oc = Unix.out_channel_of_descr fd in
+                  (try
+                     let rec loop () =
+                       match Frame.read ic with
+                       | Ok payload when Atomic.get alive ->
+                         (match Protocol.decode_request payload with
+                         | Ok (Protocol.Submit _) ->
+                           Frame.write oc
+                             (Protocol.encode_response
+                                (Protocol.Submitted { job = "f1"; queue_depth = 0 }))
+                         | Ok Protocol.Heartbeat ->
+                           Frame.write oc
+                             (Protocol.encode_response
+                                (Protocol.Heartbeat_ack
+                                   {
+                                     Protocol.shard = "fake";
+                                     uptime = 1.0;
+                                     hb_queue_depth = 0;
+                                     hb_running = 1;
+                                     hb_draining = false;
+                                   }))
+                         | Ok (Protocol.Status id) ->
+                           Frame.write oc
+                             (Protocol.encode_response
+                                (Protocol.Job
+                                   {
+                                     Protocol.id;
+                                     state = Protocol.Running;
+                                     label = None;
+                                     queued_seconds = 0.0;
+                                     wall_seconds = 0.1;
+                                     cost = None;
+                                     certified = None;
+                                     interrupted = false;
+                                     winner = None;
+                                     stages = [];
+                                     error = None;
+                                     checkpoint = None;
+                                     assignment = None;
+                                     resumed_from = None;
+                                   }))
+                         | _ -> ());
+                         loop ()
+                       | _ -> ()
+                     in
+                     loop ()
+                   with Sys_error _ | Unix.Unix_error _ -> ());
+                  try Unix.close fd with Unix.Unix_error _ -> ())
+                ()
+            in
+            conns := th :: !conns
+          | exception Unix.Unix_error _ -> ())
+      done;
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      List.iter Thread.join !conns)
+    ()
+
+let test_router_failover () =
+  let dir = temp_dir () in
+  let fake_sock = Filename.concat dir "fake.sock" in
+  let real_sock = Filename.concat dir "real.sock" in
+  let router_sock = Filename.concat dir "router.sock" in
+  let fake_alive = Atomic.make true in
+  let fake_th = fake_shard fake_sock ~alive:fake_alive in
+  (* the "real" shard is down at submit time, so the placement lands on
+     the fake one no matter where the ring points first *)
+  let rconfig =
+    {
+      (Router.default_config ~socket_path:router_sock
+         ~shards:
+           [ ("real", Client.Unix_socket real_sock); ("fake", Client.Unix_socket fake_sock) ])
+      with
+      Router.hb_interval = 0.1;
+      forward_connect_timeout = 0.5;
+      forward_read_timeout = 2.0;
+    }
+  in
+  let router =
+    match Router.create rconfig with Ok r -> r | Error e -> fail ("router create: " ^ e)
+  in
+  let router_th = Thread.create Router.serve router in
+  let real = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.request_drain router;
+      Thread.join router_th;
+      (match !real with
+      | Some (s, th) ->
+        Server.request_drain s;
+        Thread.join th
+      | None -> ());
+      Atomic.set fake_alive false;
+      Thread.join fake_th)
+  @@ fun () ->
+  let c =
+    match Client.connect (Client.Unix_socket router_sock) with
+    | Ok c -> c
+    | Error e -> fail ("connect to router: " ^ e)
+  in
+  (* the router answers heartbeats with its own identity *)
+  (match call_ok c Protocol.Heartbeat with
+  | Protocol.Heartbeat_ack hb -> check Alcotest.string "router identity" "qbpart-router" hb.Protocol.shard
+  | r -> fail (Format.asprintf "expected heartbeat ack, got %a" Protocol.pp_response r));
+  let text = netlist_text ~n:30 ~wires:80 ~seed:5 in
+  let spec = { (small_grid (base_spec text)) with Protocol.iterations = 60; seed = 4 } in
+  let j = job_of_submit (call_ok c (Protocol.Submit spec)) in
+  check Alcotest.bool "router ids live in their own namespace" true
+    (String.length j > 0 && j.[0] = 'r');
+  (* the fake shard holds the job; now bring up the survivor and kill
+     the fake — the health loop must declare it dead and re-place the
+     orphan, which then runs to completion on the real shard *)
+  let real_config =
+    { (Server.default_config ~socket_path:real_sock) with Server.max_queue = 4; workers = 1;
+      checkpoint_dir = dir; shard_id = "real" }
+  in
+  (match Server.create real_config with
+  | Ok s -> real := Some (s, Thread.create Server.serve s)
+  | Error e -> fail ("real shard create: " ^ e));
+  Atomic.set fake_alive false;
+  let v =
+    match Client.wait ~timeout:60.0 c j with
+    | Ok v -> v
+    | Error e -> fail ("waiting through the router: " ^ e)
+  in
+  check Alcotest.string "failed-over job done" "done" (Protocol.job_state_to_string v.Protocol.state);
+  check Alcotest.(option bool) "failed-over job certified" (Some true) v.Protocol.certified;
+  check Alcotest.string "view carries the router id" j v.Protocol.id;
+  (* unknown ids are a structured not_found, as on a single daemon *)
+  (match call_ok c (Protocol.Status "r999") with
+  | Protocol.Error { code = Protocol.Not_found; _ } -> ()
+  | r -> fail (Format.asprintf "expected not_found, got %a" Protocol.pp_response r));
+  (* metrics aggregate the live fleet *)
+  (match call_ok c Protocol.Metrics with
+  | Protocol.Metrics_snapshot m -> check Alcotest.bool "fleet accepted >= 1" true (m.Protocol.accepted >= 1)
+  | r -> fail (Format.asprintf "expected metrics, got %a" Protocol.pp_response r));
+  (* the events stream through the router terminates on the job view *)
+  (match Client.call c (Protocol.Events { job = j; since = 0 }) with
+  | Error e -> fail ("events: " ^ e)
+  | Ok first ->
+    let rec last = function
+      | Protocol.Job v -> v
+      | Protocol.Event _ -> (
+        match Client.read_response c with
+        | Ok r -> last r
+        | Error e -> fail ("event stream: " ^ e))
+      | r -> fail (Format.asprintf "unexpected stream frame %a" Protocol.pp_response r)
+    in
+    check Alcotest.string "stream ends terminal" "done"
+      (Protocol.job_state_to_string (last first).Protocol.state));
+  (* drain through the front door winds down the whole fleet *)
+  (match call_ok c Protocol.Drain with
+  | Protocol.Drain_ack -> ()
+  | r -> fail (Format.asprintf "expected drain ack, got %a" Protocol.pp_response r));
+  Client.close c
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -658,6 +1189,12 @@ let () =
         Alcotest.test_case "limits and malformed input" `Quick test_frame_limits
         :: Alcotest.test_case "back-to-back frames" `Quick test_frame_sequence
         :: qsuite [ test_frame_round_trip; test_frame_truncation ] );
+      ( "netfault",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_netfault_spec;
+          Alcotest.test_case "seeded schedules are reproducible" `Quick test_netfault_determinism;
+          Alcotest.test_case "faults applied at the frame layer" `Quick test_netfault_frame_write;
+        ] );
       ( "protocol",
         Alcotest.test_case "rejects malformed requests" `Quick test_protocol_rejects
         :: Alcotest.test_case "tolerates unknown fields" `Quick test_protocol_tolerates_unknown_fields
@@ -666,14 +1203,28 @@ let () =
         [
           Alcotest.test_case "fifo and overload" `Quick test_queue_fifo;
           Alcotest.test_case "zero capacity" `Quick test_queue_zero_capacity;
+          Alcotest.test_case "priority weighting" `Quick test_queue_priority_weighting;
+          Alcotest.test_case "interactive sheds newest batch" `Quick test_queue_shed;
           Alcotest.test_case "drain semantics" `Quick test_queue_drain;
           Alcotest.test_case "drain wakes blocked pop" `Quick test_queue_drain_wakes_blocked_pop;
         ] );
       ("metrics", [ Alcotest.test_case "snapshot" `Quick test_metrics_snapshot ]);
       ("scheduler", [ Alcotest.test_case "spec validation" `Quick test_scheduler_validation ]);
+      ( "client",
+        [
+          Alcotest.test_case "hung server times out, retries stay bounded" `Slow
+            test_client_hung_server_timeout;
+        ] );
       ( "e2e",
         [
           Alcotest.test_case "serving contract" `Slow test_e2e_serving_contract;
           Alcotest.test_case "drain cancels queued jobs" `Slow test_drain_cancels_queued_jobs;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "failover resumes bit-identical" `Slow
+            test_failover_resumes_bit_identical;
+          Alcotest.test_case "router fails a job over to the survivor" `Slow
+            test_router_failover;
         ] );
     ]
