@@ -39,8 +39,10 @@ module Qmatrix = Qbpart_core.Qmatrix
 module Burkard = Qbpart_core.Burkard
 module Certify = Qbpart_core.Certify
 module Gains = Qbpart_baselines.Gains
+module Buckets = Qbpart_baselines.Buckets
 module Gfm = Qbpart_baselines.Gfm
 module Gkl = Qbpart_baselines.Gkl
+module Race = Qbpart_gap.Race
 module Circuits = Qbpart_experiments.Circuits
 module Runner = Qbpart_experiments.Runner
 module Report = Qbpart_experiments.Report
@@ -332,8 +334,10 @@ let sweeps quick =
 (* ------------------------------------------------------------------ *)
 (* Bechamel kernel micro-benchmarks *)
 
-let kernels inst =
-  section "Kernel micro-benchmarks (bechamel)";
+let kernels ?(baselines_only = false) inst =
+  section
+    (if baselines_only then "Baseline kernel micro-benchmarks (bechamel)"
+     else "Kernel micro-benchmarks (bechamel)");
   let open Bechamel in
   let open Toolkit in
   let nl = inst.Circuits.netlist and topo = inst.Circuits.topology in
@@ -358,6 +362,12 @@ let kernels inst =
      patch cost, not an amortized recompute *)
   let st = Qmatrix.eta_state ~resync_every:max_int q u in
   let gains = Gains.create nl topo u in
+  (* gain-bucket structure over the same maintained gains state: the
+     selection rows below race it against the GFM-style row scan *)
+  let buckets = Buckets.create nl topo gains in
+  Buckets.reset buckets;
+  let bucket_legal ~j ~target = Gains.move_fits gains topo ~j ~target in
+  let rws = Race.workspace ~m ~n in
   (* the busiest component: worst case for the O(deg) delta kernels,
      so the delta-vs-full ratio below is a lower bound *)
   let j_hot = ref 0 in
@@ -433,6 +443,43 @@ let kernels inst =
              Gains.apply_move gains ~j ~target:from));
     ]
   in
+  let baseline_tests =
+    [
+      (* GFM/GKL move selection: the lexicographic row scan from gfm.ml
+         (delta compared first, feasibility checked lazily) vs the
+         bucket best_move over the same gains state *)
+      Test.make ~name:"gains move selection (row scan)"
+        (Staged.stage (fun () ->
+             let a = Gains.assignment gains in
+             let best_j = ref (-1) and best_i = ref (-1) in
+             let best_d = ref infinity in
+             for j = 0 to n - 1 do
+               let from = a.(j) in
+               for i = 0 to m - 1 do
+                 if i <> from then begin
+                   let d = Gains.move_delta gains ~j ~target:i in
+                   if d < !best_d && Gains.move_fits gains topo ~j ~target:i then begin
+                     best_d := d;
+                     best_j := j;
+                     best_i := i
+                   end
+                 end
+               done
+             done;
+             (!best_j, !best_i)));
+      Test.make ~name:"gains move selection (buckets)"
+        (Staged.stage (fun () -> Buckets.best_move buckets ~legal:bucket_legal));
+      (* the Burkard default GAP path (MTHG with the two-criteria
+         cascade) vs the per-iteration solver race *)
+      Test.make ~name:"mthg solve_relaxed (cost+weight, pooled ws)"
+        (Staged.stage (fun () ->
+             Mthg.solve_relaxed ~ws:mws ~criteria:[ Mthg.Cost; Mthg.Weight ] ~improve:`Shift
+               gap));
+      Test.make ~name:"gap race (pooled ws)"
+        (Staged.stage (fun () -> Race.solve_relaxed ~ws:rws gap));
+    ]
+  in
+  let tests = if baselines_only then baseline_tests else tests @ baseline_tests in
   let benchmark test =
     let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
     let instances = Instance.[ monotonic_clock ] in
@@ -482,6 +529,20 @@ let kernels inst =
       "  per-iteration inner loop (eta maintenance + construct + solve):@.\
       \    incremental+pooled %8.0f ns   recompute+allocating %8.0f ns   (%.1fx)@."
       now before (before /. Float.max 1.0 now)
+  | _ -> ());
+  (match
+     ( List.assoc_opt "gains move selection (row scan)" estimates,
+       List.assoc_opt "gains move selection (buckets)" estimates )
+   with
+  | Some scan, Some buck when buck > 0.0 ->
+    Format.printf "  bucket move selection speedup over row scan: %.1fx@." (scan /. buck)
+  | _ -> ());
+  (match
+     ( List.assoc_opt "mthg solve_relaxed (cost+weight, pooled ws)" estimates,
+       List.assoc_opt "gap race (pooled ws)" estimates )
+   with
+  | Some mthg, Some race when race > 0.0 ->
+    Format.printf "  GAP race speedup over default MTHG (cost+weight): %.2fx@." (mthg /. race)
   | _ -> ());
   estimates
 
@@ -733,12 +794,19 @@ let () =
   let quick = flag "--quick" in
   let only_portfolio = flag "--only-portfolio" in
   let only_server = flag "--only-server" in
+  let only_baselines = flag "--only-baselines" in
   let t0 = Sys.time () in
   let wall0 = Unix.gettimeofday () in
   let kernel_stats = ref [] in
   let portfolio_stats = ref None in
   let server_stats = ref None in
   if only_server then server_stats := Some (server_throughput quick)
+  else if only_baselines then begin
+    (* CI smoke: just the GFM/GKL selection and GAP-race kernel rows *)
+    Format.printf "building ckta (baseline kernels)...@.";
+    let inst = Circuits.build (List.hd Circuits.table1) in
+    kernel_stats := kernels ~baselines_only:true inst
+  end
   else if only_portfolio then begin
     Format.printf "building %s...@." (if quick then "ckta" else "ckta (kernels)");
     let inst = Circuits.build (List.hd Circuits.table1) in
@@ -820,7 +888,49 @@ let () =
           ]
         | _ -> []
       in
-      base @ inner
+      let inner_race =
+        match
+          ( List.assoc_opt "eta_sync (2x 16-component jump)" !kernel_stats,
+            List.assoc_opt "gap race (pooled ws)" !kernel_stats )
+        with
+        | Some sync, Some race ->
+          (* Burkard solves two GAPs per iteration (STEP 4 and STEP 6),
+             so the raced inner loop is maintenance + two race calls *)
+          [ ("inner_loop_race_ns", Json.Float ((sync /. 2.0) +. (2.0 *. race))) ]
+        | _ -> []
+      in
+      base @ inner @ inner_race
+    in
+    (* the baseline-kernel subset also emitted by [--only-baselines],
+       gated separately in CI via [compare --summary baselines_summary] *)
+    let baselines_summary =
+      let selection =
+        match
+          ( List.assoc_opt "gains move selection (row scan)" !kernel_stats,
+            List.assoc_opt "gains move selection (buckets)" !kernel_stats )
+        with
+        | Some scan, Some buck when buck > 0.0 ->
+          [
+            ("gains_select_scan_ns", Json.Float scan);
+            ("gains_select_buckets_ns", Json.Float buck);
+            ("gains_select_speedup", Json.Float (scan /. buck));
+          ]
+        | _ -> []
+      in
+      let race =
+        match
+          ( List.assoc_opt "mthg solve_relaxed (cost+weight, pooled ws)" !kernel_stats,
+            List.assoc_opt "gap race (pooled ws)" !kernel_stats )
+        with
+        | Some mthg, Some race when race > 0.0 ->
+          [
+            ("gap_mthg_default_ns", Json.Float mthg);
+            ("gap_race_ns", Json.Float race);
+            ("gap_race_speedup", Json.Float (mthg /. race));
+          ]
+        | _ -> []
+      in
+      selection @ race
     in
     let doc =
       Json.Obj
@@ -830,6 +940,8 @@ let () =
            ("kernels", kernels_json);
          ]
         @ (if summary = [] then [] else [ ("kernels_summary", Json.Obj summary) ])
+        @ (if baselines_summary = [] then []
+           else [ ("baselines_summary", Json.Obj baselines_summary) ])
         @ (match !portfolio_stats with
           | Some p -> [ ("portfolio", p) ]
           | None -> [])

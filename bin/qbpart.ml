@@ -151,8 +151,8 @@ let emit_assignment nl topo assignment out =
       Ok ())
 
 let solve_cmd =
-  let run path timing rows cols slack algorithm iterations seed deadline fallback starts
-      jobs retries checkpoint every resume out =
+  let run path timing rows cols slack algorithm iterations seed gap_race deadline fallback
+      starts jobs retries checkpoint every resume out =
     let* nl = load_netlist path in
     let* constraints = load_constraints nl timing in
     let* () =
@@ -172,6 +172,14 @@ let solve_cmd =
         else Ok ()
     in
     let jobs = if jobs = 0 then None else Some jobs in
+    let qbp_config =
+      {
+        Burkard.Config.default with
+        iterations;
+        seed;
+        gap_race = (if gap_race then Some Qbpart_gap.Race.default else None);
+      }
+    in
     let topo = grid_topology nl ~rows ~cols ~slack in
     (* a checkpointed or resumed solve always runs the full engine: the
        checkpoint format records engine-level state (safety net,
@@ -205,7 +213,7 @@ let solve_cmd =
         let config =
           {
             Engine.Config.default with
-            qbp = { Burkard.Config.default with iterations; seed };
+            qbp = qbp_config;
             starts;
             jobs;
             retries;
@@ -276,18 +284,16 @@ let solve_cmd =
                keeps each start a plain (non-continuation) Burkard run,
                matching the single-start branch below *)
             let problem = Problem.make ?constraints nl topo in
-            let config = { Burkard.Config.default with iterations; seed } in
             let result =
-              Portfolio.solve ~config ~max_rounds:1 ?jobs ~starts ~initial ~should_stop
-                problem
+              Portfolio.solve ~config:qbp_config ~max_rounds:1 ?jobs ~starts ~initial
+                ~should_stop problem
             in
             (match result.Portfolio.best_feasible with
             | Some (a, _) -> a
             | None -> initial)
           | `Qbp ->
             let problem = Problem.make ?constraints nl topo in
-            let config = { Burkard.Config.default with iterations; seed } in
-            let result = Burkard.solve ~config ~initial ~should_stop problem in
+            let result = Burkard.solve ~config:qbp_config ~initial ~should_stop problem in
             (match result.Burkard.best_feasible with
             | Some (a, _) -> a
             | None -> initial)
@@ -322,6 +328,13 @@ let solve_cmd =
   in
   let iterations = Arg.(value & opt int 100 & info [ "iterations" ] ~doc:"QBP iterations.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let gap_race =
+    Arg.(value & flag & info [ "gap-race" ]
+           ~doc:"Race the inner GAP solvers each QBP iteration (MTHG vs \
+                 Lagrangian-guided greedy vs exact branch-and-bound on small \
+                 instances) and take the best candidate deterministically. \
+                 Only with -a qbp.")
+  in
   let deadline =
     Arg.(value & opt (some duration_conv) None & info [ "deadline" ] ~docv:"DURATION"
            ~doc:"Wall-clock budget (e.g. $(b,2s), $(b,250ms)). The solver returns its \
@@ -378,8 +391,8 @@ let solve_cmd =
     Term.(
       term_result
         (const run $ path $ timing $ rows $ cols $ slack $ algorithm $ iterations $ seed
-       $ deadline $ fallback $ starts $ jobs $ retries $ checkpoint $ every $ resume
-       $ out))
+       $ gap_race $ deadline $ fallback $ starts $ jobs $ retries $ checkpoint $ every
+       $ resume $ out))
 
 (* --- eval ---------------------------------------------------------- *)
 
@@ -567,8 +580,8 @@ let finish_waited ~nl ~topo ~out (v : Sproto.job_view) =
   | Sproto.Queued | Sproto.Running -> msgf "job %s still in flight" v.Sproto.id
 
 let submit_cmd =
-  let run socket path timing by_path rows cols slack iterations seed starts deadline label
-      priority wait out connect_timeout read_timeout retries =
+  let run socket path timing by_path rows cols slack iterations seed starts gap_race deadline
+      label priority wait out connect_timeout read_timeout retries =
     let* () =
       if rows < 1 || cols < 1 then msgf "--rows and --cols must be >= 1" else Ok ()
     in
@@ -598,6 +611,7 @@ let submit_cmd =
         iterations;
         seed;
         starts;
+        gap_race;
         deadline_s = deadline;
         label;
         priority;
@@ -651,6 +665,10 @@ let submit_cmd =
   let starts =
     Arg.(value & opt int 1 & info [ "starts" ] ~doc:"Portfolio starts for this job.")
   in
+  let gap_race =
+    Arg.(value & flag & info [ "gap-race" ]
+           ~doc:"Race the inner GAP solvers each QBP iteration (see $(b,solve)).")
+  in
   let deadline =
     Arg.(value & opt (some duration_conv) None & info [ "deadline" ] ~docv:"DURATION"
            ~doc:"Per-job wall-clock budget enforced by the daemon.")
@@ -682,8 +700,8 @@ let submit_cmd =
     Term.(
       term_result
         (const run $ socket_arg $ path $ timing $ by_path $ rows $ cols $ slack $ iterations
-       $ seed $ starts $ deadline $ label $ priority $ wait $ out $ connect_timeout_arg
-       $ read_timeout_arg $ retries_arg))
+       $ seed $ starts $ gap_race $ deadline $ label $ priority $ wait $ out
+       $ connect_timeout_arg $ read_timeout_arg $ retries_arg))
 
 let status_line (v : Sproto.job_view) =
   match v.Sproto.state with

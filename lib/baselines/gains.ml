@@ -70,6 +70,8 @@ let create ?p ?(alpha = 1.0) ?(beta = 1.0) nl topo a =
 
 let assignment t = t.a
 let loads t = t.loads
+let m t = t.m
+let beta t = t.beta
 let move_delta t ~j ~target = t.delta.(j).(target)
 
 let swap_delta t ~j1 ~j2 =

@@ -32,6 +32,13 @@ val create :
 val assignment : t -> Assignment.t
 (** The current assignment (shared array — do not mutate). *)
 
+val m : t -> int
+(** Number of partitions. *)
+
+val beta : t -> float
+(** The quadratic-term scale the table was built with (used by
+    {!Buckets} to bound the direct-wire swap correction). *)
+
 val loads : t -> float array
 (** Current partition loads (shared array — do not mutate). *)
 

@@ -6,9 +6,11 @@ module Assignment = Qbpart_partition.Assignment
 module Evaluate = Qbpart_partition.Evaluate
 module Validate = Qbpart_partition.Validate
 
-type config = { max_passes : int; epsilon : float }
+type selection = Scan | Buckets
 
-let default_config = { max_passes = 50; epsilon = 1e-9 }
+type config = { max_passes : int; epsilon : float; selection : selection }
+
+let default_config = { max_passes = 50; epsilon = 1e-9; selection = Buckets }
 
 type result = {
   assignment : Assignment.t;
@@ -36,6 +38,12 @@ let solve ?(config = default_config) ?p ?alpha ?beta ?constraints
       Check.placement_ok c topo ~j ~at:target ~where:(fun j' ->
           if j' = j then None else Some a.(j'))
   in
+  let buckets =
+    match config.selection with
+    | Buckets -> Some (Buckets.create nl topo gains)
+    | Scan -> None
+  in
+  let legal ~j ~target = Gains.move_fits gains topo ~j ~target && timing_ok j target in
   let total_moves = ref 0 in
   let passes = ref 0 in
   let interrupted = ref false in
@@ -48,6 +56,7 @@ let solve ?(config = default_config) ?p ?alpha ?beta ?constraints
     incr passes;
     improved := false;
     Array.fill locked 0 n false;
+    Option.iter Buckets.reset buckets;
     let trail = ref [] in (* (j, from), most recent first *)
     let trail_len = ref 0 in
     let cum = ref 0.0 in
@@ -57,35 +66,48 @@ let solve ?(config = default_config) ?p ?alpha ?beta ?constraints
     while !progress && not (stop ()) do
       (* best legal move among unlocked components; legality is only
          checked when a candidate actually beats the current best, so
-         the common case is a cheap delta comparison *)
-      let best_j = ref (-1) and best_i = ref (-1) and best_d = ref infinity in
-      for j = 0 to n - 1 do
-        if not locked.(j) then begin
-          let from = a.(j) in
-          for i = 0 to m - 1 do
-            if i <> from && Gains.move_delta gains ~j ~target:i < !best_d then
-              if Gains.move_fits gains topo ~j ~target:i && timing_ok j i then begin
-                best_d := Gains.move_delta gains ~j ~target:i;
-                best_j := j;
-                best_i := i
-              end
-          done
-        end
-      done;
-      if !best_j = -1 then progress := false
-      else begin
-        let j = !best_j in
+         the common case is a cheap delta comparison.  The bucket path
+         selects the same (delta, j, i)-lexicographic minimum without
+         scanning the full N×M table. *)
+      let selected =
+        match buckets with
+        | Some b -> Buckets.best_move b ~legal
+        | None ->
+          let best_j = ref (-1) and best_i = ref (-1) and best_d = ref infinity in
+          for j = 0 to n - 1 do
+            if not locked.(j) then begin
+              let from = a.(j) in
+              for i = 0 to m - 1 do
+                if i <> from && Gains.move_delta gains ~j ~target:i < !best_d then
+                  if Gains.move_fits gains topo ~j ~target:i && timing_ok j i then begin
+                    best_d := Gains.move_delta gains ~j ~target:i;
+                    best_j := j;
+                    best_i := i
+                  end
+              done
+            end
+          done;
+          if !best_j = -1 then None else Some (!best_j, !best_i, !best_d)
+      in
+      match selected with
+      | None -> progress := false
+      | Some (j, target, d) ->
         trail := (j, a.(j)) :: !trail;
         incr trail_len;
-        Gains.apply_move gains ~j ~target:!best_i;
-        locked.(j) <- true;
+        (match buckets with
+        | Some b ->
+          (* lock first: the mover's own cells then skip relinking *)
+          Buckets.lock b j;
+          Buckets.apply_move b ~j ~target
+        | None ->
+          Gains.apply_move gains ~j ~target;
+          locked.(j) <- true);
         incr total_moves;
-        cum := !cum +. !best_d;
+        cum := !cum +. d;
         if !cum < !best_cum -. config.epsilon then begin
           best_cum := !cum;
           best_len := !trail_len
         end
-      end
     done;
     (* rewind to the best prefix *)
     let rewind = !trail_len - !best_len in

@@ -18,9 +18,16 @@ module Topology := Qbpart_topology.Topology
 module Constraints := Qbpart_timing.Constraints
 module Assignment := Qbpart_partition.Assignment
 
+type selection =
+  | Scan     (** full N×M row scan per move — the reference implementation *)
+  | Buckets  (** {!Buckets} gain-bucket selection — same moves, same
+                 tie-breaking, bit-identical results (property-tested
+                 against [Scan]) *)
+
 type config = {
   max_passes : int;  (** safety bound on passes (default 50) *)
   epsilon : float;   (** minimum pass improvement to continue (default 1e-9) *)
+  selection : selection;  (** move-selection kernel (default [Buckets]) *)
 }
 
 val default_config : config

@@ -6,9 +6,18 @@ module Assignment = Qbpart_partition.Assignment
 module Evaluate = Qbpart_partition.Evaluate
 module Validate = Qbpart_partition.Validate
 
-type config = { max_outer : int; stall_cutoff : int; epsilon : float; dummies : int }
+type selection = Scan | Buckets
 
-let default_config = { max_outer = 6; stall_cutoff = 1_000_000; epsilon = 1e-9; dummies = 6 }
+type config = {
+  max_outer : int;
+  stall_cutoff : int;
+  epsilon : float;
+  dummies : int;
+  selection : selection;
+}
+
+let default_config =
+  { max_outer = 6; stall_cutoff = 1_000_000; epsilon = 1e-9; dummies = 6; selection = Buckets }
 
 type result = {
   assignment : Assignment.t;
@@ -109,6 +118,12 @@ let solve ?(config = default_config) ?p ?alpha ?beta ?constraints
       (j1 >= real_n || Check.placement_ok c topo ~j:j1 ~at:p2 ~where:(where_for j1 p1))
       && (j2 >= real_n || Check.placement_ok c topo ~j:j2 ~at:p1 ~where:(where_for j2 p2))
   in
+  let buckets =
+    match config.selection with
+    | Buckets -> Some (Buckets.create nl topo gains)
+    | Scan -> None
+  in
+  let legal ~j1 ~j2 = Gains.swap_fits gains topo ~j1 ~j2 && swap_timing_ok j1 j2 in
   let total_swaps = ref 0 in
   let outer = ref 0 in
   let interrupted = ref false in
@@ -121,44 +136,60 @@ let solve ?(config = default_config) ?p ?alpha ?beta ?constraints
     incr outer;
     improved := false;
     Array.fill locked 0 n false;
+    Option.iter Buckets.reset buckets;
     let trail = ref [] in (* (j1, j2) applied swaps, most recent first *)
     let trail_len = ref 0 in
     let cum = ref 0.0 and best_cum = ref 0.0 and best_len = ref 0 in
     let stall = ref 0 in
     let progress = ref true in
     while !progress && !stall < config.stall_cutoff && not (stop ()) do
-      let best_j1 = ref (-1) and best_j2 = ref (-1) and best_d = ref infinity in
-      for j1 = 0 to n - 1 do
-        if not locked.(j1) then
-          for j2 = j1 + 1 to n - 1 do
-            if (not locked.(j2)) && a.(j1) <> a.(j2) then begin
-              let d = Gains.swap_delta gains ~j1 ~j2 in
-              if d < !best_d then
-                if Gains.swap_fits gains topo ~j1 ~j2 && swap_timing_ok j1 j2 then begin
-                  best_d := d;
-                  best_j1 := j1;
-                  best_j2 := j2
+      (* the bucket path selects the same (delta, j1, j2)-lexicographic
+         minimum as the pair scan, pruned by partition-pair bucket
+         bounds instead of touching all N² pairs *)
+      let selected =
+        match buckets with
+        | Some b -> Buckets.best_swap b ~legal
+        | None ->
+          let best_j1 = ref (-1) and best_j2 = ref (-1) and best_d = ref infinity in
+          for j1 = 0 to n - 1 do
+            if not locked.(j1) then
+              for j2 = j1 + 1 to n - 1 do
+                if (not locked.(j2)) && a.(j1) <> a.(j2) then begin
+                  let d = Gains.swap_delta gains ~j1 ~j2 in
+                  if d < !best_d then
+                    if Gains.swap_fits gains topo ~j1 ~j2 && swap_timing_ok j1 j2 then begin
+                      best_d := d;
+                      best_j1 := j1;
+                      best_j2 := j2
+                    end
                 end
-            end
-          done
-      done;
-      if !best_j1 = -1 then progress := false
-      else begin
-        let j1 = !best_j1 and j2 = !best_j2 in
+              done
+          done;
+          if !best_j1 = -1 then None else Some (!best_j1, !best_j2, !best_d)
+      in
+      match selected with
+      | None -> progress := false
+      | Some (j1, j2, d) ->
         trail := (j1, j2) :: !trail;
         incr trail_len;
-        Gains.apply_swap gains ~j1 ~j2;
-        locked.(j1) <- true;
-        locked.(j2) <- true;
+        (match buckets with
+        | Some b ->
+          (* lock first: the movers' own cells then skip relinking *)
+          Buckets.lock b j1;
+          Buckets.lock b j2;
+          Buckets.apply_swap b ~j1 ~j2
+        | None ->
+          Gains.apply_swap gains ~j1 ~j2;
+          locked.(j1) <- true;
+          locked.(j2) <- true);
         incr total_swaps;
-        cum := !cum +. !best_d;
+        cum := !cum +. d;
         if !cum < !best_cum -. config.epsilon then begin
           best_cum := !cum;
           best_len := !trail_len;
           stall := 0
         end
         else incr stall
-      end
     done;
     let rewind = !trail_len - !best_len in
     let rec undo k trail =

@@ -26,6 +26,12 @@ module Topology := Qbpart_topology.Topology
 module Constraints := Qbpart_timing.Constraints
 module Assignment := Qbpart_partition.Assignment
 
+type selection =
+  | Scan     (** full N² pair scan per swap — the reference implementation *)
+  | Buckets  (** {!Buckets} partition-pair bucket selection — same
+                 swaps, same tie-breaking, bit-identical results
+                 (property-tested against [Scan]) *)
+
 type config = {
   max_outer : int;   (** outer-loop cap (paper: 6) *)
   stall_cutoff : int;(** stop the inner loop after this many
@@ -38,6 +44,7 @@ type config = {
           swapping a real component with a dummy realizes a plain
           move and the swap neighbourhood subsumes GFM's.  0 restricts
           the search to pure component-pair switches. *)
+  selection : selection;  (** swap-selection kernel (default [Buckets]) *)
 }
 
 val default_config : config

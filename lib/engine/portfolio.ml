@@ -38,12 +38,18 @@ type result = {
   interrupted : bool;
 }
 
-let default_jobs () = max 1 (Domain.recommended_domain_count ())
+(* Computed once per process: the count the admission decision uses is
+   the count the warning prints — recomputing at warn time could show a
+   different number than the one actually compared against. *)
+let recommended_jobs = lazy (max 1 (Domain.recommended_domain_count ()))
 
-(* Oversubscription is warned about once per process: a portfolio
+let default_jobs () = Lazy.force recommended_jobs
+
+(* Oversubscription warns once per distinct jobs value: a portfolio
    sweep (or a property test) re-entering [solve] with the same
-   explicit jobs count should not repeat itself. *)
-let warned_oversubscribed = Atomic.make false
+   explicit count stays quiet across restarts, while a changed
+   --jobs value earns a fresh warning.  0 = never warned. *)
+let warned_oversubscribed = Atomic.make 0
 
 (* Start k's seed: the base seed for k = 0 (so a 1-start portfolio
    reproduces a plain Adaptive/Burkard run bit-for-bit), then jumps by
@@ -71,7 +77,7 @@ let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?
     | Some j ->
       if j < 1 then invalid_arg "Portfolio.solve: jobs must be >= 1";
       let recommended = default_jobs () in
-      if j > recommended && not (Atomic.exchange warned_oversubscribed true) then
+      if j > recommended && Atomic.exchange warned_oversubscribed j <> j then
         Printf.eprintf
           "qbpart: warning: --jobs %d exceeds the recommended domain count %d; \
            oversubscribing slows every domain down (results are unaffected)\n%!"

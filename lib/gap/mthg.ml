@@ -29,8 +29,14 @@ type workspace = {
   i2 : int array;           (* n: arg second best *)
   trial : int array;        (* n: construction in progress *)
   out : int array;          (* n: champion across criteria / result *)
-  order : int array;        (* n: relaxed_fill placement order *)
+  order : int array;        (* n: relaxed_fill placement order / cascade scratch *)
   key : float array;        (* n: relaxed_fill sort keys *)
+  sub_head : int array;     (* m: head of knapsack's subscriber list, -1 = empty *)
+  sub_next : int array;     (* 2n: cell 2j = item j via i1(j), 2j+1 via i2(j) *)
+  sub_prev : int array;     (* 2n *)
+  mutable heap_r : float array;  (* lazy max-heap of (regret, item) entries *)
+  mutable heap_j : int array;
+  mutable heap_len : int;
 }
 
 let workspace ~m ~n =
@@ -47,6 +53,12 @@ let workspace ~m ~n =
     out = Array.make n (-1);
     order = Array.make n 0;
     key = Array.make n 0.0;
+    sub_head = Array.make m (-1);
+    sub_next = Array.make (2 * n) (-1);
+    sub_prev = Array.make (2 * n) (-1);
+    heap_r = Array.make (max 1 n) 0.0;
+    heap_j = Array.make (max 1 n) 0;
+    heap_len = 0;
   }
 
 let ensure_ws ws (g : Gap.t) =
@@ -70,73 +82,226 @@ let ensure_ws ws (g : Gap.t) =
    (cost, weight, capacity) data, so while the top-2 knapsacks still
    have room the cached pair is exact.  (A knapsack outside the top
    two that becomes infeasible cannot affect the top two either.)
-   This cuts the refresh cascades — the measured hot spot — to the
-   steps that genuinely invalidate a cache entry, and every refresh
-   scan reads the item's m entries as one contiguous unboxed block
-   thanks to the item-major layout. *)
+
+   Two structures keep the loop out of the quadratic regime the plain
+   scans paid (the measured hot spot at ~1 ms per STEP-4/6 call):
+
+   - Selection is a lazy max-heap of (regret, item) entries ordered by
+     (regret desc, item asc) — exactly the order the old linear scan
+     realized with its strict-improvement sweep.  Regret changes only
+     on refresh, and every refresh pushes a fresh entry, so the top
+     valid entry is always the true maximum; stale entries (item
+     already placed, or regret no longer current) are dropped on pop.
+   - Each unassigned item subscribes to its top-2 knapsacks on
+     intrusive doubly-linked lists (cell 2j via i1, 2j+1 via i2), so a
+     placement into knapsack [i] walks only [i]'s subscribers instead
+     of rescanning all n items for the refresh cascade.
+
+   The construction order — and therefore the result, bit for bit —
+   is unchanged; only the bookkeeping is. *)
 let construct_into ?(criterion = Cost) (g : Gap.t) ws assignment =
   let { Gap.m; n; _ } = g in
   let weight = g.Gap.weight in
   let residual = ws.residual and f1 = ws.f1 and f2 = ws.f2 and i1 = ws.i1 and i2 = ws.i2 in
+  let sub_head = ws.sub_head and sub_next = ws.sub_next and sub_prev = ws.sub_prev in
   Array.blit g.Gap.capacity 0 residual 0 m;
   Array.fill assignment 0 n (-1);
-  let refresh j =
+  Array.fill sub_head 0 m (-1);
+  ws.heap_len <- 0;
+  (* unassigned items with no fitting knapsack: any such item aborts
+     the construction, exactly like the old full-scan stuck check *)
+  let no_fit = ref 0 in
+  let regret_of j = if f2.(j) = infinity then infinity else f2.(j) -. f1.(j) in
+  (* The heap is 4-ary with hole-based sifting: the element under
+     placement rides in registers while parents/children shift into
+     the hole, so each level costs loads plus one store instead of a
+     full swap, and the tree is half as deep as a binary heap's.  Pop
+     order depends only on the entry multiset and the (regret desc,
+     item asc) total order, never on the heap's internal shape. *)
+  let push r j =
+    let len = ws.heap_len in
+    if len = Array.length ws.heap_j then begin
+      let cap = max 8 (2 * len) in
+      let nr = Array.make cap 0.0 and nj = Array.make cap 0 in
+      Array.blit ws.heap_r 0 nr 0 len;
+      Array.blit ws.heap_j 0 nj 0 len;
+      ws.heap_r <- nr;
+      ws.heap_j <- nj
+    end;
+    let hr = ws.heap_r and hj = ws.heap_j in
+    ws.heap_len <- len + 1;
+    let k = ref len in
+    let continue = ref true in
+    while !continue && !k > 0 do
+      let p = (!k - 1) / 4 in
+      if r > hr.(p) || (r = hr.(p) && j < hj.(p)) then begin
+        hr.(!k) <- hr.(p);
+        hj.(!k) <- hj.(p);
+        k := p
+      end
+      else continue := false
+    done;
+    hr.(!k) <- r;
+    hj.(!k) <- j
+  in
+  let pop_r = ref 0.0 and pop_j = ref 0 in
+  let pop () =
+    let hr = ws.heap_r and hj = ws.heap_j in
+    pop_r := hr.(0);
+    pop_j := hj.(0);
+    let len = ws.heap_len - 1 in
+    ws.heap_len <- len;
+    if len > 0 then begin
+      let r = hr.(len) and j = hj.(len) in
+      let k = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let c0 = (4 * !k) + 1 in
+        if c0 >= len then continue := false
+        else begin
+          let last = min (c0 + 3) (len - 1) in
+          let b = ref c0 in
+          for c = c0 + 1 to last do
+            if hr.(c) > hr.(!b) || (hr.(c) = hr.(!b) && hj.(c) < hj.(!b)) then b := c
+          done;
+          if hr.(!b) > r || (hr.(!b) = r && hj.(!b) < j) then begin
+            hr.(!k) <- hr.(!b);
+            hj.(!k) <- hj.(!b);
+            k := !b
+          end
+          else continue := false
+        end
+      done;
+      hr.(!k) <- r;
+      hj.(!k) <- j
+    end
+  in
+  let unlink_cell c list_i =
+    if list_i >= 0 then begin
+      let p = sub_prev.(c) and nx = sub_next.(c) in
+      if p >= 0 then sub_next.(p) <- nx else sub_head.(list_i) <- nx;
+      if nx >= 0 then sub_prev.(nx) <- p;
+      sub_prev.(c) <- -1;
+      sub_next.(c) <- -1
+    end
+  in
+  let link_cell c list_i =
+    if list_i >= 0 then begin
+      let h = sub_head.(list_i) in
+      sub_next.(c) <- h;
+      sub_prev.(c) <- -1;
+      if h >= 0 then sub_prev.(h) <- c;
+      sub_head.(list_i) <- c
+    end
+  in
+  (* [linked]: the item's cells are currently on its top-2 lists (true
+     for cascade refreshes; false for the initial build) *)
+  let refresh ~linked j =
+    (* a linked item had i1 >= 0, so its pre-refresh regret is defined *)
+    let old_r = if linked then regret_of j else nan in
+    if linked then begin
+      unlink_cell (2 * j) i1.(j);
+      unlink_cell ((2 * j) + 1) i2.(j)
+    end;
     let base = j * m in
     f1.(j) <- infinity;
     f2.(j) <- infinity;
     i1.(j) <- -1;
     i2.(j) <- -1;
-    for i = 0 to m - 1 do
-      if weight.(base + i) <= residual.(i) then begin
-        let f = desirability g criterion i j in
-        if f < f1.(j) then begin
-          f2.(j) <- f1.(j);
-          i2.(j) <- i1.(j);
-          f1.(j) <- f;
-          i1.(j) <- i
+    (match criterion with
+    | Cost ->
+      (* the hot criterion (every STEP-4/6 call): read the cost cell
+         directly instead of paying a call + dispatch per cell *)
+      let cost = g.Gap.cost in
+      for i = 0 to m - 1 do
+        if weight.(base + i) <= residual.(i) then begin
+          let f = cost.(base + i) in
+          if f < f1.(j) then begin
+            f2.(j) <- f1.(j);
+            i2.(j) <- i1.(j);
+            f1.(j) <- f;
+            i1.(j) <- i
+          end
+          else if f < f2.(j) then begin
+            f2.(j) <- f;
+            i2.(j) <- i
+          end
         end
-        else if f < f2.(j) then begin
-          f2.(j) <- f;
-          i2.(j) <- i
+      done
+    | _ ->
+      for i = 0 to m - 1 do
+        if weight.(base + i) <= residual.(i) then begin
+          let f = desirability g criterion i j in
+          if f < f1.(j) then begin
+            f2.(j) <- f1.(j);
+            i2.(j) <- i1.(j);
+            f1.(j) <- f;
+            i1.(j) <- i
+          end
+          else if f < f2.(j) then begin
+            f2.(j) <- f;
+            i2.(j) <- i
+          end
         end
-      end
-    done
+      done);
+    if i1.(j) = -1 then incr no_fit
+    else begin
+      link_cell (2 * j) i1.(j);
+      link_cell ((2 * j) + 1) i2.(j);
+      (* an unchanged regret keeps the item's existing heap entry
+         valid (validity is checked against the current regret on
+         pop), so refreshes that only reshuffle the argknapsacks —
+         the common case under tie-heavy criteria — push nothing *)
+      let r = regret_of j in
+      if not (linked && r = old_r) then push r j
+    end
   in
   for j = 0 to n - 1 do
-    refresh j
+    refresh ~linked:false j
   done;
   let unassigned = ref n in
   let stuck = ref false in
+  (* cascade scratch: [order] is only live inside [relaxed_fill_into],
+     never concurrently with a construction *)
+  let scratch = ws.order in
   while !unassigned > 0 && not !stuck do
-    let best_item = ref (-1) in
-    let best_regret = ref neg_infinity in
-    for j = 0 to n - 1 do
-      if assignment.(j) = -1 then
-        if i1.(j) = -1 then stuck := true
-        else begin
-          let regret = if f2.(j) = infinity then infinity else f2.(j) -. f1.(j) in
-          if regret > !best_regret then begin
-            best_regret := regret;
-            best_item := j
-          end
-        end
-    done;
-    if (not !stuck) && !best_item >= 0 then begin
-      let j = !best_item in
-      let i = i1.(j) in
-      assignment.(j) <- i;
-      residual.(i) <- residual.(i) -. weight.((j * m) + i);
-      decr unassigned;
-      let room = residual.(i) in
-      for j' = 0 to n - 1 do
-        if
-          assignment.(j') = -1
-          && (i1.(j') = i || i2.(j') = i)
-          && weight.((j' * m) + i) > room
-        then refresh j'
-      done
+    if !no_fit > 0 then stuck := true
+    else begin
+      let j = ref (-1) in
+      while !j < 0 && ws.heap_len > 0 do
+        pop ();
+        let cand = !pop_j in
+        if assignment.(cand) = -1 && i1.(cand) >= 0 && !pop_r = regret_of cand then
+          j := cand
+      done;
+      if !j < 0 then stuck := true
+      else begin
+        let j = !j in
+        let i = i1.(j) in
+        assignment.(j) <- i;
+        unlink_cell (2 * j) i1.(j);
+        unlink_cell ((2 * j) + 1) i2.(j);
+        residual.(i) <- residual.(i) -. weight.((j * m) + i);
+        decr unassigned;
+        let room = residual.(i) in
+        (* collect first: refresh relinks cells and would corrupt the
+           walk.  An item appears at most once in list [i] (i1 <> i2),
+           so [scratch] never overflows its n slots. *)
+        let k = ref 0 in
+        let c = ref sub_head.(i) in
+        while !c >= 0 do
+          let j' = !c lsr 1 in
+          if weight.((j' * m) + i) > room then begin
+            scratch.(!k) <- j';
+            incr k
+          end;
+          c := sub_next.(!c)
+        done;
+        for t = 0 to !k - 1 do
+          refresh ~linked:true scratch.(t)
+        done
+      end
     end
-    else stuck := true
   done;
   not !stuck
 

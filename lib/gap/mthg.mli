@@ -68,3 +68,4 @@ val solve_relaxed :
     on over-tight intermediate subproblems; the caller checks
     feasibility before accepting the final answer.  The [?ws]
     ownership contract is the same as {!solve}'s. *)
+

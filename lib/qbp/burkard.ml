@@ -5,6 +5,7 @@ module Topology = Qbpart_topology.Topology
 module Assignment = Qbpart_partition.Assignment
 module Gap = Qbpart_gap.Gap
 module Mthg = Qbpart_gap.Mthg
+module Race = Qbpart_gap.Race
 
 module Config = struct
   type t = {
@@ -13,6 +14,7 @@ module Config = struct
     rule : Qmatrix.rule;
     gap_criteria : Mthg.criterion list;
     gap_improve : Mthg.improver;
+    gap_race : Race.config option;
     polish_passes : int;
     final_polish : int;
     repair_every : int;
@@ -28,6 +30,7 @@ module Config = struct
       rule = Qmatrix.Solver;
       gap_criteria = [ Mthg.Cost; Mthg.Weight ];
       gap_improve = `Shift;
+      gap_race = None;
       polish_passes = 1;
       final_polish = 50;
       repair_every = 2;
@@ -77,6 +80,7 @@ module Workspace = struct
     weight : float array;     (* m*n, w(i,j) = s_j, iteration-invariant *)
     capacity : float array;   (* m *)
     mthg : Mthg.workspace;
+    race : Race.workspace;    (* for [Config.gap_race] runs *)
     u : int array;            (* n, the current iterate *)
   }
 
@@ -92,6 +96,7 @@ module Workspace = struct
       weight = Gap.uniform_weights ~sizes ~m;
       capacity = Topology.capacities problem.Problem.topology;
       mthg = Mthg.workspace ~m ~n;
+      race = Race.workspace ~m ~n;
       u = Array.make n 0;
     }
 end
@@ -120,9 +125,14 @@ let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
   let gap_h = Gap.borrow ~cost:ws.Workspace.h ~weight:ws.Workspace.weight
       ~capacity:ws.Workspace.capacity ~n in
   Array.fill ws.Workspace.h 0 (m * n) 0.0;
-  let default_gap gap =
-    Mthg.solve_relaxed ~ws:ws.Workspace.mthg ~criteria:config.Config.gap_criteria
-      ~improve:config.Config.gap_improve gap
+  let default_gap =
+    match config.Config.gap_race with
+    | None ->
+      fun gap ->
+        Mthg.solve_relaxed ~ws:ws.Workspace.mthg ~criteria:config.Config.gap_criteria
+          ~improve:config.Config.gap_improve gap
+    | Some race ->
+      fun gap -> Race.solve_relaxed ~config:race ~ws:ws.Workspace.race gap
   in
   let solve_gap ~step ~k gap =
     match gap_solver with

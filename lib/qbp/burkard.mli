@@ -23,6 +23,7 @@
 
 module Assignment := Qbpart_partition.Assignment
 module Mthg := Qbpart_gap.Mthg
+module Race := Qbpart_gap.Race
 
 module Config : sig
   type t = {
@@ -31,6 +32,14 @@ module Config : sig
     rule : Qmatrix.rule;    (** η convention (DESIGN.md D1) *)
     gap_criteria : Mthg.criterion list; (** MTHG desirability criteria *)
     gap_improve : Mthg.improver;        (** MTHG post-pass *)
+    gap_race : Race.config option;
+        (** when set, the STEP-4/6 inner solves run the {!Race} solver
+            portfolio (MTHG vs Lagrangian-guided vs gated exact) and
+            take the best candidate under its deterministic ranking,
+            instead of MTHG alone; [gap_criteria]/[gap_improve] then
+            only apply through the race's own MTHG leg configuration.
+            [None] (the default) keeps the single-MTHG behavior
+            bit-identical to previous releases *)
     polish_passes : int;
         (** Gauss–Seidel coordinate-descent passes on the penalized
             objective applied to each STEP-6 iterate (our enhancement,

@@ -19,6 +19,7 @@ type submit = {
   iterations : int;
   seed : int;
   starts : int;
+  gap_race : bool;
   deadline_s : float option;
   label : string option;
   priority : priority;
@@ -34,6 +35,7 @@ let default_submit ~netlist =
     iterations = 100;
     seed = 1;
     starts = 1;
+    gap_race = false;
     deadline_s = None;
     label = None;
     priority = Batch;
@@ -181,6 +183,7 @@ let submit_to_json s =
       ("iterations", Json.Int s.iterations);
       ("seed", Json.Int s.seed);
       ("starts", Json.Int s.starts);
+      ("gap_race", Json.Bool s.gap_race);
       ("deadline_s", opt jfloat s.deadline_s);
       ("label", opt jstr s.label);
       ("priority", Json.String (priority_to_string s.priority));
@@ -348,6 +351,7 @@ let decode_submit doc =
   let* iterations = opt_field "iterations" Json.get_int ~default:d.iterations doc in
   let* seed = opt_field "seed" Json.get_int ~default:d.seed doc in
   let* starts = opt_field "starts" Json.get_int ~default:d.starts doc in
+  let* gap_race = opt_field "gap_race" Json.get_bool ~default:d.gap_race doc in
   let* deadline_s = opt_some "deadline_s" Json.get_float doc in
   let* label = opt_some "label" Json.get_string doc in
   let* priority =
@@ -366,6 +370,7 @@ let decode_submit doc =
          iterations;
          seed;
          starts;
+         gap_race;
          deadline_s;
          label;
          priority;

@@ -40,6 +40,7 @@ type submit = {
   iterations : int;         (** QBP iterations per start *)
   seed : int;               (** base RNG seed *)
   starts : int;             (** portfolio starts (≥ 1) *)
+  gap_race : bool;          (** race the inner GAP solvers per iteration *)
   deadline_s : float option;(** per-job wall-clock budget *)
   label : string option;    (** free-form tag echoed in views *)
   priority : priority;      (** admission class (default [Batch]) *)
@@ -47,8 +48,8 @@ type submit = {
 
 val default_submit : netlist:source -> submit
 (** [rows = 4], [cols = 4], [slack = 1.15], [iterations = 100],
-    [seed = 1], [starts = 1], no timing, no deadline, no label —
-    mirroring [qbpart solve]'s defaults. *)
+    [seed = 1], [starts = 1], [gap_race = false], no timing, no
+    deadline, no label — mirroring [qbpart solve]'s defaults. *)
 
 type request =
   | Submit of submit

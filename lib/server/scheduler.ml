@@ -213,6 +213,8 @@ let run_job t (j : job) =
             Burkard.Config.default with
             iterations = j.spec.Protocol.iterations;
             seed = j.spec.Protocol.seed;
+            gap_race =
+              (if j.spec.Protocol.gap_race then Some Qbpart_gap.Race.default else None);
           };
         starts = j.spec.Protocol.starts;
       }

@@ -237,6 +237,7 @@ let gen_submit =
     let* iterations = int_range 0 1000 in
     let* seed = int_range 0 1_000_000 in
     let* starts = int_range 1 16 in
+    let* gap_race = bool in
     let* deadline_s = opt gen_finite_float in
     let* label = opt gen_wire_string in
     let* priority = oneofl [ Protocol.Interactive; Protocol.Batch ] in
@@ -250,6 +251,7 @@ let gen_submit =
         iterations;
         seed;
         starts;
+        gap_race;
         deadline_s;
         label;
         priority;
