@@ -676,6 +676,125 @@ let percentile sorted q =
   | 0 -> 0.0
   | n -> sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
 
+(* ECO session latency: one session on the small Table-I circuit, a
+   stream of dims-preserving retime deltas served warm (validate →
+   O(k) Q patch → η rebind → repair → certify), then the same stream
+   forced cold (full multi-start re-solve).  The warm/cold p99 gap is
+   the point of the session layer, so the gate pins it: warm p99 must
+   sit at least 10x below cold p99. *)
+let eco_latency quick =
+  section "ECO session latency (warm incumbent patch vs forced cold re-solve)";
+  let spec = List.hd Circuits.table1 in
+  let inst = Circuits.build spec in
+  let nl = inst.Circuits.netlist in
+  let text = Qbpart_netlist.Printer.to_string nl in
+  let cname i = Qbpart_netlist.Component.name (Qbpart_netlist.Netlist.component nl i) in
+  let n = Qbpart_netlist.Netlist.n nl in
+  let submit =
+    {
+      (Sproto.default_submit ~netlist:(Sproto.Inline text)) with
+      Sproto.rows = 2;
+      cols = 2;
+      slack = 1.3;
+      iterations = (if quick then 10 else 30);
+      (* multi-starts: the cold path re-runs the whole portfolio, the
+         warm path patches one incumbent — this is the gap being sold *)
+      starts = (if quick then 6 else 8);
+      seed = 7;
+    }
+  in
+  let deltas = if quick then 8 else 24 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qbpart-bench-eco-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o700;
+  let socket_path = Filename.concat dir "eco.sock" in
+  let config =
+    { (Sserver.default_config ~socket_path) with Sserver.workers = 2; checkpoint_dir = dir }
+  in
+  let server =
+    match Sserver.create config with
+    | Ok s -> s
+    | Error e -> failwith ("bench eco server: " ^ e)
+  in
+  let serve_thread = Thread.create Sserver.serve server in
+  let c =
+    match Sclient.connect (Sclient.Unix_socket socket_path) with
+    | Ok c -> c
+    | Error e -> failwith ("bench eco client: " ^ e)
+  in
+  let call req =
+    match Sclient.call c req with
+    | Ok (Sproto.Eco_result v) -> v
+    | Ok r -> failwith (Format.asprintf "bench eco: unexpected %a" Sproto.pp_response r)
+    | Error e -> failwith ("bench eco: " ^ e)
+  in
+  let v0 = call (Sproto.Session_open submit) in
+  if not v0.Sproto.eco_certified then failwith "bench eco: uncertified session open";
+  let sid = v0.Sproto.eco_session in
+  let delta_text d =
+    let a = d mod n in
+    let b = (a + 1 + (d mod (n - 1))) mod n in
+    let b = if b = a then (a + 1) mod n else b in
+    Printf.sprintf "retime %s %s %g\n" (cname a) (cname b) (4.0 +. float_of_int (d mod 5))
+  in
+  let seq = ref 0 in
+  let stream ~force_cold =
+    let lat = Array.make deltas 0.0 in
+    let served_as = ref [] in
+    for d = 1 to deltas do
+      let t0 = Unix.gettimeofday () in
+      let v =
+        call
+          (Sproto.Eco_submit
+             { session = sid; seq = !seq + 1; delta = delta_text d; force_cold })
+      in
+      lat.(d - 1) <- Unix.gettimeofday () -. t0;
+      seq := v.Sproto.eco_seq;
+      if not v.Sproto.eco_certified then failwith "bench eco: uncertified eco answer";
+      served_as := v.Sproto.served :: !served_as
+    done;
+    Array.sort compare lat;
+    (lat, !served_as)
+  in
+  let warm_lat, warm_served = stream ~force_cold:false in
+  let cold_lat, _ = stream ~force_cold:true in
+  let fallbacks =
+    match Sclient.call c Sproto.Metrics with
+    | Ok (Sproto.Metrics_snapshot m) -> m.Sproto.eco_cold_fallbacks
+    | _ -> -1
+  in
+  (match Sclient.call c (Sproto.Session_close sid) with Ok _ | Error _ -> ());
+  Sclient.close c;
+  Sserver.request_drain server;
+  Thread.join serve_thread;
+  let warm_hits = List.length (List.filter (( = ) "warm") warm_served) in
+  let warm_p50 = percentile warm_lat 0.50 and warm_p99 = percentile warm_lat 0.99 in
+  let cold_p50 = percentile cold_lat 0.50 and cold_p99 = percentile cold_lat 0.99 in
+  let speedup = if warm_p99 > 0.0 then cold_p99 /. warm_p99 else infinity in
+  let fallback_rate = float_of_int (max 0 fallbacks) /. float_of_int deltas in
+  let ok = warm_p99 *. 10.0 <= cold_p99 in
+  Format.printf "circuit %s (N=%d), %d retime deltas per mode@.@." spec.Circuits.name
+    spec.Circuits.n deltas;
+  Format.printf "  warm  %2d/%2d hits   p50 %.6fs  p99 %.6fs@." warm_hits deltas warm_p50
+    warm_p99;
+  Format.printf "  cold  forced       p50 %.6fs  p99 %.6fs@." cold_p50 cold_p99;
+  Format.printf "  p99 speedup %.1fx  cold-fallback rate %.3f  %s@." speedup fallback_rate
+    (if ok then "warm >= 10x under cold: OK" else "warm/cold GAP TOO SMALL");
+  Json.Obj
+    [
+      ("deltas_per_mode", Json.Int deltas);
+      ("warm_hits", Json.Int warm_hits);
+      ("warm_p50_s", Json.Float warm_p50);
+      ("warm_p99_s", Json.Float warm_p99);
+      ("cold_p50_s", Json.Float cold_p50);
+      ("cold_p99_s", Json.Float cold_p99);
+      ("warm_speedup", Json.Float speedup);
+      ("cold_fallback_rate", Json.Float fallback_rate);
+      ("warm_vs_cold_ok", Json.Bool ok);
+    ]
+
 let server_throughput quick =
   section "Server throughput (qbpartd end to end, ckta inline submits)";
   let spec = List.hd Circuits.table1 in
@@ -769,6 +888,7 @@ let server_throughput quick =
   Format.printf
     "@.(throughput is bounded by the worker-domain count; deeper offered@.\
      concurrency buys queueing, not speed — the p99 shows the queue)@.";
+  let eco = eco_latency quick in
   Json.Obj
     [
       ("circuit", Json.String spec.Circuits.name);
@@ -776,6 +896,7 @@ let server_throughput quick =
       ("jobs_per_depth", Json.Int jobs_total);
       ("workers", Json.Int 2);
       ("depths", Json.List rows);
+      ("eco", eco);
     ]
 
 (* ------------------------------------------------------------------ *)

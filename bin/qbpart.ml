@@ -845,6 +845,168 @@ let metrics_cmd =
     (Cmd.info "metrics" ~doc:"Print a qbpartd daemon's metrics snapshot as JSON")
     Term.(term_result (const run $ socket_arg))
 
+(* --- ECO sessions --------------------------------------------------- *)
+
+let describe_eco ppf (v : Sproto.eco_view) =
+  Format.fprintf ppf "session %s #%d: served %s, cost %.1f, %s (%.3fs, instance %s)"
+    v.Sproto.eco_session v.Sproto.eco_seq v.Sproto.served v.Sproto.eco_cost
+    (if v.Sproto.eco_certified then "certified" else "UNCERTIFIED")
+    v.Sproto.eco_wall v.Sproto.eco_instance;
+  List.iter (fun s -> Format.fprintf ppf "@.  %s" s) v.Sproto.eco_stages
+
+(* stdout contract shared by open and eco: a status line, then the
+   assignment; exit 0 only for a certified answer *)
+let finish_eco (v : Sproto.eco_view) =
+  Format.eprintf "%a@." describe_eco v;
+  Printf.printf "%s #%d %s cost=%.1f %s\n" v.Sproto.eco_session v.Sproto.eco_seq
+    v.Sproto.served v.Sproto.eco_cost
+    (if v.Sproto.eco_certified then "certified" else "UNCERTIFIED");
+  (match v.Sproto.eco_assignment with
+  | Some a ->
+    Printf.printf "assignment %s\n"
+      (String.concat " " (Array.to_list (Array.map string_of_int a)))
+  | None -> ());
+  if v.Sproto.eco_certified then Ok ()
+  else msgf "session %s: answer failed independent certification" v.Sproto.eco_session
+
+let session_open_cmd =
+  let run socket path timing by_path rows cols slack iterations seed starts gap_race deadline
+      connect_timeout read_timeout =
+    let* () =
+      if rows < 1 || cols < 1 then msgf "--rows and --cols must be >= 1" else Ok ()
+    in
+    let* () = if starts < 1 then msgf "--starts must be >= 1" else Ok () in
+    (* parse locally first, same as submit: malformed inputs fail fast *)
+    let* nl = load_netlist path in
+    let* _local_constraints = load_constraints nl timing in
+    let* netlist =
+      if by_path then Ok (Sproto.File (absolute path)) else load_inline "netlist" path
+    in
+    let* timing_src =
+      match timing with
+      | None -> Ok None
+      | Some tpath ->
+        if by_path then Ok (Some (Sproto.File (absolute tpath)))
+        else Result.map Option.some (load_inline "timing budgets" tpath)
+    in
+    let spec =
+      {
+        (Sproto.default_submit ~netlist) with
+        Sproto.timing = timing_src;
+        rows;
+        cols;
+        slack;
+        iterations;
+        seed;
+        starts;
+        gap_race;
+        deadline_s = deadline;
+      }
+    in
+    with_client ~connect_timeout ~read_timeout socket (fun c ->
+        match Sclient.call c (Sproto.Session_open spec) with
+        | Error m -> Error (`Msg m)
+        | Ok (Sproto.Error { code; message }) -> server_error code message
+        | Ok (Sproto.Eco_result v) -> finish_eco v
+        | Ok other ->
+          msgf "unexpected response: %s" (Format.asprintf "%a" Sproto.pp_response other))
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"NETLIST") in
+  let timing =
+    Arg.(value & opt (some file) None & info [ "t"; "timing" ] ~docv:"BUDGETS"
+           ~doc:"Timing-budget file submitted with the netlist.")
+  in
+  let by_path =
+    Arg.(value & flag & info [ "by-path" ]
+           ~doc:"Send file paths for the daemon to read instead of inlining contents.")
+  in
+  let rows = Arg.(value & opt int 4 & info [ "rows" ] ~doc:"Grid rows.") in
+  let cols = Arg.(value & opt int 4 & info [ "cols" ] ~doc:"Grid cols.") in
+  let slack = Arg.(value & opt float 1.15 & info [ "slack" ] ~doc:"Capacity slack factor.") in
+  let iterations = Arg.(value & opt int 100 & info [ "iterations" ] ~doc:"QBP iterations.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let starts =
+    Arg.(value & opt int 1 & info [ "starts" ] ~doc:"Portfolio starts for the base solve.")
+  in
+  let gap_race =
+    Arg.(value & flag & info [ "gap-race" ] ~doc:"Race the inner GAP solvers.")
+  in
+  let deadline =
+    Arg.(value & opt (some duration_conv) None & info [ "deadline" ] ~docv:"DURATION"
+           ~doc:"Wall-clock budget for each solve in this session.")
+  in
+  Cmd.v
+    (Cmd.info "open"
+       ~doc:"Open an ECO session: solve the instance (resuming from a replicated \
+             checkpoint when one matches) and pin it server-side for warm deltas")
+    Term.(
+      term_result
+        (const run $ socket_arg $ path $ timing $ by_path $ rows $ cols $ slack $ iterations
+       $ seed $ starts $ gap_race $ deadline $ connect_timeout_arg $ read_timeout_arg))
+
+let session_close_cmd =
+  let run socket session =
+    with_client socket (fun c ->
+        match Sclient.call c (Sproto.Session_close session) with
+        | Error m -> Error (`Msg m)
+        | Ok (Sproto.Error { code; message }) -> server_error code message
+        | Ok (Sproto.Session_closed { session; checkpoint }) ->
+          (match checkpoint with
+          | Some p -> Printf.printf "%s closed (checkpoint %s)\n" session p
+          | None -> Printf.printf "%s closed\n" session);
+          Ok ()
+        | Ok other ->
+          msgf "unexpected response: %s" (Format.asprintf "%a" Sproto.pp_response other))
+  in
+  let session = Arg.(required & pos 0 (some string) None & info [] ~docv:"SESSION") in
+  Cmd.v
+    (Cmd.info "close"
+       ~doc:"Close an ECO session, checkpointing its incumbent to the daemon's store")
+    Term.(term_result (const run $ socket_arg $ session))
+
+let session_cmd =
+  Cmd.group
+    (Cmd.info "session" ~doc:"Manage ECO delta sessions on a qbpartd daemon")
+    [ session_open_cmd; session_close_cmd ]
+
+let eco_cmd =
+  let run socket session delta_path seq cold connect_timeout read_timeout =
+    let* () = if seq < 1 then msgf "--seq must be >= 1" else Ok () in
+    let* delta =
+      match In_channel.with_open_bin delta_path In_channel.input_all with
+      | text -> Ok text
+      | exception Sys_error m -> msgf "delta %s: %s" delta_path m
+    in
+    with_client ~connect_timeout ~read_timeout socket (fun c ->
+        match Sclient.call c (Sproto.Eco_submit { session; seq; delta; force_cold = cold }) with
+        | Error m -> Error (`Msg m)
+        | Ok (Sproto.Error { code; message }) -> server_error code message
+        | Ok (Sproto.Eco_result v) -> finish_eco v
+        | Ok other ->
+          msgf "unexpected response: %s" (Format.asprintf "%a" Sproto.pp_response other))
+  in
+  let session = Arg.(required & pos 0 (some string) None & info [] ~docv:"SESSION") in
+  let delta = Arg.(required & pos 1 (some file) None & info [] ~docv:"DELTA") in
+  let seq =
+    Arg.(value & opt int 1 & info [ "seq" ] ~docv:"N"
+           ~doc:"Delta sequence number: exactly one past the session's last applied \
+                 delta.  Re-sending the last value replays the cached answer; anything \
+                 else is a $(b,stale_session) error naming the expected sequence.")
+  in
+  let cold =
+    Arg.(value & flag & info [ "cold" ]
+           ~doc:"Skip the warm-incumbent path and solve the edited instance from \
+                 scratch (the baseline warm serving is benchmarked against).")
+  in
+  Cmd.v
+    (Cmd.info "eco"
+       ~doc:"Apply an engineering-change-order delta to an open session and print the \
+             re-certified assignment")
+    Term.(
+      term_result
+        (const run $ socket_arg $ session $ delta $ seq $ cold $ connect_timeout_arg
+       $ read_timeout_arg))
+
 (* --- tables -------------------------------------------------------- *)
 
 let tables_cmd =
@@ -899,4 +1061,6 @@ let () =
             status_cmd;
             cancel_cmd;
             metrics_cmd;
+            session_cmd;
+            eco_cmd;
           ]))

@@ -72,10 +72,19 @@ let rec parse_shards = function
     Result.bind (parse_shard spec) (fun s ->
         Result.map (fun ss -> s :: ss) (parse_shards rest))
 
+let parse_eco_fault = function
+  | None -> Ok None
+  | Some spec -> (
+    match Qbpart_server.Session.Fault.of_spec spec with
+    | Ok f when f = Qbpart_server.Session.Fault.none -> Ok None
+    | Ok f -> Ok (Some f)
+    | Error msg -> Error (`Msg (Printf.sprintf "--eco-fault %s: %s" spec msg)))
+
 let run_worker socket tcp max_queue queue_weight workers checkpoint_dir replicate max_frame
-    shard_id conn_timeout fault =
+    shard_id conn_timeout fault eco_fault eco_cache =
   let ( let* ) = Result.bind in
   let* () = if max_queue < 0 then Error (`Msg "--max-queue must be >= 0") else Ok () in
+  let* () = if eco_cache < 1 then Error (`Msg "--eco-cache must be >= 1") else Ok () in
   let* () = if queue_weight < 1 then Error (`Msg "--queue-weight must be >= 1") else Ok () in
   let* () = if workers < 1 then Error (`Msg "--workers must be >= 1") else Ok () in
   let* () = if max_frame < 1024 then Error (`Msg "--max-frame must be >= 1024") else Ok () in
@@ -102,6 +111,8 @@ let run_worker socket tcp max_queue queue_weight workers checkpoint_dir replicat
       shard_id;
       conn_timeout;
       fault;
+      eco_fault;
+      eco_cache;
     }
   in
   match Server.create config with
@@ -151,16 +162,18 @@ let run_router socket tcp max_frame shard_id conn_timeout fault shards hb_interv
     Ok ()
 
 let run socket tcp_spec max_queue queue_weight workers checkpoint_dir replicate max_frame
-    shard_id conn_timeout fault_spec route shards hb_interval fail_threshold =
+    shard_id conn_timeout fault_spec route shards hb_interval fail_threshold eco_fault_spec
+    eco_cache =
   let ( let* ) = Result.bind in
   let* tcp = parse_tcp tcp_spec in
   let* fault = parse_fault fault_spec in
+  let* eco_fault = parse_eco_fault eco_fault_spec in
   let* () = if conn_timeout < 0.0 then Error (`Msg "--conn-timeout must be >= 0") else Ok () in
   if route then run_router socket tcp max_frame shard_id conn_timeout fault shards hb_interval fail_threshold
   else if shards <> [] then Error (`Msg "--shard only makes sense with --route")
   else
     run_worker socket tcp max_queue queue_weight workers checkpoint_dir replicate max_frame
-      shard_id conn_timeout fault
+      shard_id conn_timeout fault eco_fault eco_cache
 
 let socket =
   Arg.(value & opt string "qbpartd.sock" & info [ "socket" ] ~docv:"PATH"
@@ -245,6 +258,19 @@ let fail_threshold =
          ~doc:"Consecutive missed heartbeats before the router declares a shard dead \
                and fails its jobs over.")
 
+let eco_fault =
+  Arg.(value & opt (some string) None & info [ "eco-fault" ] ~docv:"SPEC"
+         ~doc:"Deterministic fault injection on the ECO session path, for chaos \
+               testing: $(b,corrupt=1,torn=3,stale=5) fires each point on the k-th \
+               eco request (corrupt the cached incumbent, tear the eta patch, bump \
+               the session sequence).  Every fault must be caught by the integrity \
+               re-checks and demoted to a certified cold solve.")
+
+let eco_cache =
+  Arg.(value & opt int 32 & info [ "eco-cache" ] ~docv:"N"
+         ~doc:"Warm-incumbent cache capacity for ECO sessions; evicted entries are \
+               checkpointed to the replicate/checkpoint directory.")
+
 let () =
   let doc = "partitioning service: a job queue over the qbpart solver engine" in
   let man =
@@ -276,4 +302,4 @@ let () =
             term_result
               (const run $ socket $ tcp $ max_queue $ queue_weight $ workers $ checkpoint_dir $ replicate
              $ max_frame $ shard_id $ conn_timeout $ fault $ route $ shards $ hb_interval
-             $ fail_threshold))))
+             $ fail_threshold $ eco_fault $ eco_cache))))

@@ -13,8 +13,15 @@ type start_progress = {
   failure : string option;
 }
 
+(* A 64-bit hash alone must not be the sole gate between a checkpoint
+   and the instance it resumes: a collision (or a forged/stale store
+   file) would silently warm-start the wrong problem.  The fingerprint
+   is a cheap independent structural cross-check. *)
+type fingerprint = { fp_n : int; fp_m : int; fp_wires : int; fp_weight : float }
+
 type t = {
   instance_hash : int64;
+  fingerprint : fingerprint option;
   base_seed : int;
   elapsed : float;
   incumbent : Assignment.t;
@@ -28,8 +35,9 @@ type error =
   | Corrupt of { line : int; reason : string }
   | Unsupported_version of int
   | Instance_mismatch of { expected : int64; got : int64 }
+  | Fingerprint_mismatch of { expected : fingerprint; got : fingerprint }
 
-let version = 2
+let version = 3
 
 (* FNV-1a, 64-bit.  OCaml's polymorphic [Hashtbl.hash] truncates and
    is not guaranteed stable across versions, so the hash is spelled
@@ -86,10 +94,24 @@ let instance_hash problem =
     Array.iter (fun row -> Array.iter (fun x -> h := fnv1a64_float !h x) row) p);
   !h
 
+let fingerprint_of_problem problem =
+  let nl = problem.Problem.netlist in
+  {
+    fp_n = Problem.n problem;
+    fp_m = Problem.m problem;
+    fp_wires = Netlist.wire_count nl;
+    fp_weight = Netlist.total_wire_weight nl;
+  }
+
+let fingerprint_equal a b =
+  a.fp_n = b.fp_n && a.fp_m = b.fp_m && a.fp_wires = b.fp_wires
+  && Int64.bits_of_float a.fp_weight = Int64.bits_of_float b.fp_weight
+
 let make ?(incumbent_start = -1) ~problem ~base_seed ~elapsed ~incumbent ~incumbent_cost ~starts ()
     =
   {
     instance_hash = instance_hash problem;
+    fingerprint = Some (fingerprint_of_problem problem);
     base_seed;
     elapsed;
     incumbent = Assignment.copy incumbent;
@@ -133,6 +155,10 @@ let to_string cp =
   let b = Buffer.create 1024 in
   Printf.bprintf b "qbpart-checkpoint %d\n" version;
   Printf.bprintf b "hash %Lx\n" cp.instance_hash;
+  (match cp.fingerprint with
+  | Some fp ->
+    Printf.bprintf b "fingerprint %d %d %d %h\n" fp.fp_n fp.fp_m fp.fp_wires fp.fp_weight
+  | None -> ());
   Printf.bprintf b "seed %d\n" cp.base_seed;
   Printf.bprintf b "elapsed %h\n" cp.elapsed;
   Printf.bprintf b "cost %h\n" cp.incumbent_cost;
@@ -198,6 +224,27 @@ let of_string text =
       | Some h -> h
       | None -> corrupt (Printf.sprintf "invalid hash %S" s)
     in
+    (* The fingerprint line is optional (absent in v1/v2 files and in
+       checkpoints built without a problem in hand). *)
+    let fingerprint =
+      let is_fp =
+        !pos < Array.length lines
+        && String.length lines.(!pos) >= 12
+        && String.sub lines.(!pos) 0 12 = "fingerprint "
+      in
+      if not is_fp then None
+      else
+        match String.split_on_char ' ' (next ()) with
+        | [ "fingerprint"; n; m; w; wt ] ->
+          Some
+            {
+              fp_n = int_of n "fingerprint n";
+              fp_m = int_of m "fingerprint m";
+              fp_wires = int_of w "fingerprint wires";
+              fp_weight = float_of wt "fingerprint weight";
+            }
+        | _ -> corrupt "malformed fingerprint line"
+    in
     let base_seed = int_of (field "seed") "seed" in
     let elapsed = float_of (field "elapsed") "elapsed" in
     if not (elapsed >= 0.0) then corrupt "negative elapsed";
@@ -247,7 +294,17 @@ let of_string text =
       end
     in
     (match next () with "end" -> () | l -> corrupt (Printf.sprintf "expected end trailer, got %S" l));
-    Ok { instance_hash; base_seed; elapsed; incumbent; incumbent_cost; incumbent_start; starts }
+    Ok
+      {
+        instance_hash;
+        fingerprint;
+        base_seed;
+        elapsed;
+        incumbent;
+        incumbent_cost;
+        incumbent_start;
+        starts;
+      }
   with Fail e -> Error e
 
 let fsync_dir dir =
@@ -293,8 +350,17 @@ let store_path ~dir ~hash = Filename.concat dir (Printf.sprintf "qbpartd-%Lx.ckp
 
 let validate cp problem =
   let expected = instance_hash problem in
-  if Int64.equal cp.instance_hash expected then Ok ()
-  else Error (Instance_mismatch { expected; got = cp.instance_hash })
+  if not (Int64.equal cp.instance_hash expected) then
+    Error (Instance_mismatch { expected; got = cp.instance_hash })
+  else
+    (* Hash match is necessary but not sufficient: a 64-bit collision
+       (or a forged store file) must not resume the wrong instance. *)
+    match cp.fingerprint with
+    | None -> Ok ()
+    | Some got ->
+      let expected = fingerprint_of_problem problem in
+      if fingerprint_equal got expected then Ok ()
+      else Error (Fingerprint_mismatch { expected; got })
 
 let error_to_string = function
   | Io msg -> Printf.sprintf "checkpoint I/O error: %s" msg
@@ -307,5 +373,12 @@ let error_to_string = function
     Printf.sprintf
       "checkpoint was taken from a different instance (hash %Lx, expected %Lx)" got
       expected
+  | Fingerprint_mismatch { expected; got } ->
+    Printf.sprintf
+      "checkpoint fingerprint mismatch despite matching hash (got N=%d M=%d wires=%d \
+       weight=%g, expected N=%d M=%d wires=%d weight=%g): refusing to resume a colliding \
+       instance"
+      got.fp_n got.fp_m got.fp_wires got.fp_weight expected.fp_n expected.fp_m
+      expected.fp_wires expected.fp_weight
 
 let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)

@@ -37,8 +37,21 @@ type start_progress = {
   failure : string option; (** final-attempt failure; [None] = completed *)
 }
 
+type fingerprint = {
+  fp_n : int;  (** component count {m N} *)
+  fp_m : int;  (** partition count {m M} *)
+  fp_wires : int;  (** distinct wire count *)
+  fp_weight : float;  (** total wire weight *)
+}
+(** A cheap structural cross-check carried alongside {!instance_hash}:
+    a 64-bit hash collision (or a forged/stale store file) must not
+    silently resume the wrong instance. *)
+
 type t = {
   instance_hash : int64;   (** {!instance_hash} of the originating problem *)
+  fingerprint : fingerprint option;
+      (** structural cross-check; [None] in files written before
+          format v3 *)
   base_seed : int;         (** the run's base RNG seed *)
   elapsed : float;         (** wall-clock budget consumed before this point *)
   incumbent : Assignment.t;(** best feasible assignment so far *)
@@ -60,10 +73,17 @@ type error =
   | Unsupported_version of int
   | Instance_mismatch of { expected : int64; got : int64 }
       (** the checkpoint was taken from a different problem instance *)
+  | Fingerprint_mismatch of { expected : fingerprint; got : fingerprint }
+      (** hash matched but the structure disagrees: a collision or a
+          corrupted store entry, refused rather than resumed *)
 
 val version : int
-(** Current format version (2).  Version-1 files (no [winner] line) are
-    still read; their [incumbent_start] decodes as [-1]. *)
+(** Current format version (3).  Version-1 files (no [winner] line) and
+    version-2 files (no [fingerprint] line) are still read; missing
+    fields decode as [-1] / [None]. *)
+
+val fingerprint_of_problem : Problem.t -> fingerprint
+val fingerprint_equal : fingerprint -> fingerprint -> bool
 
 val instance_hash : Problem.t -> int64
 (** Deterministic structural hash of the instance: {m N}, {m M}, every
@@ -101,7 +121,9 @@ val store_path : dir:string -> hash:int64 -> string
 
 val validate : t -> Problem.t -> (unit, error) result
 (** [Error (Instance_mismatch _)] unless the checkpoint's hash matches
-    [instance_hash problem]. *)
+    [instance_hash problem]; [Error (Fingerprint_mismatch _)] when the
+    hash matches but the stored structural fingerprint does not — a
+    colliding or corrupted checkpoint is rejected, not resumed. *)
 
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit

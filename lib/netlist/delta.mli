@@ -1,0 +1,72 @@
+(** Netlist deltas: typed engineering-change-order (ECO) edits.
+
+    A delta is an ordered list of edits against an existing {!Netlist.t}:
+    add/remove a component, add/remove a wire, or tighten a timing
+    budget between two components.  Deltas reference components by
+    {e name}, not id, because removal renumbers the dense id space.
+
+    Everything here is total: parsing and application return structured
+    errors instead of raising.  [apply] also returns the id remap needed
+    to carry an incumbent assignment across the edit. *)
+
+type op =
+  | Add_component of { name : string; size : float }
+  | Remove_component of { name : string }
+      (** Removing a component also removes its incident wires and any
+          timing budgets that mention it. *)
+  | Add_wire of { u : string; v : string; weight : float }
+      (** Accumulates onto an existing wire, like parallel wires in
+          {!Netlist.make}. *)
+  | Remove_wire of { u : string; v : string }
+      (** Removes the whole merged wire between the pair; it must exist. *)
+  | Retime of { src : string; dst : string; budget : float }
+      (** Directed timing budget [src -> dst].  Tighten-only: when a
+          budget already exists for the pair, the smaller one wins
+          (the semantics of [Constraints.add]). *)
+
+type t = op list
+
+type error = {
+  at : int;  (** 1-based op index (validation) or source line (parsing). *)
+  what : string;  (** The offending op or raw line. *)
+  reason : string;
+}
+
+val error_to_string : error -> string
+val op_to_string : op -> string
+
+val to_string : t -> string
+(** One op per line, in the concrete syntax accepted by {!parse_string}. *)
+
+val parse_string : string -> (t, error) result
+(** Concrete syntax, one op per line; [#] and [;] start comments:
+    {v
+    add <name> <size>
+    remove <name>
+    wire <u> <v> [weight]        (weight defaults to 1)
+    unwire <u> <v>
+    retime <src> <dst> <budget>
+    v} *)
+
+type applied = {
+  netlist : Netlist.t;  (** The edited netlist. *)
+  new_of_old : int array;  (** old id -> new id, [-1] if removed. *)
+  old_of_new : int array;  (** new id -> old id, [-1] if freshly added. *)
+  touched : int list;
+      (** New ids whose incident wires or budgets changed (sorted, no
+          duplicates).  Eta rows outside this set are unaffected by a
+          dimension-preserving delta. *)
+  retimes : (int * int * float) list;
+      (** Surviving directed budgets [(src, dst, budget)] in new ids. *)
+  dims_changed : bool;
+      (** True iff any component was added or removed.  When false, ids
+          are unchanged and Q/eta can be patched strictly in place. *)
+}
+
+val validate : Netlist.t -> t -> (unit, error) result
+(** Rejects structurally impossible edit sequences: duplicate or unknown
+    component names, self-loops, removing a wire that does not exist,
+    non-positive sizes/weights/budgets, non-finite numbers. *)
+
+val apply : Netlist.t -> t -> (applied, error) result
+(** Validates and applies.  [Ok] implies [validate] would succeed. *)

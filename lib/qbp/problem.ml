@@ -96,6 +96,56 @@ let deviation_p t ~initial =
       Array.init n_ (fun j ->
           Netlist.size t.netlist j *. Topology.b t.topology i initial.(j)))
 
+(* --- ECO deltas ----------------------------------------------------- *)
+
+module Delta = Qbpart_netlist.Delta
+
+type delta_result = {
+  dr_problem : t;
+  dr_new_of_old : int array;
+  dr_old_of_new : int array;
+  dr_touched : int list;
+  dr_dims_changed : bool;
+}
+
+let apply_delta ?topology t delta =
+  match Delta.apply t.netlist delta with
+  | Error e -> Error e
+  | Ok ap -> (
+    match t.p with
+    | Some _ when ap.Delta.dims_changed ->
+      Error
+        {
+          Delta.at = 0;
+          what = "delta";
+          reason =
+            "instance has a fixed MxN cost matrix P; deltas that add or remove components \
+             are not supported for it";
+        }
+    | _ ->
+      let topology = Option.value topology ~default:t.topology in
+      let n_new = Netlist.n ap.Delta.netlist in
+      let constraints = Constraints.create ~n:n_new in
+      (* Surviving budgets carry over (remapped); retimes then land on
+         top with Constraints.add's tighten-only semantics. *)
+      Constraints.iter t.constraints (fun j1 j2 budget ->
+          let a = ap.Delta.new_of_old.(j1) and b = ap.Delta.new_of_old.(j2) in
+          if a >= 0 && b >= 0 then Constraints.add constraints a b budget);
+      List.iter
+        (fun (src, dst, budget) -> Constraints.add constraints src dst budget)
+        ap.Delta.retimes;
+      let dr_problem =
+        make ~alpha:t.alpha ~beta:t.beta ?p:t.p ~constraints ap.Delta.netlist topology
+      in
+      Ok
+        {
+          dr_problem;
+          dr_new_of_old = ap.Delta.new_of_old;
+          dr_old_of_new = ap.Delta.old_of_new;
+          dr_touched = ap.Delta.touched;
+          dr_dims_changed = ap.Delta.dims_changed;
+        })
+
 let pp ppf t =
   Format.fprintf ppf "PP(%g,%g)<N=%d, M=%d, wires=%d, timing=%d, P=%s>"
     t.alpha t.beta (n t) (m t)

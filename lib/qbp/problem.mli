@@ -77,4 +77,29 @@ val deviation_p : t -> initial:Assignment.t -> float array array
     the topology's {m B} metric (Manhattan for grid topologies, as in
     the paper). *)
 
+(** {1 ECO deltas} *)
+
+type delta_result = {
+  dr_problem : t;  (** The edited problem. *)
+  dr_new_of_old : int array;  (** old id -> new id, [-1] if removed. *)
+  dr_old_of_new : int array;  (** new id -> old id, [-1] if added. *)
+  dr_touched : int list;  (** New ids whose wires/budgets changed. *)
+  dr_dims_changed : bool;  (** Components were added or removed. *)
+}
+
+val apply_delta :
+  ?topology:Qbpart_topology.Topology.t ->
+  t ->
+  Qbpart_netlist.Delta.t ->
+  (delta_result, Qbpart_netlist.Delta.error) result
+(** Apply an engineering-change-order delta: edit the netlist, remap
+    surviving timing budgets, apply retimes (tighten-only), and rebuild
+    the problem around the result, preserving {m α}, {m β} and (for
+    dimension-preserving deltas) {m P}.  [?topology] replaces the
+    partition topology — serving layers recompute grid capacity from
+    the edited total size so the edited instance hashes identically to
+    a cold submit of the same netlist; defaults to the old topology.
+    Fails with a structured error if the delta is invalid or if it
+    changes {m N} while a fixed {m P} is set. *)
+
 val pp : Format.formatter -> t -> unit

@@ -381,6 +381,39 @@ let eta_sync st u =
     done;
   !moved
 
+(* --- ECO rebinding -------------------------------------------------- *)
+
+let apply_delta t problem =
+  if Problem.m problem <> Problem.m t.problem then
+    invalid_arg "Qmatrix.apply_delta: partition count changed";
+  { t with problem = Problem.normalize problem }
+
+let eta_rebind st q ~touched =
+  let m = Problem.m q.problem and n = Problem.n q.problem in
+  if m <> Problem.m st.es_q.problem || n <> Problem.n st.es_q.problem then
+    invalid_arg "Qmatrix.eta_rebind: dimension changed (rebuild the state instead)";
+  let st' = { st with es_q = q } in
+  (match st.es_rule with
+  | Paper ->
+    (* The paper rule's column sums are not row-local; refresh fully. *)
+    eta_resync st'
+  | Solver ->
+    List.iter
+      (fun j ->
+        if j < 0 || j >= n then invalid_arg "Qmatrix.eta_rebind: touched id out of range";
+        candidate_costs_at q st'.es_u ~j ~off:(j * m) st'.es_eta)
+      touched);
+  st'
+
+let eta_drift st =
+  let fresh = Array.make (Array.length st.es_eta) 0.0 in
+  eta_into ~rule:st.es_rule st.es_q st.es_u fresh;
+  let drift = ref 0.0 in
+  Array.iteri
+    (fun r x -> drift := Float.max !drift (Float.abs (x -. st.es_eta.(r))))
+    fresh;
+  !drift
+
 let omega ?(rule = Solver) t =
   let nl = t.problem.Problem.netlist in
   let topo = t.problem.Problem.topology in

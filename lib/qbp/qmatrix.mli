@@ -155,6 +155,38 @@ val eta_resync : eta_state -> unit
 (** Force a from-scratch recompute at the current positions (resets
     the drift counter).  Exposed for tests and paranoid callers. *)
 
+(** {1 ECO rebinding}
+
+    Support for warm-serving engineering-change-order deltas
+    ({!Qbpart_netlist.Delta}): after {!Problem.apply_delta} produced
+    the edited problem, the implicit matrix and a maintained η state
+    can be patched instead of rebuilt. *)
+
+val apply_delta : t -> Problem.t -> t
+(** Rebind the implicit matrix to an edited problem, keeping the
+    penalty.  O(1): the matrix is implicit, so "patching Q" is
+    swapping the problem it reads from.
+    @raise Invalid_argument if the partition count changed. *)
+
+val eta_rebind : eta_state -> t -> touched:int list -> eta_state
+(** [eta_rebind st q ~touched] rebinds a maintained η state to the
+    edited matrix [q] (from {!apply_delta}), refreshing exactly the
+    [touched] component rows — the endpoints of changed wires and
+    budgets, as reported by [Delta.apply] — against the state's
+    current positions.  {m O(Σ_{j∈touched} deg(j)·M)} under the
+    [Solver] rule; the [Paper] rule's column sums are not row-local,
+    so it falls back to one full recompute.  The η buffer and position
+    array are shared with [st].
+    @raise Invalid_argument if {m M} or {m N} changed (rebuild the
+    state with {!eta_state} instead) or a touched id is out of
+    range. *)
+
+val eta_drift : eta_state -> float
+(** Max-abs difference between the maintained buffer and a
+    from-scratch {!eta_into} at the current positions: the
+    drift-bounded audit for patched states.  Allocates one {m MN}
+    scratch vector. *)
+
 val omega : ?rule:rule -> t -> float array
 (** The bound vector {m ω} of equation (2):
     {m ω_r ≥ Σ_s q̂_{rs} y_s} for every {m y ∈ S}, computed per row as

@@ -203,7 +203,8 @@ let default_backoff = { attempts = 5; base_delay = 0.1; max_delay = 2.0; seed = 
 let retryable_code = function
   | Protocol.Overloaded | Protocol.Unavailable | Protocol.Draining -> true
   | Protocol.Bad_request | Protocol.Not_found | Protocol.Parse_error | Protocol.Solver_error
-  | Protocol.Oversized | Protocol.Malformed | Protocol.Internal ->
+  | Protocol.Oversized | Protocol.Malformed | Protocol.Internal | Protocol.Invalid_delta
+  | Protocol.Unknown_session | Protocol.Stale_session ->
     false
 
 (* Seeded jittered exponential backoff: delay k is

@@ -13,6 +13,11 @@ type t = {
   mutable max_wall : float;
   mutable shed : int;
   fallbacks : (string, int) Hashtbl.t;
+  (* ECO session serving (warm-incumbent cache) *)
+  mutable eco_warm_hits : int;
+  mutable eco_cold_fallbacks : int;
+  mutable cache_evictions : int;
+  mutable integrity_failures : int;
 }
 
 let create () =
@@ -29,6 +34,10 @@ let create () =
     max_wall = 0.0;
     shed = 0;
     fallbacks = Hashtbl.create 8;
+    eco_warm_hits = 0;
+    eco_cold_fallbacks = 0;
+    cache_evictions = 0;
+    integrity_failures = 0;
   }
 
 let locked t f =
@@ -47,6 +56,16 @@ let completed t ~wall =
       t.samples.(t.sample_count mod ring_capacity) <- wall;
       t.sample_count <- t.sample_count + 1;
       if wall > t.max_wall then t.max_wall <- wall)
+
+let eco_warm_hit t = locked t (fun () -> t.eco_warm_hits <- t.eco_warm_hits + 1)
+
+let eco_cold_fallback t =
+  locked t (fun () -> t.eco_cold_fallbacks <- t.eco_cold_fallbacks + 1)
+
+let cache_eviction t = locked t (fun () -> t.cache_evictions <- t.cache_evictions + 1)
+
+let integrity_failure t =
+  locked t (fun () -> t.integrity_failures <- t.integrity_failures + 1)
 
 let fallback t stage =
   locked t (fun () ->
@@ -84,4 +103,8 @@ let snapshot t ~queue_depth ~running ~draining =
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.fallbacks []
           |> List.sort compare;
         shed = t.shed;
+        eco_warm_hits = t.eco_warm_hits;
+        eco_cold_fallbacks = t.eco_cold_fallbacks;
+        cache_evictions = t.cache_evictions;
+        integrity_failures = t.integrity_failures;
       })

@@ -29,5 +29,22 @@ val fallback : t -> string -> unit
 (** Count one fallback through the named stage (from
     {!Qbpart_engine.Engine.Report.t.fallbacks}). *)
 
+(** {1 ECO session counters} *)
+
+val eco_warm_hit : t -> unit
+(** Count an ECO answer served from the warm-incumbent cache. *)
+
+val eco_cold_fallback : t -> unit
+(** Count an ECO answer that fell through the degradation ladder to a
+    cold solve (cache miss, corrupt entry, or failed warm stage). *)
+
+val cache_eviction : t -> unit
+(** Count a warm-incumbent LRU eviction (the entry is checkpointed to
+    disk on the way out). *)
+
+val integrity_failure : t -> unit
+(** Count a cached incumbent whose integrity stamp failed re-check;
+    the entry is dropped and the request demoted to a cold solve. *)
+
 val snapshot : t -> queue_depth:int -> running:int -> draining:bool -> Protocol.metrics_view
 (** Consistent view; percentiles are computed here, over the ring. *)

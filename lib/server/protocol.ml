@@ -1,4 +1,4 @@
-let version = 2
+let version = 3
 
 type source = Inline of string | File of string
 
@@ -49,6 +49,10 @@ type request =
   | Metrics
   | Heartbeat
   | Drain
+  (* v3 session ops *)
+  | Session_open of submit
+  | Eco_submit of { session : string; seq : int; delta : string; force_cold : bool }
+  | Session_close of string
 
 type job_state = Queued | Running | Done | Failed | Cancelled
 
@@ -104,6 +108,23 @@ type metrics_view = {
   uptime_seconds : float;
   fallbacks : (string * int) list;
   shed : int;
+  (* v3: ECO session serving *)
+  eco_warm_hits : int;
+  eco_cold_fallbacks : int;
+  cache_evictions : int;
+  integrity_failures : int;
+}
+
+type eco_view = {
+  eco_session : string;
+  eco_seq : int;  (** last applied delta sequence number (0 = just opened) *)
+  served : string;  (** ["warm"], ["cold"], ["resume"], or ["replay"] *)
+  eco_cost : float;
+  eco_certified : bool;
+  eco_wall : float;
+  eco_stages : string list;  (** degradation-ladder stage reports *)
+  eco_assignment : int array option;
+  eco_instance : string;  (** hex instance hash after the delta *)
 }
 
 type error_code =
@@ -117,6 +138,10 @@ type error_code =
   | Malformed
   | Unavailable
   | Internal
+  (* v3 session errors *)
+  | Invalid_delta
+  | Unknown_session
+  | Stale_session
 
 let error_code_to_string = function
   | Bad_request -> "bad_request"
@@ -129,6 +154,9 @@ let error_code_to_string = function
   | Malformed -> "malformed"
   | Unavailable -> "unavailable"
   | Internal -> "internal"
+  | Invalid_delta -> "invalid_delta"
+  | Unknown_session -> "unknown_session"
+  | Stale_session -> "stale_session"
 
 let error_code_of_string = function
   | "bad_request" -> Some Bad_request
@@ -141,6 +169,9 @@ let error_code_of_string = function
   | "malformed" -> Some Malformed
   | "unavailable" -> Some Unavailable
   | "internal" -> Some Internal
+  | "invalid_delta" -> Some Invalid_delta
+  | "unknown_session" -> Some Unknown_session
+  | "stale_session" -> Some Stale_session
   | _ -> None
 
 type heartbeat_view = {
@@ -159,6 +190,9 @@ type response =
   | Heartbeat_ack of heartbeat_view
   | Drain_ack
   | Error of { code : error_code; message : string }
+  (* v3 session ops *)
+  | Eco_result of eco_view
+  | Session_closed of { session : string; checkpoint : string option }
 
 (* --- encoding ------------------------------------------------------ *)
 
@@ -170,11 +204,11 @@ let source_to_json = function
   | Inline text -> Json.Obj [ ("inline", Json.String text) ]
   | File path -> Json.Obj [ ("path", Json.String path) ]
 
-let submit_to_json s =
+let submit_json op s =
   Json.Obj
     [
       ("v", Json.Int version);
-      ("op", Json.String "submit");
+      ("op", Json.String op);
       ("netlist", source_to_json s.netlist);
       ("timing", opt source_to_json s.timing);
       ("rows", Json.Int s.rows);
@@ -188,6 +222,8 @@ let submit_to_json s =
       ("label", opt jstr s.label);
       ("priority", Json.String (priority_to_string s.priority));
     ]
+
+let submit_to_json s = submit_json "submit" s
 
 let job_request op id =
   Json.Obj [ ("v", Json.Int version); ("op", Json.String op); ("job", Json.String id) ]
@@ -207,6 +243,24 @@ let request_to_json = function
   | Metrics -> Json.Obj [ ("v", Json.Int version); ("op", Json.String "metrics") ]
   | Heartbeat -> Json.Obj [ ("v", Json.Int version); ("op", Json.String "heartbeat") ]
   | Drain -> Json.Obj [ ("v", Json.Int version); ("op", Json.String "drain") ]
+  | Session_open s -> submit_json "session_open" s
+  | Eco_submit { session; seq; delta; force_cold } ->
+    Json.Obj
+      [
+        ("v", Json.Int version);
+        ("op", Json.String "eco_submit");
+        ("session", Json.String session);
+        ("seq", Json.Int seq);
+        ("delta", Json.String delta);
+        ("force_cold", Json.Bool force_cold);
+      ]
+  | Session_close id ->
+    Json.Obj
+      [
+        ("v", Json.Int version);
+        ("op", Json.String "session_close");
+        ("session", Json.String id);
+      ]
 
 let job_view_to_json (j : job_view) =
   Json.Obj
@@ -253,6 +307,30 @@ let metrics_to_json (m : metrics_view) =
       ( "fallbacks",
         Json.Obj (List.map (fun (stage, count) -> (stage, Json.Int count)) m.fallbacks) );
       ("shed", Json.Int m.shed);
+      ("eco_warm_hits", Json.Int m.eco_warm_hits);
+      ("eco_cold_fallbacks", Json.Int m.eco_cold_fallbacks);
+      ("cache_evictions", Json.Int m.cache_evictions);
+      ("integrity_failures", Json.Int m.integrity_failures);
+    ]
+
+let eco_to_json (e : eco_view) =
+  Json.Obj
+    [
+      ("v", Json.Int version);
+      ("type", Json.String "eco");
+      ("ok", Json.Bool true);
+      ("session", Json.String e.eco_session);
+      ("seq", Json.Int e.eco_seq);
+      ("served", Json.String e.served);
+      ("cost", Json.Float e.eco_cost);
+      ("certified", Json.Bool e.eco_certified);
+      ("wall_seconds", Json.Float e.eco_wall);
+      ("stages", Json.List (List.map jstr e.eco_stages));
+      ( "assignment",
+        opt
+          (fun a -> Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a)))
+          e.eco_assignment );
+      ("instance", Json.String e.eco_instance);
     ]
 
 let response_to_json = function
@@ -300,6 +378,16 @@ let response_to_json = function
         ("ok", Json.Bool false);
         ("code", Json.String (error_code_to_string code));
         ("message", Json.String message);
+      ]
+  | Eco_result e -> eco_to_json e
+  | Session_closed { session; checkpoint } ->
+    Json.Obj
+      [
+        ("v", Json.Int version);
+        ("type", Json.String "session_closed");
+        ("ok", Json.Bool true);
+        ("session", Json.String session);
+        ("checkpoint", opt jstr checkpoint);
       ]
 
 let encode_request r = Json.to_string (request_to_json r)
@@ -360,27 +448,40 @@ let decode_submit doc =
       ~default:d.priority doc
   in
   Ok
-    (Submit
-       {
-         netlist;
-         timing;
-         rows;
-         cols;
-         slack;
-         iterations;
-         seed;
-         starts;
-         gap_race;
-         deadline_s;
-         label;
-         priority;
-       })
+    {
+      netlist;
+      timing;
+      rows;
+      cols;
+      slack;
+      iterations;
+      seed;
+      starts;
+      gap_race;
+      deadline_s;
+      label;
+      priority;
+    }
 
 let decode_request text =
   let* doc = Json.of_string text in
   let* op = req_string "op" doc in
   match op with
-  | "submit" -> decode_submit doc
+  | "submit" ->
+    let* s = decode_submit doc in
+    Ok (Submit s)
+  | "session_open" ->
+    let* s = decode_submit doc in
+    Ok (Session_open s)
+  | "eco_submit" ->
+    let* session = req_string "session" doc in
+    let* seq = opt_field "seq" Json.get_int ~default:0 doc in
+    let* delta = req_string "delta" doc in
+    let* force_cold = opt_field "force_cold" Json.get_bool ~default:false doc in
+    Ok (Eco_submit { session; seq; delta; force_cold })
+  | "session_close" ->
+    let* session = req_string "session" doc in
+    Ok (Session_close session)
   | "status" ->
     let* id = req_string "job" doc in
     Ok (Status id)
@@ -473,6 +574,10 @@ let decode_metrics doc =
       ~default:[] doc
   in
   let* shed = opt_field "shed" Json.get_int ~default:0 doc in
+  let* eco_warm_hits = opt_field "eco_warm_hits" Json.get_int ~default:0 doc in
+  let* eco_cold_fallbacks = opt_field "eco_cold_fallbacks" Json.get_int ~default:0 doc in
+  let* cache_evictions = opt_field "cache_evictions" Json.get_int ~default:0 doc in
+  let* integrity_failures = opt_field "integrity_failures" Json.get_int ~default:0 doc in
   Ok
     (Metrics_snapshot
        {
@@ -490,6 +595,48 @@ let decode_metrics doc =
          uptime_seconds;
          fallbacks;
          shed;
+         eco_warm_hits;
+         eco_cold_fallbacks;
+         cache_evictions;
+         integrity_failures;
+       })
+
+let decode_eco doc =
+  let* eco_session = req_string "session" doc in
+  let* eco_seq = opt_field "seq" Json.get_int ~default:0 doc in
+  let* served = opt_field "served" Json.get_string ~default:"cold" doc in
+  let* eco_cost = opt_field "cost" Json.get_float ~default:0.0 doc in
+  let* eco_certified = opt_field "certified" Json.get_bool ~default:false doc in
+  let* eco_wall = opt_field "wall_seconds" Json.get_float ~default:0.0 doc in
+  let* eco_stages =
+    opt_field "stages"
+      (fun v ->
+        Option.bind (Json.get_list v) (fun xs ->
+            let strs = List.filter_map Json.get_string xs in
+            if List.length strs = List.length xs then Some strs else None))
+      ~default:[] doc
+  in
+  let* eco_assignment =
+    opt_some "assignment"
+      (fun v ->
+        Option.bind (Json.get_list v) (fun xs ->
+            let ints = List.filter_map Json.get_int xs in
+            if List.length ints = List.length xs then Some (Array.of_list ints) else None))
+      doc
+  in
+  let* eco_instance = opt_field "instance" Json.get_string ~default:"" doc in
+  Ok
+    (Eco_result
+       {
+         eco_session;
+         eco_seq;
+         served;
+         eco_cost;
+         eco_certified;
+         eco_wall;
+         eco_stages;
+         eco_assignment;
+         eco_instance;
        })
 
 let decode_response text =
@@ -516,6 +663,11 @@ let decode_response text =
     let* hb_draining = opt_field "draining" Json.get_bool ~default:false doc in
     Ok (Heartbeat_ack { shard; uptime; hb_queue_depth; hb_running; hb_draining })
   | "drain_ack" -> Ok Drain_ack
+  | "eco" -> decode_eco doc
+  | "session_closed" ->
+    let* session = req_string "session" doc in
+    let* checkpoint = opt_some "checkpoint" Json.get_string doc in
+    Ok (Session_closed { session; checkpoint })
   | "error" ->
     let* code_text = req_string "code" doc in
     let* code =
@@ -543,5 +695,12 @@ let pp_response ppf = function
     Format.fprintf ppf "heartbeat %s: depth %d, running %d%s" h.shard h.hb_queue_depth h.hb_running
       (if h.hb_draining then " (draining)" else "")
   | Drain_ack -> Format.fprintf ppf "drain acknowledged"
+  | Eco_result e ->
+    Format.fprintf ppf "eco %s #%d: %s cost=%g%s" e.eco_session e.eco_seq e.served
+      e.eco_cost
+      (if e.eco_certified then " certified" else " UNCERTIFIED")
+  | Session_closed { session; checkpoint } ->
+    Format.fprintf ppf "session %s closed%s" session
+      (match checkpoint with Some p -> " (checkpoint " ^ p ^ ")" | None -> "")
   | Error { code; message } ->
     Format.fprintf ppf "error %s: %s" (error_code_to_string code) message

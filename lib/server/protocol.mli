@@ -1,4 +1,4 @@
-(** The qbpartd wire protocol, version 2.
+(** The qbpartd wire protocol, version 3.
 
     One request frame in, one (or, for [Events], several) response
     frames out, each frame a single-line JSON document under
@@ -13,7 +13,7 @@
     [type] discriminators. *)
 
 val version : int
-(** Protocol version (2); encoded as ["v"] in every frame. *)
+(** Protocol version (3); encoded as ["v"] in every frame. *)
 
 (** {1 Requests} *)
 
@@ -61,6 +61,22 @@ type request =
   | Metrics
   | Heartbeat          (** liveness probe; answered without queueing *)
   | Drain              (** ask the daemon to drain, as SIGTERM would *)
+  | Session_open of submit
+      (** v3: open an ECO session on the instance the submit spec
+          describes; solved synchronously (cold or resumed from the
+          checkpoint store), cached as the warm incumbent, and answered
+          with an [Eco_result] at [seq = 0] *)
+  | Eco_submit of { session : string; seq : int; delta : string; force_cold : bool }
+      (** v3: apply a netlist delta ({!Qbpart_netlist.Delta} concrete
+          syntax) to a session.  Idempotent by sequence number: [seq]
+          must be exactly one past the session's last applied delta;
+          re-sending the last [seq] replays the cached answer without
+          re-applying; anything else is a [Stale_session] error naming
+          the expected value.  [force_cold] skips the warm path (bench
+          and failure-drill hook). *)
+  | Session_close of string
+      (** v3: close a session; its warm incumbent is checkpointed to
+          disk and the reply carries the path *)
 
 (** {1 Responses} *)
 
@@ -107,6 +123,26 @@ type metrics_view = {
   fallbacks : (string * int) list;
       (** per-stage fallback counts across all served jobs, sorted *)
   shed : int;               (** batch jobs evicted to admit interactive ones *)
+  eco_warm_hits : int;      (** v3: ECO answers served from the warm cache *)
+  eco_cold_fallbacks : int; (** v3: ECO answers demoted to a cold solve *)
+  cache_evictions : int;    (** v3: warm-incumbent LRU evictions (to disk) *)
+  integrity_failures : int; (** v3: cached incumbents that failed their stamp *)
+}
+
+type eco_view = {
+  eco_session : string;
+  eco_seq : int;            (** last applied delta sequence number (0 = open) *)
+  served : string;
+      (** how the answer was produced: ["warm"] (patched cached
+          incumbent), ["cold"] (full solve), ["resume"] (cold solve
+          warm-started from a disk checkpoint), ["replay"] (idempotent
+          re-send of the previous answer) *)
+  eco_cost : float;         (** certified equation-(1) objective *)
+  eco_certified : bool;     (** the independent {!Qbpart_engine.Certify} verdict *)
+  eco_wall : float;
+  eco_stages : string list; (** degradation-ladder stage reports *)
+  eco_assignment : int array option;
+  eco_instance : string;    (** hex instance hash after the delta *)
 }
 
 type error_code =
@@ -120,6 +156,11 @@ type error_code =
   | Malformed     (** broken framing or unparseable JSON *)
   | Unavailable   (** no live shard can take the job right now (router) *)
   | Internal
+  | Invalid_delta (** v3: delta rejected by the validator (with the offending op) *)
+  | Unknown_session (** v3: no such session (expired, closed, or never opened) *)
+  | Stale_session
+      (** v3: delta sequence number is neither the next nor the last
+          applied one; the message names the expected [seq] *)
 
 val error_code_to_string : error_code -> string
 (** The wire token: ["bad_request"], ["overloaded"], ... *)
@@ -141,6 +182,9 @@ type response =
   | Heartbeat_ack of heartbeat_view
   | Drain_ack
   | Error of { code : error_code; message : string }
+  | Eco_result of eco_view
+      (** v3: reply to [Session_open] ([seq = 0]) and [Eco_submit] *)
+  | Session_closed of { session : string; checkpoint : string option }
 
 (** {1 Codec} *)
 

@@ -54,12 +54,21 @@ type entry = {
   mutable final : Protocol.job_view option;  (* cached terminal view *)
 }
 
+(* A sticky session: ECO deltas patch shard-local solver state, so a
+   session lives and dies on the shard that opened it.  The router
+   hands out its own ids ([rs<n>]) and rewrites the shard's id both
+   ways; a dead owner invalidates the session (the client re-opens and
+   the replicated checkpoint store warms the replacement). *)
+type sess = { rsid : string; s_shard : string; s_sid : string }
+
 type t = {
   config : config;
   listen_fds : Unix.file_descr list;
   shards : shard array;
   ring : (int64 * int) array;  (* (point, shard index), sorted by point *)
   entries : (string, entry) Hashtbl.t;
+  sessions : (string, sess) Hashtbl.t;
+  mutable sseq : int;
   mutable seq : int;
   mu : Mutex.t;
   place_mu : Mutex.t;  (* serialises placement so an orphan is re-placed once *)
@@ -350,6 +359,10 @@ let zero_metrics uptime draining =
     uptime_seconds = uptime;
     fallbacks = [];
     shed = 0;
+    eco_warm_hits = 0;
+    eco_cold_fallbacks = 0;
+    cache_evictions = 0;
+    integrity_failures = 0;
   }
 
 let merge_fallbacks a b =
@@ -386,10 +399,93 @@ let metrics t =
           uptime_seconds = uptime;
           fallbacks = merge_fallbacks acc.Protocol.fallbacks m.Protocol.fallbacks;
           shed = acc.Protocol.shed + m.Protocol.shed;
+          eco_warm_hits = acc.Protocol.eco_warm_hits + m.Protocol.eco_warm_hits;
+          eco_cold_fallbacks = acc.Protocol.eco_cold_fallbacks + m.Protocol.eco_cold_fallbacks;
+          cache_evictions = acc.Protocol.cache_evictions + m.Protocol.cache_evictions;
+          integrity_failures = acc.Protocol.integrity_failures + m.Protocol.integrity_failures;
         }
       | Ok _ | Error _ -> acc)
     (zero_metrics uptime draining)
     (live_shards t)
+
+(* --- sticky ECO sessions --------------------------------------------- *)
+
+let open_session t spec =
+  match Scheduler.problem_of_spec spec with
+  | Error (code, message) -> Error (code, message)
+  | Ok problem ->
+    let hash = Checkpoint.instance_hash problem in
+    let rec go excluding =
+      match locked t.mu (fun () -> pick_shard t ~hash ~excluding) with
+      | None -> Error (Protocol.Unavailable, "no live shard can open a session")
+      | Some s -> (
+        match forward t s.saddr (Protocol.Session_open spec) with
+        | Ok (Protocol.Eco_result v) ->
+          let rsid =
+            locked t.mu (fun () ->
+                t.sseq <- t.sseq + 1;
+                let rsid = Printf.sprintf "rs%d" t.sseq in
+                Hashtbl.replace t.sessions rsid
+                  { rsid; s_shard = s.name; s_sid = v.Protocol.eco_session };
+                rsid)
+          in
+          Ok { v with Protocol.eco_session = rsid }
+        | Ok
+            (Protocol.Error
+              { code = Protocol.Overloaded | Protocol.Draining | Protocol.Unavailable; _ }) ->
+          go (s.name :: excluding)
+        | Ok (Protocol.Error { code; message }) -> Error (code, message)
+        | Ok other ->
+          Error
+            ( Protocol.Internal,
+              Format.asprintf "unexpected reply from shard %s: %a" s.name Protocol.pp_response
+                other )
+        | Error _transport ->
+          note_forward_failure t s;
+          go (s.name :: excluding))
+    in
+    go []
+
+(* Forward one request to a session's owning shard.  Sessions are not
+   failover-transparent (the warm state died with the shard), so a
+   dead or unreachable owner invalidates the mapping and the client
+   must re-open. *)
+let session_forward t rsid make_req =
+  match locked t.mu (fun () -> Hashtbl.find_opt t.sessions rsid) with
+  | None -> Error (Protocol.Unknown_session, Printf.sprintf "no such session %S" rsid)
+  | Some se -> (
+    let owner =
+      locked t.mu (fun () ->
+          match shard_named t se.s_shard with
+          | Some s when s.alive -> Some s
+          | _ -> None)
+    in
+    match owner with
+    | None ->
+      locked t.mu (fun () -> Hashtbl.remove t.sessions rsid);
+      Error
+        ( Protocol.Unavailable,
+          Printf.sprintf "session %s lost: shard %s is down; re-open the session" rsid
+            se.s_shard )
+    | Some s -> (
+      match forward t s.saddr (make_req se.s_sid) with
+      | Ok (Protocol.Eco_result v) -> Ok (Protocol.Eco_result { v with Protocol.eco_session = rsid })
+      | Ok (Protocol.Session_closed { session = _; checkpoint }) ->
+        locked t.mu (fun () -> Hashtbl.remove t.sessions rsid);
+        Ok (Protocol.Session_closed { session = rsid; checkpoint })
+      | Ok (Protocol.Error { code; message }) -> Error (code, message)
+      | Ok other ->
+        Error
+          ( Protocol.Internal,
+            Format.asprintf "unexpected reply from shard %s: %a" s.name Protocol.pp_response
+              other )
+      | Error _transport ->
+        note_forward_failure t s;
+        locked t.mu (fun () -> Hashtbl.remove t.sessions rsid);
+        Error
+          ( Protocol.Unavailable,
+            Printf.sprintf "session %s lost: shard %s is unreachable; re-open the session" rsid
+              se.s_shard )))
 
 let request_drain t = Atomic.set t.drain_requested true
 
@@ -478,6 +574,21 @@ let answer t ?fault oc = function
     broadcast_drain t;
     Conn.send ?fault oc Protocol.Drain_ack;
     request_drain t
+  | Protocol.Session_open spec -> (
+    match open_session t spec with
+    | Ok v -> Conn.send ?fault oc (Protocol.Eco_result v)
+    | Error (code, message) -> Conn.send ?fault oc (Protocol.Error { code; message }))
+  | Protocol.Eco_submit { session; seq; delta; force_cold } -> (
+    match
+      session_forward t session (fun sid ->
+          Protocol.Eco_submit { session = sid; seq; delta; force_cold })
+    with
+    | Ok resp -> Conn.send ?fault oc resp
+    | Error (code, message) -> Conn.send ?fault oc (Protocol.Error { code; message }))
+  | Protocol.Session_close session -> (
+    match session_forward t session (fun sid -> Protocol.Session_close sid) with
+    | Ok resp -> Conn.send ?fault oc resp
+    | Error (code, message) -> Conn.send ?fault oc (Protocol.Error { code; message }))
 
 let handle_connection t fd =
   let fault = t.config.fault in
@@ -521,6 +632,8 @@ let create (config : config) =
             shards;
             ring = build_ring ~vnodes:(max 1 config.vnodes) shards;
             entries = Hashtbl.create 64;
+            sessions = Hashtbl.create 16;
+            sseq = 0;
             seq = 0;
             mu = Mutex.create ();
             place_mu = Mutex.create ();

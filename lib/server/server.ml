@@ -12,6 +12,8 @@ type config = {
   shard_id : string;
   conn_timeout : float;
   fault : Netfault.t option;
+  eco_fault : Session.Fault.t option;
+  eco_cache : int;
 }
 
 let default_config ~socket_path =
@@ -27,12 +29,15 @@ let default_config ~socket_path =
     shard_id = "qbpartd";
     conn_timeout = 60.0;
     fault = None;
+    eco_fault = None;
+    eco_cache = 32;
   }
 
 type t = {
   config : config;
   listen_fds : Unix.file_descr list;
   sched : Scheduler.t;
+  sessions : Session.t;
   metrics : Metrics.t;
   started_at : float;
   drain_requested : bool Atomic.t;
@@ -80,11 +85,22 @@ let create config =
           ?replicate_dir:config.replicate_dir ~queue_weight:config.queue_weight
           ~queue_capacity:config.max_queue ~metrics ()
       in
+      let sessions =
+        Session.create
+          {
+            Session.cache_capacity = config.eco_cache;
+            checkpoint_dir =
+              Option.value ~default:config.checkpoint_dir config.replicate_dir;
+            fault = config.eco_fault;
+          }
+          ~metrics
+      in
       Ok
         {
           config;
           listen_fds = unix_fd :: tcp_fds;
           sched;
+          sessions;
           metrics;
           started_at = Unix.gettimeofday ();
           drain_requested = Atomic.make false;
@@ -147,6 +163,27 @@ let answer t ?fault oc = function
   | Protocol.Drain ->
     send ?fault oc Protocol.Drain_ack;
     request_drain t
+  | Protocol.Session_open spec ->
+    if draining t then
+      send ?fault oc
+        (Protocol.Error { code = Protocol.Draining; message = "daemon is draining" })
+    else (
+      match Session.open_session t.sessions spec with
+      | Ok v -> send ?fault oc (Protocol.Eco_result v)
+      | Error (code, message) -> send ?fault oc (Protocol.Error { code; message }))
+  | Protocol.Eco_submit { session; seq; delta; force_cold } ->
+    if draining t then
+      send ?fault oc
+        (Protocol.Error { code = Protocol.Draining; message = "daemon is draining" })
+    else (
+      match Session.eco t.sessions ~session ~seq ~delta ~force_cold with
+      | Ok v -> send ?fault oc (Protocol.Eco_result v)
+      | Error (code, message) -> send ?fault oc (Protocol.Error { code; message }))
+  | Protocol.Session_close sid -> (
+    (* allowed while draining: closing persists the incumbent *)
+    match Session.close_session t.sessions sid with
+    | Ok resp -> send ?fault oc resp
+    | Error (code, message) -> send ?fault oc (Protocol.Error { code; message }))
 
 let handle_connection t fd =
   let fault = t.config.fault in
@@ -163,6 +200,7 @@ let serve t =
   if not (Atomic.exchange t.drained true) then begin
     Listener.close_all t.listen_fds;
     (try Unix.unlink t.config.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+    Session.drain t.sessions;
     Scheduler.drain t.sched
   end
 

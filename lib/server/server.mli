@@ -36,13 +36,16 @@ type config = {
           [SO_SNDTIMEO]); [0] disables *)
   fault : Netfault.t option;
       (** inject seeded faults into every response frame (chaos testing) *)
+  eco_fault : Session.Fault.t option;
+      (** deterministic faults on the ECO serving path (chaos testing) *)
+  eco_cache : int;  (** warm-incumbent cache capacity (see {!Session}) *)
 }
 
 val default_config : socket_path:string -> config
 (** [max_queue = 16], [queue_weight = Queue.default_weight],
     [workers = 2], [checkpoint_dir = "."], no TCP, no replication,
     [max_frame = Frame.default_max], [shard_id = "qbpartd"],
-    [conn_timeout = 60.0], no faults. *)
+    [conn_timeout = 60.0], no faults, [eco_cache = 32]. *)
 
 type t
 

@@ -1,0 +1,560 @@
+module Netlist = Qbpart_netlist.Netlist
+module Delta = Qbpart_netlist.Delta
+module Topology = Qbpart_topology.Topology
+module Grid = Qbpart_topology.Grid
+module Constraints = Qbpart_timing.Constraints
+module Assignment = Qbpart_partition.Assignment
+module Problem = Qbpart_core.Problem
+module Qmatrix = Qbpart_core.Qmatrix
+module Repair = Qbpart_core.Repair
+module Certify = Qbpart_core.Certify
+module Burkard = Qbpart_core.Burkard
+module Engine = Qbpart_engine.Engine
+module Checkpoint = Qbpart_engine.Checkpoint
+module Deadline = Qbpart_engine.Deadline
+
+(* --- fault injection ----------------------------------------------- *)
+
+module Fault = struct
+  type t = { corrupt : int option; torn : int option; stale : int option }
+
+  let none = { corrupt = None; torn = None; stale = None }
+
+  let of_spec s =
+    let parse_kv acc kv =
+      match acc with
+      | Error _ as e -> e
+      | Ok f -> (
+        match String.index_opt kv '=' with
+        | None -> Error (Printf.sprintf "bad fault clause %S (want key=N)" kv)
+        | Some i -> (
+          let key = String.sub kv 0 i in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          match int_of_string_opt v with
+          | None | Some 0 -> Error (Printf.sprintf "bad fault count %S for %S" v key)
+          | Some n when n < 0 -> Error (Printf.sprintf "bad fault count %S for %S" v key)
+          | Some n -> (
+            match key with
+            | "corrupt" -> Ok { f with corrupt = Some n }
+            | "torn" -> Ok { f with torn = Some n }
+            | "stale" -> Ok { f with stale = Some n }
+            | _ -> Error (Printf.sprintf "unknown fault point %S" key))))
+    in
+    String.split_on_char ',' (String.trim s)
+    |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+    |> List.fold_left parse_kv (Ok none)
+
+  let to_spec f =
+    [ ("corrupt", f.corrupt); ("torn", f.torn); ("stale", f.stale) ]
+    |> List.filter_map (fun (k, v) -> Option.map (Printf.sprintf "%s=%d" k) v)
+    |> String.concat ","
+end
+
+(* --- configuration -------------------------------------------------- *)
+
+type config = { cache_capacity : int; checkpoint_dir : string; fault : Fault.t option }
+
+let default_config ~checkpoint_dir = { cache_capacity = 32; checkpoint_dir; fault = None }
+
+(* --- state ---------------------------------------------------------- *)
+
+(* One warm incumbent: the solved problem, its certified assignment and
+   cost, the implicit matrix and the maintained η bound to them, and an
+   integrity stamp over the mutable payload.  The stamp is re-verified
+   on every reuse: serving a silently corrupted incumbent would defeat
+   the whole point of the certification pipeline downstream. *)
+type entry = {
+  en_problem : Problem.t;
+  en_assignment : Assignment.t;
+  en_cost : float;
+  en_q : Qmatrix.t;
+  en_eta : Qmatrix.eta_state;
+  en_seed : int;
+  en_stamp : int64;
+  mutable en_tick : int; (* LRU recency *)
+}
+
+type session = {
+  sid : string;
+  spec : Protocol.submit;
+  mutable problem : Problem.t;
+  mutable hash : int64;
+  mutable seq : int;
+  mutable last : Protocol.eco_view option; (* for idempotent replay *)
+}
+
+type t = {
+  mu : Mutex.t;
+  config : config;
+  metrics : Metrics.t;
+  sessions : (string, session) Hashtbl.t;
+  cache : (int64, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable next_sid : int;
+  mutable eco_count : int; (* fault-point clock: k-th eco submit *)
+}
+
+let create config ~metrics =
+  if config.cache_capacity < 1 then invalid_arg "Session.create: cache_capacity < 1";
+  {
+    mu = Mutex.create ();
+    config;
+    metrics;
+    sessions = Hashtbl.create 16;
+    cache = Hashtbl.create 16;
+    tick = 0;
+    next_sid = 0;
+    eco_count = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let session_count t = locked t (fun () -> Hashtbl.length t.sessions)
+let cache_size t = locked t (fun () -> Hashtbl.length t.cache)
+
+(* fires exactly once, on the k-th eco submit (t.eco_count is already
+   incremented for the current request when this is consulted) *)
+let fire t point =
+  match t.config.fault with
+  | None -> false
+  | Some f -> (
+    match point f with Some k -> k = t.eco_count | None -> false)
+
+(* --- integrity stamp ------------------------------------------------ *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+let fnv1a64 h v = Int64.mul (Int64.logxor h v) fnv_prime
+
+let stamp ~assignment ~cost =
+  let h = Array.fold_left (fun h x -> fnv1a64 h (Int64.of_int x)) fnv_offset assignment in
+  fnv1a64 h (Int64.bits_of_float cost)
+
+(* Full structural equality behind the hash: a 64-bit collision (or a
+   poisoned table) must read as a miss, never as a warm hit. *)
+let same_instance (p1 : Problem.t) (p2 : Problem.t) =
+  let topo_equal t1 t2 =
+    Topology.m t1 = Topology.m t2
+    &&
+    let m = Topology.m t1 in
+    let rec caps i = i >= m || (Topology.capacity t1 i = Topology.capacity t2 i && caps (i + 1)) in
+    caps 0
+  in
+  let constraints_equal c1 c2 =
+    let dump c = Constraints.fold c ~init:[] ~f:(fun acc a b d -> (a, b, d) :: acc) in
+    List.sort compare (dump c1) = List.sort compare (dump c2)
+  in
+  Netlist.equal p1.Problem.netlist p2.Problem.netlist
+  && topo_equal p1.Problem.topology p2.Problem.topology
+  && constraints_equal p1.Problem.constraints p2.Problem.constraints
+  && p1.Problem.alpha = p2.Problem.alpha
+  && p1.Problem.beta = p2.Problem.beta
+  && Option.is_some p1.Problem.p = Option.is_some p2.Problem.p
+
+(* --- cache ---------------------------------------------------------- *)
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.en_tick <- t.tick
+
+let checkpoint_of_entry e =
+  Checkpoint.make ~problem:e.en_problem ~base_seed:e.en_seed ~elapsed:0.0
+    ~incumbent:e.en_assignment ~incumbent_cost:e.en_cost ~starts:[] ()
+
+let evict_to_disk t ~hash e =
+  let path = Checkpoint.store_path ~dir:t.config.checkpoint_dir ~hash in
+  ignore (Checkpoint.save ~path (checkpoint_of_entry e));
+  Hashtbl.remove t.cache hash;
+  Metrics.cache_eviction t.metrics
+
+let cache_insert t ~hash e =
+  if not (Hashtbl.mem t.cache hash) && Hashtbl.length t.cache >= t.config.cache_capacity then begin
+    (* evict the least recently used entry, checkpointing it on the way out *)
+    let victim =
+      Hashtbl.fold
+        (fun h e acc ->
+          match acc with
+          | Some (_, best) when best.en_tick <= e.en_tick -> acc
+          | _ -> Some (h, e))
+        t.cache None
+    in
+    match victim with None -> () | Some (h, v) -> evict_to_disk t ~hash:h v
+  end;
+  touch t e;
+  Hashtbl.replace t.cache hash e
+
+(* Look up a warm incumbent for [problem]; verifies structure and the
+   integrity stamp.  A failed stamp counts an integrity failure, drops
+   the entry and reads as a miss (the caller demotes to a cold solve). *)
+let cache_find t ~hash ~problem =
+  match Hashtbl.find_opt t.cache hash with
+  | None -> None
+  | Some e ->
+    if not (same_instance e.en_problem problem) then None
+    else if stamp ~assignment:e.en_assignment ~cost:e.en_cost <> e.en_stamp then begin
+      Metrics.integrity_failure t.metrics;
+      Hashtbl.remove t.cache hash;
+      None
+    end
+    else begin
+      touch t e;
+      Some e
+    end
+
+(* --- solving -------------------------------------------------------- *)
+
+let engine_config (spec : Protocol.submit) =
+  {
+    Engine.Config.default with
+    qbp =
+      {
+        Burkard.Config.default with
+        iterations = spec.Protocol.iterations;
+        seed = spec.Protocol.seed;
+        gap_race = (if spec.Protocol.gap_race then Some Qbpart_gap.Race.default else None);
+      };
+    starts = spec.Protocol.starts;
+  }
+
+let deadline_of_spec (spec : Protocol.submit) =
+  match spec.Protocol.deadline_s with
+  | Some s -> Deadline.of_seconds s
+  | None -> Deadline.none ()
+
+let render_stage (s : Engine.Report.stage) =
+  Format.asprintf "%s: %a (%.3fs, cost %.1f)" s.Engine.Report.name Engine.Report.pp_stage_outcome
+    s.Engine.Report.outcome s.Engine.Report.wall_seconds s.Engine.Report.cost_after
+
+(* A store checkpoint is only trusted for resume when it validates
+   against the instance (hash AND structural fingerprint) and was
+   produced under the same base seed and a compatible start budget —
+   the same predicate the scheduler's replicated store uses. *)
+let store_resume t ~(spec : Protocol.submit) ~problem ~hash =
+  let path = Checkpoint.store_path ~dir:t.config.checkpoint_dir ~hash in
+  match Checkpoint.load ~path with
+  | Error _ -> None
+  | Ok cp ->
+    if
+      Checkpoint.validate cp problem = Ok ()
+      && cp.Checkpoint.base_seed = spec.Protocol.seed
+      && List.for_all (fun s -> s.Checkpoint.start < spec.Protocol.starts) cp.Checkpoint.starts
+    then Some cp
+    else None
+
+let entry_of_solution ~(spec : Protocol.submit) ~problem ~assignment ~cost =
+  let q = Qmatrix.make problem in
+  let eta = Qmatrix.eta_state q (Assignment.copy assignment) in
+  {
+    en_problem = problem;
+    en_assignment = Assignment.copy assignment;
+    en_cost = cost;
+    en_q = q;
+    en_eta = eta;
+    en_seed = spec.Protocol.seed;
+    en_stamp = stamp ~assignment ~cost;
+    en_tick = 0;
+  }
+
+let hex_hash h = Printf.sprintf "%Lx" h
+
+let cold_solve t ~(spec : Protocol.submit) ~problem ~hash ~resume =
+  let resume = if resume then store_resume t ~spec ~problem ~hash else None in
+  let config = engine_config spec in
+  let deadline = deadline_of_spec spec in
+  match Engine.solve ~config ~deadline ?resume problem with
+  | Error e -> Error (Protocol.Solver_error, Engine.Error.to_string e)
+  | Ok o ->
+    let stages = List.map render_stage o.Engine.report.Engine.Report.stages in
+    List.iter (Metrics.fallback t.metrics) o.Engine.report.Engine.Report.fallbacks;
+    Ok (o, stages, Option.is_some resume)
+
+(* --- session open --------------------------------------------------- *)
+
+let view ~session ~seq ~served ~cost ~certified ~wall ~stages ~assignment ~hash =
+  {
+    Protocol.eco_session = session;
+    eco_seq = seq;
+    served;
+    eco_cost = cost;
+    eco_certified = certified;
+    eco_wall = wall;
+    eco_stages = stages;
+    eco_assignment = Some (Array.copy assignment);
+    eco_instance = hex_hash hash;
+  }
+
+let open_session t spec =
+  match Scheduler.problem_of_spec spec with
+  | Error _ as e -> e
+  | Ok problem ->
+    locked t (fun () ->
+        let started = Unix.gettimeofday () in
+        let hash = Checkpoint.instance_hash problem in
+        match cold_solve t ~spec ~problem ~hash ~resume:true with
+        | Error _ as e -> e
+        | Ok (o, stages, resumed) ->
+          let sid =
+            t.next_sid <- t.next_sid + 1;
+            Printf.sprintf "s%d" t.next_sid
+          in
+          cache_insert t ~hash
+            (entry_of_solution ~spec ~problem ~assignment:o.Engine.assignment
+               ~cost:o.Engine.cost);
+          let v =
+            view ~session:sid ~seq:0
+              ~served:(if resumed then "resume" else "cold")
+              ~cost:o.Engine.cost
+              ~certified:(Certify.ok o.Engine.certificate)
+              ~wall:(Unix.gettimeofday () -. started)
+              ~stages ~assignment:o.Engine.assignment ~hash
+          in
+          Hashtbl.replace t.sessions sid
+            { sid; spec; problem; hash; seq = 0; last = Some v };
+          Ok v)
+
+(* --- the warm path -------------------------------------------------- *)
+
+let drift_tolerance = 1e-6
+
+(* Place the surviving incumbent into the renumbered instance and put
+   each added component on the partition with the most spare capacity. *)
+let remap_incumbent (dr : Problem.delta_result) old_a =
+  let problem = dr.Problem.dr_problem in
+  let n = Problem.n problem in
+  let m = Problem.m problem in
+  let a = Array.make n 0 in
+  let added = ref [] in
+  for j = 0 to n - 1 do
+    let old = dr.Problem.dr_old_of_new.(j) in
+    if old >= 0 then a.(j) <- old_a.(old) else added := j :: !added
+  done;
+  if !added <> [] then begin
+    let loads = Array.make m 0.0 in
+    for j = 0 to n - 1 do
+      if dr.Problem.dr_old_of_new.(j) >= 0 then
+        loads.(a.(j)) <- loads.(a.(j)) +. Netlist.size problem.Problem.netlist j
+    done;
+    List.iter
+      (fun j ->
+        let best = ref 0 in
+        for i = 1 to m - 1 do
+          let spare i = Topology.capacity problem.Problem.topology i -. loads.(i) in
+          if spare i > spare !best then best := i
+        done;
+        a.(j) <- !best;
+        loads.(!best) <- loads.(!best) +. Netlist.size problem.Problem.netlist j)
+      (List.rev !added)
+  end;
+  a
+
+type warm = {
+  w_assignment : Assignment.t;
+  w_cost : float;
+  w_q : Qmatrix.t;
+  w_eta : Qmatrix.eta_state;
+}
+
+(* validate already succeeded; run patch → repair → polish → certify.
+   Returns [Error reason] to demote to a cold solve. *)
+let warm_attempt t ~stages (dr : Problem.delta_result) entry =
+  let stage name ok detail =
+    stages := Printf.sprintf "%s: %s%s" name (if ok then "ok" else "failed")
+              (if detail = "" then "" else " (" ^ detail ^ ")")
+              :: !stages
+  in
+  let problem = dr.Problem.dr_problem in
+  let a = remap_incumbent dr entry.en_assignment in
+  match
+    if dr.Problem.dr_dims_changed then begin
+      let q = Qmatrix.make problem in
+      (q, Qmatrix.eta_state q (Assignment.copy a))
+    end
+    else begin
+      (* dimension-preserving: patch the bound matrix and refresh only
+         the touched η rows instead of rebuilding either *)
+      let q = Qmatrix.apply_delta entry.en_q problem in
+      (q, Qmatrix.eta_rebind entry.en_eta q ~touched:dr.Problem.dr_touched)
+    end
+  with
+  | exception Invalid_argument msg ->
+    stage "patch" false msg;
+    Error "patch"
+  | q, eta ->
+    if fire t (fun f -> f.Fault.torn) then begin
+      (* simulate a torn in-place apply: one η cell left stale *)
+      let buf = Qmatrix.eta_buffer eta in
+      if Array.length buf > 0 then buf.(0) <- buf.(0) +. 1.0e6
+    end;
+    let drift = Qmatrix.eta_drift eta in
+    if drift > drift_tolerance then begin
+      stage "patch" false (Printf.sprintf "torn apply detected: eta drift %g" drift);
+      Error "patch"
+    end
+    else begin
+      stage "patch" true
+        (Printf.sprintf "%d touched row(s), eta drift %g" (List.length dr.Problem.dr_touched) drift);
+      if not (Repair.to_feasible q a ~rounds:8) then begin
+        stage "repair" false "no feasible assignment reached";
+        Error "repair"
+      end
+      else begin
+        stage "repair" true "";
+        Repair.polish q a ~passes:2;
+        stage "polish" true "";
+        ignore (Qmatrix.eta_sync eta a);
+        let cert = Certify.check problem a in
+        if not (Certify.ok cert) then begin
+          stage "certify" false "independent audit rejected the warm answer";
+          Error "certify"
+        end
+        else begin
+          stage "certify" true (Printf.sprintf "objective %.1f" cert.Certify.objective);
+          Ok { w_assignment = a; w_cost = cert.Certify.objective; w_q = q; w_eta = eta }
+        end
+      end
+    end
+
+(* --- eco ------------------------------------------------------------ *)
+
+let adopt t (s : session) ~seq ~problem ~hash ~spec ~assignment ~cost ~q_eta =
+  (* the session has moved past its previous instance; drop that cache
+     slot (its η buffers may be shared with the new entry) and install
+     the new incumbent *)
+  if s.hash <> hash then Hashtbl.remove t.cache s.hash;
+  let e =
+    match q_eta with
+    | Some (q, eta) ->
+      {
+        en_problem = problem;
+        en_assignment = Assignment.copy assignment;
+        en_cost = cost;
+        en_q = q;
+        en_eta = eta;
+        en_seed = spec.Protocol.seed;
+        en_stamp = stamp ~assignment ~cost;
+        en_tick = 0;
+      }
+    | None -> entry_of_solution ~spec ~problem ~assignment ~cost
+  in
+  cache_insert t ~hash e;
+  s.problem <- problem;
+  s.hash <- hash;
+  s.seq <- seq
+
+let eco t ~session ~seq ~delta ~force_cold =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.sessions session with
+      | None -> Error (Protocol.Unknown_session, Printf.sprintf "no such session %S" session)
+      | Some s -> (
+        t.eco_count <- t.eco_count + 1;
+        (* +2: +1 would collide with the idempotent-replay window *)
+        if fire t (fun f -> f.Fault.stale) then s.seq <- s.seq + 2;
+        if seq = s.seq && s.last <> None then
+          (* idempotent replay of the last applied delta *)
+          Ok { (Option.get s.last) with Protocol.served = "replay" }
+        else if seq <> s.seq + 1 then
+          Error
+            ( Protocol.Stale_session,
+              Printf.sprintf "session %s expects seq %d, got %d" s.sid (s.seq + 1) seq )
+        else
+          match Delta.parse_string delta with
+          | Error e -> Error (Protocol.Invalid_delta, Delta.error_to_string e)
+          | Ok ops -> (
+            let started = Unix.gettimeofday () in
+            let stages = ref [] in
+            (* validate: structurally check the edit against the live
+               netlist before touching any state *)
+            match Delta.apply s.problem.Problem.netlist ops with
+            | Error e ->
+              Error (Protocol.Invalid_delta, Delta.error_to_string e)
+            | Ok applied -> (
+              (* rebuild the grid exactly as a cold submit would, so the
+                 edited instance hashes identically to one submitted
+                 from scratch *)
+              let nl = applied.Delta.netlist in
+              let m = s.spec.Protocol.rows * s.spec.Protocol.cols in
+              let capacity = Netlist.total_size nl /. float_of_int m *. s.spec.Protocol.slack in
+              let topology =
+                Grid.make ~rows:s.spec.Protocol.rows ~cols:s.spec.Protocol.cols ~capacity ()
+              in
+              match Problem.apply_delta ~topology s.problem ops with
+              | Error e -> Error (Protocol.Invalid_delta, Delta.error_to_string e)
+              | Ok dr -> (
+                stages := [ "validate: ok" ];
+                let problem = dr.Problem.dr_problem in
+                let hash = Checkpoint.instance_hash problem in
+                let warm =
+                  if force_cold then Error "forced cold"
+                  else
+                    match Hashtbl.find_opt t.cache s.hash with
+                    | None ->
+                      stages := "warm: miss" :: !stages;
+                      Error "miss"
+                    | Some e ->
+                      if fire t (fun f -> f.Fault.corrupt) then
+                        (* corrupt the cached incumbent in place without
+                           restamping: the stamp re-check must notice *)
+                        e.en_assignment.(0) <-
+                          (e.en_assignment.(0) + 1) mod Problem.m e.en_problem;
+                      (match cache_find t ~hash:s.hash ~problem:s.problem with
+                      | None ->
+                        stages := "warm: cached incumbent failed integrity re-check" :: !stages;
+                        Error "integrity"
+                      | Some entry -> warm_attempt t ~stages dr entry)
+                in
+                match warm with
+                | Ok w ->
+                  Metrics.eco_warm_hit t.metrics;
+                  adopt t s ~seq ~problem ~hash ~spec:s.spec ~assignment:w.w_assignment
+                    ~cost:w.w_cost ~q_eta:(Some (w.w_q, w.w_eta));
+                  let v =
+                    view ~session:s.sid ~seq ~served:"warm" ~cost:w.w_cost ~certified:true
+                      ~wall:(Unix.gettimeofday () -. started)
+                      ~stages:(List.rev !stages) ~assignment:w.w_assignment ~hash
+                  in
+                  s.last <- Some v;
+                  Ok v
+                | Error _ -> (
+                  if not force_cold then Metrics.eco_cold_fallback t.metrics;
+                  match cold_solve t ~spec:s.spec ~problem ~hash ~resume:(not force_cold) with
+                  | Error _ as e -> e
+                  | Ok (o, cold_stages, _) ->
+                    adopt t s ~seq ~problem ~hash ~spec:s.spec ~assignment:o.Engine.assignment
+                      ~cost:o.Engine.cost ~q_eta:None;
+                    let v =
+                      view ~session:s.sid ~seq ~served:"cold" ~cost:o.Engine.cost
+                        ~certified:(Certify.ok o.Engine.certificate)
+                        ~wall:(Unix.gettimeofday () -. started)
+                        ~stages:(List.rev !stages @ cold_stages)
+                        ~assignment:o.Engine.assignment ~hash
+                    in
+                    s.last <- Some v;
+                    Ok v))))))
+
+(* --- close / drain -------------------------------------------------- *)
+
+let checkpoint_session t (s : session) =
+  match Hashtbl.find_opt t.cache s.hash with
+  | None -> None
+  | Some e ->
+    let path = Checkpoint.store_path ~dir:t.config.checkpoint_dir ~hash:s.hash in
+    (match Checkpoint.save ~path (checkpoint_of_entry e) with
+    | Ok () -> Some path
+    | Error _ -> None)
+
+let close_session t sid =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.sessions sid with
+      | None -> Error (Protocol.Unknown_session, Printf.sprintf "no such session %S" sid)
+      | Some s ->
+        Hashtbl.remove t.sessions sid;
+        let checkpoint = checkpoint_session t s in
+        Ok (Protocol.Session_closed { session = sid; checkpoint }))
+
+let drain t =
+  locked t (fun () ->
+      Hashtbl.iter (fun _ s -> ignore (checkpoint_session t s)) t.sessions;
+      Hashtbl.reset t.sessions)

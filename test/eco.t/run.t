@@ -1,0 +1,93 @@
+ECO delta sessions end to end: open a session, stream deltas against
+the warm incumbent, and watch every rung of the contract — warm patch,
+idempotent replay, structured rejections with exit 123, forced cold
+re-solve, close-with-checkpoint, and the drain refusal.
+
+  $ qbpart generate -n 24 -w 60 --seed 9 -o circ.net
+  wrote circ.net: 24 components, 60 interconnections
+  $ mkdir store
+  $ qbpartd --socket d.sock --max-queue 4 --workers 1 --checkpoint-dir store 2> daemon.log &
+  $ pid=$!
+  $ for i in $(seq 1 100); do [ -S d.sock ] && break; sleep 0.1; done
+
+Opening a session cold-solves the instance and prints the certified
+incumbent; the assignment covers every component:
+
+  $ qbpart session open circ.net --socket d.sock --rows 2 --cols 2 --slack 1.4 --seed 1 2> open.err > open.out
+  $ head -1 open.out | sed 's/cost=[0-9.]*/cost=_/'
+  s1 #0 cold cost=_ certified
+  $ tail -1 open.out | wc -w
+  25
+
+A dims-preserving delta is served warm: the stage report shows the
+ladder ran validate -> patch -> repair -> polish -> certify, and the
+answer is still independently certified:
+
+  $ printf 'retime c0 c1 4.0\n' > d1.eco
+  $ qbpart eco s1 d1.eco --socket d.sock --seq 1 2> eco1.err > eco1.out
+  $ head -1 eco1.out | sed 's/cost=[0-9.]*/cost=_/'
+  s1 #1 warm cost=_ certified
+  $ grep -c "patch: ok" eco1.err
+  1
+  $ grep -c "certify: ok" eco1.err
+  1
+
+Re-sending the same sequence number is idempotent — the cached answer
+replays instead of applying the delta twice:
+
+  $ qbpart eco s1 d1.eco --socket d.sock --seq 1 2> /dev/null | head -1 | sed 's/cost=[0-9.]*/cost=_/'
+  s1 #1 replay cost=_ certified
+
+A delta naming an unknown component is rejected by the validator with
+the offending op, and nothing is applied:
+
+  $ printf 'wire cNOPE c0 1.0\n' > bad.eco
+  $ qbpart eco s1 bad.eco --socket d.sock --seq 2
+  qbpart: server invalid_delta: delta op 1 (wire cNOPE c0 1): unknown component "cNOPE"
+  [123]
+
+Unknown sessions and out-of-window sequence numbers are structured
+errors, not hangs:
+
+  $ qbpart eco s99 d1.eco --socket d.sock --seq 1
+  qbpart: server unknown_session: no such session "s99"
+  [123]
+  $ qbpart eco s1 d1.eco --socket d.sock --seq 7
+  qbpart: server stale_session: session s1 expects seq 2, got 7
+  [123]
+
+--cold bypasses the warm cache and re-solves from scratch; the session
+still advances:
+
+  $ printf 'wire c2 c3 1.5\n' > d2.eco
+  $ qbpart eco s1 d2.eco --socket d.sock --seq 2 --cold 2> /dev/null | head -1 | sed 's/cost=[0-9.]*/cost=_/'
+  s1 #2 cold cost=_ certified
+
+The daemon's metrics carry the session counters:
+
+  $ qbpart metrics --socket d.sock 2> /dev/null | tr ',' '\n' | grep '"eco_warm_hits"'
+  "eco_warm_hits":1
+
+Closing the session persists the warm incumbent as a first-class
+engine checkpoint:
+
+  $ qbpart session close s1 --socket d.sock 2> /dev/null | sed 's/qbpartd-[0-9a-f]*/qbpartd-HASH/'
+  s1 closed (checkpoint store/qbpartd-HASH.ckpt)
+  $ ls store | wc -l
+  1
+
+A drain begun while a portfolio job is mid-flight closes the session
+plane: opening a session against the draining (or already-gone) daemon
+fails with exit 123 instead of serving an uncertifiable answer:
+
+  $ qbpart generate -n 160 -w 900 --seed 7 -o big.net
+  wrote big.net: 160 components, 900 interconnections
+  $ qbpart submit big.net --socket d.sock --rows 2 --cols 2 --slack 1.4 --starts 400 --iterations 3000 2> /dev/null
+  j1
+  $ kill -TERM $pid
+  $ sleep 0.5
+  $ qbpart session open circ.net --socket d.sock --rows 2 --cols 2 --slack 1.4 --connect-timeout 2 --read-timeout 2 2> /dev/null
+  [123]
+  $ wait $pid
+  $ grep -c ": drained" daemon.log
+  1

@@ -52,10 +52,17 @@ let gen_checkpoint =
            (pair (opt float_gen)
               (opt (oneofl [ "boom"; "line1\nline2"; "100% bad"; "spaces  inside" ]))))
     in
+    let fingerprint =
+      map
+        (fun (n, m, wires, weight) ->
+          { Checkpoint.fp_n = n; fp_m = m; fp_wires = wires; fp_weight = weight })
+        (quad small_nat small_nat small_nat float_gen)
+    in
     map
-      (fun (hash, seed, elapsed, (cost, incumbent, starts, incumbent_start)) ->
+      (fun ((hash, fingerprint), seed, elapsed, (cost, incumbent, starts, incumbent_start)) ->
         {
           Checkpoint.instance_hash = Int64.of_int hash;
+          fingerprint;
           base_seed = seed;
           elapsed = Float.abs elapsed;
           incumbent = Array.of_list incumbent;
@@ -63,7 +70,9 @@ let gen_checkpoint =
           incumbent_start;
           starts;
         })
-      (quad int int float_gen
+      (quad
+         (pair int (opt fingerprint))
+         int float_gen
          (quad float_gen (list_size (int_bound 40) small_nat) (list_size (int_bound 5) progress)
             (int_range (-1) 12))))
 
@@ -79,6 +88,10 @@ let prop_roundtrip =
            equality are both handled *)
         let feq a b = Int64.bits_of_float a = Int64.bits_of_float b in
         cp'.Checkpoint.instance_hash = cp.Checkpoint.instance_hash
+        && (match (cp'.Checkpoint.fingerprint, cp.Checkpoint.fingerprint) with
+           | None, None -> true
+           | Some a, Some b -> Checkpoint.fingerprint_equal a b
+           | _ -> false)
         && cp'.Checkpoint.base_seed = cp.Checkpoint.base_seed
         && feq cp'.Checkpoint.elapsed cp.Checkpoint.elapsed
         && feq cp'.Checkpoint.incumbent_cost cp.Checkpoint.incumbent_cost
@@ -183,6 +196,35 @@ let test_instance_hash_and_validate () =
   | Error (Checkpoint.Instance_mismatch _) -> ()
   | Error e -> fail ("wrong error: " ^ Checkpoint.error_to_string e)
 
+let test_hash_collision_rejected () =
+  (* Regression: the hash alone used to be the only gate between a
+     checkpoint and the problem it resumes.  Simulate a 64-bit
+     collision — a checkpoint taken from p2 whose hash happens to equal
+     p1's — and check the structural fingerprint refuses it. *)
+  let p1 = random_problem 11 and p2 = random_problem 12 in
+  let cp2 =
+    Checkpoint.make ~problem:p2 ~base_seed:3 ~elapsed:0.5
+      ~incumbent:(Array.make (Problem.n p2) 0) ~incumbent_cost:4.0 ~starts:[] ()
+  in
+  let forged = { cp2 with Checkpoint.instance_hash = Checkpoint.instance_hash p1 } in
+  (match Checkpoint.validate forged p1 with
+  | Ok () -> fail "colliding-hash mismatched instance resumed"
+  | Error (Checkpoint.Fingerprint_mismatch _) -> ()
+  | Error e -> fail ("wrong error: " ^ Checkpoint.error_to_string e));
+  (* the fingerprint survives a save/load round-trip *)
+  (match Checkpoint.of_string (Checkpoint.to_string forged) with
+  | Ok cp' -> (
+    match Checkpoint.validate cp' p1 with
+    | Error (Checkpoint.Fingerprint_mismatch _) -> ()
+    | Ok () -> fail "decoded colliding checkpoint resumed"
+    | Error e -> fail ("wrong error after round-trip: " ^ Checkpoint.error_to_string e))
+  | Error e -> fail ("round-trip failed: " ^ Checkpoint.error_to_string e));
+  (* pre-v3 files carry no fingerprint: the hash check still governs *)
+  let legacy = { forged with Checkpoint.fingerprint = None } in
+  match Checkpoint.validate legacy p1 with
+  | Ok () -> ()
+  | Error e -> fail ("legacy checkpoint rejected: " ^ Checkpoint.error_to_string e)
+
 let test_save_load () =
   let dir = Filename.temp_file "qbpart-ckpt" "" in
   Sys.remove dir;
@@ -236,6 +278,7 @@ let test_save_failure_reported () =
   match Checkpoint.save ~path:"/nonexistent-dir/x/y.ckpt"
           {
             Checkpoint.instance_hash = 0L;
+            fingerprint = None;
             base_seed = 0;
             elapsed = 0.0;
             incumbent = [||];
@@ -262,6 +305,8 @@ let () =
       ( "instance",
         [
           Alcotest.test_case "hash + validate" `Quick test_instance_hash_and_validate;
+          Alcotest.test_case "colliding hash rejected by fingerprint" `Quick
+            test_hash_collision_rejected;
         ] );
       ( "filesystem",
         [

@@ -109,6 +109,172 @@ let prop_eta_sync_matches_scratch =
         [ Qmatrix.Solver; Qmatrix.Paper ])
 
 (* ------------------------------------------------------------------ *)
+(* ECO deltas: apply_delta-patched Q/eta vs a from-scratch rebuild.   *)
+
+module Delta = Qbpart_netlist.Delta
+module Component = Qbpart_netlist.Component
+module Wire = Qbpart_netlist.Wire
+
+let cname nl j = Component.name (Netlist.component nl j)
+
+(* A random dimension-preserving delta (wire adds/removes, retimes),
+   valid by construction: each original wire is removed at most once. *)
+let random_inplace_delta rng nl removable =
+  let n = Netlist.n nl in
+  let distinct () =
+    let u = Rng.int rng n in
+    let v = (u + 1 + Rng.int rng (n - 1)) mod n in
+    (u, v)
+  in
+  List.concat
+    (List.init
+       (1 + Rng.int rng 4)
+       (fun _ ->
+         match Rng.int rng 3 with
+         | 0 ->
+           let u, v = distinct () in
+           [
+             Delta.Add_wire
+               {
+                 u = cname nl u;
+                 v = cname nl v;
+                 weight = float_of_int (1 + Rng.int rng 3);
+               };
+           ]
+         | 1 -> (
+           match !removable with
+           | [] -> []
+           | ws ->
+             let k = Rng.int rng (List.length ws) in
+             let w = List.nth ws k in
+             removable := List.filteri (fun i _ -> i <> k) ws;
+             [ Delta.Remove_wire { u = cname nl (Wire.u w); v = cname nl (Wire.v w) } ])
+         | _ ->
+           let u, v = distinct () in
+           [
+             Delta.Retime
+               {
+                 src = cname nl u;
+                 dst = cname nl v;
+                 budget = float_of_int (1 + Rng.int rng 3);
+               };
+           ]))
+
+let prop_apply_delta_matches_scratch =
+  QCheck.Test.make
+    ~name:"apply_delta-patched eta equals scratch rebuild on the edited netlist (<=1e-9)"
+    ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let problem = random_problem seed in
+      let q0 = Qmatrix.make ~penalty:50.0 problem in
+      let problem = Qmatrix.problem q0 in
+      let n = Problem.n problem and m = Problem.m problem in
+      let rng = Rng.create (seed + 3) in
+      let u = Assignment.random rng ~n ~m in
+      List.for_all
+        (fun rule ->
+          let q = ref q0 in
+          let st = ref (Qmatrix.eta_state ~rule !q u) in
+          let removable =
+            ref (Array.to_list (Netlist.wires problem.Problem.netlist))
+          in
+          let ok = ref true in
+          for _ = 1 to 4 do
+            let p = Qmatrix.problem !q in
+            let delta = random_inplace_delta rng p.Problem.netlist removable in
+            match Problem.apply_delta p delta with
+            | Error e -> Alcotest.fail (Delta.error_to_string e)
+            | Ok dr ->
+              if dr.Problem.dr_dims_changed then ok := false
+              else begin
+                let q' = Qmatrix.apply_delta !q dr.Problem.dr_problem in
+                let st' = Qmatrix.eta_rebind !st q' ~touched:dr.Problem.dr_touched in
+                let scratch = Qmatrix.eta ~rule q' u in
+                if max_abs_diff (Qmatrix.eta_buffer st') scratch > 1e-9 then ok := false;
+                if Qmatrix.eta_drift st' > 1e-9 then ok := false;
+                q := q';
+                st := st'
+              end
+          done;
+          !ok)
+        [ Qmatrix.Solver; Qmatrix.Paper ])
+
+(* Removing a component and re-adding it (same size, wires, budgets)
+   must land on an isomorphic instance: remapping an assignment along
+   the returned id maps preserves the objective and every eta block. *)
+let prop_remove_readd_roundtrip =
+  QCheck.Test.make ~name:"remove-then-re-add round-trips to an isomorphic instance"
+    ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      (* P is a fixed MxN matrix, so dimension-changing deltas need a
+         P-free problem. *)
+      let rng = Rng.create seed in
+      let n = 8 + Rng.int rng 8 in
+      let m = 4 in
+      let nl = Generator.generate rng (Generator.default_params ~n ~wires:(3 * n)) in
+      let capacity = Netlist.total_size nl /. float_of_int m *. 1.5 in
+      let topo = Grid.make ~rows:2 ~cols:2 ~capacity () in
+      let cons = Constraints.create ~n in
+      for _ = 1 to n do
+        let j1 = Rng.int rng n and j2 = Rng.int rng n in
+        if j1 <> j2 then Constraints.add cons j1 j2 (float_of_int (1 + Rng.int rng 2))
+      done;
+      let problem = Problem.make ~constraints:cons nl topo in
+      let k = Rng.int rng n in
+      let name = cname nl k in
+      let size = Netlist.size nl k in
+      let re_wires =
+        Array.to_list (Netlist.adj nl k)
+        |> List.map (fun (j, w) ->
+               Delta.Add_wire { u = name; v = cname nl j; weight = w })
+      in
+      let re_budgets = ref [] in
+      Constraints.iter cons (fun j1 j2 b ->
+          if j1 = k then
+            re_budgets :=
+              Delta.Retime { src = name; dst = cname nl j2; budget = b } :: !re_budgets
+          else if j2 = k then
+            re_budgets :=
+              Delta.Retime { src = cname nl j1; dst = name; budget = b } :: !re_budgets);
+      let delta =
+        (Delta.Remove_component { name } :: Delta.Add_component { name; size } :: re_wires)
+        @ !re_budgets
+      in
+      match Problem.apply_delta problem delta with
+      | Error e -> Alcotest.fail (Delta.error_to_string e)
+      | Ok dr ->
+        let p' = dr.Problem.dr_problem in
+        if (not dr.Problem.dr_dims_changed) || Problem.n p' <> n then false
+        else begin
+          let u = Assignment.random (Rng.create (seed + 9)) ~n ~m in
+          let u' = Array.make n 0 in
+          Array.iteri
+            (fun j i ->
+              if dr.Problem.dr_new_of_old.(j) >= 0 then
+                u'.(dr.Problem.dr_new_of_old.(j)) <- i)
+            u;
+          let readded = ref (-1) in
+          Array.iteri (fun j' old -> if old < 0 then readded := j') dr.Problem.dr_old_of_new;
+          u'.(!readded) <- u.(k);
+          let q = Qmatrix.make ~penalty:50.0 problem in
+          let q' = Qmatrix.make ~penalty:50.0 p' in
+          let eta = Qmatrix.eta q u and eta' = Qmatrix.eta q' u' in
+          let ok = ref true in
+          for j = 0 to n - 1 do
+            let j' = if j = k then !readded else dr.Problem.dr_new_of_old.(j) in
+            for i = 0 to m - 1 do
+              if Float.abs (eta.((j * m) + i) -. eta'.((j' * m) + i)) > 1e-9 then
+                ok := false
+            done
+          done;
+          let c = Problem.penalized_objective problem ~penalty:50.0 u in
+          let c' = Problem.penalized_objective p' ~penalty:50.0 u' in
+          !ok && Float.abs (c -. c') <= 1e-9
+        end)
+
+(* ------------------------------------------------------------------ *)
 (* Flat pooled MTHG vs a boxed-matrix reference implementation.       *)
 
 (* The reference works directly on the boxed [m][n] matrices and
@@ -365,6 +531,8 @@ let () =
     [
       ( "eta maintenance",
         [ qt prop_eta_apply_move_matches_scratch; qt prop_eta_sync_matches_scratch ] );
+      ( "eco deltas",
+        [ qt prop_apply_delta_matches_scratch; qt prop_remove_readd_roundtrip ] );
       ( "flat gap",
         [
           qt prop_flat_mthg_matches_boxed_oracle;

@@ -15,6 +15,7 @@ module Router = Qbpart_server.Router
 module Squeue = Qbpart_server.Queue
 module Metrics = Qbpart_server.Metrics
 module Scheduler = Qbpart_server.Scheduler
+module Session = Qbpart_server.Session
 module Server = Qbpart_server.Server
 module Client = Qbpart_server.Client
 module Generator = Qbpart_netlist.Generator
@@ -268,6 +269,13 @@ let gen_request =
         return Protocol.Metrics;
         return Protocol.Heartbeat;
         return Protocol.Drain;
+        map (fun s -> Protocol.Session_open s) gen_submit;
+        (let* session = gen_wire_string in
+         let* seq = int_range 1 1000 in
+         let* delta = gen_wire_string in
+         let* force_cold = bool in
+         return (Protocol.Eco_submit { session; seq; delta; force_cold }));
+        map (fun id -> Protocol.Session_close id) gen_wire_string;
       ])
 
 let gen_job_state =
@@ -287,6 +295,9 @@ let gen_error_code =
       Protocol.Malformed;
       Protocol.Unavailable;
       Protocol.Internal;
+      Protocol.Invalid_delta;
+      Protocol.Unknown_session;
+      Protocol.Stale_session;
     ]
 
 let gen_job_view =
@@ -344,6 +355,10 @@ let gen_metrics_view =
     (* field names must be unique for an honest object round-trip *)
     let fallbacks = List.sort_uniq (fun (a, _) (b, _) -> compare a b) fallbacks in
     let* shed = int_range 0 50 in
+    let* eco_warm_hits = int_range 0 500 in
+    let* eco_cold_fallbacks = int_range 0 500 in
+    let* cache_evictions = int_range 0 100 in
+    let* integrity_failures = int_range 0 10 in
     return
       {
         Protocol.accepted;
@@ -360,6 +375,10 @@ let gen_metrics_view =
         uptime_seconds;
         fallbacks;
         shed;
+        eco_warm_hits;
+        eco_cold_fallbacks;
+        cache_evictions;
+        integrity_failures;
       })
 
 let gen_heartbeat_view =
@@ -370,6 +389,30 @@ let gen_heartbeat_view =
     let* hb_running = int_range 0 16 in
     let* hb_draining = bool in
     return { Protocol.shard; uptime; hb_queue_depth; hb_running; hb_draining })
+
+let gen_eco_view =
+  QCheck.Gen.(
+    let* eco_session = gen_wire_string in
+    let* eco_seq = int_range 0 1000 in
+    let* served = oneofl [ "warm"; "cold"; "resume"; "replay" ] in
+    let* eco_cost = gen_finite_float in
+    let* eco_certified = bool in
+    let* eco_wall = gen_finite_float in
+    let* eco_stages = list_size (int_range 0 6) gen_wire_string in
+    let* eco_assignment = opt (array_size (int_range 0 20) (int_range 0 63)) in
+    let* eco_instance = gen_wire_string in
+    return
+      {
+        Protocol.eco_session;
+        eco_seq;
+        served;
+        eco_cost;
+        eco_certified;
+        eco_wall;
+        eco_stages;
+        eco_assignment;
+        eco_instance;
+      })
 
 let gen_response =
   QCheck.Gen.(
@@ -386,6 +429,10 @@ let gen_response =
          return (Protocol.Event { job; seq; state; detail }));
         map (fun hb -> Protocol.Heartbeat_ack hb) gen_heartbeat_view;
         return Protocol.Drain_ack;
+        map (fun v -> Protocol.Eco_result v) gen_eco_view;
+        (let* session = gen_wire_string in
+         let* checkpoint = opt gen_wire_string in
+         return (Protocol.Session_closed { session; checkpoint }));
         (let* code = gen_error_code in
          let* message = gen_wire_string in
          return (Protocol.Error { code; message }));
@@ -596,6 +643,90 @@ let test_scheduler_validation () =
   match Scheduler.problem_of_spec (base_spec text) with
   | Ok _ -> ()
   | Error (c, m) -> fail (Protocol.error_code_to_string c ^ ": " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Session: the warm-cache integrity contract, without any socket.
+   A corrupt-cache fault armed on the first ECO must trip the stamp
+   re-check, count an integrity failure, and demote the request to a
+   certified cold solve — never serve the poisoned incumbent. *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_session_integrity_demotes_to_cold () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qbpart-session-test-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o700;
+  let metrics = Metrics.create () in
+  let t =
+    Session.create
+      {
+        Session.cache_capacity = 4;
+        checkpoint_dir = dir;
+        fault = Some { Session.Fault.corrupt = Some 1; torn = None; stale = None };
+      }
+      ~metrics
+  in
+  let spec =
+    { (small_grid (base_spec (netlist_text ~n:16 ~wires:40 ~seed:11))) with
+      Protocol.slack = 1.4; iterations = 20; seed = 3 }
+  in
+  let v0 =
+    match Session.open_session t spec with
+    | Ok v -> v
+    | Error (c, m) -> fail (Protocol.error_code_to_string c ^ ": " ^ m)
+  in
+  check Alcotest.bool "open certified" true v0.Protocol.eco_certified;
+  check Alcotest.int "open seq" 0 v0.Protocol.eco_seq;
+  let v1 =
+    match
+      Session.eco t ~session:v0.Protocol.eco_session ~seq:1 ~delta:"retime c0 c1 4.0\n"
+        ~force_cold:false
+    with
+    | Ok v -> v
+    | Error (c, m) -> fail (Protocol.error_code_to_string c ^ ": " ^ m)
+  in
+  check Alcotest.string "demoted to cold" "cold" v1.Protocol.served;
+  check Alcotest.bool "cold answer certified" true v1.Protocol.eco_certified;
+  check Alcotest.bool "stage report names the integrity re-check" true
+    (List.exists (contains ~sub:"integrity") v1.Protocol.eco_stages);
+  let m = Metrics.snapshot metrics ~queue_depth:0 ~running:0 ~draining:false in
+  check Alcotest.int "integrity failure counted" 1 m.Protocol.integrity_failures;
+  check Alcotest.bool "demotion counted as cold fallback" true
+    (m.Protocol.eco_cold_fallbacks >= 1);
+  check Alcotest.int "no warm hit" 0 m.Protocol.eco_warm_hits;
+  (* the poisoned entry was dropped: the next delta warms from the
+     freshly adopted cold incumbent and must serve warm again *)
+  let v2 =
+    match
+      Session.eco t ~session:v0.Protocol.eco_session ~seq:2 ~delta:"retime c2 c3 4.0\n"
+        ~force_cold:false
+    with
+    | Ok v -> v
+    | Error (c, m) -> fail (Protocol.error_code_to_string c ^ ": " ^ m)
+  in
+  check Alcotest.string "cache recovers to warm serving" "warm" v2.Protocol.served;
+  check Alcotest.bool "warm answer certified" true v2.Protocol.eco_certified;
+  Session.drain t
+
+let test_session_fault_spec () =
+  (match Session.Fault.of_spec "corrupt=1,torn=3,stale=5" with
+  | Ok f ->
+    check Alcotest.(option int) "corrupt" (Some 1) f.Session.Fault.corrupt;
+    check Alcotest.(option int) "torn" (Some 3) f.Session.Fault.torn;
+    check Alcotest.(option int) "stale" (Some 5) f.Session.Fault.stale;
+    check Alcotest.string "round-trips" "corrupt=1,torn=3,stale=5" (Session.Fault.to_spec f)
+  | Error e -> fail e);
+  List.iter
+    (fun s ->
+      match Session.Fault.of_spec s with
+      | Error _ -> ()
+      | Ok _ -> fail (Printf.sprintf "accepted %S" s))
+    [ "corrupt=0"; "torn=-1"; "bogus=3"; "corrupt="; "corrupt=x" ]
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end: the serving contract over a real socket *)
@@ -835,6 +966,16 @@ let test_drain_cancels_queued_jobs () =
   check Alcotest.string "j2 cancelled by drain" "cancelled"
     (Protocol.job_state_to_string v2.Protocol.state);
   check Alcotest.bool "j2 never ran" true (v2.Protocol.cost = None);
+  (* v3 session ops are refused for the whole drain window — observed
+     from a connection that was accepted before the drain began *)
+  (match call_ok c (Protocol.Session_open (small_grid (base_spec text))) with
+  | Protocol.Error { code = Protocol.Draining; _ } -> ()
+  | r -> fail (Format.asprintf "expected draining refusal, got %a" Protocol.pp_response r));
+  (match
+     call_ok c (Protocol.Eco_submit { session = "s1"; seq = 1; delta = ""; force_cold = false })
+   with
+  | Protocol.Error { code = Protocol.Draining; _ } -> ()
+  | r -> fail (Format.asprintf "expected draining refusal, got %a" Protocol.pp_response r));
   Client.close c
 
 (* ------------------------------------------------------------------ *)
@@ -1212,6 +1353,12 @@ let () =
         ] );
       ("metrics", [ Alcotest.test_case "snapshot" `Quick test_metrics_snapshot ]);
       ("scheduler", [ Alcotest.test_case "spec validation" `Quick test_scheduler_validation ]);
+      ( "session",
+        [
+          Alcotest.test_case "fault spec parsing" `Quick test_session_fault_spec;
+          Alcotest.test_case "integrity failure demotes to certified cold" `Quick
+            test_session_integrity_demotes_to_cold;
+        ] );
       ( "client",
         [
           Alcotest.test_case "hung server times out, retries stay bounded" `Slow

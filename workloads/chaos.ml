@@ -110,7 +110,7 @@ type fleet = {
 
 let qbpartd_bin = ref ""
 
-let start_worker ~dir ~store ~name ~max_queue ~fault =
+let start_worker ~dir ~store ~name ~max_queue ~fault ~eco_fault =
   let socket = Filename.concat dir (name ^ ".sock") in
   let ckpts = Filename.concat dir (name ^ "-ckpts") in
   if not (Sys.file_exists ckpts) then Unix.mkdir ckpts 0o700;
@@ -121,12 +121,13 @@ let start_worker ~dir ~store ~name ~max_queue ~fault =
     ]
     @ (match store with Some s -> [ "--replicate"; s ] | None -> [])
     @ (match fault with Some spec -> [ "--fault"; spec ] | None -> [])
+    @ (match eco_fault with Some spec -> [ "--eco-fault"; spec ] | None -> [])
   in
   let pid = spawn (Array.of_list argv) ~log:(Filename.concat dir (name ^ ".log")) in
   wait_for (fun () -> socket_ready socket) (name ^ " socket");
   { name; pid; socket }
 
-let start_fleet ~dir ~shards ~max_queue ?store ?fault () =
+let start_fleet ~dir ~shards ~max_queue ?store ?fault ?eco_fault () =
   let store =
     match store with
     | Some true ->
@@ -137,7 +138,8 @@ let start_fleet ~dir ~shards ~max_queue ?store ?fault () =
   in
   let workers =
     List.init shards (fun i ->
-        start_worker ~dir ~store ~name:(Printf.sprintf "shard-%d" i) ~max_queue ~fault)
+        start_worker ~dir ~store ~name:(Printf.sprintf "shard-%d" i) ~max_queue ~fault
+          ~eco_fault)
   in
   let router_socket = Filename.concat dir "router.sock" in
   let argv =
@@ -356,6 +358,238 @@ let row { label; outcome; extra } =
     @ extra)
 
 (* ------------------------------------------------------------------ *)
+(* ECO delta storm
+
+   Each client thread opens a session through the router and streams a
+   run of deltas against it.  Every shard is armed with deterministic
+   ECO faults (a corrupted cached incumbent, a torn η patch), and one
+   shard is SIGKILLed mid-stream; sessions are sticky, so clients that
+   lose their shard must observe the failure and re-open.  The pass
+   condition is absolute: every served answer certified, zero
+   uncertified answers, and the armed faults visible as
+   [integrity_failures > 0] in the surviving fleet's metrics. *)
+
+let eco_call addr req =
+  Client.request ~backoff ~connect_timeout:2.0 ~read_timeout:60.0 addr req
+
+(* self-contained deltas over the generator's stable [c<j>] names:
+   wires, tightened retimes, and adds that only wire to base
+   components, so any delta is valid against any session state *)
+let delta_text ~n ~slot d =
+  let a = (slot + (3 * d)) mod n in
+  let b = (a + 1 + (d mod (n - 2))) mod n in
+  match d mod 3 with
+  | 0 -> Printf.sprintf "add x%d_%d 2.0\nwire x%d_%d c%d 1.0\n" slot d slot d a
+  | 1 -> Printf.sprintf "wire c%d c%d 1.5\n" a b
+  | _ -> Printf.sprintf "retime c%d c%d %g\n" a b (5.0 +. float_of_int (d mod 4))
+
+let run_eco_stream addr ~spec ~n ~slot ~deltas ~latencies ~mu ~done_count ~uncertified =
+  let bump () =
+    Mutex.lock mu;
+    incr done_count;
+    Mutex.unlock mu
+  in
+  let open_sess () =
+    match eco_call addr (Protocol.Session_open spec) with
+    | Ok (Protocol.Eco_result v) ->
+      if v.Protocol.eco_certified then Ok v.Protocol.eco_session
+      else begin
+        Mutex.lock mu;
+        incr uncertified;
+        Mutex.unlock mu;
+        Error "session open: uncertified answer"
+      end
+    | Ok (Protocol.Error { code; message }) ->
+      Error
+        (Printf.sprintf "session open refused: %s: %s"
+           (Protocol.error_code_to_string code) message)
+    | Ok r -> Error (Format.asprintf "unexpected open response %a" Protocol.pp_response r)
+    | Error e -> Error ("session open: " ^ e)
+  in
+  match open_sess () with
+  | Error e ->
+    List.init deltas (fun _ -> bump ()) |> ignore;
+    [ Printf.sprintf "eco stream %d: %s" slot e ]
+  | Ok sid0 ->
+    let sid = ref sid0 and seq = ref 0 in
+    let errors = ref [] in
+    for d = 1 to deltas do
+      let text = delta_text ~n ~slot d in
+      let t0 = Unix.gettimeofday () in
+      let rec attempt tries =
+        if tries <= 0 then Error (Printf.sprintf "delta %d: retries exhausted" d)
+        else
+          match
+            eco_call addr
+              (Protocol.Eco_submit
+                 { session = !sid; seq = !seq + 1; delta = text; force_cold = false })
+          with
+          | Ok (Protocol.Eco_result v) ->
+            if v.Protocol.eco_certified then begin
+              seq := v.Protocol.eco_seq;
+              latencies.((slot * deltas) + d - 1) <- Unix.gettimeofday () -. t0;
+              Ok ()
+            end
+            else begin
+              Mutex.lock mu;
+              incr uncertified;
+              Mutex.unlock mu;
+              Error (Printf.sprintf "delta %d: uncertified answer" d)
+            end
+          | Ok
+              (Protocol.Error
+                {
+                  code =
+                    ( Protocol.Stale_session | Protocol.Unknown_session
+                    | Protocol.Unavailable | Protocol.Draining );
+                  _;
+                }) -> (
+            (* injected staleness, or the owning shard died: the
+               session is gone — re-open (sticky sessions are not
+               failover-transparent) and resend against the fresh one *)
+            match open_sess () with
+            | Ok s ->
+              sid := s;
+              seq := 0;
+              attempt (tries - 1)
+            | Error e -> Error (Printf.sprintf "delta %d: reopen failed: %s" d e))
+          | Ok (Protocol.Error { code; message }) ->
+            Error
+              (Printf.sprintf "delta %d refused: %s: %s" d
+                 (Protocol.error_code_to_string code) message)
+          | Ok r ->
+            Error (Format.asprintf "delta %d: unexpected %a" d Protocol.pp_response r)
+          | Error _transport ->
+            Thread.delay 0.1;
+            attempt (tries - 1)
+      in
+      (match attempt 6 with
+      | Ok () -> ()
+      | Error e -> errors := Printf.sprintf "eco stream %d: %s" slot e :: !errors);
+      bump ()
+    done;
+    (match eco_call addr (Protocol.Session_close !sid) with Ok _ | Error _ -> ());
+    List.rev !errors
+
+let eco_fleet_metrics addr =
+  match
+    Client.request ~backoff:{ backoff with Client.attempts = 3 } ~connect_timeout:2.0
+      ~read_timeout:10.0 addr Protocol.Metrics
+  with
+  | Ok (Protocol.Metrics_snapshot m) ->
+    Some
+      ( m.Protocol.eco_warm_hits,
+        m.Protocol.eco_cold_fallbacks,
+        m.Protocol.cache_evictions,
+        m.Protocol.integrity_failures )
+  | _ -> None
+
+let eco_storm ~quick ~texts ~n () =
+  let threads = 4 and deltas = if quick then 6 else 12 in
+  Printf.printf "scenario %-10s  3 shards, %d sessions x %d deltas (eco faults armed)...\n%!"
+    "eco_storm" threads deltas;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qbpart-chaos-eco_storm-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o700;
+  let fleet =
+    start_fleet ~dir ~shards:3 ~max_queue:16 ~store:true ~eco_fault:"corrupt=1,torn=3" ()
+  in
+  let addr = Client.Unix_socket fleet.router_socket in
+  let total = threads * deltas in
+  let latencies = Array.make total nan in
+  let mu = Mutex.create () in
+  let done_count = ref 0 and uncertified = ref 0 in
+  let errors = ref [] in
+  let t0 = Unix.gettimeofday () in
+  let chaos_th =
+    Thread.create
+      (fun () ->
+        let trigger () =
+          Mutex.lock mu;
+          let d = !done_count in
+          Mutex.unlock mu;
+          d * 3 >= total
+        in
+        let deadline = Unix.gettimeofday () +. 60.0 in
+        while (not (trigger ())) && Unix.gettimeofday () < deadline do
+          Thread.delay 0.02
+        done;
+        match fleet.workers with
+        | _ :: w :: _ ->
+          Printf.printf "  SIGKILL %s (pid %d) mid-stream\n%!" w.name w.pid;
+          (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
+        | _ -> ())
+      ()
+  in
+  let ths =
+    List.init threads (fun slot ->
+        Thread.create
+          (fun () ->
+            let spec =
+              {
+                (Protocol.default_submit
+                   ~netlist:(Protocol.Inline texts.(slot mod Array.length texts)))
+                with
+                Protocol.rows = 2;
+                cols = 2;
+                slack = 1.4;
+                iterations = 30;
+                seed = 1 + slot;
+                label = Some (Printf.sprintf "eco-%d" slot);
+              }
+            in
+            let es =
+              run_eco_stream addr ~spec ~n ~slot ~deltas ~latencies ~mu ~done_count
+                ~uncertified
+            in
+            Mutex.lock mu;
+            errors := es @ !errors;
+            Mutex.unlock mu)
+          ())
+  in
+  List.iter Thread.join ths;
+  Thread.join chaos_th;
+  let wall = Unix.gettimeofday () -. t0 in
+  let eco_counters = eco_fleet_metrics addr in
+  (match eco_counters with
+  | Some (_, _, _, integrity) when integrity = 0 ->
+    errors := "eco_storm: armed corrupt fault never tripped integrity_failures" :: !errors
+  | None -> errors := "eco_storm: no fleet metrics after the storm" :: !errors
+  | Some _ -> ());
+  if !uncertified > 0 then
+    errors := Printf.sprintf "eco_storm: %d uncertified answers served" !uncertified :: !errors;
+  stop_fleet fleet;
+  let ok = Array.to_list latencies |> List.filter (fun l -> not (Float.is_nan l)) in
+  let sorted = Array.of_list ok in
+  Array.sort compare sorted;
+  let outcome =
+    { offered = total; completed = Array.length sorted; wall; latencies = sorted;
+      errors = !errors }
+  in
+  let p50 = percentile sorted 0.50 and p99 = percentile sorted 0.99 in
+  Printf.printf "  %d/%d deltas certified in %.2fs  %.1f deltas/s  p50 %.3fs  p99 %.3fs%s\n%!"
+    outcome.completed outcome.offered wall
+    (float_of_int outcome.completed /. wall)
+    p50 p99
+    (if !errors = [] then "" else Printf.sprintf "  (%d FAILED)" (List.length !errors));
+  List.iter (fun e -> Printf.printf "    failure: %s\n%!" e) !errors;
+  let extra =
+    match eco_counters with
+    | None -> []
+    | Some (warm, cold, evict, integrity) ->
+      [
+        ("eco_warm_hits", Json.Int warm);
+        ("eco_cold_fallbacks", Json.Int cold);
+        ("cache_evictions", Json.Int evict);
+        ("integrity_failures", Json.Int integrity);
+        ("uncertified", Json.Int !uncertified);
+      ]
+  in
+  { label = "eco_storm"; outcome; extra }
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -418,7 +652,13 @@ let () =
              | _ -> ()))
       ()
   in
-  let results = [ steady; overload; drain; shard_kill ] in
+  (* 5: ECO delta storm — sticky sessions streamed through the router
+     with cache-corruption and torn-patch faults armed on every shard,
+     plus a SIGKILL of one shard mid-stream; every answer must come
+     back certified and the armed faults must be visible in the
+     fleet's integrity counters *)
+  let eco = eco_storm ~quick ~texts ~n:(if quick then 20 else 28) () in
+  let results = [ steady; overload; drain; shard_kill; eco ] in
   let summary =
     List.concat_map
       (fun r ->
