@@ -6,11 +6,12 @@
 
    Every numeric field of the baseline's summary object (by default
    "kernels_summary"; [--summary server_summary] gates the fleet
-   scenarios in BENCH_server.json instead) is checked against the
+   scenarios in BENCH_server.json, [--summary evolve_summary] the
+   population search's per-circuit champions) is checked against the
    current run.  Direction is derived from the field name: [*_ns] and
-   [*_s] are latencies (lower is better), [*_speedup] and [*_per_sec]
-   are rates (higher is better); anything else is reported but never
-   gates.  A field is a regression when it is worse than the baseline
+   [*_s] are latencies and [*_obj] are objective values (lower is
+   better), [*_speedup] and [*_per_sec] are rates (higher is better);
+   anything else is reported but never gates.  A field is a regression when it is worse than the baseline
    by more than the tolerance (default 25% — wide enough for shared CI
    runners, tight enough to catch a kernel falling off a cliff).  Exit
    status: 0 clean, 1 regression, 2 usage/parse error. *)
@@ -47,7 +48,7 @@ let direction name =
     && String.sub name (String.length name - String.length s) (String.length s) = s
   in
   (* [_ns] must be tested before the more general [_s] latency suffix *)
-  if ends "_ns" || ends "_s" then Lower_better
+  if ends "_ns" || ends "_s" || ends "_obj" then Lower_better
   else if ends "_speedup" || ends "_per_sec" then Higher_better
   else Informational
 

@@ -152,7 +152,8 @@ let emit_assignment nl topo assignment out =
 
 let solve_cmd =
   let run path timing rows cols slack algorithm iterations seed gap_race deadline fallback
-      starts jobs retries checkpoint every resume out =
+      starts jobs inner_jobs retries evolve generations pool_size min_distance checkpoint
+      every resume out =
     let* nl = load_netlist path in
     let* constraints = load_constraints nl timing in
     let* () =
@@ -162,11 +163,20 @@ let solve_cmd =
     let* () = if starts < 1 then msgf "--starts must be >= 1" else Ok () in
     let* () = if jobs < 0 then msgf "--jobs must be >= 1 (or 0 for auto)" else Ok () in
     let* () = if retries < 0 then msgf "--retries must be >= 0" else Ok () in
+    let* () = if inner_jobs < 1 then msgf "--inner-jobs must be >= 1" else Ok () in
+    let* () = if generations < 1 then msgf "--generations must be >= 1" else Ok () in
+    let* () = if pool_size < 1 then msgf "--pool-size must be >= 1" else Ok () in
+    let* () =
+      match min_distance with
+      | Some d when d < 0 -> msgf "--min-distance must be >= 0"
+      | _ -> Ok ()
+    in
     let* () =
       match algorithm with
       | `Qbp -> Ok ()
       | `Gfm | `Gkl ->
         if starts > 1 then msgf "--starts drives the multi-start QBP portfolio; use it with -a qbp"
+        else if evolve then msgf "--evolve drives the QBP population search; use it with -a qbp"
         else if checkpoint <> None || resume <> None then
           msgf "--checkpoint/--resume run the crash-safe engine; use them with -a qbp"
         else Ok ()
@@ -184,7 +194,7 @@ let solve_cmd =
     (* a checkpointed or resumed solve always runs the full engine: the
        checkpoint format records engine-level state (safety net,
        portfolio start progress) no bare solver run maintains *)
-    let engine_path = fallback || checkpoint <> None || resume <> None in
+    let engine_path = fallback || evolve || checkpoint <> None || resume <> None in
     let* resumed =
       match resume with
       | None -> Ok None
@@ -216,7 +226,12 @@ let solve_cmd =
             qbp = qbp_config;
             starts;
             jobs;
+            inner_jobs;
             retries;
+            evolve;
+            generations;
+            pool_size;
+            min_distance;
           }
         in
         let problem = Problem.make ?constraints nl topo in
@@ -285,8 +300,8 @@ let solve_cmd =
                matching the single-start branch below *)
             let problem = Problem.make ?constraints nl topo in
             let result =
-              Portfolio.solve ~config:qbp_config ~max_rounds:1 ?jobs ~starts ~initial
-                ~should_stop problem
+              Portfolio.solve ~config:qbp_config ~max_rounds:1 ?jobs ~inner_jobs ~starts
+                ~initial ~should_stop problem
             in
             (match result.Portfolio.best_feasible with
             | Some (a, _) -> a
@@ -358,11 +373,41 @@ let solve_cmd =
                  count are honoured with a warning (oversubscription only slows \
                  things down). The result is identical for every value.")
   in
+  let inner_jobs =
+    Arg.(value & opt int 1 & info [ "inner-jobs" ]
+           ~doc:"Domains per running start for the intra-solve kernels (eta \
+                 recomputes, hub patches, GAP race legs); the box runs up to \
+                 --jobs x --inner-jobs domains. The result is identical for \
+                 every value.")
+  in
   let retries =
     Arg.(value & opt int 1 & info [ "retries" ]
            ~doc:"Extra supervised attempts for a portfolio start that crashes, each \
                  with a deterministically re-derived seed. The run fails only if \
                  every start fails.")
+  in
+  let evolve =
+    Arg.(value & flag & info [ "evolve" ]
+           ~doc:"Run the cooperating elite-pool population search: the --starts \
+                 budget is split across --generations, later generations are \
+                 warm-started from crossover / path-relinking / \
+                 recursive-bipartition recombinations of a diverse elite pool, \
+                 and the champion is reduced deterministically (same seed and \
+                 budget, same answer at any --jobs). Implies the resilient \
+                 engine. Only with -a qbp.")
+  in
+  let generations =
+    Arg.(value & opt int 4 & info [ "generations" ]
+           ~doc:"Evolve generations; 1 makes --evolve a plain portfolio.")
+  in
+  let pool_size =
+    Arg.(value & opt int 8 & info [ "pool-size" ]
+           ~doc:"Elite-pool capacity for --evolve.")
+  in
+  let min_distance =
+    Arg.(value & opt (some int) None & info [ "min-distance" ]
+           ~doc:"Elite-pool diversity radius (aligned Hamming distance); default \
+                 is one sixteenth of the component count.")
   in
   let checkpoint =
     Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
@@ -391,8 +436,8 @@ let solve_cmd =
     Term.(
       term_result
         (const run $ path $ timing $ rows $ cols $ slack $ algorithm $ iterations $ seed
-       $ gap_race $ deadline $ fallback $ starts $ jobs $ retries $ checkpoint $ every
-       $ resume $ out))
+       $ gap_race $ deadline $ fallback $ starts $ jobs $ inner_jobs $ retries $ evolve
+       $ generations $ pool_size $ min_distance $ checkpoint $ every $ resume $ out))
 
 (* --- eval ---------------------------------------------------------- *)
 
@@ -580,13 +625,16 @@ let finish_waited ~nl ~topo ~out (v : Sproto.job_view) =
   | Sproto.Queued | Sproto.Running -> msgf "job %s still in flight" v.Sproto.id
 
 let submit_cmd =
-  let run socket path timing by_path rows cols slack iterations seed starts gap_race deadline
-      label priority wait out connect_timeout read_timeout retries =
+  let run socket path timing by_path rows cols slack iterations seed starts gap_race evolve
+      generations pool_size deadline label priority wait out connect_timeout read_timeout
+      retries =
     let* () =
       if rows < 1 || cols < 1 then msgf "--rows and --cols must be >= 1" else Ok ()
     in
     let* () = if iterations < 0 then msgf "--iterations must be >= 0" else Ok () in
     let* () = if starts < 1 then msgf "--starts must be >= 1" else Ok () in
+    let* () = if generations < 1 then msgf "--generations must be >= 1" else Ok () in
+    let* () = if pool_size < 1 then msgf "--pool-size must be >= 1" else Ok () in
     (* parse locally first: a malformed netlist should fail fast with the
        usual CLI diagnosis, not a round-trip to the daemon *)
     let* nl = load_netlist path in
@@ -612,6 +660,9 @@ let submit_cmd =
         seed;
         starts;
         gap_race;
+        evolve;
+        generations;
+        pool_size;
         deadline_s = deadline;
         label;
         priority;
@@ -669,6 +720,18 @@ let submit_cmd =
     Arg.(value & flag & info [ "gap-race" ]
            ~doc:"Race the inner GAP solvers each QBP iteration (see $(b,solve)).")
   in
+  let evolve =
+    Arg.(value & flag & info [ "evolve" ]
+           ~doc:"Run the elite-pool population search for this job (see $(b,solve)).")
+  in
+  let generations =
+    Arg.(value & opt int 4 & info [ "generations" ]
+           ~doc:"Evolve generations for this job.")
+  in
+  let pool_size =
+    Arg.(value & opt int 8 & info [ "pool-size" ]
+           ~doc:"Evolve elite-pool capacity for this job.")
+  in
   let deadline =
     Arg.(value & opt (some duration_conv) None & info [ "deadline" ] ~docv:"DURATION"
            ~doc:"Per-job wall-clock budget enforced by the daemon.")
@@ -700,8 +763,8 @@ let submit_cmd =
     Term.(
       term_result
         (const run $ socket_arg $ path $ timing $ by_path $ rows $ cols $ slack $ iterations
-       $ seed $ starts $ gap_race $ deadline $ label $ priority $ wait $ out
-       $ connect_timeout_arg $ read_timeout_arg $ retries_arg))
+       $ seed $ starts $ gap_race $ evolve $ generations $ pool_size $ deadline $ label
+       $ priority $ wait $ out $ connect_timeout_arg $ read_timeout_arg $ retries_arg))
 
 let status_line (v : Sproto.job_view) =
   match v.Sproto.state with

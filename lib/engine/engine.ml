@@ -15,6 +15,7 @@ module Adaptive = Qbpart_core.Adaptive
 module Certify = Qbpart_core.Certify
 module Gfm = Qbpart_baselines.Gfm
 module Gkl = Qbpart_baselines.Gkl
+module Evolve = Qbpart_evolve.Evolve
 
 module Error = struct
   type t =
@@ -140,7 +141,12 @@ module Config = struct
     start_attempts : int;
     starts : int;
     jobs : int option;
+    inner_jobs : int;
     retries : int;
+    evolve : bool;
+    generations : int;
+    pool_size : int;
+    min_distance : int option;
   }
 
   let default =
@@ -155,7 +161,12 @@ module Config = struct
       start_attempts = 200;
       starts = 1;
       jobs = None;
+      inner_jobs = 1;
       retries = 1;
+      evolve = false;
+      generations = 4;
+      pool_size = 8;
+      min_distance = None;
     }
 end
 
@@ -198,7 +209,12 @@ let validate_config (c : Config.t) =
   else if c.Config.starts < 1 then err "starts" "must be >= 1"
   else if (match c.Config.jobs with Some j -> j < 1 | None -> false) then
     err "jobs" "must be >= 1"
+  else if c.Config.inner_jobs < 1 then err "inner_jobs" "must be >= 1"
   else if c.Config.retries < 0 then err "retries" "must be >= 0"
+  else if c.Config.generations < 1 then err "generations" "must be >= 1"
+  else if c.Config.pool_size < 1 then err "pool_size" "must be >= 1"
+  else if (match c.Config.min_distance with Some d -> d < 0 | None -> false) then
+    err "min_distance" "must be >= 0"
   else if c.Config.gfm.Gfm.max_passes < 0 then err "gfm.max_passes" "must be >= 0"
   else if c.Config.gkl.Gkl.max_outer < 0 then err "gkl.max_outer" "must be >= 0"
   else if c.Config.gkl.Gkl.dummies < 0 then err "gkl.dummies" "must be >= 0"
@@ -411,7 +427,11 @@ let run_ladder (config : Config.t) deadline initial fault problem start ~init_st
   (* primary: penalty-continuation QBP under deadline + stall guard —
      run as a multi-start domain portfolio when [starts > 1] *)
   let qbp_produced = ref false in
-  let primary_name = if config.Config.starts > 1 then "portfolio" else "qbp" in
+  let primary_name =
+    if config.Config.evolve then "evolve"
+    else if config.Config.starts > 1 then "portfolio"
+    else "qbp"
+  in
   let qbp_outcome =
     let t0 = Deadline.elapsed deadline in
     if Deadline.expired deadline then begin
@@ -424,7 +444,67 @@ let run_ladder (config : Config.t) deadline initial fault problem start ~init_st
       let warm = match initial with Some a -> a | None -> start in
       let detail = ref None in
       let o =
-        if config.Config.starts > 1 then begin
+        if config.Config.evolve then begin
+          let should_stop () = Deadline.expired deadline in
+          (* Evolve runs are not resumable start-by-start — the elite
+             pool would be lost across the kill — so per-start progress
+             is never checkpointed in this mode (a resume re-runs the
+             whole stage on the remaining budget); the incumbent is
+             still kept fresh for failover serving. *)
+          let on_start_complete =
+            match sup with
+            | None -> None
+            | Some s ->
+              Some
+                (fun (sr : Evolve.start_report) best_feasible ->
+                  (match best_feasible with
+                  | Some (a, _) ->
+                    let c = cost a in
+                    if
+                      beats ~cost:c ~at:sr.Evolve.start ~best_cost:s.inc_cost
+                        ~best_at:s.inc_start
+                      && feasible a
+                    then begin
+                      s.inc <- a;
+                      s.inc_cost <- c;
+                      s.inc_start <- sr.Evolve.start
+                    end
+                  | None -> ());
+                  emit ())
+          in
+          try
+            let r =
+              Evolve.solve ~config:config.Config.qbp
+                ~max_rounds:config.Config.max_rounds
+                ~factor:config.Config.penalty_factor ?jobs:config.Config.jobs
+                ~inner_jobs:config.Config.inner_jobs ~starts:config.Config.starts
+                ~generations:config.Config.generations
+                ~pool_size:config.Config.pool_size
+                ?min_distance:config.Config.min_distance
+                ~retries:config.Config.retries ~initial:warm ~should_stop
+                ~stall:(config.Config.stall_patience, config.Config.stall_epsilon)
+                ?gap_solver ?on_start_complete problem
+            in
+            detail :=
+              Some
+                (Printf.sprintf "%d gens, %d/%d starts, %d admitted, %d reseeded"
+                   r.Evolve.generations
+                   (List.length r.Evolve.reports)
+                   config.Config.starts r.Evolve.admitted r.Evolve.reseeded);
+            (match r.Evolve.best_feasible with
+            | Some (a, _) ->
+              qbp_produced := true;
+              adopt ?at:r.Evolve.winner primary_name a
+            | None -> ());
+            if Deadline.expired deadline then Report.Timed_out
+            else if
+              r.Evolve.reports <> []
+              && List.for_all (fun s -> s.Evolve.stalled) r.Evolve.reports
+            then Report.Stalled config.Config.stall_patience
+            else Report.Completed
+          with e -> Report.Crashed (Printexc.to_string e)
+        end
+        else if config.Config.starts > 1 then begin
           let should_stop () = Deadline.expired deadline in
           let on_start_complete =
             match sup with
@@ -465,6 +545,7 @@ let run_ladder (config : Config.t) deadline initial fault problem start ~init_st
               Portfolio.solve ~config:config.Config.qbp
                 ~max_rounds:config.Config.max_rounds
                 ~factor:config.Config.penalty_factor ?jobs:config.Config.jobs
+                ~inner_jobs:config.Config.inner_jobs
                 ~starts:config.Config.starts ~retries:config.Config.retries
                 ~skip:skip_starts ~initial:warm ~should_stop
                 ~stall:(config.Config.stall_patience, config.Config.stall_epsilon)

@@ -179,16 +179,33 @@ module Config : sig
     jobs : int option;
         (** domain-pool cap for the portfolio; [None] means
             {!Portfolio.default_jobs} *)
+    inner_jobs : int;
+        (** per-start {!Qbpart_pool.Dompool} size (≥ 1) for the
+            intra-solve kernels — η recomputes, hub patches and GAP
+            race legs; 1 keeps every start single-domain *)
     retries : int;
         (** extra supervised attempts per portfolio start after a
             failure (≥ 0); seeds are re-derived deterministically via
             {!Portfolio.retry_seed} *)
+    evolve : bool;
+        (** run the primary stage as a cooperating elite-pool
+            population search ({!Qbpart_evolve.Evolve.solve}, reported
+            as ["evolve"]) instead of independent starts; [starts] is
+            then the total budget across all generations.  Evolve runs
+            are not resumable start-by-start: checkpoints carry the
+            incumbent but no per-start progress *)
+    generations : int;  (** evolve generations (≥ 1; 1 = plain portfolio) *)
+    pool_size : int;    (** elite-pool capacity (≥ 1) *)
+    min_distance : int option;
+        (** elite-pool diversity radius in aligned Hamming distance;
+            [None] means [max 1 (n / 16)] *)
   }
 
   val default : t
   (** Solver defaults; [stall_patience = 25], [stall_epsilon = 1e-6],
       [start_attempts = 200], [starts = 1] (plain single-start QBP),
-      [jobs = None], [retries = 1]. *)
+      [jobs = None], [inner_jobs = 1], [retries = 1], [evolve = false],
+      [generations = 4], [pool_size = 8], [min_distance = None]. *)
 end
 
 type outcome = {

@@ -3,6 +3,7 @@ module Assignment = Qbpart_partition.Assignment
 module Problem = Qbpart_core.Problem
 module Burkard = Qbpart_core.Burkard
 module Adaptive = Qbpart_core.Adaptive
+module Dompool = Qbpart_pool.Dompool
 
 type start_report = {
   start : int;
@@ -66,24 +67,30 @@ let start_seed ~base k = base + (k * 0x9E3779B9)
 let retry_seed ~base ~start ~attempt = start_seed ~base start + (attempt * 0x85EBCA6B)
 
 let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?jobs
-    ?(starts = 1) ?(retries = 0) ?(skip = fun _ -> false) ?initial
+    ?(inner_jobs = 1) ?(starts = 1) ?(retries = 0) ?(skip = fun _ -> false) ?initial
     ?(should_stop = fun () -> false) ?(stall = (0, 0.0)) ?gap_solver ?on_improvement
     ?on_start_complete problem =
   if starts < 1 then invalid_arg "Portfolio.solve: starts must be >= 1";
   if retries < 0 then invalid_arg "Portfolio.solve: retries must be >= 0";
+  if inner_jobs < 1 then invalid_arg "Portfolio.solve: inner_jobs must be >= 1";
   let jobs =
     match jobs with
     | None -> default_jobs ()
     | Some j ->
       if j < 1 then invalid_arg "Portfolio.solve: jobs must be >= 1";
-      let recommended = default_jobs () in
-      if j > recommended && Atomic.exchange warned_oversubscribed j <> j then
-        Printf.eprintf
-          "qbpart: warning: --jobs %d exceeds the recommended domain count %d; \
-           oversubscribing slows every domain down (results are unaffected)\n%!"
-          j recommended;
       j
   in
+  (* the box really runs at most (concurrent starts) x (inner pool)
+     domains; warn on that product, not just the start-level count *)
+  let total_domains = min jobs starts * inner_jobs in
+  let recommended = default_jobs () in
+  if total_domains > recommended && Atomic.exchange warned_oversubscribed total_domains <> total_domains
+  then
+    Printf.eprintf
+      "qbpart: warning: %d domains (--jobs x --inner-jobs) exceed the recommended \
+       domain count %d; oversubscribing slows every domain down (results are \
+       unaffected)\n%!"
+      total_domains recommended;
   let problem = Problem.normalize problem in
   let cons = problem.Problem.constraints in
   (* Force the lazily-built partner index before any domain spawns:
@@ -139,11 +146,22 @@ let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?
        the portfolio's independent random restarts *)
     let initial = if k = 0 then initial else None in
     (* per-attempt scratch pool, created on the worker domain so the
-       borrowed GAP buffers it feeds never cross domains *)
-    let workspace = Burkard.Workspace.create problem in
+       borrowed GAP buffers it feeds never cross domains; with
+       [inner_jobs > 1] the attempt also owns a bounded domain pool
+       that fans the intra-solve kernels (eta recomputes, hub patches,
+       race legs) — total domains stay within outer x inner, and the
+       fan-out never changes a value, so the D7 determinism contract
+       survives untouched *)
+    let pool =
+      if inner_jobs > 1 then Dompool.create ~domains:inner_jobs else Dompool.sequential
+    in
     let r =
-      Adaptive.solve ~config ~max_rounds ~factor ?initial ~should_stop:stop ~observe
-        ?gap_solver ~workspace problem
+      Fun.protect
+        ~finally:(fun () -> Dompool.shutdown pool)
+        (fun () ->
+          let workspace = Burkard.Workspace.create ~pool problem in
+          Adaptive.solve ~config ~max_rounds ~factor ?initial ~should_stop:stop ~observe
+            ?gap_solver ~workspace problem)
     in
     let report =
       {

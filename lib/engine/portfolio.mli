@@ -81,6 +81,7 @@ val solve :
   ?max_rounds:int ->
   ?factor:float ->
   ?jobs:int ->
+  ?inner_jobs:int ->
   ?starts:int ->
   ?retries:int ->
   ?skip:(int -> bool) ->
@@ -97,10 +98,15 @@ val solve :
     {!Qbpart_core.Adaptive.solve}; [config.seed] is the base seed.
     [jobs] caps the domain pool (default {!default_jobs}; the pool
     never exceeds [starts], and [jobs = 1] runs sequentially on the
-    calling domain without spawning).  An explicit [jobs] above the
-    recommended domain count is honoured, with a one-time stderr
-    warning: oversubscribing only slows every domain down and never
-    changes results.  [starts] defaults to 1.
+    calling domain without spawning).  [inner_jobs] (default 1) gives
+    every running start a private {!Qbpart_pool.Dompool} of that many
+    workers for the intra-solve kernels — η recomputes and hub
+    patches, and the GAP race legs under [config.gap_race] — so a
+    single start can use several cores; the box then runs up to
+    [min jobs starts * inner_jobs] domains, and a product above the
+    recommended domain count earns a one-time stderr warning:
+    oversubscribing only slows every domain down and never changes
+    results.  [starts] defaults to 1.
     [initial] warm-starts start 0 only.  [should_stop] is polled
     cooperatively by every start (deadline cancellation); [stall] is a
     per-start [(patience, epsilon)] guard as in {!Engine.Config},
@@ -124,5 +130,5 @@ val solve :
     run concurrently on several domains when [jobs > 1] — stateful
     fault injectors are only safe with [jobs = 1].
 
-    @raise Invalid_argument if [starts < 1], [jobs < 1] or
-    [retries < 0]. *)
+    @raise Invalid_argument if [starts < 1], [jobs < 1],
+    [inner_jobs < 1] or [retries < 0]. *)

@@ -1,0 +1,59 @@
+module Assignment = Qbpart_partition.Assignment
+
+let hamming a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Diversity.hamming: length mismatch";
+  let d = ref 0 in
+  for j = 0 to n - 1 do
+    if a.(j) <> b.(j) then incr d
+  done;
+  !d
+
+(* Greedy maximum-overlap label matching.  The exact assignment problem
+   would need a Hungarian solve; at M = 16 the greedy matching (pick
+   the globally largest remaining coincidence count, ties to the lower
+   (other label, reference label) pair) is within a few percent of
+   optimal on partition-shaped overlap matrices and is trivially
+   deterministic, which is what pool admission needs. *)
+let align ~m ~reference other =
+  let n = Array.length reference in
+  if Array.length other <> n then invalid_arg "Diversity.align: length mismatch";
+  let overlap = Array.make (m * m) 0 in
+  for j = 0 to n - 1 do
+    let r = reference.(j) and o = other.(j) in
+    overlap.((o * m) + r) <- overlap.((o * m) + r) + 1
+  done;
+  let mapped = Array.make m (-1) in (* other label -> reference label *)
+  let taken = Array.make m false in
+  for _ = 1 to m do
+    let best = ref (-1) and best_o = ref (-1) and best_r = ref (-1) in
+    for o = 0 to m - 1 do
+      if mapped.(o) < 0 then
+        for r = 0 to m - 1 do
+          if (not taken.(r)) && overlap.((o * m) + r) > !best then begin
+            best := overlap.((o * m) + r);
+            best_o := o;
+            best_r := r
+          end
+        done
+    done;
+    if !best_o >= 0 then begin
+      mapped.(!best_o) <- !best_r;
+      taken.(!best_r) <- true
+    end
+  done;
+  (* leftover labels (possible only if m exceeds the labels in use)
+     take the free slots in ascending order *)
+  let free = ref 0 in
+  for o = 0 to m - 1 do
+    if mapped.(o) < 0 then begin
+      while taken.(!free) do
+        incr free
+      done;
+      mapped.(o) <- !free;
+      taken.(!free) <- true
+    end
+  done;
+  Array.map (fun o -> mapped.(o)) other
+
+let aligned_distance ~m a b = hamming a (align ~m ~reference:a b)

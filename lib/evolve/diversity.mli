@@ -1,0 +1,27 @@
+(** Assignment diversity, measured as partition-assignment Hamming
+    distance: the number of components placed differently.  The elite
+    pool admits on dominance over (objective, diversity), so "how far
+    apart are two placements" is the one metric everything else builds
+    on.
+
+    Raw Hamming distance over-counts renamings: two assignments that
+    differ only by permuting partition labels describe the same cut.
+    {!aligned_distance} quotients that symmetry out (greedily, which is
+    exact enough for pool admission and cheap at {m M = 16}). *)
+
+module Assignment := Qbpart_partition.Assignment
+
+val hamming : Assignment.t -> Assignment.t -> int
+(** Positions assigned differently.  @raise Invalid_argument on length
+    mismatch. *)
+
+val align : m:int -> reference:Assignment.t -> Assignment.t -> Assignment.t
+(** A relabeling of the second assignment that greedily maximizes
+    per-label overlap with [reference]: the {m M x M} coincidence
+    counts are matched largest-first (ties to the lower label pair, so
+    the result is deterministic), unmatched labels keep a stable
+    leftover order.  Returns a fresh array. *)
+
+val aligned_distance : m:int -> Assignment.t -> Assignment.t -> int
+(** [hamming a (align ~m ~reference:a b)]: label-permutation-quotiented
+    distance, the metric the elite pool and the operators use. *)

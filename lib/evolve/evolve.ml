@@ -1,0 +1,352 @@
+module Constraints = Qbpart_timing.Constraints
+module Rng = Qbpart_netlist.Rng
+module Assignment = Qbpart_partition.Assignment
+module Problem = Qbpart_core.Problem
+module Burkard = Qbpart_core.Burkard
+module Adaptive = Qbpart_core.Adaptive
+module Dompool = Qbpart_pool.Dompool
+
+type start_report = {
+  start : int;
+  generation : int;
+  seed : int;
+  attempts : int;
+  reseeded : bool;
+  best_cost : float;
+  feasible_cost : float option;
+  wall_seconds : float;
+  stalled : bool;
+  interrupted : bool;
+  failure : string option;
+}
+
+exception All_starts_failed of (int * string) list
+
+let () =
+  Printexc.register_printer (function
+    | All_starts_failed failures ->
+      Some
+        (Printf.sprintf "Evolve.All_starts_failed [%s]"
+           (String.concat "; "
+              (List.map (fun (k, msg) -> Printf.sprintf "start %d: %s" k msg) failures)))
+    | _ -> None)
+
+type result = {
+  best_feasible : (Assignment.t * float) option;
+  best : Assignment.t option;
+  best_cost : float;
+  winner : int option;
+  reports : start_report list;
+  elites : Epool.entry list;
+  jobs : int;
+  starts : int;
+  generations : int;
+  admitted : int;
+  reseeded : int;
+  interrupted : bool;
+}
+
+(* Identical streams to Portfolio.start_seed / Portfolio.retry_seed:
+   generation 0 of an evolve run IS the head of the plain portfolio,
+   bit for bit.  (The formulas are duplicated rather than imported
+   because lib/engine sits above this library.) *)
+let start_seed ~base k = base + (k * 0x9E3779B9)
+let retry_seed ~base ~start ~attempt = start_seed ~base start + (attempt * 0x85EBCA6B)
+
+(* Child-construction stream of start k: disjoint from the solve and
+   retry streams so reseeding never perturbs a start's trajectory. *)
+let child_seed ~base k = start_seed ~base k lxor 0x27D4EB2F
+
+let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?jobs
+    ?(inner_jobs = 1) ?(starts = 1) ?(generations = 4) ?(pool_size = 8) ?min_distance
+    ?(retries = 0) ?initial ?(should_stop = fun () -> false) ?(stall = (0, 0.0))
+    ?gap_solver ?on_improvement ?on_start_complete problem =
+  if starts < 1 then invalid_arg "Evolve.solve: starts must be >= 1";
+  if generations < 1 then invalid_arg "Evolve.solve: generations must be >= 1";
+  if pool_size < 1 then invalid_arg "Evolve.solve: pool_size must be >= 1";
+  if retries < 0 then invalid_arg "Evolve.solve: retries must be >= 0";
+  if inner_jobs < 1 then invalid_arg "Evolve.solve: inner_jobs must be >= 1";
+  let jobs =
+    match jobs with
+    | None -> max 1 (Domain.recommended_domain_count ())
+    | Some j ->
+      if j < 1 then invalid_arg "Evolve.solve: jobs must be >= 1";
+      j
+  in
+  let problem = Problem.normalize problem in
+  let n = Problem.n problem and m = Problem.m problem in
+  let min_distance =
+    match min_distance with
+    | None -> max 1 (n / 16)
+    | Some d ->
+      if d < 0 then invalid_arg "Evolve.solve: min_distance must be >= 0";
+      d
+  in
+  let cons = problem.Problem.constraints in
+  (* force the memoized partner index before any domain spawns (same
+     shared-state hazard as in Portfolio.solve) *)
+  if n > 0 && not (Constraints.empty cons) then ignore (Constraints.partners cons 0);
+  (* Generation plan: later generations get a half-share each so that
+     generation 0 — the portfolio-identical exploration phase — keeps
+     the majority of the budget.  Total is exactly [starts]: equal
+     budget with a plain portfolio by construction. *)
+  let gens = max 1 (min generations starts) in
+  let later = if gens = 1 then 0 else max 1 (starts / (2 * gens)) in
+  let gen0 = starts - ((gens - 1) * later) in
+  let gen_lo g = if g = 0 then 0 else gen0 + ((g - 1) * later) in
+  let gen_hi g = if g = 0 then gen0 else gen0 + (g * later) in
+  let pool = Epool.create ~capacity:pool_size ~min_distance ~m in
+  let lock = Mutex.create () in
+  let inc_penalized = ref infinity in
+  let inc_feasible = ref infinity in
+  let report_improvement k (it : Burkard.iteration) =
+    match on_improvement with
+    | None -> ()
+    | Some f ->
+      Mutex.lock lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock lock)
+        (fun () ->
+          if it.Burkard.feasible && it.Burkard.objective < !inc_feasible then begin
+            inc_feasible := it.Burkard.objective;
+            f ~start:k ~cost:it.Burkard.objective ~feasible:true
+          end
+          else if it.Burkard.penalized < !inc_penalized then begin
+            inc_penalized := it.Burkard.penalized;
+            f ~start:k ~cost:it.Burkard.penalized ~feasible:false
+          end)
+  in
+  let patience, epsilon = stall in
+  let run_start k ~attempt ~initial =
+    let seed = retry_seed ~base:config.Burkard.Config.seed ~start:k ~attempt in
+    let config = { config with Burkard.Config.seed } in
+    let local_best = ref infinity and since = ref 0 and stalled = ref false in
+    let observe (it : Burkard.iteration) =
+      (if patience > 0 then
+         if it.Burkard.penalized < !local_best -. epsilon then begin
+           local_best := it.Burkard.penalized;
+           since := 0
+         end
+         else begin
+           incr since;
+           if !since >= patience then stalled := true
+         end);
+      report_improvement k it
+    in
+    let stop () = should_stop () || !stalled in
+    let dpool =
+      if inner_jobs > 1 then Dompool.create ~domains:inner_jobs else Dompool.sequential
+    in
+    let r =
+      Fun.protect
+        ~finally:(fun () -> Dompool.shutdown dpool)
+        (fun () ->
+          let workspace = Burkard.Workspace.create ~pool:dpool problem in
+          Adaptive.solve ~config ~max_rounds ~factor ?initial ~should_stop:stop ~observe
+            ?gap_solver ~workspace problem)
+    in
+    (seed, !stalled, r)
+  in
+  let run_supervised k ~generation ~initial ~reseeded =
+    let t0 = Unix.gettimeofday () in
+    let rec go attempt last_failure =
+      if attempt > retries || (attempt > 0 && should_stop ()) then
+        ( {
+            start = k;
+            generation;
+            seed = retry_seed ~base:config.Burkard.Config.seed ~start:k ~attempt:(attempt - 1);
+            attempts = attempt;
+            reseeded;
+            best_cost = infinity;
+            feasible_cost = None;
+            wall_seconds = Unix.gettimeofday () -. t0;
+            stalled = false;
+            interrupted = should_stop ();
+            failure = last_failure;
+          },
+          None )
+      else
+        match run_start k ~attempt ~initial with
+        | seed, stalled, r ->
+          ( {
+              start = k;
+              generation;
+              seed;
+              attempts = attempt + 1;
+              reseeded;
+              best_cost = r.Adaptive.last.Burkard.best_cost;
+              feasible_cost = Option.map snd r.Adaptive.best_feasible;
+              wall_seconds = Unix.gettimeofday () -. t0;
+              stalled;
+              interrupted =
+                r.Adaptive.last.Burkard.interrupted && (should_stop () || not stalled);
+              failure = None;
+            },
+            Some r )
+        | exception e -> go (attempt + 1) (Some (Printexc.to_string e))
+    in
+    go 0 None
+  in
+  let completed report best_feasible =
+    match on_start_complete with
+    | None -> ()
+    | Some f ->
+      Mutex.lock lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> f report best_feasible)
+  in
+  let results = Array.make starts None in
+  (* One generation = one batch on a work-stealing pool, exactly the
+     portfolio's shape: the calling domain is worker 0, helpers pull
+     global start indices from an atomic counter. *)
+  let run_batch ~generation ~lo ~hi initials =
+    let next = Atomic.make lo in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let k = Atomic.fetch_and_add next 1 in
+        if k >= hi then continue := false
+        else begin
+          let initial, reseeded = initials.(k - lo) in
+          let report, r = run_supervised k ~generation ~initial ~reseeded in
+          results.(k) <- Some (report, r);
+          completed report
+            (Option.bind r (fun r ->
+                 Option.map (fun (a, c) -> (Assignment.copy a, c)) r.Adaptive.best_feasible))
+        end
+      done
+    in
+    let helpers = Array.init (min jobs (hi - lo) - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers
+  in
+  let admitted = ref 0 in
+  (* Pool admission in ascending global start index: the pool state
+     after a generation is a function of the generation's results
+     alone, never of which domain finished first. *)
+  let admit_batch ~lo ~hi =
+    for k = lo to hi - 1 do
+      match results.(k) with
+      | Some (_, Some r) -> (
+        match r.Adaptive.best_feasible with
+        | Some (a, cost) -> (
+          match Epool.admit pool a ~cost ~origin:k with
+          | Epool.Rejected -> ()
+          | Epool.Admitted | Epool.Replaced _ -> incr admitted)
+        | None -> ())
+      | _ -> ()
+    done
+  in
+  (* Reseeding: every later-generation start is warm-started from a
+     deterministic recombination of the current elites — crossover,
+     path relinking and recursive-bipartition seeds in rotation, each
+     repaired toward C1 ∧ C2 before use.  Children are built
+     sequentially between batches from the (jobs-invariant) pool
+     state, so the whole schedule is a function of the base seed. *)
+  let build_child k =
+    let rng = Rng.create (child_seed ~base:config.Burkard.Config.seed k) in
+    let bipart () = Seeds.recursive_bipartition rng problem in
+    let elites = Array.of_list (Epool.entries pool) in
+    let child =
+      if Array.length elites >= 2 then begin
+        let i1 = Rng.int rng (Array.length elites) in
+        let i2 =
+          let r = Rng.int rng (Array.length elites - 1) in
+          if r >= i1 then r + 1 else r
+        in
+        let p1 = elites.(min i1 i2).Epool.assignment in
+        let p2 = elites.(max i1 i2).Epool.assignment in
+        match k mod 3 with
+        | 0 -> Operators.crossover rng ~m p1 p2
+        | 1 -> (
+          match Operators.path_relink problem ~source:p1 ~target:p2 with
+          | Some (a, _) -> a
+          | None -> Operators.crossover rng ~m p1 p2)
+        | _ -> bipart ()
+      end
+      else
+        match Epool.best pool with
+        | Some e -> Operators.crossover rng ~m e.Epool.assignment (bipart ())
+        | None -> bipart ()
+    in
+    ignore (Operators.repair problem child : bool);
+    child
+  in
+  let reseeded = ref 0 in
+  let stopped_early = ref false in
+  for g = 0 to gens - 1 do
+    if should_stop () then stopped_early := true
+    else begin
+      let lo = gen_lo g and hi = gen_hi g in
+      let initials =
+        if g = 0 then
+          Array.init (hi - lo) (fun i -> if i = 0 then (initial, false) else (None, false))
+        else
+          Array.init (hi - lo) (fun i ->
+              incr reseeded;
+              (Some (build_child (lo + i)), true))
+      in
+      run_batch ~generation:g ~lo ~hi initials;
+      admit_batch ~lo ~hi
+    end
+  done;
+  let failures = ref [] and survivors = ref 0 and executed = ref 0 in
+  for k = starts - 1 downto 0 do
+    match results.(k) with
+    | None -> ()
+    | Some (report, r) ->
+      incr executed;
+      (match (r, report.failure) with
+      | Some _, _ -> incr survivors
+      | None, Some msg -> failures := (k, msg) :: !failures
+      | None, None -> incr survivors)
+  done;
+  if !executed > 0 && !survivors = 0 && !failures <> [] then
+    raise (All_starts_failed !failures);
+  (* Same deterministic reduction as the portfolio (DESIGN.md D7):
+     ascending-index earliest strict winner via a downto scan. *)
+  let best_feasible = ref None in
+  let winner_feasible = ref None in
+  let best = ref None in
+  let best_cost = ref infinity in
+  let winner_penalized = ref None in
+  let interrupted = ref !stopped_early in
+  let reports = ref [] in
+  for k = starts - 1 downto 0 do
+    match results.(k) with
+    | None -> ()
+    | Some (report, r) -> (
+      reports := report :: !reports;
+      if report.interrupted then interrupted := true;
+      match r with
+      | None -> ()
+      | Some r ->
+        (match r.Adaptive.best_feasible with
+        | Some (_, c)
+          when (match !best_feasible with Some (_, c') -> c <= c' | None -> true) ->
+          best_feasible := r.Adaptive.best_feasible;
+          winner_feasible := Some report.start
+        | _ -> ());
+        let c = r.Adaptive.last.Burkard.best_cost in
+        if c <= !best_cost then begin
+          best_cost := c;
+          best := Some r.Adaptive.last.Burkard.best;
+          winner_penalized := Some report.start
+        end)
+  done;
+  let winner =
+    match !winner_feasible with Some _ as w -> w | None -> !winner_penalized
+  in
+  {
+    best_feasible = !best_feasible;
+    best = !best;
+    best_cost = !best_cost;
+    winner;
+    reports = !reports;
+    elites = Epool.entries pool;
+    jobs;
+    starts;
+    generations = gens;
+    admitted = !admitted;
+    reseeded = !reseeded;
+    interrupted = !interrupted;
+  }

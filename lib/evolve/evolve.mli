@@ -1,0 +1,114 @@
+(** Cooperating elite-pool population search.
+
+    Where {!Qbpart_engine.Portfolio} runs K independent penalty-
+    continuation starts and reduces, this driver makes the starts
+    cooperate {e between} generations: every generation's feasible
+    champions are offered to a diversity-guarded elite pool
+    ({!Epool}), and the next generation's starts are warm-started from
+    recombined elites — label-aligned crossover and path relinking
+    ({!Operators}), plus recursive-bipartition seeds ({!Seeds}) —
+    each repaired back to the C1/C2 feasible set before use.
+
+    Determinism contract (DESIGN.md D7, extended as D12):
+
+    - starts still never couple {e within} a generation — each runs
+      exactly the trajectory its seed dictates, and generation results
+      are admitted to the pool in ascending global start index, so the
+      pool state (and hence every child) is a pure function of the
+      base seed, never of domain count or completion order;
+    - generation 0 uses the same seeds, in the same order, as a plain
+      portfolio of the same base seed — with [generations = 1] the two
+      are bit-identical;
+    - the champion is chosen by the same ascending-index
+      strict-improvement scan as the portfolio, over all generations.
+
+    Warm starts are captured by Burkard's initial [consider], so a
+    child's quality is reflected in its start's result and the
+    reported champion always comes from an actually-executed
+    trajectory — independently checkable by
+    {!Qbpart_core.Certify.check}. *)
+
+module Assignment := Qbpart_partition.Assignment
+module Problem := Qbpart_core.Problem
+module Burkard := Qbpart_core.Burkard
+
+type start_report = {
+  start : int;               (** global start index, [0 .. starts-1] *)
+  generation : int;          (** generation this start ran in *)
+  seed : int;                (** RNG seed of the last attempt executed *)
+  attempts : int;            (** attempts consumed (1 unless retried) *)
+  reseeded : bool;           (** start was warm-started from the pool *)
+  best_cost : float;         (** best penalized cost this start reached *)
+  feasible_cost : float option;  (** best feasible equation-(1) cost, if any *)
+  wall_seconds : float;
+  stalled : bool;
+  interrupted : bool;
+  failure : string option;
+}
+
+exception All_starts_failed of (int * string) list
+(** Every executed start exhausted its attempts (same degradation
+    contract as the portfolio's exception of the same name). *)
+
+type result = {
+  best_feasible : (Assignment.t * float) option;
+  best : Assignment.t option;
+  best_cost : float;
+  winner : int option;       (** global start index of the champion *)
+  reports : start_report list;  (** executed starts, ascending index *)
+  elites : Epool.entry list; (** final pool, ascending (cost, birth) *)
+  jobs : int;
+  starts : int;              (** total starts across all generations *)
+  generations : int;         (** generations actually configured *)
+  admitted : int;            (** pool admissions (incl. replacements) *)
+  reseeded : int;            (** starts warm-started from the pool *)
+  interrupted : bool;
+}
+
+val start_seed : base:int -> int -> int
+(** Same stream as [Portfolio.start_seed] — generation 0 of an evolve
+    run replays the plain portfolio's starts exactly. *)
+
+val retry_seed : base:int -> start:int -> attempt:int -> int
+(** Same stream as [Portfolio.retry_seed]. *)
+
+val solve :
+  ?config:Burkard.Config.t ->
+  ?max_rounds:int ->
+  ?factor:float ->
+  ?jobs:int ->
+  ?inner_jobs:int ->
+  ?starts:int ->
+  ?generations:int ->
+  ?pool_size:int ->
+  ?min_distance:int ->
+  ?retries:int ->
+  ?initial:Assignment.t ->
+  ?should_stop:(unit -> bool) ->
+  ?stall:int * float ->
+  ?gap_solver:Burkard.gap_solver ->
+  ?on_improvement:(start:int -> cost:float -> feasible:bool -> unit) ->
+  ?on_start_complete:(start_report -> (Assignment.t * float) option -> unit) ->
+  Problem.t ->
+  result
+(** Run the population search.  [starts] (default 1) is the {e total}
+    solve budget, split across [generations] (default 4, clamped to
+    [starts]): later generations get [max 1 (starts / (2 *
+    generations))] starts each and generation 0 the remainder, so at
+    equal [starts] an evolve run spends exactly the portfolio's
+    wall-clock budget.  [pool_size] (default 8) caps the elite pool;
+    [min_distance] is the pool's diversity radius in aligned Hamming
+    distance (default [max 1 (n / 16)]).
+
+    [config], [max_rounds], [factor], [gap_solver] go to every start's
+    {!Qbpart_core.Adaptive.solve} — [config.gap_race] and the
+    per-start [inner_jobs] domain pool apply to evolve starts exactly
+    as to portfolio starts.  [jobs], [retries], [initial],
+    [should_stop], [stall], [on_improvement], [on_start_complete]
+    keep their {!Qbpart_engine.Portfolio.solve} meaning ([initial]
+    warm-starts global start 0 only; reports arrive per start, with
+    the extra [generation]/[reseeded] fields).
+
+    @raise Invalid_argument on non-positive [starts], [jobs],
+    [inner_jobs], [generations], [pool_size] or negative [retries],
+    [min_distance]. *)

@@ -1,0 +1,41 @@
+(** Recombination operators between elites.
+
+    Both operators are deterministic in their inputs (plus the caller's
+    seeded RNG for crossover) and both work up to partition-label
+    renaming: the second parent / the relink target is first mapped
+    through {!Diversity.align} so the operators recombine {e cuts},
+    not label accidents.
+
+    Raw children may violate C1 (capacity) and C2 (timing); {!repair}
+    is the bridge back to the feasible set, built from the existing
+    tracked [Repair] passes plus a greedy capacity unloader.  The
+    driver only ever admits repaired, re-certified children. *)
+
+module Assignment := Qbpart_partition.Assignment
+module Problem := Qbpart_core.Problem
+module Rng := Qbpart_netlist.Rng
+
+val crossover : Rng.t -> m:int -> Assignment.t -> Assignment.t -> Assignment.t
+(** Label-aligned uniform crossover: each component takes its placement
+    from a fair-coin choice of parent (second parent relabeled onto
+    the first).  Fresh array; parents untouched. *)
+
+val path_relink :
+  Problem.t -> source:Assignment.t -> target:Assignment.t ->
+  (Assignment.t * float) option
+(** Walk from [source] to the (label-aligned) [target] one component
+    at a time, always applying the move with the smallest exact
+    objective delta ({!Qbpart_core.Problem.delta_objective}; ties to
+    the lowest component id), and return the best {e feasible}
+    assignment visited strictly before the endpoint, with its
+    objective — the endpoints themselves are already pool members.
+    [None] when no feasible intermediate exists. *)
+
+val repair : Problem.t -> Assignment.t -> bool
+(** Pull an assignment into the C1 ∧ C2 feasible set, in place:
+    greedy capacity unloading (move the cheapest component out of each
+    overloaded partition, by exact objective delta) interleaved with
+    the huge-penalty timing repair ([Repair.to_feasible]), iterated
+    until both hold or the attempt budget runs out.  True iff the
+    result is feasible; on [false] the buffer holds the best attempt
+    (still a complete assignment, C3 always holds). *)

@@ -1,0 +1,77 @@
+module Netlist = Qbpart_netlist.Netlist
+module Rng = Qbpart_netlist.Rng
+module Assignment = Qbpart_partition.Assignment
+module Problem = Qbpart_core.Problem
+
+(* Grow a region of roughly [target] total size inside [set]: start
+   from a random member, then repeatedly absorb the member with the
+   heaviest total wiring into the region (ties to the lower id;
+   disconnected members join last, in id order, via their zero gain).
+   Quadratic in |set| in the worst case — fine at Table-I scale, and a
+   gain heap slots in here transparently when the 10k-component
+   netlists arrive. *)
+let grow_region rng nl ~sizes ~set ~target =
+  let members = Array.of_list set in
+  let in_region = Hashtbl.create 16 in
+  let gain = Hashtbl.create (Array.length members) in
+  Array.iter (fun j -> Hashtbl.replace gain j 0.0) members;
+  let absorb j =
+    Hashtbl.replace in_region j ();
+    Hashtbl.remove gain j;
+    Array.iter
+      (fun (j', w) ->
+        match Hashtbl.find_opt gain j' with
+        | Some g -> Hashtbl.replace gain j' (g +. w)
+        | None -> ())
+      (Netlist.adj nl j)
+  in
+  let anchor = members.(Rng.int rng (Array.length members)) in
+  let region_size = ref sizes.(anchor) in
+  absorb anchor;
+  while !region_size < target && Hashtbl.length gain > 0 do
+    let best = ref None in
+    Hashtbl.iter
+      (fun j g ->
+        match !best with
+        | Some (g', j') when g' > g || (g' = g && j' < j) -> ()
+        | _ -> best := Some (g, j))
+      gain;
+    match !best with
+    | None -> ()
+    | Some (_, j) ->
+      region_size := !region_size +. sizes.(j);
+      absorb j
+  done;
+  in_region
+
+let recursive_bipartition rng problem =
+  let problem = Problem.normalize problem in
+  let nl = problem.Problem.netlist in
+  let m = Problem.m problem and n = Problem.n problem in
+  let sizes = Netlist.sizes nl in
+  let a = Array.make n 0 in
+  let total set = List.fold_left (fun acc j -> acc +. sizes.(j)) 0.0 set in
+  let rec split set parts label =
+    match (set, parts) with
+    | [], _ -> ()
+    | _, 1 -> List.iter (fun j -> a.(j) <- label) set
+    | _ ->
+      let p1 = parts / 2 in
+      let target = total set *. float_of_int p1 /. float_of_int parts in
+      let region = grow_region rng nl ~sizes ~set ~target in
+      let side1 = List.filter (fun j -> Hashtbl.mem region j) set in
+      let side2 = List.filter (fun j -> not (Hashtbl.mem region j)) set in
+      (* a degenerate cut (everything absorbed) still has to populate
+         both sides: peel the tail off in id order *)
+      let side1, side2 =
+        if side2 = [] && List.length side1 > 1 then
+          let k = List.length side1 * p1 / parts in
+          let k = max 1 (min k (List.length side1 - 1)) in
+          (List.filteri (fun i _ -> i < k) side1, List.filteri (fun i _ -> i >= k) side1)
+        else (side1, side2)
+      in
+      split side1 p1 label;
+      split side2 (parts - p1) (label + p1)
+  in
+  split (List.init n Fun.id) m 0;
+  a

@@ -1,0 +1,20 @@
+(** Structurally diverse initial assignments by recursive bipartition
+    (the multi-constraint recursive-bisection idea, PAPERS.md
+    arXiv:2503.11168, reduced to what the pool needs: fast, seeded,
+    connectivity-respecting starting points that look nothing like
+    uniform-random placements).
+
+    The component set is split in half by greedy region growth — a
+    seeded anchor, then repeatedly absorb the outside component with
+    the heaviest wiring into the region until the half's share of the
+    total size is reached — and each side recurses on its share of the
+    partition labels.  Deterministic in the RNG; the driver repairs
+    the result to C1/C2 before using it. *)
+
+module Assignment := Qbpart_partition.Assignment
+module Problem := Qbpart_core.Problem
+module Rng := Qbpart_netlist.Rng
+
+val recursive_bipartition : Rng.t -> Problem.t -> Assignment.t
+(** A complete assignment (C3 holds by construction); capacity and
+    timing are the caller's repair problem. *)

@@ -127,6 +127,12 @@ let refresh_cost t src =
   if Array.length src <> t.m * t.n then invalid_arg "Gap.refresh_cost: wrong length";
   Array.blit src 0 t.cost 0 (t.m * t.n)
 
+(* Release the domain guard for a fork-join fan-out: a six-word record
+   copy aliasing the same buffers with [owner = None].  Correct only
+   under the caller's discipline — borrower blocked, legs read-only —
+   which [Race.race] provides. *)
+let fan_out t = { t with owner = None }
+
 let verify_domain t =
   match t.owner with
   | None -> ()

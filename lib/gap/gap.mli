@@ -91,6 +91,16 @@ val verify_domain : t -> unit
     borrower — a borrowed instance crossing domains means two solvers
     could scribble on the same cost/weight buffers concurrently. *)
 
+val fan_out : t -> t
+(** A view of the same instance (same aliased buffers) with the domain
+    guard released, for a fork-join fan-out of {e read-only} solver
+    legs onto other domains while the borrower blocks until they all
+    finish.  The caller owns that discipline: the view passes
+    {!verify_domain} everywhere, so misusing it re-opens exactly the
+    cross-domain scribbling the guard exists to catch.  Constant-time
+    (a record copy); [make]-built instances are returned unchanged in
+    behaviour. *)
+
 val cost_of : t -> int array -> float
 (** Objective of an assignment (item [j] in knapsack [a.(j)]). *)
 

@@ -163,7 +163,8 @@ let better ~cand_feas ~cand_excess ~cand_cost ~best_feas ~best_excess ~best_cost
   | false, false ->
     cand_excess < best_excess || (cand_excess = best_excess && cand_cost < best_cost)
 
-let race ?(config = default) ?ws (g : Gap.t) ~emit =
+let race ?(config = default) ?(pool = Qbpart_pool.Dompool.sequential) ?ws (g : Gap.t)
+    ~emit =
   Gap.verify_domain g;
   let ws = ensure_ws ws g in
   let n = g.Gap.n in
@@ -188,24 +189,43 @@ let race ?(config = default) ?ws (g : Gap.t) ~emit =
       Array.blit a 0 ws.best 0 n
     end
   in
-  (* leg order is the tie-break: an equal-cost later leg never evicts
-     the incumbent (strict [better]), so the winner is deterministic *)
-  offer Mthg
-    (Mthg.solve_relaxed ~ws:ws.mthg ~criteria:config.mthg_criteria
-       ~improve:config.mthg_improve g);
-  if config.lagrangian_iterations > 0 then begin
-    lagrangian_into ~iterations:config.lagrangian_iterations g ws ws.cand;
-    offer Lagrangian ws.cand
-  end;
-  (match exact_gated config g with
+  (* The legs are independent solvers on disjoint scratch (MTHG on
+     [ws.mthg], the Lagrangian on the multiplier/greedy buffers, the
+     exact leg on its own allocations), so they run concurrently on
+     the pool; ranking stays sequential below.  Leg order is the
+     tie-break: an equal-cost later leg never evicts the incumbent
+     (strict [better]), so the winner is deterministic whatever the
+     pool size or leg completion order. *)
+  let mthg_out = ref [||] in
+  let exact_out = ref None in
+  (* A borrowed instance carries a single-domain guard; the fan-out is
+     the one sanctioned crossing (verified above on the borrower, legs
+     read-only, borrower blocked in [run_list]), so the legs get the
+     guard-released view. *)
+  let gv = if Qbpart_pool.Dompool.size pool > 1 then Gap.fan_out g else g in
+  Qbpart_pool.Dompool.run_list pool
+    ((fun () ->
+       mthg_out :=
+         Mthg.solve_relaxed ~ws:ws.mthg ~criteria:config.mthg_criteria
+           ~improve:config.mthg_improve gv)
+    :: (fun () -> exact_out := exact_gated config gv)
+    ::
+    (if config.lagrangian_iterations > 0 then
+       [ (fun () -> lagrangian_into ~iterations:config.lagrangian_iterations gv ws ws.cand) ]
+     else []));
+  offer Mthg !mthg_out;
+  if config.lagrangian_iterations > 0 then offer Lagrangian ws.cand;
+  (match !exact_out with
   | None -> ()
   | Some (a, _) -> offer Exact a);
   (!best_leg, ws.best)
 
-let run ?config ?ws g =
+let run ?config ?pool ?ws g =
   let all = ref [] in
-  let _ = race ?config ?ws g ~emit:(fun leg a cost -> all := (leg, Array.copy a, cost) :: !all) in
+  let _ =
+    race ?config ?pool ?ws g ~emit:(fun leg a cost -> all := (leg, Array.copy a, cost) :: !all)
+  in
   List.rev !all
 
-let solve_relaxed ?config ?ws g = snd (race ?config ?ws g ~emit:(fun _ _ _ -> ()))
-let winner ?config ?ws g = fst (race ?config ?ws g ~emit:(fun _ _ _ -> ()))
+let solve_relaxed ?config ?pool ?ws g = snd (race ?config ?pool ?ws g ~emit:(fun _ _ _ -> ()))
+let winner ?config ?pool ?ws g = fst (race ?config ?pool ?ws g ~emit:(fun _ _ _ -> ()))

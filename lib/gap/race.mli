@@ -51,6 +51,7 @@ val workspace : m:int -> n:int -> workspace
 
 val run :
   ?config:config ->
+  ?pool:Qbpart_pool.Dompool.t ->
   ?ws:workspace ->
   Gap.t ->
   (solver * int array * float) list
@@ -59,15 +60,20 @@ val run :
     copies (never workspace-owned); mainly for tests and diagnostics —
     the hot path is {!solve_relaxed}. *)
 
-val solve_relaxed : ?config:config -> ?ws:workspace -> Gap.t -> int array
+val solve_relaxed :
+  ?config:config -> ?pool:Qbpart_pool.Dompool.t -> ?ws:workspace -> Gap.t -> int array
 (** The race winner under the ranking above.  Like
     {!Mthg.solve_relaxed} this never fails: the MTHG leg always
     produces a candidate (possibly capacity-infeasible on over-tight
     instances).  With [?ws] the returned array is owned by the
     workspace — valid until the next call using the same workspace.
+    [?pool] runs the legs concurrently on worker domains (disjoint
+    scratch per leg); the ranking is applied after all legs finish, in
+    fixed leg order, so the winner is independent of pool size and leg
+    completion order.
     @raise Invalid_argument if the workspace shape does not match the
     instance. *)
 
-val winner : ?config:config -> ?ws:workspace -> Gap.t -> solver
+val winner : ?config:config -> ?pool:Qbpart_pool.Dompool.t -> ?ws:workspace -> Gap.t -> solver
 (** Which leg {!solve_relaxed} would return (same ranking, same
     determinism); for tests and bench labels. *)

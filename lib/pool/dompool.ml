@@ -1,0 +1,152 @@
+(* Fork-join over persistent domains.  Spawning a domain costs
+   milliseconds — far more than one eta recompute — so the workers are
+   spawned once and parked on a condition variable between batches.
+
+   Batch lifecycle: the orchestrator waits until every helper is parked
+   (so a slow helper from the previous batch can never claim a chunk of
+   the next one with a stale closure), installs (task, chunks), resets
+   the claim and completion counters, bumps the batch stamp and wakes
+   the helpers.  Everyone — caller included — then claims chunk indices
+   from one atomic counter until they run out; the worker that finishes
+   the last chunk signals completion.  The atomic counters plus the
+   completion mutex give the caller a happens-before edge over every
+   chunk's writes, so results written into disjoint slices are safe to
+   read as soon as [parallel_for] returns. *)
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  work_ready : Condition.t;  (* a new batch is installed *)
+  work_done : Condition.t;   (* the last chunk of a batch finished *)
+  all_idle : Condition.t;    (* a helper parked itself *)
+  mutable batch : int;
+  mutable task : (int -> unit) option;
+  mutable chunks : int;
+  mutable idle_workers : int;
+  mutable failure : exn option;
+  mutable stop : bool;
+  next : int Atomic.t;       (* next chunk index to claim *)
+  remaining : int Atomic.t;  (* chunks not yet finished *)
+  mutable workers : unit Domain.t array;
+}
+
+let size t = t.size
+
+let drain t f chunks =
+  let continue = ref true in
+  while !continue do
+    let c = Atomic.fetch_and_add t.next 1 in
+    if c >= chunks then continue := false
+    else begin
+      (try f c
+       with e ->
+         Mutex.lock t.lock;
+         if t.failure = None then t.failure <- Some e;
+         Mutex.unlock t.lock);
+      if Atomic.fetch_and_add t.remaining (-1) = 1 then begin
+        Mutex.lock t.lock;
+        Condition.broadcast t.work_done;
+        Mutex.unlock t.lock
+      end
+    end
+  done
+
+let worker t () =
+  let seen = ref 0 in
+  let running = ref true in
+  Mutex.lock t.lock;
+  while !running do
+    t.idle_workers <- t.idle_workers + 1;
+    Condition.broadcast t.all_idle;
+    while (not t.stop) && t.batch = !seen do
+      Condition.wait t.work_ready t.lock
+    done;
+    t.idle_workers <- t.idle_workers - 1;
+    if t.stop then running := false
+    else begin
+      seen := t.batch;
+      let f = match t.task with Some f -> f | None -> fun _ -> () in
+      let chunks = t.chunks in
+      Mutex.unlock t.lock;
+      drain t f chunks;
+      Mutex.lock t.lock
+    end
+  done;
+  Mutex.unlock t.lock
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Dompool.create: domains must be >= 1";
+  let t =
+    {
+      size = domains;
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      all_idle = Condition.create ();
+      batch = 0;
+      task = None;
+      chunks = 0;
+      idle_workers = 0;
+      failure = None;
+      stop = false;
+      next = Atomic.make 0;
+      remaining = Atomic.make 0;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let sequential = create ~domains:1
+
+let parallel_for t ~chunks f =
+  if chunks < 0 then invalid_arg "Dompool.parallel_for: negative chunks";
+  if chunks > 0 then
+    if t.size = 1 || chunks = 1 then
+      for c = 0 to chunks - 1 do
+        f c
+      done
+    else begin
+      Mutex.lock t.lock;
+      if t.stop then begin
+        Mutex.unlock t.lock;
+        invalid_arg "Dompool.parallel_for: pool is shut down"
+      end;
+      while t.idle_workers < t.size - 1 do
+        Condition.wait t.all_idle t.lock
+      done;
+      t.task <- Some f;
+      t.chunks <- chunks;
+      t.failure <- None;
+      Atomic.set t.next 0;
+      Atomic.set t.remaining chunks;
+      t.batch <- t.batch + 1;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.lock;
+      drain t f chunks;
+      Mutex.lock t.lock;
+      while Atomic.get t.remaining > 0 do
+        Condition.wait t.work_done t.lock
+      done;
+      t.task <- None;
+      let failure = t.failure in
+      t.failure <- None;
+      Mutex.unlock t.lock;
+      Option.iter raise failure
+    end
+
+let run_list t tasks =
+  let tasks = Array.of_list tasks in
+  parallel_for t ~chunks:(Array.length tasks) (fun i -> tasks.(i) ())
+
+let shutdown t =
+  if t.size > 1 then begin
+    Mutex.lock t.lock;
+    let fresh = not t.stop in
+    if fresh then begin
+      t.stop <- true;
+      Condition.broadcast t.work_ready
+    end;
+    Mutex.unlock t.lock;
+    if fresh then Array.iter Domain.join t.workers
+  end

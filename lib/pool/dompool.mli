@@ -1,0 +1,45 @@
+(** A bounded fork-join pool of worker domains for intra-solve
+    parallelism, shared between the population/portfolio schedulers and
+    the kernels below them.
+
+    The design contract is determinism: [parallel_for] hands out chunk
+    indices, every chunk writes only state no other chunk touches, and
+    the caller observes all writes once the call returns.  Because a
+    chunk's {e result} never depends on which domain ran it or in what
+    order chunks were claimed, a computation built on this pool is
+    bit-identical for every pool size — [create ~domains:1] spawns
+    nothing and degenerates to the plain sequential loop.
+
+    A pool has a single orchestrating domain: [parallel_for]/[run_list]
+    must not be called concurrently from two domains, and tasks must
+    not re-enter the pool (no nested batches).  Both schedulers obey
+    this by giving each outer start its own pool. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] builds a pool of [domains] workers including the
+    caller, spawning [domains - 1] helper domains that persist until
+    [shutdown].  [domains < 1] is an [Invalid_argument]. *)
+
+val sequential : t
+(** The shared size-1 pool: no domains, no locks taken, every batch
+    runs inline in the caller.  [shutdown] on it is a no-op, so it is
+    safe as a default everywhere. *)
+
+val size : t -> int
+(** Worker count including the calling domain. *)
+
+val parallel_for : t -> chunks:int -> (int -> unit) -> unit
+(** [parallel_for t ~chunks f] runs [f 0 .. f (chunks - 1)], fanned
+    across the pool's workers with the caller participating, and
+    returns once every chunk finished.  The first exception any chunk
+    raised is re-raised in the caller after the batch completes; the
+    remaining chunks still run. *)
+
+val run_list : t -> (unit -> unit) list -> unit
+(** [run_list t tasks] runs independent thunks as one batch —
+    [parallel_for] over the list. *)
+
+val shutdown : t -> unit
+(** Join the helper domains.  Idempotent; the pool must be idle. *)

@@ -6,6 +6,7 @@ module Assignment = Qbpart_partition.Assignment
 module Gap = Qbpart_gap.Gap
 module Mthg = Qbpart_gap.Mthg
 module Race = Qbpart_gap.Race
+module Dompool = Qbpart_pool.Dompool
 
 module Config = struct
   type t = {
@@ -82,9 +83,11 @@ module Workspace = struct
     mthg : Mthg.workspace;
     race : Race.workspace;    (* for [Config.gap_race] runs *)
     u : int array;            (* n, the current iterate *)
+    pool : Dompool.t;         (* intra-solve fan-out: eta recomputes,
+                                 hub patches, the GAP race legs *)
   }
 
-  let create problem =
+  let create ?(pool = Dompool.sequential) problem =
     let problem = Problem.normalize problem in
     let m = Problem.m problem and n = Problem.n problem in
     let sizes = Netlist.sizes problem.Problem.netlist in
@@ -98,6 +101,7 @@ module Workspace = struct
       mthg = Mthg.workspace ~m ~n;
       race = Race.workspace ~m ~n;
       u = Array.make n 0;
+      pool;
     }
 end
 
@@ -132,7 +136,7 @@ let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
         Mthg.solve_relaxed ~ws:ws.Workspace.mthg ~criteria:config.Config.gap_criteria
           ~improve:config.Config.gap_improve gap
     | Some race ->
-      fun gap -> Race.solve_relaxed ~config:race ~ws:ws.Workspace.race gap
+      fun gap -> Race.solve_relaxed ~config:race ~pool:ws.Workspace.pool ~ws:ws.Workspace.race gap
   in
   let solve_gap ~step ~k gap =
     match gap_solver with
@@ -194,7 +198,10 @@ let solve ?(config = Config.default) ?initial ?(should_stop = fun () -> false)
      sync (GAP jump + polish + repair adoption) instead of recomputing
      the full vector — with the built-in full-recompute fallback when
      most of the placement changed, and the periodic drift resync. *)
-  let st = Qmatrix.eta_state ~rule:config.Config.rule ~buf:ws.Workspace.eta q u in
+  let st =
+    Qmatrix.eta_state ~rule:config.Config.rule ~buf:ws.Workspace.eta
+      ~pool:ws.Workspace.pool q u
+  in
   let eta = ws.Workspace.eta in
   let h = ws.Workspace.h in
   let history = ref [] in

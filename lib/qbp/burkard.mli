@@ -123,11 +123,15 @@ type gap_solver =
 module Workspace : sig
   type t
 
-  val create : Problem.t -> t
+  val create : ?pool:Qbpart_pool.Dompool.t -> Problem.t -> t
   (** Buffers sized for (and weights/capacities taken from) this
       problem.  A workspace must only be reused across solves of the
       {e same} problem (any penalty): shapes are checked, contents are
-      trusted. *)
+      trusted.  [?pool] (default sequential) fans the intra-solve
+      kernels — η recomputes and hub patches, and the GAP race legs
+      when [Config.gap_race] is armed — across worker domains; results
+      are bit-identical for every pool size, so it trades only
+      wall-clock, never determinism. *)
 end
 
 val solve :

@@ -2,6 +2,7 @@ module Netlist = Qbpart_netlist.Netlist
 module Topology = Qbpart_topology.Topology
 module Constraints = Qbpart_timing.Constraints
 module Assignment = Qbpart_partition.Assignment
+module Dompool = Qbpart_pool.Dompool
 
 type rule = Solver | Paper
 
@@ -171,13 +172,13 @@ let violations_delta t u ~j ~i =
    only the incoming constraint direction is visible to a column, and
    the diagonal contributes only at the currently selected
    coordinate. *)
-let eta_paper_into t u eta =
+let eta_paper_range t u eta ~jlo ~jhi =
   let nl = t.problem.Problem.netlist in
   let topo = t.problem.Problem.topology in
   let cons = t.problem.Problem.constraints in
-  let m = Problem.m t.problem and n = Problem.n t.problem in
-  Array.fill eta 0 (m * n) 0.0;
-  for j = 0 to n - 1 do
+  let m = Problem.m t.problem in
+  Array.fill eta (m * jlo) (m * (jhi - jlo)) 0.0;
+  for j = jlo to jhi - 1 do
     let base = j * m in
     eta.(base + u.(j)) <- Problem.p_entry t.problem ~i:u.(j) ~j;
     (* quadratic part: the row index is the partner's selected coordinate *)
@@ -202,15 +203,35 @@ let eta_paper_into t u eta =
       (Constraints.partners cons j)
   done
 
-let eta_into ?(rule = Solver) t u eta =
-  let m = Problem.m t.problem and n = Problem.n t.problem in
-  if Array.length eta <> m * n then invalid_arg "Qmatrix.eta_into: wrong length";
+(* Below this many components the fan-out bookkeeping costs more than
+   the recompute it splits; the cutoff changes scheduling only, never
+   values (each component's block is written by exactly one chunk). *)
+let parallel_eta_cutoff = 128
+
+let eta_range ~rule t u eta ~jlo ~jhi =
   match rule with
-  | Paper -> eta_paper_into t u eta
+  | Paper -> eta_paper_range t u eta ~jlo ~jhi
   | Solver ->
-    for j = 0 to n - 1 do
+    let m = Problem.m t.problem in
+    for j = jlo to jhi - 1 do
       candidate_costs_at t u ~j ~off:(j * m) eta
     done
+
+(* Both rules write only component [j]'s own m-wide block for each [j]
+   in the range, so chunking by component races nothing and the result
+   is bit-identical whatever the pool size: every entry is still the
+   same left-to-right float sum the sequential loop computes. *)
+let eta_into ?(rule = Solver) ?(pool = Dompool.sequential) t u eta =
+  let m = Problem.m t.problem and n = Problem.n t.problem in
+  if Array.length eta <> m * n then invalid_arg "Qmatrix.eta_into: wrong length";
+  let workers = Dompool.size pool in
+  if workers = 1 || n < parallel_eta_cutoff then eta_range ~rule t u eta ~jlo:0 ~jhi:n
+  else begin
+    let chunks = min n (workers * 4) in
+    Dompool.parallel_for pool ~chunks (fun c ->
+        let jlo = c * n / chunks and jhi = (c + 1) * n / chunks in
+        eta_range ~rule t u eta ~jlo ~jhi)
+  end
 
 let eta ?rule t u =
   let eta = Array.make (dim t) 0.0 in
@@ -236,13 +257,15 @@ type eta_state = {
   es_u : int array; (* the positions [es_eta] currently reflects *)
   es_resync_every : int;
   es_patch_limit : int;
+  es_pool : Dompool.t; (* fans resyncs and wide patches, values unchanged *)
   mutable es_since_resync : int;
 }
 
 let eta_buffer st = st.es_eta
 let eta_positions st = st.es_u
 
-let eta_state ?(rule = Solver) ?(resync_every = 256) ?patch_limit ?buf t u =
+let eta_state ?(rule = Solver) ?(resync_every = 256) ?patch_limit ?buf
+    ?(pool = Dompool.sequential) t u =
   let m = Problem.m t.problem and n = Problem.n t.problem in
   if resync_every < 1 then invalid_arg "Qmatrix.eta_state: resync_every must be >= 1";
   let patch_limit =
@@ -257,7 +280,7 @@ let eta_state ?(rule = Solver) ?(resync_every = 256) ?patch_limit ?buf t u =
       if Array.length b <> m * n then invalid_arg "Qmatrix.eta_state: wrong buffer length";
       b
   in
-  eta_into ~rule t u eta;
+  eta_into ~rule ~pool t u eta;
   {
     es_q = t;
     es_rule = rule;
@@ -265,12 +288,35 @@ let eta_state ?(rule = Solver) ?(resync_every = 256) ?patch_limit ?buf t u =
     es_u = Array.copy u;
     es_resync_every = resync_every;
     es_patch_limit = patch_limit;
+    es_pool = pool;
     es_since_resync = 0;
   }
 
 let eta_resync st =
-  eta_into ~rule:st.es_rule st.es_q st.es_u st.es_eta;
+  eta_into ~rule:st.es_rule ~pool:st.es_pool st.es_q st.es_u st.es_eta;
   st.es_since_resync <- 0
+
+(* One move's per-partner patches are independent: wires are merged at
+   netlist construction (each pair stored once), so every partner block
+   in [adj] is written by exactly one entry and the fan-out below races
+   nothing — each chunk runs the same per-entry arithmetic the
+   sequential loop would, so values are bit-identical.  Only hub
+   components clear the cutoff; the timing-partner loop that follows
+   each call stays sequential (those lists are short by construction
+   and may repeat netlist partners). *)
+let parallel_patch_cutoff = 512
+
+let patch_partners pool adj patch1 =
+  let deg = Array.length adj in
+  if Dompool.size pool = 1 || deg < parallel_patch_cutoff then Array.iter patch1 adj
+  else begin
+    let chunks = min deg (Dompool.size pool * 4) in
+    Dompool.parallel_for pool ~chunks (fun c ->
+        let lo = c * deg / chunks and hi = (c + 1) * deg / chunks in
+        for x = lo to hi - 1 do
+          patch1 adj.(x)
+        done)
+  end
 
 (* Solver-rule patch: in a partner [j']'s candidate row, [j]
    contributes the wire term with the evaluator's orientation
@@ -285,8 +331,7 @@ let patch_solver st ~j ~old_i ~new_i =
   let cons = q.problem.Problem.constraints in
   let m = Problem.m q.problem in
   let eta = st.es_eta in
-  Array.iter
-    (fun (j', w) ->
+  patch_partners st.es_pool (Netlist.adj nl j) (fun (j', w) ->
       let base = j' * m in
       if j' < j then
         for i = 0 to m - 1 do
@@ -297,8 +342,7 @@ let patch_solver st ~j ~old_i ~new_i =
         for i = 0 to m - 1 do
           eta.(base + i) <-
             eta.(base + i) +. (w *. (Topology.b topo new_i i -. Topology.b topo old_i i))
-        done)
-    (Netlist.adj nl j);
+        done);
   Array.iter
     (fun p ->
       let base = p.Constraints.other * m in
@@ -331,14 +375,12 @@ let patch_paper st ~j ~old_i ~new_i =
   let base_j = j * m in
   eta.(base_j + old_i) <- eta.(base_j + old_i) -. Problem.p_entry q.problem ~i:old_i ~j;
   eta.(base_j + new_i) <- eta.(base_j + new_i) +. Problem.p_entry q.problem ~i:new_i ~j;
-  Array.iter
-    (fun (j', w) ->
+  patch_partners st.es_pool (Netlist.adj nl j) (fun (j', w) ->
       let base = j' * m in
       for i = 0 to m - 1 do
         eta.(base + i) <-
           eta.(base + i) +. (w *. (Topology.b topo new_i i -. Topology.b topo old_i i))
-      done)
-    (Netlist.adj nl j);
+      done);
   Array.iter
     (fun p ->
       let j' = p.Constraints.other in
@@ -407,7 +449,7 @@ let eta_rebind st q ~touched =
 
 let eta_drift st =
   let fresh = Array.make (Array.length st.es_eta) 0.0 in
-  eta_into ~rule:st.es_rule st.es_q st.es_u fresh;
+  eta_into ~rule:st.es_rule ~pool:st.es_pool st.es_q st.es_u fresh;
   let drift = ref 0.0 in
   Array.iteri
     (fun r x -> drift := Float.max !drift (Float.abs (x -. st.es_eta.(r))))

@@ -100,9 +100,13 @@ val eta : ?rule:rule -> t -> Assignment.t -> float array
 (** STEP 3: the linearization vector, length {m MN}, index
     {m r = i + j·M}. *)
 
-val eta_into : ?rule:rule -> t -> Assignment.t -> float array -> unit
+val eta_into :
+  ?rule:rule -> ?pool:Qbpart_pool.Dompool.t -> t -> Assignment.t -> float array -> unit
 (** Allocation-free {!eta}, writing into a caller-provided length-{m MN}
     buffer (the solver reuses one buffer across all iterations).
+    [?pool] fans the recompute across worker domains by component
+    chunks; both rules write only each component's own {m M}-wide
+    block, so the result is bit-identical for every pool size.
     @raise Invalid_argument on length mismatch. *)
 
 (** {1 Incremental eta maintenance}
@@ -120,15 +124,18 @@ val eta_into : ?rule:rule -> t -> Assignment.t -> float array -> unit
 type eta_state
 
 val eta_state :
-  ?rule:rule -> ?resync_every:int -> ?patch_limit:int -> ?buf:float array -> t ->
-  Assignment.t -> eta_state
+  ?rule:rule -> ?resync_every:int -> ?patch_limit:int -> ?buf:float array ->
+  ?pool:Qbpart_pool.Dompool.t -> t -> Assignment.t -> eta_state
 (** Initialize the maintained η for placement [u] (one full
     {!eta_into}).  [resync_every] (default 256) bounds drift: after
     that many patched moves the vector is recomputed from scratch.
     [patch_limit] (default {m max(1, N/2)}) caps how many components
     {!eta_sync} will patch before falling back to a full recompute.
     [?buf] supplies the length-{m MN} backing buffer (pooled callers);
-    otherwise one is allocated.
+    otherwise one is allocated.  [?pool] fans the initial build, every
+    resync, and the per-partner patches of hub components across worker
+    domains — scheduling only, the maintained vector stays
+    bit-identical to the sequential one.
     @raise Invalid_argument on bad sizes. *)
 
 val eta_buffer : eta_state -> float array

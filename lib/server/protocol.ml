@@ -20,6 +20,9 @@ type submit = {
   seed : int;
   starts : int;
   gap_race : bool;
+  evolve : bool;
+  generations : int;
+  pool_size : int;
   deadline_s : float option;
   label : string option;
   priority : priority;
@@ -36,6 +39,9 @@ let default_submit ~netlist =
     seed = 1;
     starts = 1;
     gap_race = false;
+    evolve = false;
+    generations = 4;
+    pool_size = 8;
     deadline_s = None;
     label = None;
     priority = Batch;
@@ -218,6 +224,9 @@ let submit_json op s =
       ("seed", Json.Int s.seed);
       ("starts", Json.Int s.starts);
       ("gap_race", Json.Bool s.gap_race);
+      ("evolve", Json.Bool s.evolve);
+      ("generations", Json.Int s.generations);
+      ("pool_size", Json.Int s.pool_size);
       ("deadline_s", opt jfloat s.deadline_s);
       ("label", opt jstr s.label);
       ("priority", Json.String (priority_to_string s.priority));
@@ -440,6 +449,9 @@ let decode_submit doc =
   let* seed = opt_field "seed" Json.get_int ~default:d.seed doc in
   let* starts = opt_field "starts" Json.get_int ~default:d.starts doc in
   let* gap_race = opt_field "gap_race" Json.get_bool ~default:d.gap_race doc in
+  let* evolve = opt_field "evolve" Json.get_bool ~default:d.evolve doc in
+  let* generations = opt_field "generations" Json.get_int ~default:d.generations doc in
+  let* pool_size = opt_field "pool_size" Json.get_int ~default:d.pool_size doc in
   let* deadline_s = opt_some "deadline_s" Json.get_float doc in
   let* label = opt_some "label" Json.get_string doc in
   let* priority =
@@ -458,6 +470,9 @@ let decode_submit doc =
       seed;
       starts;
       gap_race;
+      evolve;
+      generations;
+      pool_size;
       deadline_s;
       label;
       priority;

@@ -41,6 +41,9 @@ type submit = {
   seed : int;               (** base RNG seed *)
   starts : int;             (** portfolio starts (≥ 1) *)
   gap_race : bool;          (** race the inner GAP solvers per iteration *)
+  evolve : bool;            (** run the elite-pool population search *)
+  generations : int;        (** evolve generations (≥ 1) *)
+  pool_size : int;          (** evolve elite-pool capacity (≥ 1) *)
   deadline_s : float option;(** per-job wall-clock budget *)
   label : string option;    (** free-form tag echoed in views *)
   priority : priority;      (** admission class (default [Batch]) *)
@@ -48,8 +51,11 @@ type submit = {
 
 val default_submit : netlist:source -> submit
 (** [rows = 4], [cols = 4], [slack = 1.15], [iterations = 100],
-    [seed = 1], [starts = 1], [gap_race = false], no timing, no
-    deadline, no label — mirroring [qbpart solve]'s defaults. *)
+    [seed = 1], [starts = 1], [gap_race = false], [evolve = false],
+    [generations = 4], [pool_size = 8], no timing, no deadline, no
+    label — mirroring [qbpart solve]'s defaults.  The evolve knobs
+    decode tolerantly (older peers simply omit them), so a v3 client
+    and server mix freely across this addition. *)
 
 type request =
   | Submit of submit

@@ -217,6 +217,9 @@ let run_job t (j : job) =
               (if j.spec.Protocol.gap_race then Some Qbpart_gap.Race.default else None);
           };
         starts = j.spec.Protocol.starts;
+        evolve = j.spec.Protocol.evolve;
+        generations = j.spec.Protocol.generations;
+        pool_size = j.spec.Protocol.pool_size;
       }
     in
     let on_checkpoint cp =

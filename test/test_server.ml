@@ -239,6 +239,9 @@ let gen_submit =
     let* seed = int_range 0 1_000_000 in
     let* starts = int_range 1 16 in
     let* gap_race = bool in
+    let* evolve = bool in
+    let* generations = int_range 1 8 in
+    let* pool_size = int_range 1 16 in
     let* deadline_s = opt gen_finite_float in
     let* label = opt gen_wire_string in
     let* priority = oneofl [ Protocol.Interactive; Protocol.Batch ] in
@@ -253,6 +256,9 @@ let gen_submit =
         seed;
         starts;
         gap_race;
+        evolve;
+        generations;
+        pool_size;
         deadline_s;
         label;
         priority;
