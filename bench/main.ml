@@ -1083,6 +1083,207 @@ let server_throughput quick =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Scale frontier: flat CSR kernels and the 10k-100k synthetic
+   instances (Synth.frontier).  Three measurements:
+
+   - CSR vs boxed adjacency sweep on synth30k: the same
+     connection-weighted distance accumulation (the memory-access
+     shape of the eta and gain inner loops) over the flat
+     struct-of-arrays layout and over the pre-rewrite boxed
+     [(neighbor, weight) array array] layout, rebuilt here so the
+     claimed layout speedup stays pinned.
+   - warm-started QBP iteration throughput per frontier instance.
+   - (full runs only) a certified end-to-end engine solve of
+     synth100k.
+
+   The scale_summary object feeds the CI compare gate. *)
+
+let boxed_adjacency nl =
+  let n = Netlist.n nl in
+  let rows = Array.make n [] in
+  Netlist.iter_wires nl (fun w ->
+      let u = Qbpart_netlist.Wire.u w and v = Qbpart_netlist.Wire.v w in
+      let x = Qbpart_netlist.Wire.weight w in
+      rows.(u) <- (v, x) :: rows.(u);
+      rows.(v) <- (u, x) :: rows.(v));
+  Array.map
+    (fun l ->
+      let a = Array.of_list l in
+      Array.sort (fun (j1, _) (j2, _) -> Int.compare j1 j2) a;
+      a)
+    rows
+
+let csr_sweep nl dist a =
+  let n = Netlist.n nl in
+  let xadj = Netlist.adj_offsets nl in
+  let anbr = Netlist.adj_targets nl in
+  let awgt = Netlist.adj_weights nl in
+  let total = ref 0.0 in
+  for j = 0 to n - 1 do
+    let dj = dist.(a.(j)) in
+    for k = xadj.(j) to xadj.(j + 1) - 1 do
+      total := !total +. (awgt.(k) *. dj.(a.(anbr.(k))))
+    done
+  done;
+  !total
+
+let boxed_sweep rows dist a =
+  let n = Array.length rows in
+  let total = ref 0.0 in
+  for j = 0 to n - 1 do
+    let dj = dist.(a.(j)) in
+    let row = rows.(j) in
+    for k = 0 to Array.length row - 1 do
+      let nbr, x = row.(k) in
+      total := !total +. (x *. dj.(a.(nbr)))
+    done
+  done;
+  !total
+
+(* Mean seconds per run, adaptively repeated: at least [min_runs]
+   and at least [min_time] wall seconds.  Returns (mean_s, acc) with
+   [acc] folded from every run so the work cannot be dead-coded. *)
+let time_runs ?(min_runs = 3) ?(min_time = 0.3) f =
+  let t0 = Unix.gettimeofday () in
+  let runs = ref 0 in
+  let acc = ref 0.0 in
+  while !runs < min_runs || Unix.gettimeofday () -. t0 < min_time do
+    acc := !acc +. f ();
+    incr runs
+  done;
+  ((Unix.gettimeofday () -. t0) /. float_of_int !runs, !acc)
+
+let scale_bench quick =
+  section "Scale frontier (flat CSR kernels, synth10k-synth100k)";
+  let module Synth = Qbpart_experiments.Synth in
+  let module Engine = Qbpart_engine.Engine in
+  let module Dompool = Qbpart_pool.Dompool in
+  let frontier =
+    if quick then
+      List.filter (fun p -> p.Synth.name <> "synth100k") Synth.frontier
+    else Synth.frontier
+  in
+  let pool = Dompool.create ~domains:4 in
+  let built =
+    List.map
+      (fun p ->
+        let t0 = Unix.gettimeofday () in
+        let inst = Synth.build ~pool p in
+        let dt = Unix.gettimeofday () -. t0 in
+        Format.printf "  built %-10s n=%-7d wires=%-7d budgets=%-7d  %.2fs@."
+          p.Synth.name p.Synth.n
+          (Netlist.wire_count inst.Circuits.netlist)
+          (Constraints.count inst.Circuits.constraints)
+          dt;
+        (p, inst, dt))
+      frontier
+  in
+  Dompool.shutdown pool;
+  (* layout microbench on synth30k: present in quick and full runs so
+     the committed gate always covers it *)
+  let layout =
+    let _, inst, _ =
+      List.find (fun (p, _, _) -> p.Synth.name = "synth30k") built
+    in
+    let nl = inst.Circuits.netlist in
+    let topo = inst.Circuits.topology in
+    let m = Topology.m topo in
+    let dist = Array.init m (fun i -> Array.init m (fun i' -> Topology.d topo i i')) in
+    let a = inst.Circuits.reference in
+    let boxed = boxed_adjacency nl in
+    (* same per-row order in both layouts => bit-identical totals *)
+    assert (csr_sweep nl dist a = boxed_sweep boxed dist a);
+    let csr_s, _ = time_runs (fun () -> csr_sweep nl dist a) in
+    let boxed_s, _ = time_runs (fun () -> boxed_sweep boxed dist a) in
+    let speedup = boxed_s /. csr_s in
+    Format.printf
+      "@.  adjacency sweep on synth30k: CSR %.2fms, boxed %.2fms  (%.2fx)@."
+      (csr_s *. 1e3) (boxed_s *. 1e3) speedup;
+    [
+      ("csr_sweep_ns", Json.Float (csr_s *. 1e9));
+      ("boxed_sweep_ns", Json.Float (boxed_s *. 1e9));
+      ("csr_sweep_speedup", Json.Float speedup);
+    ]
+  in
+  (* warm-started QBP iteration throughput per instance *)
+  let throughput =
+    List.concat_map
+      (fun (p, inst, build_s) ->
+        let problem = Circuits.problem inst in
+        let iterations = if p.Synth.n >= 100_000 then 2 else 3 in
+        let config =
+          { Burkard.Config.default with iterations; final_polish = 0 }
+        in
+        let t0 = Unix.gettimeofday () in
+        let result = Burkard.solve ~config ~initial:inst.Circuits.reference problem in
+        let dt = Unix.gettimeofday () -. t0 in
+        let iters = List.length result.Burkard.history in
+        let per_sec = float_of_int iters /. dt in
+        Format.printf "  %-10s %d QBP iterations in %6.2fs  (%.3f iters/sec)@."
+          p.Synth.name iters dt per_sec;
+        [
+          (p.Synth.name ^ "_build_s", Json.Float build_s);
+          (p.Synth.name ^ "_iters_per_sec", Json.Float per_sec);
+        ])
+      built
+  in
+  (* full runs: certified end-to-end solve of the 100k instance *)
+  let certified =
+    if quick then []
+    else begin
+      let _, inst, _ =
+        List.find (fun (p, _, _) -> p.Synth.name = "synth100k") built
+      in
+      let problem = Circuits.problem inst in
+      let config =
+        {
+          Engine.Config.default with
+          qbp = { Burkard.Config.default with iterations = 2 };
+          inner_jobs = 4;
+        }
+      in
+      let deadline = Qbpart_engine.Deadline.of_seconds 1200.0 in
+      let t0 = Unix.gettimeofday () in
+      match Engine.solve ~config ~deadline ~initial:inst.Circuits.reference problem with
+      | Error e -> failwith ("scale bench: synth100k engine solve: " ^ Engine.Error.to_string e)
+      | Ok { Engine.certificate; report; _ } ->
+        let dt = Unix.gettimeofday () -. t0 in
+        let ok = Certify.ok certificate in
+        Format.printf "@.  synth100k certified end to end in %.1fs (%s)@." dt
+          (if ok then "certificate ok" else "CERTIFICATE FAILED");
+        Format.printf "  %a@." Engine.Report.pp report;
+        if not ok then failwith "scale bench: synth100k certificate failed";
+        [
+          ("synth100k_certified_s", Json.Float dt);
+          ("synth100k_certified", Json.Bool ok);
+        ]
+    end
+  in
+  let summary = layout @ throughput in
+  let doc =
+    Json.Obj
+      ([
+         ("quick", Json.Bool quick);
+         ( "instances",
+           Json.List
+             (List.map
+                (fun (p, inst, build_s) ->
+                  Json.Obj
+                    [
+                      ("name", Json.String p.Synth.name);
+                      ("n", Json.Int p.Synth.n);
+                      ("wires", Json.Int (Netlist.wire_count inst.Circuits.netlist));
+                      ( "budgets",
+                        Json.Int (Constraints.count inst.Circuits.constraints) );
+                      ("build_s", Json.Float build_s);
+                    ])
+                built) );
+       ]
+      @ certified)
+  in
+  (doc, summary)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -1100,13 +1301,16 @@ let () =
   let only_evolve = flag "--only-evolve" in
   let only_server = flag "--only-server" in
   let only_baselines = flag "--only-baselines" in
+  let only_scale = flag "--only-scale" in
   let t0 = Sys.time () in
   let wall0 = Unix.gettimeofday () in
   let kernel_stats = ref [] in
   let portfolio_stats = ref None in
   let evolve_stats = ref None in
   let server_stats = ref None in
-  if only_server then server_stats := Some (server_throughput quick)
+  let scale_stats = ref None in
+  if only_scale then scale_stats := Some (scale_bench quick)
+  else if only_server then server_stats := Some (server_throughput quick)
   else if only_baselines then begin
     (* CI smoke: just the GFM/GKL selection and GAP-race kernel rows *)
     Format.printf "building ckta (baseline kernels)...@.";
@@ -1139,6 +1343,18 @@ let () =
     if not (flag "--skip-server") then server_stats := Some (server_throughput quick);
     if not (flag "--skip-kernels") then kernel_stats := kernels (List.hd instances)
   end;
+  (match (json_path, only_scale, !scale_stats) with
+  | Some path, true, Some (doc, summary) ->
+    (* --only-scale --json PATH: the BENCH_scale.json artifact *)
+    Json.to_file path
+      (Json.Obj
+         [
+           ("schema", Json.String "qbpart-bench-scale/1");
+           ("scale", doc);
+           ("scale_summary", Json.Obj summary);
+         ]);
+    Format.printf "@.wrote %s@." path
+  | _ -> ());
   (match (json_path, only_server, !server_stats) with
   | Some path, true, Some server ->
     (* --only-server --json PATH: the BENCH_server.json artifact *)
@@ -1151,7 +1367,7 @@ let () =
          ]);
     Format.printf "@.wrote %s@." path
   | _ -> ());
-  (match (json_path, only_server) with
+  (match (json_path, only_server || only_scale) with
   | None, _ | _, true -> ()
   | Some path, false ->
     let kernels_json =

@@ -52,14 +52,77 @@ let load_netlist path =
   | Ok nl -> Ok nl
   | Error e -> msgf "%s: %s" path (Parser.file_error_to_string e)
 
+let emit_assignment nl topo assignment out =
+  let emit ppf =
+    Array.iteri
+      (fun j i ->
+        Format.fprintf ppf "%s %s@."
+          (Qbpart_netlist.Component.name (Netlist.component nl j))
+          (Topology.name topo i))
+      assignment
+  in
+  match out with
+  | None ->
+    emit Format.std_formatter;
+    Ok ()
+  | Some path -> (
+    match open_out path with
+    | exception Sys_error m -> Error (`Msg m)
+    | oc ->
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+          emit (Format.formatter_of_out_channel oc));
+      Format.eprintf "wrote %s@." path;
+      Ok ())
+
+let parse_assignment nl topo path =
+  let by_name = Hashtbl.create 16 in
+  for i = 0 to Topology.m topo - 1 do
+    Hashtbl.replace by_name (Topology.name topo i) i
+  done;
+  let assignment = Array.make (Netlist.n nl) (-1) in
+  match open_in path with
+  | exception Sys_error m -> Error (`Msg m)
+  | ic ->
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        let rec loop ln =
+          match input_line ic with
+          | exception End_of_file -> Ok ()
+          | exception Sys_error m -> msgf "%s: line %d: %s" path ln m
+          | line -> (
+            match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+            | [] -> loop (ln + 1)
+            | [ comp; slot ] ->
+              let* j =
+                match Netlist.find_by_name nl comp with
+                | Some j -> Ok j
+                | None -> msgf "%s: line %d: unknown component %S" path ln comp
+              in
+              let* i =
+                match Hashtbl.find_opt by_name slot with
+                | Some i -> Ok i
+                | None -> (
+                  match int_of_string_opt slot with
+                  | Some i when i >= 0 && i < Topology.m topo -> Ok i
+                  | _ -> msgf "%s: line %d: unknown partition %S" path ln slot)
+              in
+              assignment.(j) <- i;
+              loop (ln + 1)
+            | _ -> msgf "%s: line %d: bad assignment line %S" path ln line)
+        in
+        let* () = loop 1 in
+        let unassigned = ref None in
+        Array.iteri (fun j i -> if i < 0 && !unassigned = None then unassigned := Some j) assignment;
+        match !unassigned with
+        | Some j ->
+          msgf "%s: component %S unassigned" path
+            (Qbpart_netlist.Component.name (Netlist.component nl j))
+        | None -> Ok assignment)
+
+
 (* --- generate ------------------------------------------------------ *)
 
 let generate_cmd =
-  let run n wires seed out =
-    let* () = if n < 0 then msgf "--components must be >= 0" else Ok () in
-    let* () = if wires < 0 then msgf "--wires must be >= 0" else Ok () in
-    let rng = Rng.create seed in
-    let nl = Generator.generate rng (Generator.default_params ~n ~wires) in
+  let write_netlist out nl =
     match out with
     | None ->
       print_string (Printer.to_string nl);
@@ -72,16 +135,152 @@ let generate_cmd =
         Ok ()
       | exception Sys_error m -> Error (`Msg m))
   in
-  let n = Arg.(value & opt int 100 & info [ "n"; "components" ] ~doc:"Component count.") in
-  let wires = Arg.(value & opt int 500 & info [ "w"; "wires" ] ~doc:"Total interconnections.") in
-  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let run n wires seed out circuit degree density locality clusters jobs timing_out
+      reference_out =
+    let* () =
+      match n with Some n when n < 0 -> msgf "--components must be >= 0" | _ -> Ok ()
+    in
+    let* () =
+      match wires with Some w when w < 0 -> msgf "--wires must be >= 0" | _ -> Ok ()
+    in
+    let* () = if jobs < 0 then msgf "--jobs must be >= 0" else Ok () in
+    let synthetic =
+      circuit <> None || degree <> None || density <> None || locality <> None
+      || clusters <> None || timing_out <> None || reference_out <> None
+    in
+    if not synthetic then begin
+      let n = Option.value n ~default:100 in
+      let wires = Option.value wires ~default:500 in
+      let seed = Option.value seed ~default:1 in
+      let rng = Rng.create seed in
+      let nl = Generator.generate rng (Generator.default_params ~n ~wires) in
+      write_netlist out nl
+    end
+    else begin
+      let* () =
+        if wires <> None then
+          msgf "synthetic circuits size wiring by --degree, not --wires"
+        else Ok ()
+      in
+      let* base =
+        match circuit with
+        | None ->
+          Ok
+            (Experiments.Synth.default ~name:"custom"
+               ~n:(Option.value n ~default:10_000)
+               ~seed:(Option.value seed ~default:1))
+        | Some name -> (
+          match Experiments.Synth.find name with
+          | Some p -> Ok p
+          | None ->
+            msgf "unknown circuit %S (known: %s)" name
+              (String.concat ", " Experiments.Synth.names))
+      in
+      let p =
+        let open Experiments.Synth in
+        let p = base in
+        let p = match n with Some n -> { p with n } | None -> p in
+        let p = match seed with Some seed -> { p with seed } | None -> p in
+        let p = match degree with Some avg_degree -> { p with avg_degree } | None -> p in
+        let p =
+          match density with Some timing_density -> { p with timing_density } | None -> p
+        in
+        let p = match locality with Some locality -> { p with locality } | None -> p in
+        match clusters with Some clusters -> { p with clusters } | None -> p
+      in
+      let pool =
+        if jobs > 1 then Some (Qbpart_pool.Dompool.create ~domains:jobs) else None
+      in
+      let finally () = Option.iter Qbpart_pool.Dompool.shutdown pool in
+      let* inst =
+        match Experiments.Synth.build ?pool p with
+        | inst ->
+          finally ();
+          Ok inst
+        | exception Invalid_argument m ->
+          finally ();
+          Error (`Msg m)
+      in
+      let nl = inst.Experiments.Circuits.netlist in
+      let* () = write_netlist out nl in
+      let* () =
+        match timing_out with
+        | None -> Ok ()
+        | Some path -> (
+          match
+            Qbpart_timing.Constraints_io.to_file nl inst.Experiments.Circuits.constraints
+              path
+          with
+          | () ->
+            Printf.printf "wrote %s: %d directed timing budgets\n" path
+              (Constraints.count inst.Experiments.Circuits.constraints);
+            Ok ()
+          | exception Sys_error m -> Error (`Msg m))
+      in
+      match reference_out with
+      | None -> Ok ()
+      | Some path ->
+        emit_assignment nl inst.Experiments.Circuits.topology
+          inst.Experiments.Circuits.reference (Some path)
+    end
+  in
+  let n =
+    Arg.(value & opt (some int) None & info [ "n"; "components" ]
+           ~doc:"Component count (default 100, or 10000 for synthetic circuits).")
+  in
+  let wires =
+    Arg.(value & opt (some int) None & info [ "w"; "wires" ]
+           ~doc:"Total interconnections (default 500; plain netlists only).")
+  in
+  let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"Generator seed.") in
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Output file (stdout if omitted).")
   in
+  let circuit =
+    Arg.(value & opt (some string) None & info [ "circuit" ] ~docv:"NAME"
+           ~doc:"Build a synthetic frontier instance (synth10k, synth30k, synth100k) \
+                 with its planted timing constraints; knobs below override its \
+                 parameters.")
+  in
+  let degree =
+    Arg.(value & opt (some float) None & info [ "degree" ]
+           ~doc:"Average interconnections per component (synthetic circuits; wires = \
+                 n * degree / 2).")
+  in
+  let density =
+    Arg.(value & opt (some float) None & info [ "timing-density" ]
+           ~doc:"Directed timing budgets per component (synthetic circuits).")
+  in
+  let locality =
+    Arg.(value & opt (some float) None & info [ "locality" ]
+           ~doc:"Probability a wire stays inside its hidden cluster, in [0,1].")
+  in
+  let clusters =
+    Arg.(value & opt (some int) None & info [ "clusters" ]
+           ~doc:"Hidden cluster count; 0 = one per ~500 components.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ]
+           ~doc:"Domains for the parallel adjacency build on large instances; the \
+                 generated circuit is identical for every value.")
+  in
+  let timing_out =
+    Arg.(value & opt (some string) None & info [ "timing-output" ] ~docv:"FILE"
+           ~doc:"Also write the planted timing budgets (synthetic circuits; feed back \
+                 with solve --timing).")
+  in
+  let reference_out =
+    Arg.(value & opt (some string) None & info [ "reference-output" ] ~docv:"FILE"
+           ~doc:"Also write the planted feasible reference assignment (synthetic \
+                 circuits; feed back with solve --initial to warm-start at scale).")
+  in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic netlist")
-    Term.(term_result (const run $ n $ wires $ seed $ out))
+    Term.(
+      term_result
+        (const run $ n $ wires $ seed $ out $ circuit $ degree $ density $ locality
+       $ clusters $ jobs $ timing_out $ reference_out))
 
 (* --- stats --------------------------------------------------------- *)
 
@@ -128,32 +327,10 @@ let duration_conv =
 
 let algorithm_conv = Arg.enum [ ("qbp", `Qbp); ("gfm", `Gfm); ("gkl", `Gkl) ]
 
-let emit_assignment nl topo assignment out =
-  let emit ppf =
-    Array.iteri
-      (fun j i ->
-        Format.fprintf ppf "%s %s@."
-          (Qbpart_netlist.Component.name (Netlist.component nl j))
-          (Topology.name topo i))
-      assignment
-  in
-  match out with
-  | None ->
-    emit Format.std_formatter;
-    Ok ()
-  | Some path -> (
-    match open_out path with
-    | exception Sys_error m -> Error (`Msg m)
-    | oc ->
-      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
-          emit (Format.formatter_of_out_channel oc));
-      Format.eprintf "wrote %s@." path;
-      Ok ())
-
 let solve_cmd =
   let run path timing rows cols slack algorithm iterations seed gap_race deadline fallback
       starts jobs inner_jobs retries evolve generations pool_size min_distance checkpoint
-      every resume out =
+      every resume initial out =
     let* nl = load_netlist path in
     let* constraints = load_constraints nl timing in
     let* () =
@@ -272,7 +449,14 @@ let solve_cmd =
           end;
           Ok assignment
         in
-        match Engine.solve ~config ~deadline ?on_checkpoint ?resume:resumed problem with
+        let* initial =
+          match initial with
+          | None -> Ok None
+          | Some file ->
+            let* a = parse_assignment nl topo file in
+            Ok (Some a)
+        in
+        match Engine.solve ~config ~deadline ?on_checkpoint ?resume:resumed ?initial problem with
         | Error e -> Error (`Msg (Engine.Error.to_string e))
         | Ok { Engine.assignment; report; certificate; _ } ->
           Format.eprintf "%a@." Engine.Report.pp report;
@@ -285,9 +469,28 @@ let solve_cmd =
       else begin
         let rng = Rng.create seed in
         let* initial =
-          match Initial.greedy_feasible ?constraints ~attempts:200 rng nl topo () with
-          | Some a -> Ok a
-          | None -> msgf "no feasible start; increase --slack or loosen budgets"
+          match initial with
+          | Some file ->
+            let* a = parse_assignment nl topo file in
+            let* () =
+              if not (Evaluate.capacity_feasible nl topo a) then
+                msgf "%s: initial assignment violates capacity" file
+              else if
+                not
+                  (match constraints with
+                  | None -> true
+                  | Some c -> Qbpart_timing.Check.feasible c topo ~assignment:a)
+              then msgf "%s: initial assignment violates timing budgets" file
+              else Ok ()
+            in
+            Ok a
+          | None -> (
+            match Initial.greedy_feasible ?constraints ~attempts:200 rng nl topo () with
+            | Some a -> Ok a
+            | None ->
+              msgf
+                "no feasible start; increase --slack, loosen budgets, or warm-start \
+                 with --initial")
         in
         let should_stop = Deadline.should_stop deadline in
         let start = Evaluate.wirelength nl topo initial in
@@ -427,6 +630,13 @@ let solve_cmd =
                  portfolio starts, and continues on the deadline budget the \
                  checkpointed run left unspent. Implies the resilient engine.")
   in
+  let initial =
+    Arg.(value & opt (some file) None & info [ "initial" ] ~docv:"FILE"
+           ~doc:"Warm-start from this assignment (same format solve emits; e.g. a \
+                 synthetic circuit's planted reference from generate \
+                 --reference-output). The bare solver requires it feasible; the \
+                 resilient engine accepts any in-range assignment.")
+  in
   let out =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the assignment here instead of stdout.")
@@ -437,53 +647,10 @@ let solve_cmd =
       term_result
         (const run $ path $ timing $ rows $ cols $ slack $ algorithm $ iterations $ seed
        $ gap_race $ deadline $ fallback $ starts $ jobs $ inner_jobs $ retries $ evolve
-       $ generations $ pool_size $ min_distance $ checkpoint $ every $ resume $ out))
+       $ generations $ pool_size $ min_distance $ checkpoint $ every $ resume $ initial
+       $ out))
 
 (* --- eval ---------------------------------------------------------- *)
-
-let parse_assignment nl topo path =
-  let by_name = Hashtbl.create 16 in
-  for i = 0 to Topology.m topo - 1 do
-    Hashtbl.replace by_name (Topology.name topo i) i
-  done;
-  let assignment = Array.make (Netlist.n nl) (-1) in
-  match open_in path with
-  | exception Sys_error m -> Error (`Msg m)
-  | ic ->
-    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
-        let rec loop ln =
-          match input_line ic with
-          | exception End_of_file -> Ok ()
-          | exception Sys_error m -> msgf "%s: line %d: %s" path ln m
-          | line -> (
-            match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-            | [] -> loop (ln + 1)
-            | [ comp; slot ] ->
-              let* j =
-                match Netlist.find_by_name nl comp with
-                | Some j -> Ok j
-                | None -> msgf "%s: line %d: unknown component %S" path ln comp
-              in
-              let* i =
-                match Hashtbl.find_opt by_name slot with
-                | Some i -> Ok i
-                | None -> (
-                  match int_of_string_opt slot with
-                  | Some i when i >= 0 && i < Topology.m topo -> Ok i
-                  | _ -> msgf "%s: line %d: unknown partition %S" path ln slot)
-              in
-              assignment.(j) <- i;
-              loop (ln + 1)
-            | _ -> msgf "%s: line %d: bad assignment line %S" path ln line)
-        in
-        let* () = loop 1 in
-        let unassigned = ref None in
-        Array.iteri (fun j i -> if i < 0 && !unassigned = None then unassigned := Some j) assignment;
-        match !unassigned with
-        | Some j ->
-          msgf "%s: component %S unassigned" path
-            (Qbpart_netlist.Component.name (Netlist.component nl j))
-        | None -> Ok assignment)
 
 let eval_cmd =
   let run netlist_path assignment_path timing rows cols slack =

@@ -140,16 +140,13 @@ let reset t =
    b-sum range endpoints (and 0) bounds every pair. *)
 let corr_lower_bound nl topo gains =
   let m = Topology.m topo in
-  let wires = Netlist.wires nl in
-  if m < 2 || Array.length wires = 0 then 0.0
+  if m < 2 || Netlist.wire_count nl = 0 then 0.0
   else begin
     let wmin = ref infinity and wmax = ref neg_infinity in
-    Array.iter
-      (fun w ->
+    Netlist.iter_wires nl (fun w ->
         let x = Wire.weight w in
         if x < !wmin then wmin := x;
-        if x > !wmax then wmax := x)
-      wires;
+        if x > !wmax then wmax := x);
     let smin = ref infinity and smax = ref neg_infinity in
     for x = 0 to m - 1 do
       for y = 0 to m - 1 do
@@ -197,7 +194,11 @@ let create ?(nbuckets = 128) nl topo gains =
 let apply_move t ~j ~target =
   Gains.apply_move t.gains ~j ~target;
   relink_component t j;
-  Array.iter (fun (j', _) -> relink_component t j') (Netlist.adj t.nl j)
+  let xadj = Netlist.adj_offsets t.nl in
+  let anbr = Netlist.adj_targets t.nl in
+  for k = xadj.(j) to xadj.(j + 1) - 1 do
+    relink_component t anbr.(k)
+  done
 
 let apply_swap t ~j1 ~j2 =
   let a = Gains.assignment t.gains in

@@ -31,13 +31,16 @@ let cost_row t j row =
   for i = 0 to t.m - 1 do
     row.(i) <- lin_term t j i
   done;
-  Array.iter
-    (fun (j', w) ->
-      let at' = t.a.(j') in
-      for i = 0 to t.m - 1 do
-        row.(i) <- row.(i) +. wire_term t j j' w ~at:i ~at':at'
-      done)
-    (Netlist.adj t.nl j)
+  let xadj = Netlist.adj_offsets t.nl in
+  let anbr = Netlist.adj_targets t.nl in
+  let awgt = Netlist.adj_weights t.nl in
+  for k = xadj.(j) to xadj.(j + 1) - 1 do
+    let j' = anbr.(k) and w = awgt.(k) in
+    let at' = t.a.(j') in
+    for i = 0 to t.m - 1 do
+      row.(i) <- row.(i) +. wire_term t j j' w ~at:i ~at':at'
+    done
+  done
 
 let refresh_row t j =
   let row = t.delta.(j) in
@@ -104,16 +107,19 @@ let apply_move t ~j ~target =
       row.(i) <- row.(i) -. own
     done;
     (* neighbors see the wire endpoint move from [from] to [target] *)
-    Array.iter
-      (fun (j', w) ->
-        let row' = t.delta.(j') in
-        let at' = t.a.(j') in
-        let shift i = wire_term t j' j w ~at:i ~at':target -. wire_term t j' j w ~at:i ~at':from in
-        let base = shift at' in
-        for i = 0 to t.m - 1 do
-          row'.(i) <- row'.(i) +. shift i -. base
-        done)
-      (Netlist.adj t.nl j)
+    let xadj = Netlist.adj_offsets t.nl in
+    let anbr = Netlist.adj_targets t.nl in
+    let awgt = Netlist.adj_weights t.nl in
+    for k = xadj.(j) to xadj.(j + 1) - 1 do
+      let j' = anbr.(k) and w = awgt.(k) in
+      let row' = t.delta.(j') in
+      let at' = t.a.(j') in
+      let shift i = wire_term t j' j w ~at:i ~at':target -. wire_term t j' j w ~at:i ~at':from in
+      let base = shift at' in
+      for i = 0 to t.m - 1 do
+        row'.(i) <- row'.(i) +. shift i -. base
+      done
+    done
   end
 
 let apply_swap t ~j1 ~j2 =

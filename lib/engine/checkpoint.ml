@@ -151,31 +151,38 @@ let unescape s =
   done;
   Buffer.contents b
 
-let to_string cp =
-  let b = Buffer.create 1024 in
-  Printf.bprintf b "qbpart-checkpoint %d\n" version;
-  Printf.bprintf b "hash %Lx\n" cp.instance_hash;
+(* One serializer behind a string sink: [output] points it at a
+   buffered channel so a 100k-component assignment streams through the
+   channel's fixed buffer instead of materializing a megabyte string;
+   [to_string] points it at a [Buffer] for tests and small files. *)
+let write emit cp =
+  let emitf fmt = Printf.ksprintf emit fmt in
+  emitf "qbpart-checkpoint %d\n" version;
+  emitf "hash %Lx\n" cp.instance_hash;
   (match cp.fingerprint with
-  | Some fp ->
-    Printf.bprintf b "fingerprint %d %d %d %h\n" fp.fp_n fp.fp_m fp.fp_wires fp.fp_weight
+  | Some fp -> emitf "fingerprint %d %d %d %h\n" fp.fp_n fp.fp_m fp.fp_wires fp.fp_weight
   | None -> ());
-  Printf.bprintf b "seed %d\n" cp.base_seed;
-  Printf.bprintf b "elapsed %h\n" cp.elapsed;
-  Printf.bprintf b "cost %h\n" cp.incumbent_cost;
-  Printf.bprintf b "winner %d\n" cp.incumbent_start;
-  Printf.bprintf b "starts %d\n" (List.length cp.starts);
+  emitf "seed %d\n" cp.base_seed;
+  emitf "elapsed %h\n" cp.elapsed;
+  emitf "cost %h\n" cp.incumbent_cost;
+  emitf "winner %d\n" cp.incumbent_start;
+  emitf "starts %d\n" (List.length cp.starts);
   List.iter
     (fun s ->
-      Printf.bprintf b "start %d %d %d %s %s\n" s.start s.seed s.attempts
+      emitf "start %d %d %d %s %s\n" s.start s.seed s.attempts
         (match s.feasible_cost with None -> "-" | Some c -> Printf.sprintf "%h" c)
         (match s.failure with None -> "-" | Some msg -> "!" ^ escape msg))
     cp.starts;
-  Printf.bprintf b "assignment %d\n" (Array.length cp.incumbent);
-  Array.iteri
-    (fun j p -> if j = 0 then Printf.bprintf b "%d" p else Printf.bprintf b " %d" p)
-    cp.incumbent;
-  if Array.length cp.incumbent > 0 then Buffer.add_char b '\n';
-  Buffer.add_string b "end\n";
+  emitf "assignment %d\n" (Array.length cp.incumbent);
+  Array.iteri (fun j p -> if j = 0 then emitf "%d" p else emitf " %d" p) cp.incumbent;
+  if Array.length cp.incumbent > 0 then emit "\n";
+  emit "end\n"
+
+let output oc cp = write (Stdlib.output_string oc) cp
+
+let to_string cp =
+  let b = Buffer.create 1024 in
+  write (Buffer.add_string b) cp;
   Buffer.contents b
 
 let of_string text =
@@ -324,7 +331,7 @@ let save ~path cp =
     Fun.protect
       ~finally:(fun () -> try close_out_noerr oc with _ -> ())
       (fun () ->
-        output_string oc (to_string cp);
+        output oc cp;
         flush oc;
         Unix.fsync (Unix.descr_of_out_channel oc));
     Sys.rename tmp path;

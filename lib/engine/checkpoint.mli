@@ -107,6 +107,11 @@ val make :
 val to_string : t -> string
 val of_string : string -> (t, error) result
 
+val output : out_channel -> t -> unit
+(** Stream the checkpoint through the channel's bounded buffer — a
+    100k-component assignment line never exists as one in-memory
+    string.  [save] writes through this. *)
+
 val save : path:string -> t -> (unit, error) result
 (** Atomic durable write: temp file + [fsync] + rename (+ best-effort
     directory [fsync]).  On error the temp file is removed and [path]

@@ -93,12 +93,11 @@ let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?
       total_domains recommended;
   let problem = Problem.normalize problem in
   let cons = problem.Problem.constraints in
-  (* Force the lazily-built partner index before any domain spawns:
-     [Constraints.partners] memoizes a mutable index on first call, and
-     that write is the one piece of shared state the otherwise
-     read-only problem would mutate from several domains at once. *)
-  if Problem.n problem > 0 && not (Constraints.empty cons) then
-    ignore (Constraints.partners cons 0);
+  (* Force the lazily-built partner CSR before any domain spawns: it
+     memoizes on first access, and that write is the one piece of
+     shared state the otherwise read-only problem would mutate from
+     several domains at once. *)
+  if Problem.n problem > 0 && not (Constraints.empty cons) then Constraints.prebuild cons;
   (* Shared incumbent, for best-so-far reporting only: trajectories
      never read it, so starts stay independent and the reduction below
      stays deterministic. *)

@@ -83,9 +83,9 @@ let solve ?(config = Burkard.Config.default) ?(max_rounds = 4) ?(factor = 8.0) ?
       d
   in
   let cons = problem.Problem.constraints in
-  (* force the memoized partner index before any domain spawns (same
+  (* force the memoized partner CSR before any domain spawns (same
      shared-state hazard as in Portfolio.solve) *)
-  if n > 0 && not (Constraints.empty cons) then ignore (Constraints.partners cons 0);
+  if n > 0 && not (Constraints.empty cons) then Constraints.prebuild cons;
   (* Generation plan: later generations get a half-share each so that
      generation 0 — the portfolio-identical exploration phase — keeps
      the majority of the budget.  Total is exactly [starts]: equal

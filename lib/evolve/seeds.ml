@@ -15,15 +15,17 @@ let grow_region rng nl ~sizes ~set ~target =
   let in_region = Hashtbl.create 16 in
   let gain = Hashtbl.create (Array.length members) in
   Array.iter (fun j -> Hashtbl.replace gain j 0.0) members;
+  let xadj = Netlist.adj_offsets nl in
+  let anbr = Netlist.adj_targets nl in
+  let awgt = Netlist.adj_weights nl in
   let absorb j =
     Hashtbl.replace in_region j ();
     Hashtbl.remove gain j;
-    Array.iter
-      (fun (j', w) ->
-        match Hashtbl.find_opt gain j' with
-        | Some g -> Hashtbl.replace gain j' (g +. w)
-        | None -> ())
-      (Netlist.adj nl j)
+    for k = xadj.(j) to xadj.(j + 1) - 1 do
+      match Hashtbl.find_opt gain anbr.(k) with
+      | Some g -> Hashtbl.replace gain anbr.(k) (g +. awgt.(k))
+      | None -> ()
+    done
   in
   let anchor = members.(Rng.int rng (Array.length members)) in
   let region_size = ref sizes.(anchor) in

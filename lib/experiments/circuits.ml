@@ -48,14 +48,15 @@ let make_reference ~iterations nl topo =
     | Some a -> a
     | None -> failwith "Circuits.build: capacity slack too tight for first-fit")
 
-let plant_constraints rng ~target nl topo reference =
+let plant_constraints ?(slack = (1.0, 2.0)) rng ~target nl topo reference =
   let n = Netlist.n nl in
   (* only n(n-1) distinct directed pairs exist; an over-ambitious
      target would spin the random-pair fallback below forever *)
   let target = min target (n * (n - 1)) in
   let cons = Constraints.create ~n in
+  let slack_lo, slack_hi = slack in
   let budget j1 j2 =
-    let slack = if Rng.float rng 1.0 < 0.6 then 1.0 else 2.0 in
+    let slack = if Rng.float rng 1.0 < 0.6 then slack_lo else slack_hi in
     Topology.d topo reference.(j1) reference.(j2) +. slack
   in
   let wires = Netlist.wires nl in
@@ -78,18 +79,20 @@ let plant_constraints rng ~target nl topo reference =
      extend to two-hop neighbourhoods (signals crossing one component),
      then to random pairs as a last resort. *)
   if !added < target then begin
+    let xadj = Netlist.adj_offsets nl in
+    let anbr = Netlist.adj_targets nl in
     let j = ref 0 in
     while !added < target && !j < n do
-      let adj = Netlist.adj nl !j in
-      Array.iter
-        (fun (a, _) ->
-          Array.iter
-            (fun (b, _) -> if a < b then begin
-                 add_pair a b;
-                 add_pair b a
-               end)
-            adj)
-        adj;
+      for ka = xadj.(!j) to xadj.(!j + 1) - 1 do
+        let a = anbr.(ka) in
+        for kb = xadj.(!j) to xadj.(!j + 1) - 1 do
+          let b = anbr.(kb) in
+          if a < b then begin
+            add_pair a b;
+            add_pair b a
+          end
+        done
+      done;
       incr j
     done
   end;

@@ -65,6 +65,22 @@ val scaled : name:string -> n:int -> seed:int -> instance
 (** A synthetic family member of arbitrary size ([wires = 12·n],
     constraints [= 6·n]), used by scaling benchmarks. *)
 
+val plant_constraints :
+  ?slack:float * float ->
+  Qbpart_netlist.Rng.t ->
+  target:int ->
+  Netlist.t ->
+  Topology.t ->
+  Assignment.t ->
+  Constraints.t
+(** Plant [target] directed budgets around a reference assignment
+    (each gets [D(ref j1, ref j2) + s] with [s] drawn from
+    [slack = (lo, hi)], 60% [lo] / 40% [hi]; default [(1, 2)], the
+    Table-I regime), sampling wire pairs first, then two-hop pairs,
+    then random pairs.  The reference witnesses C2-feasibility of the
+    result.  Shared with {!Synth} so the 10k–100k frontier binds the
+    same way Table I does. *)
+
 val stats : instance -> Stats.t
 val problem : ?with_timing:bool -> instance -> Qbpart_core.Problem.t
 (** Package an instance as a PP(1,1); [with_timing] (default true)

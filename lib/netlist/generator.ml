@@ -39,7 +39,7 @@ let hidden_clusters rng p =
   validate p;
   cluster_labels rng p
 
-let generate ?(name_prefix = "c") rng p =
+let generate ?(name_prefix = "c") ?pool rng p =
   validate p;
   let labels = cluster_labels rng p in
   let by_cluster = Array.make p.clusters [] in
@@ -93,4 +93,4 @@ let generate ?(name_prefix = "c") rng p =
     Netlist.Builder.add_wire b j1 j2 ~weight:(float_of_int w) ();
     remaining := !remaining - w
   done;
-  Netlist.Builder.build b
+  Netlist.Builder.build ?pool b

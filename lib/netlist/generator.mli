@@ -26,10 +26,12 @@ val default_params : n:int -> wires:int -> params
     generated suite reproduces the qualitative behaviour of the
     paper's Tables II/III. *)
 
-val generate : ?name_prefix:string -> Rng.t -> params -> Netlist.t
+val generate :
+  ?name_prefix:string -> ?pool:Qbpart_pool.Dompool.t -> Rng.t -> params -> Netlist.t
 (** Deterministic for a given generator state.  The result has exactly
     [params.n] components and total wire weight exactly [params.wires]
-    (provided [n >= 2] and [wires >= 0]).
+    (provided [n >= 2] and [wires >= 0]).  [pool] fans the CSR
+    adjacency construction on large instances (values unchanged).
     @raise Invalid_argument on nonsensical parameters. *)
 
 val hidden_clusters : Rng.t -> params -> int array

@@ -5,10 +5,8 @@ module Constraints = Qbpart_timing.Constraints
 module Check = Qbpart_timing.Check
 
 let wirelength nl topo a =
-  Array.fold_left
-    (fun acc w ->
+  Netlist.fold_wires nl ~init:0.0 ~f:(fun acc w ->
       acc +. (Wire.weight w *. Topology.b topo a.(Wire.u w) a.(Wire.v w)))
-    0.0 (Netlist.wires nl)
 
 let linear ~p a =
   let total = ref 0.0 in
@@ -33,11 +31,9 @@ let capacity_feasible nl topo a =
   Array.for_all (fun x -> x <= 0.0) (capacity_excess nl topo a)
 
 let cut_wires nl a =
-  Array.fold_left
-    (fun acc w -> if a.(Wire.u w) <> a.(Wire.v w) then acc + 1 else acc)
-    0 (Netlist.wires nl)
+  Netlist.fold_wires nl ~init:0 ~f:(fun acc w ->
+      if a.(Wire.u w) <> a.(Wire.v w) then acc + 1 else acc)
 
 let external_weight nl a =
-  Array.fold_left
-    (fun acc w -> if a.(Wire.u w) <> a.(Wire.v w) then acc +. Wire.weight w else acc)
-    0.0 (Netlist.wires nl)
+  Netlist.fold_wires nl ~init:0.0 ~f:(fun acc w ->
+      if a.(Wire.u w) <> a.(Wire.v w) then acc +. Wire.weight w else acc)

@@ -35,7 +35,7 @@ let first_fit_decreasing nl topo =
 let constraint_degree constraints j =
   match constraints with
   | None -> 0
-  | Some c -> Array.length (Constraints.partners c j)
+  | Some c -> Constraints.partner_degree c j
 
 (* Visit components breadth-first over the constraint graph so that a
    component is placed while its constrained partners are fresh in the
@@ -53,6 +53,8 @@ let bfs_order ?constraints rng nl =
   match constraints with
   | None -> by_priority
   | Some c ->
+    let poff = Constraints.partner_offsets c in
+    let pids = Constraints.partner_ids c in
     let seen = Array.make n false in
     let order = Array.make n 0 in
     let k = ref 0 in
@@ -72,9 +74,10 @@ let bfs_order ?constraints rng nl =
             let j = Queue.pop queue in
             if not seen.(j) then begin
               push j;
-              Array.iter
-                (fun p -> if not seen.(p.Constraints.other) then Queue.add p.Constraints.other queue)
-                (Constraints.partners c j)
+              for x = poff.(j) to poff.(j + 1) - 1 do
+                let other = pids.(x) in
+                if not seen.(other) then Queue.add other queue
+              done
             end
           done
         end)
@@ -91,20 +94,25 @@ let one_greedy_attempt ?constraints rng nl topo =
   (* Among timing-legal slots with room, prefer the one closest (in
      delay) to the already-placed constraint partners and wired
      neighbors, with random noise so restarts explore. *)
+  let xadj = Netlist.adj_offsets nl in
+  let anbr = Netlist.adj_targets nl in
+  let awgt = Netlist.adj_weights nl in
   let pull j i =
     let total = ref 0.0 in
     (match constraints with
     | None -> ()
     | Some c ->
-      Array.iter
-        (fun p ->
-          let j' = p.Constraints.other in
-          if a.(j') >= 0 then
-            total := !total +. Topology.d topo i a.(j') +. Topology.d topo a.(j') i)
-        (Constraints.partners c j));
-    Array.iter
-      (fun (j', w) -> if a.(j') >= 0 then total := !total +. (w *. Topology.b topo i a.(j')))
-      (Netlist.adj nl j);
+      let poff = Constraints.partner_offsets c in
+      let pids = Constraints.partner_ids c in
+      for k = poff.(j) to poff.(j + 1) - 1 do
+        let j' = pids.(k) in
+        if a.(j') >= 0 then
+          total := !total +. Topology.d topo i a.(j') +. Topology.d topo a.(j') i
+      done);
+    for k = xadj.(j) to xadj.(j + 1) - 1 do
+      let j' = anbr.(k) in
+      if a.(j') >= 0 then total := !total +. (awgt.(k) *. Topology.b topo i a.(j'))
+    done;
     !total
   in
   let pulls = Array.make m infinity in

@@ -14,7 +14,7 @@ let solve ?(node_limit = 5_000_000) problem =
   let n = Problem.n problem and m = Problem.m problem in
   (* big and heavily-constrained components first: fail early *)
   let order = Array.init n Fun.id in
-  let key j = (Array.length (Constraints.partners cons j), Netlist.size nl j) in
+  let key j = (Constraints.partner_degree cons j, Netlist.size nl j) in
   Array.sort (fun a b -> compare (key b) (key a)) order;
   let a = Array.make n (-1) in
   let loads = Array.make m 0.0 in
@@ -22,24 +22,35 @@ let solve ?(node_limit = 5_000_000) problem =
   let best_cost = ref infinity in
   let nodes = ref 0 in
   (* incremental cost of placing j at i against placed components *)
+  let xadj = Netlist.adj_offsets nl in
+  let anbr = Netlist.adj_targets nl in
+  let awgt = Netlist.adj_weights nl in
+  let poff = Constraints.partner_offsets cons in
+  let pids = Constraints.partner_ids cons in
+  let pbout = Constraints.partner_budget_out cons in
+  let pbin = Constraints.partner_budget_in cons in
   let place_cost j i =
     let c = ref (Problem.p_entry problem ~i ~j) in
-    Array.iter
-      (fun (j', w) ->
-        let at' = a.(j') in
-        if at' >= 0 then
-          c := !c +. (if j < j' then w *. Topology.b topo i at' else w *. Topology.b topo at' i))
-      (Netlist.adj nl j);
+    for k = xadj.(j) to xadj.(j + 1) - 1 do
+      let j' = anbr.(k) and w = awgt.(k) in
+      let at' = a.(j') in
+      if at' >= 0 then
+        c := !c +. (if j < j' then w *. Topology.b topo i at' else w *. Topology.b topo at' i)
+    done;
     !c
   in
   let timing_ok j i =
-    Array.for_all
-      (fun p ->
-        let at' = a.(p.Constraints.other) in
-        at' < 0
-        || (Topology.d topo i at' <= p.Constraints.budget_out
-           && Topology.d topo at' i <= p.Constraints.budget_in))
-      (Constraints.partners cons j)
+    let ok = ref true in
+    let k = ref poff.(j) in
+    let hi = poff.(j + 1) in
+    while !ok && !k < hi do
+      let at' = a.(pids.(!k)) in
+      if at' >= 0
+         && (Topology.d topo i at' > pbout.(!k) || Topology.d topo at' i > pbin.(!k))
+      then ok := false;
+      incr k
+    done;
+    !ok
   in
   (* admissible completion bound: each unplaced component pays at least
      its cheapest placement cost against placed components (wires among

@@ -70,15 +70,18 @@ let delta_objective t a ~j ~i =
   if i = from then 0.0
   else begin
     let acc = ref (p_entry t ~i ~j -. p_entry t ~i:from ~j) in
-    Array.iter
-      (fun (j', w) ->
-        let at' = a.(j') in
-        let d =
-          if j < j' then Topology.b t.topology i at' -. Topology.b t.topology from at'
-          else Topology.b t.topology at' i -. Topology.b t.topology at' from
-        in
-        acc := !acc +. (t.beta *. w *. d))
-      (Netlist.adj t.netlist j);
+    let xadj = Netlist.adj_offsets t.netlist in
+    let anbr = Netlist.adj_targets t.netlist in
+    let awgt = Netlist.adj_weights t.netlist in
+    for k = xadj.(j) to xadj.(j + 1) - 1 do
+      let j' = anbr.(k) and w = awgt.(k) in
+      let at' = a.(j') in
+      let d =
+        if j < j' then Topology.b t.topology i at' -. Topology.b t.topology from at'
+        else Topology.b t.topology at' i -. Topology.b t.topology at' from
+      in
+      acc := !acc +. (t.beta *. w *. d)
+    done;
     !acc
   end
 

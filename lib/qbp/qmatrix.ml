@@ -38,19 +38,38 @@ let entry t r1 r2 =
 let dense t =
   let d = dim t in
   if d > 4096 then
-    invalid_arg (Printf.sprintf "Qmatrix.dense: MN = %d too large to materialize" d);
+    invalid_arg
+      (Printf.sprintf
+         "Qmatrix.dense: MN = %d too large to materialize; use Qmatrix.value (sparse, \
+          O(wires + constraints)) or the eta kernels instead"
+         d);
   Array.init d (fun r1 -> Array.init d (fun r2 -> entry t r1 r2))
 
+(* Sparse evaluation of x^T Q x over the selected coordinates.  The
+   O(n^2) double loop over [entry] visits mostly-zero off-diagonal
+   blocks; only three term families are ever non-zero, and each is
+   enumerable directly: the selected diagonal entries, both directed
+   wire terms per stored wire, and — with replacement-embedding
+   semantics — one penalty per violated stored directed budget *minus*
+   the wire term that entry replaced (zero when the pair is unwired).
+   O(n + wires + constraints) instead of O(n^2). *)
 let value t a =
-  let m = Problem.m t.problem and n = Problem.n t.problem in
+  let nl = t.problem.Problem.netlist in
+  let topo = t.problem.Problem.topology in
+  let cons = t.problem.Problem.constraints in
+  let n = Problem.n t.problem in
   let total = ref 0.0 in
-  for j1 = 0 to n - 1 do
-    for j2 = 0 to n - 1 do
-      let r1 = Assignment.flat_index ~m ~i:a.(j1) ~j:j1
-      and r2 = Assignment.flat_index ~m ~i:a.(j2) ~j:j2 in
-      total := !total +. entry t r1 r2
-    done
+  for j = 0 to n - 1 do
+    total := !total +. Problem.p_entry t.problem ~i:a.(j) ~j
   done;
+  Netlist.iter_wires nl (fun w ->
+      let j1 = Qbpart_netlist.Wire.u w and j2 = Qbpart_netlist.Wire.v w in
+      let x = Qbpart_netlist.Wire.weight w in
+      let i1 = a.(j1) and i2 = a.(j2) in
+      if not (violates t i1 j1 i2 j2) then total := !total +. (x *. Topology.b topo i1 i2);
+      if not (violates t i2 j2 i1 j1) then total := !total +. (x *. Topology.b topo i2 i1));
+  Constraints.iter cons (fun j1 j2 budget ->
+      if Topology.d topo a.(j1) a.(j2) > budget then total := !total +. t.penalty);
   !total
 
 (* --- solver access ------------------------------------------------- *)
@@ -73,30 +92,35 @@ let candidate_costs_at t u ~j ~off out =
   for i = 0 to m - 1 do
     out.(off + i) <- Problem.p_entry t.problem ~i ~j
   done;
-  Array.iter
-    (fun (j', w) ->
-      let at' = u.(j') in
-      if j < j' then
-        for i = 0 to m - 1 do
-          out.(off + i) <- out.(off + i) +. (w *. Topology.b topo i at')
-        done
-      else
-        for i = 0 to m - 1 do
-          out.(off + i) <- out.(off + i) +. (w *. Topology.b topo at' i)
-        done)
-    (Netlist.adj nl j);
-  Array.iter
-    (fun p ->
-      let at' = u.(p.Constraints.other) in
+  let xadj = Netlist.adj_offsets nl in
+  let anbr = Netlist.adj_targets nl in
+  let awgt = Netlist.adj_weights nl in
+  for k = xadj.(j) to xadj.(j + 1) - 1 do
+    let j' = anbr.(k) and w = awgt.(k) in
+    let at' = u.(j') in
+    if j < j' then
       for i = 0 to m - 1 do
-        (* one penalty per violated direction: both directed budgets of
-           a pair can be broken simultaneously *)
-        if Topology.d topo i at' > p.Constraints.budget_out then
-          out.(off + i) <- out.(off + i) +. t.penalty;
-        if Topology.d topo at' i > p.Constraints.budget_in then
-          out.(off + i) <- out.(off + i) +. t.penalty
-      done)
-    (Constraints.partners cons j)
+        out.(off + i) <- out.(off + i) +. (w *. Topology.b topo i at')
+      done
+    else
+      for i = 0 to m - 1 do
+        out.(off + i) <- out.(off + i) +. (w *. Topology.b topo at' i)
+      done
+  done;
+  let poff = Constraints.partner_offsets cons in
+  let pids = Constraints.partner_ids cons in
+  let pbout = Constraints.partner_budget_out cons in
+  let pbin = Constraints.partner_budget_in cons in
+  for k = poff.(j) to poff.(j + 1) - 1 do
+    let at' = u.(pids.(k)) in
+    let budget_out = pbout.(k) and budget_in = pbin.(k) in
+    for i = 0 to m - 1 do
+      (* one penalty per violated direction: both directed budgets of
+         a pair can be broken simultaneously *)
+      if Topology.d topo i at' > budget_out then out.(off + i) <- out.(off + i) +. t.penalty;
+      if Topology.d topo at' i > budget_in then out.(off + i) <- out.(off + i) +. t.penalty
+    done
+  done
 
 let candidate_costs_into t u ~j out = candidate_costs_at t u ~j ~off:0 out
 
@@ -123,24 +147,31 @@ let delta t u ~j ~i =
     let acc =
       ref (Problem.p_entry t.problem ~i ~j -. Problem.p_entry t.problem ~i:from ~j)
     in
-    Array.iter
-      (fun (j', w) ->
-        let at' = u.(j') in
-        if j < j' then
-          acc := !acc +. (w *. (Topology.b topo i at' -. Topology.b topo from at'))
-        else acc := !acc +. (w *. (Topology.b topo at' i -. Topology.b topo at' from)))
-      (Netlist.adj nl j);
-    Array.iter
-      (fun p ->
-        let at' = u.(p.Constraints.other) in
-        let chg cond = if cond then t.penalty else 0.0 in
-        acc :=
-          !acc
-          +. chg (Topology.d topo i at' > p.Constraints.budget_out)
-          -. chg (Topology.d topo from at' > p.Constraints.budget_out)
-          +. chg (Topology.d topo at' i > p.Constraints.budget_in)
-          -. chg (Topology.d topo at' from > p.Constraints.budget_in))
-      (Constraints.partners cons j);
+    let xadj = Netlist.adj_offsets nl in
+    let anbr = Netlist.adj_targets nl in
+    let awgt = Netlist.adj_weights nl in
+    for k = xadj.(j) to xadj.(j + 1) - 1 do
+      let j' = anbr.(k) and w = awgt.(k) in
+      let at' = u.(j') in
+      if j < j' then acc := !acc +. (w *. (Topology.b topo i at' -. Topology.b topo from at'))
+      else acc := !acc +. (w *. (Topology.b topo at' i -. Topology.b topo at' from))
+    done;
+    let poff = Constraints.partner_offsets cons in
+    let pids = Constraints.partner_ids cons in
+    let pbout = Constraints.partner_budget_out cons in
+    let pbin = Constraints.partner_budget_in cons in
+    let pen = t.penalty in
+    for k = poff.(j) to poff.(j + 1) - 1 do
+      let at' = u.(pids.(k)) in
+      let budget_out = pbout.(k) and budget_in = pbin.(k) in
+      let chg cond = if cond then pen else 0.0 in
+      acc :=
+        !acc
+        +. chg (Topology.d topo i at' > budget_out)
+        -. chg (Topology.d topo from at' > budget_out)
+        +. chg (Topology.d topo at' i > budget_in)
+        -. chg (Topology.d topo at' from > budget_in)
+    done;
     !acc
   end
 
@@ -153,17 +184,21 @@ let violations_delta t u ~j ~i =
     let topo = t.problem.Problem.topology in
     let cons = t.problem.Problem.constraints in
     let acc = ref 0 in
-    Array.iter
-      (fun p ->
-        let at' = u.(p.Constraints.other) in
-        let v cond = if cond then 1 else 0 in
-        acc :=
-          !acc
-          + v (Topology.d topo i at' > p.Constraints.budget_out)
-          - v (Topology.d topo from at' > p.Constraints.budget_out)
-          + v (Topology.d topo at' i > p.Constraints.budget_in)
-          - v (Topology.d topo at' from > p.Constraints.budget_in))
-      (Constraints.partners cons j);
+    let poff = Constraints.partner_offsets cons in
+    let pids = Constraints.partner_ids cons in
+    let pbout = Constraints.partner_budget_out cons in
+    let pbin = Constraints.partner_budget_in cons in
+    for k = poff.(j) to poff.(j + 1) - 1 do
+      let at' = u.(pids.(k)) in
+      let budget_out = pbout.(k) and budget_in = pbin.(k) in
+      let v cond = if cond then 1 else 0 in
+      acc :=
+        !acc
+        + v (Topology.d topo i at' > budget_out)
+        - v (Topology.d topo from at' > budget_out)
+        + v (Topology.d topo at' i > budget_in)
+        - v (Topology.d topo at' from > budget_in)
+    done;
     !acc
   end
 
@@ -178,29 +213,33 @@ let eta_paper_range t u eta ~jlo ~jhi =
   let cons = t.problem.Problem.constraints in
   let m = Problem.m t.problem in
   Array.fill eta (m * jlo) (m * (jhi - jlo)) 0.0;
+  let xadj = Netlist.adj_offsets nl in
+  let anbr = Netlist.adj_targets nl in
+  let awgt = Netlist.adj_weights nl in
+  let poff = Constraints.partner_offsets cons in
+  let pids = Constraints.partner_ids cons in
+  let pbin = Constraints.partner_budget_in cons in
   for j = jlo to jhi - 1 do
     let base = j * m in
     eta.(base + u.(j)) <- Problem.p_entry t.problem ~i:u.(j) ~j;
     (* quadratic part: the row index is the partner's selected coordinate *)
-    Array.iter
-      (fun (j', w) ->
-        let at' = u.(j') in
-        for i = 0 to m - 1 do
-          eta.(base + i) <- eta.(base + i) +. (w *. Topology.b topo at' i)
-        done)
-      (Netlist.adj nl j);
+    for k = xadj.(j) to xadj.(j + 1) - 1 do
+      let at' = u.(anbr.(k)) and w = awgt.(k) in
+      for i = 0 to m - 1 do
+        eta.(base + i) <- eta.(base + i) +. (w *. Topology.b topo at' i)
+      done
+    done;
     (* timing part: a violated entry replaces the wire term *)
-    Array.iter
-      (fun p ->
-        let j' = p.Constraints.other in
-        let at' = u.(j') in
-        let w = Netlist.connection nl j j' in
-        for i = 0 to m - 1 do
-          if Topology.d topo at' i > p.Constraints.budget_in then
-            eta.(base + i) <-
-              eta.(base + i) +. t.penalty -. (w *. Topology.b topo at' i)
-        done)
-      (Constraints.partners cons j)
+    for k = poff.(j) to poff.(j + 1) - 1 do
+      let j' = pids.(k) in
+      let at' = u.(j') in
+      let budget_in = pbin.(k) in
+      let w = Netlist.connection nl j j' in
+      for i = 0 to m - 1 do
+        if Topology.d topo at' i > budget_in then
+          eta.(base + i) <- eta.(base + i) +. t.penalty -. (w *. Topology.b topo at' i)
+      done
+    done
   done
 
 (* Below this many components the fan-out bookkeeping costs more than
@@ -306,15 +345,18 @@ let eta_resync st =
    and may repeat netlist partners). *)
 let parallel_patch_cutoff = 512
 
-let patch_partners pool adj patch1 =
-  let deg = Array.length adj in
-  if Dompool.size pool = 1 || deg < parallel_patch_cutoff then Array.iter patch1 adj
+let patch_partners pool ~lo ~hi patch1 =
+  let deg = hi - lo in
+  if Dompool.size pool = 1 || deg < parallel_patch_cutoff then
+    for k = lo to hi - 1 do
+      patch1 k
+    done
   else begin
     let chunks = min deg (Dompool.size pool * 4) in
     Dompool.parallel_for pool ~chunks (fun c ->
-        let lo = c * deg / chunks and hi = (c + 1) * deg / chunks in
-        for x = lo to hi - 1 do
-          patch1 adj.(x)
+        let klo = lo + (c * deg / chunks) and khi = lo + ((c + 1) * deg / chunks) in
+        for k = klo to khi - 1 do
+          patch1 k
         done)
   end
 
@@ -331,7 +373,11 @@ let patch_solver st ~j ~old_i ~new_i =
   let cons = q.problem.Problem.constraints in
   let m = Problem.m q.problem in
   let eta = st.es_eta in
-  patch_partners st.es_pool (Netlist.adj nl j) (fun (j', w) ->
+  let xadj = Netlist.adj_offsets nl in
+  let anbr = Netlist.adj_targets nl in
+  let awgt = Netlist.adj_weights nl in
+  patch_partners st.es_pool ~lo:xadj.(j) ~hi:xadj.(j + 1) (fun k ->
+      let j' = anbr.(k) and w = awgt.(k) in
       let base = j' * m in
       if j' < j then
         for i = 0 to m - 1 do
@@ -343,22 +389,26 @@ let patch_solver st ~j ~old_i ~new_i =
           eta.(base + i) <-
             eta.(base + i) +. (w *. (Topology.b topo new_i i -. Topology.b topo old_i i))
         done);
-  Array.iter
-    (fun p ->
-      let base = p.Constraints.other * m in
-      let pen = q.penalty in
-      for i = 0 to m - 1 do
-        let before =
-          (if Topology.d topo i old_i > p.Constraints.budget_in then pen else 0.0)
-          +. if Topology.d topo old_i i > p.Constraints.budget_out then pen else 0.0
-        in
-        let after =
-          (if Topology.d topo i new_i > p.Constraints.budget_in then pen else 0.0)
-          +. if Topology.d topo new_i i > p.Constraints.budget_out then pen else 0.0
-        in
-        if before <> after then eta.(base + i) <- eta.(base + i) +. after -. before
-      done)
-    (Constraints.partners cons j)
+  let poff = Constraints.partner_offsets cons in
+  let pids = Constraints.partner_ids cons in
+  let pbout = Constraints.partner_budget_out cons in
+  let pbin = Constraints.partner_budget_in cons in
+  let pen = q.penalty in
+  for k = poff.(j) to poff.(j + 1) - 1 do
+    let base = pids.(k) * m in
+    let budget_out = pbout.(k) and budget_in = pbin.(k) in
+    for i = 0 to m - 1 do
+      let before =
+        (if Topology.d topo i old_i > budget_in then pen else 0.0)
+        +. if Topology.d topo old_i i > budget_out then pen else 0.0
+      in
+      let after =
+        (if Topology.d topo i new_i > budget_in then pen else 0.0)
+        +. if Topology.d topo new_i i > budget_out then pen else 0.0
+      in
+      if before <> after then eta.(base + i) <- eta.(base + i) +. after -. before
+    done
+  done
 
 (* Paper-rule patch: [j]'s own diagonal entry rides with its position;
    in a partner's column the wire term always uses [j]'s position as
@@ -375,25 +425,31 @@ let patch_paper st ~j ~old_i ~new_i =
   let base_j = j * m in
   eta.(base_j + old_i) <- eta.(base_j + old_i) -. Problem.p_entry q.problem ~i:old_i ~j;
   eta.(base_j + new_i) <- eta.(base_j + new_i) +. Problem.p_entry q.problem ~i:new_i ~j;
-  patch_partners st.es_pool (Netlist.adj nl j) (fun (j', w) ->
-      let base = j' * m in
+  let xadj = Netlist.adj_offsets nl in
+  let anbr = Netlist.adj_targets nl in
+  let awgt = Netlist.adj_weights nl in
+  patch_partners st.es_pool ~lo:xadj.(j) ~hi:xadj.(j + 1) (fun k ->
+      let base = anbr.(k) * m and w = awgt.(k) in
       for i = 0 to m - 1 do
         eta.(base + i) <-
           eta.(base + i) +. (w *. (Topology.b topo new_i i -. Topology.b topo old_i i))
       done);
-  Array.iter
-    (fun p ->
-      let j' = p.Constraints.other in
-      let base = j' * m in
-      let w = Netlist.connection nl j j' in
-      let pen = q.penalty in
-      for i = 0 to m - 1 do
-        if Topology.d topo old_i i > p.Constraints.budget_out then
-          eta.(base + i) <- eta.(base + i) -. (pen -. (w *. Topology.b topo old_i i));
-        if Topology.d topo new_i i > p.Constraints.budget_out then
-          eta.(base + i) <- eta.(base + i) +. (pen -. (w *. Topology.b topo new_i i))
-      done)
-    (Constraints.partners cons j)
+  let poff = Constraints.partner_offsets cons in
+  let pids = Constraints.partner_ids cons in
+  let pbout = Constraints.partner_budget_out cons in
+  let pen = q.penalty in
+  for k = poff.(j) to poff.(j + 1) - 1 do
+    let j' = pids.(k) in
+    let base = j' * m in
+    let budget_out = pbout.(k) in
+    let w = Netlist.connection nl j j' in
+    for i = 0 to m - 1 do
+      if Topology.d topo old_i i > budget_out then
+        eta.(base + i) <- eta.(base + i) -. (pen -. (w *. Topology.b topo old_i i));
+      if Topology.d topo new_i i > budget_out then
+        eta.(base + i) <- eta.(base + i) +. (pen -. (w *. Topology.b topo new_i i))
+    done
+  done
 
 let eta_apply_move st ~j i =
   let old_i = st.es_u.(j) in
@@ -471,34 +527,40 @@ let omega ?(rule = Solver) t =
       max_b_to.(i) <- Float.max max_b_to.(i) (Topology.b topo i' i)
     done
   done;
+  let xadj = Netlist.adj_offsets nl in
+  let anbr = Netlist.adj_targets nl in
+  let awgt = Netlist.adj_weights nl in
+  let poff = Constraints.partner_offsets cons in
+  let pbout = Constraints.partner_budget_out cons in
+  let pbin = Constraints.partner_budget_in cons in
   for j = 0 to n - 1 do
     let base = j * m in
     for i = 0 to m - 1 do
       let acc = ref (Problem.p_entry t.problem ~i ~j) in
-      Array.iter
-        (fun (j', w) ->
-          let bound =
-            match rule with
-            | Paper -> max_b_to.(i)
-            | Solver -> if j < j' then Topology.max_b_from topo i else max_b_to.(i)
-          in
-          acc := !acc +. (w *. bound))
-        (Netlist.adj nl j);
-      Array.iter
-        (fun p ->
-          (* worst case: some placement of the partner violates each
-             direction independently *)
-          let can_out = ref false and can_in = ref false in
-          for i' = 0 to m - 1 do
-            if Topology.d topo i i' > p.Constraints.budget_out then can_out := true;
-            if Topology.d topo i' i > p.Constraints.budget_in then can_in := true
-          done;
+      for k = xadj.(j) to xadj.(j + 1) - 1 do
+        let j' = anbr.(k) and w = awgt.(k) in
+        let bound =
           match rule with
-          | Solver ->
-            if !can_out then acc := !acc +. t.penalty;
-            if !can_in then acc := !acc +. t.penalty
-          | Paper -> if !can_in then acc := !acc +. t.penalty)
-        (Constraints.partners cons j);
+          | Paper -> max_b_to.(i)
+          | Solver -> if j < j' then Topology.max_b_from topo i else max_b_to.(i)
+        in
+        acc := !acc +. (w *. bound)
+      done;
+      for k = poff.(j) to poff.(j + 1) - 1 do
+        (* worst case: some placement of the partner violates each
+           direction independently *)
+        let budget_out = pbout.(k) and budget_in = pbin.(k) in
+        let can_out = ref false and can_in = ref false in
+        for i' = 0 to m - 1 do
+          if Topology.d topo i i' > budget_out then can_out := true;
+          if Topology.d topo i' i > budget_in then can_in := true
+        done;
+        (match rule with
+        | Solver ->
+          if !can_out then acc := !acc +. t.penalty;
+          if !can_in then acc := !acc +. t.penalty
+        | Paper -> if !can_in then acc := !acc +. t.penalty)
+      done;
       omega.(base + i) <- !acc
     done
   done;

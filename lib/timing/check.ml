@@ -19,17 +19,19 @@ let worst_slack c topo ~assignment =
       Float.min acc (budget -. Topology.d topo assignment.(j1) assignment.(j2)))
 
 let placement_ok c topo ~j ~at ~where =
-  let ps = Constraints.partners c j in
+  let poff = Constraints.partner_offsets c in
+  let pids = Constraints.partner_ids c in
+  let pbout = Constraints.partner_budget_out c in
+  let pbin = Constraints.partner_budget_in c in
   let ok = ref true in
-  let k = Array.length ps in
-  let i = ref 0 in
-  while !ok && !i < k do
-    let p = ps.(!i) in
-    (match where p.Constraints.other with
+  let k = ref poff.(j) in
+  let hi = poff.(j + 1) in
+  while !ok && !k < hi do
+    (match where pids.(!k) with
     | None -> ()
     | Some at' ->
-      if Topology.d topo at at' > p.Constraints.budget_out then ok := false
-      else if Topology.d topo at' at > p.Constraints.budget_in then ok := false);
-    incr i
+      if Topology.d topo at at' > pbout.(!k) then ok := false
+      else if Topology.d topo at' at > pbin.(!k) then ok := false);
+    incr k
   done;
   !ok

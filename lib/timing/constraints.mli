@@ -53,10 +53,42 @@ val iter : t -> (int -> int -> float -> unit) -> unit
 
 val fold : t -> init:'a -> f:('a -> int -> int -> float -> 'a) -> 'a
 
+(** {2 Flat partner CSR}
+
+    The per-component partner index is stored struct-of-arrays:
+    component [j]'s partners are
+    [partner_ids.(partner_offsets.(j) .. partner_offsets.(j+1) - 1)],
+    ascending, with both directed budgets in unboxed float arrays.
+    The arrays are shared with [t] and must not be mutated; they are
+    rebuilt lazily after any {!add}.  Hot loops should grab them once
+    and iterate by index. *)
+
+val prebuild : t -> unit
+(** Force the lazy partner index.  Call once before sharing [t]
+    read-only across domains so no two domains race to build it. *)
+
+val partner_offsets : t -> int array
+(** Row offsets, length [n + 1]. *)
+
+val partner_ids : t -> int array
+(** Partner ids, per-row ascending. *)
+
+val partner_budget_out : t -> float array
+(** {m D_C(j, other)} aligned with {!partner_ids}; {m +∞} if
+    unconstrained. *)
+
+val partner_budget_in : t -> float array
+(** {m D_C(other, j)} aligned with {!partner_ids}; {m +∞} if
+    unconstrained. *)
+
 val partners : t -> int -> partner array
 (** All components sharing a constraint with [j], with both directed
-    budgets.  The returned array is shared and must not be mutated;
-    it is rebuilt automatically after any {!add}. *)
+    budgets, ascending by id.  Boxed compatibility view over the flat
+    CSR; the returned array is shared and must not be mutated, and is
+    rebuilt automatically after any {!add}. *)
+
+val partner_degree : t -> int -> int
+(** Number of constraint partners of [j]. *)
 
 val max_partner_degree : t -> int
 (** Largest number of constraint partners of any component. *)

@@ -274,6 +274,52 @@ let test_save_load () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Unix.rmdir dir
 
+(* The streamed writer ([output], used by [save]) must agree with
+   [to_string] byte-for-byte and survive a frontier-scale assignment:
+   100k entries round-trip through the filesystem intact. *)
+let test_large_assignment_roundtrip () =
+  let n = 100_000 in
+  let rng = Rng.create 77 in
+  let cp =
+    {
+      Checkpoint.instance_hash = 0x0123456789abcdefL;
+      fingerprint = Some { fp_n = n; fp_m = 16; fp_wires = 500_000; fp_weight = 5.0e5 };
+      base_seed = 7;
+      elapsed = 123.456;
+      incumbent = Array.init n (fun _ -> Rng.int rng 16);
+      incumbent_cost = 1.5e6;
+      incumbent_start = 3;
+      starts =
+        [
+          { Checkpoint.start = 3; seed = 10; attempts = 1; feasible_cost = Some 1.5e6;
+            failure = None };
+        ];
+    }
+  in
+  let dir = Filename.temp_file "qbpart-ckpt" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "big.ckpt" in
+  (match Checkpoint.save ~path cp with
+  | Ok () -> ()
+  | Error e -> fail (Checkpoint.error_to_string e));
+  (match Checkpoint.load ~path with
+  | Error e -> fail (Checkpoint.error_to_string e)
+  | Ok cp' ->
+    check Alcotest.bool "100k assignment survives save/load" true
+      (cp'.Checkpoint.incumbent = cp.Checkpoint.incumbent);
+    check Alcotest.bool "everything else survives too" true
+      (cp' = { cp with incumbent = cp'.Checkpoint.incumbent }));
+  (* the streamed bytes are exactly the to_string bytes *)
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let on_disk = really_input_string ic len in
+  close_in ic;
+  check Alcotest.bool "output matches to_string byte-for-byte" true
+    (on_disk = Checkpoint.to_string cp);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
 let test_save_failure_reported () =
   match Checkpoint.save ~path:"/nonexistent-dir/x/y.ckpt"
           {
@@ -311,6 +357,8 @@ let () =
       ( "filesystem",
         [
           Alcotest.test_case "atomic save/load" `Quick test_save_load;
+          Alcotest.test_case "100k assignment streams and round-trips" `Quick
+            test_large_assignment_roundtrip;
           Alcotest.test_case "save failure is structured" `Quick
             test_save_failure_reported;
         ] );
